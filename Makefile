@@ -1,0 +1,24 @@
+.PHONY: install test bench bench-full examples clean
+
+install:
+	pip install -e . --no-build-isolation || python setup.py develop
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+bench-full:
+	REPRO_SCALE=full pytest benchmarks/ --benchmark-only
+
+examples:
+	python examples/quickstart.py
+	python examples/kernel_transformations.py
+	python examples/inference_serving.py
+	python examples/multi_tenant_packing.py
+	python examples/custom_workload.py
+
+clean:
+	rm -rf results .pytest_cache
+	find . -name __pycache__ -type d -exec rm -rf {} +

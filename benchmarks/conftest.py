@@ -1,0 +1,34 @@
+"""Shared benchmark fixtures.
+
+``REPRO_SCALE=full`` switches every experiment benchmark from the CI
+grid to the paper's complete grid (much slower).  Each benchmark writes
+its paper-vs-measured report to ``results/`` and echoes it to stdout.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+
+@pytest.fixture(scope="session")
+def scale() -> str:
+    value = os.environ.get("REPRO_SCALE", "quick")
+    if value not in ("quick", "full"):
+        raise ValueError(f"REPRO_SCALE must be quick|full, got {value!r}")
+    return value
+
+
+@pytest.fixture(scope="session")
+def report_sink():
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def write(name: str, text: str) -> None:
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        print(f"\n{text}\n")
+
+    return write

@@ -1,0 +1,131 @@
+"""Design-choice ablations beyond the paper's figures.
+
+DESIGN.md calls out three design decisions this file quantifies:
+
+* **primitive choice** — Tally restricted to slicing-only or PTB-only
+  versus the full candidate set (the paper argues both primitives are
+  needed because their trade-offs differ per kernel);
+* **GPU model sensitivity** — the isolation result must not depend on
+  A100-specific constants, so the headline pair is re-run on V100 and
+  RTX 3090 specs;
+* **channel transport** — the §4.3 shared-memory optimization,
+  quantified as forwarding overhead per inference request.
+"""
+
+import numpy as np
+
+from repro.core import TallyConfig
+from repro.gpu import A100_SXM4_40GB, RTX_3090, V100_SXM2_16GB
+from repro.harness import JobSpec, RunConfig, run_colocation, standalone
+from repro.harness.reporting import format_table
+from repro.virt import Channel, Response, SHARED_MEMORY, UNIX_SOCKET
+from repro.virt.protocol import LaunchKernelRequest
+from repro.ptx.ir import Dim3
+from repro.workloads import get_model
+
+from dataclasses import replace
+
+
+def _pair_overhead(cfg):
+    inf = JobSpec.inference("bert_infer", load=0.5)
+    base = standalone(inf, cfg)
+    result = run_colocation("Tally", [inf, JobSpec.training("whisper_train")],
+                            cfg)
+    job = result.job("bert_infer#0")
+    train = result.job("whisper_train#0")
+    train_base = standalone(JobSpec.training("whisper_train"), cfg)
+    return (job.latency.p99 / base.latency.p99,
+            train.rate / train_base.rate if train_base.rate else 0.0)
+
+
+def test_ablation_scheduling_primitives(benchmark, report_sink):
+    """Slicing-only vs PTB-only vs both."""
+    cfg = RunConfig(duration=6.0, warmup=1.0)
+    variants = {
+        "both": TallyConfig(),
+        "ptb-only": TallyConfig(slice_fractions=()),
+        "sliced-only": TallyConfig(worker_sm_multiples=()),
+    }
+
+    def run():
+        out = {}
+        for label, tally_config in variants.items():
+            variant_cfg = replace(cfg, tally_config=tally_config)
+            out[label] = _pair_overhead(variant_cfg)
+        return out
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [(label, f"{ratio:.2f}x", f"{train:.2f}")
+            for label, (ratio, train) in results.items()]
+    report_sink("ablation_primitives", format_table(
+        ("candidates", "p99 vs ideal", "train norm"), rows,
+        title="Ablation: scheduling primitive families (BERT x Whisper)",
+    ))
+
+    # Every variant must still isolate (block-level granularity is what
+    # matters, not which primitive implements it)...
+    for label, (ratio, _train) in results.items():
+        assert ratio < 1.6, f"{label} failed to isolate: {ratio:.2f}x"
+    # ...and the full candidate set should not be the worst option for
+    # best-effort throughput.
+    both_train = results["both"][1]
+    assert both_train >= min(t for _r, t in results.values()) - 1e-9
+
+
+def test_ablation_gpu_spec_sensitivity(benchmark, report_sink):
+    """The isolation result holds across GPU models."""
+    specs = (A100_SXM4_40GB, V100_SXM2_16GB, RTX_3090)
+
+    def run():
+        out = {}
+        for spec in specs:
+            cfg = RunConfig(spec=spec, duration=6.0, warmup=1.0)
+            out[spec.name] = _pair_overhead(cfg)
+        return out
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [(name, f"{ratio:.2f}x", f"{train:.2f}")
+            for name, (ratio, train) in results.items()]
+    report_sink("ablation_gpu_specs", format_table(
+        ("GPU", "p99 vs ideal", "train norm"), rows,
+        title="Ablation: GPU model sensitivity (BERT x Whisper under Tally)",
+    ))
+
+    for name, (ratio, _train) in results.items():
+        assert ratio < 1.6, f"Tally lost isolation on {name}: {ratio:.2f}x"
+
+
+def test_ablation_channel_transport(benchmark, report_sink):
+    """Shared-memory vs socket forwarding overhead per request."""
+    model = get_model("bert_infer")
+    trace = model.build_trace(A100_SXM4_40GB)
+    kernels = len(trace.kernels)
+    request = LaunchKernelRequest("c", "k", Dim3(1), Dim3(1), {"a": 1})
+
+    def run():
+        out = {}
+        for config in (SHARED_MEMORY, UNIX_SOCKET):
+            channel = Channel(lambda r: Response.success(), config)
+            per_call = channel.cost_of(request) + channel.cost_of(
+                Response.success())
+            out[config.name] = per_call * kernels
+        return out
+
+    costs = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [(name, f"{cost * 1e6:.1f} us",
+             f"{cost / trace.duration:.1%} of request")
+            for name, cost in costs.items()]
+    report_sink("ablation_channel", format_table(
+        ("transport", "forwarding per request", "relative overhead"), rows,
+        title=(f"Ablation: §4.3 channel transport "
+               f"({kernels} kernel launches per BERT request)"),
+    ))
+
+    shm = costs["shared-memory"]
+    sock = costs["unix-socket"]
+    # The optimization matters: sockets cost an order of magnitude more,
+    # and shared memory keeps forwarding below a few percent of the
+    # request latency (the "near-native" claim).
+    assert sock > 5 * shm
+    assert shm / trace.duration < 0.05
+    assert np.isfinite(shm)

@@ -1,0 +1,52 @@
+"""Figure 5a: sensitivity to traffic load (GPU idle fraction sweep).
+
+Paper reference: Tally's p99 stays indistinguishable from ideal across
+10-90 % idle, while TGS degrades up to 5.8x (BERT) / 2.3x (Llama-2);
+both systems' throughput rises with idle time and converges at high
+idle fractions.
+"""
+
+import numpy as np
+
+from repro.harness.experiments import fig5a, fig5a_report
+
+
+def test_fig5a_load_sweep(benchmark, report_sink, scale):
+    points = benchmark.pedantic(fig5a, args=(scale,), rounds=1, iterations=1)
+    report_sink("fig5a_load_sensitivity", fig5a_report(points))
+
+    tally = [p for p in points if p.system == "Tally"]
+    tgs = [p for p in points if p.system == "TGS"]
+
+    # Tally holds near-ideal latency at every load point.
+    worst_tally = max(p.p99_ratio for p in tally)
+    assert worst_tally < 1.5, f"Tally p99 ratio reached {worst_tally:.2f}x"
+
+    # TGS suffers multi-x slowdowns somewhere in the sweep.
+    worst_tgs = max(p.p99_ratio for p in tgs)
+    assert worst_tgs > 1.8, f"TGS never degraded (max {worst_tgs:.2f}x)"
+
+    # Throughput grows with idle time for both systems.
+    for system_points in (tally, tgs):
+        by_idle = {}
+        for p in system_points:
+            by_idle.setdefault(p.idle_percent, []).append(p.system_throughput)
+        idles = sorted(by_idle)
+        means = [float(np.mean(by_idle[i])) for i in idles]
+        assert means[-1] > means[0], (
+            f"{system_points[0].system} throughput did not grow with idle "
+            f"time: {dict(zip(idles, means))}"
+        )
+
+    # At high idle fractions the two systems' throughput converges
+    # (paper: the gap diminishes as idleness grows).
+    def gap_at(idle):
+        t = np.mean([p.system_throughput for p in tally
+                     if p.idle_percent == idle])
+        g = np.mean([p.system_throughput for p in tgs
+                     if p.idle_percent == idle])
+        return abs(float(g) - float(t))
+
+    low_idle = min(p.idle_percent for p in tally)
+    high_idle = max(p.idle_percent for p in tally)
+    assert gap_at(high_idle) <= gap_at(low_idle) + 0.15

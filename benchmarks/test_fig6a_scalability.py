@@ -1,0 +1,42 @@
+"""Figure 6a: scalability with the number of best-effort workloads.
+
+Paper reference: one high-priority ResNet50 inference service at 10 %
+load co-located with up to 10 identical best-effort services — the
+high-priority p99 stays flat while aggregate throughput climbs until
+the GPU saturates around 8 best-effort jobs.
+"""
+
+from repro.harness.experiments import fig6a
+from repro.harness.reporting import format_seconds, format_table
+
+
+def _report(points):
+    rows = [
+        (p.best_effort_jobs, format_seconds(p.p99),
+         f"{p.p99_ratio:.2f}x", f"{p.requests_per_minute:.0f}")
+        for p in points
+    ]
+    return format_table(
+        ("best-effort jobs", "HP p99", "vs ideal", "requests/min"),
+        rows, title="Figure 6a: scalability with workload count",
+    )
+
+
+def test_fig6a_scalability(benchmark, report_sink, scale):
+    points = benchmark.pedantic(fig6a, args=(scale,), rounds=1, iterations=1)
+    report_sink("fig6a_scalability", _report(points))
+
+    # High-priority latency stays flat across the whole sweep.
+    for p in points:
+        assert p.p99_ratio < 1.5, (
+            f"HP p99 degraded to {p.p99_ratio:.2f}x with "
+            f"{p.best_effort_jobs} best-effort jobs"
+        )
+
+    # Aggregate throughput grows with the number of best-effort jobs...
+    first, last = points[0], points[-1]
+    assert last.requests_per_minute > 2.0 * first.requests_per_minute
+
+    # ...monotonically-ish (each added job never costs much).
+    for a, b in zip(points, points[1:]):
+        assert b.requests_per_minute > 0.85 * a.requests_per_minute

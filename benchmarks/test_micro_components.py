@@ -1,0 +1,79 @@
+"""Microbenchmarks of the reproduction's own components.
+
+Not paper artefacts — these time the substrate itself (transformation
+passes, functional interpreter, event engine, channel round trips) so
+performance regressions in the infrastructure are caught.
+"""
+
+import numpy as np
+
+from repro.gpu import A100_SXM4_40GB, DeviceLaunch, EventLoop, GPUDevice, \
+    KernelDescriptor
+from repro.ptx import Interpreter, make_case
+from repro.runtime import FatBinary
+from repro.core import ExecMode, ExecPlan, TallyServer, connect_runtime
+from repro.ptx.library import matmul_tiled, vector_add
+from repro.transform import make_preemptible, make_sliced, make_unified_sync
+
+
+def test_bench_slicing_pass(benchmark):
+    case = make_case("matmul_tiled", np.random.default_rng(1))
+    benchmark(lambda: make_sliced(case.kernel))
+
+
+def test_bench_unified_sync_pass(benchmark):
+    case = make_case("softmax_rows", np.random.default_rng(2))
+    benchmark(lambda: make_unified_sync(case.kernel))
+
+
+def test_bench_preemption_pass(benchmark):
+    case = make_case("softmax_rows", np.random.default_rng(3))
+    benchmark(lambda: make_preemptible(case.kernel))
+
+
+def test_bench_interpreter_vector_add(benchmark):
+    case = make_case("vector_add", np.random.default_rng(4))
+
+    def run():
+        Interpreter(case.memory).launch(case.kernel, case.grid, case.block,
+                                        case.args)
+
+    benchmark(run)
+
+
+def test_bench_event_engine(benchmark):
+    def run():
+        loop = EventLoop()
+        for i in range(5000):
+            loop.schedule(float(i) * 1e-6, lambda: None)
+        loop.run()
+
+    benchmark(run)
+
+
+def test_bench_device_dispatch(benchmark):
+    spec = A100_SXM4_40GB
+    k = KernelDescriptor("k", num_blocks=8640, threads_per_block=256,
+                         block_duration=20e-6)
+
+    def run():
+        engine = EventLoop()
+        device = GPUDevice(spec, engine)
+        for _ in range(20):
+            device.submit(DeviceLaunch(k, client_id="c"))
+        engine.run()
+
+    benchmark(run)
+
+
+def test_bench_virtualized_launch_roundtrip(benchmark):
+    server = TallyServer(best_effort_plan=ExecPlan(ExecMode.ORIGINAL))
+    rt = connect_runtime(server, "bench")
+    rt.register_fat_binary(FatBinary.of("b", [vector_add()]))
+    n = 64
+    x, y, out = rt.malloc(n), rt.malloc(n), rt.malloc(n)
+    rt.memcpy_h2d(x, np.ones(n))
+    rt.memcpy_h2d(y, np.ones(n))
+    args = {"x": x, "y": y, "out": out, "n": n}
+
+    benchmark(lambda: rt.launch_kernel("vector_add", (4,), (16,), args))

@@ -1,0 +1,24 @@
+"""Table 1: turnaround latency by scheduling granularity.
+
+Paper reference (Whisper training vs 3.93 ms BERT inference, A100):
+iteration ~3 s, kernel ~10 ms, block ~304 us, thread ~38 us.
+"""
+
+from repro.harness.experiments import table1
+
+
+def test_table1_turnaround_by_granularity(benchmark, report_sink):
+    result = benchmark.pedantic(table1, rounds=1, iterations=1)
+    report_sink("table1_granularity", result.report())
+
+    # The ordering the paper's argument rests on: each finer granularity
+    # improves turnaround by at least an order of magnitude down to the
+    # block level.
+    assert result.iteration > result.kernel > result.block > result.thread
+    assert result.kernel / result.block > 10
+    # Block-level turnaround must be comfortably below the inference
+    # latency — that is why block-level scheduling isolates.
+    assert result.block < 0.2 * result.inference_latency
+    # Kernel-level turnaround exceeds the whole inference time, which is
+    # why kernel-level systems (TGS et al.) cannot isolate Whisper.
+    assert result.kernel > result.inference_latency

@@ -1,0 +1,33 @@
+"""Table 2: standalone latency/throughput of the 12-workload suite."""
+
+from repro.harness.experiments import table2, table2_report
+
+
+def test_table2_standalone_suite(benchmark, report_sink, scale):
+    rows = benchmark.pedantic(table2, args=(scale,), rounds=1, iterations=1)
+    report_sink("table2_standalone", table2_report(rows))
+
+    assert len(rows) == 12
+    by_name = {r.model: r for r in rows}
+
+    # Inference latencies measured on the simulator track the trace
+    # design closely (same condensed time base).
+    for name in ("resnet50_infer", "bert_infer", "yolov6m_infer"):
+        row = by_name[name]
+        ratio = row.measured_value / row.paper_value
+        assert 0.7 < ratio < 1.5, f"{name} latency off: {ratio:.2f}x"
+
+    # Training throughput, rescaled by the condensation factor, should
+    # be within 2x of Table 2 (the factor is calibrated, not fitted).
+    for name, row in by_name.items():
+        if row.kind != "training":
+            continue
+        ratio = row.paper_scale_value / row.paper_value
+        assert 0.4 < ratio < 2.5, f"{name} throughput off: {ratio:.2f}x"
+
+    # Relative ordering of Table 2 is preserved: PointNet is the fastest
+    # training job, Whisper the slowest.
+    training = {n: r.measured_value for n, r in by_name.items()
+                if r.kind == "training"}
+    assert max(training, key=training.get) == "pointnet_train"
+    assert min(training, key=training.get) == "whisper_train"

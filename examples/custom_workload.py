@@ -1,0 +1,88 @@
+"""Bring your own workload: define a model, co-locate it under Tally.
+
+The built-in suite mirrors the paper's Table 2, but the harness accepts
+any :class:`~repro.workloads.WorkloadModel`.  This example defines a
+fictional "RecSys" embedding-heavy training job (many tiny lookup
+kernels plus periodic large all-reduce-style kernels) and a "RankNet"
+inference service, registers them in the model catalog, and compares
+their co-location under TGS and Tally.
+
+Run:  python examples/custom_workload.py
+"""
+
+from repro.harness import JobSpec, RunConfig, run_colocation, standalone
+from repro.harness.reporting import format_seconds, format_table
+from repro.workloads import (
+    DurationMixture,
+    INFERENCE_MODELS,
+    TRAINING_MODELS,
+    WorkloadKind,
+    WorkloadModel,
+)
+from repro.workloads.memory import PARAMETER_COUNTS
+
+
+def define_models() -> None:
+    """Register two custom workloads in the model catalog."""
+    TRAINING_MODELS["recsys_train"] = WorkloadModel(
+        name="recsys_train",
+        kind=WorkloadKind.TRAINING,
+        paper_engine="custom",
+        paper_params="2.1B (mostly embeddings)",
+        paper_value=5.0,  # target iterations/s at full scale
+        paper_duration=0.2,
+        num_kernels=160,
+        # embedding lookups are tiny; optimizer + dense towers are not
+        mixture=DurationMixture.of((0.90, 35e-6, 0.5), (0.10, 1.1e-3, 0.4)),
+        host_gap_fraction=0.25,  # input pipeline heavy
+    )
+    INFERENCE_MODELS["ranknet_infer"] = WorkloadModel(
+        name="ranknet_infer",
+        kind=WorkloadKind.INFERENCE,
+        paper_engine="custom",
+        paper_params="45M",
+        paper_value=2.2e-3,  # SLA-relevant latency
+        paper_duration=2.2e-3,
+        num_kernels=28,
+        mixture=DurationMixture.of((1.0, 70e-6, 0.45)),
+        host_gap_fraction=0.0,
+    )
+    # Memory footprints gate co-location feasibility.
+    PARAMETER_COUNTS["recsys_train"] = 2.1e9
+    PARAMETER_COUNTS["ranknet_infer"] = 45e6
+
+
+def main() -> None:
+    define_models()
+    config = RunConfig(duration=8.0, warmup=1.0)
+    inference = JobSpec.inference("ranknet_infer", load=0.4)
+    training = JobSpec.training("recsys_train")
+
+    base = standalone(inference, config)
+    train_base = standalone(training, config)
+    assert base.latency is not None
+    print(f"ranknet alone: p99 {format_seconds(base.latency.p99)}; "
+          f"recsys alone: {train_base.rate:.1f} it/s\n")
+
+    rows = []
+    for system in ("TGS", "Tally"):
+        result = run_colocation(system, [inference, training], config)
+        inf = result.job("ranknet_infer#0")
+        train = result.job("recsys_train#0")
+        assert inf.latency is not None
+        rows.append((
+            system,
+            format_seconds(inf.latency.p99),
+            f"{inf.latency.p99 / base.latency.p99:.2f}x",
+            f"{train.rate / train_base.rate:.2f}",
+        ))
+    print(format_table(
+        ("system", "ranknet p99", "vs alone", "recsys norm"),
+        rows, title="Custom workloads: RankNet (40% load) x RecSys training",
+    ))
+    print("\nAny workload expressible as a kernel-duration distribution can")
+    print("be evaluated this way — no changes to the library required.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+"""Packing many low-utilization services on one GPU (paper §5.4).
+
+The GPU-underutilization story from the paper's introduction: many
+inference services individually use ~10 % of a GPU.  This example packs
+one high-priority ResNet50 service with a growing number of best-effort
+clones under Tally and shows that
+
+* the high-priority p99 stays flat, and
+* aggregate throughput scales until the device saturates,
+
+i.e. a cluster could consolidate these services onto a fraction of the
+GPUs without violating the high-priority SLA.
+
+Run:  python examples/multi_tenant_packing.py
+"""
+
+from repro.baselines import Priority
+from repro.harness import JobSpec, RunConfig, run_colocation, standalone
+from repro.harness.reporting import format_seconds, format_table
+
+
+def main() -> None:
+    load = 0.10
+    config = RunConfig(duration=10.0, warmup=1.0)
+    high_priority = JobSpec.inference("resnet50_infer", load=load,
+                                      traffic_seed=0)
+
+    base = standalone(high_priority, config)
+    assert base.latency is not None
+    print(f"one service alone: p99 {format_seconds(base.latency.p99)}, "
+          f"{base.rate * 60:.0f} requests/min "
+          f"(~{load:.0%} of the GPU)")
+
+    rows = []
+    for extra in (0, 2, 4, 6, 8, 10):
+        jobs = [high_priority] + [
+            JobSpec.inference("resnet50_infer", load=load,
+                              priority=Priority.BEST_EFFORT,
+                              traffic_seed=i + 1)
+            for i in range(extra)
+        ]
+        result = run_colocation("Tally", jobs, config)
+        hp = result.job("resnet50_infer#0")
+        assert hp.latency is not None
+        total = sum(j.rate for j in result.inference_results()) * 60
+        rows.append((
+            1 + extra,
+            format_seconds(hp.latency.p99),
+            f"{hp.latency.p99 / base.latency.p99:.2f}x",
+            f"{total:.0f}",
+            f"{result.utilization:.0%}",
+        ))
+
+    print()
+    print(format_table(
+        ("services", "HP p99", "vs alone", "requests/min", "GPU util"),
+        rows, title="Packing ResNet50 services @ 10% load under Tally",
+    ))
+    print("\nThe high-priority tail stays put while the device absorbs an")
+    print("order of magnitude more traffic — the consolidation opportunity")
+    print("the Alibaba study quantified at ~50% of cluster GPUs.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+"""Reproduction of *Tally: Non-Intrusive Performance Isolation for
+Concurrent Deep Learning Workloads* (ASPLOS 2025).
+
+The package is layered bottom-up:
+
+* :mod:`repro.ptx` — mini-PTX IR, builder, validator, and a functional
+  interpreter with CUDA-faithful block/barrier semantics;
+* :mod:`repro.transform` — the paper's kernel transformations (slicing,
+  unified synchronization, preemption/persistent thread blocks);
+* :mod:`repro.gpu` — discrete-event GPU timing simulator (SM slots,
+  occupancy, wave execution, PTB worker loops);
+* :mod:`repro.runtime` / :mod:`repro.virt` — CUDA-like runtime API and
+  the client/server virtualization layer Tally interposes on;
+* :mod:`repro.core` — Tally itself: transformer, transparent profiler,
+  priority-aware scheduler, and the functional server;
+* :mod:`repro.baselines` — Time-Slicing, MPS, MPS-Priority, TGS, Ideal;
+* :mod:`repro.workloads` / :mod:`repro.traffic` — the Table 2 workload
+  suite and MAF2-style traffic;
+* :mod:`repro.harness` — co-location runner and per-figure experiment
+  drivers.
+
+Quick start::
+
+    from repro.harness import JobSpec, RunConfig, run_colocation
+
+    result = run_colocation(
+        "Tally",
+        [JobSpec.inference("bert_infer", load=0.5),
+         JobSpec.training("whisper_train")],
+        RunConfig(duration=10.0),
+    )
+    print(result.job("bert_infer#0").latency.p99)
+"""
+
+from . import (
+    baselines,
+    cluster,
+    core,
+    gpu,
+    harness,
+    metrics,
+    ptx,
+    runtime,
+    traffic,
+    transform,
+    virt,
+    workloads,
+)
+from .errors import ReproError
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ReproError",
+    "__version__",
+    "baselines",
+    "cluster",
+    "core",
+    "gpu",
+    "harness",
+    "metrics",
+    "ptx",
+    "runtime",
+    "traffic",
+    "transform",
+    "virt",
+    "workloads",
+]

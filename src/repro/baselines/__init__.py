@@ -1,0 +1,21 @@
+"""Baseline GPU-sharing systems the paper compares Tally against."""
+
+from .base import ClientInfo, PassthroughPolicy, Priority, SharingPolicy
+from .ideal import Ideal
+from .mps import MPS, MPSPriority
+from .reef import REEF
+from .tgs import TGS
+from .time_slicing import TimeSlicing
+
+__all__ = [
+    "ClientInfo",
+    "Ideal",
+    "MPS",
+    "MPSPriority",
+    "PassthroughPolicy",
+    "Priority",
+    "REEF",
+    "SharingPolicy",
+    "TGS",
+    "TimeSlicing",
+]

@@ -1,0 +1,122 @@
+"""The GPU-sharing policy interface.
+
+Every sharing system in the reproduction — Tally and the four baselines
+(Time-Slicing, MPS, MPS-Priority, TGS) — implements
+:class:`SharingPolicy`: clients register with a priority class and then
+submit kernels one at a time; the policy decides when and how each
+kernel reaches the :class:`~repro.gpu.device.GPUDevice` and invokes the
+client's completion callback when it finishes.
+
+Clients model DL processes: they submit their next kernel from the
+completion callback of the previous one (plus any host-side gap), which
+mirrors stream-ordered execution.
+"""
+
+from __future__ import annotations
+
+import abc
+import enum
+from dataclasses import dataclass
+from typing import Callable
+
+from ..errors import SchedulerError
+from ..gpu.device import DeviceLaunch, GPUDevice
+from ..gpu.engine import EventLoop
+from ..gpu.kernel import KernelDescriptor
+
+__all__ = ["Priority", "ClientInfo", "SharingPolicy", "PassthroughPolicy"]
+
+
+class Priority(enum.IntEnum):
+    """Client priority classes (lower value = more important)."""
+
+    HIGH = 0
+    BEST_EFFORT = 1
+
+
+@dataclass
+class ClientInfo:
+    """Registration record of one client process."""
+
+    client_id: str
+    priority: Priority
+    kernels_submitted: int = 0
+    kernels_completed: int = 0
+
+
+class SharingPolicy(abc.ABC):
+    """Mediates kernel execution of concurrent clients on one GPU."""
+
+    #: human-readable system name (used in reports)
+    name: str = "abstract"
+
+    def __init__(self, device: GPUDevice, engine: EventLoop) -> None:
+        self.device = device
+        self.engine = engine
+        self.clients: dict[str, ClientInfo] = {}
+
+    # ------------------------------------------------------------------
+    def register_client(self, client_id: str,
+                        priority: Priority = Priority.BEST_EFFORT) -> ClientInfo:
+        """Introduce a client before it submits kernels."""
+        if client_id in self.clients:
+            raise SchedulerError(f"client {client_id!r} already registered")
+        info = ClientInfo(client_id, priority)
+        self.clients[client_id] = info
+        self._on_register(info)
+        return info
+
+    def submit(self, client_id: str, descriptor: KernelDescriptor,
+               on_done: Callable[[], None]) -> None:
+        """Client ``client_id`` wants to run ``descriptor`` next.
+
+        ``on_done`` fires when the kernel has fully executed; the client
+        reacts by submitting its next kernel (stream order).
+        """
+        try:
+            info = self.clients[client_id]
+        except KeyError:
+            raise SchedulerError(f"unknown client {client_id!r}") from None
+        info.kernels_submitted += 1
+
+        def counted_done() -> None:
+            info.kernels_completed += 1
+            on_done()
+
+        self._submit(info, descriptor, counted_done)
+
+    # ------------------------------------------------------------------
+    def _on_register(self, info: ClientInfo) -> None:
+        """Hook for subclasses (default: nothing)."""
+
+    @abc.abstractmethod
+    def _submit(self, info: ClientInfo, descriptor: KernelDescriptor,
+                on_done: Callable[[], None]) -> None:
+        """Policy-specific scheduling of one kernel."""
+
+
+class PassthroughPolicy(SharingPolicy):
+    """Launch every kernel immediately (the building block of MPS).
+
+    ``priority_aware=True`` maps the client's priority class onto the
+    device dispatch priority (MPS with client priority levels);
+    ``False`` dispatches everything at equal priority (plain MPS).
+    """
+
+    name = "passthrough"
+
+    def __init__(self, device: GPUDevice, engine: EventLoop, *,
+                 priority_aware: bool = False) -> None:
+        super().__init__(device, engine)
+        self.priority_aware = priority_aware
+
+    def _submit(self, info: ClientInfo, descriptor: KernelDescriptor,
+                on_done: Callable[[], None]) -> None:
+        priority = int(info.priority) if self.priority_aware else 0
+        launch = DeviceLaunch(
+            descriptor,
+            client_id=info.client_id,
+            priority=priority,
+            on_complete=lambda _launch: on_done(),
+        )
+        self.device.submit(launch)

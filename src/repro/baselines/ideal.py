@@ -1,0 +1,23 @@
+"""Isolated execution reference ("Ideal" in the paper's figures).
+
+Runs a single client on the device with no co-located work; the
+latencies and throughputs it produces are the normalization baseline
+for every sharing experiment.
+"""
+
+from __future__ import annotations
+
+from .base import PassthroughPolicy
+from ..gpu.device import GPUDevice
+from ..gpu.engine import EventLoop
+
+__all__ = ["Ideal"]
+
+
+class Ideal(PassthroughPolicy):
+    """Exclusive, immediate execution — no sharing, no interference."""
+
+    name = "Ideal"
+
+    def __init__(self, device: GPUDevice, engine: EventLoop) -> None:
+        super().__init__(device, engine, priority_aware=False)

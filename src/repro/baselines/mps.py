@@ -1,0 +1,40 @@
+"""NVIDIA MPS baselines (spatial sharing at kernel granularity).
+
+MPS lets processes share the GPU spatially: kernels from all clients
+are dispatched eagerly and their thread blocks fill SM slots together.
+This maximizes utilization but is priority-agnostic — a high-priority
+kernel arriving behind a long best-effort kernel waits for resident
+blocks to drain, which is the queuing-delay interference the paper
+measures (up to ~20x tail-latency inflation).
+
+``MPSPriority`` enables the client-priority feature: pending
+high-priority blocks are dispatched before best-effort blocks, but
+blocks already resident still cannot be preempted, so long-kernel
+interference remains.
+"""
+
+from __future__ import annotations
+
+from ..gpu.device import GPUDevice
+from ..gpu.engine import EventLoop
+from .base import PassthroughPolicy
+
+__all__ = ["MPS", "MPSPriority"]
+
+
+class MPS(PassthroughPolicy):
+    """Plain MPS: eager, priority-agnostic spatial sharing."""
+
+    name = "MPS"
+
+    def __init__(self, device: GPUDevice, engine: EventLoop) -> None:
+        super().__init__(device, engine, priority_aware=False)
+
+
+class MPSPriority(PassthroughPolicy):
+    """MPS with client priority levels (dispatch-order priority only)."""
+
+    name = "MPS-Priority"
+
+    def __init__(self, device: GPUDevice, engine: EventLoop) -> None:
+        super().__init__(device, engine, priority_aware=True)

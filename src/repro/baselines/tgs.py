@@ -1,0 +1,101 @@
+"""TGS baseline (transparent GPU sharing via adaptive rate control).
+
+TGS (NSDI'23) sits below containers and throttles the kernel-launch
+*rate* of the best-effort (opportunistic) job based on feedback from
+the production job's observed activity: when the production job is
+active, the opportunistic job's launches are delayed hard
+(multiplicative increase of the gap); when the production job goes
+idle, the gap decays so the opportunistic job ramps back up.
+
+Scheduling stays at kernel granularity: once an opportunistic kernel is
+launched it runs to completion, so interference from long kernels
+remains — the paper's central criticism.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..errors import SchedulerError
+from ..gpu.device import DeviceLaunch, GPUDevice
+from ..gpu.engine import EventLoop
+from ..gpu.kernel import KernelDescriptor
+from .base import ClientInfo, Priority, SharingPolicy
+
+__all__ = ["TGS"]
+
+
+class TGS(SharingPolicy):
+    """Adaptive rate control between one production and N opportunistic jobs."""
+
+    name = "TGS"
+
+    def __init__(self, device: GPUDevice, engine: EventLoop, *,
+                 activity_window: float = 0.5e-3,
+                 min_gap: float = 0.0,
+                 max_gap: float = 5e-3,
+                 backoff: float = 1.5,
+                 recovery: float = 0.6,
+                 initial_gap: float = 50e-6) -> None:
+        super().__init__(device, engine)
+        if backoff <= 1.0 or not 0 < recovery < 1.0:
+            raise SchedulerError("need backoff > 1 and 0 < recovery < 1")
+        self.activity_window = activity_window
+        self.min_gap = min_gap
+        self.max_gap = max_gap
+        self.backoff = backoff
+        self.recovery = recovery
+        self._gap = initial_gap
+        self._last_high_activity = float("-inf")
+        self._next_allowed = 0.0
+
+    # ------------------------------------------------------------------
+    @property
+    def current_gap(self) -> float:
+        """The current inter-launch delay imposed on best-effort kernels."""
+        return self._gap
+
+    def _high_priority_active(self) -> bool:
+        return (self.engine.now - self._last_high_activity
+                <= self.activity_window)
+
+    def _submit(self, info: ClientInfo, descriptor: KernelDescriptor,
+                on_done: Callable[[], None]) -> None:
+        if info.priority is Priority.HIGH:
+            self._last_high_activity = self.engine.now
+            launch = DeviceLaunch(
+                descriptor,
+                client_id=info.client_id,
+                priority=0,
+                on_complete=lambda _l: self._high_done(on_done),
+            )
+            self.device.submit(launch)
+            return
+
+        # Opportunistic path: adapt the launch gap, then launch after it.
+        if self._high_priority_active():
+            self._gap = min(self.max_gap, max(self._gap, 1e-6) * self.backoff)
+        else:
+            self._gap = max(self.min_gap, self._gap * self.recovery)
+
+        start = max(self.engine.now + self._gap, self._next_allowed)
+        self._next_allowed = start
+        delay = start - self.engine.now
+
+        def launch_now() -> None:
+            launch = DeviceLaunch(
+                descriptor,
+                client_id=info.client_id,
+                priority=1,
+                on_complete=lambda _l: on_done(),
+            )
+            self.device.submit(launch)
+
+        if delay > 0:
+            self.engine.schedule(delay, launch_now)
+        else:
+            launch_now()
+
+    def _high_done(self, on_done: Callable[[], None]) -> None:
+        self._last_high_activity = self.engine.now
+        on_done()

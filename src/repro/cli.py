@@ -1,0 +1,240 @@
+"""Command-line interface for reproducing the paper's artefacts.
+
+Usage::
+
+    python -m repro table1
+    python -m repro table2 --scale quick
+    python -m repro fig4 --scale full
+    python -m repro fig5a | fig5b | fig6a | fig6b | fig6c
+    python -m repro colocate --inference bert_infer --training whisper_train \
+        --policy Tally --load 0.5 --duration 10
+    python -m repro list
+
+Each figure command prints the paper-vs-measured report that the
+corresponding benchmark also writes to ``results/``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from .harness import JobSpec, RunConfig, run_colocation, standalone
+from .harness.experiments import (
+    fig4,
+    fig5a,
+    fig5a_report,
+    fig5b,
+    fig6a,
+    fig6b,
+    fig6b_report,
+    fig6c,
+    fig6c_report,
+    table1,
+    table2,
+    table2_report,
+)
+from .harness.reporting import format_seconds, format_table
+from .workloads import INFERENCE_MODELS, TRAINING_MODELS
+
+__all__ = ["main"]
+
+
+def _cmd_list(_args: argparse.Namespace) -> None:
+    rows = [(name, "training", f"{m.paper_value:g} it/s")
+            for name, m in TRAINING_MODELS.items()]
+    rows += [(name, "inference", format_seconds(m.paper_value))
+             for name, m in INFERENCE_MODELS.items()]
+    print(format_table(("model", "kind", "paper metric"), rows,
+                       title="Workload suite (Table 2)"))
+
+
+def _cmd_table1(_args: argparse.Namespace) -> None:
+    print(table1().report())
+
+
+def _cmd_table2(args: argparse.Namespace) -> None:
+    print(table2_report(table2(args.scale)))
+
+
+def _cmd_fig4(args: argparse.Namespace) -> None:
+    print(fig4(args.scale).report())
+
+
+def _cmd_fig5a(args: argparse.Namespace) -> None:
+    print(fig5a_report(fig5a(args.scale)))
+
+
+def _cmd_fig5b(args: argparse.Namespace) -> None:
+    series, ideal = fig5b(args.scale)
+    rows = []
+    tally = next(s for s in series if s.system == "Tally")
+    for i, count in enumerate(ideal.traffic):
+        rows.append((
+            i, count,
+            _ms(ideal.p99[i]), _ms(tally.p99[i]),
+            f"{tally.train_throughput[i]:.2f}",
+        ))
+    print(format_table(
+        ("interval", "requests", "ideal p99", "Tally p99", "train norm"),
+        rows, title="Figure 5b time series (BERT x BERT)",
+    ))
+
+
+def _cmd_fig6a(args: argparse.Namespace) -> None:
+    rows = [
+        (p.best_effort_jobs, format_seconds(p.p99), f"{p.p99_ratio:.2f}x",
+         f"{p.requests_per_minute:.0f}")
+        for p in fig6a(args.scale)
+    ]
+    print(format_table(
+        ("best-effort jobs", "HP p99", "vs ideal", "requests/min"),
+        rows, title="Figure 6a scalability",
+    ))
+
+
+def _cmd_fig6b(args: argparse.Namespace) -> None:
+    print(fig6b_report(fig6b(args.scale)))
+
+
+def _cmd_fig6c(args: argparse.Namespace) -> None:
+    print(fig6c_report(fig6c(args.scale)))
+
+
+def _cmd_cluster(args: argparse.Namespace) -> None:
+    from .cluster import (
+        ClusterJob,
+        dedicated_placement,
+        evaluate_placement,
+        packed_placement,
+    )
+
+    jobs: list[ClusterJob] = []
+    seed = 0
+    for model, load in [("resnet50_infer", 0.10), ("bert_infer", 0.12),
+                        ("yolov6m_infer", 0.10), ("resnet50_infer", 0.08),
+                        ("bert_infer", 0.10), ("yolov6m_infer", 0.12)]:
+        jobs.append(ClusterJob(model, load=load, traffic_seed=seed))
+        seed += 1
+    for model in ("resnet50_infer", "bert_infer", "resnet50_infer"):
+        jobs.append(ClusterJob(model, load=0.3, offline=True,
+                               traffic_seed=seed))
+        seed += 1
+    for model in ("resnet50_train", "pointnet_train", "bert_train",
+                  "gpt2_train"):
+        jobs.append(ClusterJob(model, traffic_seed=seed))
+        seed += 1
+
+    dedicated = dedicated_placement(jobs)
+    packed = packed_placement(jobs, compute_budget=1.4)
+    config = RunConfig(duration=args.duration, warmup=1.0)
+    result = evaluate_placement(packed, "Tally", config)
+    saved = 1 - packed.gpus_used / dedicated.gpus_used
+    rows = [
+        ("jobs", len(jobs), ""),
+        ("GPUs, dedicated", dedicated.gpus_used, ""),
+        ("GPUs, Tally-packed", packed.gpus_used, f"{saved:.0%} saved"),
+        ("SLA violations", result.sla_violations,
+         f"worst p99 {result.worst_p99_ratio:.2f}x"),
+        ("aggregate norm. thpt",
+         f"{result.total_normalized_throughput:.1f}", ""),
+    ]
+    print(format_table(("metric", "value", "note"), rows,
+                       title="Cluster consolidation under Tally"))
+
+
+def _cmd_colocate(args: argparse.Namespace) -> None:
+    config = RunConfig(duration=args.duration, warmup=args.warmup)
+    inference = JobSpec.inference(args.inference, load=args.load)
+    training = JobSpec.training(args.training)
+    base = standalone(inference, config)
+    train_base = standalone(training, config)
+    assert base.latency is not None
+
+    start = time.time()
+    result = run_colocation(args.policy, [inference, training], config)
+    wall = time.time() - start
+    inf = result.job(f"{args.inference}#0")
+    train = result.job(f"{args.training}#0")
+    assert inf.latency is not None
+    train_norm = (train.rate / train_base.rate if train_base.rate else 0.0)
+    rows = [
+        ("inference p99", format_seconds(inf.latency.p99),
+         f"{inf.latency.p99 / base.latency.p99:.2f}x vs ideal"),
+        ("inference p50", format_seconds(inf.latency.p50), ""),
+        ("requests served", str(inf.completed), f"{inf.rate:.1f}/s"),
+        ("training throughput", f"{train.rate:.2f} it/s",
+         f"{train_norm:.2f} of standalone"),
+        ("system throughput",
+         f"{inf.rate / base.rate + train_norm:.2f}", ""),
+        ("GPU utilization", f"{result.utilization:.0%}", ""),
+        ("simulated / wall",
+         f"{config.duration:.0f}s / {wall:.1f}s",
+         f"{result.events} events"),
+    ]
+    print(format_table(
+        ("metric", "value", "note"), rows,
+        title=(f"{args.policy}: {args.inference} (load {args.load:.0%}) "
+               f"x {args.training}"),
+    ))
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce the Tally paper's tables and figures.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add(name, fn, help_, scale=True):
+        p = sub.add_parser(name, help=help_)
+        if scale:
+            p.add_argument("--scale", choices=("quick", "full"),
+                           default="quick")
+        p.set_defaults(fn=fn)
+        return p
+
+    add("list", _cmd_list, "list the workload suite", scale=False)
+    add("table1", _cmd_table1, "turnaround by granularity", scale=False)
+    add("table2", _cmd_table2, "standalone workload metrics")
+    add("fig4", _cmd_fig4, "end-to-end latency/throughput grid")
+    add("fig5a", _cmd_fig5a, "traffic load sensitivity")
+    add("fig5b", _cmd_fig5b, "time-series under a condensed trace")
+    add("fig6a", _cmd_fig6a, "scalability with workload count")
+    add("fig6b", _cmd_fig6b, "scheduling/transformation ablation")
+    add("fig6c", _cmd_fig6c, "turnaround threshold sweep")
+
+    cluster = sub.add_parser(
+        "cluster", help="cluster consolidation demo (GPUs saved vs SLA)")
+    cluster.add_argument("--duration", type=float, default=5.0)
+    cluster.set_defaults(fn=_cmd_cluster)
+
+    colocate = sub.add_parser("colocate",
+                              help="run one custom co-location experiment")
+    colocate.add_argument("--inference", default="bert_infer",
+                          choices=sorted(INFERENCE_MODELS))
+    colocate.add_argument("--training", default="whisper_train",
+                          choices=sorted(TRAINING_MODELS))
+    colocate.add_argument("--policy", default="Tally",
+                          choices=("Ideal", "Time-Slicing", "MPS",
+                                   "MPS-Priority", "TGS", "Tally"))
+    colocate.add_argument("--load", type=float, default=0.5)
+    colocate.add_argument("--duration", type=float, default=10.0)
+    colocate.add_argument("--warmup", type=float, default=1.0)
+    colocate.set_defaults(fn=_cmd_colocate)
+    return parser
+
+
+def _ms(value: float) -> str:
+    return "-" if value != value else f"{value * 1e3:.2f} ms"
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    args.fn(args)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

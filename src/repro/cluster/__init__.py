@@ -1,0 +1,25 @@
+"""Cluster-level consolidation: placement and SLA-checked packing.
+
+Reproduces the paper's §1 motivation — that GPU sharing can shrink a
+cluster's GPU count substantially (the Alibaba estimate is ~50 %)
+without violating latency SLAs — using the same co-location simulator
+as the per-GPU experiments.
+"""
+
+from .placement import (
+    ClusterJob,
+    Placement,
+    dedicated_placement,
+    packed_placement,
+)
+from .simulate import ClusterResult, ServiceOutcome, evaluate_placement
+
+__all__ = [
+    "ClusterJob",
+    "ClusterResult",
+    "Placement",
+    "ServiceOutcome",
+    "dedicated_placement",
+    "evaluate_placement",
+    "packed_placement",
+]

@@ -1,0 +1,151 @@
+"""Cluster-level job placement.
+
+The paper's motivation (§1) is cluster-scale: production DL clusters
+run many low-utilization jobs, and the Alibaba study estimates that an
+effective GPU-sharing mechanism could cut the required GPU count by
+~50 %.  This module provides the two placement strategies needed to
+check that claim against our simulated Tally:
+
+* **dedicated** — one job per GPU (today's common practice for
+  SLA-bound services);
+* **packed** — greedy first-fit-decreasing bin packing with sharing
+  constraints: at most one high-priority service per GPU, a compute
+  budget per GPU, and the memory-footprint model of
+  :mod:`repro.workloads.memory`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import HarnessError
+from ..gpu import A100_SXM4_40GB, GPUSpec
+from ..workloads import WorkloadKind, get_model
+from ..workloads.memory import A100_MEMORY_BYTES, footprint_of
+
+__all__ = ["ClusterJob", "Placement", "dedicated_placement",
+           "packed_placement"]
+
+
+@dataclass(frozen=True)
+class ClusterJob:
+    """One job to place on the cluster."""
+
+    model: str
+    #: inference only: offered load
+    load: float = 0.5
+    #: latency SLA as a multiple of the isolated p99 (online inference)
+    sla_factor: float = 1.25
+    #: offline/batch inference tolerates latency and runs best-effort,
+    #: so it can share a GPU with an online service (the Fig. 6a setup)
+    offline: bool = False
+    traffic_seed: int = 0
+
+    @property
+    def role(self) -> str:
+        kind = get_model(self.model).kind
+        return "inference" if kind is WorkloadKind.INFERENCE else "training"
+
+    @property
+    def latency_critical(self) -> bool:
+        return self.role == "inference" and not self.offline
+
+    def demand(self, spec: GPUSpec = A100_SXM4_40GB) -> float:
+        """Estimated fraction of one GPU's time the job keeps busy."""
+        model = get_model(self.model)
+        trace = model.build_trace(spec)
+        if self.role == "inference":
+            return self.load
+        return trace.gpu_time / trace.duration
+
+    def memory(self) -> int:
+        return footprint_of(self.model).total
+
+
+@dataclass
+class Placement:
+    """An assignment of jobs to GPUs."""
+
+    bins: list[list[ClusterJob]] = field(default_factory=list)
+
+    @property
+    def gpus_used(self) -> int:
+        return len(self.bins)
+
+    def jobs(self) -> list[ClusterJob]:
+        return [job for gpu in self.bins for job in gpu]
+
+    def validate(self, capacity_bytes: int = A100_MEMORY_BYTES) -> None:
+        """Check structural constraints of the placement."""
+        for i, gpu in enumerate(self.bins):
+            if not gpu:
+                raise HarnessError(f"GPU {i} has no jobs")
+            high = [j for j in gpu if j.latency_critical]
+            if len(high) > 1:
+                raise HarnessError(
+                    f"GPU {i} hosts {len(high)} latency-critical services; "
+                    "Tally supports one high-priority task per GPU"
+                )
+            memory = sum(j.memory() for j in gpu)
+            if memory > capacity_bytes:
+                raise HarnessError(
+                    f"GPU {i} memory over-committed "
+                    f"({memory / 1024 ** 3:.1f} GiB)"
+                )
+
+
+def dedicated_placement(jobs: list[ClusterJob]) -> Placement:
+    """One GPU per job."""
+    if not jobs:
+        raise HarnessError("no jobs to place")
+    return Placement(bins=[[job] for job in jobs])
+
+
+def packed_placement(jobs: list[ClusterJob], *,
+                     spec: GPUSpec = A100_SXM4_40GB,
+                     compute_budget: float = 1.25,
+                     capacity_bytes: int = A100_MEMORY_BYTES) -> Placement:
+    """Greedy first-fit-decreasing packing under sharing constraints.
+
+    ``compute_budget`` is the allowed sum of job demand fractions per
+    GPU; values slightly above 1.0 are reasonable because best-effort
+    jobs absorb whatever the high-priority service leaves idle.
+    """
+    if not jobs:
+        raise HarnessError("no jobs to place")
+    if compute_budget <= 0:
+        raise HarnessError("compute_budget must be > 0")
+
+    order = sorted(jobs, key=lambda j: j.demand(spec), reverse=True)
+    bins: list[list[ClusterJob]] = []
+    bin_demand: list[float] = []
+    bin_memory: list[int] = []
+    bin_has_high: list[bool] = []
+
+    for job in order:
+        demand = job.demand(spec)
+        memory = job.memory()
+        is_high = job.latency_critical
+        placed = False
+        for i in range(len(bins)):
+            if is_high and bin_has_high[i]:
+                continue
+            if bin_demand[i] + demand > compute_budget:
+                continue
+            if bin_memory[i] + memory > capacity_bytes:
+                continue
+            bins[i].append(job)
+            bin_demand[i] += demand
+            bin_memory[i] += memory
+            bin_has_high[i] = bin_has_high[i] or is_high
+            placed = True
+            break
+        if not placed:
+            bins.append([job])
+            bin_demand.append(demand)
+            bin_memory.append(memory)
+            bin_has_high.append(is_high)
+
+    placement = Placement(bins=bins)
+    placement.validate(capacity_bytes)
+    return placement

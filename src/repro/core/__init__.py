@@ -1,0 +1,37 @@
+"""Tally core: transformation service, profiler, and scheduler.
+
+Two halves share the transformation machinery:
+
+* the **functional path** (:class:`TallyServer`, :func:`connect_runtime`)
+  proves non-intrusiveness — unmodified applications execute through
+  the virtualization layer with transformed kernels and identical
+  results;
+* the **timing path** (:class:`Tally`) runs the paper's priority-aware
+  block-level scheduling algorithm over the discrete-event GPU and
+  produces the evaluation numbers.
+"""
+
+from .candidates import SchedConfig, SchedKind, generate_candidates
+from .client import connect_runtime
+from .config import DEFAULT_TURNAROUND_BOUND, TallyConfig
+from .profiler import Measurement, TransparentProfiler
+from .scheduler import Tally, TallyStats
+from .server import TallyServer
+from .transformer import ExecMode, ExecPlan, KernelTransformer
+
+__all__ = [
+    "DEFAULT_TURNAROUND_BOUND",
+    "ExecMode",
+    "ExecPlan",
+    "KernelTransformer",
+    "Measurement",
+    "SchedConfig",
+    "SchedKind",
+    "Tally",
+    "TallyConfig",
+    "TallyServer",
+    "TallyStats",
+    "TransparentProfiler",
+    "connect_runtime",
+    "generate_candidates",
+]

@@ -1,0 +1,103 @@
+"""Candidate launch-configuration generation (paper §4.2).
+
+For each best-effort kernel the scheduler considers both primitives:
+
+* **preemption** — worker counts that are "multiples of the number of
+  SMs that fit within the thread limit";
+* **slicing** — slice sizes covering "different percentages of the
+  total blocks".
+
+:func:`generate_candidates` enumerates the deduplicated candidate set
+for a kernel on a given GPU; the transparent profiler measures each and
+the scheduler picks the best one under the turnaround bound.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..errors import SchedulerError
+from ..gpu.kernel import KernelDescriptor
+from ..gpu.specs import GPUSpec
+from .config import TallyConfig
+
+__all__ = ["SchedKind", "SchedConfig", "generate_candidates"]
+
+
+class SchedKind(enum.Enum):
+    """How a best-effort kernel is scheduled."""
+
+    ORIGINAL = "original"
+    SLICED = "sliced"
+    PTB = "ptb"
+
+
+@dataclass(frozen=True)
+class SchedConfig:
+    """One scheduling configuration of a best-effort kernel."""
+
+    kind: SchedKind
+    #: blocks per slice (SLICED) — 0 otherwise
+    blocks_per_slice: int = 0
+    #: persistent worker blocks (PTB) — 0 otherwise
+    workers: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind is SchedKind.SLICED and self.blocks_per_slice < 1:
+            raise SchedulerError("SLICED config needs blocks_per_slice >= 1")
+        if self.kind is SchedKind.PTB and self.workers < 1:
+            raise SchedulerError("PTB config needs workers >= 1")
+
+    def describe(self) -> str:
+        """Short human-readable form for reports."""
+        if self.kind is SchedKind.SLICED:
+            return f"sliced({self.blocks_per_slice})"
+        if self.kind is SchedKind.PTB:
+            return f"ptb({self.workers})"
+        return "original"
+
+
+ORIGINAL_CONFIG = SchedConfig(SchedKind.ORIGINAL)
+
+
+def generate_candidates(descriptor: KernelDescriptor, spec: GPUSpec,
+                        config: TallyConfig) -> list[SchedConfig]:
+    """All candidate configurations for a best-effort kernel.
+
+    Candidates are ordered cheapest-footprint first (fewest workers /
+    smallest slices), which is also the profiling order.  Kernels too
+    small to subdivide get only the ORIGINAL configuration — a kernel of
+    a handful of short blocks already has block-level turnaround.
+    """
+    candidates: list[SchedConfig] = []
+    seen: set[tuple] = set()
+
+    capacity = descriptor.capacity(spec)
+    for multiple in config.worker_sm_multiples:
+        workers = multiple * spec.num_sms
+        if workers > capacity:
+            break
+        if workers >= descriptor.num_blocks:
+            # More workers than work: PTB degenerates to the original
+            # launch with added overhead; skip.
+            break
+        key = ("ptb", workers)
+        if key not in seen:
+            seen.add(key)
+            candidates.append(SchedConfig(SchedKind.PTB, workers=workers))
+
+    for fraction in config.slice_fractions:
+        blocks = max(1, int(descriptor.num_blocks * fraction))
+        if blocks >= descriptor.num_blocks:
+            continue  # one slice == original launch
+        key = ("sliced", blocks)
+        if key not in seen:
+            seen.add(key)
+            candidates.append(
+                SchedConfig(SchedKind.SLICED, blocks_per_slice=blocks)
+            )
+
+    if not candidates:
+        candidates.append(ORIGINAL_CONFIG)
+    return candidates

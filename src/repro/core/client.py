@@ -1,0 +1,31 @@
+"""Client-side convenience: attach an application to a Tally server.
+
+``connect_runtime`` builds a :class:`~repro.runtime.api.CudaRuntime`
+whose backend forwards through the virtualization layer to a
+:class:`~repro.core.server.TallyServer` — the LD_PRELOAD moment.  An
+application written against ``CudaRuntime`` needs no change to run
+under Tally; swapping this constructor for a plain ``CudaRuntime()``
+switches between native and virtualized execution.
+"""
+
+from __future__ import annotations
+
+from ..baselines.base import Priority
+from ..runtime.api import CudaRuntime
+from ..virt.channel import ChannelConfig, SHARED_MEMORY
+from ..virt.interposer import InterposedBackend
+from .server import TallyServer
+from .transformer import ExecPlan
+
+__all__ = ["connect_runtime"]
+
+
+def connect_runtime(server: TallyServer, client_id: str,
+                    priority: Priority = Priority.BEST_EFFORT, *,
+                    plan: ExecPlan | None = None,
+                    channel_config: ChannelConfig = SHARED_MEMORY) -> CudaRuntime:
+    """A CUDA runtime whose device calls are served by ``server``."""
+    channel = server.connect(client_id, priority, plan=plan,
+                             channel_config=channel_config)
+    backend = InterposedBackend(channel, client_id)
+    return CudaRuntime(backend)

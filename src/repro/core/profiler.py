@@ -1,0 +1,189 @@
+"""Tally's transparent profiler (paper §4.2).
+
+Tally cannot require offline profiling (its criticism of Orion), so it
+measures candidate launch configurations *on the fly*: the first
+executions of a best-effort kernel each try one candidate and record
+two quantities —
+
+* **turnaround latency**: how quickly the configuration releases the
+  GPU on preemption (a slice's completion time, or a PTB launch's
+  per-iteration time via the paper's ``kernel_latency /
+  (total_blocks / worker_blocks)`` heuristic);
+* **duration**: the kernel's total execution time under the
+  configuration (the best-effort throughput cost).
+
+Once every candidate has a measurement, :meth:`TransparentProfiler.
+choose` returns the fastest configuration whose turnaround meets the
+bound, falling back to the lowest-turnaround one if none qualifies.
+Repeat measurements update an exponential moving average, so the
+profile adapts if co-location conditions shift.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import SchedulerError
+from ..gpu.kernel import KernelDescriptor
+from ..gpu.specs import GPUSpec
+from .candidates import ORIGINAL_CONFIG, SchedConfig, generate_candidates
+from .config import TallyConfig
+
+__all__ = ["Measurement", "TransparentProfiler"]
+
+#: EWMA weight of a new sample.
+_ALPHA = 0.3
+
+
+@dataclass
+class Measurement:
+    """Running measurement of one (kernel, configuration) pair."""
+
+    turnaround: float
+    duration: float
+    samples: int = 1
+
+    def update(self, turnaround: float, duration: float) -> None:
+        """Fold in one more sample (exponential moving average)."""
+        self.turnaround += _ALPHA * (turnaround - self.turnaround)
+        self.duration += _ALPHA * (duration - self.duration)
+        self.samples += 1
+
+
+class TransparentProfiler:
+    """Runtime measurement cache for best-effort launch configurations."""
+
+    def __init__(self, spec: GPUSpec, config: TallyConfig) -> None:
+        self.spec = spec
+        self.config = config
+        self._candidates: dict[str, list[SchedConfig]] = {}
+        self._measurements: dict[tuple[str, SchedConfig], Measurement] = {}
+        self._prewarmed: set[str] = set()
+        self.profiling_runs = 0
+        self.decisions = 0
+
+    # ------------------------------------------------------------------
+    def prewarm(self, descriptor: KernelDescriptor) -> None:
+        """Seed every candidate with the analytic cost model's estimate.
+
+        Models a server whose profile cache is already warm; runtime
+        measurements keep refining the entries.
+        """
+        if descriptor.name in self._prewarmed:
+            return
+        self._prewarmed.add(descriptor.name)
+        from .candidates import SchedKind
+
+        for candidate in self.candidates(descriptor):
+            key = (descriptor.name, candidate)
+            if key in self._measurements:
+                continue
+            if candidate.kind is SchedKind.SLICED:
+                turnaround = descriptor.slice_duration(
+                    self.spec, candidate.blocks_per_slice)
+                duration = descriptor.sliced_duration(
+                    self.spec, candidate.blocks_per_slice)
+            elif candidate.kind is SchedKind.PTB:
+                turnaround = descriptor.ptb_iteration_duration()
+                duration = descriptor.ptb_duration(candidate.workers)
+            else:
+                turnaround = descriptor.duration(self.spec)
+                duration = turnaround
+            self._measurements[key] = Measurement(turnaround, duration)
+
+    # ------------------------------------------------------------------
+    def candidates(self, descriptor: KernelDescriptor) -> list[SchedConfig]:
+        """Candidate configurations for ``descriptor`` (cached by name)."""
+        cached = self._candidates.get(descriptor.name)
+        if cached is None:
+            cached = generate_candidates(descriptor, self.spec, self.config)
+            self._candidates[descriptor.name] = cached
+        return cached
+
+    def lookup(self, descriptor: KernelDescriptor,
+               config: SchedConfig) -> Measurement | None:
+        """The stored measurement, or None if never profiled."""
+        return self._measurements.get((descriptor.name, config))
+
+    def record(self, descriptor: KernelDescriptor, config: SchedConfig,
+               turnaround: float, duration: float) -> None:
+        """Store one measurement sample."""
+        if turnaround < 0 or duration < 0:
+            raise SchedulerError("measurements must be non-negative")
+        key = (descriptor.name, config)
+        existing = self._measurements.get(key)
+        if existing is None:
+            self._measurements[key] = Measurement(turnaround, duration)
+        else:
+            existing.update(turnaround, duration)
+
+    # ------------------------------------------------------------------
+    def choose(self, descriptor: KernelDescriptor) -> tuple[SchedConfig, bool]:
+        """Pick the launch configuration for one best-effort execution.
+
+        Returns ``(config, is_profiling_run)``.  While unmeasured
+        candidates remain, each execution profiles the next one; after
+        that, the best measured configuration is used (paper Fig. 3,
+        ``launch_and_profile``).
+        """
+        if self.config.prewarm_profiles:
+            self.prewarm(descriptor)
+        candidates = self.candidates(descriptor)
+        for candidate in candidates:
+            if (descriptor.name, candidate) not in self._measurements:
+                self.profiling_runs += 1
+                return candidate, True
+
+        self.decisions += 1
+        bound = self.config.turnaround_latency_bound
+        feasible: list[tuple[float, float, SchedConfig]] = []
+        fallback: list[tuple[float, float, SchedConfig]] = []
+        for candidate in candidates:
+            m = self._measurements[(descriptor.name, candidate)]
+            fallback.append((m.turnaround, m.duration, candidate))
+            if m.turnaround <= bound:
+                feasible.append((m.duration, m.turnaround, candidate))
+        if feasible:
+            return min(feasible, key=lambda item: item[:2])[2], False
+        # Nothing meets the bound.  Chasing the absolute minimum
+        # turnaround can be ruinous (a sub-capacity slice releases the
+        # GPU marginally sooner than a PTB launch but serializes partial
+        # waves, multiplying the kernel's duration), so accept any
+        # config within 2x of the best turnaround and take the fastest.
+        best_turnaround = min(item[0] for item in fallback)
+        pool = [item for item in fallback
+                if item[0] <= 2.0 * best_turnaround]
+        return min(pool, key=lambda item: (item[1], item[0]))[2], False
+
+    def best_known(self, descriptor: KernelDescriptor) -> SchedConfig:
+        """The configuration :meth:`choose` would settle on (no profiling)."""
+        candidates = self.candidates(descriptor)
+        measured = [
+            c for c in candidates
+            if (descriptor.name, c) in self._measurements
+        ]
+        if not measured:
+            return candidates[0] if candidates else ORIGINAL_CONFIG
+        bound = self.config.turnaround_latency_bound
+        feasible = [
+            c for c in measured
+            if self._measurements[(descriptor.name, c)].turnaround <= bound
+        ]
+        if feasible:
+            return min(feasible, key=lambda c: (
+                self._measurements[(descriptor.name, c)].duration,
+                self._measurements[(descriptor.name, c)].turnaround,
+            ))
+        best_turnaround = min(
+            self._measurements[(descriptor.name, c)].turnaround
+            for c in measured
+        )
+        pool = [
+            c for c in measured
+            if self._measurements[(descriptor.name, c)].turnaround
+            <= 2.0 * best_turnaround
+        ]
+        return min(pool, key=lambda c: (
+            self._measurements[(descriptor.name, c)].duration,
+            self._measurements[(descriptor.name, c)].turnaround,
+        ))

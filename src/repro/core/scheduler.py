@@ -1,0 +1,292 @@
+"""Tally's priority-aware scheduler (paper §4.2, Figure 3).
+
+The scheduling policy is opportunistic and strictly priority-enforced:
+
+* kernels from the high-priority client dispatch **immediately** at
+  device priority 0, and every active best-effort execution is
+  preempted (PTB launches via their flag; sliced launches by not
+  starting the next slice);
+* best-effort kernels execute only while the high-priority client is
+  inactive, under the launch configuration selected by the transparent
+  profiler (slicing degree or PTB worker count meeting the turnaround
+  bound);
+* preempted best-effort work resumes exactly where it stopped — the
+  next slice offset, or the PTB task counter.
+
+With ``use_transformations=False`` best-effort kernels launch whole and
+unpreemptible, reproducing the paper's "scheduling w/o transformation"
+ablation (Fig. 6b).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..baselines.base import ClientInfo, Priority, SharingPolicy
+from ..errors import SchedulerError
+from ..gpu.device import DeviceLaunch, GPUDevice, LaunchStatus
+from ..gpu.engine import EventLoop
+from ..gpu.kernel import KernelDescriptor, LaunchConfig, LaunchKind
+from .candidates import ORIGINAL_CONFIG, SchedConfig, SchedKind
+from .config import TallyConfig
+from .profiler import TransparentProfiler
+
+__all__ = ["Tally", "TallyStats"]
+
+
+@dataclass
+class TallyStats:
+    """Scheduler activity counters."""
+
+    hp_kernels: int = 0
+    be_kernels: int = 0
+    preemptions: int = 0
+    slices_launched: int = 0
+    ptb_launches: int = 0
+    resumes: int = 0
+
+
+@dataclass
+class _BEExecution:
+    """One best-effort kernel making its way through the scheduler."""
+
+    descriptor: KernelDescriptor
+    on_done: Callable[[], None]
+    config: SchedConfig | None = None
+    profiling: bool = False
+    launch: DeviceLaunch | None = None  # in-flight device launch
+    next_block: int = 0  # sliced: first block of the next slice
+    tasks_remaining: int = 0  # ptb: logical blocks still to run
+    active_time: float = 0.0  # accumulated execution time
+    slice_times: list[float] = field(default_factory=list)
+    segments: int = 0  # ptb: launch segments (resume count)
+
+
+class Tally(SharingPolicy):
+    """The Tally server's scheduling policy over the timing simulator."""
+
+    name = "Tally"
+
+    def __init__(self, device: GPUDevice, engine: EventLoop,
+                 config: TallyConfig | None = None) -> None:
+        super().__init__(device, engine)
+        self.config = config if config is not None else TallyConfig()
+        self.profiler = TransparentProfiler(device.spec, self.config)
+        self.stats = TallyStats()
+        self._hp_outstanding = 0
+        self._executions: dict[str, _BEExecution] = {}  # client -> active exec
+
+    # ------------------------------------------------------------------
+    # Submission entry point
+    # ------------------------------------------------------------------
+    def _submit(self, info: ClientInfo, descriptor: KernelDescriptor,
+                on_done: Callable[[], None]) -> None:
+        if info.priority is Priority.HIGH:
+            self._submit_high_priority(info, descriptor, on_done)
+        else:
+            self._submit_best_effort(info, descriptor, on_done)
+
+    def _submit_high_priority(self, info: ClientInfo,
+                              descriptor: KernelDescriptor,
+                              on_done: Callable[[], None]) -> None:
+        self.stats.hp_kernels += 1
+        self._hp_outstanding += 1
+        self._preempt_best_effort()
+        launch = DeviceLaunch(
+            descriptor,
+            client_id=info.client_id,
+            priority=0,
+            on_complete=lambda _l: self._high_priority_done(on_done),
+        )
+        self.device.submit(launch)
+
+    def _high_priority_done(self, on_done: Callable[[], None]) -> None:
+        self._hp_outstanding -= 1
+        on_done()  # the client may submit its next kernel synchronously
+        if self._hp_outstanding == 0:
+            self._resume_best_effort()
+
+    def _submit_best_effort(self, info: ClientInfo,
+                            descriptor: KernelDescriptor,
+                            on_done: Callable[[], None]) -> None:
+        if info.client_id in self._executions:
+            raise SchedulerError(
+                f"client {info.client_id!r} submitted a kernel while one "
+                "is still executing (clients are stream-ordered)"
+            )
+        self.stats.be_kernels += 1
+        execution = _BEExecution(descriptor, on_done)
+        execution.tasks_remaining = descriptor.num_blocks
+        self._executions[info.client_id] = execution
+        self._advance(info.client_id, execution)
+
+    # ------------------------------------------------------------------
+    # Priority enforcement
+    # ------------------------------------------------------------------
+    @property
+    def high_priority_active(self) -> bool:
+        return self._hp_outstanding > 0
+
+    def _preempt_best_effort(self) -> None:
+        """Stop every best-effort execution at block granularity."""
+        for execution in self._executions.values():
+            launch = execution.launch
+            if launch is None or launch.done:
+                continue
+            if launch.config.kind is LaunchKind.PTB:
+                self.device.preempt(launch)
+                self.stats.preemptions += 1
+            # Sliced executions stop by not launching the next slice;
+            # the slice in flight completes (bounded by the profiled
+            # turnaround).  ORIGINAL launches cannot be stopped — that
+            # is exactly the no-transformation ablation's weakness.
+
+    def _resume_best_effort(self) -> None:
+        for client_id in list(self._executions):
+            execution = self._executions.get(client_id)
+            if execution is not None and execution.launch is None:
+                self.stats.resumes += 1
+                self._advance(client_id, execution)
+
+    # ------------------------------------------------------------------
+    # Best-effort execution state machine
+    # ------------------------------------------------------------------
+    def _advance(self, client_id: str, execution: _BEExecution) -> None:
+        """Start or continue a best-effort execution if allowed."""
+        if self.high_priority_active or execution.launch is not None:
+            return
+
+        if execution.config is None:
+            if self.config.use_transformations:
+                execution.config, execution.profiling = (
+                    self.profiler.choose(execution.descriptor)
+                )
+            else:
+                execution.config, execution.profiling = ORIGINAL_CONFIG, False
+
+        kind = execution.config.kind
+        if kind is SchedKind.SLICED:
+            self._launch_slice(client_id, execution)
+        elif kind is SchedKind.PTB:
+            self._launch_ptb(client_id, execution)
+        else:
+            self._launch_original(client_id, execution)
+
+    def _launch_original(self, client_id: str,
+                         execution: _BEExecution) -> None:
+        launch = DeviceLaunch(
+            execution.descriptor,
+            client_id=client_id,
+            priority=self.config.best_effort_priority,
+            on_complete=lambda l: self._original_done(client_id, execution, l),
+        )
+        execution.launch = launch
+        self.device.submit(launch)
+
+    def _original_done(self, client_id: str, execution: _BEExecution,
+                       launch: DeviceLaunch) -> None:
+        execution.launch = None
+        execution.active_time += self._elapsed(launch)
+        self._finish(client_id, execution)
+
+    def _launch_slice(self, client_id: str, execution: _BEExecution) -> None:
+        assert execution.config is not None
+        remaining = execution.descriptor.num_blocks - execution.next_block
+        blocks = min(execution.config.blocks_per_slice, remaining)
+        launch = DeviceLaunch(
+            execution.descriptor,
+            client_id=client_id,
+            priority=self.config.best_effort_priority,
+            blocks=blocks,
+            block_offset=execution.next_block,
+            on_complete=lambda l: self._slice_done(client_id, execution, l),
+        )
+        execution.launch = launch
+        self.stats.slices_launched += 1
+        self.device.submit(launch)
+
+    def _slice_done(self, client_id: str, execution: _BEExecution,
+                    launch: DeviceLaunch) -> None:
+        execution.launch = None
+        elapsed = self._elapsed(launch)
+        execution.active_time += elapsed + self.device.spec.kernel_launch_overhead
+        execution.slice_times.append(elapsed)
+        execution.next_block += launch.total_blocks
+        execution.tasks_remaining = (
+            execution.descriptor.num_blocks - execution.next_block
+        )
+        if execution.next_block >= execution.descriptor.num_blocks:
+            self._record_sliced(execution)
+            self._finish(client_id, execution)
+        elif not self.high_priority_active:
+            self._launch_slice(client_id, execution)
+        # else: paused; _resume_best_effort continues from next_block.
+
+    def _launch_ptb(self, client_id: str, execution: _BEExecution) -> None:
+        assert execution.config is not None
+        launch = DeviceLaunch(
+            execution.descriptor,
+            LaunchConfig(LaunchKind.PTB, workers=execution.config.workers),
+            client_id=client_id,
+            priority=self.config.best_effort_priority,
+            blocks=execution.tasks_remaining,
+            block_offset=(execution.descriptor.num_blocks
+                          - execution.tasks_remaining),
+            on_complete=lambda l: self._ptb_done(client_id, execution, l),
+        )
+        execution.launch = launch
+        execution.segments += 1
+        self.stats.ptb_launches += 1
+        self.device.submit(launch)
+
+    def _ptb_done(self, client_id: str, execution: _BEExecution,
+                  launch: DeviceLaunch) -> None:
+        execution.launch = None
+        execution.active_time += self._elapsed(launch)
+        execution.tasks_remaining -= launch.tasks_done
+        if launch.status is LaunchStatus.COMPLETED:
+            self._record_ptb(execution)
+            self._finish(client_id, execution)
+        elif not self.high_priority_active:
+            # Preempted, but the high-priority burst already ended.
+            self._launch_ptb(client_id, execution)
+        # else: resumed by _resume_best_effort from the task counter.
+
+    # ------------------------------------------------------------------
+    def _finish(self, client_id: str, execution: _BEExecution) -> None:
+        del self._executions[client_id]
+        execution.on_done()
+
+    @staticmethod
+    def _elapsed(launch: DeviceLaunch) -> float:
+        if math.isnan(launch.started_at):
+            return 0.0
+        return launch.finished_at - launch.started_at
+
+    # ------------------------------------------------------------------
+    # Profiling measurements (paper §4.2)
+    # ------------------------------------------------------------------
+    def _record_sliced(self, execution: _BEExecution) -> None:
+        assert execution.config is not None
+        if not execution.slice_times:
+            return
+        turnaround = max(execution.slice_times)
+        self.profiler.record(
+            execution.descriptor, execution.config,
+            turnaround=turnaround, duration=execution.active_time,
+        )
+
+    def _record_ptb(self, execution: _BEExecution) -> None:
+        assert execution.config is not None
+        workers = execution.config.workers
+        total = execution.descriptor.num_blocks
+        iterations = max(1, math.ceil(total / workers))
+        # The paper's heuristic: turnaround = kernel latency divided by
+        # blocks per worker, i.e. the per-iteration time.
+        turnaround = execution.active_time / iterations
+        self.profiler.record(
+            execution.descriptor, execution.config,
+            turnaround=turnaround, duration=execution.active_time,
+        )

@@ -1,0 +1,134 @@
+"""The Tally server (functional path).
+
+One server process owns the device and executes work on behalf of all
+client processes.  Each client keeps its own address space (memory
+image, registered device code); the server transforms and runs kernels
+transparently — clients cannot tell whether their kernels ran original,
+sliced, or as persistent thread blocks.
+
+This module is the functional-correctness half of Tally; the timing
+half (priority-aware scheduling over the discrete-event GPU) is
+:mod:`repro.core.scheduler`.  They share the transformation machinery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..baselines.base import Priority
+from ..errors import ReproError, VirtError
+from ..ptx.interpreter import Interpreter
+from ..runtime.memory import MemoryManager
+from ..runtime.registration import ModuleRegistry
+from ..virt.channel import Channel, ChannelConfig, SHARED_MEMORY
+from ..virt.protocol import (
+    FreeRequest,
+    LaunchKernelRequest,
+    MallocRequest,
+    MemcpyD2HRequest,
+    MemcpyH2DRequest,
+    RegisterBinaryRequest,
+    Request,
+    Response,
+    SynchronizeRequest,
+)
+from .transformer import ExecMode, ExecPlan, KernelTransformer
+
+__all__ = ["ClientState", "TallyServer"]
+
+
+@dataclass
+class ClientState:
+    """Server-side state of one connected client process."""
+
+    client_id: str
+    priority: Priority
+    plan: ExecPlan
+    registry: ModuleRegistry = field(default_factory=ModuleRegistry)
+    memory_manager: MemoryManager = field(default_factory=MemoryManager)
+    interpreter: Interpreter = field(init=False)
+    launches: int = 0
+
+    def __post_init__(self) -> None:
+        self.interpreter = Interpreter(self.memory_manager.memory)
+
+
+class TallyServer:
+    """Handles the virtualization protocol and executes device work."""
+
+    def __init__(self, *,
+                 best_effort_plan: ExecPlan = ExecPlan(ExecMode.PTB)) -> None:
+        self.best_effort_plan = best_effort_plan
+        self.transformer = KernelTransformer()
+        self._clients: dict[str, ClientState] = {}
+        self.requests_handled = 0
+
+    # ------------------------------------------------------------------
+    # Connection management
+    # ------------------------------------------------------------------
+    def connect(self, client_id: str,
+                priority: Priority = Priority.BEST_EFFORT, *,
+                plan: ExecPlan | None = None,
+                channel_config: ChannelConfig = SHARED_MEMORY) -> Channel:
+        """Register a client and return its communication channel.
+
+        High-priority clients always execute original kernels; best-
+        effort clients execute under ``plan`` (default: the server-wide
+        best-effort plan) — the client cannot observe the difference.
+        """
+        if client_id in self._clients:
+            raise VirtError(f"client {client_id!r} already connected")
+        if priority is Priority.HIGH:
+            effective = ExecPlan(ExecMode.ORIGINAL)
+        else:
+            effective = plan if plan is not None else self.best_effort_plan
+        self._clients[client_id] = ClientState(client_id, priority, effective)
+        return Channel(self.handle, channel_config)
+
+    def client(self, client_id: str) -> ClientState:
+        try:
+            return self._clients[client_id]
+        except KeyError:
+            raise VirtError(f"unknown client {client_id!r}") from None
+
+    # ------------------------------------------------------------------
+    # Protocol handling
+    # ------------------------------------------------------------------
+    def handle(self, request: Request) -> Response:
+        """Process one protocol request; never raises (errors go in the
+        response, exactly like a real RPC server)."""
+        self.requests_handled += 1
+        try:
+            return Response.success(self._dispatch(request))
+        except ReproError as exc:
+            return Response.failure(str(exc))
+
+    def _dispatch(self, request: Request) -> Any:
+        state = self.client(request.client_id)
+        if isinstance(request, RegisterBinaryRequest):
+            state.registry.register(request.binary)
+            return None
+        if isinstance(request, MallocRequest):
+            return state.memory_manager.malloc(request.num_elements,
+                                               request.dtype)
+        if isinstance(request, FreeRequest):
+            state.memory_manager.free(request.ref)
+            return None
+        if isinstance(request, MemcpyH2DRequest):
+            state.memory_manager.memcpy_h2d(request.dst, request.data)
+            return None
+        if isinstance(request, MemcpyD2HRequest):
+            return state.memory_manager.memcpy_d2h(request.src,
+                                                   request.num_elements)
+        if isinstance(request, LaunchKernelRequest):
+            kernel = state.registry.lookup(request.kernel_name)
+            self.transformer.execute(
+                state.interpreter, kernel, request.grid, request.block,
+                request.args, state.plan,
+            )
+            state.launches += 1
+            return None
+        if isinstance(request, SynchronizeRequest):
+            return None  # execution is synchronous on the functional path
+        raise VirtError(f"unknown request type {type(request).__name__}")

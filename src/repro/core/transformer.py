@@ -1,0 +1,87 @@
+"""Server-side kernel transformer (functional path).
+
+The Tally server holds every client's registered device code (captured
+at fatbinary registration) and rewrites kernels on demand through the
+cached :class:`~repro.transform.TransformPipeline`.  This module
+executes a kernel launch under a chosen execution mode on the
+functional interpreter — original, sliced, or preemptible — and is what
+makes the end-to-end "application runs unmodified under Tally and
+computes the same results" property testable.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+from ..errors import TransformError
+from ..ptx.interpreter import Interpreter
+from ..ptx.ir import Dim3, KernelIR
+from ..transform import TransformPipeline, plan_slices
+
+__all__ = ["ExecMode", "ExecPlan", "KernelTransformer"]
+
+
+class ExecMode(enum.Enum):
+    """How the server materializes a kernel launch."""
+
+    ORIGINAL = "original"
+    SLICED = "sliced"
+    PTB = "ptb"
+
+
+@dataclass(frozen=True)
+class ExecPlan:
+    """An execution mode plus its parameter."""
+
+    mode: ExecMode = ExecMode.ORIGINAL
+    blocks_per_slice: int = 4
+    workers: int = 4
+
+    def __post_init__(self) -> None:
+        if self.blocks_per_slice < 1:
+            raise TransformError("blocks_per_slice must be >= 1")
+        if self.workers < 1:
+            raise TransformError("workers must be >= 1")
+
+
+class KernelTransformer:
+    """Transforms and executes kernels for the functional server."""
+
+    def __init__(self) -> None:
+        self.pipeline = TransformPipeline()
+        self.executions = 0
+
+    def execute(self, interpreter: Interpreter, kernel: KernelIR,
+                grid: Dim3, block: Dim3, args: Mapping[str, Any],
+                plan: ExecPlan) -> None:
+        """Run one launch under ``plan``; semantics must match original."""
+        self.executions += 1
+        if plan.mode is ExecMode.ORIGINAL:
+            interpreter.launch(kernel, grid, block, args)
+            return
+        if plan.mode is ExecMode.SLICED:
+            sliced = self.pipeline.sliced(kernel)
+            for launch in plan_slices(grid, plan.blocks_per_slice):
+                slice_args = sliced.args_for(args, grid, launch.offset)
+                interpreter.launch(sliced.kernel, launch.grid, block,
+                                   slice_args)
+            return
+        # PTB: fresh control state per launch; workers drain the grid.
+        preemptible = self.pipeline.preemptible(kernel)
+        control = preemptible.make_control(interpreter.memory)
+        try:
+            ptb_args = preemptible.args_for(args, grid, control)
+            workers = min(plan.workers, grid.total)
+            interpreter.launch(preemptible.kernel,
+                               preemptible.worker_grid(workers), block,
+                               ptb_args)
+            if control.tasks_started() < grid.total:
+                raise TransformError(
+                    f"PTB execution of {kernel.name!r} stopped early "
+                    f"({control.tasks_started()}/{grid.total} tasks)"
+                )
+        finally:
+            interpreter.memory.free(control.counter)
+            interpreter.memory.free(control.flag)

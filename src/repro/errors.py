@@ -1,0 +1,73 @@
+"""Exception hierarchy for the Tally reproduction.
+
+Every error raised by this package derives from :class:`ReproError` so
+callers can catch library failures without masking programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class PTXError(ReproError):
+    """Base class for errors in the mini-PTX substrate."""
+
+
+class ValidationError(PTXError):
+    """Raised when a kernel IR fails structural validation."""
+
+
+class ParseError(PTXError):
+    """Raised when textual mini-PTX cannot be parsed."""
+
+
+class ExecutionError(PTXError):
+    """Raised when the functional interpreter hits an illegal state."""
+
+
+class SyncDivergenceError(ExecutionError):
+    """Raised when threads of a block synchronize at divergent points.
+
+    This models the "infinite kernel stall" the paper attributes to
+    divergent synchronization (Section 4.1): some threads of a block wait
+    at a barrier while others have returned or wait at a different
+    barrier.  Real hardware hangs; the interpreter raises instead.
+    """
+
+
+class InstructionLimitExceeded(ExecutionError):
+    """Raised when a thread executes more instructions than allowed."""
+
+
+class MemoryError_(ExecutionError):
+    """Raised on out-of-bounds or wrongly-typed memory accesses."""
+
+
+class TransformError(ReproError):
+    """Raised when a kernel transformation cannot be applied."""
+
+
+class GPUSimError(ReproError):
+    """Base class for errors in the timing simulator."""
+
+
+class RuntimeAPIError(ReproError):
+    """Raised by the CUDA-like runtime API on misuse."""
+
+
+class VirtError(ReproError):
+    """Raised by the virtualization layer (channels, interposer)."""
+
+
+class SchedulerError(ReproError):
+    """Raised by scheduling policies on inconsistent state."""
+
+
+class WorkloadError(ReproError):
+    """Raised when a workload definition is invalid."""
+
+
+class HarnessError(ReproError):
+    """Raised by the experiment harness on bad configuration."""

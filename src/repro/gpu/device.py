@@ -1,0 +1,410 @@
+"""Discrete-event GPU device model.
+
+The device is a pool of resident-block slots and threads (per
+:class:`~repro.gpu.specs.GPUSpec`).  Submitted launches dispatch thread
+blocks into free slots in (priority, submission) order — exactly the
+mechanism by which a long-running best-effort kernel delays a
+high-priority kernel on real hardware: the high-priority blocks must
+wait for resident blocks to drain.
+
+Two launch kinds are modelled:
+
+* ``ORIGINAL`` — every grid block is dispatched once; blocks that start
+  together complete together (one event per wave-batch), which keeps
+  the event count proportional to waves, not blocks.
+* ``PTB`` — ``workers`` persistent blocks hold their slots and consume
+  one logical block per iteration; a preemption request makes workers
+  exit after the iteration in flight, bounding turnaround at one
+  block's duration.
+
+Slicing is realized above the device as a chain of ORIGINAL launches
+over block sub-ranges (see :mod:`repro.core.scheduler`).
+
+A mild ``colocation_slowdown`` factor inflates block durations while
+blocks of more than one client are resident, standing in for memory
+bandwidth and L2 contention that the slot model does not capture.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+import math
+from bisect import insort
+from typing import Callable
+
+from ..errors import GPUSimError
+from .engine import EventLoop
+from .kernel import KernelDescriptor, LaunchConfig, LaunchKind
+from .specs import GPUSpec
+
+__all__ = ["LaunchStatus", "DeviceLaunch", "GPUDevice"]
+
+
+class LaunchStatus(enum.Enum):
+    """Lifecycle of a device launch."""
+
+    PENDING = "pending"  # submitted, not yet dispatched
+    RUNNING = "running"
+    COMPLETED = "completed"
+    PREEMPTED = "preempted"  # stopped early; progress recorded
+
+
+class DeviceLaunch:
+    """One kernel launch resident on (or queued for) the device."""
+
+    __slots__ = (
+        "descriptor", "config", "client_id", "priority", "on_complete",
+        "total_blocks", "block_offset", "blocks_to_start", "blocks_inflight",
+        "blocks_done", "tasks_done", "preempt_requested", "killed",
+        "blocks_killed", "status", "submitted_at", "arrived_at",
+        "started_at", "finished_at", "seq",
+    )
+
+    _seq = itertools.count()
+
+    def __init__(
+        self,
+        descriptor: KernelDescriptor,
+        config: LaunchConfig = LaunchConfig(),
+        *,
+        client_id: str = "default",
+        priority: int = 0,
+        on_complete: Callable[["DeviceLaunch"], None] | None = None,
+        blocks: int | None = None,
+        block_offset: int = 0,
+    ) -> None:
+        self.descriptor = descriptor
+        self.config = config
+        self.client_id = client_id
+        self.priority = priority
+        self.on_complete = on_complete
+        self.total_blocks = (descriptor.num_blocks if blocks is None
+                             else blocks)
+        if self.total_blocks < 1:
+            raise GPUSimError(f"{descriptor.name}: launch needs >= 1 block")
+        self.block_offset = block_offset
+        if config.kind is LaunchKind.PTB:
+            self.blocks_to_start = min(config.workers, self.total_blocks)
+        else:
+            self.blocks_to_start = self.total_blocks
+        self.blocks_inflight = 0
+        self.blocks_done = 0
+        self.tasks_done = 0
+        self.preempt_requested = False
+        self.killed = False
+        self.blocks_killed = 0
+        self.status = LaunchStatus.PENDING
+        self.submitted_at = float("nan")
+        self.arrived_at = float("nan")
+        self.started_at = float("nan")
+        self.finished_at = float("nan")
+        self.seq = next(DeviceLaunch._seq)
+
+    # ------------------------------------------------------------------
+    @property
+    def is_ptb(self) -> bool:
+        return self.config.kind is LaunchKind.PTB
+
+    @property
+    def tasks_remaining(self) -> int:
+        """Logical blocks not yet executed (PTB progress; for resume)."""
+        if self.is_ptb:
+            return self.total_blocks - self.tasks_done
+        return self.total_blocks - self.blocks_done
+
+    @property
+    def done(self) -> bool:
+        return self.status in (LaunchStatus.COMPLETED, LaunchStatus.PREEMPTED)
+
+    def sort_key(self) -> tuple[int, int]:
+        return (self.priority, self.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<DeviceLaunch {self.descriptor.name} {self.config.kind.value}"
+                f" client={self.client_id} {self.status.value}>")
+
+
+class GPUDevice:
+    """The simulated GPU."""
+
+    def __init__(self, spec: GPUSpec, engine: EventLoop, *,
+                 colocation_slowdown: float = 1.15) -> None:
+        if colocation_slowdown < 1.0:
+            raise GPUSimError("colocation_slowdown must be >= 1.0")
+        self.spec = spec
+        self.engine = engine
+        self.colocation_slowdown = colocation_slowdown
+        self._threads_free = spec.total_threads
+        self._slots_free = spec.total_block_slots
+        self._resident: list[DeviceLaunch] = []  # sorted by (priority, seq)
+        self._client_inflight: dict[str, int] = {}
+        self._capacity_cache: dict[int, int] = {}
+        self._rr = 0  # round-robin cursor for same-priority fairness
+        # Utilization accounting (thread-seconds of busy time).
+        self._busy_thread_seconds = 0.0
+        self._last_change = 0.0
+        self.launches_completed = 0
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def submit(self, launch: DeviceLaunch, *,
+               launch_overhead: float | None = None) -> DeviceLaunch:
+        """Queue a launch; it reaches the device after the launch overhead."""
+        if launch.status is not LaunchStatus.PENDING or not math.isnan(
+                launch.submitted_at):
+            raise GPUSimError(f"launch {launch!r} already submitted")
+        overhead = (self.spec.kernel_launch_overhead
+                    if launch_overhead is None else launch_overhead)
+        launch.submitted_at = self.engine.now
+        self.engine.schedule(overhead, lambda: self._arrive(launch))
+        return launch
+
+    def preempt(self, launch: DeviceLaunch) -> None:
+        """Request preemption: no new blocks start; in-flight blocks finish.
+
+        For PTB launches workers exit after their current iteration, so
+        the device is released within one block duration.  For ORIGINAL
+        launches only not-yet-started blocks are cancelled (real GPUs
+        cannot stop a running block), and progress is recorded so a
+        sliced execution can continue from ``blocks_done``.
+        """
+        if launch.done:
+            return
+        launch.preempt_requested = True
+        # If nothing is in flight and the launch has already reached the
+        # device (it may have been starved of slots and never started),
+        # retire it immediately; a launch still in its submission delay
+        # is retired by _arrive instead.
+        if launch.blocks_inflight == 0 and not math.isnan(launch.arrived_at):
+            self._finalize(launch)
+
+    def kill(self, launch: DeviceLaunch) -> None:
+        """Reset-based preemption (REEF-style): discard in-flight work.
+
+        All of the launch's resident blocks terminate immediately and
+        their partial work is lost — only sound for *idempotent*
+        kernels, which is exactly the applicability restriction the
+        paper criticizes REEF for.  The launch retires as PREEMPTED with
+        ``blocks_done`` counting only fully completed blocks, so a
+        restart re-executes everything else.
+        """
+        if launch.done:
+            return
+        launch.preempt_requested = True
+        launch.killed = True
+        if launch.blocks_inflight > 0:
+            # The batch completion events still fire, but the resources
+            # are returned now and the events become no-ops.
+            self._account()
+            tpb = launch.descriptor.threads_per_block
+            self._threads_free += launch.blocks_inflight * tpb
+            self._slots_free += launch.blocks_inflight
+            self._client_inflight[launch.client_id] -= launch.blocks_inflight
+            launch.blocks_killed += launch.blocks_inflight
+            launch.blocks_inflight = 0
+        if not math.isnan(launch.arrived_at):
+            self._finalize(launch)
+
+    def busy_for_client(self, client_id: str) -> bool:
+        """Whether any block of ``client_id`` is resident or queued."""
+        return any(l.client_id == client_id for l in self._resident)
+
+    @property
+    def threads_free(self) -> int:
+        return self._threads_free
+
+    @property
+    def slots_free(self) -> int:
+        return self._slots_free
+
+    @property
+    def resident_launches(self) -> tuple[DeviceLaunch, ...]:
+        return tuple(self._resident)
+
+    def utilization(self) -> float:
+        """Mean fraction of thread capacity busy since t=0."""
+        self._account()
+        if self.engine.now <= 0:
+            return 0.0
+        return self._busy_thread_seconds / (
+            self.engine.now * self.spec.total_threads
+        )
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _account(self) -> None:
+        busy = self.spec.total_threads - self._threads_free
+        self._busy_thread_seconds += busy * (self.engine.now - self._last_change)
+        self._last_change = self.engine.now
+
+    def _arrive(self, launch: DeviceLaunch) -> None:
+        launch.arrived_at = self.engine.now
+        insort(self._resident, launch, key=DeviceLaunch.sort_key)
+        if launch.preempt_requested and launch.blocks_inflight == 0:
+            # Preempted before it ever dispatched.
+            self._finalize(launch)
+            return
+        self._dispatch()
+
+    def _capacity(self, threads_per_block: int) -> int:
+        cached = self._capacity_cache.get(threads_per_block)
+        if cached is None:
+            cached = self.spec.concurrent_blocks(threads_per_block)
+            self._capacity_cache[threads_per_block] = cached
+        return cached
+
+    def _dispatch(self) -> None:
+        """Start pending blocks: strict priority between levels, fair
+        round-robin within a level (concurrent grids on real hardware
+        interleave their blocks rather than strictly serializing)."""
+        resident = self._resident
+        i = 0
+        n = len(resident)
+        while i < n and self._slots_free > 0:
+            priority = resident[i].priority
+            j = i
+            group: list[DeviceLaunch] = []
+            while j < n and resident[j].priority == priority:
+                launch = resident[j]
+                if launch.blocks_to_start > 0 and not launch.preempt_requested:
+                    group.append(launch)
+                j += 1
+            if group:
+                self._dispatch_group(group)
+            i = j
+
+    def _dispatch_group(self, group: list[DeviceLaunch]) -> None:
+        if len(group) > 1:
+            self._rr = (self._rr + 1) % len(group)
+            group = group[self._rr:] + group[:self._rr]
+        progress = True
+        while progress and self._slots_free > 0:
+            progress = False
+            pending = [l for l in group if l.blocks_to_start > 0]
+            if not pending:
+                return
+            share = max(1, self._slots_free // len(pending))
+            for launch in pending:
+                tpb = launch.descriptor.threads_per_block
+                fit = min(
+                    self._threads_free // tpb,
+                    self._slots_free,
+                    launch.blocks_to_start,
+                )
+                if len(pending) > 1:
+                    fit = min(fit, share)
+                if fit <= 0:
+                    continue
+                # Coalesce: avoid shredding big grids into slivers (each
+                # batch is one simulation event).  Small remainders and
+                # small kernels always go through.
+                min_chunk = min(launch.blocks_to_start,
+                                max(1, self._capacity(tpb) // 8))
+                if fit < min_chunk:
+                    continue
+                self._start_batch(launch, fit)
+                progress = True
+
+    def _colocated(self, client_id: str) -> bool:
+        others = [c for c, n in self._client_inflight.items()
+                  if n > 0 and c != client_id]
+        return bool(others)
+
+    def _block_duration(self, launch: DeviceLaunch) -> float:
+        duration = launch.descriptor.block_duration
+        if self._colocated(launch.client_id):
+            duration *= self.colocation_slowdown
+        return duration
+
+    def _start_batch(self, launch: DeviceLaunch, count: int) -> None:
+        self._account()
+        tpb = launch.descriptor.threads_per_block
+        threads = count * tpb
+        self._threads_free -= threads
+        self._slots_free -= count
+        launch.blocks_to_start -= count
+        launch.blocks_inflight += count
+        self._client_inflight[launch.client_id] = (
+            self._client_inflight.get(launch.client_id, 0) + count
+        )
+        if launch.status is LaunchStatus.PENDING:
+            launch.status = LaunchStatus.RUNNING
+            launch.started_at = self.engine.now
+
+        if launch.is_ptb:
+            duration = self._ptb_iteration_duration(launch)
+            self.engine.schedule(
+                duration, lambda: self._ptb_iteration(launch, count, threads)
+            )
+        else:
+            duration = self._block_duration(launch)
+            self.engine.schedule(
+                duration, lambda: self._finish_batch(launch, count, threads)
+            )
+
+    def _release(self, launch: DeviceLaunch, count: int, threads: int) -> None:
+        self._account()
+        self._threads_free += threads
+        self._slots_free += count
+        launch.blocks_inflight -= count
+        self._client_inflight[launch.client_id] -= count
+
+    def _finish_batch(self, launch: DeviceLaunch, count: int,
+                      threads: int) -> None:
+        if launch.killed:
+            return  # resources already reclaimed by kill()
+        self._release(launch, count, threads)
+        launch.blocks_done += count
+        finished = (launch.blocks_inflight == 0
+                    and (launch.blocks_to_start == 0
+                         or launch.preempt_requested))
+        if finished:
+            self._finalize(launch)
+        else:
+            self._dispatch()
+
+    def _ptb_iteration_duration(self, launch: DeviceLaunch) -> float:
+        desc = launch.descriptor
+        base = self._block_duration(launch)
+        from .kernel import PTB_ITERATION_OVERHEAD
+
+        return base * (1.0 + desc.ptb_overhead_fraction) + PTB_ITERATION_OVERHEAD
+
+    def _ptb_iteration(self, launch: DeviceLaunch, workers: int,
+                       threads: int) -> None:
+        if launch.killed:
+            return  # resources already reclaimed by kill()
+        remaining = launch.total_blocks - launch.tasks_done
+        consumed = min(workers, remaining)
+        launch.tasks_done += consumed
+        launch.blocks_done = launch.tasks_done
+        stop = (launch.preempt_requested
+                or launch.tasks_done >= launch.total_blocks)
+        if stop:
+            self._release(launch, workers, threads)
+            if launch.blocks_inflight == 0:
+                self._finalize(launch)
+            else:
+                self._dispatch()
+        else:
+            duration = self._ptb_iteration_duration(launch)
+            self.engine.schedule(
+                duration, lambda: self._ptb_iteration(launch, workers, threads)
+            )
+
+    def _finalize(self, launch: DeviceLaunch) -> None:
+        completed = launch.tasks_remaining <= 0
+        launch.status = (LaunchStatus.COMPLETED if completed
+                         else LaunchStatus.PREEMPTED)
+        launch.finished_at = self.engine.now
+        try:
+            self._resident.remove(launch)
+        except ValueError:
+            pass
+        self.launches_completed += 1
+        self._dispatch()
+        if launch.on_complete is not None:
+            launch.on_complete(launch)

@@ -1,0 +1,131 @@
+"""Discrete-event simulation engine.
+
+A minimal, fast event loop: events are ``(time, seq, callback)`` triples
+in a binary heap.  All simulated time is in **seconds** (floats).  The
+engine is deliberately free of domain knowledge — the GPU device,
+schedulers, and workload drivers all build on it.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable
+
+from ..errors import GPUSimError
+
+__all__ = ["Event", "EventLoop"]
+
+
+class Event:
+    """A scheduled callback; cancellable until it fires."""
+
+    __slots__ = ("time", "seq", "fn", "cancelled")
+
+    def __init__(self, time: float, seq: int, fn: Callable[[], None]):
+        self.time = time
+        self.seq = seq
+        self.fn = fn
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the event from firing (O(1); removed lazily)."""
+        self.cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = " cancelled" if self.cancelled else ""
+        return f"<Event t={self.time:.9f}{state}>"
+
+
+class EventLoop:
+    """A deterministic discrete-event loop.
+
+    Ties are broken by scheduling order, so runs are reproducible.
+    """
+
+    def __init__(self) -> None:
+        self.now = 0.0
+        self._heap: list[Event] = []
+        self._seq = itertools.count()
+        self.events_processed = 0
+
+    def schedule_at(self, time: float, fn: Callable[[], None]) -> Event:
+        """Schedule ``fn`` to run at absolute simulation time ``time``."""
+        if time < self.now:
+            raise GPUSimError(
+                f"cannot schedule event at {time:.9f} before now ({self.now:.9f})"
+            )
+        event = Event(time, next(self._seq), fn)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def schedule(self, delay: float, fn: Callable[[], None]) -> Event:
+        """Schedule ``fn`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise GPUSimError(f"negative delay {delay!r}")
+        return self.schedule_at(self.now + delay, fn)
+
+    def call_soon(self, fn: Callable[[], None]) -> Event:
+        """Schedule ``fn`` at the current time (after pending same-time events)."""
+        return self.schedule_at(self.now, fn)
+
+    @property
+    def pending(self) -> int:
+        """Number of events still queued (including cancelled ones)."""
+        return len(self._heap)
+
+    def peek_time(self) -> float | None:
+        """Time of the next live event, or None if the queue is empty."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None
+
+    def step(self) -> bool:
+        """Run the next event; return False if none remain."""
+        heap = self._heap
+        while heap:
+            event = heapq.heappop(heap)
+            if event.cancelled:
+                continue
+            self.now = event.time
+            self.events_processed += 1
+            event.fn()
+            return True
+        return False
+
+    def run_until(self, time: float, *, max_events: int | None = None) -> None:
+        """Run all events up to and including ``time``.
+
+        The clock is advanced to ``time`` afterwards even if the queue
+        drained earlier.
+        """
+        heap = self._heap
+        processed = 0
+        while heap:
+            event = heap[0]
+            if event.time > time:
+                break
+            heapq.heappop(heap)
+            if event.cancelled:
+                continue
+            self.now = event.time
+            self.events_processed += 1
+            event.fn()
+            processed += 1
+            if max_events is not None and processed >= max_events:
+                raise GPUSimError(
+                    f"exceeded {max_events} events before reaching t={time}"
+                )
+        if time > self.now:
+            self.now = time
+
+    def run(self, *, max_events: int = 50_000_000) -> None:
+        """Run until the event queue drains."""
+        processed = 0
+        while self.step():
+            processed += 1
+            if processed >= max_events:
+                raise GPUSimError(f"exceeded {max_events} events")

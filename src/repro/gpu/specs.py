@@ -1,0 +1,122 @@
+"""GPU hardware specifications and the occupancy model.
+
+The timing simulator treats the GPU as a pool of streaming
+multiprocessors (SMs), each able to host a bounded number of resident
+thread blocks limited by threads, block slots, and shared memory —
+the same quantities the CUDA occupancy calculator uses.  Interference
+between co-located workloads emerges from contention for these resident
+slots, which is the mechanism the paper's block-level scheduling
+argument rests on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import GPUSimError
+
+__all__ = ["GPUSpec", "A100_SXM4_40GB", "V100_SXM2_16GB", "RTX_3090"]
+
+
+@dataclass(frozen=True)
+class GPUSpec:
+    """Static properties of a GPU model."""
+
+    name: str
+    num_sms: int
+    max_threads_per_sm: int
+    max_blocks_per_sm: int
+    shared_mem_per_sm: int  # bytes
+    registers_per_sm: int
+    #: fixed host-side cost of one kernel launch (seconds)
+    kernel_launch_overhead: float = 5e-6
+
+    def __post_init__(self) -> None:
+        if self.num_sms < 1:
+            raise GPUSimError("num_sms must be >= 1")
+        if self.max_threads_per_sm < 1 or self.max_blocks_per_sm < 1:
+            raise GPUSimError("per-SM limits must be >= 1")
+
+    # ------------------------------------------------------------------
+    def blocks_per_sm(self, threads_per_block: int,
+                      shared_mem_per_block: int = 0,
+                      registers_per_thread: int = 32) -> int:
+        """Occupancy: resident blocks one SM can host for this kernel."""
+        if threads_per_block < 1:
+            raise GPUSimError(
+                f"threads_per_block must be >= 1, got {threads_per_block}"
+            )
+        if threads_per_block > self.max_threads_per_sm:
+            raise GPUSimError(
+                f"threads_per_block {threads_per_block} exceeds SM capacity "
+                f"{self.max_threads_per_sm}"
+            )
+        by_threads = self.max_threads_per_sm // threads_per_block
+        by_slots = self.max_blocks_per_sm
+        by_smem = (self.shared_mem_per_sm // shared_mem_per_block
+                   if shared_mem_per_block > 0 else by_slots)
+        by_regs = (self.registers_per_sm //
+                   max(1, registers_per_thread * threads_per_block))
+        occupancy = min(by_threads, by_slots, by_smem, by_regs)
+        if occupancy < 1:
+            raise GPUSimError(
+                f"kernel with {threads_per_block} threads/block and "
+                f"{shared_mem_per_block} B smem cannot fit on {self.name}"
+            )
+        return occupancy
+
+    def concurrent_blocks(self, threads_per_block: int,
+                          shared_mem_per_block: int = 0,
+                          registers_per_thread: int = 32) -> int:
+        """Device-wide resident-block capacity for this kernel."""
+        return self.num_sms * self.blocks_per_sm(
+            threads_per_block, shared_mem_per_block, registers_per_thread
+        )
+
+    @property
+    def total_threads(self) -> int:
+        """Device-wide resident-thread capacity."""
+        return self.num_sms * self.max_threads_per_sm
+
+    @property
+    def total_block_slots(self) -> int:
+        """Device-wide resident-block-slot capacity."""
+        return self.num_sms * self.max_blocks_per_sm
+
+    def waves(self, num_blocks: int, threads_per_block: int,
+              shared_mem_per_block: int = 0) -> int:
+        """Number of full-occupancy waves a grid needs on an idle device."""
+        capacity = self.concurrent_blocks(threads_per_block,
+                                          shared_mem_per_block)
+        return -(-num_blocks // capacity)
+
+
+#: NVIDIA A100-SXM4-40GB — the paper's evaluation platform (p4d.24xlarge).
+A100_SXM4_40GB = GPUSpec(
+    name="A100-SXM4-40GB",
+    num_sms=108,
+    max_threads_per_sm=2048,
+    max_blocks_per_sm=32,
+    shared_mem_per_sm=164 * 1024,
+    registers_per_sm=65536,
+)
+
+#: NVIDIA V100-SXM2-16GB — a common older datacenter GPU.
+V100_SXM2_16GB = GPUSpec(
+    name="V100-SXM2-16GB",
+    num_sms=80,
+    max_threads_per_sm=2048,
+    max_blocks_per_sm=32,
+    shared_mem_per_sm=96 * 1024,
+    registers_per_sm=65536,
+)
+
+#: NVIDIA GeForce RTX 3090 — a consumer card, for spec-sensitivity tests.
+RTX_3090 = GPUSpec(
+    name="RTX-3090",
+    num_sms=82,
+    max_threads_per_sm=1536,
+    max_blocks_per_sm=16,
+    shared_mem_per_sm=100 * 1024,
+    registers_per_sm=65536,
+)

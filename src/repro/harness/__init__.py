@@ -1,0 +1,32 @@
+"""Experiment harness: co-location runner and per-figure drivers."""
+
+from .colocate import (
+    JobResult,
+    JobSpec,
+    POLICY_NAMES,
+    RunConfig,
+    RunResult,
+    clear_standalone_cache,
+    make_policy,
+    run_colocation,
+    standalone,
+)
+from .regression import Drift, compare_results
+from .serialize import load_result, result_to_dict, save_result
+
+__all__ = [
+    "JobResult",
+    "JobSpec",
+    "POLICY_NAMES",
+    "RunConfig",
+    "RunResult",
+    "clear_standalone_cache",
+    "make_policy",
+    "run_colocation",
+    "standalone",
+    "Drift",
+    "compare_results",
+    "load_result",
+    "result_to_dict",
+    "save_result",
+]

@@ -1,0 +1,303 @@
+"""Co-location experiment runner.
+
+Builds a simulated GPU, a sharing policy, and a set of workload drivers
+(latency-critical inference services fed by traffic traces, best-effort
+training loops), runs them together for a fixed window, and collects
+the paper's metrics: p99 request latency and per-workload throughput
+within the post-warmup measurement window.
+
+Standalone (isolated) runs of each workload are cached per
+configuration — they are the normalization baselines for every figure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Literal
+
+from ..baselines import (
+    Ideal,
+    MPS,
+    MPSPriority,
+    Priority,
+    REEF,
+    SharingPolicy,
+    TGS,
+    TimeSlicing,
+)
+from ..core import Tally, TallyConfig
+from ..errors import HarnessError
+from ..gpu import A100_SXM4_40GB, EventLoop, GPUDevice, GPUSpec
+from ..metrics import LatencySummary
+from ..traffic import TrafficTrace, bursty_trace, maf_trace, poisson_trace
+from ..workloads import InferenceJob, TrainingJob, get_model
+from ..workloads.models import Trace, WorkloadKind
+
+__all__ = [
+    "POLICY_NAMES",
+    "JobSpec",
+    "RunConfig",
+    "JobResult",
+    "RunResult",
+    "make_policy",
+    "run_colocation",
+    "standalone",
+    "clear_standalone_cache",
+]
+
+POLICY_NAMES = ("Ideal", "Time-Slicing", "MPS", "MPS-Priority",
+                "TGS", "REEF", "Tally")
+
+
+def make_policy(name: str, device: GPUDevice, engine: EventLoop, *,
+                tally_config: TallyConfig | None = None) -> SharingPolicy:
+    """Instantiate a sharing policy by its paper name."""
+    if name == "Ideal":
+        return Ideal(device, engine)
+    if name == "Time-Slicing":
+        return TimeSlicing(device, engine)
+    if name == "MPS":
+        return MPS(device, engine)
+    if name == "MPS-Priority":
+        return MPSPriority(device, engine)
+    if name == "TGS":
+        return TGS(device, engine)
+    if name == "REEF":
+        return REEF(device, engine)
+    if name == "Tally":
+        return Tally(device, engine, tally_config)
+    raise HarnessError(f"unknown policy {name!r}; choose from {POLICY_NAMES}")
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One workload in a co-location run."""
+
+    model: str
+    role: Literal["inference", "training"]
+    #: inference only: target offered load (fraction of busy time)
+    load: float = 0.5
+    #: None = role default (inference HIGH, training BEST_EFFORT)
+    priority: Priority | None = None
+    traffic_seed: int = 0
+    #: explicit traffic overrides the generated trace (Fig. 5b)
+    traffic: TrafficTrace | None = None
+
+    @property
+    def effective_priority(self) -> Priority:
+        if self.priority is not None:
+            return self.priority
+        return (Priority.HIGH if self.role == "inference"
+                else Priority.BEST_EFFORT)
+
+    @staticmethod
+    def inference(model: str, load: float = 0.5, **kwargs) -> "JobSpec":
+        return JobSpec(model=model, role="inference", load=load, **kwargs)
+
+    @staticmethod
+    def training(model: str, **kwargs) -> "JobSpec":
+        return JobSpec(model=model, role="training", **kwargs)
+
+
+@dataclass(frozen=True)
+class RunConfig:
+    """Shared parameters of one co-location run."""
+
+    spec: GPUSpec = A100_SXM4_40GB
+    duration: float = 20.0
+    warmup: float = 2.0
+    colocation_slowdown: float = 1.08
+    tally_config: TallyConfig | None = None
+    traffic_kind: Literal["maf", "bursty", "poisson"] = "maf"
+    burst_ratio: float = 20.0
+    trace_seed: int = 0
+    #: validate that the co-located models' memory footprints fit the
+    #: GPU (GPU sharing is memory-gated before it is compute-gated)
+    check_memory: bool = True
+    memory_capacity_bytes: int | None = None  # None = A100 40 GiB
+
+    def __post_init__(self) -> None:
+        if self.duration <= self.warmup:
+            raise HarnessError("duration must exceed warmup")
+
+    @property
+    def window(self) -> tuple[float, float]:
+        return (self.warmup, self.duration)
+
+
+@dataclass
+class JobResult:
+    """Measured outcome of one workload in a run."""
+
+    client_id: str
+    model: str
+    role: str
+    completed: int  # requests or iterations within the window
+    rate: float  # per second within the window
+    latency: LatencySummary | None = None  # inference only
+    pending: int = 0  # inference backlog at the end (overload indicator)
+
+    def normalized_rate(self, baseline: "JobResult") -> float:
+        if baseline.rate <= 0:
+            raise HarnessError(
+                f"standalone rate of {self.model} must be > 0"
+            )
+        return self.rate / baseline.rate
+
+
+@dataclass
+class RunResult:
+    """Outcome of one co-location run."""
+
+    policy: str
+    config: RunConfig
+    jobs: dict[str, JobResult]
+    utilization: float
+    events: int
+
+    def job(self, client_id: str) -> JobResult:
+        try:
+            return self.jobs[client_id]
+        except KeyError:
+            raise HarnessError(
+                f"no job {client_id!r} in run (have {sorted(self.jobs)})"
+            ) from None
+
+    def inference_results(self) -> list[JobResult]:
+        return [j for j in self.jobs.values() if j.role == "inference"]
+
+    def training_results(self) -> list[JobResult]:
+        return [j for j in self.jobs.values() if j.role == "training"]
+
+
+# ---------------------------------------------------------------------------
+
+def _traffic_for(spec_: JobSpec, trace: Trace, config: RunConfig) -> TrafficTrace:
+    if spec_.traffic is not None:
+        return spec_.traffic
+    service_time = trace.duration
+    if config.traffic_kind == "poisson":
+        rate = spec_.load / service_time
+        return poisson_trace(rate, config.duration, seed=spec_.traffic_seed)
+    if config.traffic_kind == "bursty":
+        return bursty_trace(
+            spec_.load, service_time, config.duration,
+            burst_ratio=config.burst_ratio, seed=spec_.traffic_seed,
+        )
+    return maf_trace(
+        spec_.load, service_time, config.duration,
+        spike_ratio=config.burst_ratio, seed=spec_.traffic_seed,
+    )
+
+
+def run_colocation(policy_name: str, jobs: list[JobSpec],
+                   config: RunConfig | None = None) -> RunResult:
+    """Run ``jobs`` together under ``policy_name`` and collect metrics."""
+    if not jobs:
+        raise HarnessError("need at least one job")
+    config = config if config is not None else RunConfig()
+
+    if config.check_memory:
+        from ..workloads.memory import A100_MEMORY_BYTES, check_memory_fit
+
+        capacity = (config.memory_capacity_bytes
+                    if config.memory_capacity_bytes is not None
+                    else A100_MEMORY_BYTES)
+        check_memory_fit([j.model for j in jobs], capacity)
+
+    engine = EventLoop()
+    device = GPUDevice(config.spec, engine,
+                       colocation_slowdown=config.colocation_slowdown)
+    policy = make_policy(policy_name, device, engine,
+                         tally_config=config.tally_config)
+
+    drivers: list[tuple[JobSpec, object]] = []
+    counters: dict[str, int] = {}
+    for job_spec in jobs:
+        model = get_model(job_spec.model)
+        expected = ("inference" if model.kind is WorkloadKind.INFERENCE
+                    else "training")
+        if expected != job_spec.role:
+            raise HarnessError(
+                f"model {job_spec.model!r} is a {expected} workload, "
+                f"not {job_spec.role}"
+            )
+        n = counters.get(job_spec.model, 0)
+        counters[job_spec.model] = n + 1
+        client_id = f"{job_spec.model}#{n}"
+        trace = model.build_trace(config.spec, seed=config.trace_seed)
+        if job_spec.role == "inference":
+            traffic = _traffic_for(job_spec, trace, config)
+            driver: object = InferenceJob(
+                trace, traffic, policy, client_id,
+                priority=job_spec.effective_priority,
+            )
+        else:
+            driver = TrainingJob(
+                trace, policy, client_id,
+                priority=job_spec.effective_priority,
+            )
+        drivers.append((job_spec, driver))
+
+    for _spec, driver in drivers:
+        driver.start()  # type: ignore[union-attr]
+    engine.run_until(config.duration)
+
+    start, end = config.window
+    span = end - start
+    results: dict[str, JobResult] = {}
+    for job_spec, driver in drivers:
+        if job_spec.role == "inference":
+            assert isinstance(driver, InferenceJob)
+            latencies = driver.latencies(since=start, until=end)
+            summary = LatencySummary.of(latencies) if latencies else None
+            completed = driver.completions_in(start, end)
+            results[driver.client_id] = JobResult(
+                client_id=driver.client_id, model=job_spec.model,
+                role="inference", completed=completed,
+                rate=completed / span, latency=summary,
+                pending=driver.pending_requests,
+            )
+        else:
+            assert isinstance(driver, TrainingJob)
+            completed = driver.completions_in(start, end)
+            results[driver.client_id] = JobResult(
+                client_id=driver.client_id, model=job_spec.model,
+                role="training", completed=completed, rate=completed / span,
+            )
+
+    return RunResult(
+        policy=policy_name, config=config, jobs=results,
+        utilization=device.utilization(), events=engine.events_processed,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Standalone baselines (cached)
+# ---------------------------------------------------------------------------
+
+_STANDALONE_CACHE: dict[tuple, JobResult] = {}
+
+
+def standalone(job: JobSpec, config: RunConfig | None = None) -> JobResult:
+    """Isolated execution of one workload (the normalization baseline)."""
+    config = config if config is not None else RunConfig()
+    key = (
+        job.model, job.role, round(job.load, 6), job.traffic_seed,
+        id(job.traffic) if job.traffic is not None else None,
+        config.spec.name, config.duration, config.warmup,
+        config.traffic_kind, config.burst_ratio, config.trace_seed,
+    )
+    cached = _STANDALONE_CACHE.get(key)
+    if cached is not None:
+        return cached
+    solo = replace(job, priority=Priority.HIGH)
+    result = run_colocation("Ideal", [solo], config)
+    job_result = next(iter(result.jobs.values()))
+    _STANDALONE_CACHE[key] = job_result
+    return job_result
+
+
+def clear_standalone_cache() -> None:
+    """Drop cached standalone baselines (tests use this)."""
+    _STANDALONE_CACHE.clear()

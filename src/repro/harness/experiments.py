@@ -1,0 +1,726 @@
+"""Per-table / per-figure experiment drivers.
+
+One function per paper artefact (Table 1, Table 2, Figures 4, 5a, 5b,
+6a, 6b, 6c).  Each returns a structured result object and can render a
+paper-vs-measured text report; the ``benchmarks/`` tree wraps these in
+pytest-benchmark targets.
+
+All experiments accept a ``scale`` knob: ``"quick"`` runs a reduced
+grid sized for CI (minutes), ``"full"`` the paper's complete grid.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Literal, Sequence
+
+import numpy as np
+
+from ..core import TallyConfig
+from ..errors import HarnessError
+from ..gpu import A100_SXM4_40GB, GPUSpec
+from ..traffic import profile_trace
+from ..workloads import INFERENCE_MODELS, TRAINING_MODELS, get_model
+from ..workloads.models import Trace
+from .colocate import (
+    JobSpec,
+    RunConfig,
+    run_colocation,
+    standalone,
+)
+from .reporting import format_ratio, format_seconds, format_table
+
+__all__ = [
+    "Scale",
+    "turnaround_by_granularity",
+    "Table1Result",
+    "table1",
+    "Table2Row",
+    "table2",
+    "Fig4Cell",
+    "Fig4Result",
+    "fig4",
+    "Fig5aPoint",
+    "fig5a",
+    "Fig5bSeries",
+    "fig5b",
+    "Fig6aPoint",
+    "fig6a",
+    "Fig6bRow",
+    "fig6b",
+    "Fig6cPoint",
+    "fig6c",
+]
+
+Scale = Literal["quick", "full"]
+
+#: Modelled SM pipeline-drain time: the turnaround of thread-level
+#: (REEF-style reset-based) scheduling, which stops kernels without
+#: waiting for blocks to finish.
+PIPELINE_DRAIN = 5e-6
+
+SYSTEMS = ("Time-Slicing", "MPS", "MPS-Priority", "TGS", "Tally")
+
+QUICK_INFERENCE = ("resnet50_infer", "bert_infer")
+QUICK_TRAINING = ("resnet50_train", "gpt2_train", "whisper_train")
+
+
+def _grid(scale: Scale) -> tuple[tuple[str, ...], tuple[str, ...]]:
+    if scale == "full":
+        return tuple(INFERENCE_MODELS), tuple(TRAINING_MODELS)
+    return QUICK_INFERENCE, QUICK_TRAINING
+
+
+def _duration_for(model_name: str, scale: Scale, *,
+                  min_requests: int = 150, load: float = 0.5,
+                  floor: float = 6.0) -> float:
+    """A window long enough for a stable p99 at the given load."""
+    model = get_model(model_name)
+    trace = model.build_trace(A100_SXM4_40GB)
+    if model.kind.value != "inference":
+        return floor
+    rate = load / trace.duration
+    need = min_requests / rate
+    cap = 60.0 if scale == "full" else 20.0
+    return float(min(max(floor, need), cap))
+
+
+# ---------------------------------------------------------------------------
+# Table 1 — turnaround latency by scheduling granularity
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Table1Result:
+    """Turnaround latencies of the four scheduling granularities."""
+
+    training_model: str
+    inference_model: str
+    inference_latency: float
+    iteration: float
+    kernel: float
+    block: float
+    thread: float
+    condensation: float
+    paper = {
+        "inference_latency": 3.93e-3,
+        "iteration": 3.0,
+        "kernel": 10e-3,
+        "block": 304e-6,
+        "thread": 38e-6,
+    }
+
+    def report(self) -> str:
+        rows = [
+            ("inference time", format_seconds(self.paper["inference_latency"]),
+             format_seconds(self.inference_latency)),
+            ("iteration-level", format_seconds(self.paper["iteration"]),
+             format_seconds(self.iteration)),
+            ("  (paper time-scale)", "",
+             format_seconds(self.iteration * self.condensation)),
+            ("kernel-level", format_seconds(self.paper["kernel"]),
+             format_seconds(self.kernel)),
+            ("block-level", format_seconds(self.paper["block"]),
+             format_seconds(self.block)),
+            ("thread-level", format_seconds(self.paper["thread"]),
+             format_seconds(self.thread)),
+        ]
+        return format_table(
+            ("granularity", "paper", "measured"), rows,
+            title=(f"Table 1: turnaround latency "
+                   f"({self.training_model} vs {self.inference_model})"),
+        )
+
+
+def turnaround_by_granularity(trace: Trace,
+                              spec: GPUSpec = A100_SXM4_40GB) -> dict[str, float]:
+    """Expected GPU-release latency at each scheduling granularity.
+
+    A high-priority kernel arrives at a uniformly random point of the
+    best-effort job's busy time; the turnaround is the expected wait
+    until the in-flight unit (iteration / kernel / block) completes.
+    For a unit of length ``d`` hit with probability proportional to
+    ``d``, the mean residual is ``E[d^2] / (2 E[d])``.
+    """
+    durations = trace.kernel_durations(spec)
+    if durations.size == 0:
+        raise HarnessError("trace has no kernels")
+    busy = durations.sum()
+
+    def mean_residual(lengths: np.ndarray,
+                      weights: np.ndarray | None = None) -> float:
+        if weights is None:
+            weights = lengths
+        return float((weights * lengths).sum() / (2.0 * weights.sum()))
+
+    block_durations = np.array([
+        k.block_duration for k in trace.kernels
+    ])
+    kernel_busy = durations  # weight of each kernel in busy time
+    return {
+        # The whole iteration must finish before yielding.
+        "iteration": trace.duration,
+        # Residual time of the kernel in flight.
+        "kernel": mean_residual(durations),
+        # Residual time of the blocks in flight, weighted by how long
+        # each kernel occupies the device.
+        "block": mean_residual(block_durations, weights=kernel_busy),
+        "thread": PIPELINE_DRAIN,
+    }
+
+
+def table1(training_model: str = "whisper_train",
+           inference_model: str = "bert_infer",
+           spec: GPUSpec = A100_SXM4_40GB) -> Table1Result:
+    """Reproduce Table 1."""
+    train = get_model(training_model)
+    infer = get_model(inference_model)
+    train_trace = train.build_trace(spec)
+    infer_trace = infer.build_trace(spec)
+    t = turnaround_by_granularity(train_trace, spec)
+    return Table1Result(
+        training_model=training_model,
+        inference_model=inference_model,
+        inference_latency=infer_trace.duration,
+        iteration=t["iteration"],
+        kernel=t["kernel"],
+        block=t["block"],
+        thread=t["thread"],
+        condensation=train.condensation(train_trace),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Table 2 — standalone workload metrics
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Table2Row:
+    """Standalone metrics of one workload."""
+
+    model: str
+    kind: str
+    paper_value: float  # it/s for training, latency (s) for inference
+    measured_value: float
+    condensation: float
+
+    @property
+    def paper_scale_value(self) -> float:
+        """Measured value rescaled to the paper's time scale."""
+        if self.kind == "training":
+            return self.measured_value / self.condensation
+        return self.measured_value * self.condensation
+
+
+def table2(scale: Scale = "quick",
+           spec: GPUSpec = A100_SXM4_40GB) -> list[Table2Row]:
+    """Reproduce Table 2: isolated latency/throughput of the suite."""
+    rows: list[Table2Row] = []
+    for name, model in {**TRAINING_MODELS, **INFERENCE_MODELS}.items():
+        trace = model.build_trace(spec)
+        cfg = RunConfig(
+            spec=spec, warmup=1.0,
+            duration=_duration_for(name, scale, min_requests=100),
+        )
+        if model.kind.value == "training":
+            result = standalone(JobSpec.training(name), cfg)
+            measured = result.rate
+        else:
+            result = standalone(JobSpec.inference(name, load=0.5), cfg)
+            assert result.latency is not None
+            measured = result.latency.mean
+        rows.append(Table2Row(
+            model=name, kind=model.kind.value,
+            paper_value=model.paper_value, measured_value=measured,
+            condensation=model.condensation(trace),
+        ))
+    return rows
+
+
+def table2_report(rows: Sequence[Table2Row]) -> str:
+    """Render Table 2 as text."""
+    out = []
+    for r in rows:
+        if r.kind == "training":
+            paper = f"{r.paper_value:.1f} it/s"
+            measured = f"{r.measured_value:.1f} it/s"
+            rescaled = f"{r.paper_scale_value:.2f} it/s"
+        else:
+            paper = format_seconds(r.paper_value)
+            measured = format_seconds(r.measured_value)
+            rescaled = format_seconds(r.paper_scale_value)
+        out.append((r.model, r.kind, paper, measured, rescaled,
+                    f"{r.condensation:.1f}x"))
+    return format_table(
+        ("model", "kind", "paper", "measured (condensed)",
+         "measured (paper scale)", "condensation"),
+        out, title="Table 2: standalone workload metrics",
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 4 — end-to-end p99 + system throughput over the workload grid
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Fig4Cell:
+    """One (inference, training, system) measurement."""
+
+    inference: str
+    training: str
+    system: str
+    p99: float
+    ideal_p99: float
+    inference_norm: float
+    training_norm: float
+
+    @property
+    def p99_ratio(self) -> float:
+        return self.p99 / self.ideal_p99
+
+    @property
+    def overhead(self) -> float:
+        return self.p99_ratio - 1.0
+
+    @property
+    def system_throughput(self) -> float:
+        return self.inference_norm + self.training_norm
+
+
+@dataclass
+class Fig4Result:
+    """All cells of the Figure 4 grid."""
+
+    cells: list[Fig4Cell]
+
+    def for_system(self, system: str) -> list[Fig4Cell]:
+        return [c for c in self.cells if c.system == system]
+
+    def mean_overhead(self, system: str) -> float:
+        cells = self.for_system(system)
+        return float(np.mean([c.overhead for c in cells]))
+
+    def median_overhead(self, system: str) -> float:
+        cells = self.for_system(system)
+        return float(np.median([c.overhead for c in cells]))
+
+    def mean_system_throughput(self, system: str) -> float:
+        cells = self.for_system(system)
+        return float(np.mean([c.system_throughput for c in cells]))
+
+    def throughput_vs(self, system: str, reference: str) -> float:
+        return (self.mean_system_throughput(system)
+                / self.mean_system_throughput(reference))
+
+    def report(self) -> str:
+        rows = []
+        for c in self.cells:
+            rows.append((
+                c.inference, c.training, c.system,
+                format_seconds(c.p99), format_ratio(c.p99_ratio),
+                f"{c.training_norm:.2f}", f"{c.system_throughput:.2f}",
+            ))
+        table = format_table(
+            ("inference", "training", "system", "p99", "p99 vs ideal",
+             "train norm", "sys thpt"),
+            rows, title="Figure 4: end-to-end latency and throughput",
+        )
+        paper_overheads = {
+            "Time-Slicing": 2.523, "MPS": 3.450, "MPS-Priority": 1.955,
+            "TGS": 1.889, "Tally": 0.072,
+        }
+        summary = [
+            (s,
+             f"{paper_overheads[s] * 100:.1f}%",
+             f"{self.mean_overhead(s) * 100:.1f}%",
+             f"{self.median_overhead(s) * 100:.1f}%",
+             f"{self.mean_system_throughput(s):.2f}")
+            for s in SYSTEMS if self.for_system(s)
+        ]
+        summary_table = format_table(
+            ("system", "paper mean p99 overhead", "measured mean",
+             "measured median", "mean sys thpt"),
+            summary, title="Figure 4 summary",
+        )
+        return table + "\n\n" + summary_table
+
+
+def fig4(scale: Scale = "quick", *, load: float = 0.5,
+         systems: Sequence[str] = SYSTEMS,
+         spec: GPUSpec = A100_SXM4_40GB) -> Fig4Result:
+    """Reproduce Figure 4 over the (inference x training) grid."""
+    inference_models, training_models = _grid(scale)
+    cells: list[Fig4Cell] = []
+    for inf_name in inference_models:
+        duration = _duration_for(inf_name, scale, load=load)
+        cfg = RunConfig(spec=spec, duration=duration, warmup=1.0)
+        inf = JobSpec.inference(inf_name, load=load)
+        inf_base = standalone(inf, cfg)
+        assert inf_base.latency is not None
+        for train_name in training_models:
+            train = JobSpec.training(train_name)
+            train_base = standalone(train, cfg)
+            for system in systems:
+                result = run_colocation(system, [inf, train], cfg)
+                j = result.job(f"{inf_name}#0")
+                t = result.job(f"{train_name}#0")
+                assert j.latency is not None
+                cells.append(Fig4Cell(
+                    inference=inf_name, training=train_name, system=system,
+                    p99=j.latency.p99, ideal_p99=inf_base.latency.p99,
+                    inference_norm=j.rate / inf_base.rate,
+                    training_norm=(t.rate / train_base.rate
+                                   if train_base.rate > 0 else 0.0),
+                ))
+    return Fig4Result(cells)
+
+
+# ---------------------------------------------------------------------------
+# Figure 5a — traffic load sensitivity
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Fig5aPoint:
+    """One (inference, training, system, idle%) measurement."""
+
+    inference: str
+    training: str
+    system: str
+    idle_percent: int
+    p99_ratio: float
+    system_throughput: float
+
+
+def fig5a(scale: Scale = "quick", *,
+          systems: Sequence[str] = ("TGS", "Tally"),
+          spec: GPUSpec = A100_SXM4_40GB) -> list[Fig5aPoint]:
+    """Reproduce Figure 5a: p99 and throughput vs GPU idle fraction."""
+    if scale == "full":
+        inference_models = ("bert_infer", "llama2_infer")
+        training_models = ("bert_train", "gpt2_train", "whisper_train")
+        idle_points = (10, 30, 50, 70, 90)
+    else:
+        inference_models = ("bert_infer",)
+        training_models = ("gpt2_train", "whisper_train")
+        idle_points = (10, 50, 90)
+
+    points: list[Fig5aPoint] = []
+    for inf_name in inference_models:
+        for idle in idle_points:
+            load = (100 - idle) / 100.0
+            duration = _duration_for(inf_name, scale, load=load)
+            cfg = RunConfig(spec=spec, duration=duration, warmup=1.0)
+            inf = JobSpec.inference(inf_name, load=load)
+            inf_base = standalone(inf, cfg)
+            assert inf_base.latency is not None
+            for train_name in training_models:
+                train = JobSpec.training(train_name)
+                train_base = standalone(train, cfg)
+                for system in systems:
+                    result = run_colocation(system, [inf, train], cfg)
+                    j = result.job(f"{inf_name}#0")
+                    t = result.job(f"{train_name}#0")
+                    assert j.latency is not None
+                    points.append(Fig5aPoint(
+                        inference=inf_name, training=train_name,
+                        system=system, idle_percent=idle,
+                        p99_ratio=j.latency.p99 / inf_base.latency.p99,
+                        system_throughput=(
+                            j.rate / inf_base.rate
+                            + (t.rate / train_base.rate
+                               if train_base.rate > 0 else 0.0)
+                        ),
+                    ))
+    return points
+
+
+def fig5a_report(points: Sequence[Fig5aPoint]) -> str:
+    rows = [
+        (p.inference, p.training, p.system, f"{p.idle_percent}%",
+         format_ratio(p.p99_ratio), f"{p.system_throughput:.2f}")
+        for p in points
+    ]
+    return format_table(
+        ("inference", "training", "system", "idle", "p99 vs ideal",
+         "sys thpt"),
+        rows, title="Figure 5a: traffic load sensitivity",
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 5b — time-series under a condensed bursty trace
+# ---------------------------------------------------------------------------
+
+@dataclass
+class Fig5bSeries:
+    """Per-interval time series for one system."""
+
+    system: str
+    interval: float
+    traffic: list[int]
+    p99: list[float]
+    train_throughput: list[float]
+
+
+def fig5b(scale: Scale = "quick", *,
+          systems: Sequence[str] = ("Time-Slicing", "MPS", "MPS-Priority",
+                                    "TGS", "Tally"),
+          spec: GPUSpec = A100_SXM4_40GB,
+          seed: int = 7) -> tuple[list[Fig5bSeries], Fig5bSeries]:
+    """Reproduce Figure 5b: real-time traffic, p99, and throughput.
+
+    Returns ``(series, ideal)`` where ideal is the isolated reference.
+    BERT inference is co-located with BERT training under a condensed
+    MAF2-like rate profile (a daily curve squeezed into seconds).
+    """
+    model = get_model("bert_infer")
+    trace = model.build_trace(spec)
+    base_rate = 0.5 / trace.duration
+    shape = [0.5, 0.8, 1.2, 0.9, 0.4, 0.2, 0.6, 1.4, 1.0, 0.5, 0.3, 0.7]
+    if scale == "full":
+        shape = shape * 2
+    segment = 2.0
+    rates = [base_rate * s for s in shape]
+    horizon = segment * len(rates)
+    traffic = profile_trace(rates, segment, seed=seed)
+
+    cfg = RunConfig(spec=spec, duration=horizon, warmup=0.0)
+    train = JobSpec.training("bert_train")
+    train_base = standalone(train, replace(cfg, warmup=1.0))
+
+    # The time series needs per-interval latencies, so drive the jobs
+    # directly rather than through run_colocation's summaries.
+    from ..gpu import EventLoop, GPUDevice
+    from ..workloads import InferenceJob, TrainingJob
+    from .colocate import make_policy
+
+    out: list[Fig5bSeries] = []
+    ideal_series: Fig5bSeries | None = None
+    for system in list(systems) + ["Ideal"]:
+        engine = EventLoop()
+        device = GPUDevice(spec, engine,
+                           colocation_slowdown=cfg.colocation_slowdown)
+        policy = make_policy(system, device, engine)
+        inf_trace = model.build_trace(spec)
+        inference = InferenceJob(inf_trace, traffic, policy, "inf")
+        training = None
+        if system != "Ideal":
+            train_trace = get_model("bert_train").build_trace(spec)
+            training = TrainingJob(train_trace, policy, "train")
+        inference.start()
+        if training is not None:
+            training.start()
+        engine.run_until(horizon)
+
+        n = len(rates)
+        counts = [0] * n
+        for t in traffic.arrivals:
+            counts[min(n - 1, int(t // segment))] += 1
+        p99s = []
+        train_rates = []
+        for i in range(n):
+            lat = inference.latencies(since=i * segment,
+                                      until=(i + 1) * segment)
+            p99s.append(float(np.percentile(lat, 99)) if lat else float("nan"))
+            if training is not None and train_base.rate > 0:
+                completed = training.completions_in(i * segment,
+                                                    (i + 1) * segment)
+                train_rates.append(completed / segment / train_base.rate)
+            else:
+                train_rates.append(0.0)
+        series = Fig5bSeries(system=system, interval=segment,
+                             traffic=counts, p99=p99s,
+                             train_throughput=train_rates)
+        if system == "Ideal":
+            ideal_series = series
+        else:
+            out.append(series)
+    assert ideal_series is not None
+    return out, ideal_series
+
+
+# ---------------------------------------------------------------------------
+# Figure 6a — scalability with the number of best-effort workloads
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Fig6aPoint:
+    """One point of the scalability sweep."""
+
+    best_effort_jobs: int
+    p99: float
+    ideal_p99: float
+    requests_per_minute: float
+
+    @property
+    def p99_ratio(self) -> float:
+        return self.p99 / self.ideal_p99
+
+
+def fig6a(scale: Scale = "quick", *, load: float = 0.10,
+          spec: GPUSpec = A100_SXM4_40GB) -> list[Fig6aPoint]:
+    """Reproduce Figure 6a: 1 high-priority + N best-effort ResNet50
+    inference services under Tally."""
+    counts = range(0, 11) if scale == "full" else (0, 1, 2, 4, 6, 8, 10)
+    duration = _duration_for("resnet50_infer", scale, load=load,
+                             min_requests=300)
+    cfg = RunConfig(spec=spec, duration=duration, warmup=1.0)
+    hp = JobSpec.inference("resnet50_infer", load=load, traffic_seed=0)
+    base = standalone(hp, cfg)
+    assert base.latency is not None
+
+    from ..baselines import Priority
+
+    points: list[Fig6aPoint] = []
+    for n in counts:
+        jobs = [hp]
+        for i in range(n):
+            jobs.append(JobSpec.inference(
+                "resnet50_infer", load=load,
+                priority=Priority.BEST_EFFORT, traffic_seed=i + 1,
+            ))
+        result = run_colocation("Tally", jobs, cfg)
+        hp_result = result.job("resnet50_infer#0")
+        assert hp_result.latency is not None
+        total_rate = sum(j.rate for j in result.inference_results())
+        points.append(Fig6aPoint(
+            best_effort_jobs=n,
+            p99=hp_result.latency.p99,
+            ideal_p99=base.latency.p99,
+            requests_per_minute=total_rate * 60.0,
+        ))
+    return points
+
+
+# ---------------------------------------------------------------------------
+# Figure 6b — performance decomposition (ablation)
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Fig6bRow:
+    """p99 of BERT inference vs one training job, per ablation stage."""
+
+    training: str
+    ideal_p99: float
+    no_scheduling: float
+    scheduling_only: float
+    full_tally: float
+
+
+def fig6b(scale: Scale = "quick", *, load: float = 0.5,
+          spec: GPUSpec = A100_SXM4_40GB) -> list[Fig6bRow]:
+    """Reproduce Figure 6b.
+
+    * "No-scheduling" = indiscriminate dispatch (MPS behaviour);
+    * "Scheduling w/o transformation" = Tally's priority-aware scheduler
+      with kernel-granularity launches;
+    * "Scheduling with transformation" = full Tally.
+    """
+    training_models = (tuple(TRAINING_MODELS) if scale == "full"
+                       else QUICK_TRAINING)
+    duration = _duration_for("bert_infer", scale, load=load)
+    cfg = RunConfig(spec=spec, duration=duration, warmup=1.0)
+    inf = JobSpec.inference("bert_infer", load=load)
+    base = standalone(inf, cfg)
+    assert base.latency is not None
+
+    no_transform = replace(
+        cfg, tally_config=TallyConfig(use_transformations=False))
+
+    rows: list[Fig6bRow] = []
+    for train_name in training_models:
+        train = JobSpec.training(train_name)
+
+        def p99_of(system: str, config: RunConfig) -> float:
+            result = run_colocation(system, [inf, train], config)
+            latency = result.job("bert_infer#0").latency
+            assert latency is not None
+            return latency.p99
+
+        rows.append(Fig6bRow(
+            training=train_name,
+            ideal_p99=base.latency.p99,
+            no_scheduling=p99_of("MPS", cfg),
+            scheduling_only=p99_of("Tally", no_transform),
+            full_tally=p99_of("Tally", cfg),
+        ))
+    return rows
+
+
+def fig6b_report(rows: Sequence[Fig6bRow]) -> str:
+    table_rows = []
+    for r in rows:
+        table_rows.append((
+            r.training,
+            format_seconds(r.ideal_p99),
+            format_ratio(r.no_scheduling / r.ideal_p99),
+            format_ratio(r.scheduling_only / r.ideal_p99),
+            format_ratio(r.full_tally / r.ideal_p99),
+        ))
+    return format_table(
+        ("training", "ideal p99", "no-scheduling", "sched w/o transform",
+         "full Tally"),
+        table_rows,
+        title="Figure 6b: performance decomposition (BERT inference p99)",
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 6c — turnaround latency threshold sweep
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Fig6cPoint:
+    """One (threshold, training) measurement."""
+
+    threshold: float
+    training: str
+    p99_ratio: float
+    training_norm: float
+
+
+def fig6c(scale: Scale = "quick", *, load: float = 0.5,
+          spec: GPUSpec = A100_SXM4_40GB) -> list[Fig6cPoint]:
+    """Reproduce Figure 6c: p99 and throughput vs the turnaround bound."""
+    thresholds = ((0.01e-3, 0.0316e-3, 0.1e-3, 0.316e-3, 1e-3, 10e-3)
+                  if scale == "full"
+                  else (0.01e-3, 0.0316e-3, 0.316e-3, 10e-3))
+    training_models = (tuple(TRAINING_MODELS) if scale == "full"
+                       else ("gpt2_train", "whisper_train"))
+    duration = _duration_for("bert_infer", scale, load=load)
+    cfg = RunConfig(spec=spec, duration=duration, warmup=1.0)
+    inf = JobSpec.inference("bert_infer", load=load)
+    base = standalone(inf, cfg)
+    assert base.latency is not None
+
+    points: list[Fig6cPoint] = []
+    for train_name in training_models:
+        train = JobSpec.training(train_name)
+        train_base = standalone(train, cfg)
+        for threshold in thresholds:
+            run_cfg = replace(
+                cfg, tally_config=TallyConfig(
+                    turnaround_latency_bound=threshold))
+            result = run_colocation("Tally", [inf, train], run_cfg)
+            j = result.job("bert_infer#0")
+            t = result.job(f"{train_name}#0")
+            assert j.latency is not None
+            points.append(Fig6cPoint(
+                threshold=threshold,
+                training=train_name,
+                p99_ratio=j.latency.p99 / base.latency.p99,
+                training_norm=(t.rate / train_base.rate
+                               if train_base.rate > 0 else 0.0),
+            ))
+    return points
+
+
+def fig6c_report(points: Sequence[Fig6cPoint]) -> str:
+    rows = [
+        (format_seconds(p.threshold), p.training,
+         format_ratio(p.p99_ratio), f"{p.training_norm:.2f}")
+        for p in points
+    ]
+    return format_table(
+        ("threshold", "training", "p99 vs ideal", "train norm"),
+        rows, title="Figure 6c: turnaround latency threshold sweep",
+    )

@@ -1,0 +1,96 @@
+"""ASCII plotting for benchmark reports.
+
+The repository has no plotting dependency, so figure-style results are
+rendered as unicode sparklines and block charts directly into the text
+reports under ``results/`` — enough to eyeball the *shape* the paper's
+figures show (flat Tally lines, baseline spikes, throughput ramps).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from ..errors import HarnessError
+
+__all__ = ["sparkline", "bar_chart", "series_panel"]
+
+_SPARK_LEVELS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float], *, lo: float | None = None,
+              hi: float | None = None) -> str:
+    """Render values as a one-line unicode sparkline.
+
+    NaNs render as spaces.  ``lo``/``hi`` pin the scale (for comparing
+    several sparklines); by default the finite data range is used.
+    """
+    values = list(values)
+    if not values:
+        raise HarnessError("cannot sparkline zero values")
+    finite = [v for v in values if not math.isnan(v)]
+    if not finite:
+        return " " * len(values)
+    lo = min(finite) if lo is None else lo
+    hi = max(finite) if hi is None else hi
+    span = hi - lo
+    chars = []
+    for v in values:
+        if math.isnan(v):
+            chars.append(" ")
+            continue
+        if span <= 0:
+            chars.append(_SPARK_LEVELS[0])
+            continue
+        t = (v - lo) / span
+        index = min(len(_SPARK_LEVELS) - 1,
+                    max(0, int(t * (len(_SPARK_LEVELS) - 1) + 0.5)))
+        chars.append(_SPARK_LEVELS[index])
+    return "".join(chars)
+
+
+def bar_chart(labels: Sequence[str], values: Sequence[float], *,
+              width: int = 40, unit: str = "") -> str:
+    """Render labelled horizontal bars scaled to the maximum value."""
+    if len(labels) != len(values):
+        raise HarnessError("labels and values must have equal length")
+    if not labels:
+        raise HarnessError("cannot chart zero bars")
+    peak = max(values)
+    if peak <= 0:
+        peak = 1.0
+    label_width = max(len(str(l)) for l in labels)
+    lines = []
+    for label, value in zip(labels, values):
+        filled = int(round(width * value / peak))
+        bar = "█" * filled or "▏"
+        lines.append(f"{str(label).ljust(label_width)}  {bar} "
+                     f"{value:.3g}{unit}")
+    return "\n".join(lines)
+
+
+def series_panel(title: str, rows: Sequence[tuple[str, Sequence[float]]], *,
+                 shared_scale: bool = True) -> str:
+    """Render named series as aligned sparklines with a min/max legend.
+
+    With ``shared_scale`` all series use one scale, so relative height
+    is comparable across rows (e.g. each system's p99 over time against
+    the ideal line).
+    """
+    if not rows:
+        raise HarnessError("cannot render an empty panel")
+    lo = hi = None
+    if shared_scale:
+        finite = [v for _name, series in rows for v in series
+                  if not math.isnan(v)]
+        if finite:
+            lo, hi = min(finite), max(finite)
+    name_width = max(len(name) for name, _series in rows)
+    lines = [title]
+    for name, series in rows:
+        finite = [v for v in series if not math.isnan(v)]
+        legend = (f"  [{min(finite):.3g} .. {max(finite):.3g}]"
+                  if finite else "  [no data]")
+        lines.append(f"  {name.ljust(name_width)}  "
+                     f"{sparkline(series, lo=lo, hi=hi)}{legend}")
+    return "\n".join(lines)

@@ -1,0 +1,93 @@
+"""Result regression comparison.
+
+Long-lived reproductions need to know when a code change moves the
+numbers.  :func:`compare_results` diffs two serialized
+:class:`~repro.harness.colocate.RunResult` payloads (same policy and
+job set) within tolerances and reports every metric that moved — the
+building block for a "save golden results, fail CI on drift" workflow:
+
+    save_result(run_colocation(...), "golden/fig4_tally_bert_whisper.json")
+    ...
+    drifts = compare_results(load_result(golden), fresh_result)
+    assert not drifts, "\\n".join(str(d) for d in drifts)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import HarnessError
+from .colocate import RunResult
+
+__all__ = ["Drift", "compare_results"]
+
+
+@dataclass(frozen=True)
+class Drift:
+    """One metric that moved beyond tolerance."""
+
+    job: str
+    metric: str
+    reference: float
+    measured: float
+
+    @property
+    def relative(self) -> float:
+        if self.reference == 0:
+            return float("inf") if self.measured else 0.0
+        return self.measured / self.reference - 1.0
+
+    def __str__(self) -> str:
+        return (f"{self.job}.{self.metric}: {self.reference:.6g} -> "
+                f"{self.measured:.6g} ({self.relative:+.1%})")
+
+
+def _check(drifts: list[Drift], job: str, metric: str, reference: float,
+           measured: float, rel_tol: float) -> None:
+    if reference == measured:
+        return
+    scale = max(abs(reference), abs(measured))
+    if scale == 0:
+        return
+    if abs(measured - reference) / scale > rel_tol:
+        drifts.append(Drift(job, metric, reference, measured))
+
+
+def compare_results(reference: RunResult, measured: RunResult, *,
+                    rate_tolerance: float = 0.10,
+                    latency_tolerance: float = 0.15) -> list[Drift]:
+    """Return the metrics of ``measured`` that drifted from ``reference``.
+
+    Both results must come from the same policy over the same job set.
+    Rates (throughput) and latencies get separate relative tolerances —
+    tail latencies are noisier than counts.
+    """
+    if reference.policy != measured.policy:
+        raise HarnessError(
+            f"policy mismatch: {reference.policy!r} vs {measured.policy!r}"
+        )
+    if set(reference.jobs) != set(measured.jobs):
+        raise HarnessError(
+            f"job sets differ: {sorted(reference.jobs)} vs "
+            f"{sorted(measured.jobs)}"
+        )
+
+    drifts: list[Drift] = []
+    for client_id, ref_job in reference.jobs.items():
+        new_job = measured.jobs[client_id]
+        _check(drifts, client_id, "rate", ref_job.rate, new_job.rate,
+               rate_tolerance)
+        if (ref_job.latency is None) != (new_job.latency is None):
+            drifts.append(Drift(client_id, "latency.presence",
+                                float(ref_job.latency is not None),
+                                float(new_job.latency is not None)))
+            continue
+        if ref_job.latency is not None and new_job.latency is not None:
+            for metric in ("p50", "p99", "mean"):
+                _check(drifts, client_id, f"latency.{metric}",
+                       getattr(ref_job.latency, metric),
+                       getattr(new_job.latency, metric),
+                       latency_tolerance)
+    _check(drifts, "<run>", "utilization", reference.utilization,
+           measured.utilization, rate_tolerance)
+    return drifts

@@ -1,0 +1,66 @@
+"""Plain-text tables for paper-vs-measured reporting.
+
+Every experiment driver renders its results through these helpers so
+benchmark output looks like the paper's tables: one row per
+configuration, with the paper's reference value alongside the measured
+one where available.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+__all__ = ["format_table", "format_seconds", "format_ratio", "Banner"]
+
+
+def format_seconds(value: float) -> str:
+    """Human-scale rendering of a duration."""
+    if value != value:  # NaN
+        return "-"
+    if value >= 1.0:
+        return f"{value:.3g} s"
+    if value >= 1e-3:
+        return f"{value * 1e3:.3g} ms"
+    return f"{value * 1e6:.3g} us"
+
+
+def format_ratio(value: float) -> str:
+    """Render a slowdown/throughput ratio."""
+    if value != value:
+        return "-"
+    return f"{value:.2f}x"
+
+
+def format_table(headers: Sequence[str],
+                 rows: Sequence[Sequence[Any]],
+                 title: str | None = None) -> str:
+    """Render an aligned monospace table."""
+    cells = [[str(h) for h in headers]]
+    cells.extend([str(c) for c in row] for row in rows)
+    widths = [max(len(row[i]) for row in cells if i < len(row))
+              for i in range(len(headers))]
+
+    def render(row: Sequence[str]) -> str:
+        return "  ".join(c.ljust(w) for c, w in zip(row, widths)).rstrip()
+
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * max(len(title), 8))
+    lines.append(render(cells[0]))
+    lines.append(render(["-" * w for w in widths]))
+    lines.extend(render(row) for row in cells[1:])
+    return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class Banner:
+    """A titled block of text for benchmark output."""
+
+    title: str
+    body: str
+
+    def __str__(self) -> str:
+        bar = "#" * max(len(self.title) + 4, 12)
+        return f"\n{bar}\n# {self.title}\n{bar}\n{self.body}\n"

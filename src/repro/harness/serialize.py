@@ -1,0 +1,121 @@
+"""JSON serialization of experiment results.
+
+Benchmarks and the CLI can persist structured results (not just text
+reports) so downstream analysis — plotting, regression tracking,
+paper-vs-measured tables — can consume them without re-running the
+simulations.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import pathlib
+from typing import Any
+
+from ..errors import HarnessError
+from ..metrics import LatencySummary
+from .colocate import JobResult, RunConfig, RunResult
+
+__all__ = ["result_to_dict", "dict_to_result", "save_result", "load_result"]
+
+_FORMAT_VERSION = 1
+
+
+def result_to_dict(result: RunResult) -> dict[str, Any]:
+    """Convert a :class:`RunResult` into JSON-serializable form."""
+    jobs = {}
+    for client_id, job in result.jobs.items():
+        payload: dict[str, Any] = {
+            "client_id": job.client_id,
+            "model": job.model,
+            "role": job.role,
+            "completed": job.completed,
+            "rate": job.rate,
+            "pending": job.pending,
+        }
+        if job.latency is not None:
+            payload["latency"] = dataclasses.asdict(job.latency)
+        jobs[client_id] = payload
+    return {
+        "format_version": _FORMAT_VERSION,
+        "policy": result.policy,
+        "config": {
+            "spec": result.config.spec.name,
+            "duration": result.config.duration,
+            "warmup": result.config.warmup,
+            "colocation_slowdown": result.config.colocation_slowdown,
+            "traffic_kind": result.config.traffic_kind,
+            "burst_ratio": result.config.burst_ratio,
+            "trace_seed": result.config.trace_seed,
+        },
+        "jobs": jobs,
+        "utilization": result.utilization,
+        "events": result.events,
+    }
+
+
+def dict_to_result(payload: dict[str, Any]) -> RunResult:
+    """Rebuild a :class:`RunResult` from :func:`result_to_dict` output.
+
+    The run *configuration* is restored for its recorded scalar fields;
+    the GPU spec is looked up from the built-in catalog by name.
+    """
+    version = payload.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise HarnessError(
+            f"unsupported result format version {version!r}"
+        )
+    from ..gpu import A100_SXM4_40GB, RTX_3090, V100_SXM2_16GB
+
+    specs = {s.name: s for s in (A100_SXM4_40GB, V100_SXM2_16GB, RTX_3090)}
+    cfg = payload["config"]
+    spec = specs.get(cfg["spec"])
+    if spec is None:
+        raise HarnessError(f"unknown GPU spec {cfg['spec']!r}")
+    config = RunConfig(
+        spec=spec,
+        duration=cfg["duration"],
+        warmup=cfg["warmup"],
+        colocation_slowdown=cfg["colocation_slowdown"],
+        traffic_kind=cfg["traffic_kind"],
+        burst_ratio=cfg["burst_ratio"],
+        trace_seed=cfg["trace_seed"],
+    )
+    jobs: dict[str, JobResult] = {}
+    for client_id, job in payload["jobs"].items():
+        latency = None
+        if "latency" in job:
+            latency = LatencySummary(**job["latency"])
+        jobs[client_id] = JobResult(
+            client_id=job["client_id"],
+            model=job["model"],
+            role=job["role"],
+            completed=job["completed"],
+            rate=job["rate"],
+            latency=latency,
+            pending=job["pending"],
+        )
+    return RunResult(
+        policy=payload["policy"],
+        config=config,
+        jobs=jobs,
+        utilization=payload["utilization"],
+        events=payload["events"],
+    )
+
+
+def save_result(result: RunResult, path: str | pathlib.Path) -> None:
+    """Write a result to a JSON file."""
+    path = pathlib.Path(path)
+    path.write_text(json.dumps(result_to_dict(result), indent=2) + "\n")
+
+
+def load_result(path: str | pathlib.Path) -> RunResult:
+    """Read a result back from a JSON file."""
+    path = pathlib.Path(path)
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise HarnessError(f"cannot load result from {path}: {exc}") from exc
+    return dict_to_result(payload)

@@ -1,0 +1,16 @@
+"""Evaluation metrics: tail latency and normalized/system throughput."""
+
+from .latency import LatencySummary, percentile
+from .throughput import (
+    ThroughputSample,
+    normalized_throughput,
+    system_throughput,
+)
+
+__all__ = [
+    "LatencySummary",
+    "ThroughputSample",
+    "normalized_throughput",
+    "percentile",
+    "system_throughput",
+]

@@ -1,0 +1,58 @@
+"""Latency statistics (the paper's primary inference metric is p99)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import HarnessError
+
+__all__ = ["LatencySummary", "percentile"]
+
+
+def percentile(samples: Sequence[float], q: float) -> float:
+    """The ``q``-th percentile (q in [0, 100]) of ``samples``."""
+    if not 0 <= q <= 100:
+        raise HarnessError(f"percentile {q} outside [0, 100]")
+    arr = np.asarray(samples, dtype=float)
+    if arr.size == 0:
+        raise HarnessError("cannot take a percentile of zero samples")
+    return float(np.percentile(arr, q))
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """Summary statistics of a latency sample set (seconds)."""
+
+    count: int
+    mean: float
+    p50: float
+    p90: float
+    p99: float
+    max: float
+
+    @staticmethod
+    def of(samples: Sequence[float]) -> "LatencySummary":
+        arr = np.asarray(samples, dtype=float)
+        if arr.size == 0:
+            raise HarnessError("cannot summarize zero latency samples")
+        return LatencySummary(
+            count=int(arr.size),
+            mean=float(arr.mean()),
+            p50=float(np.percentile(arr, 50)),
+            p90=float(np.percentile(arr, 90)),
+            p99=float(np.percentile(arr, 99)),
+            max=float(arr.max()),
+        )
+
+    def slowdown_vs(self, baseline: "LatencySummary") -> float:
+        """p99 slowdown factor relative to ``baseline``."""
+        if baseline.p99 <= 0:
+            raise HarnessError("baseline p99 must be > 0")
+        return self.p99 / baseline.p99
+
+    def overhead_vs(self, baseline: "LatencySummary") -> float:
+        """p99 overhead (fractional increase) relative to ``baseline``."""
+        return self.slowdown_vs(baseline) - 1.0

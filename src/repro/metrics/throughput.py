@@ -1,0 +1,49 @@
+"""Throughput metrics.
+
+The paper measures each workload's throughput (samples processed per
+unit time), normalizes it by the workload's isolated throughput, and
+reports **system throughput** — the sum of normalized throughputs of
+the co-located workloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from ..errors import HarnessError
+
+__all__ = ["ThroughputSample", "normalized_throughput", "system_throughput"]
+
+
+@dataclass(frozen=True)
+class ThroughputSample:
+    """Completed work units over an interval."""
+
+    completed: int
+    interval: float
+
+    def __post_init__(self) -> None:
+        if self.interval <= 0:
+            raise HarnessError("interval must be > 0")
+        if self.completed < 0:
+            raise HarnessError("completed must be >= 0")
+
+    @property
+    def rate(self) -> float:
+        return self.completed / self.interval
+
+
+def normalized_throughput(measured: ThroughputSample,
+                          standalone: ThroughputSample) -> float:
+    """Measured rate relative to isolated execution (1.0 = no loss)."""
+    if standalone.rate <= 0:
+        raise HarnessError("standalone rate must be > 0")
+    return measured.rate / standalone.rate
+
+
+def system_throughput(normalized: Mapping[str, float]) -> float:
+    """Aggregate normalized throughput of co-located workloads."""
+    if not normalized:
+        raise HarnessError("no workloads to aggregate")
+    return sum(normalized.values())

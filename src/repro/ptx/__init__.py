@@ -1,0 +1,70 @@
+"""Mini-PTX substrate: IR, builder, validation, printing, interpretation.
+
+This package models the device-code surface that Tally's kernel
+transformations operate on.  See :mod:`repro.ptx.ir` for the instruction
+set and :mod:`repro.ptx.interpreter` for the execution semantics.
+"""
+
+from .builder import KernelBuilder
+from .interpreter import (
+    DeviceMemory,
+    GlobalRef,
+    Interpreter,
+    LaunchResult,
+    SharedRef,
+    launch_kernel,
+)
+from .ir import (
+    Axis,
+    CompareOp,
+    Dim3,
+    Imm,
+    Instr,
+    KernelIR,
+    Opcode,
+    Param,
+    ParamKind,
+    ParamRef,
+    Reg,
+    SharedDecl,
+    SMemAddr,
+    Special,
+    SpecialKind,
+)
+from .library import KernelCase, case_names, make_case
+from .parser import parse_kernel, parse_operand
+from .printer import format_instr, format_kernel
+from .validate import validate_kernel
+
+__all__ = [
+    "Axis",
+    "CompareOp",
+    "Dim3",
+    "DeviceMemory",
+    "GlobalRef",
+    "Imm",
+    "Instr",
+    "Interpreter",
+    "KernelBuilder",
+    "KernelCase",
+    "KernelIR",
+    "LaunchResult",
+    "Opcode",
+    "Param",
+    "ParamKind",
+    "ParamRef",
+    "Reg",
+    "SharedDecl",
+    "SharedRef",
+    "SMemAddr",
+    "Special",
+    "SpecialKind",
+    "case_names",
+    "format_instr",
+    "format_kernel",
+    "launch_kernel",
+    "make_case",
+    "parse_kernel",
+    "parse_operand",
+    "validate_kernel",
+]

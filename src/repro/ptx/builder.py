@@ -1,0 +1,403 @@
+"""Fluent construction of mini-PTX kernels.
+
+:class:`KernelBuilder` lets kernels be written as straight-line Python
+with automatic virtual-register allocation::
+
+    b = KernelBuilder("vecadd")
+    a, x, y = b.ptr_param("a"), b.ptr_param("x"), b.ptr_param("y")
+    n = b.i32_param("n")
+    i = b.global_thread_id_x()
+    p = b.setp(CompareOp.GE, i, n)
+    b.ret(pred=p)
+    b.st(y, i, b.add(b.ld(a, i), b.ld(x, i)))
+    b.ret()
+    kernel = b.build()
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Union
+
+from ..errors import ValidationError
+from .ir import (
+    Axis,
+    CompareOp,
+    Imm,
+    Instr,
+    KernelIR,
+    Opcode,
+    Operand,
+    Param,
+    ParamKind,
+    ParamRef,
+    Reg,
+    SharedDecl,
+    SMemAddr,
+    Special,
+    SpecialKind,
+)
+
+__all__ = ["KernelBuilder", "as_operand"]
+
+OperandLike = Union[Operand, int, float, bool]
+
+
+def as_operand(value: OperandLike) -> Operand:
+    """Coerce a Python literal into an :class:`Imm`, pass operands through."""
+    if isinstance(value, (Reg, Imm, ParamRef, Special, SMemAddr)):
+        return value
+    if isinstance(value, (int, float, bool)):
+        return Imm(value)
+    raise TypeError(f"cannot use {value!r} as an operand")
+
+
+class KernelBuilder:
+    """Incrementally builds a :class:`~repro.ptx.ir.KernelIR`."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self._params: list[Param] = []
+        self._shared: list[SharedDecl] = []
+        self._body: list[Instr] = []
+        self._next_reg = 0
+        self._next_label = 0
+        self._pending_label: str | None = None
+
+    # ------------------------------------------------------------------
+    # Declarations
+    # ------------------------------------------------------------------
+    def param(self, name: str, kind: ParamKind) -> ParamRef:
+        """Declare a kernel parameter and return a reference to it."""
+        if any(p.name == name for p in self._params):
+            raise ValidationError(f"duplicate parameter {name!r}")
+        self._params.append(Param(name, kind))
+        return ParamRef(name)
+
+    def ptr_param(self, name: str) -> ParamRef:
+        """Declare a device-pointer parameter."""
+        return self.param(name, ParamKind.PTR)
+
+    def i32_param(self, name: str) -> ParamRef:
+        """Declare a 32-bit integer parameter."""
+        return self.param(name, ParamKind.I32)
+
+    def f32_param(self, name: str) -> ParamRef:
+        """Declare a 32-bit float parameter."""
+        return self.param(name, ParamKind.F32)
+
+    def shared_buffer(self, name: str, size: int) -> SMemAddr:
+        """Declare a shared-memory buffer of ``size`` elements."""
+        if any(s.name == name for s in self._shared):
+            raise ValidationError(f"duplicate shared buffer {name!r}")
+        if size < 1:
+            raise ValidationError(f"shared buffer {name!r} must have size >= 1")
+        self._shared.append(SharedDecl(name, size))
+        return SMemAddr(name)
+
+    # ------------------------------------------------------------------
+    # Registers and labels
+    # ------------------------------------------------------------------
+    def reg(self, stem: str = "r") -> Reg:
+        """Allocate a fresh virtual register."""
+        r = Reg(f"{stem}{self._next_reg}")
+        self._next_reg += 1
+        return r
+
+    def fresh_label(self, stem: str = "L") -> str:
+        """Allocate a fresh label name (without attaching it)."""
+        label = f"{stem}{self._next_label}"
+        self._next_label += 1
+        return label
+
+    def label(self, name: str | None = None) -> str:
+        """Attach a label to the *next* emitted instruction."""
+        if name is None:
+            name = self.fresh_label()
+        if self._pending_label is not None:
+            # Two labels on one spot: emit a NOP to carry the first.
+            self._emit(Instr(Opcode.NOP))
+        self._pending_label = name
+        return name
+
+    # ------------------------------------------------------------------
+    # Special registers
+    # ------------------------------------------------------------------
+    def special(self, kind: SpecialKind, axis: Axis) -> Special:
+        """Return a special-register operand."""
+        return Special(kind, axis)
+
+    def tid(self, axis: Axis = Axis.X) -> Special:
+        """threadIdx along ``axis``."""
+        return Special(SpecialKind.TID, axis)
+
+    def ntid(self, axis: Axis = Axis.X) -> Special:
+        """blockDim along ``axis``."""
+        return Special(SpecialKind.NTID, axis)
+
+    def ctaid(self, axis: Axis = Axis.X) -> Special:
+        """blockIdx along ``axis``."""
+        return Special(SpecialKind.CTAID, axis)
+
+    def nctaid(self, axis: Axis = Axis.X) -> Special:
+        """gridDim along ``axis``."""
+        return Special(SpecialKind.NCTAID, axis)
+
+    def global_thread_id_x(self) -> Reg:
+        """Emit ``ctaid.x * ntid.x + tid.x`` and return the result."""
+        return self.mad(self.ctaid(), self.ntid(), self.tid())
+
+    # ------------------------------------------------------------------
+    # Instruction emission
+    # ------------------------------------------------------------------
+    def _emit(self, instr: Instr) -> Instr:
+        if self._pending_label is not None:
+            instr.label = self._pending_label
+            self._pending_label = None
+        self._body.append(instr)
+        return instr
+
+    def emit_raw(self, instr: Instr) -> Instr:
+        """Append a pre-built instruction (used by transformation passes).
+
+        A pending :meth:`label` is attached unless the instruction already
+        carries its own label, in which case a NOP carries the pending one.
+        """
+        if self._pending_label is not None and instr.label is not None:
+            self._emit(Instr(Opcode.NOP))
+        return self._emit(instr)
+
+    def declare_param(self, param: Param) -> ParamRef:
+        """Append an existing parameter declaration."""
+        if any(p.name == param.name for p in self._params):
+            raise ValidationError(f"duplicate parameter {param.name!r}")
+        self._params.append(param)
+        return ParamRef(param.name)
+
+    def declare_shared(self, decl: SharedDecl) -> SMemAddr:
+        """Append an existing shared-buffer declaration."""
+        if any(s.name == decl.name for s in self._shared):
+            raise ValidationError(f"duplicate shared buffer {decl.name!r}")
+        self._shared.append(decl)
+        return SMemAddr(decl.name)
+
+    def _binary(
+        self, op: Opcode, a: OperandLike, b: OperandLike, dst: Reg | None
+    ) -> Reg:
+        dst = dst or self.reg()
+        self._emit(Instr(op, dst=dst, srcs=(as_operand(a), as_operand(b))))
+        return dst
+
+    def mov(self, src: OperandLike, dst: Reg | None = None, *,
+            pred: Reg | None = None, pred_negate: bool = False) -> Reg:
+        """Copy ``src`` into a register (optionally predicated)."""
+        dst = dst or self.reg()
+        self._emit(
+            Instr(Opcode.MOV, dst=dst, srcs=(as_operand(src),),
+                  pred=pred, pred_negate=pred_negate)
+        )
+        return dst
+
+    def add(self, a: OperandLike, b: OperandLike, dst: Reg | None = None) -> Reg:
+        """dst = a + b (pointer arithmetic allowed on the left operand)."""
+        return self._binary(Opcode.ADD, a, b, dst)
+
+    def sub(self, a: OperandLike, b: OperandLike, dst: Reg | None = None) -> Reg:
+        """dst = a - b."""
+        return self._binary(Opcode.SUB, a, b, dst)
+
+    def mul(self, a: OperandLike, b: OperandLike, dst: Reg | None = None) -> Reg:
+        """dst = a * b."""
+        return self._binary(Opcode.MUL, a, b, dst)
+
+    def div(self, a: OperandLike, b: OperandLike, dst: Reg | None = None) -> Reg:
+        """dst = a / b (integer division truncates toward zero)."""
+        return self._binary(Opcode.DIV, a, b, dst)
+
+    def rem(self, a: OperandLike, b: OperandLike, dst: Reg | None = None) -> Reg:
+        """dst = a % b."""
+        return self._binary(Opcode.REM, a, b, dst)
+
+    def min_(self, a: OperandLike, b: OperandLike, dst: Reg | None = None) -> Reg:
+        """dst = min(a, b)."""
+        return self._binary(Opcode.MIN, a, b, dst)
+
+    def max_(self, a: OperandLike, b: OperandLike, dst: Reg | None = None) -> Reg:
+        """dst = max(a, b)."""
+        return self._binary(Opcode.MAX, a, b, dst)
+
+    def and_(self, a: OperandLike, b: OperandLike, dst: Reg | None = None) -> Reg:
+        """dst = a & b (logical on predicates)."""
+        return self._binary(Opcode.AND, a, b, dst)
+
+    def or_(self, a: OperandLike, b: OperandLike, dst: Reg | None = None) -> Reg:
+        """dst = a | b (logical on predicates)."""
+        return self._binary(Opcode.OR, a, b, dst)
+
+    def xor(self, a: OperandLike, b: OperandLike, dst: Reg | None = None) -> Reg:
+        """dst = a ^ b."""
+        return self._binary(Opcode.XOR, a, b, dst)
+
+    def shl(self, a: OperandLike, b: OperandLike, dst: Reg | None = None) -> Reg:
+        """dst = a << b."""
+        return self._binary(Opcode.SHL, a, b, dst)
+
+    def shr(self, a: OperandLike, b: OperandLike, dst: Reg | None = None) -> Reg:
+        """dst = a >> b."""
+        return self._binary(Opcode.SHR, a, b, dst)
+
+    def mad(self, a: OperandLike, b: OperandLike, c: OperandLike,
+            dst: Reg | None = None) -> Reg:
+        """dst = a * b + c."""
+        dst = dst or self.reg()
+        self._emit(
+            Instr(Opcode.MAD, dst=dst,
+                  srcs=(as_operand(a), as_operand(b), as_operand(c)))
+        )
+        return dst
+
+    def not_(self, a: OperandLike, dst: Reg | None = None) -> Reg:
+        """dst = not a (logical)."""
+        dst = dst or self.reg()
+        self._emit(Instr(Opcode.NOT, dst=dst, srcs=(as_operand(a),)))
+        return dst
+
+    def sqrt(self, a: OperandLike, dst: Reg | None = None) -> Reg:
+        """dst = sqrt(a)."""
+        dst = dst or self.reg()
+        self._emit(Instr(Opcode.SQRT, dst=dst, srcs=(as_operand(a),)))
+        return dst
+
+    def exp(self, a: OperandLike, dst: Reg | None = None) -> Reg:
+        """dst = exp(a)."""
+        dst = dst or self.reg()
+        self._emit(Instr(Opcode.EXP, dst=dst, srcs=(as_operand(a),)))
+        return dst
+
+    def abs_(self, a: OperandLike, dst: Reg | None = None) -> Reg:
+        """dst = abs(a)."""
+        dst = dst or self.reg()
+        self._emit(Instr(Opcode.ABS, dst=dst, srcs=(as_operand(a),)))
+        return dst
+
+    def cvt_int(self, a: OperandLike, dst: Reg | None = None) -> Reg:
+        """dst = int(a), truncating toward zero (PTX ``cvt.s32``)."""
+        dst = dst or self.reg()
+        self._emit(Instr(Opcode.CVT_INT, dst=dst, srcs=(as_operand(a),)))
+        return dst
+
+    def setp(self, cmp: CompareOp, a: OperandLike, b: OperandLike,
+             dst: Reg | None = None) -> Reg:
+        """dst = a <cmp> b, producing a predicate register."""
+        dst = dst or self.reg("p")
+        self._emit(
+            Instr(Opcode.SETP, dst=dst, cmp=cmp,
+                  srcs=(as_operand(a), as_operand(b)))
+        )
+        return dst
+
+    def selp(self, a: OperandLike, b: OperandLike, pred: OperandLike,
+             dst: Reg | None = None) -> Reg:
+        """dst = pred ? a : b."""
+        dst = dst or self.reg()
+        self._emit(
+            Instr(Opcode.SELP, dst=dst,
+                  srcs=(as_operand(a), as_operand(b), as_operand(pred)))
+        )
+        return dst
+
+    def bra(self, target: str, *, pred: Reg | None = None,
+            negate: bool = False) -> Instr:
+        """Branch to ``target``; optionally guarded by ``pred``."""
+        return self._emit(
+            Instr(Opcode.BRA, target=target, pred=pred, pred_negate=negate)
+        )
+
+    def brx(self, targets: Sequence[str], index: OperandLike) -> Instr:
+        """Indirect branch: jump to ``targets[index]``."""
+        return self._emit(
+            Instr(Opcode.BRX, targets=tuple(targets), srcs=(as_operand(index),))
+        )
+
+    def ld(self, base: OperandLike, offset: OperandLike = 0,
+           dst: Reg | None = None) -> Reg:
+        """dst = memory[base + offset]."""
+        dst = dst or self.reg()
+        self._emit(
+            Instr(Opcode.LD, dst=dst, srcs=(as_operand(base), as_operand(offset)))
+        )
+        return dst
+
+    def st(self, base: OperandLike, offset: OperandLike, src: OperandLike, *,
+           pred: Reg | None = None, pred_negate: bool = False) -> Instr:
+        """memory[base + offset] = src (optionally predicated)."""
+        return self._emit(
+            Instr(Opcode.ST,
+                  srcs=(as_operand(base), as_operand(offset), as_operand(src)),
+                  pred=pred, pred_negate=pred_negate)
+        )
+
+    def atom_add(self, base: OperandLike, offset: OperandLike, value: OperandLike,
+                 dst: Reg | None = None) -> Reg:
+        """Atomically add ``value`` at ``base + offset``; dst gets the old value."""
+        dst = dst or self.reg()
+        self._emit(
+            Instr(Opcode.ATOM_ADD, dst=dst,
+                  srcs=(as_operand(base), as_operand(offset), as_operand(value)))
+        )
+        return dst
+
+    def atom_cas(self, base: OperandLike, offset: OperandLike,
+                 compare: OperandLike, value: OperandLike,
+                 dst: Reg | None = None) -> Reg:
+        """Atomic compare-and-swap; dst gets the old value."""
+        dst = dst or self.reg()
+        self._emit(
+            Instr(Opcode.ATOM_CAS, dst=dst,
+                  srcs=(as_operand(base), as_operand(offset),
+                        as_operand(compare), as_operand(value)))
+        )
+        return dst
+
+    def atom_exch(self, base: OperandLike, offset: OperandLike,
+                  value: OperandLike, dst: Reg | None = None) -> Reg:
+        """Atomic exchange; dst gets the old value."""
+        dst = dst or self.reg()
+        self._emit(
+            Instr(Opcode.ATOM_EXCH, dst=dst,
+                  srcs=(as_operand(base), as_operand(offset), as_operand(value)))
+        )
+        return dst
+
+    def bar(self) -> Instr:
+        """Block-wide barrier (``bar.sync 0``)."""
+        return self._emit(Instr(Opcode.BAR))
+
+    def ret(self, *, pred: Reg | None = None, negate: bool = False) -> Instr:
+        """Return from the kernel (optionally predicated)."""
+        return self._emit(Instr(Opcode.RET, pred=pred, pred_negate=negate))
+
+    def nop(self) -> Instr:
+        """No-op (useful as a label carrier)."""
+        return self._emit(Instr(Opcode.NOP))
+
+    # ------------------------------------------------------------------
+    # Finalization
+    # ------------------------------------------------------------------
+    def build(self, *, validate: bool = True) -> KernelIR:
+        """Finish the kernel, validating by default."""
+        if self._pending_label is not None:
+            self._emit(Instr(Opcode.NOP))
+        body = list(self._body)
+        if not body or body[-1].op is not Opcode.RET or body[-1].pred is not None:
+            body.append(Instr(Opcode.RET))
+        kernel = KernelIR(
+            name=self.name,
+            params=list(self._params),
+            shared=list(self._shared),
+            body=body,
+        )
+        if validate:
+            from .validate import validate_kernel
+
+            validate_kernel(kernel)
+        return kernel

@@ -1,0 +1,684 @@
+"""Functional interpreter for mini-PTX kernels.
+
+The interpreter executes a :class:`~repro.ptx.ir.KernelIR` over simulated
+device memory with CUDA-faithful block/thread semantics:
+
+* thread blocks execute independently and may run in any order;
+* threads within a block make independent progress between barriers;
+* ``bar.sync`` releases only when *all* live threads of the block wait at
+  the *same* barrier — divergent synchronization (some threads returned,
+  or waiting at a different barrier) raises
+  :class:`~repro.errors.SyncDivergenceError`, modelling the infinite
+  stall the paper describes for unsafe transformed kernels;
+* atomics on global and shared memory are sequentially consistent.
+
+This is a *functional* model: it computes what a kernel writes, not how
+long it takes.  Timing belongs to :mod:`repro.gpu`.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping, Sequence
+
+import numpy as np
+
+from ..errors import (
+    ExecutionError,
+    InstructionLimitExceeded,
+    MemoryError_,
+    SyncDivergenceError,
+)
+from .ir import (
+    CompareOp,
+    Dim3,
+    Imm,
+    Instr,
+    KernelIR,
+    Opcode,
+    Operand,
+    ParamRef,
+    Reg,
+    SMemAddr,
+    Special,
+    SpecialKind,
+)
+
+__all__ = [
+    "GlobalRef",
+    "SharedRef",
+    "DeviceMemory",
+    "LaunchResult",
+    "Interpreter",
+    "launch_kernel",
+]
+
+
+@dataclass(frozen=True)
+class GlobalRef:
+    """A pointer into a named global-memory buffer (element offset)."""
+
+    buffer: str
+    offset: int = 0
+
+    def advanced(self, delta: int) -> "GlobalRef":
+        """Return a pointer ``delta`` elements further on."""
+        return GlobalRef(self.buffer, self.offset + delta)
+
+    def __str__(self) -> str:
+        return f"&{self.buffer}[{self.offset}]"
+
+
+@dataclass(frozen=True)
+class SharedRef:
+    """A pointer into a per-block shared-memory buffer (element offset)."""
+
+    buffer: str
+    offset: int = 0
+
+    def advanced(self, delta: int) -> "SharedRef":
+        """Return a pointer ``delta`` elements further on."""
+        return SharedRef(self.buffer, self.offset + delta)
+
+    def __str__(self) -> str:
+        return f"&shared.{self.buffer}[{self.offset}]"
+
+
+class DeviceMemory:
+    """Simulated global device memory: named, bounds-checked buffers."""
+
+    def __init__(self) -> None:
+        self._buffers: dict[str, np.ndarray] = {}
+        self._next_anon = 0
+
+    def alloc(self, size: int, dtype: Any = np.float64,
+              name: str | None = None) -> GlobalRef:
+        """Allocate a zero-initialized buffer and return a pointer to it."""
+        if size < 1:
+            raise MemoryError_(f"allocation size must be >= 1, got {size}")
+        if name is None:
+            name = f"buf{self._next_anon}"
+            self._next_anon += 1
+        if name in self._buffers:
+            raise MemoryError_(f"buffer {name!r} already allocated")
+        self._buffers[name] = np.zeros(size, dtype=dtype)
+        return GlobalRef(name, 0)
+
+    def bind(self, name: str, array: np.ndarray) -> GlobalRef:
+        """Expose an existing 1-D array as a device buffer."""
+        if array.ndim != 1:
+            raise MemoryError_("only 1-D arrays can be bound as device buffers")
+        if name in self._buffers:
+            raise MemoryError_(f"buffer {name!r} already allocated")
+        self._buffers[name] = array
+        return GlobalRef(name, 0)
+
+    def free(self, ref: GlobalRef) -> None:
+        """Release a buffer."""
+        if ref.buffer not in self._buffers:
+            raise MemoryError_(f"no buffer named {ref.buffer!r}")
+        del self._buffers[ref.buffer]
+
+    def array(self, ref: GlobalRef) -> np.ndarray:
+        """Return the backing array of ``ref``'s buffer."""
+        try:
+            return self._buffers[ref.buffer]
+        except KeyError:
+            raise MemoryError_(f"no buffer named {ref.buffer!r}") from None
+
+    def _slot(self, ref: GlobalRef, offset: int) -> tuple[np.ndarray, int]:
+        arr = self.array(ref)
+        index = ref.offset + offset
+        if not 0 <= index < arr.shape[0]:
+            raise MemoryError_(
+                f"out-of-bounds access at {ref.buffer}[{index}] "
+                f"(size {arr.shape[0]})"
+            )
+        return arr, index
+
+    def read(self, ref: GlobalRef, offset: int = 0) -> int | float:
+        """Load one element."""
+        arr, index = self._slot(ref, offset)
+        return arr[index].item()
+
+    def write(self, ref: GlobalRef, offset: int, value: int | float) -> None:
+        """Store one element."""
+        arr, index = self._slot(ref, offset)
+        arr[index] = value
+
+    def atomic_add(self, ref: GlobalRef, offset: int,
+                   value: int | float) -> int | float:
+        """Atomic fetch-and-add; returns the previous value."""
+        arr, index = self._slot(ref, offset)
+        old = arr[index].item()
+        arr[index] = old + value
+        return old
+
+    def atomic_cas(self, ref: GlobalRef, offset: int, compare: int | float,
+                   value: int | float) -> int | float:
+        """Atomic compare-and-swap; returns the previous value."""
+        arr, index = self._slot(ref, offset)
+        old = arr[index].item()
+        if old == compare:
+            arr[index] = value
+        return old
+
+    def atomic_exch(self, ref: GlobalRef, offset: int,
+                    value: int | float) -> int | float:
+        """Atomic exchange; returns the previous value."""
+        arr, index = self._slot(ref, offset)
+        old = arr[index].item()
+        arr[index] = value
+        return old
+
+
+class _SharedSpace:
+    """Shared-memory buffers of one thread block."""
+
+    def __init__(self, decls: Sequence[tuple[str, int]]):
+        self._buffers = {name: np.zeros(size, dtype=np.float64)
+                         for name, size in decls}
+
+    def _slot(self, ref: SharedRef, offset: int) -> tuple[np.ndarray, int]:
+        try:
+            arr = self._buffers[ref.buffer]
+        except KeyError:
+            raise MemoryError_(f"no shared buffer named {ref.buffer!r}") from None
+        index = ref.offset + offset
+        if not 0 <= index < arr.shape[0]:
+            raise MemoryError_(
+                f"out-of-bounds shared access at {ref.buffer}[{index}] "
+                f"(size {arr.shape[0]})"
+            )
+        return arr, index
+
+    def read(self, ref: SharedRef, offset: int) -> float:
+        arr, index = self._slot(ref, offset)
+        return arr[index].item()
+
+    def write(self, ref: SharedRef, offset: int, value: int | float) -> None:
+        arr, index = self._slot(ref, offset)
+        arr[index] = value
+
+    def atomic_add(self, ref: SharedRef, offset: int,
+                   value: int | float) -> float:
+        arr, index = self._slot(ref, offset)
+        old = arr[index].item()
+        arr[index] = old + value
+        return old
+
+    def atomic_cas(self, ref: SharedRef, offset: int, compare: int | float,
+                   value: int | float) -> float:
+        arr, index = self._slot(ref, offset)
+        old = arr[index].item()
+        if old == compare:
+            arr[index] = value
+        return old
+
+    def atomic_exch(self, ref: SharedRef, offset: int,
+                    value: int | float) -> float:
+        arr, index = self._slot(ref, offset)
+        old = arr[index].item()
+        arr[index] = value
+        return old
+
+
+@dataclass
+class _ThreadState:
+    """Execution state of one thread within a block."""
+
+    tid: tuple[int, int, int]
+    pc: int = 0
+    regs: dict[str, Any] = field(default_factory=dict)
+    finished: bool = False
+    barrier_pc: int | None = None
+    instructions: int = 0
+
+
+@dataclass
+class LaunchResult:
+    """Summary of a completed kernel launch."""
+
+    kernel: str
+    grid: Dim3
+    block: Dim3
+    blocks_run: int
+    instructions: int
+
+
+def _as_int(value: Any, what: str) -> int:
+    if isinstance(value, bool):
+        return int(value)
+    if isinstance(value, int):
+        return value
+    if isinstance(value, float) and value.is_integer():
+        return int(value)
+    raise ExecutionError(f"{what} must be an integer, got {value!r}")
+
+
+_COMPARES: dict[CompareOp, Callable[[Any, Any], bool]] = {
+    CompareOp.LT: lambda a, b: a < b,
+    CompareOp.LE: lambda a, b: a <= b,
+    CompareOp.GT: lambda a, b: a > b,
+    CompareOp.GE: lambda a, b: a >= b,
+    CompareOp.EQ: lambda a, b: a == b,
+    CompareOp.NE: lambda a, b: a != b,
+}
+
+
+class Interpreter:
+    """Executes mini-PTX kernels over a :class:`DeviceMemory`.
+
+    Parameters
+    ----------
+    memory:
+        The global memory image kernels read and write.
+    max_instructions_per_thread:
+        Safety valve against runaway loops; exceeded -> raise.
+    instr_hook / hook_interval:
+        Optional callback invoked every ``hook_interval`` executed
+        instructions (across all threads).  Tests use it to flip a
+        preemption flag in global memory mid-kernel.
+    """
+
+    def __init__(
+        self,
+        memory: DeviceMemory | None = None,
+        *,
+        max_instructions_per_thread: int = 1_000_000,
+        instr_hook: Callable[["Interpreter"], None] | None = None,
+        hook_interval: int = 1000,
+    ) -> None:
+        self.memory = memory if memory is not None else DeviceMemory()
+        self.max_instructions_per_thread = max_instructions_per_thread
+        self.instr_hook = instr_hook
+        self.hook_interval = hook_interval
+        self.instructions_executed = 0
+        self._hook_due = hook_interval
+
+    # ------------------------------------------------------------------
+    def launch(
+        self,
+        kernel: KernelIR,
+        grid: Dim3 | int | Sequence[int],
+        block: Dim3 | int | Sequence[int],
+        args: Mapping[str, Any],
+        *,
+        block_order: Sequence[int] | None = None,
+        shuffle_blocks: random.Random | None = None,
+    ) -> LaunchResult:
+        """Run ``kernel`` over the full grid and return launch stats.
+
+        ``block_order`` (linear block indices) or ``shuffle_blocks`` (an
+        RNG) override the default row-major block execution order; CUDA
+        guarantees correctness under any order, and property tests use
+        this to check that the stock kernels and all transformed kernels
+        honour that guarantee.
+        """
+        grid = Dim3.of(grid)
+        block = Dim3.of(block)
+        missing = [p.name for p in kernel.params if p.name not in args]
+        if missing:
+            raise ExecutionError(
+                f"kernel {kernel.name!r} launched without arguments: {missing}"
+            )
+
+        labels = kernel.labels()
+        order = list(range(grid.total)) if block_order is None else list(block_order)
+        if shuffle_blocks is not None:
+            shuffle_blocks.shuffle(order)
+        if sorted(order) != list(range(grid.total)):
+            raise ExecutionError("block_order must be a permutation of the grid")
+
+        start_instrs = self.instructions_executed
+        for linear in order:
+            ctaid = grid.delinearize(linear)
+            self._run_block(kernel, labels, grid, block, ctaid, args)
+
+        return LaunchResult(
+            kernel=kernel.name,
+            grid=grid,
+            block=block,
+            blocks_run=grid.total,
+            instructions=self.instructions_executed - start_instrs,
+        )
+
+    # ------------------------------------------------------------------
+    def _run_block(
+        self,
+        kernel: KernelIR,
+        labels: dict[str, int],
+        grid: Dim3,
+        block: Dim3,
+        ctaid: tuple[int, int, int],
+        args: Mapping[str, Any],
+    ) -> None:
+        shared = _SharedSpace([(d.name, d.size) for d in kernel.shared])
+        threads = [
+            _ThreadState(tid=(tx, ty, tz))
+            for tz in range(block.z)
+            for ty in range(block.y)
+            for tx in range(block.x)
+        ]
+
+        while True:
+            for thread in threads:
+                if thread.finished or thread.barrier_pc is not None:
+                    continue
+                self._run_thread(kernel, labels, grid, block, ctaid, args,
+                                 shared, thread)
+
+            if all(t.finished for t in threads):
+                return
+
+            # All live threads are now waiting at a barrier.  Modern GPUs
+            # (sm_70+) release a barrier once every *non-exited* thread
+            # has arrived, so finished threads are excluded.  Live threads
+            # waiting at *different* barriers is the divergent
+            # synchronization the paper describes: the hardware stalls
+            # forever; the interpreter raises instead.
+            waiting = [t for t in threads if t.barrier_pc is not None]
+            pcs = {t.barrier_pc for t in waiting}
+            if len(pcs) != 1:
+                raise SyncDivergenceError(
+                    f"kernel {kernel.name!r} block {ctaid}: threads wait at "
+                    f"divergent barriers (pcs {sorted(pcs)})"  # type: ignore[type-var]
+                )
+            release_pc = waiting[0].barrier_pc
+            assert release_pc is not None
+            for t in waiting:
+                t.barrier_pc = None
+                t.pc = release_pc + 1
+
+    # ------------------------------------------------------------------
+    def _run_thread(
+        self,
+        kernel: KernelIR,
+        labels: dict[str, int],
+        grid: Dim3,
+        block: Dim3,
+        ctaid: tuple[int, int, int],
+        args: Mapping[str, Any],
+        shared: _SharedSpace,
+        thread: _ThreadState,
+    ) -> None:
+        """Advance one thread until it returns or blocks at a barrier."""
+        body = kernel.body
+        n = len(body)
+        while True:
+            if not 0 <= thread.pc < n:
+                raise ExecutionError(
+                    f"kernel {kernel.name!r}: pc {thread.pc} out of range"
+                )
+            instr = body[thread.pc]
+            thread.instructions += 1
+            self.instructions_executed += 1
+            if thread.instructions > self.max_instructions_per_thread:
+                raise InstructionLimitExceeded(
+                    f"thread {thread.tid} of kernel {kernel.name!r} exceeded "
+                    f"{self.max_instructions_per_thread} instructions"
+                )
+            if self.instr_hook is not None:
+                self._hook_due -= 1
+                if self._hook_due <= 0:
+                    self._hook_due = self.hook_interval
+                    self.instr_hook(self)
+
+            op = instr.op
+            if op is Opcode.BAR:
+                thread.barrier_pc = thread.pc
+                return
+            if op is Opcode.RET:
+                if instr.pred is None or self._guard(instr, thread):
+                    thread.finished = True
+                    return
+                thread.pc += 1
+                continue
+            if op is Opcode.BRA:
+                if instr.pred is None or self._guard(instr, thread):
+                    thread.pc = labels[instr.target]  # type: ignore[index]
+                else:
+                    thread.pc += 1
+                continue
+            if op is Opcode.BRX:
+                idx = _as_int(
+                    self._eval(instr.srcs[0], thread, grid, block, ctaid, args),
+                    "brx index",
+                )
+                if not 0 <= idx < len(instr.targets):
+                    raise ExecutionError(
+                        f"brx index {idx} out of range "
+                        f"(table size {len(instr.targets)})"
+                    )
+                thread.pc = labels[instr.targets[idx]]
+                continue
+
+            self._execute(instr, thread, grid, block, ctaid, args, shared)
+            thread.pc += 1
+
+    # ------------------------------------------------------------------
+    def _guard(self, instr: Instr, thread: _ThreadState) -> bool:
+        assert instr.pred is not None
+        try:
+            value = thread.regs[instr.pred.name]
+        except KeyError:
+            raise ExecutionError(
+                f"read of undefined predicate register {instr.pred}"
+            ) from None
+        truth = bool(value)
+        return (not truth) if instr.pred_negate else truth
+
+    def _eval(
+        self,
+        operand: Operand,
+        thread: _ThreadState,
+        grid: Dim3,
+        block: Dim3,
+        ctaid: tuple[int, int, int],
+        args: Mapping[str, Any],
+    ) -> Any:
+        if isinstance(operand, Reg):
+            try:
+                return thread.regs[operand.name]
+            except KeyError:
+                raise ExecutionError(
+                    f"read of undefined register {operand}"
+                ) from None
+        if isinstance(operand, Imm):
+            return operand.value
+        if isinstance(operand, ParamRef):
+            return args[operand.name]
+        if isinstance(operand, SMemAddr):
+            return SharedRef(operand.buffer, 0)
+        if isinstance(operand, Special):
+            axis = {"x": 0, "y": 1, "z": 2}[operand.axis.value]
+            if operand.kind is SpecialKind.TID:
+                return thread.tid[axis]
+            if operand.kind is SpecialKind.NTID:
+                return (block.x, block.y, block.z)[axis]
+            if operand.kind is SpecialKind.CTAID:
+                return ctaid[axis]
+            if operand.kind is SpecialKind.NCTAID:
+                return (grid.x, grid.y, grid.z)[axis]
+        raise ExecutionError(f"cannot evaluate operand {operand!r}")
+
+    # ------------------------------------------------------------------
+    def _execute(
+        self,
+        instr: Instr,
+        thread: _ThreadState,
+        grid: Dim3,
+        block: Dim3,
+        ctaid: tuple[int, int, int],
+        args: Mapping[str, Any],
+        shared: _SharedSpace,
+    ) -> None:
+        op = instr.op
+        ev = lambda i: self._eval(instr.srcs[i], thread, grid, block, ctaid, args)
+
+        if op is Opcode.NOP:
+            return
+        if op is Opcode.MOV:
+            if instr.pred is not None and not self._guard(instr, thread):
+                return
+            thread.regs[instr.dst.name] = ev(0)  # type: ignore[union-attr]
+            return
+        if op is Opcode.SETP:
+            a, b = ev(0), ev(1)
+            thread.regs[instr.dst.name] = _COMPARES[instr.cmp](a, b)  # type: ignore[index,union-attr]
+            return
+        if op is Opcode.SELP:
+            a, b, p = ev(0), ev(1), ev(2)
+            thread.regs[instr.dst.name] = a if bool(p) else b  # type: ignore[union-attr]
+            return
+        if op is Opcode.NOT:
+            thread.regs[instr.dst.name] = not bool(ev(0))  # type: ignore[union-attr]
+            return
+        if op is Opcode.CVT_INT:
+            value = ev(0)
+            if isinstance(value, bool):
+                value = int(value)
+            thread.regs[instr.dst.name] = int(math.trunc(value))  # type: ignore[union-attr]
+            return
+        if op in (Opcode.SQRT, Opcode.EXP, Opcode.ABS):
+            a = ev(0)
+            if op is Opcode.SQRT:
+                result: Any = math.sqrt(a)
+            elif op is Opcode.EXP:
+                result = math.exp(a)
+            else:
+                result = abs(a)
+            thread.regs[instr.dst.name] = result  # type: ignore[union-attr]
+            return
+        if op is Opcode.MAD:
+            a, b, c = ev(0), ev(1), ev(2)
+            thread.regs[instr.dst.name] = a * b + c  # type: ignore[union-attr]
+            return
+        if op in (Opcode.ADD, Opcode.SUB, Opcode.MUL, Opcode.DIV, Opcode.REM,
+                  Opcode.MIN, Opcode.MAX, Opcode.AND, Opcode.OR, Opcode.XOR,
+                  Opcode.SHL, Opcode.SHR):
+            a, b = ev(0), ev(1)
+            thread.regs[instr.dst.name] = _arith(op, a, b)  # type: ignore[union-attr]
+            return
+        if op is Opcode.LD:
+            base, offset = ev(0), _as_int(ev(1), "load offset")
+            thread.regs[instr.dst.name] = self._load(base, offset, shared)  # type: ignore[union-attr]
+            return
+        if op is Opcode.ST:
+            if instr.pred is not None and not self._guard(instr, thread):
+                return
+            base, offset, value = ev(0), _as_int(ev(1), "store offset"), ev(2)
+            self._store(base, offset, value, shared)
+            return
+        if op is Opcode.ATOM_ADD:
+            base, offset, value = ev(0), _as_int(ev(1), "atomic offset"), ev(2)
+            thread.regs[instr.dst.name] = self._atomic(  # type: ignore[union-attr]
+                "add", base, offset, shared, value)
+            return
+        if op is Opcode.ATOM_EXCH:
+            base, offset, value = ev(0), _as_int(ev(1), "atomic offset"), ev(2)
+            thread.regs[instr.dst.name] = self._atomic(  # type: ignore[union-attr]
+                "exch", base, offset, shared, value)
+            return
+        if op is Opcode.ATOM_CAS:
+            base = ev(0)
+            offset = _as_int(ev(1), "atomic offset")
+            compare, value = ev(2), ev(3)
+            thread.regs[instr.dst.name] = self._atomic(  # type: ignore[union-attr]
+                "cas", base, offset, shared, compare, value)
+            return
+        raise ExecutionError(f"unhandled opcode {op.value}")
+
+    # ------------------------------------------------------------------
+    def _load(self, base: Any, offset: int, shared: _SharedSpace) -> Any:
+        if isinstance(base, GlobalRef):
+            return self.memory.read(base, offset)
+        if isinstance(base, SharedRef):
+            return shared.read(base, offset)
+        raise MemoryError_(f"load from non-pointer value {base!r}")
+
+    def _store(self, base: Any, offset: int, value: Any,
+               shared: _SharedSpace) -> None:
+        if isinstance(base, GlobalRef):
+            self.memory.write(base, offset, value)
+            return
+        if isinstance(base, SharedRef):
+            shared.write(base, offset, value)
+            return
+        raise MemoryError_(f"store to non-pointer value {base!r}")
+
+    def _atomic(self, kind: str, base: Any, offset: int,
+                shared: _SharedSpace, *operands: Any) -> Any:
+        if isinstance(base, GlobalRef):
+            space: Any = self.memory
+        elif isinstance(base, SharedRef):
+            space = shared
+        else:
+            raise MemoryError_(f"atomic on non-pointer value {base!r}")
+        if kind == "add":
+            return space.atomic_add(base, offset, operands[0])
+        if kind == "exch":
+            return space.atomic_exch(base, offset, operands[0])
+        return space.atomic_cas(base, offset, operands[0], operands[1])
+
+
+def _arith(op: Opcode, a: Any, b: Any) -> Any:
+    """Binary arithmetic with pointer support on ADD/SUB."""
+    if isinstance(a, (GlobalRef, SharedRef)):
+        if op is Opcode.ADD:
+            return a.advanced(_as_int(b, "pointer offset"))
+        if op is Opcode.SUB:
+            return a.advanced(-_as_int(b, "pointer offset"))
+        raise ExecutionError(f"{op.value} not supported on pointers")
+    if isinstance(b, (GlobalRef, SharedRef)):
+        if op is Opcode.ADD:
+            return b.advanced(_as_int(a, "pointer offset"))
+        raise ExecutionError(f"{op.value} not supported on pointers")
+
+    if op is Opcode.ADD:
+        return a + b
+    if op is Opcode.SUB:
+        return a - b
+    if op is Opcode.MUL:
+        return a * b
+    if op is Opcode.DIV:
+        if isinstance(a, int) and isinstance(b, int):
+            if b == 0:
+                raise ExecutionError("integer division by zero")
+            return int(math.trunc(a / b)) if (a < 0) != (b < 0) else a // b
+        return a / b
+    if op is Opcode.REM:
+        if isinstance(a, int) and isinstance(b, int):
+            if b == 0:
+                raise ExecutionError("integer remainder by zero")
+            return a - _arith(Opcode.DIV, a, b) * b
+        return math.fmod(a, b)
+    if op is Opcode.MIN:
+        return min(a, b)
+    if op is Opcode.MAX:
+        return max(a, b)
+    if op is Opcode.AND:
+        return a & b
+    if op is Opcode.OR:
+        return a | b
+    if op is Opcode.XOR:
+        return a ^ b
+    if op is Opcode.SHL:
+        return _as_int(a, "shift operand") << _as_int(b, "shift amount")
+    if op is Opcode.SHR:
+        return _as_int(a, "shift operand") >> _as_int(b, "shift amount")
+    raise ExecutionError(f"unhandled arithmetic opcode {op.value}")
+
+
+def launch_kernel(
+    kernel: KernelIR,
+    grid: Dim3 | int | Sequence[int],
+    block: Dim3 | int | Sequence[int],
+    args: Mapping[str, Any],
+    memory: DeviceMemory,
+    **kwargs: Any,
+) -> LaunchResult:
+    """Convenience wrapper: run ``kernel`` once on ``memory``."""
+    return Interpreter(memory).launch(kernel, grid, block, args, **kwargs)

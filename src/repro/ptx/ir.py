@@ -1,0 +1,382 @@
+"""Mini-PTX intermediate representation.
+
+This module defines a small PTX-like kernel IR that carries just enough
+of the real instruction set for Tally's kernel transformations to apply:
+virtual registers, predicated branches, indirect branches, barriers,
+global/shared loads and stores, atomics, and the CUDA special registers
+(``tid``, ``ntid``, ``ctaid``, ``nctaid``).
+
+Kernels built in this IR are *executable* through
+:mod:`repro.ptx.interpreter`, which is what lets the test suite check
+that the slicing / unified-synchronization / preemption transformations
+of :mod:`repro.transform` preserve functional semantics.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+from typing import Iterable, Iterator, Sequence, Union
+
+__all__ = [
+    "Axis",
+    "SpecialKind",
+    "CompareOp",
+    "Opcode",
+    "Reg",
+    "Imm",
+    "ParamRef",
+    "Special",
+    "SMemAddr",
+    "Operand",
+    "Param",
+    "ParamKind",
+    "SharedDecl",
+    "Instr",
+    "KernelIR",
+    "Dim3",
+]
+
+
+class Axis(str, enum.Enum):
+    """A coordinate axis of the CUDA thread hierarchy."""
+
+    X = "x"
+    Y = "y"
+    Z = "z"
+
+
+class SpecialKind(str, enum.Enum):
+    """Special (read-only) registers exposed to kernels."""
+
+    TID = "tid"  # threadIdx
+    NTID = "ntid"  # blockDim
+    CTAID = "ctaid"  # blockIdx
+    NCTAID = "nctaid"  # gridDim
+
+
+class CompareOp(str, enum.Enum):
+    """Comparison operators accepted by ``setp``."""
+
+    LT = "lt"
+    LE = "le"
+    GT = "gt"
+    GE = "ge"
+    EQ = "eq"
+    NE = "ne"
+
+
+class Opcode(str, enum.Enum):
+    """Instruction opcodes of the mini-PTX ISA."""
+
+    MOV = "mov"
+    ADD = "add"
+    SUB = "sub"
+    MUL = "mul"
+    DIV = "div"
+    REM = "rem"
+    MIN = "min"
+    MAX = "max"
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+    SHL = "shl"
+    SHR = "shr"
+    MAD = "mad"  # dst = a * b + c
+    NOT = "not"  # logical negation (predicates)
+    SETP = "setp"
+    SELP = "selp"
+    BRA = "bra"
+    BRX = "brx"  # indirect branch through a label table
+    LD = "ld"
+    ST = "st"
+    ATOM_ADD = "atom.add"
+    ATOM_CAS = "atom.cas"
+    ATOM_EXCH = "atom.exch"
+    CVT_INT = "cvt.s32"  # truncate to integer
+    BAR = "bar.sync"
+    RET = "ret"
+    NOP = "nop"
+
+    # Math helpers used by the stock kernel library.
+    SQRT = "sqrt"
+    EXP = "exp"
+    ABS = "abs"
+
+
+@dataclass(frozen=True)
+class Reg:
+    """A virtual register operand (``%name`` in the textual syntax)."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return f"%{self.name}"
+
+
+@dataclass(frozen=True)
+class Imm:
+    """An immediate operand (int, float, or bool)."""
+
+    value: Union[int, float, bool]
+
+    def __str__(self) -> str:
+        return repr(self.value)
+
+
+@dataclass(frozen=True)
+class ParamRef:
+    """A read of a kernel parameter by name."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return f"[{self.name}]"
+
+
+@dataclass(frozen=True)
+class Special:
+    """A read of a special register, e.g. ``%ctaid.x``."""
+
+    kind: SpecialKind
+    axis: Axis
+
+    def __str__(self) -> str:
+        return f"%{self.kind.value}.{self.axis.value}"
+
+
+@dataclass(frozen=True)
+class SMemAddr:
+    """The base address of a named shared-memory buffer."""
+
+    buffer: str
+
+    def __str__(self) -> str:
+        return f"@shared.{self.buffer}"
+
+
+Operand = Union[Reg, Imm, ParamRef, Special, SMemAddr]
+
+
+class ParamKind(str, enum.Enum):
+    """Declared type of a kernel parameter."""
+
+    PTR = "ptr"  # device-global pointer
+    I32 = "i32"
+    I64 = "i64"
+    F32 = "f32"
+    F64 = "f64"
+    PRED = "pred"
+
+
+@dataclass(frozen=True)
+class Param:
+    """A kernel parameter declaration."""
+
+    name: str
+    kind: ParamKind = ParamKind.I32
+
+    def __str__(self) -> str:
+        return f".param .{self.kind.value} {self.name}"
+
+
+@dataclass(frozen=True)
+class SharedDecl:
+    """A per-block shared-memory buffer declaration (element count)."""
+
+    name: str
+    size: int
+
+    def __str__(self) -> str:
+        return f".shared {self.name}[{self.size}]"
+
+
+@dataclass
+class Instr:
+    """One mini-PTX instruction.
+
+    ``label`` names the instruction as a branch target.  ``pred`` (with
+    ``pred_negate``) makes the instruction conditional, mirroring PTX's
+    ``@%p`` / ``@!%p`` guards; in this IR predication is only honoured on
+    ``BRA``, ``RET``, ``ST`` and ``MOV``, which is all the transformations
+    and stock kernels need.
+    """
+
+    op: Opcode
+    dst: Reg | None = None
+    srcs: tuple[Operand, ...] = ()
+    target: str | None = None  # branch target label
+    targets: tuple[str, ...] = ()  # brx label table
+    cmp: CompareOp | None = None
+    label: str | None = None
+    pred: Reg | None = None
+    pred_negate: bool = False
+
+    def copy(self) -> "Instr":
+        """Return an independent copy of this instruction."""
+        return replace(self)
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        from .printer import format_instr
+
+        return format_instr(self)
+
+
+@dataclass(frozen=True)
+class Dim3:
+    """A 3-D extent, as used for grid and block dimensions."""
+
+    x: int = 1
+    y: int = 1
+    z: int = 1
+
+    def __post_init__(self) -> None:
+        for axis in ("x", "y", "z"):
+            value = getattr(self, axis)
+            if not isinstance(value, int) or value < 1:
+                raise ValueError(f"Dim3.{axis} must be a positive int, got {value!r}")
+
+    @property
+    def total(self) -> int:
+        """Total number of elements covered by the extent."""
+        return self.x * self.y * self.z
+
+    def get(self, axis: Axis) -> int:
+        """Return the extent along ``axis``."""
+        return getattr(self, axis.value)
+
+    def linearize(self, x: int, y: int, z: int) -> int:
+        """Map a 3-D coordinate to its row-major linear index."""
+        return (z * self.y + y) * self.x + x
+
+    def delinearize(self, index: int) -> tuple[int, int, int]:
+        """Map a linear index back to its 3-D coordinate."""
+        if not 0 <= index < self.total:
+            raise ValueError(f"index {index} out of range for {self}")
+        x = index % self.x
+        y = (index // self.x) % self.y
+        z = index // (self.x * self.y)
+        return x, y, z
+
+    def __iter__(self) -> Iterator[int]:
+        yield self.x
+        yield self.y
+        yield self.z
+
+    def __str__(self) -> str:
+        return f"({self.x}, {self.y}, {self.z})"
+
+    @staticmethod
+    def of(value: "Dim3 | int | Sequence[int]") -> "Dim3":
+        """Coerce an int or sequence into a :class:`Dim3`."""
+        if isinstance(value, Dim3):
+            return value
+        if isinstance(value, int):
+            return Dim3(value)
+        parts = list(value)
+        if not 1 <= len(parts) <= 3:
+            raise ValueError(f"cannot build Dim3 from {value!r}")
+        while len(parts) < 3:
+            parts.append(1)
+        return Dim3(*parts)
+
+
+@dataclass
+class KernelIR:
+    """A complete mini-PTX kernel: signature, shared memory, and body."""
+
+    name: str
+    params: list[Param] = field(default_factory=list)
+    shared: list[SharedDecl] = field(default_factory=list)
+    body: list[Instr] = field(default_factory=list)
+
+    def param_names(self) -> list[str]:
+        """Names of all declared parameters, in order."""
+        return [p.name for p in self.params]
+
+    def has_param(self, name: str) -> bool:
+        """Whether a parameter named ``name`` is declared."""
+        return any(p.name == name for p in self.params)
+
+    def shared_names(self) -> list[str]:
+        """Names of all declared shared buffers."""
+        return [s.name for s in self.shared]
+
+    def labels(self) -> dict[str, int]:
+        """Map label name to instruction index."""
+        out: dict[str, int] = {}
+        for i, instr in enumerate(self.body):
+            if instr.label is not None:
+                if instr.label in out:
+                    raise ValueError(f"duplicate label {instr.label!r} in {self.name}")
+                out[instr.label] = i
+        return out
+
+    def copy(self) -> "KernelIR":
+        """Return a deep, independent copy of the kernel."""
+        return KernelIR(
+            name=self.name,
+            params=list(self.params),
+            shared=list(self.shared),
+            body=[instr.copy() for instr in self.body],
+        )
+
+    def instruction_count(self) -> int:
+        """Number of instructions in the body."""
+        return len(self.body)
+
+    def uses_barrier(self) -> bool:
+        """Whether the body contains any ``bar.sync``."""
+        return any(instr.op is Opcode.BAR for instr in self.body)
+
+    def reads_special(self, kind: SpecialKind) -> bool:
+        """Whether any instruction reads the given special register."""
+        return any(
+            isinstance(src, Special) and src.kind is kind
+            for instr in self.body
+            for src in instr.srcs
+        )
+
+    def fresh_register(self, stem: str) -> Reg:
+        """Return a register named after ``stem`` not used in the body."""
+        used = set()
+        for instr in self.body:
+            if instr.dst is not None:
+                used.add(instr.dst.name)
+            if instr.pred is not None:
+                used.add(instr.pred.name)
+            for src in instr.srcs:
+                if isinstance(src, Reg):
+                    used.add(src.name)
+        if stem not in used:
+            return Reg(stem)
+        i = 0
+        while f"{stem}{i}" in used:
+            i += 1
+        return Reg(f"{stem}{i}")
+
+    def fresh_label(self, stem: str) -> str:
+        """Return a label named after ``stem`` not used in the body."""
+        used = {instr.label for instr in self.body if instr.label is not None}
+        for instr in self.body:
+            if instr.target is not None:
+                used.add(instr.target)
+            used.update(instr.targets)
+        if stem not in used:
+            return stem
+        i = 0
+        while f"{stem}_{i}" in used:
+            i += 1
+        return f"{stem}_{i}"
+
+    def __str__(self) -> str:
+        from .printer import format_kernel
+
+        return format_kernel(self)
+
+
+def walk_operands(instrs: Iterable[Instr]) -> Iterator[tuple[Instr, int, Operand]]:
+    """Yield ``(instr, src_index, operand)`` for every source operand."""
+    for instr in instrs:
+        for i, src in enumerate(instr.srcs):
+            yield instr, i, src

@@ -1,0 +1,955 @@
+"""Stock mini-PTX kernels and self-checking launch cases.
+
+This module serves two purposes:
+
+* it is the kernel corpus Tally's transformation passes are exercised on
+  (unit tests, property tests, and the transformation pipeline demo);
+* each kernel ships with a :class:`KernelCase` factory that builds a
+  random problem instance together with its NumPy-computed expected
+  output, so any execution path (original, sliced, preemptive, resumed)
+  can be checked for functional equivalence.
+
+The corpus deliberately covers the structural features that matter for
+the paper's transformations: early returns, internal barriers, loops,
+shared-memory reductions, atomics, multi-dimensional grids, and the
+legal early-return-before-others-sync pattern (``fold_halves``) that
+makes a naive preemption transformation unsafe.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+import numpy as np
+
+from .builder import KernelBuilder
+from .interpreter import DeviceMemory, GlobalRef
+from .ir import Axis, CompareOp, Dim3, KernelIR
+
+__all__ = [
+    "KernelCase",
+    "CASE_FACTORIES",
+    "make_case",
+    "case_names",
+    "vector_add",
+    "saxpy",
+    "iota",
+    "exp_elementwise",
+    "stencil_1d",
+    "histogram",
+    "block_sum",
+    "dot_product",
+    "fold_halves",
+    "matmul_naive",
+    "matmul_tiled",
+    "transpose_naive",
+    "softmax_rows",
+    "grid3d_stamp",
+    "prefix_sum_block",
+    "layernorm_rows",
+    "argmax_rows",
+]
+
+
+@dataclass
+class KernelCase:
+    """A kernel plus a concrete problem instance with known answer."""
+
+    name: str
+    kernel: KernelIR
+    grid: Dim3
+    block: Dim3
+    memory: DeviceMemory
+    args: dict[str, Any]
+    expected: dict[str, np.ndarray]
+    #: buffers whose final contents are checked against ``expected``
+    atol: float = 1e-9
+
+    def check(self) -> None:
+        """Assert every expected buffer matches device memory."""
+        for buffer, want in self.expected.items():
+            got = self.memory.array(GlobalRef(buffer))
+            np.testing.assert_allclose(
+                got, want, atol=self.atol, rtol=1e-7,
+                err_msg=f"buffer {buffer!r} of case {self.name!r}",
+            )
+
+
+# ---------------------------------------------------------------------------
+# Kernel definitions
+# ---------------------------------------------------------------------------
+
+def vector_add() -> KernelIR:
+    """out[i] = x[i] + y[i] with a bounds guard (early return)."""
+    b = KernelBuilder("vector_add")
+    x, y, out = b.ptr_param("x"), b.ptr_param("y"), b.ptr_param("out")
+    n = b.i32_param("n")
+    i = b.global_thread_id_x()
+    b.ret(pred=b.setp(CompareOp.GE, i, n))
+    b.st(out, i, b.add(b.ld(x, i), b.ld(y, i)))
+    return b.build()
+
+
+def saxpy() -> KernelIR:
+    """y[i] = alpha * x[i] + y[i]."""
+    b = KernelBuilder("saxpy")
+    alpha = b.f32_param("alpha")
+    x, y = b.ptr_param("x"), b.ptr_param("y")
+    n = b.i32_param("n")
+    i = b.global_thread_id_x()
+    b.ret(pred=b.setp(CompareOp.GE, i, n))
+    b.st(y, i, b.mad(alpha, b.ld(x, i), b.ld(y, i)))
+    return b.build()
+
+
+def iota() -> KernelIR:
+    """out[i] = i."""
+    b = KernelBuilder("iota")
+    out, n = b.ptr_param("out"), b.i32_param("n")
+    i = b.global_thread_id_x()
+    b.ret(pred=b.setp(CompareOp.GE, i, n))
+    b.st(out, i, i)
+    return b.build()
+
+
+def exp_elementwise() -> KernelIR:
+    """out[i] = exp(x[i])."""
+    b = KernelBuilder("exp_elementwise")
+    x, out, n = b.ptr_param("x"), b.ptr_param("out"), b.i32_param("n")
+    i = b.global_thread_id_x()
+    b.ret(pred=b.setp(CompareOp.GE, i, n))
+    b.st(out, i, b.exp(b.ld(x, i)))
+    return b.build()
+
+
+def stencil_1d() -> KernelIR:
+    """out[i] = mean of x[i-1..i+1] with clamped edges."""
+    b = KernelBuilder("stencil_1d")
+    x, out, n = b.ptr_param("x"), b.ptr_param("out"), b.i32_param("n")
+    i = b.global_thread_id_x()
+    b.ret(pred=b.setp(CompareOp.GE, i, n))
+    left = b.max_(b.sub(i, 1), 0)
+    right = b.min_(b.add(i, 1), b.sub(n, 1))
+    total = b.add(b.add(b.ld(x, left), b.ld(x, i)), b.ld(x, right))
+    b.st(out, i, b.div(total, 3.0))
+    return b.build()
+
+
+def histogram() -> KernelIR:
+    """hist[x[i]] += 1 via global atomics (x holds integral bin ids)."""
+    b = KernelBuilder("histogram")
+    x, hist = b.ptr_param("x"), b.ptr_param("hist")
+    n = b.i32_param("n")
+    i = b.global_thread_id_x()
+    b.ret(pred=b.setp(CompareOp.GE, i, n))
+    b.atom_add(hist, b.ld(x, i), 1)
+    return b.build()
+
+
+def block_sum(block_size: int) -> KernelIR:
+    """Shared-memory tree reduction; each block atomically adds to out[0].
+
+    ``block_size`` must be a power of two and match the launch block.
+    """
+    if block_size & (block_size - 1):
+        raise ValueError("block_size must be a power of two")
+    b = KernelBuilder("block_sum")
+    x, out, n = b.ptr_param("x"), b.ptr_param("out"), b.i32_param("n")
+    sdata = b.shared_buffer("sdata", block_size)
+    tid = b.mov(b.tid())
+    i = b.global_thread_id_x()
+    in_range = b.setp(CompareOp.LT, i, n)
+    safe_i = b.selp(i, 0, in_range)
+    val = b.selp(b.ld(x, safe_i), 0.0, in_range)
+    b.st(sdata, tid, val)
+    b.bar()
+
+    stride = b.shr(b.ntid(), 1)
+    loop, done = b.fresh_label("red"), b.fresh_label("red_done")
+    b.label(loop)
+    b.bra(done, pred=b.setp(CompareOp.LE, stride, 0))
+    active = b.setp(CompareOp.LT, tid, stride)
+    partner = b.selp(b.add(tid, stride), 0, active)
+    total = b.add(b.ld(sdata, tid), b.ld(sdata, partner))
+    b.st(sdata, tid, total, pred=active)
+    b.bar()
+    b.shr(stride, 1, dst=stride)
+    b.bra(loop)
+
+    b.label(done)
+    skip = b.fresh_label("skip")
+    b.bra(skip, pred=b.setp(CompareOp.NE, tid, 0))
+    b.atom_add(out, 0, b.ld(sdata, 0))
+    b.label(skip)
+    b.ret()
+    return b.build()
+
+
+def dot_product(block_size: int) -> KernelIR:
+    """Shared-memory dot product; blocks atomically add into out[0]."""
+    if block_size & (block_size - 1):
+        raise ValueError("block_size must be a power of two")
+    b = KernelBuilder("dot_product")
+    x, y, out = b.ptr_param("x"), b.ptr_param("y"), b.ptr_param("out")
+    n = b.i32_param("n")
+    sdata = b.shared_buffer("sdata", block_size)
+    tid = b.mov(b.tid())
+    i = b.global_thread_id_x()
+    in_range = b.setp(CompareOp.LT, i, n)
+    safe_i = b.selp(i, 0, in_range)
+    prod = b.mul(b.ld(x, safe_i), b.ld(y, safe_i))
+    b.st(sdata, tid, b.selp(prod, 0.0, in_range))
+    b.bar()
+
+    stride = b.shr(b.ntid(), 1)
+    loop, done = b.fresh_label("red"), b.fresh_label("red_done")
+    b.label(loop)
+    b.bra(done, pred=b.setp(CompareOp.LE, stride, 0))
+    active = b.setp(CompareOp.LT, tid, stride)
+    partner = b.selp(b.add(tid, stride), 0, active)
+    total = b.add(b.ld(sdata, tid), b.ld(sdata, partner))
+    b.st(sdata, tid, total, pred=active)
+    b.bar()
+    b.shr(stride, 1, dst=stride)
+    b.bra(loop)
+
+    b.label(done)
+    skip = b.fresh_label("skip")
+    b.bra(skip, pred=b.setp(CompareOp.NE, tid, 0))
+    b.atom_add(out, 0, b.ld(sdata, 0))
+    b.label(skip)
+    b.ret()
+    return b.build()
+
+
+def fold_halves(block_size: int) -> KernelIR:
+    """out[b*H + t] = x[b*B + t] + x[b*B + t + H]  (H = B/2).
+
+    The upper half of each block *returns before* the lower half
+    synchronizes — legal on modern GPUs, where exited threads do not
+    count toward ``bar.sync``, but lethal under a naive preemption
+    transformation that turns those returns into loop branches.  This is
+    the hazard kernel for the unified synchronization transformation.
+    """
+    if block_size % 2:
+        raise ValueError("block_size must be even")
+    b = KernelBuilder("fold_halves")
+    x, out = b.ptr_param("x"), b.ptr_param("out")
+    sdata = b.shared_buffer("sdata", block_size)
+    tid = b.mov(b.tid())
+    b.st(sdata, tid, b.ld(x, b.global_thread_id_x()))
+    half = b.shr(b.ntid(), 1)
+    b.ret(pred=b.setp(CompareOp.GE, tid, half))  # upper half exits early
+    b.bar()  # lower half synchronizes without the upper half
+    total = b.add(b.ld(sdata, tid), b.ld(sdata, b.add(tid, half)))
+    b.st(out, b.mad(b.ctaid(), half, tid), total)
+    return b.build()
+
+
+def matmul_naive() -> KernelIR:
+    """c[row, col] = sum_k a[row, k] * b[k, col]; one thread per output."""
+    b = KernelBuilder("matmul_naive")
+    a, bm, c = b.ptr_param("a"), b.ptr_param("b"), b.ptr_param("c")
+    m, n, k = b.i32_param("m"), b.i32_param("n"), b.i32_param("k")
+    row = b.mad(b.ctaid(Axis.Y), b.ntid(Axis.Y), b.tid(Axis.Y))
+    col = b.mad(b.ctaid(Axis.X), b.ntid(Axis.X), b.tid(Axis.X))
+    oob = b.or_(b.setp(CompareOp.GE, row, m), b.setp(CompareOp.GE, col, n))
+    b.ret(pred=oob)
+    acc = b.mov(0.0)
+    kk = b.mov(0)
+    loop, done = b.fresh_label("mm"), b.fresh_label("mm_done")
+    b.label(loop)
+    b.bra(done, pred=b.setp(CompareOp.GE, kk, k))
+    av = b.ld(a, b.mad(row, k, kk))
+    bv = b.ld(bm, b.mad(kk, n, col))
+    b.mad(av, bv, acc, dst=acc)
+    b.add(kk, 1, dst=kk)
+    b.bra(loop)
+    b.label(done)
+    b.st(c, b.mad(row, n, col), acc)
+    return b.build()
+
+
+def matmul_tiled(tile: int) -> KernelIR:
+    """Tiled matmul with shared-memory staging and double barriers.
+
+    Launch with a ``tile``×``tile`` block; edge blocks pad with zeros so
+    every thread participates in every barrier.
+    """
+    if tile < 1:
+        raise ValueError("tile must be >= 1")
+    b = KernelBuilder("matmul_tiled")
+    a, bm, c = b.ptr_param("a"), b.ptr_param("b"), b.ptr_param("c")
+    m, n, k = b.i32_param("m"), b.i32_param("n"), b.i32_param("k")
+    a_t = b.shared_buffer("a_tile", tile * tile)
+    b_t = b.shared_buffer("b_tile", tile * tile)
+
+    tx, ty = b.mov(b.tid(Axis.X)), b.mov(b.tid(Axis.Y))
+    row = b.mad(b.ctaid(Axis.Y), tile, ty)
+    col = b.mad(b.ctaid(Axis.X), tile, tx)
+    acc = b.mov(0.0)
+    ntiles = b.div(b.add(k, tile - 1), tile)
+    t = b.mov(0)
+    slot = b.mad(ty, tile, tx)
+
+    loop, done = b.fresh_label("tile"), b.fresh_label("tile_done")
+    b.label(loop)
+    b.bra(done, pred=b.setp(CompareOp.GE, t, ntiles))
+
+    acol = b.mad(t, tile, tx)
+    pa = b.and_(b.setp(CompareOp.LT, row, m), b.setp(CompareOp.LT, acol, k))
+    aidx = b.selp(b.mad(row, k, acol), 0, pa)
+    b.st(a_t, slot, b.selp(b.ld(a, aidx), 0.0, pa))
+
+    brow = b.mad(t, tile, ty)
+    pb = b.and_(b.setp(CompareOp.LT, brow, k), b.setp(CompareOp.LT, col, n))
+    bidx = b.selp(b.mad(brow, n, col), 0, pb)
+    b.st(b_t, slot, b.selp(b.ld(bm, bidx), 0.0, pb))
+    b.bar()
+
+    kk = b.mov(0)
+    inner, inner_done = b.fresh_label("inner"), b.fresh_label("inner_done")
+    b.label(inner)
+    b.bra(inner_done, pred=b.setp(CompareOp.GE, kk, tile))
+    av = b.ld(a_t, b.mad(ty, tile, kk))
+    bv = b.ld(b_t, b.mad(kk, tile, tx))
+    b.mad(av, bv, acc, dst=acc)
+    b.add(kk, 1, dst=kk)
+    b.bra(inner)
+    b.label(inner_done)
+    b.bar()
+
+    b.add(t, 1, dst=t)
+    b.bra(loop)
+
+    b.label(done)
+    p_store = b.and_(b.setp(CompareOp.LT, row, m), b.setp(CompareOp.LT, col, n))
+    cidx = b.selp(b.mad(row, n, col), 0, p_store)
+    b.st(c, cidx, acc, pred=p_store)
+    b.ret()
+    return b.build()
+
+
+def transpose_naive() -> KernelIR:
+    """out[col, row] = x[row, col] over a 2-D grid."""
+    b = KernelBuilder("transpose_naive")
+    x, out = b.ptr_param("x"), b.ptr_param("out")
+    rows, cols = b.i32_param("rows"), b.i32_param("cols")
+    row = b.mad(b.ctaid(Axis.Y), b.ntid(Axis.Y), b.tid(Axis.Y))
+    col = b.mad(b.ctaid(Axis.X), b.ntid(Axis.X), b.tid(Axis.X))
+    oob = b.or_(b.setp(CompareOp.GE, row, rows), b.setp(CompareOp.GE, col, cols))
+    b.ret(pred=oob)
+    b.st(out, b.mad(col, rows, row), b.ld(x, b.mad(row, cols, col)))
+    return b.build()
+
+
+def softmax_rows(block_size: int) -> KernelIR:
+    """Numerically-stable row softmax: one block per row, strided threads.
+
+    Exercises two shared-memory reductions (max, then sum) with barriers
+    inside loops — the heaviest synchronization pattern in the corpus.
+    """
+    if block_size & (block_size - 1):
+        raise ValueError("block_size must be a power of two")
+    b = KernelBuilder("softmax_rows")
+    x, out = b.ptr_param("x"), b.ptr_param("out")
+    cols = b.i32_param("cols")
+    smax = b.shared_buffer("smax", block_size)
+    ssum = b.shared_buffer("ssum", block_size)
+
+    tid = b.mov(b.tid())
+    row = b.mov(b.ctaid())
+    base = b.mul(row, cols)
+
+    # Phase 1: thread-local max over a strided slice of the row.
+    local_max = b.mov(-1e30)
+    j = b.mov(tid)
+    l1, l1e = b.fresh_label("max"), b.fresh_label("max_done")
+    b.label(l1)
+    b.bra(l1e, pred=b.setp(CompareOp.GE, j, cols))
+    b.max_(local_max, b.ld(x, b.add(base, j)), dst=local_max)
+    b.add(j, b.ntid(), dst=j)
+    b.bra(l1)
+    b.label(l1e)
+    b.st(smax, tid, local_max)
+    b.bar()
+
+    # Tree-reduce the max.
+    stride = b.shr(b.ntid(), 1)
+    r1, r1e = b.fresh_label("rmax"), b.fresh_label("rmax_done")
+    b.label(r1)
+    b.bra(r1e, pred=b.setp(CompareOp.LE, stride, 0))
+    active = b.setp(CompareOp.LT, tid, stride)
+    partner = b.selp(b.add(tid, stride), 0, active)
+    merged = b.max_(b.ld(smax, tid), b.ld(smax, partner))
+    b.st(smax, tid, merged, pred=active)
+    b.bar()
+    b.shr(stride, 1, dst=stride)
+    b.bra(r1)
+    b.label(r1e)
+    row_max = b.ld(smax, 0)
+
+    # Phase 2: exponentiate and accumulate a thread-local sum.
+    local_sum = b.mov(0.0)
+    b.mov(tid, dst=j)
+    l2, l2e = b.fresh_label("exp"), b.fresh_label("exp_done")
+    b.label(l2)
+    b.bra(l2e, pred=b.setp(CompareOp.GE, j, cols))
+    idx = b.add(base, j)
+    e = b.exp(b.sub(b.ld(x, idx), row_max))
+    b.st(out, idx, e)
+    b.add(local_sum, e, dst=local_sum)
+    b.add(j, b.ntid(), dst=j)
+    b.bra(l2)
+    b.label(l2e)
+    b.st(ssum, tid, local_sum)
+    b.bar()
+
+    # Tree-reduce the sum.
+    stride2 = b.shr(b.ntid(), 1)
+    r2, r2e = b.fresh_label("rsum"), b.fresh_label("rsum_done")
+    b.label(r2)
+    b.bra(r2e, pred=b.setp(CompareOp.LE, stride2, 0))
+    active2 = b.setp(CompareOp.LT, tid, stride2)
+    partner2 = b.selp(b.add(tid, stride2), 0, active2)
+    merged2 = b.add(b.ld(ssum, tid), b.ld(ssum, partner2))
+    b.st(ssum, tid, merged2, pred=active2)
+    b.bar()
+    b.shr(stride2, 1, dst=stride2)
+    b.bra(r2)
+    b.label(r2e)
+    row_sum = b.ld(ssum, 0)
+
+    # Phase 3: normalize.
+    b.mov(tid, dst=j)
+    l3, l3e = b.fresh_label("norm"), b.fresh_label("norm_done")
+    b.label(l3)
+    b.bra(l3e, pred=b.setp(CompareOp.GE, j, cols))
+    idx3 = b.add(base, j)
+    b.st(out, idx3, b.div(b.ld(out, idx3), row_sum))
+    b.add(j, b.ntid(), dst=j)
+    b.bra(l3)
+    b.label(l3e)
+    b.ret()
+    return b.build()
+
+
+def grid3d_stamp() -> KernelIR:
+    """Stamp each thread's slot with a value encoding its 3-D block index.
+
+    Verifies that transformations reconstruct ``ctaid.{x,y,z}`` and the
+    original grid dimensions correctly for 3-D grids.
+    """
+    b = KernelBuilder("grid3d_stamp")
+    out = b.ptr_param("out")
+    lb = b.mad(b.mad(b.ctaid(Axis.Z), b.nctaid(Axis.Y), b.ctaid(Axis.Y)),
+               b.nctaid(Axis.X), b.ctaid(Axis.X))
+    tl = b.mad(b.mad(b.tid(Axis.Z), b.ntid(Axis.Y), b.tid(Axis.Y)),
+               b.ntid(Axis.X), b.tid(Axis.X))
+    bsize = b.mul(b.mul(b.ntid(Axis.X), b.ntid(Axis.Y)), b.ntid(Axis.Z))
+    value = b.add(b.mad(b.ctaid(Axis.X), 1, 0),
+                  b.add(b.mul(b.ctaid(Axis.Y), 100),
+                        b.mul(b.ctaid(Axis.Z), 10000)))
+    b.st(out, b.mad(lb, bsize, tl), value)
+    return b.build()
+
+
+# ---------------------------------------------------------------------------
+# Case factories: kernel + random problem + expected output
+# ---------------------------------------------------------------------------
+
+def _case_vector_add(rng: np.random.Generator) -> KernelCase:
+    n = int(rng.integers(1, 200))
+    block = 16
+    grid = -(-n // block) + int(rng.integers(0, 2))  # sometimes over-provision
+    mem = DeviceMemory()
+    x = rng.standard_normal(n)
+    y = rng.standard_normal(n)
+    mem.bind("x", x.copy())
+    mem.bind("y", y.copy())
+    mem.bind("out", np.zeros(n))
+    args = {"x": GlobalRef("x"), "y": GlobalRef("y"),
+            "out": GlobalRef("out"), "n": n}
+    return KernelCase("vector_add", vector_add(), Dim3(grid), Dim3(block),
+                      mem, args, {"out": x + y})
+
+
+def _case_saxpy(rng: np.random.Generator) -> KernelCase:
+    n = int(rng.integers(1, 200))
+    block = 32
+    grid = -(-n // block)
+    alpha = float(rng.standard_normal())
+    x = rng.standard_normal(n)
+    y = rng.standard_normal(n)
+    mem = DeviceMemory()
+    mem.bind("x", x.copy())
+    mem.bind("y", y.copy())
+    args = {"alpha": alpha, "x": GlobalRef("x"), "y": GlobalRef("y"), "n": n}
+    return KernelCase("saxpy", saxpy(), Dim3(grid), Dim3(block),
+                      mem, args, {"y": alpha * x + y})
+
+
+def _case_iota(rng: np.random.Generator) -> KernelCase:
+    n = int(rng.integers(1, 300))
+    block = 8
+    grid = -(-n // block)
+    mem = DeviceMemory()
+    mem.bind("out", np.zeros(n))
+    args = {"out": GlobalRef("out"), "n": n}
+    return KernelCase("iota", iota(), Dim3(grid), Dim3(block),
+                      mem, args, {"out": np.arange(n, dtype=float)})
+
+
+def _case_exp(rng: np.random.Generator) -> KernelCase:
+    n = int(rng.integers(1, 150))
+    block = 16
+    grid = -(-n // block)
+    x = rng.standard_normal(n)
+    mem = DeviceMemory()
+    mem.bind("x", x.copy())
+    mem.bind("out", np.zeros(n))
+    args = {"x": GlobalRef("x"), "out": GlobalRef("out"), "n": n}
+    return KernelCase("exp_elementwise", exp_elementwise(), Dim3(grid),
+                      Dim3(block), mem, args, {"out": np.exp(x)}, atol=1e-12)
+
+
+def _case_stencil(rng: np.random.Generator) -> KernelCase:
+    n = int(rng.integers(2, 200))
+    block = 16
+    grid = -(-n // block)
+    x = rng.standard_normal(n)
+    left = np.concatenate([[x[0]], x[:-1]])
+    right = np.concatenate([x[1:], [x[-1]]])
+    mem = DeviceMemory()
+    mem.bind("x", x.copy())
+    mem.bind("out", np.zeros(n))
+    args = {"x": GlobalRef("x"), "out": GlobalRef("out"), "n": n}
+    return KernelCase("stencil_1d", stencil_1d(), Dim3(grid), Dim3(block),
+                      mem, args, {"out": (left + x + right) / 3.0})
+
+
+def _case_histogram(rng: np.random.Generator) -> KernelCase:
+    n = int(rng.integers(1, 400))
+    nbins = int(rng.integers(2, 16))
+    block = 32
+    grid = -(-n // block)
+    bins = rng.integers(0, nbins, size=n)
+    mem = DeviceMemory()
+    mem.bind("x", bins.astype(float))
+    mem.bind("hist", np.zeros(nbins))
+    args = {"x": GlobalRef("x"), "hist": GlobalRef("hist"), "n": n}
+    expected = np.bincount(bins, minlength=nbins).astype(float)
+    return KernelCase("histogram", histogram(), Dim3(grid), Dim3(block),
+                      mem, args, {"hist": expected})
+
+
+def _case_block_sum(rng: np.random.Generator) -> KernelCase:
+    block = int(rng.choice([4, 8, 16, 32]))
+    n = int(rng.integers(1, 300))
+    grid = -(-n // block)
+    x = rng.standard_normal(n)
+    mem = DeviceMemory()
+    mem.bind("x", x.copy())
+    mem.bind("out", np.zeros(1))
+    args = {"x": GlobalRef("x"), "out": GlobalRef("out"), "n": n}
+    return KernelCase("block_sum", block_sum(block), Dim3(grid), Dim3(block),
+                      mem, args, {"out": np.array([x.sum()])}, atol=1e-8)
+
+
+def _case_dot(rng: np.random.Generator) -> KernelCase:
+    block = int(rng.choice([4, 8, 16]))
+    n = int(rng.integers(1, 250))
+    grid = -(-n // block)
+    x = rng.standard_normal(n)
+    y = rng.standard_normal(n)
+    mem = DeviceMemory()
+    mem.bind("x", x.copy())
+    mem.bind("y", y.copy())
+    mem.bind("out", np.zeros(1))
+    args = {"x": GlobalRef("x"), "y": GlobalRef("y"),
+            "out": GlobalRef("out"), "n": n}
+    return KernelCase("dot_product", dot_product(block), Dim3(grid),
+                      Dim3(block), mem, args,
+                      {"out": np.array([float(x @ y)])}, atol=1e-8)
+
+
+def _case_fold_halves(rng: np.random.Generator) -> KernelCase:
+    block = int(rng.choice([4, 8, 16, 32]))
+    grid = int(rng.integers(1, 8))
+    n = grid * block
+    half = block // 2
+    x = rng.standard_normal(n)
+    folded = np.concatenate([
+        x[b * block: b * block + half] + x[b * block + half: (b + 1) * block]
+        for b in range(grid)
+    ])
+    mem = DeviceMemory()
+    mem.bind("x", x.copy())
+    mem.bind("out", np.zeros(grid * half))
+    args = {"x": GlobalRef("x"), "out": GlobalRef("out")}
+    return KernelCase("fold_halves", fold_halves(block), Dim3(grid),
+                      Dim3(block), mem, args, {"out": folded})
+
+
+def _case_matmul_naive(rng: np.random.Generator) -> KernelCase:
+    m, n, k = (int(rng.integers(1, 20)) for _ in range(3))
+    block = Dim3(4, 4)
+    grid = Dim3(-(-n // block.x), -(-m // block.y))
+    a = rng.standard_normal((m, k))
+    bmat = rng.standard_normal((k, n))
+    mem = DeviceMemory()
+    mem.bind("a", a.ravel().copy())
+    mem.bind("b", bmat.ravel().copy())
+    mem.bind("c", np.zeros(m * n))
+    args = {"a": GlobalRef("a"), "b": GlobalRef("b"), "c": GlobalRef("c"),
+            "m": m, "n": n, "k": k}
+    return KernelCase("matmul_naive", matmul_naive(), grid, block,
+                      mem, args, {"c": (a @ bmat).ravel()}, atol=1e-8)
+
+
+def _case_matmul_tiled(rng: np.random.Generator) -> KernelCase:
+    tile = int(rng.choice([2, 4]))
+    m, n, k = (int(rng.integers(1, 14)) for _ in range(3))
+    block = Dim3(tile, tile)
+    grid = Dim3(-(-n // tile), -(-m // tile))
+    a = rng.standard_normal((m, k))
+    bmat = rng.standard_normal((k, n))
+    mem = DeviceMemory()
+    mem.bind("a", a.ravel().copy())
+    mem.bind("b", bmat.ravel().copy())
+    mem.bind("c", np.zeros(m * n))
+    args = {"a": GlobalRef("a"), "b": GlobalRef("b"), "c": GlobalRef("c"),
+            "m": m, "n": n, "k": k}
+    return KernelCase("matmul_tiled", matmul_tiled(tile), grid, block,
+                      mem, args, {"c": (a @ bmat).ravel()}, atol=1e-8)
+
+
+def _case_transpose(rng: np.random.Generator) -> KernelCase:
+    rows, cols = int(rng.integers(1, 20)), int(rng.integers(1, 20))
+    block = Dim3(4, 4)
+    grid = Dim3(-(-cols // block.x), -(-rows // block.y))
+    x = rng.standard_normal((rows, cols))
+    mem = DeviceMemory()
+    mem.bind("x", x.ravel().copy())
+    mem.bind("out", np.zeros(rows * cols))
+    args = {"x": GlobalRef("x"), "out": GlobalRef("out"),
+            "rows": rows, "cols": cols}
+    return KernelCase("transpose_naive", transpose_naive(), grid, block,
+                      mem, args, {"out": x.T.ravel()})
+
+
+def _case_softmax(rng: np.random.Generator) -> KernelCase:
+    block = int(rng.choice([4, 8]))
+    rows = int(rng.integers(1, 6))
+    cols = int(rng.integers(1, 20))
+    x = rng.standard_normal((rows, cols))
+    shifted = np.exp(x - x.max(axis=1, keepdims=True))
+    expected = shifted / shifted.sum(axis=1, keepdims=True)
+    mem = DeviceMemory()
+    mem.bind("x", x.ravel().copy())
+    mem.bind("out", np.zeros(rows * cols))
+    args = {"x": GlobalRef("x"), "out": GlobalRef("out"), "cols": cols}
+    return KernelCase("softmax_rows", softmax_rows(block), Dim3(rows),
+                      Dim3(block), mem, args, {"out": expected.ravel()},
+                      atol=1e-10)
+
+
+def _case_grid3d(rng: np.random.Generator) -> KernelCase:
+    grid = Dim3(int(rng.integers(1, 4)), int(rng.integers(1, 4)),
+                int(rng.integers(1, 3)))
+    block = Dim3(2, 2, 1)
+    total = grid.total * block.total
+    expected = np.zeros(total)
+    for gz in range(grid.z):
+        for gy in range(grid.y):
+            for gx in range(grid.x):
+                lb = (gz * grid.y + gy) * grid.x + gx
+                value = gx + 100 * gy + 10000 * gz
+                expected[lb * block.total: (lb + 1) * block.total] = value
+    mem = DeviceMemory()
+    mem.bind("out", np.zeros(total))
+    args = {"out": GlobalRef("out")}
+    return KernelCase("grid3d_stamp", grid3d_stamp(), grid, block,
+                      mem, args, {"out": expected})
+
+
+CASE_FACTORIES: dict[str, Callable[[np.random.Generator], KernelCase]] = {
+    "vector_add": _case_vector_add,
+    "saxpy": _case_saxpy,
+    "iota": _case_iota,
+    "exp_elementwise": _case_exp,
+    "stencil_1d": _case_stencil,
+    "histogram": _case_histogram,
+    "block_sum": _case_block_sum,
+    "dot_product": _case_dot,
+    "fold_halves": _case_fold_halves,
+    "matmul_naive": _case_matmul_naive,
+    "matmul_tiled": _case_matmul_tiled,
+    "transpose_naive": _case_transpose,
+    "softmax_rows": _case_softmax,
+    "grid3d_stamp": _case_grid3d,
+}
+
+
+def case_names() -> list[str]:
+    """Names of all kernel cases in the corpus."""
+    return sorted(CASE_FACTORIES)
+
+
+def make_case(name: str, rng: np.random.Generator | int | None = None) -> KernelCase:
+    """Build a fresh random problem instance for the named kernel."""
+    if not isinstance(rng, np.random.Generator):
+        rng = np.random.default_rng(rng)
+    try:
+        factory = CASE_FACTORIES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown kernel case {name!r}; choose from {case_names()}"
+        ) from None
+    return factory(rng)
+
+
+# ---------------------------------------------------------------------------
+# Extended corpus: scan, layernorm, argmax
+# ---------------------------------------------------------------------------
+
+def prefix_sum_block(block_size: int) -> KernelIR:
+    """Per-block inclusive prefix sum (Hillis-Steele, double buffered).
+
+    Exercises barriers inside a loop *and* shared-memory base pointers
+    held in registers (the two buffers are swapped each round), which
+    stresses the transformations' register handling.
+    """
+    if block_size & (block_size - 1):
+        raise ValueError("block_size must be a power of two")
+    b = KernelBuilder("prefix_sum_block")
+    x, out = b.ptr_param("x"), b.ptr_param("out")
+    n = b.i32_param("n")
+    buf_a = b.shared_buffer("buf_a", block_size)
+    buf_b = b.shared_buffer("buf_b", block_size)
+
+    tid = b.mov(b.tid())
+    i = b.global_thread_id_x()
+    in_range = b.setp(CompareOp.LT, i, n)
+    safe_i = b.selp(i, 0, in_range)
+    val = b.selp(b.ld(x, safe_i), 0.0, in_range)
+    b.st(buf_a, tid, val)
+    b.bar()
+
+    cur = b.mov(buf_a)
+    nxt = b.mov(buf_b)
+    offset = b.mov(1)
+    loop, done = b.fresh_label("scan"), b.fresh_label("scan_done")
+    b.label(loop)
+    b.bra(done, pred=b.setp(CompareOp.GE, offset, b.ntid()))
+    active = b.setp(CompareOp.GE, tid, offset)
+    partner = b.selp(b.sub(tid, offset), 0, active)
+    own = b.ld(cur, tid)
+    other = b.selp(b.ld(cur, partner), 0.0, active)
+    b.st(nxt, tid, b.add(own, other))
+    b.bar()
+    tmp = b.mov(cur)
+    b.mov(nxt, dst=cur)
+    b.mov(tmp, dst=nxt)
+    b.shl(offset, 1, dst=offset)
+    b.bra(loop)
+
+    b.label(done)
+    b.st(out, b.selp(i, 0, in_range), b.ld(cur, tid), pred=in_range)
+    b.ret()
+    return b.build()
+
+
+def layernorm_rows(block_size: int) -> KernelIR:
+    """Row-wise layer normalization: (x - mean) / sqrt(var + eps).
+
+    One block per row; two shared-memory tree reductions (sum and sum of
+    squares) with strided per-thread accumulation.
+    """
+    if block_size & (block_size - 1):
+        raise ValueError("block_size must be a power of two")
+    b = KernelBuilder("layernorm_rows")
+    x, out = b.ptr_param("x"), b.ptr_param("out")
+    cols = b.i32_param("cols")
+    eps = b.f32_param("eps")
+    ssum = b.shared_buffer("ssum", block_size)
+    ssq = b.shared_buffer("ssq", block_size)
+
+    tid = b.mov(b.tid())
+    base = b.mul(b.ctaid(), cols)
+
+    local_sum = b.mov(0.0)
+    local_sq = b.mov(0.0)
+    j = b.mov(tid)
+    l1, l1e = b.fresh_label("acc"), b.fresh_label("acc_done")
+    b.label(l1)
+    b.bra(l1e, pred=b.setp(CompareOp.GE, j, cols))
+    v = b.ld(x, b.add(base, j))
+    b.add(local_sum, v, dst=local_sum)
+    b.mad(v, v, local_sq, dst=local_sq)
+    b.add(j, b.ntid(), dst=j)
+    b.bra(l1)
+    b.label(l1e)
+    b.st(ssum, tid, local_sum)
+    b.st(ssq, tid, local_sq)
+    b.bar()
+
+    stride = b.shr(b.ntid(), 1)
+    r1, r1e = b.fresh_label("red"), b.fresh_label("red_done")
+    b.label(r1)
+    b.bra(r1e, pred=b.setp(CompareOp.LE, stride, 0))
+    active = b.setp(CompareOp.LT, tid, stride)
+    partner = b.selp(b.add(tid, stride), 0, active)
+    merged_sum = b.add(b.ld(ssum, tid), b.ld(ssum, partner))
+    merged_sq = b.add(b.ld(ssq, tid), b.ld(ssq, partner))
+    b.st(ssum, tid, merged_sum, pred=active)
+    b.st(ssq, tid, merged_sq, pred=active)
+    b.bar()
+    b.shr(stride, 1, dst=stride)
+    b.bra(r1)
+    b.label(r1e)
+
+    total = b.ld(ssum, 0)
+    total_sq = b.ld(ssq, 0)
+    mean = b.div(total, cols)
+    var = b.sub(b.div(total_sq, cols), b.mul(mean, mean))
+    inv_std = b.div(1.0, b.sqrt(b.add(var, eps)))
+
+    b.mov(tid, dst=j)
+    l2, l2e = b.fresh_label("norm"), b.fresh_label("norm_done")
+    b.label(l2)
+    b.bra(l2e, pred=b.setp(CompareOp.GE, j, cols))
+    idx = b.add(base, j)
+    b.st(out, idx, b.mul(b.sub(b.ld(x, idx), mean), inv_std))
+    b.add(j, b.ntid(), dst=j)
+    b.bra(l2)
+    b.label(l2e)
+    b.ret()
+    return b.build()
+
+
+def argmax_rows(block_size: int) -> KernelIR:
+    """Row-wise argmax: index of the largest element of each row.
+
+    Tree reduction over *paired* shared state (value + index), with
+    first-occurrence tie-breaking to match ``numpy.argmax``.
+    """
+    if block_size & (block_size - 1):
+        raise ValueError("block_size must be a power of two")
+    b = KernelBuilder("argmax_rows")
+    x, out = b.ptr_param("x"), b.ptr_param("out")
+    cols = b.i32_param("cols")
+    sval = b.shared_buffer("sval", block_size)
+    sidx = b.shared_buffer("sidx", block_size)
+
+    tid = b.mov(b.tid())
+    base = b.mul(b.ctaid(), cols)
+
+    best_val = b.mov(-1e30)
+    best_idx = b.mov(cols)  # sentinel: larger than any real index
+    j = b.mov(tid)
+    l1, l1e = b.fresh_label("scanmax"), b.fresh_label("scanmax_done")
+    b.label(l1)
+    b.bra(l1e, pred=b.setp(CompareOp.GE, j, cols))
+    v = b.ld(x, b.add(base, j))
+    better = b.setp(CompareOp.GT, v, best_val)
+    b.mov(v, dst=best_val, pred=better)
+    b.mov(j, dst=best_idx, pred=better)
+    b.add(j, b.ntid(), dst=j)
+    b.bra(l1)
+    b.label(l1e)
+    b.st(sval, tid, best_val)
+    b.st(sidx, tid, best_idx)
+    b.bar()
+
+    stride = b.shr(b.ntid(), 1)
+    r1, r1e = b.fresh_label("redmax"), b.fresh_label("redmax_done")
+    b.label(r1)
+    b.bra(r1e, pred=b.setp(CompareOp.LE, stride, 0))
+    active = b.setp(CompareOp.LT, tid, stride)
+    partner = b.selp(b.add(tid, stride), 0, active)
+    my_val = b.ld(sval, tid)
+    my_idx = b.ld(sidx, tid)
+    other_val = b.ld(sval, partner)
+    other_idx = b.ld(sidx, partner)
+    # Take the partner when strictly larger, or equal with smaller index.
+    gt = b.setp(CompareOp.GT, other_val, my_val)
+    eq = b.setp(CompareOp.EQ, other_val, my_val)
+    earlier = b.setp(CompareOp.LT, other_idx, my_idx)
+    take = b.or_(gt, b.and_(eq, earlier))
+    new_val = b.selp(other_val, my_val, take)
+    new_idx = b.selp(other_idx, my_idx, take)
+    b.st(sval, tid, new_val, pred=active)
+    b.st(sidx, tid, new_idx, pred=active)
+    b.bar()
+    b.shr(stride, 1, dst=stride)
+    b.bra(r1)
+    b.label(r1e)
+
+    first = b.setp(CompareOp.EQ, tid, 0)
+    b.st(out, b.mov(b.ctaid()), b.ld(sidx, 0), pred=first)
+    b.ret()
+    return b.build()
+
+
+def _case_prefix_sum(rng: np.random.Generator) -> KernelCase:
+    block = int(rng.choice([4, 8, 16]))
+    grid = int(rng.integers(1, 6))
+    n = int(rng.integers(1, grid * block + 1))
+    x = rng.standard_normal(n)
+    padded = np.zeros(grid * block)
+    padded[:n] = x
+    expected = np.zeros(n)
+    for blk in range(grid):
+        seg = padded[blk * block:(blk + 1) * block]
+        scan = np.cumsum(seg)
+        lo = blk * block
+        hi = min(n, (blk + 1) * block)
+        if lo < n:
+            expected[lo:hi] = scan[:hi - lo]
+    mem = DeviceMemory()
+    mem.bind("x", x.copy())
+    mem.bind("out", np.zeros(n))
+    args = {"x": GlobalRef("x"), "out": GlobalRef("out"), "n": n}
+    return KernelCase("prefix_sum_block", prefix_sum_block(block),
+                      Dim3(grid), Dim3(block), mem, args,
+                      {"out": expected}, atol=1e-9)
+
+
+def _case_layernorm(rng: np.random.Generator) -> KernelCase:
+    block = int(rng.choice([4, 8]))
+    rows = int(rng.integers(1, 6))
+    cols = int(rng.integers(2, 24))
+    eps = 1e-5
+    x = rng.standard_normal((rows, cols))
+    mean = x.mean(axis=1, keepdims=True)
+    var = x.var(axis=1, keepdims=True)
+    expected = (x - mean) / np.sqrt(var + eps)
+    mem = DeviceMemory()
+    mem.bind("x", x.ravel().copy())
+    mem.bind("out", np.zeros(rows * cols))
+    args = {"x": GlobalRef("x"), "out": GlobalRef("out"),
+            "cols": cols, "eps": eps}
+    return KernelCase("layernorm_rows", layernorm_rows(block), Dim3(rows),
+                      Dim3(block), mem, args, {"out": expected.ravel()},
+                      atol=1e-9)
+
+
+def _case_argmax(rng: np.random.Generator) -> KernelCase:
+    block = int(rng.choice([4, 8]))
+    rows = int(rng.integers(1, 6))
+    cols = int(rng.integers(1, 30))
+    x = rng.standard_normal((rows, cols))
+    expected = x.argmax(axis=1).astype(float)
+    mem = DeviceMemory()
+    mem.bind("x", x.ravel().copy())
+    mem.bind("out", np.zeros(rows))
+    args = {"x": GlobalRef("x"), "out": GlobalRef("out"), "cols": cols}
+    return KernelCase("argmax_rows", argmax_rows(block), Dim3(rows),
+                      Dim3(block), mem, args, {"out": expected})
+
+
+CASE_FACTORIES["prefix_sum_block"] = _case_prefix_sum
+CASE_FACTORIES["layernorm_rows"] = _case_layernorm
+CASE_FACTORIES["argmax_rows"] = _case_argmax

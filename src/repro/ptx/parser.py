@@ -1,0 +1,249 @@
+"""Parser for textual mini-PTX.
+
+Parses the format produced by :mod:`repro.ptx.printer`, giving the IR a
+stable textual form::
+
+    .kernel saxpy (.param .f32 alpha, .param .ptr x, .param .ptr y,
+                   .param .i32 n)
+    {
+        .shared tile[16];
+        mad %r0, %ctaid.x, %ntid.x, %tid.x;
+        setp.ge %p1, %r0, [n];
+        @%p1 ret;
+        ld %r2, [x], %r0;
+        mad %r3, [alpha], %r2, %r4;
+        st [y], %r0, %r3;
+        ret;
+    }
+
+Round-tripping (``parse(format(k)) == k`` structurally) is covered by
+property tests over the whole kernel corpus.
+"""
+
+from __future__ import annotations
+
+import re
+
+from ..errors import ParseError
+from .ir import (
+    Axis,
+    CompareOp,
+    Imm,
+    Instr,
+    KernelIR,
+    Opcode,
+    Operand,
+    Param,
+    ParamKind,
+    ParamRef,
+    Reg,
+    SharedDecl,
+    SMemAddr,
+    Special,
+    SpecialKind,
+)
+from .validate import _NEEDS_DST  # shared opcode metadata
+
+__all__ = ["parse_kernel", "parse_operand"]
+
+_KERNEL_RE = re.compile(r"^\.kernel\s+(\w+)\s*\((.*)\)\s*$", re.S)
+_PARAM_RE = re.compile(r"^\.param\s+\.(\w+)\s+(\w+)$")
+_SHARED_RE = re.compile(r"^\.shared\s+(\w+)\[(\d+)\]$")
+_LABEL_RE = re.compile(r"^(\w+):$")
+_SPECIAL_RE = re.compile(r"^%(tid|ntid|ctaid|nctaid)\.([xyz])$")
+_NUMBER_RE = re.compile(
+    r"^[+-]?(\d+\.\d*([eE][+-]?\d+)?|\.\d+([eE][+-]?\d+)?"
+    r"|\d+[eE][+-]?\d+|\d+)$"
+)
+
+_MNEMONICS = {op.value: op for op in Opcode}
+
+
+def parse_operand(text: str) -> Operand:
+    """Parse one operand token."""
+    text = text.strip()
+    if not text:
+        raise ParseError("empty operand")
+    special = _SPECIAL_RE.match(text)
+    if special:
+        return Special(SpecialKind(special.group(1)), Axis(special.group(2)))
+    if text.startswith("%"):
+        name = text[1:]
+        if not name:
+            raise ParseError("register with empty name")
+        return Reg(name)
+    if text.startswith("[") and text.endswith("]"):
+        return ParamRef(text[1:-1].strip())
+    if text.startswith("@shared."):
+        return SMemAddr(text[len("@shared."):])
+    if text in ("True", "False"):
+        return Imm(text == "True")
+    if _NUMBER_RE.match(text):
+        if re.search(r"[.eE]", text) and not text.lstrip("+-").isdigit():
+            return Imm(float(text))
+        return Imm(int(text))
+    raise ParseError(f"cannot parse operand {text!r}")
+
+
+def _split_operands(text: str) -> list[str]:
+    """Split an operand list on commas, respecting {...} brx tables."""
+    parts: list[str] = []
+    depth = 0
+    current: list[str] = []
+    for ch in text:
+        if ch == "{":
+            depth += 1
+        elif ch == "}":
+            depth -= 1
+            if depth < 0:
+                raise ParseError(f"unbalanced braces in {text!r}")
+        if ch == "," and depth == 0:
+            parts.append("".join(current).strip())
+            current = []
+        else:
+            current.append(ch)
+    tail = "".join(current).strip()
+    if tail:
+        parts.append(tail)
+    if depth != 0:
+        raise ParseError(f"unbalanced braces in {text!r}")
+    return parts
+
+
+def _parse_instruction(line: str, lineno: int, label: str | None) -> Instr:
+    pred: Reg | None = None
+    pred_negate = False
+    text = line
+    if text.startswith("@"):
+        guard, _, text = text.partition(" ")
+        body = guard[1:]
+        if body.startswith("!"):
+            pred_negate = True
+            body = body[1:]
+        operand = parse_operand(body)
+        if not isinstance(operand, Reg):
+            raise ParseError(f"line {lineno}: predicate must be a register")
+        pred = operand
+        text = text.strip()
+
+    mnemonic, _, rest = text.partition(" ")
+    cmp: CompareOp | None = None
+    if mnemonic.startswith("setp."):
+        try:
+            cmp = CompareOp(mnemonic[len("setp."):])
+        except ValueError:
+            raise ParseError(
+                f"line {lineno}: unknown comparison {mnemonic!r}"
+            ) from None
+        opcode = Opcode.SETP
+    else:
+        opcode = _MNEMONICS.get(mnemonic)
+        if opcode is None:
+            raise ParseError(f"line {lineno}: unknown mnemonic {mnemonic!r}")
+
+    tokens = _split_operands(rest) if rest.strip() else []
+
+    dst: Reg | None = None
+    if opcode in _NEEDS_DST:
+        if not tokens:
+            raise ParseError(f"line {lineno}: {mnemonic} needs a destination")
+        operand = parse_operand(tokens.pop(0))
+        if not isinstance(operand, Reg):
+            raise ParseError(
+                f"line {lineno}: destination must be a register"
+            )
+        dst = operand
+
+    target: str | None = None
+    targets: tuple[str, ...] = ()
+    if opcode is Opcode.BRA:
+        if len(tokens) != 1:
+            raise ParseError(f"line {lineno}: bra takes one label")
+        target = tokens.pop()
+    elif opcode is Opcode.BRX:
+        if not tokens or not tokens[-1].startswith("{"):
+            raise ParseError(f"line {lineno}: brx needs a {{...}} table")
+        table = tokens.pop()
+        targets = tuple(t.strip() for t in table[1:-1].split(",") if t.strip())
+
+    srcs = tuple(parse_operand(t) for t in tokens)
+    return Instr(op=opcode, dst=dst, srcs=srcs, target=target,
+                 targets=targets, cmp=cmp, label=label, pred=pred,
+                 pred_negate=pred_negate)
+
+
+def parse_kernel(text: str, *, validate: bool = True) -> KernelIR:
+    """Parse one textual mini-PTX kernel."""
+    lines = [ln.strip() for ln in text.strip().splitlines()]
+    lines = [ln for ln in lines if ln and not ln.startswith("//")]
+    if not lines:
+        raise ParseError("empty kernel text")
+
+    header = lines[0]
+    if header.endswith("{"):
+        header = header[:-1].strip()
+        body_lines = lines[1:]
+    else:
+        if len(lines) < 2 or lines[1] != "{":
+            raise ParseError("expected '{' after the kernel header")
+        body_lines = lines[2:]
+    match = _KERNEL_RE.match(header)
+    if not match:
+        raise ParseError(f"bad kernel header: {header!r}")
+    name = match.group(1)
+
+    params: list[Param] = []
+    params_text = match.group(2).strip()
+    if params_text:
+        for chunk in params_text.split(","):
+            pm = _PARAM_RE.match(chunk.strip())
+            if not pm:
+                raise ParseError(f"bad parameter declaration: {chunk!r}")
+            try:
+                kind = ParamKind(pm.group(1))
+            except ValueError:
+                raise ParseError(
+                    f"unknown parameter kind {pm.group(1)!r}"
+                ) from None
+            params.append(Param(pm.group(2), kind))
+
+    if not body_lines or body_lines[-1] != "}":
+        raise ParseError("kernel body must end with '}'")
+    body_lines = body_lines[:-1]
+
+    shared: list[SharedDecl] = []
+    body: list[Instr] = []
+    pending_label: str | None = None
+    for lineno, raw in enumerate(body_lines, start=1):
+        line = raw.rstrip(";").strip() if raw.endswith(";") else raw
+        if raw.endswith(";"):
+            sm = _SHARED_RE.match(line)
+            if sm:
+                if body:
+                    raise ParseError(
+                        f"line {lineno}: shared declarations must precede "
+                        "instructions"
+                    )
+                shared.append(SharedDecl(sm.group(1), int(sm.group(2))))
+                continue
+            instr = _parse_instruction(line, lineno, pending_label)
+            pending_label = None
+            body.append(instr)
+            continue
+        lm = _LABEL_RE.match(line)
+        if lm:
+            if pending_label is not None:
+                body.append(Instr(Opcode.NOP, label=pending_label))
+            pending_label = lm.group(1)
+            continue
+        raise ParseError(f"line {lineno}: cannot parse {raw!r}")
+
+    if pending_label is not None:
+        body.append(Instr(Opcode.NOP, label=pending_label))
+
+    kernel = KernelIR(name=name, params=params, shared=shared, body=body)
+    if validate:
+        from .validate import validate_kernel
+
+        validate_kernel(kernel)
+    return kernel

@@ -1,0 +1,77 @@
+"""Textual rendering of mini-PTX kernels.
+
+The format mirrors real PTX loosely and round-trips through
+:mod:`repro.ptx.parser`::
+
+    .kernel vecadd (.param .ptr a, .param .ptr x, .param .ptr y, .param .i32 n)
+    {
+        mad %r0, %ctaid.x, %ntid.x, %tid.x;
+        setp.ge %p1, %r0, [n];
+        @%p1 ret;
+        ld %r2, [%r0 + a]; ...
+    }
+"""
+
+from __future__ import annotations
+
+from .ir import (
+    Imm,
+    Instr,
+    KernelIR,
+    Opcode,
+    Operand,
+)
+
+__all__ = ["format_instr", "format_kernel"]
+
+
+def format_operand(op: Operand) -> str:
+    """Render one operand."""
+    if isinstance(op, Imm):
+        if isinstance(op.value, bool):
+            return "1" if op.value else "0"
+        return repr(op.value)
+    return str(op)
+
+
+def format_instr(instr: Instr) -> str:
+    """Render one instruction (without its label)."""
+    parts: list[str] = []
+    if instr.pred is not None:
+        guard = f"@!{instr.pred}" if instr.pred_negate else f"@{instr.pred}"
+        parts.append(guard)
+
+    mnemonic = instr.op.value
+    if instr.op is Opcode.SETP and instr.cmp is not None:
+        mnemonic = f"setp.{instr.cmp.value}"
+    parts.append(mnemonic)
+
+    operands: list[str] = []
+    if instr.dst is not None:
+        operands.append(str(instr.dst))
+    operands.extend(format_operand(s) for s in instr.srcs)
+    if instr.target is not None:
+        operands.append(instr.target)
+    if instr.targets:
+        operands.append("{" + ", ".join(instr.targets) + "}")
+
+    text = parts[0] if len(parts) == 1 else " ".join(parts[:-1]) + " " + parts[-1]
+    # Rebuild cleanly: guard? mnemonic operands;
+    head = " ".join(parts)
+    if operands:
+        return f"{head} {', '.join(operands)};"
+    return f"{head};"
+
+
+def format_kernel(kernel: KernelIR) -> str:
+    """Render a full kernel."""
+    params = ", ".join(str(p) for p in kernel.params)
+    lines = [f".kernel {kernel.name} ({params})", "{"]
+    for decl in kernel.shared:
+        lines.append(f"    {decl};")
+    for instr in kernel.body:
+        if instr.label is not None:
+            lines.append(f"  {instr.label}:")
+        lines.append(f"    {format_instr(instr)}")
+    lines.append("}")
+    return "\n".join(lines)

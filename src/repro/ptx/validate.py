@@ -1,0 +1,175 @@
+"""Structural validation of mini-PTX kernels.
+
+Validation catches malformed IR before it reaches the interpreter or a
+transformation pass: undefined branch targets, reads of undeclared
+parameters or shared buffers, instructions with the wrong operand
+count, and fall-through off the end of the body.
+"""
+
+from __future__ import annotations
+
+from ..errors import ValidationError
+from .ir import (
+    Instr,
+    KernelIR,
+    Opcode,
+    ParamRef,
+    Reg,
+    SMemAddr,
+)
+
+__all__ = ["validate_kernel"]
+
+# Expected source-operand counts per opcode (None = variable / special).
+_SRC_COUNTS: dict[Opcode, int] = {
+    Opcode.MOV: 1,
+    Opcode.ADD: 2,
+    Opcode.SUB: 2,
+    Opcode.MUL: 2,
+    Opcode.DIV: 2,
+    Opcode.REM: 2,
+    Opcode.MIN: 2,
+    Opcode.MAX: 2,
+    Opcode.AND: 2,
+    Opcode.OR: 2,
+    Opcode.XOR: 2,
+    Opcode.SHL: 2,
+    Opcode.SHR: 2,
+    Opcode.MAD: 3,
+    Opcode.NOT: 1,
+    Opcode.SQRT: 1,
+    Opcode.EXP: 1,
+    Opcode.ABS: 1,
+    Opcode.CVT_INT: 1,
+    Opcode.SETP: 2,
+    Opcode.SELP: 3,
+    Opcode.BRA: 0,
+    Opcode.BRX: 1,
+    Opcode.LD: 2,
+    Opcode.ST: 3,
+    Opcode.ATOM_ADD: 3,
+    Opcode.ATOM_CAS: 4,
+    Opcode.ATOM_EXCH: 3,
+    Opcode.BAR: 0,
+    Opcode.RET: 0,
+    Opcode.NOP: 0,
+}
+
+_NEEDS_DST = {
+    Opcode.MOV,
+    Opcode.ADD,
+    Opcode.SUB,
+    Opcode.MUL,
+    Opcode.DIV,
+    Opcode.REM,
+    Opcode.MIN,
+    Opcode.MAX,
+    Opcode.AND,
+    Opcode.OR,
+    Opcode.XOR,
+    Opcode.SHL,
+    Opcode.SHR,
+    Opcode.MAD,
+    Opcode.NOT,
+    Opcode.SQRT,
+    Opcode.EXP,
+    Opcode.ABS,
+    Opcode.CVT_INT,
+    Opcode.SETP,
+    Opcode.SELP,
+    Opcode.ATOM_ADD,
+    Opcode.ATOM_CAS,
+    Opcode.ATOM_EXCH,
+    Opcode.LD,
+}
+
+_PREDICABLE = {Opcode.BRA, Opcode.RET, Opcode.ST, Opcode.MOV}
+
+
+def _check_instr(kernel: KernelIR, index: int, instr: Instr,
+                 labels: dict[str, int], params: set[str],
+                 shared: set[str]) -> None:
+    where = f"{kernel.name}[{index}] ({instr.op.value})"
+
+    expected = _SRC_COUNTS.get(instr.op)
+    if expected is None:
+        raise ValidationError(f"{where}: unknown opcode")
+    if len(instr.srcs) != expected:
+        raise ValidationError(
+            f"{where}: expected {expected} source operands, got {len(instr.srcs)}"
+        )
+
+    if instr.op in _NEEDS_DST and instr.dst is None:
+        raise ValidationError(f"{where}: missing destination register")
+    if instr.op not in _NEEDS_DST and instr.dst is not None:
+        raise ValidationError(f"{where}: unexpected destination register")
+
+    if instr.op is Opcode.SETP and instr.cmp is None:
+        raise ValidationError(f"{where}: setp requires a comparison operator")
+    if instr.op is not Opcode.SETP and instr.cmp is not None:
+        raise ValidationError(f"{where}: cmp only valid on setp")
+
+    if instr.op is Opcode.BRA:
+        if instr.target is None:
+            raise ValidationError(f"{where}: bra requires a target label")
+        if instr.target not in labels:
+            raise ValidationError(f"{where}: undefined label {instr.target!r}")
+    elif instr.target is not None:
+        raise ValidationError(f"{where}: target only valid on bra")
+
+    if instr.op is Opcode.BRX:
+        if not instr.targets:
+            raise ValidationError(f"{where}: brx requires a label table")
+        for t in instr.targets:
+            if t not in labels:
+                raise ValidationError(f"{where}: undefined label {t!r} in brx table")
+    elif instr.targets:
+        raise ValidationError(f"{where}: label table only valid on brx")
+
+    if instr.pred is not None and instr.op not in _PREDICABLE:
+        raise ValidationError(f"{where}: {instr.op.value} cannot be predicated")
+    if instr.pred is not None and not isinstance(instr.pred, Reg):
+        raise ValidationError(f"{where}: predicate must be a register")
+
+    for src in instr.srcs:
+        if isinstance(src, ParamRef) and src.name not in params:
+            raise ValidationError(f"{where}: undeclared parameter {src.name!r}")
+        if isinstance(src, SMemAddr) and src.buffer not in shared:
+            raise ValidationError(f"{where}: undeclared shared buffer {src.buffer!r}")
+
+
+def validate_kernel(kernel: KernelIR) -> None:
+    """Validate ``kernel``; raise :class:`ValidationError` on problems."""
+    if not kernel.name:
+        raise ValidationError("kernel must have a non-empty name")
+    if not kernel.body:
+        raise ValidationError(f"kernel {kernel.name!r} has an empty body")
+
+    names = kernel.param_names()
+    if len(names) != len(set(names)):
+        raise ValidationError(f"kernel {kernel.name!r} has duplicate parameters")
+    snames = kernel.shared_names()
+    if len(snames) != len(set(snames)):
+        raise ValidationError(f"kernel {kernel.name!r} has duplicate shared buffers")
+    for decl in kernel.shared:
+        if decl.size < 1:
+            raise ValidationError(
+                f"kernel {kernel.name!r}: shared buffer {decl.name!r} has size < 1"
+            )
+
+    labels = kernel.labels()  # also raises on duplicates
+    params = set(names)
+    shared = set(snames)
+    for index, instr in enumerate(kernel.body):
+        _check_instr(kernel, index, instr, labels, params, shared)
+
+    last = kernel.body[-1]
+    falls_through = not (
+        (last.op is Opcode.RET and last.pred is None)
+        or (last.op is Opcode.BRA and last.pred is None)
+        or last.op is Opcode.BRX
+    )
+    if falls_through:
+        raise ValidationError(
+            f"kernel {kernel.name!r} may fall through past its last instruction"
+        )

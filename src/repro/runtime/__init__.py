@@ -1,0 +1,15 @@
+"""CUDA-like runtime substrate: the API surface Tally intercepts."""
+
+from .api import CudaRuntime
+from .context import Backend, LocalBackend
+from .memory import MemoryManager
+from .registration import FatBinary, ModuleRegistry
+
+__all__ = [
+    "Backend",
+    "CudaRuntime",
+    "FatBinary",
+    "LocalBackend",
+    "MemoryManager",
+    "ModuleRegistry",
+]

@@ -1,0 +1,142 @@
+"""CUDA-like runtime API facade.
+
+:class:`CudaRuntime` exposes the subset of the CUDA runtime surface the
+reproduction needs — device selection, memory, streams, device-code
+registration, kernel launch, synchronization — and routes everything
+through a pluggable :class:`~repro.runtime.context.Backend`.
+
+Per-call counters make the §4.3 forwarding-overhead analysis concrete:
+:class:`~repro.virt.interposer.InterposedBackend` serves calls like
+``cudaGetDevice`` from client-local state, and the counters show which
+calls crossed the client/server channel versus which were absorbed.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Any, Mapping, Sequence
+
+import numpy as np
+
+from ..errors import RuntimeAPIError
+from ..ptx.interpreter import GlobalRef
+from ..ptx.ir import Dim3
+from .context import Backend, LocalBackend
+from .registration import FatBinary
+
+__all__ = ["CudaRuntime"]
+
+
+class CudaRuntime:
+    """The application-facing runtime (the paper's "client process")."""
+
+    def __init__(self, backend: Backend | None = None, *,
+                 num_devices: int = 1) -> None:
+        if num_devices < 1:
+            raise RuntimeAPIError("need at least one device")
+        self.backend = backend if backend is not None else LocalBackend()
+        self.num_devices = num_devices
+        self._device = 0
+        self._next_stream = 1
+        self._streams: set[int] = {0}  # stream 0 = default stream
+        self.api_calls: Counter[str] = Counter()
+
+    # ------------------------------------------------------------------
+    # Device management (state kept runtime-local; never needs the device)
+    # ------------------------------------------------------------------
+    def get_device_count(self) -> int:
+        """``cudaGetDeviceCount``."""
+        self.api_calls["cudaGetDeviceCount"] += 1
+        return self.num_devices
+
+    def set_device(self, device: int) -> None:
+        """``cudaSetDevice``."""
+        self.api_calls["cudaSetDevice"] += 1
+        if not 0 <= device < self.num_devices:
+            raise RuntimeAPIError(f"invalid device ordinal {device}")
+        self._device = device
+
+    def get_device(self) -> int:
+        """``cudaGetDevice`` — the paper's example of a frequent call that
+        should never be forwarded to the server."""
+        self.api_calls["cudaGetDevice"] += 1
+        return self._device
+
+    # ------------------------------------------------------------------
+    # Streams
+    # ------------------------------------------------------------------
+    def stream_create(self) -> int:
+        """``cudaStreamCreate``."""
+        self.api_calls["cudaStreamCreate"] += 1
+        handle = self._next_stream
+        self._next_stream += 1
+        self._streams.add(handle)
+        return handle
+
+    def stream_destroy(self, stream: int) -> None:
+        """``cudaStreamDestroy``."""
+        self.api_calls["cudaStreamDestroy"] += 1
+        if stream == 0:
+            raise RuntimeAPIError("cannot destroy the default stream")
+        try:
+            self._streams.remove(stream)
+        except KeyError:
+            raise RuntimeAPIError(f"unknown stream {stream}") from None
+
+    def stream_synchronize(self, stream: int) -> None:
+        """``cudaStreamSynchronize``."""
+        self.api_calls["cudaStreamSynchronize"] += 1
+        self._require_stream(stream)
+        self.backend.synchronize()
+
+    # ------------------------------------------------------------------
+    # Device code & memory
+    # ------------------------------------------------------------------
+    def register_fat_binary(self, binary: FatBinary) -> None:
+        """``__cudaRegisterFatBinary`` — ships device code to the backend."""
+        self.api_calls["__cudaRegisterFatBinary"] += 1
+        self.backend.register_binary(binary)
+
+    def malloc(self, num_elements: int, dtype: Any = np.float64) -> GlobalRef:
+        """``cudaMalloc`` (element-granular)."""
+        self.api_calls["cudaMalloc"] += 1
+        return self.backend.malloc(num_elements, dtype)
+
+    def free(self, ref: GlobalRef) -> None:
+        """``cudaFree``."""
+        self.api_calls["cudaFree"] += 1
+        self.backend.free(ref)
+
+    def memcpy_h2d(self, dst: GlobalRef, src: Sequence[float] | np.ndarray) -> None:
+        """``cudaMemcpy(..., cudaMemcpyHostToDevice)``."""
+        self.api_calls["cudaMemcpyH2D"] += 1
+        self.backend.memcpy_h2d(dst, np.asarray(src, dtype=np.float64))
+
+    def memcpy_d2h(self, src: GlobalRef, num_elements: int) -> np.ndarray:
+        """``cudaMemcpy(..., cudaMemcpyDeviceToHost)``."""
+        self.api_calls["cudaMemcpyD2H"] += 1
+        return self.backend.memcpy_d2h(src, num_elements)
+
+    # ------------------------------------------------------------------
+    # Kernel launch
+    # ------------------------------------------------------------------
+    def launch_kernel(self, kernel_name: str,
+                      grid: Dim3 | int | Sequence[int],
+                      block: Dim3 | int | Sequence[int],
+                      args: Mapping[str, Any], *, stream: int = 0) -> None:
+        """``cudaLaunchKernel``."""
+        self.api_calls["cudaLaunchKernel"] += 1
+        self._require_stream(stream)
+        self.backend.launch_kernel(
+            kernel_name, Dim3.of(grid), Dim3.of(block), dict(args), stream
+        )
+
+    def device_synchronize(self) -> None:
+        """``cudaDeviceSynchronize``."""
+        self.api_calls["cudaDeviceSynchronize"] += 1
+        self.backend.synchronize()
+
+    # ------------------------------------------------------------------
+    def _require_stream(self, stream: int) -> None:
+        if stream not in self._streams:
+            raise RuntimeAPIError(f"unknown stream {stream}")

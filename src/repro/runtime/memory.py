@@ -1,0 +1,81 @@
+"""Device memory management for the CUDA-like runtime.
+
+Wraps :class:`~repro.ptx.interpreter.DeviceMemory` with handle-based
+alloc/free/memcpy semantics mirroring ``cudaMalloc`` / ``cudaMemcpy``.
+Allocations are element-granular (the mini-PTX memory model is typed
+per-buffer, not byte-addressed).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any
+
+import numpy as np
+
+from ..errors import RuntimeAPIError
+from ..ptx.interpreter import DeviceMemory, GlobalRef
+
+__all__ = ["MemoryManager"]
+
+
+class MemoryManager:
+    """Handle-based allocator over a :class:`DeviceMemory` image."""
+
+    def __init__(self, memory: DeviceMemory | None = None) -> None:
+        self.memory = memory if memory is not None else DeviceMemory()
+        self._live: dict[str, int] = {}  # buffer name -> element count
+        self._counter = itertools.count()
+
+    def malloc(self, num_elements: int, dtype: Any = np.float64) -> GlobalRef:
+        """Allocate a device buffer and return its handle."""
+        if num_elements < 1:
+            raise RuntimeAPIError(
+                f"cudaMalloc of {num_elements} elements is invalid"
+            )
+        name = f"dev_{next(self._counter)}"
+        ref = self.memory.alloc(num_elements, dtype=dtype, name=name)
+        self._live[name] = num_elements
+        return ref
+
+    def free(self, ref: GlobalRef) -> None:
+        """Release a buffer previously returned by :meth:`malloc`."""
+        if ref.buffer not in self._live:
+            raise RuntimeAPIError(f"free of unknown buffer {ref.buffer!r}")
+        del self._live[ref.buffer]
+        self.memory.free(ref)
+
+    def memcpy_h2d(self, dst: GlobalRef, src: np.ndarray) -> None:
+        """Host-to-device copy."""
+        self._check(dst, len(src))
+        arr = self.memory.array(dst)
+        arr[dst.offset: dst.offset + len(src)] = src
+
+    def memcpy_d2h(self, src: GlobalRef, num_elements: int) -> np.ndarray:
+        """Device-to-host copy; returns a fresh array."""
+        self._check(src, num_elements)
+        arr = self.memory.array(src)
+        return arr[src.offset: src.offset + num_elements].copy()
+
+    def memset(self, dst: GlobalRef, value: float, num_elements: int) -> None:
+        """Fill ``num_elements`` elements with ``value``."""
+        self._check(dst, num_elements)
+        arr = self.memory.array(dst)
+        arr[dst.offset: dst.offset + num_elements] = value
+
+    def live_bytes(self) -> int:
+        """Total elements currently allocated (proxy for memory footprint)."""
+        return sum(self._live.values())
+
+    def live_buffers(self) -> int:
+        return len(self._live)
+
+    def _check(self, ref: GlobalRef, count: int) -> None:
+        if ref.buffer not in self._live:
+            raise RuntimeAPIError(f"access to unknown buffer {ref.buffer!r}")
+        size = self._live[ref.buffer]
+        if count < 0 or ref.offset < 0 or ref.offset + count > size:
+            raise RuntimeAPIError(
+                f"copy of {count} elements at offset {ref.offset} exceeds "
+                f"buffer {ref.buffer!r} (size {size})"
+            )

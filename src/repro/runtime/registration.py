@@ -1,0 +1,86 @@
+"""Device-code registration (the fatbinary mechanism).
+
+Real CUDA applications register their device code with the driver at
+startup (``__cudaRegisterFatBinary``); Tally's key implementation
+insight (§4.3) is that intercepting this registration hands the server
+the PTX of every kernel the client may launch, which is what makes
+server-side transformation possible without touching user code.
+
+Here a :class:`FatBinary` is a named collection of mini-PTX kernels,
+and :class:`ModuleRegistry` is the per-context registration table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from ..errors import RuntimeAPIError
+from ..ptx.ir import KernelIR
+
+__all__ = ["FatBinary", "ModuleRegistry"]
+
+
+@dataclass(frozen=True)
+class FatBinary:
+    """A compilation unit: a named bundle of kernels."""
+
+    name: str
+    kernels: tuple[KernelIR, ...]
+
+    @staticmethod
+    def of(name: str, kernels: Iterable[KernelIR]) -> "FatBinary":
+        kernels = tuple(kernels)
+        seen: set[str] = set()
+        for k in kernels:
+            if k.name in seen:
+                raise RuntimeAPIError(
+                    f"fat binary {name!r} has duplicate kernel {k.name!r}"
+                )
+            seen.add(k.name)
+        return FatBinary(name, kernels)
+
+    def kernel_names(self) -> list[str]:
+        return [k.name for k in self.kernels]
+
+
+class ModuleRegistry:
+    """Registered device code of one execution context."""
+
+    def __init__(self) -> None:
+        self._binaries: dict[str, FatBinary] = {}
+        self._kernels: dict[str, KernelIR] = {}
+
+    def register(self, binary: FatBinary) -> None:
+        """Register a fat binary; kernel names must be globally unique."""
+        if binary.name in self._binaries:
+            raise RuntimeAPIError(f"fat binary {binary.name!r} already registered")
+        clashes = [k.name for k in binary.kernels if k.name in self._kernels]
+        if clashes:
+            raise RuntimeAPIError(
+                f"fat binary {binary.name!r} redefines kernels {clashes}"
+            )
+        self._binaries[binary.name] = binary
+        for kernel in binary.kernels:
+            self._kernels[kernel.name] = kernel
+
+    def lookup(self, kernel_name: str) -> KernelIR:
+        """Find a registered kernel by name."""
+        try:
+            return self._kernels[kernel_name]
+        except KeyError:
+            raise RuntimeAPIError(
+                f"kernel {kernel_name!r} is not registered"
+            ) from None
+
+    def binaries(self) -> Iterator[FatBinary]:
+        return iter(self._binaries.values())
+
+    def kernel_names(self) -> list[str]:
+        return sorted(self._kernels)
+
+    def __contains__(self, kernel_name: str) -> bool:
+        return kernel_name in self._kernels
+
+    def __len__(self) -> int:
+        return len(self._kernels)

@@ -1,0 +1,19 @@
+"""Synthetic inference traffic (MAF2 substitute)."""
+
+from .maf import (
+    TrafficTrace,
+    bursty_trace,
+    maf_trace,
+    poisson_trace,
+    profile_trace,
+    rate_for_load,
+)
+
+__all__ = [
+    "TrafficTrace",
+    "bursty_trace",
+    "maf_trace",
+    "poisson_trace",
+    "profile_trace",
+    "rate_for_load",
+]

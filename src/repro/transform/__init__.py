@@ -1,0 +1,39 @@
+"""Tally's kernel transformations (paper §4.1).
+
+Three passes over mini-PTX kernels:
+
+* :func:`make_sliced` — slicing: partition a launch into sub-launches;
+* :func:`make_unified_sync` — unified synchronization: funnel all syncs
+  and returns through a single barrier (a prepositional safety pass);
+* :func:`make_preemptible` — preemption: persistent-thread-block worker
+  loop with a global task counter and preemption flag.
+"""
+
+from .base import RESERVED_PREFIX, TransformMeta, check_transformable
+from .dce import DCEStats, eliminate_dead_code
+from .peephole import PeepholeStats, peephole_optimize
+from .pipeline import TransformPipeline, TransformStats
+from .ptb import PreemptibleKernel, PTBControl, make_preemptible
+from .slicing import SlicedKernel, SliceLaunch, make_sliced, plan_slices
+from .unified_sync import UnifiedSyncKernel, make_unified_sync
+
+__all__ = [
+    "RESERVED_PREFIX",
+    "PTBControl",
+    "PreemptibleKernel",
+    "SliceLaunch",
+    "SlicedKernel",
+    "PeepholeStats",
+    "TransformMeta",
+    "TransformPipeline",
+    "TransformStats",
+    "UnifiedSyncKernel",
+    "DCEStats",
+    "check_transformable",
+    "eliminate_dead_code",
+    "make_preemptible",
+    "make_sliced",
+    "make_unified_sync",
+    "peephole_optimize",
+    "plan_slices",
+]

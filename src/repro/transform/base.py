@@ -1,0 +1,121 @@
+"""Shared machinery for Tally's kernel transformation passes.
+
+All passes rewrite :class:`~repro.ptx.ir.KernelIR` bodies.  They share
+three needs covered here: reserved-name hygiene (transformed kernels add
+parameters, registers, labels and shared buffers that must not collide
+with user code), special-register substitution (``ctaid``/``nctaid``
+reads become virtual registers), and grid linearization helpers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+from ..errors import TransformError
+from ..ptx.ir import (
+    Axis,
+    Instr,
+    KernelIR,
+    Operand,
+    Special,
+    SpecialKind,
+)
+
+__all__ = [
+    "RESERVED_PREFIX",
+    "check_transformable",
+    "substitute_specials",
+    "collect_labels",
+    "remap_labels",
+    "TransformMeta",
+]
+
+#: All names introduced by transformation passes start with this prefix.
+RESERVED_PREFIX = "__tally"
+
+
+@dataclass(frozen=True)
+class TransformMeta:
+    """Provenance of a transformed kernel."""
+
+    original_name: str
+    passes: tuple[str, ...]
+
+    def with_pass(self, name: str) -> "TransformMeta":
+        """Return a copy recording one more applied pass."""
+        return TransformMeta(self.original_name, self.passes + (name,))
+
+
+def check_transformable(kernel: KernelIR) -> None:
+    """Reject kernels that already use the reserved name prefix."""
+    offenders: list[str] = []
+    offenders.extend(
+        p.name for p in kernel.params if p.name.startswith(RESERVED_PREFIX)
+    )
+    offenders.extend(
+        s.name for s in kernel.shared if s.name.startswith(RESERVED_PREFIX)
+    )
+    for instr in kernel.body:
+        if instr.dst is not None and instr.dst.name.startswith(RESERVED_PREFIX):
+            offenders.append(instr.dst.name)
+        if instr.label is not None and instr.label.startswith(RESERVED_PREFIX):
+            offenders.append(instr.label)
+    if offenders:
+        raise TransformError(
+            f"kernel {kernel.name!r} uses reserved names: {sorted(set(offenders))}"
+        )
+
+
+def substitute_specials(
+    instrs: Iterable[Instr],
+    mapping: Mapping[tuple[SpecialKind, Axis], Operand],
+) -> int:
+    """Replace special-register reads according to ``mapping``, in place.
+
+    Returns the number of operand substitutions performed.  This is the
+    core mechanism of both slicing and preemption: the physical
+    ``ctaid``/``nctaid`` of a transformed launch no longer matches the
+    logical grid, so reads are redirected to reconstructed values.
+    """
+    count = 0
+    for instr in instrs:
+        if not instr.srcs:
+            continue
+        new_srcs: list[Operand] = []
+        changed = False
+        for src in instr.srcs:
+            if isinstance(src, Special):
+                key = (src.kind, src.axis)
+                if key in mapping:
+                    new_srcs.append(mapping[key])
+                    changed = True
+                    count += 1
+                    continue
+            new_srcs.append(src)
+        if changed:
+            instr.srcs = tuple(new_srcs)
+    return count
+
+
+def collect_labels(instrs: Iterable[Instr]) -> set[str]:
+    """All label names defined or referenced by ``instrs``."""
+    labels: set[str] = set()
+    for instr in instrs:
+        if instr.label is not None:
+            labels.add(instr.label)
+        if instr.target is not None:
+            labels.add(instr.target)
+        labels.update(instr.targets)
+    return labels
+
+
+def remap_labels(instrs: Iterable[Instr], mapping: Mapping[str, str]) -> None:
+    """Rename labels (definitions and references) in place."""
+    for instr in instrs:
+        if instr.label is not None and instr.label in mapping:
+            instr.label = mapping[instr.label]
+        if instr.target is not None and instr.target in mapping:
+            instr.target = mapping[instr.target]
+        if instr.targets:
+            instr.targets = tuple(mapping.get(t, t) for t in instr.targets)

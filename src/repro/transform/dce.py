@@ -1,0 +1,150 @@
+"""Dead-code elimination over the mini-PTX IR.
+
+Removes instructions whose only effect is writing a register that no
+later-executed instruction can read.  Liveness is computed by a
+backward fixed-point over the control-flow graph (basic blocks formed
+at labels and after branches), which handles the loops the stock
+kernels and the PTB worker wrapper are full of.
+
+Side-effecting instructions are never removed: stores, atomics
+(their memory effect matters even if the fetched value is dead),
+barriers, branches, and returns.  The pass composes with
+:mod:`repro.transform.peephole`; together they undo the redundancy the
+transformation passes introduce (e.g. virtual-index registers computed
+for ``ctaid`` axes the kernel never reads).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..ptx.ir import Instr, KernelIR, Opcode, Reg
+from ..ptx.validate import validate_kernel
+
+__all__ = ["DCEStats", "eliminate_dead_code"]
+
+#: opcodes whose execution has effects beyond writing `dst`
+_SIDE_EFFECTS = {
+    Opcode.ST, Opcode.ATOM_ADD, Opcode.ATOM_CAS, Opcode.ATOM_EXCH,
+    Opcode.BAR, Opcode.RET, Opcode.BRA, Opcode.BRX, Opcode.NOP,
+}
+
+
+@dataclass(frozen=True)
+class DCEStats:
+    """What the pass removed."""
+
+    instructions_removed: int
+    iterations: int
+
+
+def _block_starts(body: list[Instr], labels: dict[str, int]) -> list[int]:
+    starts = {0}
+    for i, instr in enumerate(body):
+        if instr.label is not None:
+            starts.add(i)
+        if instr.op in (Opcode.BRA, Opcode.BRX, Opcode.RET):
+            if i + 1 < len(body):
+                starts.add(i + 1)
+    return sorted(starts)
+
+
+def _successors(body: list[Instr], labels: dict[str, int],
+                block_range: tuple[int, int]) -> list[int]:
+    """Successor instruction indices of the block ending at ``end - 1``."""
+    end = block_range[1]
+    last = body[end - 1]
+    succ: list[int] = []
+    if last.op is Opcode.RET:
+        if last.pred is not None and end < len(body):
+            succ.append(end)
+    elif last.op is Opcode.BRA:
+        succ.append(labels[last.target])  # type: ignore[index]
+        if last.pred is not None and end < len(body):
+            succ.append(end)
+    elif last.op is Opcode.BRX:
+        succ.extend(labels[t] for t in last.targets)
+    elif end < len(body):
+        succ.append(end)
+    return succ
+
+
+def _reads(instr: Instr) -> set[str]:
+    names = {src.name for src in instr.srcs if isinstance(src, Reg)}
+    if instr.pred is not None:
+        names.add(instr.pred.name)
+    return names
+
+
+def eliminate_dead_code(kernel: KernelIR) -> tuple[KernelIR, DCEStats]:
+    """Return a copy of ``kernel`` with dead register writes removed."""
+    body = [instr.copy() for instr in kernel.body]
+    total_removed = 0
+    iterations = 0
+
+    while True:
+        iterations += 1
+        labels = {instr.label: i for i, instr in enumerate(body)
+                  if instr.label is not None}
+        starts = _block_starts(body, labels)
+        ranges = [(s, e) for s, e in zip(starts, starts[1:] + [len(body)])]
+        index_of = {s: bi for bi, (s, _e) in enumerate(ranges)}
+
+        # Per-block gen/kill.
+        use = [set() for _ in ranges]
+        define = [set() for _ in ranges]
+        for bi, (s, e) in enumerate(ranges):
+            for instr in body[s:e]:
+                for name in _reads(instr):
+                    if name not in define[bi]:
+                        use[bi].add(name)
+                if instr.dst is not None:
+                    define[bi].add(instr.dst.name)
+
+        # Backward fixed point: live-in/live-out per block.
+        live_in = [set(u) for u in use]
+        live_out = [set() for _ in ranges]
+        changed = True
+        while changed:
+            changed = False
+            for bi in range(len(ranges) - 1, -1, -1):
+                out: set[str] = set()
+                for succ_start in _successors(body, labels, ranges[bi]):
+                    out |= live_in[index_of[succ_start]]
+                if out != live_out[bi]:
+                    live_out[bi] = out
+                new_in = use[bi] | (out - define[bi])
+                if new_in != live_in[bi]:
+                    live_in[bi] = new_in
+                    changed = True
+
+        # Instruction-level sweep within each block.
+        dead: set[int] = set()
+        for bi, (s, e) in enumerate(ranges):
+            live = set(live_out[bi])
+            for i in range(e - 1, s - 1, -1):
+                instr = body[i]
+                writes_dead = (instr.dst is not None
+                               and instr.dst.name not in live)
+                if (instr.op not in _SIDE_EFFECTS and writes_dead
+                        and instr.label is None):
+                    dead.add(i)
+                    continue
+                if instr.dst is not None:
+                    live.discard(instr.dst.name)
+                live |= _reads(instr)
+
+        if not dead:
+            break
+        body = [instr for i, instr in enumerate(body) if i not in dead]
+        total_removed += len(dead)
+
+    optimized = KernelIR(
+        name=kernel.name,
+        params=list(kernel.params),
+        shared=list(kernel.shared),
+        body=body,
+    )
+    validate_kernel(optimized)
+    return optimized, DCEStats(instructions_removed=total_removed,
+                               iterations=iterations)

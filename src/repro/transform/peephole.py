@@ -1,0 +1,133 @@
+"""Peephole cleanup of (transformed) kernels.
+
+The transformation passes favour clarity over tightness: they emit NOP
+label-carriers, the builder appends a safety ``ret`` after terminal
+branches, and splicing can leave unreachable stubs.  This pass shrinks
+kernels without changing semantics:
+
+* **NOP elision** — a labelled NOP moves its label onto the following
+  instruction (unless that instruction is itself labelled); unlabelled
+  NOPs vanish;
+* **unreachable-code removal** — instructions that no control path
+  reaches (computed by a conservative CFG walk from the entry) are
+  dropped.
+
+The pass is safe by construction — it never touches reachable non-NOP
+instructions — and the test suite re-runs the whole kernel corpus
+(original and transformed) through the optimizer to confirm identical
+outputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..ptx.ir import Instr, KernelIR, Opcode
+from ..ptx.validate import validate_kernel
+
+__all__ = ["PeepholeStats", "peephole_optimize"]
+
+
+@dataclass(frozen=True)
+class PeepholeStats:
+    """What the optimizer removed."""
+
+    nops_removed: int
+    unreachable_removed: int
+
+    @property
+    def total_removed(self) -> int:
+        return self.nops_removed + self.unreachable_removed
+
+
+def _reachable(body: list[Instr], labels: dict[str, int]) -> set[int]:
+    """Indices reachable from instruction 0 via fall-through/branches."""
+    seen: set[int] = set()
+    stack = [0]
+    n = len(body)
+    while stack:
+        index = stack.pop()
+        if index in seen or not 0 <= index < n:
+            continue
+        seen.add(index)
+        instr = body[index]
+        if instr.op is Opcode.RET:
+            if instr.pred is not None:
+                stack.append(index + 1)
+            continue
+        if instr.op is Opcode.BRA:
+            stack.append(labels[instr.target])  # type: ignore[index]
+            if instr.pred is not None:
+                stack.append(index + 1)
+            continue
+        if instr.op is Opcode.BRX:
+            stack.extend(labels[t] for t in instr.targets)
+            continue
+        stack.append(index + 1)
+    return seen
+
+
+def peephole_optimize(kernel: KernelIR) -> tuple[KernelIR, PeepholeStats]:
+    """Return an optimized copy of ``kernel`` plus removal statistics."""
+    body = [instr.copy() for instr in kernel.body]
+
+    # Pass 1: drop unreachable instructions (their labels are, by
+    # definition, never jumped to from reachable code).
+    labels = {instr.label: i for i, instr in enumerate(body)
+              if instr.label is not None}
+    reachable = _reachable(body, labels)
+    kept = [instr for i, instr in enumerate(body) if i in reachable]
+    unreachable_removed = len(body) - len(kept)
+    body = kept
+
+    # Pass 2: elide NOPs.  Each NOP's label migrates to the next
+    # surviving instruction; a run of labels collapses onto one name
+    # and the rest become aliases rewritten at every reference site.
+    keep = [instr.op is not Opcode.NOP for instr in body]
+    alias: dict[str, str] = {}
+    pending: list[str] = []
+    for idx, instr in enumerate(body):
+        if not keep[idx]:
+            if instr.label is not None:
+                pending.append(instr.label)
+            continue
+        if pending:
+            if instr.label is None:
+                instr.label = pending[0]
+                for name in pending[1:]:
+                    alias[name] = pending[0]
+            else:
+                for name in pending:
+                    alias[name] = instr.label
+            pending = []
+
+    result = [instr for idx, instr in enumerate(body) if keep[idx]]
+    nops_removed = len(body) - len(result)
+    if pending:
+        # Branch targets at the very end of the body: keep one carrier.
+        carrier = Instr(Opcode.NOP, label=pending[0])
+        for name in pending[1:]:
+            alias[name] = pending[0]
+        result.append(carrier)
+        result.append(Instr(Opcode.RET))
+        nops_removed -= 1
+
+    if alias:
+        for instr in result:
+            if instr.target in alias:
+                instr.target = alias[instr.target]
+            if instr.targets:
+                instr.targets = tuple(alias.get(t, t)
+                                      for t in instr.targets)
+
+    optimized = KernelIR(
+        name=kernel.name,
+        params=list(kernel.params),
+        shared=list(kernel.shared),
+        body=result,
+    )
+    validate_kernel(optimized)
+    return optimized, PeepholeStats(
+        nops_removed=nops_removed,
+        unreachable_removed=unreachable_removed,
+    )

@@ -1,0 +1,99 @@
+"""Transformation pipeline with caching.
+
+Tally's server transforms each distinct kernel at most once and reuses
+the result for every subsequent launch (transformation is pure —
+keyed on the kernel object).  :class:`TransformPipeline` provides that
+cache plus simple statistics, and is what the server-side kernel
+transformer (:mod:`repro.core.transformer`) builds on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..ptx.ir import KernelIR
+from .dce import eliminate_dead_code
+from .peephole import peephole_optimize
+from .ptb import PreemptibleKernel, make_preemptible
+from .slicing import SlicedKernel, make_sliced
+from .unified_sync import UnifiedSyncKernel, make_unified_sync
+
+__all__ = ["TransformPipeline", "TransformStats"]
+
+
+@dataclass
+class TransformStats:
+    """Counts of transformation work performed."""
+
+    sliced: int = 0
+    preemptible: int = 0
+    unified_sync: int = 0
+    cache_hits: int = 0
+    instructions_elided: int = 0
+
+
+class TransformPipeline:
+    """Caches transformed variants of kernels.
+
+    Cache keys combine the kernel's identity and name, so two distinct
+    kernels that happen to share a name do not collide, while repeated
+    requests for the same kernel object hit the cache.  With
+    ``optimize=True`` (the default) every transformed kernel is run
+    through the peephole cleanup pass before being cached.
+    """
+
+    def __init__(self, *, optimize: bool = True) -> None:
+        self._optimize = optimize
+        self._sliced: dict[tuple[int, str], SlicedKernel] = {}
+        self._ptb: dict[tuple[int, str, bool], PreemptibleKernel] = {}
+        self._usync: dict[tuple[int, str], UnifiedSyncKernel] = {}
+        self.stats = TransformStats()
+
+    def _cleanup(self, kernel: KernelIR) -> KernelIR:
+        if not self._optimize:
+            return kernel
+        optimized, peep = peephole_optimize(kernel)
+        optimized, dce = eliminate_dead_code(optimized)
+        self.stats.instructions_elided += (peep.total_removed
+                                           + dce.instructions_removed)
+        return optimized
+
+    def sliced(self, kernel: KernelIR) -> SlicedKernel:
+        """Sliced variant of ``kernel`` (cached)."""
+        key = (id(kernel), kernel.name)
+        cached = self._sliced.get(key)
+        if cached is not None:
+            self.stats.cache_hits += 1
+            return cached
+        result = make_sliced(kernel)
+        result.kernel = self._cleanup(result.kernel)
+        self._sliced[key] = result
+        self.stats.sliced += 1
+        return result
+
+    def preemptible(self, kernel: KernelIR, *,
+                    unified_sync: bool = True) -> PreemptibleKernel:
+        """Preemptible (PTB) variant of ``kernel`` (cached)."""
+        key = (id(kernel), kernel.name, unified_sync)
+        cached = self._ptb.get(key)
+        if cached is not None:
+            self.stats.cache_hits += 1
+            return cached
+        result = make_preemptible(kernel, unified_sync=unified_sync)
+        result.kernel = self._cleanup(result.kernel)
+        self._ptb[key] = result
+        self.stats.preemptible += 1
+        return result
+
+    def unified_sync(self, kernel: KernelIR) -> UnifiedSyncKernel:
+        """Unified-synchronization variant of ``kernel`` (cached)."""
+        key = (id(kernel), kernel.name)
+        cached = self._usync.get(key)
+        if cached is not None:
+            self.stats.cache_hits += 1
+            return cached
+        result = make_unified_sync(kernel)
+        result.kernel = self._cleanup(result.kernel)
+        self._usync[key] = result
+        self.stats.unified_sync += 1
+        return result

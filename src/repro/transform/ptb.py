@@ -1,0 +1,246 @@
+"""The preemption transformation (paper §4.1, persistent thread blocks).
+
+Instead of launching one physical block per unit of work, the
+transformed kernel launches a small, fixed number of *worker* blocks.
+Each worker repeatedly:
+
+1. checks a global preemption flag — if set, the worker exits (the
+   block currently executing is finished first, which is what bounds
+   Tally's turnaround latency);
+2. atomically fetches the next logical block index from a global task
+   counter;
+3. reconstructs the logical ``ctaid.{x,y,z}`` from that linear index and
+   executes the original kernel body for it;
+4. synchronizes and loops.
+
+Progress is fully captured by the task counter, so a preempted kernel
+resumes by simply relaunching it with the same counter buffer.
+
+The body is first run through the unified synchronization pass
+(:mod:`repro.transform.unified_sync`); applying the worker loop to a
+body with its own ``bar.sync``/``ret`` sites is unsafe (see that
+module's docstring).  ``unified_sync=False`` builds the naive, unsafe
+variant so tests can demonstrate the stall hazard the paper describes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+from ..errors import TransformError
+from ..ptx.builder import KernelBuilder
+from ..ptx.interpreter import DeviceMemory, GlobalRef
+from ..ptx.ir import (
+    Axis,
+    CompareOp,
+    Dim3,
+    Instr,
+    KernelIR,
+    Opcode,
+    Operand,
+    Param,
+    ParamKind,
+    Reg,
+    SharedDecl,
+    SpecialKind,
+)
+from .base import TransformMeta, check_transformable, substitute_specials
+from .unified_sync import EXIT_LABEL, make_unified_sync
+
+__all__ = ["PreemptibleKernel", "PTBControl", "make_preemptible"]
+
+COUNTER_PARAM = "__tally_task_counter"
+FLAG_PARAM = "__tally_preempt_flag"
+GRID_PARAMS = ("__tally_grid_x", "__tally_grid_y", "__tally_grid_z")
+TASK_BUFFER = "__tally_ptb_task"
+LOOP_LABEL = "__tally_ptb_loop"
+ITER_END_LABEL = "__tally_ptb_iter_end"
+
+
+@dataclass
+class PTBControl:
+    """The global control state of one preemptible launch.
+
+    ``counter`` holds the next unclaimed logical block index and fully
+    encodes execution progress; ``flag`` non-zero asks workers to stop
+    after their current block.
+    """
+
+    counter: GlobalRef
+    flag: GlobalRef
+    memory: DeviceMemory
+
+    def request_preemption(self) -> None:
+        """Ask all workers to stop after their current block."""
+        self.memory.write(self.flag, 0, 1)
+
+    def clear_preemption(self) -> None:
+        """Allow workers to fetch tasks again (before a resume launch)."""
+        self.memory.write(self.flag, 0, 0)
+
+    def tasks_started(self) -> int:
+        """Number of logical blocks claimed so far (may exceed the total
+        once workers drain the counter past the end)."""
+        return int(self.memory.read(self.counter, 0))
+
+    def reset(self) -> None:
+        """Restart progress from logical block zero."""
+        self.memory.write(self.counter, 0, 0)
+        self.clear_preemption()
+
+
+@dataclass
+class PreemptibleKernel:
+    """A kernel rewritten into preemptible persistent-thread-block form."""
+
+    kernel: KernelIR
+    meta: TransformMeta
+    unified_sync: bool
+    counter_param: str = COUNTER_PARAM
+    flag_param: str = FLAG_PARAM
+    grid_params: tuple[str, str, str] = GRID_PARAMS
+
+    def make_control(self, memory: DeviceMemory) -> PTBControl:
+        """Allocate fresh counter/flag buffers on ``memory``."""
+        import numpy as np
+
+        counter = memory.alloc(1, dtype=np.int64)
+        flag = memory.alloc(1, dtype=np.int64)
+        return PTBControl(counter=counter, flag=flag, memory=memory)
+
+    def worker_grid(self, num_workers: int) -> Dim3:
+        """The physical launch grid for ``num_workers`` worker blocks."""
+        if num_workers < 1:
+            raise TransformError(f"num_workers must be >= 1, got {num_workers}")
+        return Dim3(num_workers)
+
+    def args_for(self, base_args: Mapping[str, Any], logical_grid: Dim3 | int,
+                 control: PTBControl) -> dict[str, Any]:
+        """Arguments for a (re)launch of the preemptible kernel."""
+        logical_grid = Dim3.of(logical_grid)
+        args = dict(base_args)
+        args[self.counter_param] = control.counter
+        args[self.flag_param] = control.flag
+        args[self.grid_params[0]] = logical_grid.x
+        args[self.grid_params[1]] = logical_grid.y
+        args[self.grid_params[2]] = logical_grid.z
+        return args
+
+
+def make_preemptible(kernel: KernelIR, *,
+                     unified_sync: bool = True) -> PreemptibleKernel:
+    """Apply the preemption transformation to ``kernel``.
+
+    With ``unified_sync=False`` the original body is spliced in naively
+    (returns become plain branches to the loop tail); this reproduces
+    the divergent-synchronization stall for kernels that mix early
+    returns with barriers and exists for demonstration and testing only.
+    """
+    check_transformable(kernel)
+
+    if unified_sync:
+        usync = make_unified_sync(kernel)
+        body_source = usync.kernel
+        passes = ("unified_sync", "preemption")
+    else:
+        body_source = kernel
+        passes = ("preemption",)
+
+    b = KernelBuilder(f"{kernel.name}__ptb")
+    for param in kernel.params:
+        b.declare_param(param)
+    counter = b.declare_param(Param(COUNTER_PARAM, ParamKind.PTR))
+    flag = b.declare_param(Param(FLAG_PARAM, ParamKind.PTR))
+    grid_refs = [b.declare_param(Param(name, ParamKind.I32))
+                 for name in GRID_PARAMS]
+    for decl in body_source.shared:
+        b.declare_shared(decl)
+    task_cell = b.declare_shared(SharedDecl(TASK_BUFFER, 1))
+
+    # --- Worker prologue (runs once per worker block) ---------------------
+    gx = b.mov(grid_refs[0], dst=Reg("__tally_ptb_gx"))
+    gy = b.mov(grid_refs[1], dst=Reg("__tally_ptb_gy"))
+    gz = b.mov(grid_refs[2], dst=Reg("__tally_ptb_gz"))
+    total = b.mul(gx, gy, dst=Reg("__tally_ptb_total"))
+    b.mul(total, gz, dst=total)
+    tlin = b.mad(b.tid(Axis.Z), b.ntid(Axis.Y), b.tid(Axis.Y),
+                 dst=Reg("__tally_ptb_tlin"))
+    b.mad(tlin, b.ntid(Axis.X), b.tid(Axis.X), dst=tlin)
+    leader = b.setp(CompareOp.EQ, tlin, 0, dst=Reg("__tally_ptb_leader"))
+
+    # --- Worker loop: fetch -> broadcast -> execute -> quiesce ------------
+    b.label(LOOP_LABEL)
+    nofetch = "__tally_ptb_nofetch"
+    preempted = "__tally_ptb_preempted"
+    fetched = "__tally_ptb_fetched"
+    b.bra(nofetch, pred=leader, negate=True)
+    flag_value = b.ld(flag, 0, dst=Reg("__tally_ptb_flagv"))
+    flag_set = b.setp(CompareOp.NE, flag_value, 0,
+                      dst=Reg("__tally_ptb_flagp"))
+    b.bra(preempted, pred=flag_set)
+    next_task = b.atom_add(counter, 0, 1, dst=Reg("__tally_ptb_fetch"))
+    b.st(task_cell, 0, next_task)
+    b.bra(fetched)
+    b.label(preempted)
+    b.st(task_cell, 0, -1)
+    b.label(fetched)
+    b.nop()
+    b.label(nofetch)
+    b.nop()
+    b.bar()  # broadcast the fetched task to the whole block
+
+    # Shared memory stores values untyped; convert the broadcast task
+    # index back to an integer before it feeds div/rem index math.
+    task_raw = b.ld(task_cell, 0, dst=Reg("__tally_ptb_taskraw"))
+    task = b.cvt_int(task_raw, dst=Reg("__tally_ptb_taskr"))
+    b.ret(pred=b.setp(CompareOp.LT, task, 0, dst=Reg("__tally_ptb_stopp")))
+    b.ret(pred=b.setp(CompareOp.GE, task, total, dst=Reg("__tally_ptb_donep")))
+
+    # Reconstruct the logical 3-D block index of this task.
+    vx = b.rem(task, gx, dst=Reg("__tally_ptb_vx"))
+    quot = b.div(task, gx, dst=Reg("__tally_ptb_q"))
+    vy = b.rem(quot, gy, dst=Reg("__tally_ptb_vy"))
+    vz = b.div(quot, gy, dst=Reg("__tally_ptb_vz"))
+
+    # --- Spliced body ------------------------------------------------------
+    body = [instr.copy() for instr in body_source.body]
+    mapping: dict[tuple[SpecialKind, Axis], Operand] = {
+        (SpecialKind.CTAID, Axis.X): vx,
+        (SpecialKind.CTAID, Axis.Y): vy,
+        (SpecialKind.CTAID, Axis.Z): vz,
+        (SpecialKind.NCTAID, Axis.X): gx,
+        (SpecialKind.NCTAID, Axis.Y): gy,
+        (SpecialKind.NCTAID, Axis.Z): gz,
+    }
+    substitute_specials(body, mapping)
+
+    for instr in body:
+        if unified_sync and instr.label == EXIT_LABEL:
+            # The collective exit of the unified-sync body becomes the
+            # end of one worker iteration.
+            if instr.op is not Opcode.RET:
+                raise TransformError(
+                    "unified-sync exit label does not mark a ret"
+                )
+            b.emit_raw(Instr(Opcode.BRA, target=ITER_END_LABEL,
+                             label=instr.label))
+            continue
+        if not unified_sync and instr.op is Opcode.RET:
+            # Naive splice: returns become branches to the loop tail.
+            # Threads that return at different points now synchronize at
+            # different barriers -> divergence hazard.
+            b.emit_raw(Instr(Opcode.BRA, target=ITER_END_LABEL,
+                             label=instr.label, pred=instr.pred,
+                             pred_negate=instr.pred_negate))
+            continue
+        b.emit_raw(instr)
+
+    b.label(ITER_END_LABEL)
+    b.bar()  # quiesce the block before fetching the next task
+    b.bra(LOOP_LABEL)
+
+    transformed = b.build()
+    meta = TransformMeta(kernel.name, passes)
+    return PreemptibleKernel(kernel=transformed, meta=meta,
+                             unified_sync=unified_sync)

@@ -1,0 +1,143 @@
+"""The slicing transformation (paper §4.1, Figure 2a).
+
+Slicing partitions a kernel's thread blocks into several sub-launches so
+the scheduler can interleave other work between them.  Launching a
+sub-range of blocks naively is incorrect because threads derive their
+work assignment from ``ctaid`` (blockIdx): every sub-launch would see
+block indices starting at zero and redo the first blocks' work.
+
+The transformation therefore:
+
+* adds a ``__tally_block_offset`` parameter (the linear index of the
+  slice's first logical block) and ``__tally_grid_{x,y,z}`` parameters
+  carrying the *original* grid dimensions;
+* launches each slice as a 1-D grid of ``k`` physical blocks;
+* prepends a prologue reconstructing the logical 3-D block index from
+  ``offset + ctaid.x`` and rewrites every ``ctaid``/``nctaid`` read to
+  the reconstructed values.
+
+The collective work of the slices is then identical to the original
+launch, which the functional test suite checks on the whole kernel
+corpus.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+from ..errors import TransformError
+from ..ptx.builder import KernelBuilder
+from ..ptx.ir import (
+    Axis,
+    Dim3,
+    KernelIR,
+    Operand,
+    Param,
+    ParamKind,
+    Reg,
+    SpecialKind,
+)
+from .base import TransformMeta, check_transformable, substitute_specials
+
+__all__ = ["SliceLaunch", "SlicedKernel", "make_sliced", "plan_slices"]
+
+OFFSET_PARAM = "__tally_block_offset"
+GRID_PARAMS = ("__tally_grid_x", "__tally_grid_y", "__tally_grid_z")
+
+
+@dataclass(frozen=True)
+class SliceLaunch:
+    """One sub-launch of a sliced kernel."""
+
+    grid: Dim3  # physical (1-D) grid of this slice
+    offset: int  # linear index of the first logical block
+
+    @property
+    def blocks(self) -> int:
+        return self.grid.total
+
+
+def plan_slices(logical_grid: Dim3, blocks_per_slice: int) -> list[SliceLaunch]:
+    """Split ``logical_grid`` into slices of at most ``blocks_per_slice``."""
+    if blocks_per_slice < 1:
+        raise TransformError(
+            f"blocks_per_slice must be >= 1, got {blocks_per_slice}"
+        )
+    total = logical_grid.total
+    launches = []
+    offset = 0
+    while offset < total:
+        count = min(blocks_per_slice, total - offset)
+        launches.append(SliceLaunch(grid=Dim3(count), offset=offset))
+        offset += count
+    return launches
+
+
+@dataclass
+class SlicedKernel:
+    """A kernel rewritten for sliced execution, plus launch helpers."""
+
+    kernel: KernelIR
+    meta: TransformMeta
+    offset_param: str = OFFSET_PARAM
+    grid_params: tuple[str, str, str] = GRID_PARAMS
+
+    def plan(self, logical_grid: Dim3 | int,
+             blocks_per_slice: int) -> list[SliceLaunch]:
+        """Slices covering ``logical_grid`` with the given granularity."""
+        return plan_slices(Dim3.of(logical_grid), blocks_per_slice)
+
+    def args_for(self, base_args: Mapping[str, Any], logical_grid: Dim3 | int,
+                 offset: int) -> dict[str, Any]:
+        """Arguments for one slice launch."""
+        logical_grid = Dim3.of(logical_grid)
+        args = dict(base_args)
+        args[self.offset_param] = offset
+        args[self.grid_params[0]] = logical_grid.x
+        args[self.grid_params[1]] = logical_grid.y
+        args[self.grid_params[2]] = logical_grid.z
+        return args
+
+
+def make_sliced(kernel: KernelIR) -> SlicedKernel:
+    """Apply the slicing transformation to ``kernel``."""
+    check_transformable(kernel)
+
+    b = KernelBuilder(f"{kernel.name}__sliced")
+    for param in kernel.params:
+        b.declare_param(param)
+    offset = b.declare_param(Param(OFFSET_PARAM, ParamKind.I32))
+    grid_refs = [b.declare_param(Param(name, ParamKind.I32))
+                 for name in GRID_PARAMS]
+    for decl in kernel.shared:
+        b.declare_shared(decl)
+
+    # Prologue: reconstruct the logical block index.  The slice is
+    # launched as a 1-D grid, so the logical linear index is simply
+    # offset + physical ctaid.x.
+    gx = b.mov(grid_refs[0], dst=Reg("__tally_sl_gx"))
+    gy = b.mov(grid_refs[1], dst=Reg("__tally_sl_gy"))
+    gz = b.mov(grid_refs[2], dst=Reg("__tally_sl_gz"))
+    linear = b.add(b.ctaid(Axis.X), offset, dst=Reg("__tally_sl_linear"))
+    vx = b.rem(linear, gx, dst=Reg("__tally_sl_vx"))
+    quot = b.div(linear, gx, dst=Reg("__tally_sl_q"))
+    vy = b.rem(quot, gy, dst=Reg("__tally_sl_vy"))
+    vz = b.div(quot, gy, dst=Reg("__tally_sl_vz"))
+
+    body = [instr.copy() for instr in kernel.body]
+    mapping: dict[tuple[SpecialKind, Axis], Operand] = {
+        (SpecialKind.CTAID, Axis.X): vx,
+        (SpecialKind.CTAID, Axis.Y): vy,
+        (SpecialKind.CTAID, Axis.Z): vz,
+        (SpecialKind.NCTAID, Axis.X): gx,
+        (SpecialKind.NCTAID, Axis.Y): gy,
+        (SpecialKind.NCTAID, Axis.Z): gz,
+    }
+    substitute_specials(body, mapping)
+    for instr in body:
+        b.emit_raw(instr)
+
+    transformed = b.build()
+    meta = TransformMeta(kernel.name, ("slicing",))
+    return SlicedKernel(kernel=transformed, meta=meta)

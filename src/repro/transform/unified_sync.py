@@ -1,0 +1,172 @@
+"""The unified synchronization transformation (paper §4.1, Figure 2b).
+
+The preemption transformation turns returns into branches back into a
+worker loop.  On real hardware a thread that "returned" this way is
+still alive, so it now participates in barriers again — and it waits at
+the loop's barrier while still-working threads wait at the kernel's own
+``bar.sync`` sites.  Threads of one block waiting at *different*
+barriers is undefined behaviour and stalls forever (the interpreter
+raises :class:`~repro.errors.SyncDivergenceError` for it).
+
+This prepositional pass removes the hazard by funnelling **every**
+synchronization and return through a single unified sync point:
+
+* a shared counter tracks how many threads have (logically) returned;
+* each ``bar.sync`` site ``k`` becomes "record origin ``k``, jump to the
+  unified barrier", and after the barrier live threads jump back to
+  their origin through an indirect branch;
+* each ``ret`` becomes "increment the counter, set a local returned
+  flag, jump to the unified barrier"; returned threads loop on the
+  barrier until the counter shows *all* threads returned, at which point
+  the whole block exits together through a single exit instruction.
+
+Because the only barrier left in the kernel is the unified one, threads
+can never diverge across barriers, and the preemption transformation
+can be applied safely afterwards.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..ptx.builder import KernelBuilder
+from ..ptx.ir import (
+    Axis,
+    CompareOp,
+    Instr,
+    KernelIR,
+    Opcode,
+    Reg,
+    SharedDecl,
+)
+from .base import TransformMeta, check_transformable
+
+__all__ = ["UnifiedSyncKernel", "make_unified_sync"]
+
+COUNT_BUFFER = "__tally_us_count"
+SYNC_LABEL = "__tally_us_sync"
+EXIT_LABEL = "__tally_us_exit"
+
+
+@dataclass
+class UnifiedSyncKernel:
+    """A kernel whose syncs and returns all route through one barrier."""
+
+    kernel: KernelIR
+    meta: TransformMeta
+    sync_sites: int  # number of original bar.sync sites
+    return_sites: int  # number of original ret sites
+    exit_label: str = EXIT_LABEL
+    count_buffer: str = COUNT_BUFFER
+
+
+def make_unified_sync(kernel: KernelIR) -> UnifiedSyncKernel:
+    """Apply the unified synchronization transformation to ``kernel``."""
+    check_transformable(kernel)
+
+    b = KernelBuilder(f"{kernel.name}__usync")
+    for param in kernel.params:
+        b.declare_param(param)
+    for decl in kernel.shared:
+        b.declare_shared(decl)
+    count = b.declare_shared(SharedDecl(COUNT_BUFFER, 1))
+
+    ret_flag = Reg("__tally_us_ret")
+    origin = Reg("__tally_us_origin")
+    ntotal = Reg("__tally_us_ntotal")
+
+    # Prologue: reset the returned-counter (every thread stores the same
+    # zero — a benign race), establish the thread count, and clear the
+    # per-thread state.  The barrier makes the reset visible before any
+    # thread can increment the counter.  Running this prologue once per
+    # PTB iteration is exactly what re-arms the counter between tasks.
+    b.st(count, 0, 0)
+    b.bar()
+    b.mov(False, dst=ret_flag)
+    b.mov(0, dst=origin)
+    b.mul(b.ntid(Axis.X), b.ntid(Axis.Y), dst=ntotal)
+    b.mul(ntotal, b.ntid(Axis.Z), dst=ntotal)
+
+    resume_labels: list[str] = []
+    sync_sites = 0
+    return_sites = 0
+    scratch = Reg("__tally_us_scratch")
+
+    for instr in kernel.body:
+        if instr.op is Opcode.BAR:
+            site = sync_sites
+            sync_sites += 1
+            # Record where this thread came from, then go sync.
+            mov = Instr(Opcode.MOV, dst=origin, srcs=(_imm(site),),
+                        label=instr.label)
+            b.emit_raw(mov)
+            b.bra(SYNC_LABEL)
+            resume = f"__tally_us_resume_{site}"
+            resume_labels.append(resume)
+            b.label(resume)
+            continue
+
+        if instr.op is Opcode.RET:
+            return_sites += 1
+            if instr.pred is not None:
+                # @p ret  ->  skip the return stub when the guard fails.
+                skip = f"__tally_us_skip_{return_sites}"
+                guard = Instr(Opcode.BRA, target=skip, pred=instr.pred,
+                              pred_negate=not instr.pred_negate,
+                              label=instr.label)
+                b.emit_raw(guard)
+                b.atom_add(count, 0, 1, dst=scratch)
+                b.mov(True, dst=ret_flag)
+                b.bra(SYNC_LABEL)
+                b.label(skip)
+            else:
+                if instr.label is not None:
+                    b.emit_raw(Instr(Opcode.NOP, label=instr.label))
+                b.atom_add(count, 0, 1, dst=scratch)
+                b.mov(True, dst=ret_flag)
+                b.bra(SYNC_LABEL)
+            continue
+
+        b.emit_raw(instr.copy())
+
+    # The unified synchronization point.  The counter is read between
+    # two barriers: the first quiesces all increments performed before
+    # threads arrived, the second keeps resumed threads from
+    # incrementing again until every thread has taken its snapshot.
+    # Without the snapshot barrier, a fast live thread can return and
+    # re-increment the counter while a slow returned thread is still
+    # reading it, making the slow thread exit the loop alone — which is
+    # itself a divergent-synchronization stall.
+    b.label(SYNC_LABEL)
+    b.bar()
+    cnt = b.ld(count, 0, dst=Reg("__tally_us_cnt"))
+    b.bar()
+    all_returned = b.setp(CompareOp.GE, cnt, ntotal,
+                          dst=Reg("__tally_us_all"))
+    b.bra(EXIT_LABEL, pred=all_returned)
+    # Logically-returned threads are held at the barrier until everyone
+    # has returned; live threads resume where they left off.
+    b.bra(SYNC_LABEL, pred=ret_flag)
+    if resume_labels:
+        b.brx(resume_labels, origin)
+    else:
+        # No sync sites: a live thread can never reach this point, but
+        # the body must not fall through.
+        b.bra(SYNC_LABEL)
+    b.label(EXIT_LABEL)
+    b.ret()
+
+    transformed = b.build()
+    meta = TransformMeta(kernel.name, ("unified_sync",))
+    return UnifiedSyncKernel(
+        kernel=transformed,
+        meta=meta,
+        sync_sites=sync_sites,
+        return_sites=return_sites,
+    )
+
+
+def _imm(value: int):
+    from ..ptx.ir import Imm
+
+    return Imm(value)

@@ -1,0 +1,34 @@
+"""Virtualization layer: interception, channels, and wire protocol (§4.3)."""
+
+from .channel import Channel, ChannelConfig, SHARED_MEMORY, UNIX_SOCKET
+from .interposer import InterposedBackend
+from .protocol import (
+    FreeRequest,
+    LaunchKernelRequest,
+    MallocRequest,
+    MemcpyD2HRequest,
+    MemcpyH2DRequest,
+    RegisterBinaryRequest,
+    Request,
+    Response,
+    SynchronizeRequest,
+    estimate_size,
+)
+
+__all__ = [
+    "Channel",
+    "ChannelConfig",
+    "FreeRequest",
+    "InterposedBackend",
+    "LaunchKernelRequest",
+    "MallocRequest",
+    "MemcpyD2HRequest",
+    "MemcpyH2DRequest",
+    "RegisterBinaryRequest",
+    "Request",
+    "Response",
+    "SHARED_MEMORY",
+    "SynchronizeRequest",
+    "UNIX_SOCKET",
+    "estimate_size",
+]

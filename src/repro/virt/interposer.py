@@ -1,0 +1,90 @@
+"""The client-side interposition layer (the LD_PRELOAD equivalent).
+
+:class:`InterposedBackend` is a drop-in
+:class:`~repro.runtime.context.Backend` that forwards device API calls
+over a :class:`~repro.virt.channel.Channel` to the Tally server instead
+of executing them locally.  An application built on
+:class:`~repro.runtime.api.CudaRuntime` runs under Tally by swapping
+only this backend — no application change, which is the paper's
+non-intrusiveness claim in executable form.
+
+The backend also realizes the §4.3 traffic optimization: calls whose
+answers live in runtime-local state (``cudaGetDevice``, stream
+bookkeeping) never reach this backend at all — ``CudaRuntime`` answers
+them itself — and the counters here let tests assert exactly which
+calls crossed the channel.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Any, Mapping
+
+import numpy as np
+
+from ..errors import VirtError
+from ..ptx.interpreter import GlobalRef
+from ..ptx.ir import Dim3
+from ..runtime.context import Backend
+from ..runtime.registration import FatBinary
+from .channel import Channel
+from .protocol import (
+    FreeRequest,
+    LaunchKernelRequest,
+    MallocRequest,
+    MemcpyD2HRequest,
+    MemcpyH2DRequest,
+    RegisterBinaryRequest,
+    SynchronizeRequest,
+)
+
+__all__ = ["InterposedBackend"]
+
+
+class InterposedBackend(Backend):
+    """Forwards device API calls to a Tally server over a channel."""
+
+    def __init__(self, channel: Channel, client_id: str) -> None:
+        if not client_id:
+            raise VirtError("client_id must be non-empty")
+        self.channel = channel
+        self.client_id = client_id
+        self.forwarded: Counter[str] = Counter()
+
+    def register_binary(self, binary: FatBinary) -> None:
+        self.forwarded["register_binary"] += 1
+        self.channel.call(RegisterBinaryRequest(self.client_id, binary))
+
+    def malloc(self, num_elements: int, dtype: Any = np.float64) -> GlobalRef:
+        self.forwarded["malloc"] += 1
+        response = self.channel.call(
+            MallocRequest(self.client_id, num_elements, dtype)
+        )
+        return response.value
+
+    def free(self, ref: GlobalRef) -> None:
+        self.forwarded["free"] += 1
+        self.channel.call(FreeRequest(self.client_id, ref))
+
+    def memcpy_h2d(self, dst: GlobalRef, src: np.ndarray) -> None:
+        self.forwarded["memcpy_h2d"] += 1
+        self.channel.call(MemcpyH2DRequest(self.client_id, dst, src))
+
+    def memcpy_d2h(self, src: GlobalRef, num_elements: int) -> np.ndarray:
+        self.forwarded["memcpy_d2h"] += 1
+        response = self.channel.call(
+            MemcpyD2HRequest(self.client_id, src, num_elements)
+        )
+        return response.value
+
+    def launch_kernel(self, kernel_name: str, grid: Dim3, block: Dim3,
+                      args: Mapping[str, Any], stream: int) -> None:
+        self.forwarded["launch_kernel"] += 1
+        self.channel.call(
+            LaunchKernelRequest(self.client_id, kernel_name, grid, block,
+                                dict(args), stream)
+        )
+
+    def synchronize(self) -> None:
+        self.forwarded["synchronize"] += 1
+        self.channel.call(SynchronizeRequest(self.client_id))

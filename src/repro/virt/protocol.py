@@ -1,0 +1,127 @@
+"""Client/server message protocol of the virtualization layer.
+
+Each intercepted device API call becomes one request message sent over
+a channel to the Tally server, which replies with one response.  The
+message set mirrors the API surface of :class:`repro.runtime.api.
+CudaRuntime` minus the calls the client answers from local state
+(device ordinals, stream handles) — the §4.3 optimization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping, Union
+
+import numpy as np
+
+from ..ptx.interpreter import GlobalRef
+from ..ptx.ir import Dim3
+from ..runtime.registration import FatBinary
+
+__all__ = [
+    "RegisterBinaryRequest",
+    "MallocRequest",
+    "FreeRequest",
+    "MemcpyH2DRequest",
+    "MemcpyD2HRequest",
+    "LaunchKernelRequest",
+    "SynchronizeRequest",
+    "Request",
+    "Response",
+    "estimate_size",
+]
+
+
+@dataclass(frozen=True)
+class RegisterBinaryRequest:
+    """Forward registered device code to the server."""
+
+    client_id: str
+    binary: FatBinary
+
+
+@dataclass(frozen=True)
+class MallocRequest:
+    client_id: str
+    num_elements: int
+    dtype: Any = np.float64
+
+
+@dataclass(frozen=True)
+class FreeRequest:
+    client_id: str
+    ref: GlobalRef
+
+
+@dataclass(frozen=True)
+class MemcpyH2DRequest:
+    client_id: str
+    dst: GlobalRef
+    data: np.ndarray
+
+
+@dataclass(frozen=True)
+class MemcpyD2HRequest:
+    client_id: str
+    src: GlobalRef
+    num_elements: int
+
+
+@dataclass(frozen=True)
+class LaunchKernelRequest:
+    client_id: str
+    kernel_name: str
+    grid: Dim3
+    block: Dim3
+    args: Mapping[str, Any]
+    stream: int = 0
+
+
+@dataclass(frozen=True)
+class SynchronizeRequest:
+    client_id: str
+
+
+Request = Union[
+    RegisterBinaryRequest,
+    MallocRequest,
+    FreeRequest,
+    MemcpyH2DRequest,
+    MemcpyD2HRequest,
+    LaunchKernelRequest,
+    SynchronizeRequest,
+]
+
+
+@dataclass(frozen=True)
+class Response:
+    """Server reply: a value on success, an error string on failure."""
+
+    ok: bool
+    value: Any = None
+    error: str | None = None
+
+    @staticmethod
+    def success(value: Any = None) -> "Response":
+        return Response(ok=True, value=value)
+
+    @staticmethod
+    def failure(error: str) -> "Response":
+        return Response(ok=False, error=error)
+
+
+def estimate_size(message: Any) -> int:
+    """Rough wire size of a message in bytes (for channel accounting)."""
+    if isinstance(message, MemcpyH2DRequest):
+        return 64 + message.data.nbytes
+    if isinstance(message, MemcpyD2HRequest):
+        return 64
+    if isinstance(message, RegisterBinaryRequest):
+        return 128 + sum(
+            64 + 16 * len(k.body) for k in message.binary.kernels
+        )
+    if isinstance(message, LaunchKernelRequest):
+        return 96 + 16 * len(message.args)
+    if isinstance(message, Response) and isinstance(message.value, np.ndarray):
+        return 32 + message.value.nbytes
+    return 64

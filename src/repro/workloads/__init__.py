@@ -1,0 +1,29 @@
+"""The paper's workload suite and job drivers."""
+
+from .distributions import DurationComponent, DurationMixture
+from .inference import InferenceJob, RequestRecord
+from .models import (
+    INFERENCE_MODELS,
+    TRAINING_MODELS,
+    Trace,
+    TraceOp,
+    WorkloadKind,
+    WorkloadModel,
+    get_model,
+)
+from .training import TrainingJob
+
+__all__ = [
+    "DurationComponent",
+    "DurationMixture",
+    "INFERENCE_MODELS",
+    "InferenceJob",
+    "RequestRecord",
+    "TRAINING_MODELS",
+    "Trace",
+    "TraceOp",
+    "TrainingJob",
+    "WorkloadKind",
+    "WorkloadModel",
+    "get_model",
+]

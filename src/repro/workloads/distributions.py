@@ -1,0 +1,95 @@
+"""Kernel-duration distributions for workload modelling.
+
+DL workloads are streams of kernels whose duration distribution is what
+drives co-execution interference (paper §5.5: 99.3 % of ResNet50
+kernels finish under 0.1 ms while 5.6 % of Whisper kernels outlast an
+entire BERT inference).  A :class:`DurationMixture` captures such
+shapes as a weighted mixture of lognormal components.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import WorkloadError
+
+__all__ = ["DurationComponent", "DurationMixture"]
+
+
+@dataclass(frozen=True)
+class DurationComponent:
+    """One lognormal component: ``median`` seconds, log-space ``sigma``."""
+
+    weight: float
+    median: float
+    sigma: float
+
+    def __post_init__(self) -> None:
+        if self.weight <= 0:
+            raise WorkloadError(f"component weight {self.weight} must be > 0")
+        if self.median <= 0:
+            raise WorkloadError(f"component median {self.median} must be > 0")
+        if self.sigma < 0:
+            raise WorkloadError(f"component sigma {self.sigma} must be >= 0")
+
+
+@dataclass(frozen=True)
+class DurationMixture:
+    """A weighted mixture of lognormal duration components."""
+
+    components: tuple[DurationComponent, ...]
+
+    def __post_init__(self) -> None:
+        if not self.components:
+            raise WorkloadError("mixture needs at least one component")
+
+    @staticmethod
+    def of(*components: tuple[float, float, float]) -> "DurationMixture":
+        """Build from ``(weight, median_seconds, sigma)`` triples."""
+        return DurationMixture(
+            tuple(DurationComponent(w, m, s) for w, m, s in components)
+        )
+
+    def sample(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        """Draw ``n`` durations (seconds)."""
+        if n < 1:
+            raise WorkloadError(f"cannot sample {n} durations")
+        weights = np.array([c.weight for c in self.components])
+        weights = weights / weights.sum()
+        choices = rng.choice(len(self.components), size=n, p=weights)
+        out = np.empty(n)
+        for i, component in enumerate(self.components):
+            mask = choices == i
+            count = int(mask.sum())
+            if count:
+                out[mask] = component.median * np.exp(
+                    component.sigma * rng.standard_normal(count)
+                )
+        return out
+
+    def mean(self) -> float:
+        """Analytic mean of the mixture."""
+        weights = np.array([c.weight for c in self.components])
+        weights = weights / weights.sum()
+        means = np.array([
+            c.median * np.exp(c.sigma ** 2 / 2.0) for c in self.components
+        ])
+        return float(weights @ means)
+
+    def tail_fraction(self, threshold: float) -> float:
+        """Analytic P(duration > threshold)."""
+        from math import erf, log, sqrt
+
+        weights = np.array([c.weight for c in self.components])
+        weights = weights / weights.sum()
+        total = 0.0
+        for w, c in zip(weights, self.components):
+            if c.sigma == 0:
+                tail = 1.0 if c.median > threshold else 0.0
+            else:
+                z = (log(threshold) - log(c.median)) / c.sigma
+                tail = 0.5 * (1.0 - erf(z / sqrt(2.0)))
+            total += w * tail
+        return total

@@ -1,0 +1,135 @@
+"""Latency-critical inference service driver.
+
+An inference service receives requests per a
+:class:`~repro.traffic.TrafficTrace` and serves them FIFO, one at a
+time; each request executes the model's kernel trace through the
+sharing policy.  Request latency (completion minus arrival, i.e.
+including queueing) is the quantity whose 99th percentile the paper
+reports.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from ..baselines.base import Priority, SharingPolicy
+from ..errors import WorkloadError
+from ..gpu.engine import EventLoop
+from ..metrics.latency import LatencySummary
+from ..traffic.maf import TrafficTrace
+from .models import Trace
+
+__all__ = ["RequestRecord", "InferenceJob"]
+
+
+@dataclass(frozen=True)
+class RequestRecord:
+    """Timing of one completed request."""
+
+    arrival: float
+    started: float
+    completed: float
+
+    @property
+    def latency(self) -> float:
+        return self.completed - self.arrival
+
+    @property
+    def queueing(self) -> float:
+        return self.started - self.arrival
+
+
+class InferenceJob:
+    """Drives one inference service through a sharing policy."""
+
+    def __init__(self, trace: Trace, traffic: TrafficTrace,
+                 policy: SharingPolicy, client_id: str, *,
+                 priority: Priority = Priority.HIGH) -> None:
+        if not trace.ops:
+            raise WorkloadError(f"trace {trace.model_name!r} is empty")
+        self.trace = trace
+        self.traffic = traffic
+        self.policy = policy
+        self.engine: EventLoop = policy.engine
+        self.client_id = client_id
+        self.priority = priority
+        self.records: list[RequestRecord] = []
+        self._queue: deque[float] = deque()
+        self._busy = False
+        self._arrival_index = 0
+        self._op_index = 0
+        self._current_arrival = 0.0
+        self._current_start = 0.0
+        self._started = False
+        policy.register_client(client_id, priority)
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Arm the arrival process (call once, before running the engine)."""
+        if self._started:
+            raise WorkloadError(f"job {self.client_id!r} already started")
+        self._started = True
+        self._schedule_next_arrival()
+
+    @property
+    def completed_requests(self) -> int:
+        return len(self.records)
+
+    @property
+    def pending_requests(self) -> int:
+        return len(self._queue) + (1 if self._busy else 0)
+
+    def latencies(self, *, since: float = 0.0,
+                  until: float = float("inf")) -> list[float]:
+        """Latencies of requests completed within [since, until)."""
+        return [r.latency for r in self.records
+                if since <= r.completed < until]
+
+    def latency_summary(self, *, since: float = 0.0,
+                        until: float = float("inf")) -> LatencySummary:
+        return LatencySummary.of(self.latencies(since=since, until=until))
+
+    def completions_in(self, start: float, end: float) -> int:
+        """Requests completed within [start, end)."""
+        return sum(1 for r in self.records if start <= r.completed < end)
+
+    # ------------------------------------------------------------------
+    def _schedule_next_arrival(self) -> None:
+        if self._arrival_index >= self.traffic.count:
+            return
+        when = float(self.traffic.arrivals[self._arrival_index])
+        self._arrival_index += 1
+        self.engine.schedule_at(when, self._on_arrival)
+
+    def _on_arrival(self) -> None:
+        self._queue.append(self.engine.now)
+        self._schedule_next_arrival()
+        if not self._busy:
+            self._start_request()
+
+    def _start_request(self) -> None:
+        self._busy = True
+        self._current_arrival = self._queue.popleft()
+        self._current_start = self.engine.now
+        self._op_index = 0
+        self._advance()
+
+    def _advance(self) -> None:
+        if self._op_index >= len(self.trace.ops):
+            self.records.append(RequestRecord(
+                arrival=self._current_arrival,
+                started=self._current_start,
+                completed=self.engine.now,
+            ))
+            self._busy = False
+            if self._queue:
+                self._start_request()
+            return
+        op = self.trace.ops[self._op_index]
+        self._op_index += 1
+        if op.kind == "gap":
+            self.engine.schedule(op.gap, self._advance)
+        else:
+            self.policy.submit(self.client_id, op.kernel,
+                               self._advance)

@@ -1,0 +1,80 @@
+"""Best-effort training job driver.
+
+A training job loops over its iteration trace forever: kernels are
+submitted one at a time through the sharing policy (stream order), and
+host gaps advance simulated time without touching the device.  The
+driver records per-iteration completion times, from which the harness
+computes throughput over any measurement window.
+"""
+
+from __future__ import annotations
+
+
+from ..baselines.base import Priority, SharingPolicy
+from ..errors import WorkloadError
+from ..gpu.engine import EventLoop
+from .models import Trace
+
+__all__ = ["TrainingJob"]
+
+
+class TrainingJob:
+    """Drives one training workload through a sharing policy."""
+
+    def __init__(self, trace: Trace, policy: SharingPolicy, client_id: str,
+                 *, priority: Priority = Priority.BEST_EFFORT) -> None:
+        if not trace.ops:
+            raise WorkloadError(f"trace {trace.model_name!r} is empty")
+        self.trace = trace
+        self.policy = policy
+        self.engine: EventLoop = policy.engine
+        self.client_id = client_id
+        self.priority = priority
+        self.iteration_completions: list[float] = []
+        self.kernels_completed = 0
+        self.started_at: float | None = None
+        self._op_index = 0
+        self._stopped = False
+        policy.register_client(client_id, priority)
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Begin iterating (call once, before running the engine)."""
+        if self.started_at is not None:
+            raise WorkloadError(f"job {self.client_id!r} already started")
+        self.started_at = self.engine.now
+        self._advance()
+
+    def stop(self) -> None:
+        """Stop after the current kernel/gap completes."""
+        self._stopped = True
+
+    @property
+    def iterations_completed(self) -> int:
+        return len(self.iteration_completions)
+
+    def fractional_iterations(self) -> float:
+        """Completed iterations plus progress through the current one."""
+        return self.iterations_completed + self._op_index / len(self.trace.ops)
+
+    def completions_in(self, start: float, end: float) -> int:
+        """Iterations completed within [start, end)."""
+        return sum(1 for t in self.iteration_completions if start <= t < end)
+
+    # ------------------------------------------------------------------
+    def _advance(self) -> None:
+        if self._stopped:
+            return
+        if self._op_index >= len(self.trace.ops):
+            self._op_index = 0
+            self.iteration_completions.append(self.engine.now)
+        op = self.trace.ops[self._op_index]
+        self._op_index += 1
+        if op.kind == "gap":
+            self.engine.schedule(op.gap, self._advance)
+        else:
+            self.policy.submit(self.client_id, op.kernel, self._kernel_done)
+
+    def _kernel_done(self) -> None:
+        self.kernels_completed += 1
+        self._advance()

@@ -1,0 +1,183 @@
+"""Tests for the baseline GPU-sharing policies."""
+
+import pytest
+
+from repro.baselines import (
+    Ideal,
+    MPS,
+    MPSPriority,
+    Priority,
+    TGS,
+    TimeSlicing,
+)
+from repro.errors import SchedulerError
+from repro.gpu import A100_SXM4_40GB, EventLoop, GPUDevice, KernelDescriptor
+
+SPEC = A100_SXM4_40GB
+
+
+def setup(policy_cls, **kw):
+    engine = EventLoop()
+    device = GPUDevice(SPEC, engine)
+    return policy_cls(device, engine, **kw), device, engine
+
+
+def kernel(name="k", blocks=100, bd=50e-6, tpb=256):
+    return KernelDescriptor(name, num_blocks=blocks, threads_per_block=tpb,
+                            block_duration=bd)
+
+
+class TestPolicyBasics:
+    @pytest.mark.parametrize("policy_cls", [Ideal, MPS, MPSPriority, TGS,
+                                            TimeSlicing])
+    def test_single_client_kernel_completes(self, policy_cls):
+        policy, device, engine = setup(policy_cls)
+        policy.register_client("a", Priority.HIGH)
+        done = []
+        policy.submit("a", kernel(), lambda: done.append(engine.now))
+        engine.run()
+        assert len(done) == 1
+
+    @pytest.mark.parametrize("policy_cls", [Ideal, MPS, MPSPriority, TGS,
+                                            TimeSlicing])
+    def test_counters_track_submissions(self, policy_cls):
+        policy, device, engine = setup(policy_cls)
+        info = policy.register_client("a", Priority.HIGH)
+        chain = [kernel(f"k{i}") for i in range(5)]
+
+        def submit_next():
+            if chain:
+                policy.submit("a", chain.pop(), submit_next)
+
+        submit_next()
+        engine.run()
+        assert info.kernels_submitted == 5
+        assert info.kernels_completed == 5
+
+    def test_unknown_client_rejected(self):
+        policy, device, engine = setup(MPS)
+        with pytest.raises(SchedulerError):
+            policy.submit("ghost", kernel(), lambda: None)
+
+    def test_duplicate_registration_rejected(self):
+        policy, device, engine = setup(MPS)
+        policy.register_client("a")
+        with pytest.raises(SchedulerError):
+            policy.register_client("a")
+
+
+class TestMPSPriority:
+    def test_priority_client_overtakes(self):
+        """Under MPS-Priority the HP kernel finishes before a large BE
+        kernel that was submitted first; under plain MPS they share."""
+        def run(policy_cls):
+            policy, device, engine = setup(policy_cls)
+            policy.register_client("be", Priority.BEST_EFFORT)
+            policy.register_client("hp", Priority.HIGH)
+            done = {}
+            policy.submit("be", kernel("big", blocks=864 * 6, bd=1e-3),
+                          lambda: done.setdefault("be", engine.now))
+            engine.schedule(0.1e-3, lambda: policy.submit(
+                "hp", kernel("small", blocks=200, bd=50e-6),
+                lambda: done.setdefault("hp", engine.now)))
+            engine.run()
+            return done
+
+        prio = run(MPSPriority)
+        assert prio["hp"] < prio["be"]
+
+
+class TestTimeSlicing:
+    def test_round_robin_shares_device(self):
+        policy, device, engine = setup(TimeSlicing, quantum=1e-3)
+        policy.register_client("a", Priority.HIGH)
+        policy.register_client("b", Priority.HIGH)
+        done = {}
+
+        def chain(client, count):
+            if count:
+                policy.submit(client, kernel(f"{client}{count}", blocks=2000,
+                                             bd=200e-6),
+                              lambda: chain(client, count - 1))
+            else:
+                done[client] = engine.now
+
+        chain("a", 10)
+        chain("b", 10)
+        engine.run()
+        # Both make progress; neither is starved until the other ends.
+        assert abs(done["a"] - done["b"]) < max(done.values()) * 0.6
+
+    def test_quantum_expiry_preempts_running_kernels(self):
+        policy, device, engine = setup(TimeSlicing, quantum=0.5e-3)
+        policy.register_client("a", Priority.HIGH)
+        policy.register_client("b", Priority.HIGH)
+        done = {}
+        # Client a runs one giant kernel; b queues a small one.
+        policy.submit("a", kernel("giant", blocks=864 * 20, bd=1e-3),
+                      lambda: done.setdefault("a", engine.now))
+        engine.schedule(0.1e-3, lambda: policy.submit(
+            "b", kernel("tiny", blocks=10, bd=20e-6),
+            lambda: done.setdefault("b", engine.now)))
+        engine.run()
+        # Compute preemption: b ran long before a's 20ms kernel ended.
+        assert done["b"] < done["a"] / 2
+        assert policy.preemptions >= 1
+
+    def test_invalid_quantum(self):
+        with pytest.raises(SchedulerError):
+            setup(TimeSlicing, quantum=0.0)
+
+
+class TestTGS:
+    def test_gap_grows_under_high_priority_activity(self):
+        policy, device, engine = setup(TGS)
+        policy.register_client("hp", Priority.HIGH)
+        policy.register_client("be", Priority.BEST_EFFORT)
+        initial_gap = policy.current_gap
+
+        def hp_chain(count):
+            if count:
+                policy.submit("hp", kernel("hp_k", blocks=100),
+                              lambda: hp_chain(count - 1))
+
+        def be_chain(count):
+            if count:
+                policy.submit("be", kernel("be_k", blocks=100),
+                              lambda: be_chain(count - 1))
+
+        hp_chain(50)
+        be_chain(50)
+        engine.run_until(5e-3)
+        assert policy.current_gap > initial_gap
+
+    def test_gap_decays_when_idle(self):
+        policy, device, engine = setup(TGS, initial_gap=4e-3)
+        policy.register_client("hp", Priority.HIGH)
+        policy.register_client("be", Priority.BEST_EFFORT)
+
+        def be_chain(count):
+            if count:
+                policy.submit("be", kernel("be_k", blocks=50, bd=20e-6),
+                              lambda: be_chain(count - 1))
+
+        be_chain(20)
+        engine.run()
+        assert policy.current_gap < 4e-3
+
+    def test_rate_limit_delays_best_effort(self):
+        policy, device, engine = setup(
+            TGS, initial_gap=2e-3, recovery=0.99)
+        policy.register_client("hp", Priority.HIGH)
+        policy.register_client("be", Priority.BEST_EFFORT)
+        done = []
+        policy.submit("be", kernel(blocks=10, bd=20e-6),
+                      lambda: done.append(engine.now))
+        engine.run()
+        assert done[0] > 1.5e-3  # the gap gated the launch
+
+    def test_parameter_validation(self):
+        with pytest.raises(SchedulerError):
+            setup(TGS, backoff=1.0)
+        with pytest.raises(SchedulerError):
+            setup(TGS, recovery=1.5)

@@ -1,0 +1,139 @@
+"""Tests for the REEF-style reset-based comparator."""
+
+import pytest
+
+from repro.baselines import Priority, REEF
+from repro.errors import SchedulerError
+from repro.gpu import A100_SXM4_40GB, EventLoop, GPUDevice, KernelDescriptor
+
+SPEC = A100_SXM4_40GB
+
+
+def setup():
+    engine = EventLoop()
+    device = GPUDevice(SPEC, engine)
+    return REEF(device, engine), device, engine
+
+
+def kernel(name="k", blocks=5000, bd=100e-6, tpb=256):
+    return KernelDescriptor(name, num_blocks=blocks, threads_per_block=tpb,
+                            block_duration=bd)
+
+
+class TestReefScheduling:
+    def test_best_effort_completes_alone(self):
+        policy, device, engine = setup()
+        policy.register_client("be", Priority.BEST_EFFORT)
+        done = []
+        policy.submit("be", kernel(), lambda: done.append(engine.now))
+        engine.run()
+        assert done
+        assert policy.resets == 0
+
+    def test_hp_arrival_resets_best_effort(self):
+        policy, device, engine = setup()
+        policy.register_client("hp", Priority.HIGH)
+        policy.register_client("be", Priority.BEST_EFFORT)
+        done = {}
+        policy.submit("be", kernel("be_k", blocks=20_000, bd=200e-6),
+                      lambda: done.setdefault("be", engine.now))
+        engine.schedule(1e-3, lambda: policy.submit(
+            "hp", kernel("hp_k", blocks=100, bd=20e-6),
+            lambda: done.setdefault("hp", engine.now)))
+        engine.run()
+        assert policy.resets >= 1
+        assert policy.blocks_wasted > 0
+        assert done["hp"] < done["be"]
+
+    def test_turnaround_is_immediate(self):
+        """The whole point of reset: the device is free the moment the
+        kill lands — no waiting for blocks to drain."""
+        policy, device, engine = setup()
+        policy.register_client("hp", Priority.HIGH)
+        policy.register_client("be", Priority.BEST_EFFORT)
+        done = {}
+        # Best-effort kernel with very long blocks that would otherwise
+        # pin the device for 5 ms.
+        policy.submit("be", kernel("be_k", blocks=2000, bd=5e-3),
+                      lambda: done.setdefault("be", engine.now))
+        submit_time = 1e-3
+
+        def send_hp():
+            policy.submit("hp", kernel("hp_k", blocks=800, bd=20e-6),
+                          lambda: done.setdefault("hp", engine.now))
+
+        engine.schedule(submit_time, send_hp)
+        engine.run()
+        hp_latency = done["hp"] - submit_time
+        # Launch overhead + one wave; far below the 5 ms block time a
+        # block-level scheduler would have to wait out.
+        assert hp_latency < 1e-3
+
+    def test_wasted_work_lowers_throughput(self):
+        """Frequent resets re-execute work: REEF finishes the same
+        best-effort kernel later than an uninterrupted run."""
+
+        def run(with_hp):
+            policy, device, engine = setup()
+            policy.register_client("hp", Priority.HIGH)
+            policy.register_client("be", Priority.BEST_EFFORT)
+            done = {}
+            remaining = [5]
+
+            def next_be():
+                if remaining[0] > 0:
+                    remaining[0] -= 1
+                    policy.submit("be", kernel("be_k", blocks=8640, bd=100e-6),
+                                  next_be)
+                else:
+                    done["be"] = engine.now
+            next_be()
+            if with_hp:
+                def hp_loop(i=0):
+                    if i < 40:
+                        policy.submit("hp", kernel("hp_k", blocks=50,
+                                                   bd=20e-6),
+                                      lambda: engine.schedule(
+                                          0.2e-3, lambda: hp_loop(i + 1)))
+                hp_loop()
+            engine.run()
+            return done["be"]
+
+        assert run(with_hp=True) > run(with_hp=False)
+
+    def test_stream_order_enforced(self):
+        policy, device, engine = setup()
+        policy.register_client("be", Priority.BEST_EFFORT)
+        policy.submit("be", kernel(), lambda: None)
+        with pytest.raises(SchedulerError, match="stream-ordered"):
+            policy.submit("be", kernel(), lambda: None)
+
+
+class TestDeviceKill:
+    def test_kill_reclaims_resources_immediately(self):
+        engine = EventLoop()
+        device = GPUDevice(SPEC, engine)
+        from repro.gpu import DeviceLaunch
+
+        k = kernel(blocks=2000, bd=5e-3)
+        launch = DeviceLaunch(k, client_id="a")
+        device.submit(launch)
+        engine.schedule(1e-3, lambda: device.kill(launch))
+        engine.run_until(1.1e-3)
+        assert device.threads_free == SPEC.total_threads
+        assert device.slots_free == SPEC.total_block_slots
+        assert launch.blocks_killed > 0
+        # The stale batch-completion event is a no-op.
+        engine.run()
+        assert device.threads_free == SPEC.total_threads
+
+    def test_kill_after_done_is_noop(self):
+        engine = EventLoop()
+        device = GPUDevice(SPEC, engine)
+        from repro.gpu import DeviceLaunch
+
+        launch = DeviceLaunch(kernel(blocks=10), client_id="a")
+        device.submit(launch)
+        engine.run()
+        device.kill(launch)
+        assert launch.blocks_killed == 0

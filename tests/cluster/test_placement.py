@@ -1,0 +1,111 @@
+"""Tests for cluster placement policies."""
+
+import pytest
+
+from repro.cluster import (
+    ClusterJob,
+    Placement,
+    dedicated_placement,
+    packed_placement,
+)
+from repro.errors import HarnessError
+from repro.workloads.memory import footprint_of
+
+
+def services(n, load=0.1):
+    return [ClusterJob("resnet50_infer", load=load, traffic_seed=i)
+            for i in range(n)]
+
+
+class TestClusterJob:
+    def test_role_derivation(self):
+        assert ClusterJob("bert_infer").role == "inference"
+        assert ClusterJob("bert_train").role == "training"
+
+    def test_inference_demand_is_load(self):
+        assert ClusterJob("bert_infer", load=0.3).demand() == 0.3
+
+    def test_training_demand_is_busy_fraction(self):
+        demand = ClusterJob("resnet50_train").demand()
+        assert 0.5 < demand < 0.8  # 35 % host gap
+
+    def test_memory_uses_footprint_model(self):
+        job = ClusterJob("gpt2_train")
+        assert job.memory() == footprint_of("gpt2_train").total
+
+
+class TestDedicated:
+    def test_one_gpu_per_job(self):
+        jobs = services(4) + [ClusterJob("gpt2_train")]
+        placement = dedicated_placement(jobs)
+        assert placement.gpus_used == 5
+        assert all(len(gpu) == 1 for gpu in placement.bins)
+
+    def test_empty_rejected(self):
+        with pytest.raises(HarnessError):
+            dedicated_placement([])
+
+
+class TestPacked:
+    def test_offline_services_consolidate_hard(self):
+        """Batch inference (best-effort) packs many-per-GPU — Fig. 6a."""
+        online = [ClusterJob("resnet50_infer", load=0.1, traffic_seed=0)]
+        offline = [ClusterJob("resnet50_infer", load=0.1, offline=True,
+                              traffic_seed=i + 1) for i in range(9)]
+        placement = packed_placement(online + offline)
+        assert placement.gpus_used <= 2
+
+    def test_at_most_one_online_service_per_gpu(self):
+        placement = packed_placement(services(6, load=0.1))
+        for gpu in placement.bins:
+            assert sum(1 for j in gpu if j.latency_critical) <= 1
+        # Online services cannot share with each other under Tally's
+        # one-high-priority-task model.
+        assert placement.gpus_used == 6
+
+    def test_training_fills_service_gpus(self):
+        jobs = [ClusterJob("bert_infer", load=0.2),
+                ClusterJob("pointnet_train"),
+                ClusterJob("resnet50_train")]
+        placement = packed_placement(jobs, compute_budget=2.0)
+        assert placement.gpus_used < 3
+
+    def test_compute_budget_limits_packing(self):
+        jobs = [ClusterJob("gpt2_train"), ClusterJob("bert_train")]
+        tight = packed_placement(jobs, compute_budget=1.0)
+        loose = packed_placement(jobs, compute_budget=2.5)
+        assert tight.gpus_used >= loose.gpus_used
+
+    def test_memory_limits_packing(self):
+        # Two ~20 GiB training jobs cannot share a 40 GiB card with a
+        # service on it too.
+        jobs = [ClusterJob("gpt2_train"), ClusterJob("llama2_infer",
+                                                     load=0.1)]
+        placement = packed_placement(jobs, compute_budget=10.0)
+        total = sum(j.memory() for gpu in placement.bins for j in gpu)
+        for gpu in placement.bins:
+            assert sum(j.memory() for j in gpu) <= 40 * 1024 ** 3
+
+    def test_invalid_budget(self):
+        with pytest.raises(HarnessError):
+            packed_placement(services(2), compute_budget=0.0)
+
+
+class TestPlacementValidation:
+    def test_two_high_priority_rejected(self):
+        placement = Placement(bins=[[ClusterJob("bert_infer"),
+                                     ClusterJob("resnet50_infer")]])
+        with pytest.raises(HarnessError, match="high-priority"):
+            placement.validate()
+
+    def test_memory_overcommit_rejected(self):
+        placement = Placement(bins=[[ClusterJob("whisper_train"),
+                                     ClusterJob("whisper_train"),
+                                     ClusterJob("llama2_infer",
+                                                offline=True)]])
+        with pytest.raises(HarnessError, match="memory"):
+            placement.validate()
+
+    def test_empty_gpu_rejected(self):
+        with pytest.raises(HarnessError, match="no jobs"):
+            Placement(bins=[[]]).validate()

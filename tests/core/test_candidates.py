@@ -1,0 +1,102 @@
+"""Tests for candidate launch-configuration generation."""
+
+import pytest
+
+from repro.core import TallyConfig
+from repro.core.candidates import (
+    ORIGINAL_CONFIG,
+    SchedConfig,
+    SchedKind,
+    generate_candidates,
+)
+from repro.errors import SchedulerError
+from repro.gpu import A100_SXM4_40GB, KernelDescriptor
+
+SPEC = A100_SXM4_40GB
+CONFIG = TallyConfig()
+
+
+def desc(blocks=5000, tpb=256, bd=50e-6):
+    return KernelDescriptor("k", num_blocks=blocks, threads_per_block=tpb,
+                            block_duration=bd)
+
+
+class TestSchedConfig:
+    def test_sliced_requires_blocks(self):
+        with pytest.raises(SchedulerError):
+            SchedConfig(SchedKind.SLICED)
+
+    def test_ptb_requires_workers(self):
+        with pytest.raises(SchedulerError):
+            SchedConfig(SchedKind.PTB)
+
+    def test_describe(self):
+        assert SchedConfig(SchedKind.SLICED, blocks_per_slice=10).describe() \
+            == "sliced(10)"
+        assert SchedConfig(SchedKind.PTB, workers=108).describe() == "ptb(108)"
+        assert ORIGINAL_CONFIG.describe() == "original"
+
+    def test_hashable_for_cache_keys(self):
+        a = SchedConfig(SchedKind.PTB, workers=108)
+        b = SchedConfig(SchedKind.PTB, workers=108)
+        assert hash(a) == hash(b) and a == b
+
+
+class TestGenerateCandidates:
+    def test_ptb_workers_are_sm_multiples(self):
+        candidates = generate_candidates(desc(), SPEC, CONFIG)
+        workers = [c.workers for c in candidates if c.kind is SchedKind.PTB]
+        assert workers, "expected PTB candidates"
+        for w in workers:
+            assert w % SPEC.num_sms == 0
+
+    def test_ptb_workers_capped_by_occupancy(self):
+        k = desc(tpb=1024)  # capacity 216 = 2 * num_sms
+        candidates = generate_candidates(k, SPEC, CONFIG)
+        workers = [c.workers for c in candidates if c.kind is SchedKind.PTB]
+        assert all(w <= k.capacity(SPEC) for w in workers)
+
+    def test_slice_sizes_follow_fractions(self):
+        k = desc(blocks=1000)
+        candidates = generate_candidates(k, SPEC, CONFIG)
+        sizes = [c.blocks_per_slice for c in candidates
+                 if c.kind is SchedKind.SLICED]
+        expected = [max(1, int(1000 * f)) for f in CONFIG.slice_fractions]
+        assert sizes == [s for s in expected if s < 1000]
+
+    def test_tiny_kernel_gets_original_only(self):
+        k = desc(blocks=1)
+        candidates = generate_candidates(k, SPEC, CONFIG)
+        assert candidates == [ORIGINAL_CONFIG]
+
+    def test_no_duplicates(self):
+        k = desc(blocks=40)  # small fractions collapse to 1-2 blocks
+        candidates = generate_candidates(k, SPEC, CONFIG)
+        assert len(candidates) == len(set(candidates))
+
+    def test_ptb_never_exceeds_work(self):
+        k = desc(blocks=150)  # fewer blocks than one SM multiple round
+        candidates = generate_candidates(k, SPEC, CONFIG)
+        for c in candidates:
+            if c.kind is SchedKind.PTB:
+                assert c.workers < k.num_blocks
+
+
+class TestTallyConfigValidation:
+    def test_bound_must_be_positive(self):
+        with pytest.raises(SchedulerError):
+            TallyConfig(turnaround_latency_bound=0.0)
+
+    def test_fractions_validated(self):
+        with pytest.raises(SchedulerError):
+            TallyConfig(slice_fractions=(0.0,))
+        with pytest.raises(SchedulerError):
+            TallyConfig(slice_fractions=(1.5,))
+
+    def test_multiples_validated(self):
+        with pytest.raises(SchedulerError):
+            TallyConfig(worker_sm_multiples=(0,))
+
+    def test_with_bound(self):
+        cfg = TallyConfig().with_bound(1e-3)
+        assert cfg.turnaround_latency_bound == 1e-3

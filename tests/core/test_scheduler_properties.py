@@ -1,0 +1,120 @@
+"""Property-based tests of Tally's scheduler invariants.
+
+Whatever mix of high-priority and best-effort kernels arrives, three
+invariants must hold:
+
+* **conservation** — every submitted kernel eventually completes (once
+  the high-priority source goes quiet);
+* **priority** — a high-priority kernel's completion latency is bounded
+  by its own execution time plus one turnaround of whatever best-effort
+  work was resident (never by whole best-effort kernels);
+* **progress** — best-effort work is not starved once high-priority
+  work ends.
+"""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import Priority
+from repro.core import Tally, TallyConfig
+from repro.gpu import A100_SXM4_40GB, EventLoop, GPUDevice, KernelDescriptor
+
+SPEC = A100_SXM4_40GB
+
+_settings = settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def workload_mix(draw):
+    hp_kernels = draw(st.lists(
+        st.tuples(
+            st.integers(min_value=10, max_value=800),    # blocks
+            st.floats(min_value=1e-5, max_value=2e-4),   # block duration
+            st.floats(min_value=0.0, max_value=4e-3),    # arrival
+        ),
+        min_size=0, max_size=12,
+    ))
+    be_kernels = draw(st.lists(
+        st.tuples(
+            st.integers(min_value=100, max_value=30_000),
+            st.floats(min_value=1e-5, max_value=5e-4),
+        ),
+        min_size=1, max_size=6,
+    ))
+    return hp_kernels, be_kernels
+
+
+def _run_mix(hp_kernels, be_kernels):
+    engine = EventLoop()
+    device = GPUDevice(SPEC, engine)
+    tally = Tally(device, engine, TallyConfig())
+    tally.register_client("hp", Priority.HIGH)
+    tally.register_client("be", Priority.BEST_EFFORT)
+
+    hp_done: list[tuple[float, float]] = []  # (arrival, completion)
+    be_done: list[float] = []
+
+    for i, (blocks, bd, arrival) in enumerate(hp_kernels):
+        kernel = KernelDescriptor(f"hp{i}", blocks, 256, bd)
+        engine.schedule_at(arrival, lambda k=kernel, a=arrival: tally.submit(
+            "hp", k, lambda a=a: hp_done.append((a, engine.now))))
+
+    queue = [KernelDescriptor(f"be{i}", blocks, 512, bd)
+             for i, (blocks, bd) in enumerate(be_kernels)]
+
+    def submit_next():
+        if queue:
+            kernel = queue.pop(0)
+            tally.submit("be", kernel, lambda: (be_done.append(engine.now),
+                                                submit_next()))
+
+    submit_next()
+    engine.run(max_events=3_000_000)
+    return tally, hp_done, be_done
+
+
+class TestSchedulerInvariants:
+    @given(workload_mix())
+    @_settings
+    def test_conservation(self, mix):
+        hp_kernels, be_kernels = mix
+        tally, hp_done, be_done = _run_mix(hp_kernels, be_kernels)
+        assert len(hp_done) == len(hp_kernels)
+        assert len(be_done) == len(be_kernels)
+        assert tally.stats.hp_kernels == len(hp_kernels)
+        assert tally.stats.be_kernels == len(be_kernels)
+
+    @given(workload_mix())
+    @_settings
+    def test_high_priority_latency_bounded(self, mix):
+        hp_kernels, be_kernels = mix
+        _tally, hp_done, _be_done = _run_mix(hp_kernels, be_kernels)
+        # Conservative bound: own execution + launch overhead + the
+        # worst best-effort block duration (one turnaround) + queueing
+        # behind earlier HP kernels.
+        worst_be_block = max(bd for _b, bd in be_kernels)
+        total_hp_exec = sum(
+            KernelDescriptor(f"t{i}", blocks, 256, bd).duration(SPEC)
+            for i, (blocks, bd, _a) in enumerate(hp_kernels)
+        )
+        for arrival, completion in hp_done:
+            latency = completion - arrival
+            bound = (total_hp_exec  # all HP work could be queued ahead
+                     + 10 * SPEC.kernel_launch_overhead
+                     + 4 * worst_be_block * 1.2
+                     + 1e-4)
+            assert latency <= bound, (latency, bound)
+
+    @given(workload_mix())
+    @_settings
+    def test_device_drained_cleanly(self, mix):
+        hp_kernels, be_kernels = mix
+        tally, _hp, _be = _run_mix(hp_kernels, be_kernels)
+        assert tally.device.threads_free == SPEC.total_threads
+        assert tally.device.slots_free == SPEC.total_block_slots
+        assert not tally.device.resident_launches

@@ -1,0 +1,98 @@
+"""Tests for the functional Tally server."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import Priority
+from repro.core import ExecMode, ExecPlan, TallyServer, connect_runtime
+from repro.errors import VirtError
+from repro.ptx.library import block_sum, case_names, make_case, vector_add
+from repro.runtime import FatBinary
+from repro.virt.protocol import MallocRequest
+
+
+class TestConnections:
+    def test_duplicate_client_rejected(self):
+        server = TallyServer()
+        server.connect("a")
+        with pytest.raises(VirtError):
+            server.connect("a")
+
+    def test_high_priority_clients_run_original(self):
+        server = TallyServer(best_effort_plan=ExecPlan(ExecMode.PTB))
+        server.connect("hp", Priority.HIGH)
+        assert server.client("hp").plan.mode is ExecMode.ORIGINAL
+
+    def test_best_effort_clients_get_server_plan(self):
+        server = TallyServer(best_effort_plan=ExecPlan(ExecMode.SLICED))
+        server.connect("be", Priority.BEST_EFFORT)
+        assert server.client("be").plan.mode is ExecMode.SLICED
+
+    def test_unknown_client_lookup(self):
+        with pytest.raises(VirtError):
+            TallyServer().client("ghost")
+
+    def test_requests_for_unknown_client_fail_gracefully(self):
+        server = TallyServer()
+        response = server.handle(MallocRequest("ghost", 4))
+        assert not response.ok
+        assert "ghost" in response.error
+
+
+class TestIsolationBetweenClients:
+    def test_clients_have_separate_address_spaces(self):
+        server = TallyServer(best_effort_plan=ExecPlan(ExecMode.ORIGINAL))
+        rt_a = connect_runtime(server, "a")
+        rt_b = connect_runtime(server, "b")
+        ref_a = rt_a.malloc(4)
+        rt_a.memcpy_h2d(ref_a, np.full(4, 5.0))
+        # Client b allocates a buffer that happens to share the handle
+        # name sequence — it must see its own zeroed memory.
+        ref_b = rt_b.malloc(4)
+        np.testing.assert_array_equal(rt_b.memcpy_d2h(ref_b, 4), np.zeros(4))
+
+    def test_clients_register_code_independently(self):
+        server = TallyServer(best_effort_plan=ExecPlan(ExecMode.ORIGINAL))
+        rt_a = connect_runtime(server, "a")
+        rt_b = connect_runtime(server, "b")
+        rt_a.register_fat_binary(FatBinary.of("bin", [vector_add()]))
+        # b never registered the kernel, so its launch fails.
+        with pytest.raises(VirtError):
+            rt_b.launch_kernel("vector_add", (1,), (1,),
+                               {"x": rt_b.malloc(1), "y": rt_b.malloc(1),
+                                "out": rt_b.malloc(1), "n": 1})
+
+
+class TestTransformedExecutionCorrectness:
+    """End-to-end: the full corpus through the whole virtualized stack."""
+
+    @pytest.mark.parametrize("mode", [ExecMode.SLICED, ExecMode.PTB])
+    @pytest.mark.parametrize("name", case_names())
+    def test_corpus_through_server(self, mode, name):
+        case = make_case(name, np.random.default_rng(99))
+        server = TallyServer(best_effort_plan=ExecPlan(
+            mode, blocks_per_slice=3, workers=3))
+        state = server.connect_state = server.connect(name)  # channel
+        # Execute directly through the server's transformer with the
+        # case's own memory image.
+        client = server.client(name)
+        client.interpreter.memory = case.memory
+        server.transformer.execute(
+            client.interpreter, case.kernel, case.grid, case.block,
+            case.args, client.plan,
+        )
+        case.check()
+
+    def test_ptb_frees_control_buffers(self):
+        case = make_case("vector_add", np.random.default_rng(7))
+        server = TallyServer(best_effort_plan=ExecPlan(ExecMode.PTB))
+        channel = server.connect("c")
+        client = server.client("c")
+        client.interpreter.memory = case.memory
+        buffers_before = len(case.memory._buffers)
+        server.transformer.execute(
+            client.interpreter, case.kernel, case.grid, case.block,
+            case.args, client.plan,
+        )
+        assert len(case.memory._buffers) == buffers_before
+        case.check()

@@ -1,0 +1,67 @@
+"""Tests for the server-side kernel transformer (functional path)."""
+
+import numpy as np
+import pytest
+
+from repro.core import ExecMode, ExecPlan, KernelTransformer
+from repro.errors import TransformError
+from repro.ptx import Interpreter, make_case
+
+
+class TestExecPlan:
+    def test_defaults(self):
+        plan = ExecPlan()
+        assert plan.mode is ExecMode.ORIGINAL
+
+    def test_validation(self):
+        with pytest.raises(TransformError):
+            ExecPlan(blocks_per_slice=0)
+        with pytest.raises(TransformError):
+            ExecPlan(workers=0)
+
+
+class TestKernelTransformer:
+    def _execute(self, transformer, case, plan):
+        interp = Interpreter(case.memory)
+        transformer.execute(interp, case.kernel, case.grid, case.block,
+                            case.args, plan)
+        case.check()
+
+    def test_original_mode_passthrough(self):
+        transformer = KernelTransformer()
+        case = make_case("vector_add", np.random.default_rng(1))
+        self._execute(transformer, case, ExecPlan(ExecMode.ORIGINAL))
+        assert transformer.executions == 1
+        assert transformer.pipeline.stats.sliced == 0
+
+    def test_sliced_mode_uses_pipeline(self):
+        transformer = KernelTransformer()
+        case = make_case("block_sum", np.random.default_rng(2))
+        self._execute(transformer, case,
+                      ExecPlan(ExecMode.SLICED, blocks_per_slice=2))
+        assert transformer.pipeline.stats.sliced == 1
+
+    def test_ptb_mode_uses_pipeline(self):
+        transformer = KernelTransformer()
+        case = make_case("softmax_rows", np.random.default_rng(3))
+        self._execute(transformer, case, ExecPlan(ExecMode.PTB, workers=2))
+        assert transformer.pipeline.stats.preemptible == 1
+
+    def test_repeated_launches_hit_transformation_cache(self):
+        transformer = KernelTransformer()
+        case = make_case("vector_add", np.random.default_rng(4))
+        plan = ExecPlan(ExecMode.PTB, workers=2)
+        for _ in range(3):
+            fresh = make_case("vector_add", np.random.default_rng(4))
+            interp = Interpreter(fresh.memory)
+            transformer.execute(interp, case.kernel, fresh.grid, fresh.block,
+                                fresh.args, plan)
+            fresh.check()
+        assert transformer.pipeline.stats.preemptible == 1
+        assert transformer.pipeline.stats.cache_hits == 2
+
+    def test_ptb_workers_capped_at_grid(self):
+        transformer = KernelTransformer()
+        case = make_case("iota", np.random.default_rng(5))
+        # far more workers than blocks: must still be correct
+        self._execute(transformer, case, ExecPlan(ExecMode.PTB, workers=500))

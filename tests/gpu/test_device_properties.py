@@ -1,0 +1,123 @@
+"""Property-based tests of the GPU device model's invariants.
+
+Whatever sequence of launches, preemptions, and kills hits the device,
+three invariants must hold once the event queue drains:
+
+* all thread and slot resources are returned;
+* every launch reaches a terminal status, and completed launches did
+  exactly their block count;
+* simulated time only moves forward and utilization stays in [0, 1].
+"""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.gpu import (
+    A100_SXM4_40GB,
+    DeviceLaunch,
+    EventLoop,
+    GPUDevice,
+    KernelDescriptor,
+    LaunchConfig,
+    LaunchKind,
+    LaunchStatus,
+)
+
+SPEC = A100_SXM4_40GB
+
+_settings = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def launch_plan(draw):
+    """A random schedule of launches plus preempt/kill actions."""
+    n = draw(st.integers(min_value=1, max_value=8))
+    plan = []
+    for i in range(n):
+        blocks = draw(st.integers(min_value=1, max_value=5000))
+        tpb = draw(st.sampled_from([64, 128, 256, 512, 1024]))
+        bd = draw(st.floats(min_value=5e-6, max_value=2e-3))
+        ptb = draw(st.booleans())
+        workers = draw(st.integers(min_value=1, max_value=400))
+        submit_at = draw(st.floats(min_value=0.0, max_value=5e-3))
+        action = draw(st.sampled_from(["none", "preempt", "kill"]))
+        action_at = draw(st.floats(min_value=0.0, max_value=8e-3))
+        priority = draw(st.integers(min_value=0, max_value=2))
+        plan.append((blocks, tpb, bd, ptb, workers, submit_at, action,
+                     action_at, priority))
+    return plan
+
+
+class TestDeviceInvariants:
+    @given(launch_plan())
+    @_settings
+    def test_resources_conserved_and_launches_terminal(self, plan):
+        engine = EventLoop()
+        device = GPUDevice(SPEC, engine)
+        launches = []
+        for (blocks, tpb, bd, ptb, workers, submit_at, action, action_at,
+             priority) in plan:
+            kernel = KernelDescriptor(f"k{len(launches)}", blocks, tpb, bd)
+            config = (LaunchConfig(LaunchKind.PTB, workers=workers)
+                      if ptb else LaunchConfig())
+            launch = DeviceLaunch(kernel, config, client_id=f"c{priority}",
+                                  priority=priority)
+            launches.append(launch)
+            engine.schedule_at(submit_at, lambda l=launch: device.submit(l))
+            if action == "preempt":
+                engine.schedule_at(max(action_at, submit_at),
+                                   lambda l=launch: device.preempt(l))
+            elif action == "kill":
+                engine.schedule_at(max(action_at, submit_at),
+                                   lambda l=launch: device.kill(l))
+        engine.run(max_events=2_000_000)
+
+        assert device.threads_free == SPEC.total_threads
+        assert device.slots_free == SPEC.total_block_slots
+        assert not device.resident_launches
+        assert 0.0 <= device.utilization() <= 1.0
+
+        for launch in launches:
+            assert launch.done, launch
+            assert launch.blocks_inflight == 0
+            if launch.status is LaunchStatus.COMPLETED:
+                assert launch.tasks_remaining == 0
+            else:
+                assert launch.preempt_requested
+
+    @given(launch_plan())
+    @_settings
+    def test_progress_accounting_is_exact(self, plan):
+        """COMPLETED launches execute exactly their logical blocks;
+        PREEMPTED ones never exceed them."""
+        engine = EventLoop()
+        device = GPUDevice(SPEC, engine)
+        launches = []
+        for (blocks, tpb, bd, ptb, workers, submit_at, action, action_at,
+             priority) in plan:
+            kernel = KernelDescriptor(f"k{len(launches)}", blocks, tpb, bd)
+            config = (LaunchConfig(LaunchKind.PTB, workers=workers)
+                      if ptb else LaunchConfig())
+            launch = DeviceLaunch(kernel, config, client_id="c")
+            launches.append(launch)
+            engine.schedule_at(submit_at, lambda l=launch: device.submit(l))
+            if action == "preempt":
+                engine.schedule_at(max(action_at, submit_at),
+                                   lambda l=launch: device.preempt(l))
+        engine.run(max_events=2_000_000)
+
+        for launch in launches:
+            total = launch.total_blocks
+            if launch.status is LaunchStatus.COMPLETED:
+                if launch.is_ptb:
+                    assert launch.tasks_done == total
+                else:
+                    assert launch.blocks_done == total
+            else:
+                assert 0 <= launch.tasks_done <= total
+                assert 0 <= launch.blocks_done <= total

@@ -1,0 +1,119 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.errors import GPUSimError
+from repro.gpu import EventLoop
+
+
+class TestEventLoop:
+    def test_events_fire_in_time_order(self):
+        loop = EventLoop()
+        log = []
+        loop.schedule(3.0, lambda: log.append("c"))
+        loop.schedule(1.0, lambda: log.append("a"))
+        loop.schedule(2.0, lambda: log.append("b"))
+        loop.run()
+        assert log == ["a", "b", "c"]
+
+    def test_ties_break_by_scheduling_order(self):
+        loop = EventLoop()
+        log = []
+        loop.schedule(1.0, lambda: log.append(1))
+        loop.schedule(1.0, lambda: log.append(2))
+        loop.schedule(1.0, lambda: log.append(3))
+        loop.run()
+        assert log == [1, 2, 3]
+
+    def test_clock_advances_to_event_times(self):
+        loop = EventLoop()
+        seen = []
+        loop.schedule(5.0, lambda: seen.append(loop.now))
+        loop.run()
+        assert seen == [5.0]
+
+    def test_cancelled_events_do_not_fire(self):
+        loop = EventLoop()
+        log = []
+        ev = loop.schedule(1.0, lambda: log.append("x"))
+        ev.cancel()
+        loop.run()
+        assert log == []
+
+    def test_run_until_stops_at_boundary(self):
+        loop = EventLoop()
+        log = []
+        loop.schedule(1.0, lambda: log.append(1))
+        loop.schedule(2.0, lambda: log.append(2))
+        loop.schedule(3.0, lambda: log.append(3))
+        loop.run_until(2.0)
+        assert log == [1, 2]
+        assert loop.now == 2.0
+
+    def test_run_until_advances_clock_past_last_event(self):
+        loop = EventLoop()
+        loop.schedule(1.0, lambda: None)
+        loop.run_until(10.0)
+        assert loop.now == 10.0
+
+    def test_events_scheduled_during_run_fire(self):
+        loop = EventLoop()
+        log = []
+
+        def first():
+            log.append("first")
+            loop.schedule(1.0, lambda: log.append("nested"))
+
+        loop.schedule(1.0, first)
+        loop.run()
+        assert log == ["first", "nested"]
+
+    def test_negative_delay_rejected(self):
+        loop = EventLoop()
+        with pytest.raises(GPUSimError):
+            loop.schedule(-1.0, lambda: None)
+
+    def test_scheduling_in_the_past_rejected(self):
+        loop = EventLoop()
+        loop.schedule(5.0, lambda: None)
+        loop.run()
+        with pytest.raises(GPUSimError):
+            loop.schedule_at(1.0, lambda: None)
+
+    def test_call_soon_runs_after_pending_same_time_events(self):
+        loop = EventLoop()
+        log = []
+        loop.schedule(1.0, lambda: log.append("a"))
+
+        def hook():
+            log.append("hook")
+            loop.call_soon(lambda: log.append("soon"))
+
+        loop.schedule(1.0, hook)
+        loop.schedule(1.0, lambda: log.append("b"))
+        loop.run()
+        assert log == ["a", "hook", "b", "soon"]
+
+    def test_peek_time_skips_cancelled(self):
+        loop = EventLoop()
+        ev = loop.schedule(1.0, lambda: None)
+        loop.schedule(2.0, lambda: None)
+        ev.cancel()
+        assert loop.peek_time() == 2.0
+
+    def test_runaway_guard(self):
+        loop = EventLoop()
+
+        def reschedule():
+            loop.schedule(0.001, reschedule)
+
+        loop.schedule(0.001, reschedule)
+        with pytest.raises(GPUSimError, match="exceeded"):
+            loop.run(max_events=100)
+
+    def test_events_processed_counter(self):
+        loop = EventLoop()
+        for i in range(5):
+            loop.schedule(float(i + 1), lambda: None)
+        loop.run()
+        assert loop.events_processed == 5

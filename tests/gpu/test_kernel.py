@@ -1,0 +1,101 @@
+"""Unit tests for kernel descriptors and the analytic timing model."""
+
+import pytest
+
+from repro.errors import GPUSimError
+from repro.gpu import A100_SXM4_40GB, KernelDescriptor, LaunchConfig, LaunchKind
+from repro.gpu.kernel import PTB_ITERATION_OVERHEAD
+
+SPEC = A100_SXM4_40GB
+
+
+def desc(**kw):
+    defaults = dict(name="k", num_blocks=1000, threads_per_block=256,
+                    block_duration=50e-6)
+    defaults.update(kw)
+    return KernelDescriptor(**defaults)
+
+
+class TestDescriptorValidation:
+    def test_rejects_zero_blocks(self):
+        with pytest.raises(GPUSimError):
+            desc(num_blocks=0)
+
+    def test_rejects_zero_duration(self):
+        with pytest.raises(GPUSimError):
+            desc(block_duration=0.0)
+
+    def test_rejects_negative_overhead(self):
+        with pytest.raises(GPUSimError):
+            desc(ptb_overhead_fraction=-0.1)
+
+
+class TestTimingModel:
+    def test_duration_is_waves_times_block_time(self):
+        k = desc()
+        capacity = k.capacity(SPEC)
+        assert capacity == 864
+        assert k.waves(SPEC) == 2
+        assert k.duration(SPEC) == pytest.approx(2 * 50e-6)
+
+    def test_single_wave_kernel(self):
+        k = desc(num_blocks=100)
+        assert k.waves(SPEC) == 1
+        assert k.duration(SPEC) == pytest.approx(50e-6)
+
+    def test_slice_duration(self):
+        k = desc()
+        assert k.slice_duration(SPEC, 100) == pytest.approx(50e-6)
+        assert k.slice_duration(SPEC, 900) == pytest.approx(100e-6)
+
+    def test_num_slices(self):
+        assert desc().num_slices(100) == 10
+        assert desc().num_slices(999) == 2
+        assert desc().num_slices(5000) == 1
+
+    def test_sliced_duration_includes_launch_overheads(self):
+        k = desc()
+        n = k.num_slices(100)
+        expected = n * (SPEC.kernel_launch_overhead + 50e-6)
+        assert k.sliced_duration(SPEC, 100) == pytest.approx(expected)
+
+    def test_ptb_iteration_duration_includes_overheads(self):
+        k = desc(ptb_overhead_fraction=0.05)
+        expected = 50e-6 * 1.05 + PTB_ITERATION_OVERHEAD
+        assert k.ptb_iteration_duration() == pytest.approx(expected)
+
+    def test_ptb_duration_scales_with_workers(self):
+        k = desc()
+        assert k.ptb_duration(100) == pytest.approx(
+            10 * k.ptb_iteration_duration())
+        assert k.ptb_duration(1000) == pytest.approx(
+            k.ptb_iteration_duration())
+
+    def test_ptb_turnaround_is_per_iteration_time(self):
+        k = desc()
+        estimate = k.ptb_turnaround_estimate(SPEC, 100)
+        assert estimate == pytest.approx(k.ptb_iteration_duration())
+
+    def test_from_duration_roundtrip(self):
+        k = KernelDescriptor.from_duration("k", 1e-3, 2000, 256, SPEC)
+        assert k.duration(SPEC) == pytest.approx(1e-3)
+
+    def test_scaled(self):
+        k = desc()
+        assert k.scaled(2.0).block_duration == pytest.approx(100e-6)
+        with pytest.raises(GPUSimError):
+            k.scaled(0.0)
+
+
+class TestLaunchConfig:
+    def test_default_is_original(self):
+        cfg = LaunchConfig()
+        assert cfg.kind is LaunchKind.ORIGINAL
+
+    def test_ptb_requires_workers(self):
+        with pytest.raises(GPUSimError):
+            LaunchConfig(LaunchKind.PTB)
+
+    def test_original_takes_no_workers(self):
+        with pytest.raises(GPUSimError):
+            LaunchConfig(LaunchKind.ORIGINAL, workers=4)

@@ -1,0 +1,76 @@
+"""Unit tests for GPU specs and the occupancy model."""
+
+import pytest
+
+from repro.errors import GPUSimError
+from repro.gpu import A100_SXM4_40GB, GPUSpec, RTX_3090, V100_SXM2_16GB
+
+
+class TestOccupancy:
+    def test_thread_limited_occupancy(self):
+        spec = A100_SXM4_40GB
+        # 2048 threads per SM / 256 per block = 8 blocks per SM.
+        assert spec.blocks_per_sm(256, registers_per_thread=1) == 8
+
+    def test_slot_limited_occupancy(self):
+        spec = A100_SXM4_40GB
+        # Tiny blocks hit the 32-blocks-per-SM architectural limit.
+        assert spec.blocks_per_sm(32, registers_per_thread=1) == 32
+
+    def test_shared_memory_limited_occupancy(self):
+        spec = A100_SXM4_40GB
+        smem = spec.shared_mem_per_sm // 2 + 1  # only one block fits
+        assert spec.blocks_per_sm(64, shared_mem_per_block=smem,
+                                  registers_per_thread=1) == 1
+
+    def test_register_limited_occupancy(self):
+        spec = A100_SXM4_40GB
+        # 256 threads * 128 regs = 32768 regs -> 2 blocks in 65536.
+        assert spec.blocks_per_sm(256, registers_per_thread=128) == 2
+
+    def test_oversized_block_rejected(self):
+        with pytest.raises(GPUSimError):
+            A100_SXM4_40GB.blocks_per_sm(4096)
+
+    def test_zero_threads_rejected(self):
+        with pytest.raises(GPUSimError):
+            A100_SXM4_40GB.blocks_per_sm(0)
+
+    def test_kernel_that_cannot_fit(self):
+        spec = A100_SXM4_40GB
+        with pytest.raises(GPUSimError, match="cannot fit"):
+            spec.blocks_per_sm(
+                2048, shared_mem_per_block=spec.shared_mem_per_sm + 1
+            )
+
+    def test_concurrent_blocks_scales_by_sms(self):
+        spec = A100_SXM4_40GB
+        per_sm = spec.blocks_per_sm(512, registers_per_thread=1)
+        assert spec.concurrent_blocks(512, registers_per_thread=1) == \
+            per_sm * spec.num_sms
+
+    def test_waves(self):
+        spec = A100_SXM4_40GB
+        capacity = spec.concurrent_blocks(256)
+        assert spec.waves(capacity, 256) == 1
+        assert spec.waves(capacity + 1, 256) == 2
+        assert spec.waves(1, 256) == 1
+
+
+class TestSpecCatalog:
+    @pytest.mark.parametrize("spec", [A100_SXM4_40GB, V100_SXM2_16GB,
+                                      RTX_3090])
+    def test_catalog_specs_are_sane(self, spec):
+        assert spec.num_sms > 0
+        assert spec.total_threads == spec.num_sms * spec.max_threads_per_sm
+        assert spec.total_block_slots == spec.num_sms * spec.max_blocks_per_sm
+
+    def test_a100_matches_paper_platform(self):
+        assert A100_SXM4_40GB.num_sms == 108
+        assert A100_SXM4_40GB.max_threads_per_sm == 2048
+
+    def test_invalid_spec_rejected(self):
+        with pytest.raises(GPUSimError):
+            GPUSpec("bad", num_sms=0, max_threads_per_sm=2048,
+                    max_blocks_per_sm=32, shared_mem_per_sm=1,
+                    registers_per_sm=1)

@@ -1,0 +1,54 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_all_subcommands_registered(self):
+        parser = build_parser()
+        for command in ("list", "table1", "table2", "fig4", "fig5a",
+                        "fig5b", "fig6a", "fig6b", "fig6c", "colocate"):
+            args = parser.parse_args(
+                [command] if command != "colocate" else [command])
+            assert args.command == command
+
+    def test_scale_choices(self):
+        parser = build_parser()
+        assert parser.parse_args(["fig4", "--scale", "full"]).scale == "full"
+        with pytest.raises(SystemExit):
+            parser.parse_args(["fig4", "--scale", "huge"])
+
+    def test_colocate_defaults(self):
+        args = build_parser().parse_args(["colocate"])
+        assert args.policy == "Tally"
+        assert args.load == 0.5
+
+    def test_colocate_model_validation(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["colocate", "--inference", "vgg"])
+
+
+class TestExecution:
+    def test_list_runs(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "bert_infer" in out
+        assert "whisper_train" in out
+
+    def test_table1_runs(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "block-level" in out
+
+    def test_colocate_runs_small(self, capsys):
+        assert main([
+            "colocate", "--inference", "resnet50_infer",
+            "--training", "pointnet_train", "--policy", "Tally",
+            "--load", "0.2", "--duration", "2", "--warmup", "0.5",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "inference p99" in out
+        assert "system throughput" in out

@@ -1,0 +1,140 @@
+"""Tests for the workload job drivers (training loop, inference server)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import Ideal, Priority
+from repro.errors import WorkloadError
+from repro.gpu import A100_SXM4_40GB, EventLoop, GPUDevice
+from repro.traffic import TrafficTrace, poisson_trace
+from repro.workloads import InferenceJob, TrainingJob, get_model
+
+SPEC = A100_SXM4_40GB
+
+
+def make_policy():
+    engine = EventLoop()
+    device = GPUDevice(SPEC, engine)
+    return Ideal(device, engine), engine
+
+
+class TestTrainingJob:
+    def test_iterates_continuously(self):
+        policy, engine = make_policy()
+        trace = get_model("pointnet_train").build_trace(SPEC)
+        job = TrainingJob(trace, policy, "train")
+        job.start()
+        engine.run_until(2.0)
+        assert job.iterations_completed > 10
+        assert job.kernels_completed >= job.iterations_completed * len(
+            trace.kernels)
+
+    def test_iteration_rate_tracks_trace_duration(self):
+        policy, engine = make_policy()
+        trace = get_model("gpt2_train").build_trace(SPEC)
+        job = TrainingJob(trace, policy, "train")
+        job.start()
+        engine.run_until(5.0)
+        measured = job.iterations_completed / 5.0
+        # Launch overheads add a little on top of the trace duration.
+        expected = 1.0 / trace.duration
+        assert measured == pytest.approx(expected, rel=0.25)
+
+    def test_completions_in_window(self):
+        policy, engine = make_policy()
+        trace = get_model("pointnet_train").build_trace(SPEC)
+        job = TrainingJob(trace, policy, "train")
+        job.start()
+        engine.run_until(2.0)
+        total = job.iterations_completed
+        assert job.completions_in(0.0, 2.0) == total
+        assert job.completions_in(1.0, 2.0) < total
+
+    def test_stop_halts_submission(self):
+        policy, engine = make_policy()
+        trace = get_model("pointnet_train").build_trace(SPEC)
+        job = TrainingJob(trace, policy, "train")
+        job.start()
+        engine.run_until(0.5)
+        job.stop()
+        count = job.kernels_completed
+        engine.run_until(1.5)
+        assert job.kernels_completed <= count + 1
+
+    def test_double_start_rejected(self):
+        policy, engine = make_policy()
+        trace = get_model("pointnet_train").build_trace(SPEC)
+        job = TrainingJob(trace, policy, "train")
+        job.start()
+        with pytest.raises(WorkloadError):
+            job.start()
+
+    def test_fractional_iterations_monotone(self):
+        policy, engine = make_policy()
+        trace = get_model("pointnet_train").build_trace(SPEC)
+        job = TrainingJob(trace, policy, "train")
+        job.start()
+        engine.run_until(0.1)
+        first = job.fractional_iterations()
+        engine.run_until(0.3)
+        assert job.fractional_iterations() > first
+
+
+class TestInferenceJob:
+    def _job(self, load=0.3, horizon=5.0, model="bert_infer"):
+        policy, engine = make_policy()
+        trace = get_model(model).build_trace(SPEC)
+        rate = load / trace.duration
+        traffic = poisson_trace(rate, horizon, seed=11)
+        job = InferenceJob(trace, traffic, policy, "inf")
+        return job, engine, traffic
+
+    def test_serves_all_requests_below_saturation(self):
+        job, engine, traffic = self._job()
+        job.start()
+        engine.run_until(6.0)
+        assert job.completed_requests == traffic.count
+        assert job.pending_requests == 0
+
+    def test_latency_includes_queueing(self):
+        # Two arrivals at nearly the same instant: the second waits.
+        policy, engine = make_policy()
+        trace = get_model("bert_infer").build_trace(SPEC)
+        traffic = TrafficTrace(np.array([1.0, 1.0001]), horizon=5.0)
+        job = InferenceJob(trace, traffic, policy, "inf")
+        job.start()
+        engine.run_until(5.0)
+        first, second = job.records
+        assert second.latency > first.latency
+        assert second.queueing > 0
+
+    def test_latency_summary_windows(self):
+        job, engine, traffic = self._job()
+        job.start()
+        engine.run_until(6.0)
+        full = job.latency_summary()
+        late = job.latency_summary(since=2.0)
+        assert late.count < full.count
+
+    def test_requests_served_fifo(self):
+        job, engine, _ = self._job(load=0.6)
+        job.start()
+        engine.run_until(6.0)
+        starts = [r.started for r in job.records]
+        arrivals = [r.arrival for r in job.records]
+        assert starts == sorted(starts)
+        assert arrivals == sorted(arrivals)
+
+    def test_double_start_rejected(self):
+        job, engine, _ = self._job()
+        job.start()
+        with pytest.raises(WorkloadError):
+            job.start()
+
+    def test_isolated_latency_near_trace_duration(self):
+        job, engine, _ = self._job(load=0.2)
+        job.start()
+        engine.run_until(6.0)
+        summary = job.latency_summary()
+        trace_duration = get_model("bert_infer").build_trace(SPEC).duration
+        assert summary.p50 == pytest.approx(trace_duration, rel=0.2)

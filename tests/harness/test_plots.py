@@ -1,0 +1,83 @@
+"""Tests for the ASCII plotting helpers."""
+
+import math
+
+import pytest
+
+from repro.errors import HarnessError
+from repro.harness.plots import bar_chart, series_panel, sparkline
+
+
+class TestSparkline:
+    def test_length_matches_input(self):
+        assert len(sparkline([1, 2, 3, 4])) == 4
+
+    def test_monotone_data_monotone_glyphs(self):
+        line = sparkline([0, 1, 2, 3, 4, 5, 6, 7])
+        assert list(line) == sorted(line)
+
+    def test_constant_series_renders_floor(self):
+        assert sparkline([5, 5, 5]) == "▁▁▁"
+
+    def test_nan_renders_space(self):
+        line = sparkline([1.0, math.nan, 2.0])
+        assert line[1] == " "
+
+    def test_all_nan(self):
+        assert sparkline([math.nan, math.nan]) == "  "
+
+    def test_pinned_scale(self):
+        a = sparkline([1, 2], lo=0, hi=10)
+        b = sparkline([9, 10], lo=0, hi=10)
+        assert max(a) < max(b)
+
+    def test_empty_rejected(self):
+        with pytest.raises(HarnessError):
+            sparkline([])
+
+
+class TestBarChart:
+    def test_rows_and_scaling(self):
+        chart = bar_chart(["a", "bb"], [1.0, 2.0], width=10)
+        lines = chart.splitlines()
+        assert len(lines) == 2
+        assert lines[1].count("█") == 10
+        assert lines[0].count("█") == 5
+
+    def test_zero_values_get_sliver(self):
+        chart = bar_chart(["x"], [0.0])
+        assert "▏" in chart
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(HarnessError):
+            bar_chart(["a"], [1.0, 2.0])
+
+    def test_empty(self):
+        with pytest.raises(HarnessError):
+            bar_chart([], [])
+
+
+class TestSeriesPanel:
+    def test_panel_structure(self):
+        panel = series_panel("Latency", [
+            ("ideal", [1.0, 1.0, 1.0]),
+            ("tally", [1.0, 1.1, 1.0]),
+        ])
+        lines = panel.splitlines()
+        assert lines[0] == "Latency"
+        assert len(lines) == 3
+        assert "ideal" in lines[1] and "tally" in lines[2]
+        assert "[1 .. 1]" in lines[1]
+
+    def test_shared_scale_comparability(self):
+        panel = series_panel("p", [
+            ("low", [1.0, 1.0]),
+            ("high", [10.0, 10.0]),
+        ])
+        low_line, high_line = panel.splitlines()[1:]
+        assert "▁" in low_line
+        assert "█" in high_line
+
+    def test_empty_panel_rejected(self):
+        with pytest.raises(HarnessError):
+            series_panel("t", [])

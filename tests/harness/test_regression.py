@@ -1,0 +1,84 @@
+"""Tests for the regression comparison tool."""
+
+import dataclasses
+
+import pytest
+
+from repro.errors import HarnessError
+from repro.harness import JobSpec, RunConfig, run_colocation
+from repro.harness.regression import compare_results
+from repro.harness.serialize import dict_to_result, result_to_dict
+
+
+@pytest.fixture(scope="module")
+def result():
+    cfg = RunConfig(duration=2.0, warmup=0.5)
+    return run_colocation("Tally", [
+        JobSpec.inference("resnet50_infer", load=0.2),
+        JobSpec.training("pointnet_train"),
+    ], cfg)
+
+
+def clone(result):
+    return dict_to_result(result_to_dict(result))
+
+
+class TestCompareResults:
+    def test_identical_results_have_no_drift(self, result):
+        assert compare_results(result, clone(result)) == []
+
+    def test_rerun_is_deterministic_hence_no_drift(self, result):
+        cfg = RunConfig(duration=2.0, warmup=0.5)
+        fresh = run_colocation("Tally", [
+            JobSpec.inference("resnet50_infer", load=0.2),
+            JobSpec.training("pointnet_train"),
+        ], cfg)
+        assert compare_results(result, fresh) == []
+
+    def test_rate_drift_detected(self, result):
+        other = clone(result)
+        job = other.jobs["pointnet_train#0"]
+        job.rate *= 1.5
+        drifts = compare_results(result, other)
+        assert any(d.metric == "rate" and d.job == "pointnet_train#0"
+                   for d in drifts)
+
+    def test_latency_drift_detected(self, result):
+        other = clone(result)
+        job = other.jobs["resnet50_infer#0"]
+        job.latency = dataclasses.replace(job.latency,
+                                          p99=job.latency.p99 * 2)
+        drifts = compare_results(result, other)
+        assert any(d.metric == "latency.p99" for d in drifts)
+
+    def test_within_tolerance_is_silent(self, result):
+        other = clone(result)
+        job = other.jobs["pointnet_train#0"]
+        job.rate *= 1.05  # under the 10 % default
+        assert compare_results(result, other) == []
+
+    def test_tolerances_configurable(self, result):
+        other = clone(result)
+        job = other.jobs["pointnet_train#0"]
+        job.rate *= 1.05
+        drifts = compare_results(result, other, rate_tolerance=0.01)
+        assert drifts
+
+    def test_policy_mismatch_rejected(self, result):
+        other = clone(result)
+        other.policy = "MPS"
+        with pytest.raises(HarnessError, match="policy"):
+            compare_results(result, other)
+
+    def test_job_set_mismatch_rejected(self, result):
+        other = clone(result)
+        del other.jobs["pointnet_train#0"]
+        with pytest.raises(HarnessError, match="job sets"):
+            compare_results(result, other)
+
+    def test_drift_str_is_informative(self, result):
+        other = clone(result)
+        other.jobs["pointnet_train#0"].rate *= 2
+        drift = compare_results(result, other)[0]
+        text = str(drift)
+        assert "pointnet_train#0" in text and "%" in text

@@ -1,0 +1,52 @@
+"""Tests for report formatting helpers."""
+
+import math
+
+from repro.harness.reporting import (
+    Banner,
+    format_ratio,
+    format_seconds,
+    format_table,
+)
+
+
+class TestFormatSeconds:
+    def test_scales(self):
+        assert format_seconds(2.5) == "2.5 s"
+        assert format_seconds(3.93e-3) == "3.93 ms"
+        assert format_seconds(40e-6) == "40 us"
+
+    def test_nan(self):
+        assert format_seconds(float("nan")) == "-"
+
+
+class TestFormatRatio:
+    def test_basic(self):
+        assert format_ratio(1.5) == "1.50x"
+
+    def test_nan(self):
+        assert format_ratio(float("nan")) == "-"
+
+
+class TestFormatTable:
+    def test_columns_align(self):
+        table = format_table(("a", "bbbb"), [(1, 2), (333, 4)])
+        lines = table.splitlines()
+        assert lines[0].startswith("a")
+        # All data rows start at the same columns.
+        assert lines[2].index("2") == lines[3].index("4")
+
+    def test_title_rendered(self):
+        table = format_table(("x",), [(1,)], title="My Table")
+        assert table.splitlines()[0] == "My Table"
+
+    def test_mixed_types_coerced(self):
+        table = format_table(("a", "b"), [("s", 1.25), (None, True)])
+        assert "s" in table and "1.25" in table and "None" in table
+
+
+class TestBanner:
+    def test_str(self):
+        text = str(Banner("Title", "body"))
+        assert "# Title" in text
+        assert "body" in text

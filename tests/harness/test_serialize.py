@@ -1,0 +1,80 @@
+"""Tests for result serialization."""
+
+import json
+
+import pytest
+
+from repro.errors import HarnessError
+from repro.harness import JobSpec, RunConfig, run_colocation
+from repro.harness.serialize import (
+    dict_to_result,
+    load_result,
+    result_to_dict,
+    save_result,
+)
+
+
+@pytest.fixture(scope="module")
+def sample_result():
+    cfg = RunConfig(duration=2.0, warmup=0.5)
+    return run_colocation("Tally", [
+        JobSpec.inference("resnet50_infer", load=0.2),
+        JobSpec.training("pointnet_train"),
+    ], cfg)
+
+
+class TestRoundTrip:
+    def test_dict_round_trip(self, sample_result):
+        restored = dict_to_result(result_to_dict(sample_result))
+        assert restored.policy == sample_result.policy
+        assert set(restored.jobs) == set(sample_result.jobs)
+        for client_id, job in sample_result.jobs.items():
+            other = restored.jobs[client_id]
+            assert other.completed == job.completed
+            assert other.rate == job.rate
+            if job.latency is not None:
+                assert other.latency == job.latency
+
+    def test_file_round_trip(self, sample_result, tmp_path):
+        path = tmp_path / "result.json"
+        save_result(sample_result, path)
+        restored = load_result(path)
+        assert restored.events == sample_result.events
+        assert restored.utilization == pytest.approx(
+            sample_result.utilization)
+
+    def test_json_is_plain_data(self, sample_result, tmp_path):
+        path = tmp_path / "result.json"
+        save_result(sample_result, path)
+        payload = json.loads(path.read_text())
+        assert payload["format_version"] == 1
+        assert payload["config"]["spec"] == "A100-SXM4-40GB"
+
+    def test_config_restored(self, sample_result):
+        restored = dict_to_result(result_to_dict(sample_result))
+        assert restored.config.duration == sample_result.config.duration
+        assert restored.config.spec.name == sample_result.config.spec.name
+
+
+class TestErrors:
+    def test_unknown_version_rejected(self, sample_result):
+        payload = result_to_dict(sample_result)
+        payload["format_version"] = 99
+        with pytest.raises(HarnessError, match="version"):
+            dict_to_result(payload)
+
+    def test_unknown_spec_rejected(self, sample_result):
+        payload = result_to_dict(sample_result)
+        payload["config"]["spec"] = "H100"
+        with pytest.raises(HarnessError, match="spec"):
+            dict_to_result(payload)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(HarnessError):
+            load_result(tmp_path / "nope.json")
+
+    def test_corrupt_file(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(HarnessError):
+            load_result(path)

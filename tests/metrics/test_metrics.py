@@ -1,0 +1,85 @@
+"""Tests for latency and throughput metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import HarnessError
+from repro.metrics import (
+    LatencySummary,
+    ThroughputSample,
+    normalized_throughput,
+    percentile,
+    system_throughput,
+)
+
+
+class TestPercentile:
+    def test_matches_numpy(self):
+        data = [1.0, 2.0, 3.0, 10.0]
+        assert percentile(data, 50) == pytest.approx(np.percentile(data, 50))
+
+    def test_empty_rejected(self):
+        with pytest.raises(HarnessError):
+            percentile([], 50)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(HarnessError):
+            percentile([1.0], 101)
+
+
+class TestLatencySummary:
+    def test_of_computes_order_statistics(self):
+        samples = list(range(1, 101))
+        s = LatencySummary.of(samples)
+        assert s.count == 100
+        assert s.mean == pytest.approx(50.5)
+        assert s.p50 == pytest.approx(50.5)
+        assert s.max == 100
+
+    def test_empty_rejected(self):
+        with pytest.raises(HarnessError):
+            LatencySummary.of([])
+
+    def test_slowdown_and_overhead(self):
+        base = LatencySummary.of([1.0] * 10)
+        slow = LatencySummary.of([2.0] * 10)
+        assert slow.slowdown_vs(base) == pytest.approx(2.0)
+        assert slow.overhead_vs(base) == pytest.approx(1.0)
+
+    @given(st.lists(st.floats(min_value=1e-6, max_value=100.0),
+                    min_size=1, max_size=200))
+    @settings(max_examples=50, deadline=None)
+    def test_invariants(self, samples):
+        s = LatencySummary.of(samples)
+        assert s.p50 <= s.p90 <= s.p99 <= s.max
+        assert min(samples) <= s.mean <= s.max
+
+
+class TestThroughput:
+    def test_sample_rate(self):
+        assert ThroughputSample(50, 10.0).rate == pytest.approx(5.0)
+
+    def test_validation(self):
+        with pytest.raises(HarnessError):
+            ThroughputSample(1, 0.0)
+        with pytest.raises(HarnessError):
+            ThroughputSample(-1, 1.0)
+
+    def test_normalized(self):
+        measured = ThroughputSample(40, 10.0)
+        baseline = ThroughputSample(50, 10.0)
+        assert normalized_throughput(measured, baseline) == pytest.approx(0.8)
+
+    def test_normalized_rejects_zero_baseline(self):
+        with pytest.raises(HarnessError):
+            normalized_throughput(ThroughputSample(1, 1.0),
+                                  ThroughputSample(0, 1.0))
+
+    def test_system_throughput_sums(self):
+        assert system_throughput({"a": 0.8, "b": 0.4}) == pytest.approx(1.2)
+
+    def test_system_throughput_empty_rejected(self):
+        with pytest.raises(HarnessError):
+            system_throughput({})

@@ -1,0 +1,127 @@
+"""Unit tests for the fluent kernel builder."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.ptx import CompareOp, KernelBuilder, Opcode, Param, ParamKind, Reg
+from repro.ptx.builder import as_operand
+from repro.ptx.ir import Imm, SharedDecl
+
+
+class TestAsOperand:
+    def test_coerces_literals(self):
+        assert as_operand(3) == Imm(3)
+        assert as_operand(2.5) == Imm(2.5)
+        assert as_operand(True) == Imm(True)
+
+    def test_passes_operands_through(self):
+        r = Reg("x")
+        assert as_operand(r) is r
+
+    def test_rejects_garbage(self):
+        with pytest.raises(TypeError):
+            as_operand("not an operand")  # type: ignore[arg-type]
+
+
+class TestKernelBuilder:
+    def test_auto_appends_ret(self):
+        b = KernelBuilder("k")
+        b.mov(1)
+        kernel = b.build()
+        assert kernel.body[-1].op is Opcode.RET
+
+    def test_no_double_ret(self):
+        b = KernelBuilder("k")
+        b.ret()
+        kernel = b.build()
+        assert sum(1 for i in kernel.body if i.op is Opcode.RET) == 1
+
+    def test_duplicate_param_rejected(self):
+        b = KernelBuilder("k")
+        b.i32_param("n")
+        with pytest.raises(ValidationError):
+            b.i32_param("n")
+
+    def test_duplicate_shared_rejected(self):
+        b = KernelBuilder("k")
+        b.shared_buffer("s", 4)
+        with pytest.raises(ValidationError):
+            b.shared_buffer("s", 8)
+
+    def test_shared_size_validated(self):
+        b = KernelBuilder("k")
+        with pytest.raises(ValidationError):
+            b.shared_buffer("s", 0)
+
+    def test_registers_are_unique(self):
+        b = KernelBuilder("k")
+        regs = {b.reg().name for _ in range(50)}
+        assert len(regs) == 50
+
+    def test_label_attaches_to_next_instruction(self):
+        b = KernelBuilder("k")
+        name = b.label("spot")
+        b.mov(1)
+        kernel = b.build()
+        assert name == "spot"
+        assert kernel.body[0].label == "spot"
+
+    def test_two_labels_insert_nop(self):
+        b = KernelBuilder("k")
+        b.label("one")
+        b.label("two")
+        b.mov(1)
+        kernel = b.build()
+        assert kernel.body[0].op is Opcode.NOP
+        assert kernel.body[0].label == "one"
+        assert kernel.body[1].label == "two"
+
+    def test_trailing_label_carried_by_nop(self):
+        b = KernelBuilder("k")
+        b.bra("end")
+        b.label("end")
+        kernel = b.build()
+        labels = kernel.labels()
+        assert "end" in labels
+
+    def test_setp_records_compare_op(self):
+        b = KernelBuilder("k")
+        b.setp(CompareOp.LT, 1, 2)
+        kernel = b.build()
+        assert kernel.body[0].cmp is CompareOp.LT
+
+    def test_explicit_dst_reuse(self):
+        b = KernelBuilder("k")
+        acc = b.mov(0)
+        result = b.add(acc, 1, dst=acc)
+        assert result is acc
+
+    def test_declare_param_duplicate_rejected(self):
+        b = KernelBuilder("k")
+        b.declare_param(Param("p", ParamKind.I32))
+        with pytest.raises(ValidationError):
+            b.declare_param(Param("p", ParamKind.F32))
+
+    def test_declare_shared_duplicate_rejected(self):
+        b = KernelBuilder("k")
+        b.declare_shared(SharedDecl("s", 2))
+        with pytest.raises(ValidationError):
+            b.declare_shared(SharedDecl("s", 2))
+
+    def test_brx_builds_table(self):
+        b = KernelBuilder("k")
+        b.label("a")
+        b.nop()
+        b.label("c")
+        b.nop()
+        b.brx(["a", "c"], 0)
+        kernel = b.build()
+        brx = kernel.body[-2]
+        assert brx.op is Opcode.BRX
+        assert brx.targets == ("a", "c")
+
+    def test_global_thread_id_x_shape(self):
+        b = KernelBuilder("k")
+        b.global_thread_id_x()
+        kernel = b.build()
+        assert kernel.body[0].op is Opcode.MAD

@@ -1,0 +1,365 @@
+"""Unit tests for the functional interpreter's execution semantics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import (
+    ExecutionError,
+    InstructionLimitExceeded,
+    MemoryError_,
+    SyncDivergenceError,
+)
+from repro.ptx import (
+    CompareOp,
+    DeviceMemory,
+    GlobalRef,
+    Interpreter,
+    KernelBuilder,
+)
+from repro.ptx.interpreter import SharedRef
+
+
+class TestDeviceMemory:
+    def test_alloc_returns_zeroed_buffer(self):
+        mem = DeviceMemory()
+        ref = mem.alloc(8)
+        assert mem.read(ref, 0) == 0.0
+        assert mem.read(ref, 7) == 0.0
+
+    def test_alloc_rejects_bad_size(self):
+        with pytest.raises(MemoryError_):
+            DeviceMemory().alloc(0)
+
+    def test_named_alloc_collision(self):
+        mem = DeviceMemory()
+        mem.alloc(4, name="x")
+        with pytest.raises(MemoryError_):
+            mem.alloc(4, name="x")
+
+    def test_bind_exposes_array(self):
+        mem = DeviceMemory()
+        arr = np.arange(5.0)
+        ref = mem.bind("data", arr)
+        assert mem.read(ref, 3) == 3.0
+        mem.write(ref, 3, 42.0)
+        assert arr[3] == 42.0
+
+    def test_bind_rejects_2d(self):
+        with pytest.raises(MemoryError_):
+            DeviceMemory().bind("m", np.zeros((2, 2)))
+
+    def test_out_of_bounds_read(self):
+        mem = DeviceMemory()
+        ref = mem.alloc(4)
+        with pytest.raises(MemoryError_):
+            mem.read(ref, 4)
+        with pytest.raises(MemoryError_):
+            mem.read(ref, -1)
+
+    def test_pointer_advanced_offsets(self):
+        mem = DeviceMemory()
+        ref = mem.alloc(8)
+        mem.write(ref.advanced(3), 0, 5.0)
+        assert mem.read(ref, 3) == 5.0
+
+    def test_free_releases(self):
+        mem = DeviceMemory()
+        ref = mem.alloc(4)
+        mem.free(ref)
+        with pytest.raises(MemoryError_):
+            mem.read(ref, 0)
+
+    def test_atomic_add_returns_old(self):
+        mem = DeviceMemory()
+        ref = mem.alloc(1, dtype=np.int64)
+        assert mem.atomic_add(ref, 0, 5) == 0
+        assert mem.atomic_add(ref, 0, 3) == 5
+        assert mem.read(ref, 0) == 8
+
+    def test_atomic_cas(self):
+        mem = DeviceMemory()
+        ref = mem.alloc(1)
+        assert mem.atomic_cas(ref, 0, 0.0, 9.0) == 0.0
+        assert mem.read(ref, 0) == 9.0
+        assert mem.atomic_cas(ref, 0, 1.0, 2.0) == 9.0  # compare fails
+        assert mem.read(ref, 0) == 9.0
+
+    def test_atomic_exch(self):
+        mem = DeviceMemory()
+        ref = mem.alloc(1)
+        assert mem.atomic_exch(ref, 0, 4.0) == 0.0
+        assert mem.read(ref, 0) == 4.0
+
+
+def _run(builder: KernelBuilder, grid=1, block=1, args=None, mem=None, **kw):
+    mem = mem if mem is not None else DeviceMemory()
+    kernel = builder.build()
+    Interpreter(mem, **kw).launch(kernel, grid, block, args or {}, )
+    return mem
+
+
+class TestArithmetic:
+    def test_integer_division_truncates_toward_zero(self):
+        mem = DeviceMemory()
+        out = mem.alloc(2)
+        b = KernelBuilder("k")
+        o = b.ptr_param("out")
+        b.st(o, 0, b.div(-7, 2))
+        b.st(o, 1, b.rem(-7, 2))
+        _run(b, args={"out": out}, mem=mem)
+        assert mem.read(out, 0) == -3  # C semantics, not Python floor
+        assert mem.read(out, 1) == -1
+
+    def test_float_division(self):
+        mem = DeviceMemory()
+        out = mem.alloc(1)
+        b = KernelBuilder("k")
+        o = b.ptr_param("out")
+        b.st(o, 0, b.div(1.0, 4.0))
+        _run(b, args={"out": out}, mem=mem)
+        assert mem.read(out, 0) == 0.25
+
+    def test_division_by_zero_raises(self):
+        b = KernelBuilder("k")
+        o = b.ptr_param("out")
+        b.st(o, 0, b.div(1, 0))
+        mem = DeviceMemory()
+        out = mem.alloc(1)
+        with pytest.raises(ExecutionError):
+            _run(b, args={"out": out}, mem=mem)
+
+    def test_min_max_shift(self):
+        mem = DeviceMemory()
+        out = mem.alloc(4)
+        b = KernelBuilder("k")
+        o = b.ptr_param("out")
+        b.st(o, 0, b.min_(3, 7))
+        b.st(o, 1, b.max_(3, 7))
+        b.st(o, 2, b.shl(1, 4))
+        b.st(o, 3, b.shr(32, 2))
+        _run(b, args={"out": out}, mem=mem)
+        assert list(mem.array(out)) == [3, 7, 16, 8]
+
+    def test_selp_and_setp(self):
+        mem = DeviceMemory()
+        out = mem.alloc(2)
+        b = KernelBuilder("k")
+        o = b.ptr_param("out")
+        p = b.setp(CompareOp.LT, 1, 2)
+        b.st(o, 0, b.selp(10, 20, p))
+        q = b.setp(CompareOp.GE, 1, 2)
+        b.st(o, 1, b.selp(10, 20, q))
+        _run(b, args={"out": out}, mem=mem)
+        assert list(mem.array(out)) == [10, 20]
+
+    def test_cvt_int_truncates(self):
+        mem = DeviceMemory()
+        out = mem.alloc(2)
+        b = KernelBuilder("k")
+        o = b.ptr_param("out")
+        b.st(o, 0, b.cvt_int(3.9))
+        b.st(o, 1, b.cvt_int(-3.9))
+        _run(b, args={"out": out}, mem=mem)
+        assert list(mem.array(out)) == [3, -3]
+
+    def test_pointer_arithmetic_via_add(self):
+        mem = DeviceMemory()
+        data = mem.alloc(8)
+        b = KernelBuilder("k")
+        base = b.ptr_param("data")
+        shifted = b.add(base, 2)
+        b.st(shifted, 0, 1.5)
+        _run(b, args={"data": data}, mem=mem)
+        assert mem.read(data, 2) == 1.5
+
+    def test_mul_on_pointer_rejected(self):
+        mem = DeviceMemory()
+        data = mem.alloc(4)
+        b = KernelBuilder("k")
+        base = b.ptr_param("data")
+        b.mul(base, 2)
+        with pytest.raises(ExecutionError):
+            _run(b, args={"data": data}, mem=mem)
+
+
+class TestControlFlow:
+    def test_undefined_register_read_raises(self):
+        b = KernelBuilder("k")
+        from repro.ptx import Reg
+
+        b.add(Reg("never_written"), 1)
+        with pytest.raises(ExecutionError):
+            _run(b)
+
+    def test_missing_argument_raises(self):
+        b = KernelBuilder("k")
+        b.i32_param("n")
+        b.nop()
+        kernel = b.build()
+        with pytest.raises(ExecutionError, match="without arguments"):
+            Interpreter(DeviceMemory()).launch(kernel, 1, 1, {})
+
+    def test_infinite_loop_hits_instruction_limit(self):
+        b = KernelBuilder("k")
+        b.label("loop")
+        b.nop()
+        b.bra("loop")
+        kernel = b.build()
+        interp = Interpreter(DeviceMemory(), max_instructions_per_thread=500)
+        with pytest.raises(InstructionLimitExceeded):
+            interp.launch(kernel, 1, 1, {})
+
+    def test_brx_dispatches_by_index(self):
+        mem = DeviceMemory()
+        out = mem.alloc(1)
+        b = KernelBuilder("k")
+        o = b.ptr_param("out")
+        sel = b.i32_param("sel")
+        b.brx(["a", "c"], sel)
+        b.label("a")
+        b.st(o, 0, 100)
+        b.ret()
+        b.label("c")
+        b.st(o, 0, 300)
+        b.ret()
+        kernel = b.build()
+        for sel_value, expect in [(0, 100), (1, 300)]:
+            mem2 = DeviceMemory()
+            out2 = mem2.alloc(1)
+            Interpreter(mem2).launch(kernel, 1, 1, {"out": out2, "sel": sel_value})
+            assert mem2.read(out2, 0) == expect
+
+    def test_brx_out_of_range(self):
+        b = KernelBuilder("k")
+        b.label("a")
+        b.brx(["a"], 5)
+        kernel = b.build()
+        with pytest.raises(ExecutionError, match="brx index"):
+            Interpreter(DeviceMemory()).launch(kernel, 1, 1, {})
+
+    def test_block_order_must_be_permutation(self):
+        b = KernelBuilder("k")
+        b.nop()
+        kernel = b.build()
+        with pytest.raises(ExecutionError, match="permutation"):
+            Interpreter(DeviceMemory()).launch(kernel, 4, 1, {},
+                                               block_order=[0, 1, 2, 2])
+
+
+class TestBarrierSemantics:
+    def test_all_threads_sync_and_continue(self):
+        mem = DeviceMemory()
+        out = mem.alloc(4)
+        b = KernelBuilder("k")
+        o = b.ptr_param("out")
+        s = b.shared_buffer("s", 4)
+        tid = b.mov(b.tid())
+        b.st(s, tid, b.add(tid, 10))
+        b.bar()
+        # read neighbour's value (wraps via xor 1)
+        partner = b.xor(tid, 1)
+        b.st(o, tid, b.ld(s, partner))
+        _run(b, grid=1, block=4, args={"out": out}, mem=mem)
+        assert list(mem.array(out)) == [11, 10, 13, 12]
+
+    def test_divergent_barriers_raise(self):
+        b = KernelBuilder("k")
+        tid = b.mov(b.tid())
+        p = b.setp(CompareOp.EQ, tid, 0)
+        b.bra("other", pred=p)
+        b.bar()  # barrier 1 (threads != 0)
+        b.ret()
+        b.label("other")
+        b.bar()  # barrier 2 (thread 0)
+        b.ret()
+        kernel = b.build()
+        with pytest.raises(SyncDivergenceError):
+            Interpreter(DeviceMemory()).launch(kernel, 1, 2, {})
+
+    def test_exited_threads_do_not_block_barrier(self):
+        # Modern (sm_70+) semantics: returned threads are excluded.
+        mem = DeviceMemory()
+        out = mem.alloc(1)
+        b = KernelBuilder("k")
+        o = b.ptr_param("out")
+        tid = b.mov(b.tid())
+        p = b.setp(CompareOp.GE, tid, 2)
+        b.ret(pred=p)  # upper half exits before the barrier
+        b.bar()
+        q = b.setp(CompareOp.EQ, tid, 0)
+        b.st(o, 0, 7, pred=q)
+        _run(b, grid=1, block=4, args={"out": out}, mem=mem)
+        assert mem.read(out, 0) == 7
+
+
+class TestSpecialRegisters:
+    def test_grid_and_block_indices(self):
+        mem = DeviceMemory()
+        out = mem.alloc(6 * 2)
+        b = KernelBuilder("k")
+        o = b.ptr_param("out")
+        i = b.global_thread_id_x()
+        encoded = b.mad(b.ctaid(), 100, b.tid())
+        b.st(o, i, encoded)
+        _run(b, grid=6, block=2, args={"out": out}, mem=mem)
+        expected = [bx * 100 + tx for bx in range(6) for tx in range(2)]
+        assert list(mem.array(out)) == expected
+
+    def test_ntid_nctaid(self):
+        mem = DeviceMemory()
+        out = mem.alloc(2)
+        b = KernelBuilder("k")
+        o = b.ptr_param("out")
+        b.st(o, 0, b.mov(b.ntid()))
+        b.st(o, 1, b.mov(b.nctaid()))
+        _run(b, grid=5, block=3, args={"out": out}, mem=mem)
+        assert list(mem.array(out)) == [3, 5]
+
+
+class TestSharedMemory:
+    def test_shared_is_per_block(self):
+        mem = DeviceMemory()
+        out = mem.alloc(4)
+        b = KernelBuilder("k")
+        o = b.ptr_param("out")
+        s = b.shared_buffer("s", 1)
+        # Each block increments its own shared counter once per thread;
+        # the final value must equal the block size, not accumulate
+        # across blocks.
+        b.atom_add(s, 0, 1)
+        b.bar()
+        tid = b.mov(b.tid())
+        q = b.setp(CompareOp.EQ, tid, 0)
+        b.st(o, b.mov(b.ctaid()), b.ld(s, 0), pred=q)
+        _run(b, grid=4, block=3, args={"out": out}, mem=mem)
+        assert list(mem.array(out)) == [3, 3, 3, 3]
+
+    def test_shared_out_of_bounds(self):
+        b = KernelBuilder("k")
+        s = b.shared_buffer("s", 2)
+        b.st(s, 5, 1.0)
+        with pytest.raises(MemoryError_):
+            _run(b)
+
+
+class TestInstrHook:
+    def test_hook_observes_and_mutates_memory(self):
+        mem = DeviceMemory()
+        flag = mem.alloc(1)
+        out = mem.alloc(1)
+        b = KernelBuilder("k")
+        f = b.ptr_param("flag")
+        o = b.ptr_param("out")
+        b.label("spin")
+        v = b.ld(f, 0)
+        p = b.setp(CompareOp.EQ, v, 0)
+        b.bra("spin", pred=p)
+        b.st(o, 0, 99)
+        kernel = b.build()
+
+        def hook(interp):
+            interp.memory.write(flag, 0, 1)
+
+        interp = Interpreter(mem, instr_hook=hook, hook_interval=50)
+        interp.launch(kernel, 1, 1, {"flag": flag, "out": out})
+        assert mem.read(out, 0) == 99

@@ -1,0 +1,151 @@
+"""Edge-case semantics of the interpreter: predication, atomics, types."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ExecutionError, MemoryError_
+from repro.ptx import CompareOp, DeviceMemory, Interpreter, KernelBuilder
+
+
+def run(builder, grid=1, block=1, args=None, mem=None):
+    mem = mem if mem is not None else DeviceMemory()
+    kernel = builder.build()
+    Interpreter(mem).launch(kernel, grid, block, args or {})
+    return mem
+
+
+class TestPredication:
+    def test_predicated_mov_skipped_when_false(self):
+        mem = DeviceMemory()
+        out = mem.alloc(1)
+        b = KernelBuilder("k")
+        o = b.ptr_param("out")
+        r = b.mov(1)
+        p = b.setp(CompareOp.GT, 0, 1)  # false
+        b.mov(99, dst=r, pred=p)
+        b.st(o, 0, r)
+        run(b, args={"out": out}, mem=mem)
+        assert mem.read(out, 0) == 1
+
+    def test_negated_predicate_on_store(self):
+        mem = DeviceMemory()
+        out = mem.alloc(2)
+        b = KernelBuilder("k")
+        o = b.ptr_param("out")
+        p = b.setp(CompareOp.LT, 1, 2)  # true
+        b.st(o, 0, 7, pred=p)
+        b.st(o, 1, 7, pred=p, pred_negate=True)  # skipped
+        run(b, args={"out": out}, mem=mem)
+        assert list(mem.array(out)) == [7, 0]
+
+    def test_predicated_branch_both_ways(self):
+        mem = DeviceMemory()
+        out = mem.alloc(2)
+        b = KernelBuilder("k")
+        o = b.ptr_param("out")
+        tid = b.mov(b.tid())
+        p = b.setp(CompareOp.EQ, tid, 0)
+        b.bra("zero", pred=p)
+        b.st(o, 1, 20)
+        b.ret()
+        b.label("zero")
+        b.st(o, 0, 10)
+        run(b, block=2, args={"out": out}, mem=mem)
+        assert list(mem.array(out)) == [10, 20]
+
+
+class TestAtomics:
+    def test_shared_atomic_add_across_threads(self):
+        mem = DeviceMemory()
+        out = mem.alloc(1)
+        b = KernelBuilder("k")
+        o = b.ptr_param("out")
+        s = b.shared_buffer("s", 1)
+        b.atom_add(s, 0, 1)
+        b.bar()
+        tid = b.mov(b.tid())
+        p = b.setp(CompareOp.EQ, tid, 0)
+        b.st(o, 0, b.ld(s, 0), pred=p)
+        run(b, block=8, args={"out": out}, mem=mem)
+        assert mem.read(out, 0) == 8
+
+    def test_atomic_returns_distinct_tickets(self):
+        """Fetch-and-add gives each thread a unique slot — the property
+        the PTB task counter relies on."""
+        mem = DeviceMemory()
+        counter = mem.alloc(1, dtype=np.int64)
+        slots = mem.alloc(16)
+        b = KernelBuilder("k")
+        c = b.ptr_param("counter")
+        s = b.ptr_param("slots")
+        ticket = b.atom_add(c, 0, 1)
+        b.st(s, ticket, 1.0)
+        run(b, grid=4, block=4, args={"counter": counter, "slots": slots},
+            mem=mem)
+        assert list(mem.array(slots)) == [1.0] * 16
+
+    def test_global_atomic_cas_spinlock_pattern(self):
+        mem = DeviceMemory()
+        lock = mem.alloc(1)
+        total = mem.alloc(1)
+        b = KernelBuilder("k")
+        l = b.ptr_param("lock")
+        t = b.ptr_param("total")
+        b.label("spin")
+        old = b.atom_cas(l, 0, 0, 1)
+        p = b.setp(CompareOp.NE, old, 0)
+        b.bra("spin", pred=p)
+        b.st(t, 0, b.add(b.ld(t, 0), 1))
+        b.atom_exch(l, 0, 0)
+        run(b, grid=5, block=1, args={"lock": lock, "total": total}, mem=mem)
+        assert mem.read(total, 0) == 5
+
+
+class TestTypeBehaviour:
+    def test_mixed_int_float_arithmetic(self):
+        mem = DeviceMemory()
+        out = mem.alloc(1)
+        b = KernelBuilder("k")
+        o = b.ptr_param("out")
+        b.st(o, 0, b.mad(3, 0.5, 1))
+        run(b, args={"out": out}, mem=mem)
+        assert mem.read(out, 0) == 2.5
+
+    def test_bool_arithmetic_via_and_or(self):
+        mem = DeviceMemory()
+        out = mem.alloc(2)
+        b = KernelBuilder("k")
+        o = b.ptr_param("out")
+        p = b.setp(CompareOp.LT, 1, 2)
+        q = b.setp(CompareOp.LT, 2, 1)
+        b.st(o, 0, b.selp(1, 0, b.and_(p, q)))
+        b.st(o, 1, b.selp(1, 0, b.or_(p, q)))
+        run(b, args={"out": out}, mem=mem)
+        assert list(mem.array(out)) == [0, 1]
+
+    def test_non_integral_offset_rejected(self):
+        mem = DeviceMemory()
+        data = mem.alloc(4)
+        b = KernelBuilder("k")
+        d = b.ptr_param("data")
+        b.st(d, 1.5, 0.0)
+        with pytest.raises(ExecutionError, match="integer"):
+            run(b, args={"data": data}, mem=mem)
+
+    def test_integral_float_offset_accepted(self):
+        """Values round-tripped through f64 shared memory stay usable
+        as offsets (the cvt.s32 situation)."""
+        mem = DeviceMemory()
+        data = mem.alloc(4)
+        b = KernelBuilder("k")
+        d = b.ptr_param("data")
+        b.st(d, 2.0, 9.0)
+        run(b, args={"data": data}, mem=mem)
+        assert mem.read(data, 2) == 9.0
+
+    def test_load_from_scalar_rejected(self):
+        b = KernelBuilder("k")
+        n = b.i32_param("n")
+        b.ld(n, 0)
+        with pytest.raises(MemoryError_, match="non-pointer"):
+            run(b, args={"n": 5})

@@ -1,0 +1,141 @@
+"""Unit tests for the mini-PTX IR core types."""
+
+import pytest
+
+from repro.ptx import Dim3, Imm, Instr, KernelIR, Opcode, Param, ParamKind, Reg
+from repro.ptx.ir import Axis, SharedDecl, Special, SpecialKind
+
+
+class TestDim3:
+    def test_defaults_to_unit_extents(self):
+        d = Dim3()
+        assert (d.x, d.y, d.z) == (1, 1, 1)
+        assert d.total == 1
+
+    def test_total_is_product(self):
+        assert Dim3(4, 3, 2).total == 24
+
+    def test_rejects_non_positive_extents(self):
+        with pytest.raises(ValueError):
+            Dim3(0)
+        with pytest.raises(ValueError):
+            Dim3(2, -1)
+
+    def test_rejects_non_integer_extents(self):
+        with pytest.raises(ValueError):
+            Dim3(2.5)  # type: ignore[arg-type]
+
+    def test_linearize_delinearize_roundtrip(self):
+        d = Dim3(3, 4, 5)
+        for index in range(d.total):
+            x, y, z = d.delinearize(index)
+            assert d.linearize(x, y, z) == index
+
+    def test_delinearize_out_of_range(self):
+        with pytest.raises(ValueError):
+            Dim3(2, 2).delinearize(4)
+        with pytest.raises(ValueError):
+            Dim3(2, 2).delinearize(-1)
+
+    def test_of_coerces_int(self):
+        assert Dim3.of(7) == Dim3(7, 1, 1)
+
+    def test_of_coerces_sequence(self):
+        assert Dim3.of([2, 3]) == Dim3(2, 3, 1)
+        assert Dim3.of((2, 3, 4)) == Dim3(2, 3, 4)
+
+    def test_of_passes_through(self):
+        d = Dim3(5)
+        assert Dim3.of(d) is d
+
+    def test_of_rejects_bad_lengths(self):
+        with pytest.raises(ValueError):
+            Dim3.of([])
+        with pytest.raises(ValueError):
+            Dim3.of([1, 2, 3, 4])
+
+    def test_get_by_axis(self):
+        d = Dim3(2, 3, 4)
+        assert d.get(Axis.X) == 2
+        assert d.get(Axis.Y) == 3
+        assert d.get(Axis.Z) == 4
+
+    def test_iter_unpacks(self):
+        x, y, z = Dim3(6, 7, 8)
+        assert (x, y, z) == (6, 7, 8)
+
+
+class TestKernelIR:
+    def _kernel(self) -> KernelIR:
+        return KernelIR(
+            name="k",
+            params=[Param("a", ParamKind.PTR), Param("n", ParamKind.I32)],
+            shared=[SharedDecl("buf", 16)],
+            body=[
+                Instr(Opcode.MOV, dst=Reg("r0"), srcs=(Imm(1),), label="top"),
+                Instr(Opcode.RET),
+            ],
+        )
+
+    def test_param_names(self):
+        assert self._kernel().param_names() == ["a", "n"]
+
+    def test_has_param(self):
+        k = self._kernel()
+        assert k.has_param("a")
+        assert not k.has_param("zz")
+
+    def test_labels_map_to_indices(self):
+        assert self._kernel().labels() == {"top": 0}
+
+    def test_duplicate_labels_rejected(self):
+        k = self._kernel()
+        k.body.append(Instr(Opcode.RET, label="top"))
+        with pytest.raises(ValueError):
+            k.labels()
+
+    def test_copy_is_deep_for_body(self):
+        k = self._kernel()
+        k2 = k.copy()
+        k2.body[0].dst = Reg("changed")
+        assert k.body[0].dst == Reg("r0")
+
+    def test_uses_barrier(self):
+        k = self._kernel()
+        assert not k.uses_barrier()
+        k.body.insert(1, Instr(Opcode.BAR))
+        assert k.uses_barrier()
+
+    def test_reads_special(self):
+        k = self._kernel()
+        assert not k.reads_special(SpecialKind.CTAID)
+        k.body.insert(0, Instr(
+            Opcode.MOV, dst=Reg("r9"),
+            srcs=(Special(SpecialKind.CTAID, Axis.X),),
+        ))
+        assert k.reads_special(SpecialKind.CTAID)
+        assert not k.reads_special(SpecialKind.NCTAID)
+
+    def test_fresh_register_avoids_collisions(self):
+        k = self._kernel()
+        fresh = k.fresh_register("r0")
+        assert fresh.name != "r0"
+
+    def test_fresh_label_avoids_collisions(self):
+        k = self._kernel()
+        assert k.fresh_label("top") != "top"
+        assert k.fresh_label("other") == "other"
+
+
+class TestOperandRendering:
+    def test_reg_str(self):
+        assert str(Reg("r1")) == "%r1"
+
+    def test_special_str(self):
+        assert str(Special(SpecialKind.CTAID, Axis.Y)) == "%ctaid.y"
+
+    def test_param_decl_str(self):
+        assert str(Param("x", ParamKind.PTR)) == ".param .ptr x"
+
+    def test_shared_decl_str(self):
+        assert str(SharedDecl("s", 32)) == ".shared s[32]"

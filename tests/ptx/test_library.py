@@ -1,0 +1,91 @@
+"""Functional tests of the stock kernel corpus."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.ptx import Interpreter, case_names, make_case
+from repro.ptx.library import (
+    block_sum,
+    dot_product,
+    fold_halves,
+    matmul_tiled,
+    softmax_rows,
+)
+
+ALL_CASES = case_names()
+
+
+class TestCorpusCorrectness:
+    @pytest.mark.parametrize("name", ALL_CASES)
+    def test_case_matches_reference(self, name):
+        case = make_case(name, np.random.default_rng(101))
+        Interpreter(case.memory).launch(case.kernel, case.grid, case.block,
+                                        case.args)
+        case.check()
+
+    @pytest.mark.parametrize("name", ALL_CASES)
+    def test_block_order_independence(self, name):
+        """CUDA guarantees blocks may run in any order."""
+        case = make_case(name, np.random.default_rng(202))
+        Interpreter(case.memory).launch(
+            case.kernel, case.grid, case.block, case.args,
+            shuffle_blocks=random.Random(7),
+        )
+        case.check()
+
+    @pytest.mark.parametrize("name", ALL_CASES)
+    def test_case_factories_are_seed_deterministic(self, name):
+        a = make_case(name, np.random.default_rng(5))
+        b = make_case(name, np.random.default_rng(5))
+        assert a.grid == b.grid
+        assert a.block == b.block
+        for buffer, want in a.expected.items():
+            np.testing.assert_array_equal(want, b.expected[buffer])
+
+
+class TestFactoriesValidate:
+    def test_block_sum_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            block_sum(12)
+
+    def test_dot_product_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            dot_product(9)
+
+    def test_fold_halves_rejects_odd_block(self):
+        with pytest.raises(ValueError):
+            fold_halves(7)
+
+    def test_softmax_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            softmax_rows(6)
+
+    def test_matmul_tiled_rejects_zero_tile(self):
+        with pytest.raises(ValueError):
+            matmul_tiled(0)
+
+    def test_unknown_case_name(self):
+        with pytest.raises(KeyError):
+            make_case("nope")
+
+
+class TestKernelStructure:
+    def test_fold_halves_has_early_return_before_barrier(self):
+        """The hazard structure the unified-sync pass exists for."""
+        from repro.ptx import Opcode
+
+        kernel = fold_halves(8)
+        ops = [i.op for i in kernel.body]
+        ret_idx = next(i for i, instr in enumerate(kernel.body)
+                       if instr.op is Opcode.RET and instr.pred is not None)
+        bar_idx = ops.index(Opcode.BAR)
+        assert ret_idx < bar_idx
+
+    def test_softmax_uses_multiple_barriers(self):
+        from repro.ptx import Opcode
+
+        kernel = softmax_rows(8)
+        bars = sum(1 for i in kernel.body if i.op is Opcode.BAR)
+        assert bars >= 4  # two tree reductions with in-loop barriers

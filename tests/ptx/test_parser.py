@@ -1,0 +1,174 @@
+"""Tests for the textual mini-PTX parser (including round-trip properties)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ParseError
+from repro.ptx import (
+    Axis,
+    CompareOp,
+    Imm,
+    Interpreter,
+    Opcode,
+    ParamRef,
+    Reg,
+    SMemAddr,
+    Special,
+    SpecialKind,
+    case_names,
+    format_kernel,
+    make_case,
+    parse_kernel,
+    parse_operand,
+)
+from repro.transform import make_preemptible, make_sliced, make_unified_sync
+
+
+class TestParseOperand:
+    def test_register(self):
+        assert parse_operand("%r12") == Reg("r12")
+
+    def test_special(self):
+        assert parse_operand("%ctaid.y") == Special(SpecialKind.CTAID, Axis.Y)
+        assert parse_operand("%tid.x") == Special(SpecialKind.TID, Axis.X)
+
+    def test_param(self):
+        assert parse_operand("[alpha]") == ParamRef("alpha")
+
+    def test_shared(self):
+        assert parse_operand("@shared.tile") == SMemAddr("tile")
+
+    def test_numbers(self):
+        assert parse_operand("42") == Imm(42)
+        assert parse_operand("-7") == Imm(-7)
+        assert parse_operand("2.5") == Imm(2.5)
+        assert parse_operand("-1e30") == Imm(-1e30)
+
+    def test_booleans(self):
+        assert parse_operand("True") == Imm(True)
+        assert parse_operand("False") == Imm(False)
+
+    def test_garbage_rejected(self):
+        for bad in ("", "%", "hello world", "[unclosed", "1.2.3"):
+            with pytest.raises(ParseError):
+                parse_operand(bad)
+
+
+class TestParseKernel:
+    def test_minimal_kernel(self):
+        kernel = parse_kernel(".kernel k ()\n{\n    ret;\n}")
+        assert kernel.name == "k"
+        assert kernel.body[-1].op is Opcode.RET
+
+    def test_params_parsed(self):
+        text = """
+        .kernel k (.param .ptr x, .param .i32 n)
+        {
+            ret;
+        }
+        """
+        kernel = parse_kernel(text)
+        assert kernel.param_names() == ["x", "n"]
+
+    def test_shared_decl_parsed(self):
+        text = """
+        .kernel k ()
+        {
+            .shared tile[32];
+            ret;
+        }
+        """
+        kernel = parse_kernel(text)
+        assert kernel.shared_names() == ["tile"]
+        assert kernel.shared[0].size == 32
+
+    def test_labels_and_branches(self):
+        text = """
+        .kernel k ()
+        {
+          loop:
+            bra loop;
+        }
+        """
+        kernel = parse_kernel(text)
+        assert kernel.labels() == {"loop": 0}
+
+    def test_predicated_instruction(self):
+        text = """
+        .kernel k (.param .i32 n)
+        {
+            setp.ge %p, [n], 0;
+            @%p ret;
+            @!%p ret;
+            ret;
+        }
+        """
+        kernel = parse_kernel(text)
+        assert kernel.body[1].pred == Reg("p")
+        assert not kernel.body[1].pred_negate
+        assert kernel.body[2].pred_negate
+
+    def test_brx_table(self):
+        text = """
+        .kernel k ()
+        {
+          a:
+            nop;
+          b:
+            brx %i, {a, b};
+        }
+        """
+        kernel = parse_kernel(text, validate=False)
+        assert kernel.body[1].targets == ("a", "b")
+
+    def test_setp_comparison_parsed(self):
+        kernel = parse_kernel(
+            ".kernel k ()\n{\n    setp.ne %p, 1, 2;\n    ret;\n}")
+        assert kernel.body[0].cmp is CompareOp.NE
+
+    def test_comments_ignored(self):
+        kernel = parse_kernel(
+            ".kernel k ()\n{\n    // nothing to see\n    ret;\n}")
+        assert len(kernel.body) == 1
+
+    def test_errors(self):
+        with pytest.raises(ParseError):
+            parse_kernel("")
+        with pytest.raises(ParseError, match="header"):
+            parse_kernel("not a kernel")
+        with pytest.raises(ParseError, match="mnemonic"):
+            parse_kernel(".kernel k ()\n{\n    frobnicate;\n}")
+        with pytest.raises(ParseError, match="end with"):
+            parse_kernel(".kernel k ()\n{\n    ret;")
+        with pytest.raises(ParseError, match="parameter"):
+            parse_kernel(".kernel k (.param ptr x)\n{\n    ret;\n}")
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("name", case_names())
+    def test_corpus_round_trips(self, name):
+        case = make_case(name, np.random.default_rng(5))
+        text = format_kernel(case.kernel)
+        assert format_kernel(parse_kernel(text)) == text
+
+    @pytest.mark.parametrize("name", case_names())
+    def test_transformed_kernels_round_trip(self, name):
+        case = make_case(name, np.random.default_rng(6))
+        for variant in (make_sliced(case.kernel).kernel,
+                        make_unified_sync(case.kernel).kernel,
+                        make_preemptible(case.kernel).kernel):
+            text = format_kernel(variant)
+            assert format_kernel(parse_kernel(text)) == text
+
+    @given(st.sampled_from(case_names()),
+           st.integers(min_value=0, max_value=2**16))
+    @settings(max_examples=20, deadline=None)
+    def test_parsed_kernel_executes_identically(self, name, seed):
+        """Parsing the printed text yields a functionally equal kernel."""
+        case = make_case(name, np.random.default_rng(seed))
+        reparsed = parse_kernel(format_kernel(case.kernel))
+        Interpreter(case.memory).launch(reparsed, case.grid, case.block,
+                                        case.args)
+        case.check()

@@ -1,0 +1,121 @@
+"""Unit tests for kernel IR validation."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.ptx import (
+    CompareOp,
+    Imm,
+    Instr,
+    KernelIR,
+    Opcode,
+    Param,
+    ParamKind,
+    ParamRef,
+    Reg,
+    validate_kernel,
+)
+from repro.ptx.ir import SharedDecl, SMemAddr
+
+
+def _kernel(body, params=(), shared=()):
+    return KernelIR("k", list(params), list(shared), list(body))
+
+
+RET = Instr(Opcode.RET)
+
+
+class TestValidation:
+    def test_valid_minimal_kernel(self):
+        validate_kernel(_kernel([RET.copy()]))
+
+    def test_empty_body_rejected(self):
+        with pytest.raises(ValidationError, match="empty body"):
+            validate_kernel(_kernel([]))
+
+    def test_empty_name_rejected(self):
+        k = _kernel([RET.copy()])
+        k.name = ""
+        with pytest.raises(ValidationError, match="non-empty name"):
+            validate_kernel(k)
+
+    def test_wrong_operand_count(self):
+        bad = Instr(Opcode.ADD, dst=Reg("r"), srcs=(Imm(1),))
+        with pytest.raises(ValidationError, match="source operands"):
+            validate_kernel(_kernel([bad, RET.copy()]))
+
+    def test_missing_dst(self):
+        bad = Instr(Opcode.ADD, srcs=(Imm(1), Imm(2)))
+        with pytest.raises(ValidationError, match="destination"):
+            validate_kernel(_kernel([bad, RET.copy()]))
+
+    def test_unexpected_dst(self):
+        bad = Instr(Opcode.BAR, dst=Reg("r"))
+        with pytest.raises(ValidationError, match="unexpected destination"):
+            validate_kernel(_kernel([bad, RET.copy()]))
+
+    def test_setp_needs_cmp(self):
+        bad = Instr(Opcode.SETP, dst=Reg("p"), srcs=(Imm(1), Imm(2)))
+        with pytest.raises(ValidationError, match="comparison"):
+            validate_kernel(_kernel([bad, RET.copy()]))
+
+    def test_cmp_only_on_setp(self):
+        bad = Instr(Opcode.ADD, dst=Reg("r"), srcs=(Imm(1), Imm(2)),
+                    cmp=CompareOp.LT)
+        with pytest.raises(ValidationError, match="cmp only valid"):
+            validate_kernel(_kernel([bad, RET.copy()]))
+
+    def test_undefined_branch_target(self):
+        bad = Instr(Opcode.BRA, target="nowhere")
+        with pytest.raises(ValidationError, match="undefined label"):
+            validate_kernel(_kernel([bad, RET.copy()]))
+
+    def test_undefined_brx_target(self):
+        bad = Instr(Opcode.BRX, targets=("nowhere",), srcs=(Imm(0),))
+        with pytest.raises(ValidationError, match="undefined label"):
+            validate_kernel(_kernel([bad, RET.copy()]))
+
+    def test_empty_brx_table(self):
+        bad = Instr(Opcode.BRX, srcs=(Imm(0),))
+        with pytest.raises(ValidationError, match="label table"):
+            validate_kernel(_kernel([bad, RET.copy()]))
+
+    def test_predication_limited_to_allowed_ops(self):
+        bad = Instr(Opcode.ADD, dst=Reg("r"), srcs=(Imm(1), Imm(2)),
+                    pred=Reg("p"))
+        with pytest.raises(ValidationError, match="cannot be predicated"):
+            validate_kernel(_kernel([bad, RET.copy()]))
+
+    def test_undeclared_param_read(self):
+        bad = Instr(Opcode.MOV, dst=Reg("r"), srcs=(ParamRef("ghost"),))
+        with pytest.raises(ValidationError, match="undeclared parameter"):
+            validate_kernel(_kernel([bad, RET.copy()]))
+
+    def test_undeclared_shared_read(self):
+        bad = Instr(Opcode.MOV, dst=Reg("r"), srcs=(SMemAddr("ghost"),))
+        with pytest.raises(ValidationError, match="undeclared shared"):
+            validate_kernel(_kernel([bad, RET.copy()]))
+
+    def test_duplicate_params_rejected(self):
+        params = [Param("n", ParamKind.I32), Param("n", ParamKind.F32)]
+        with pytest.raises(ValidationError, match="duplicate parameters"):
+            validate_kernel(_kernel([RET.copy()], params=params))
+
+    def test_duplicate_shared_rejected(self):
+        shared = [SharedDecl("s", 2), SharedDecl("s", 4)]
+        with pytest.raises(ValidationError, match="duplicate shared"):
+            validate_kernel(_kernel([RET.copy()], shared=shared))
+
+    def test_fall_through_rejected(self):
+        body = [Instr(Opcode.MOV, dst=Reg("r"), srcs=(Imm(1),))]
+        with pytest.raises(ValidationError, match="fall through"):
+            validate_kernel(_kernel(body))
+
+    def test_predicated_ret_cannot_end_body(self):
+        body = [Instr(Opcode.RET, pred=Reg("p"))]
+        with pytest.raises(ValidationError, match="fall through"):
+            validate_kernel(_kernel(body))
+
+    def test_unconditional_bra_can_end_body(self):
+        body = [Instr(Opcode.BRA, target="top", label="top")]
+        validate_kernel(_kernel(body))

@@ -1,0 +1,114 @@
+"""Unit tests for the CUDA-like runtime API facade."""
+
+import numpy as np
+import pytest
+
+from repro.errors import RuntimeAPIError
+from repro.ptx.library import vector_add
+from repro.runtime import CudaRuntime, FatBinary
+
+
+@pytest.fixture
+def runtime():
+    rt = CudaRuntime()
+    rt.register_fat_binary(FatBinary.of("bin", [vector_add()]))
+    return rt
+
+
+class TestDeviceManagement:
+    def test_default_device(self, runtime):
+        assert runtime.get_device() == 0
+
+    def test_set_device_roundtrip(self):
+        rt = CudaRuntime(num_devices=4)
+        rt.set_device(3)
+        assert rt.get_device() == 3
+
+    def test_invalid_device_rejected(self, runtime):
+        with pytest.raises(RuntimeAPIError):
+            runtime.set_device(5)
+
+    def test_device_count(self):
+        assert CudaRuntime(num_devices=8).get_device_count() == 8
+
+    def test_api_calls_counted(self, runtime):
+        runtime.get_device()
+        runtime.get_device()
+        assert runtime.api_calls["cudaGetDevice"] == 2
+
+
+class TestStreams:
+    def test_stream_lifecycle(self, runtime):
+        s = runtime.stream_create()
+        assert s != 0
+        runtime.stream_synchronize(s)
+        runtime.stream_destroy(s)
+        with pytest.raises(RuntimeAPIError):
+            runtime.stream_synchronize(s)
+
+    def test_default_stream_cannot_be_destroyed(self, runtime):
+        with pytest.raises(RuntimeAPIError):
+            runtime.stream_destroy(0)
+
+    def test_launch_on_unknown_stream_rejected(self, runtime):
+        with pytest.raises(RuntimeAPIError):
+            runtime.launch_kernel("vector_add", 1, 1, {}, stream=99)
+
+
+class TestMemoryAndLaunch:
+    def test_end_to_end_computation(self, runtime):
+        n = 50
+        x = np.arange(n, dtype=float)
+        y = np.ones(n)
+        dx, dy, dout = (runtime.malloc(n) for _ in range(3))
+        runtime.memcpy_h2d(dx, x)
+        runtime.memcpy_h2d(dy, y)
+        runtime.launch_kernel("vector_add", (4,), (16,),
+                              {"x": dx, "y": dy, "out": dout, "n": n})
+        np.testing.assert_allclose(runtime.memcpy_d2h(dout, n), x + 1)
+
+    def test_launch_missing_args_rejected(self, runtime):
+        with pytest.raises(RuntimeAPIError, match="missing"):
+            runtime.launch_kernel("vector_add", (1,), (1,), {})
+
+    def test_launch_unknown_kernel_rejected(self, runtime):
+        with pytest.raises(RuntimeAPIError):
+            runtime.launch_kernel("ghost", (1,), (1,), {})
+
+    def test_free_then_use_rejected(self, runtime):
+        ref = runtime.malloc(4)
+        runtime.free(ref)
+        with pytest.raises(RuntimeAPIError):
+            runtime.memcpy_d2h(ref, 4)
+
+    def test_oversized_copy_rejected(self, runtime):
+        ref = runtime.malloc(4)
+        with pytest.raises(RuntimeAPIError):
+            runtime.memcpy_h2d(ref, np.zeros(10))
+
+    def test_malloc_invalid_size(self, runtime):
+        with pytest.raises(RuntimeAPIError):
+            runtime.malloc(0)
+
+
+class TestMemoryManagerAccounting:
+    def test_live_buffers_tracked(self):
+        from repro.runtime import MemoryManager
+
+        mm = MemoryManager()
+        a = mm.malloc(10)
+        b = mm.malloc(20)
+        assert mm.live_buffers() == 2
+        assert mm.live_bytes() == 30
+        mm.free(a)
+        assert mm.live_buffers() == 1
+        mm.free(b)
+        assert mm.live_bytes() == 0
+
+    def test_memset(self):
+        from repro.runtime import MemoryManager
+
+        mm = MemoryManager()
+        ref = mm.malloc(5)
+        mm.memset(ref, 7.0, 5)
+        np.testing.assert_array_equal(mm.memcpy_d2h(ref, 5), np.full(5, 7.0))

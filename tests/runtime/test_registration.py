@@ -1,0 +1,48 @@
+"""Unit tests for device-code registration."""
+
+import pytest
+
+from repro.errors import RuntimeAPIError
+from repro.ptx.library import saxpy, vector_add
+from repro.runtime import FatBinary, ModuleRegistry
+
+
+class TestFatBinary:
+    def test_of_builds_and_lists_kernels(self):
+        fb = FatBinary.of("bin", [vector_add(), saxpy()])
+        assert fb.kernel_names() == ["vector_add", "saxpy"]
+
+    def test_duplicate_kernel_names_rejected(self):
+        with pytest.raises(RuntimeAPIError, match="duplicate"):
+            FatBinary.of("bin", [vector_add(), vector_add()])
+
+
+class TestModuleRegistry:
+    def test_register_and_lookup(self):
+        registry = ModuleRegistry()
+        registry.register(FatBinary.of("bin", [vector_add()]))
+        kernel = registry.lookup("vector_add")
+        assert kernel.name == "vector_add"
+        assert "vector_add" in registry
+        assert len(registry) == 1
+
+    def test_lookup_unknown_kernel(self):
+        with pytest.raises(RuntimeAPIError, match="not registered"):
+            ModuleRegistry().lookup("ghost")
+
+    def test_duplicate_binary_rejected(self):
+        registry = ModuleRegistry()
+        registry.register(FatBinary.of("bin", [vector_add()]))
+        with pytest.raises(RuntimeAPIError, match="already registered"):
+            registry.register(FatBinary.of("bin", [saxpy()]))
+
+    def test_cross_binary_kernel_clash_rejected(self):
+        registry = ModuleRegistry()
+        registry.register(FatBinary.of("a", [vector_add()]))
+        with pytest.raises(RuntimeAPIError, match="redefines"):
+            registry.register(FatBinary.of("b", [vector_add()]))
+
+    def test_kernel_names_sorted(self):
+        registry = ModuleRegistry()
+        registry.register(FatBinary.of("a", [vector_add(), saxpy()]))
+        assert registry.kernel_names() == ["saxpy", "vector_add"]

@@ -1,0 +1,57 @@
+"""Public API surface smoke tests."""
+
+import repro
+
+
+class TestPackageSurface:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_subpackages_importable(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+    def test_error_hierarchy_is_catchable(self):
+        from repro.errors import (
+            ExecutionError,
+            GPUSimError,
+            HarnessError,
+            ParseError,
+            PTXError,
+            ReproError,
+            SchedulerError,
+            SyncDivergenceError,
+            TransformError,
+            ValidationError,
+            VirtError,
+            WorkloadError,
+        )
+
+        for exc in (PTXError, ValidationError, ParseError, ExecutionError,
+                    SyncDivergenceError, TransformError, GPUSimError,
+                    SchedulerError, VirtError, WorkloadError, HarnessError):
+            assert issubclass(exc, ReproError)
+
+    def test_docstrings_on_public_modules(self):
+        import repro.baselines
+        import repro.core
+        import repro.gpu
+        import repro.harness
+        import repro.ptx
+        import repro.transform
+
+        for module in (repro, repro.ptx, repro.transform, repro.gpu,
+                       repro.core, repro.baselines, repro.harness):
+            assert module.__doc__ and len(module.__doc__) > 40
+
+    def test_quickstart_snippet_from_docstring(self):
+        """The usage example in the package docstring actually runs."""
+        from repro.harness import JobSpec, RunConfig, run_colocation
+
+        result = run_colocation(
+            "Tally",
+            [JobSpec.inference("resnet50_infer", load=0.2),
+             JobSpec.training("pointnet_train")],
+            RunConfig(duration=2.0, warmup=0.5),
+        )
+        assert result.job("resnet50_infer#0").latency is not None

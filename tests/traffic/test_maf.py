@@ -1,0 +1,126 @@
+"""Tests for the synthetic traffic generators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import WorkloadError
+from repro.traffic import (
+    TrafficTrace,
+    bursty_trace,
+    maf_trace,
+    poisson_trace,
+    profile_trace,
+    rate_for_load,
+)
+
+
+class TestTrafficTrace:
+    def test_validates_sorted_within_horizon(self):
+        with pytest.raises(WorkloadError):
+            TrafficTrace(np.array([2.0, 1.0]), horizon=10.0)
+        with pytest.raises(WorkloadError):
+            TrafficTrace(np.array([5.0, 11.0]), horizon=10.0)
+        with pytest.raises(WorkloadError):
+            TrafficTrace(np.array([-1.0]), horizon=10.0)
+
+    def test_offered_load(self):
+        trace = TrafficTrace(np.linspace(0, 9.99, 100), horizon=10.0)
+        assert trace.mean_rate == pytest.approx(10.0)
+        assert trace.offered_load(0.05) == pytest.approx(0.5)
+
+
+class TestRateForLoad:
+    def test_basic(self):
+        assert rate_for_load(0.5, 4e-3) == pytest.approx(125.0)
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            rate_for_load(0.0, 1e-3)
+        with pytest.raises(WorkloadError):
+            rate_for_load(1.5, 1e-3)
+        with pytest.raises(WorkloadError):
+            rate_for_load(0.5, 0.0)
+
+
+class TestPoisson:
+    def test_mean_rate_close_to_target(self):
+        trace = poisson_trace(100.0, 50.0, seed=1)
+        assert trace.mean_rate == pytest.approx(100.0, rel=0.1)
+
+    def test_deterministic_by_seed(self):
+        a = poisson_trace(50.0, 10.0, seed=3)
+        b = poisson_trace(50.0, 10.0, seed=3)
+        np.testing.assert_array_equal(a.arrivals, b.arrivals)
+
+
+class TestBursty:
+    @given(load=st.sampled_from([0.1, 0.3, 0.5, 0.8]),
+           seed=st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=15, deadline=None)
+    def test_average_load_hits_target(self, load, seed):
+        service = 4e-3
+        trace = bursty_trace(load, service, 200.0, seed=seed)
+        assert trace.offered_load(service) == pytest.approx(load, rel=0.3)
+
+    def test_burstiness_visible_at_low_load(self):
+        trace = bursty_trace(0.1, 4e-3, 120.0, burst_ratio=20.0, seed=5)
+        counts, _ = np.histogram(trace.arrivals,
+                                 bins=np.arange(0, 121, 1.0))
+        assert counts.max() > 3 * max(counts.mean(), 1.0)
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            bursty_trace(0.5, 4e-3, 10.0, burst_ratio=0.5)
+
+
+class TestMAFReplay:
+    @given(load=st.sampled_from([0.1, 0.3, 0.5, 0.7]),
+           seed=st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=15, deadline=None)
+    def test_average_load_hits_target(self, load, seed):
+        service = 4e-3
+        trace = maf_trace(load, service, 180.0, seed=seed)
+        assert trace.offered_load(service) == pytest.approx(load, rel=0.3)
+
+    def test_arrivals_evenly_spaced_within_seconds(self):
+        """The property that keeps the ideal service queue-free."""
+        trace = maf_trace(0.5, 4e-3, 30.0, spike_probability=0.0, seed=2)
+        in_second = trace.arrivals[(trace.arrivals >= 3.0)
+                                   & (trace.arrivals < 4.0)]
+        gaps = np.diff(in_second)
+        assert gaps.max() < 3.0 * gaps.mean()
+
+    def test_spikes_capped_below_capacity(self):
+        service = 4e-3
+        trace = maf_trace(0.3, service, 120.0, spike_probability=0.05,
+                          spike_ratio=50.0, seed=4)
+        counts, _ = np.histogram(trace.arrivals,
+                                 bins=np.arange(0, 121, 1.0))
+        assert counts.max() <= 1.1 * 0.9 / service
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            maf_trace(0.5, 4e-3, 10.0, base_fraction=0.0)
+        with pytest.raises(WorkloadError):
+            maf_trace(0.5, 4e-3, 10.0, spike_ratio=0.5)
+        with pytest.raises(WorkloadError):
+            maf_trace(0.5, 4e-3, 10.0, spike_probability=2.0)
+
+
+class TestProfile:
+    def test_segment_rates_respected(self):
+        trace = profile_trace([100.0, 0.0, 100.0], 5.0, seed=6)
+        assert trace.horizon == pytest.approx(15.0)
+        middle = trace.arrivals[(trace.arrivals >= 5.0)
+                                & (trace.arrivals < 10.0)]
+        assert len(middle) == 0
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            profile_trace([], 1.0)
+        with pytest.raises(WorkloadError):
+            profile_trace([1.0], 0.0)
+        with pytest.raises(WorkloadError):
+            profile_trace([-1.0], 1.0)

@@ -1,0 +1,138 @@
+"""Tests for the peephole cleanup pass."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.ptx import (
+    Interpreter,
+    KernelBuilder,
+    Opcode,
+    case_names,
+    make_case,
+    validate_kernel,
+)
+from repro.transform import make_preemptible, make_sliced, make_unified_sync
+from repro.transform.peephole import peephole_optimize
+
+
+class TestNopElision:
+    def test_plain_nops_removed(self):
+        b = KernelBuilder("k")
+        b.nop()
+        b.mov(1)
+        b.nop()
+        kernel = b.build()
+        optimized, stats = peephole_optimize(kernel)
+        assert stats.nops_removed == 2
+        assert all(i.op is not Opcode.NOP for i in optimized.body)
+
+    def test_labelled_nop_migrates_label(self):
+        b = KernelBuilder("k")
+        b.bra("target")
+        b.label("target")
+        b.nop()
+        b.mov(1)
+        kernel = b.build()
+        optimized, _stats = peephole_optimize(kernel)
+        labels = optimized.labels()
+        assert "target" in labels
+        assert optimized.body[labels["target"]].op is Opcode.MOV
+
+    def test_label_run_collapses_with_alias_rewrite(self):
+        b = KernelBuilder("k")
+        b.bra("a")
+        b.label("a")
+        b.nop()
+        b.label("b")
+        b.nop()
+        b.mov(1)
+        b.bra("b")
+        kernel = b.build(validate=True)
+        optimized, _stats = peephole_optimize(kernel)
+        # Both labels resolved to one survivor and references follow.
+        validate_kernel(optimized)
+        names = {i.target for i in optimized.body if i.target}
+        assert len(names) == 1
+
+    def test_trailing_labelled_nop_keeps_carrier(self):
+        b = KernelBuilder("k")
+        b.bra("end")
+        b.label("end")
+        kernel = b.build()  # build appends NOP carrier + ret
+        optimized, _stats = peephole_optimize(kernel)
+        validate_kernel(optimized)
+        assert "end" in optimized.labels()
+
+
+class TestUnreachableRemoval:
+    def test_code_after_unconditional_ret_removed(self):
+        b = KernelBuilder("k")
+        b.ret()
+        b.mov(42)  # unreachable
+        b.ret()
+        kernel = b.build(validate=False)
+        optimized, stats = peephole_optimize(kernel)
+        assert stats.unreachable_removed == 2
+        assert len(optimized.body) == 1
+
+    def test_brx_targets_stay_reachable(self):
+        b = KernelBuilder("k")
+        sel = b.i32_param("sel")
+        b.brx(["a", "b"], sel)
+        b.label("a")
+        b.ret()
+        b.label("b")
+        b.ret()
+        kernel = b.build(validate=False)
+        optimized, stats = peephole_optimize(kernel)
+        assert stats.unreachable_removed <= 1  # only the builder's ret
+        assert {"a", "b"} <= set(optimized.labels())
+
+    def test_predicated_ret_keeps_fallthrough(self):
+        b = KernelBuilder("k")
+        p = b.setp_reg = b.setp(__import__("repro.ptx", fromlist=["CompareOp"]).CompareOp.LT, 1, 2)
+        b.ret(pred=p)
+        b.mov(5)
+        kernel = b.build()
+        optimized, stats = peephole_optimize(kernel)
+        assert any(i.op is Opcode.MOV for i in optimized.body)
+
+
+class TestSemanticsPreserved:
+    @pytest.mark.parametrize("name", case_names())
+    def test_corpus_unchanged_behaviour(self, name):
+        case = make_case(name, np.random.default_rng(77))
+        optimized, _stats = peephole_optimize(case.kernel)
+        Interpreter(case.memory).launch(optimized, case.grid, case.block,
+                                        case.args)
+        case.check()
+
+    @given(st.sampled_from(case_names()),
+           st.integers(min_value=0, max_value=2**16))
+    @settings(max_examples=15, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_optimized_transformed_kernels_still_correct(self, name, seed):
+        case = make_case(name, np.random.default_rng(seed))
+        pk = make_preemptible(case.kernel)
+        optimized, stats = peephole_optimize(pk.kernel)
+        assert stats.total_removed >= 0
+        control = pk.make_control(case.memory)
+        args = pk.args_for(case.args, case.grid, control)
+        Interpreter(case.memory).launch(optimized, pk.worker_grid(2),
+                                        case.block, args)
+        case.check()
+
+    def test_transformed_kernels_do_shrink(self):
+        """The PTB pipeline leaves NOP carriers and an unreachable
+        safety ret that the optimizer reclaims (slicing emits neither)."""
+        case = make_case("softmax_rows", np.random.default_rng(1))
+        for variant in (make_unified_sync(case.kernel).kernel,
+                        make_preemptible(case.kernel).kernel):
+            optimized, stats = peephole_optimize(variant)
+            assert stats.total_removed > 0
+            assert optimized.instruction_count() < variant.instruction_count()
+        sliced = make_sliced(case.kernel).kernel
+        optimized, stats = peephole_optimize(sliced)
+        assert optimized.instruction_count() <= sliced.instruction_count()

@@ -1,0 +1,42 @@
+"""Tests for the transformation pipeline cache."""
+
+import numpy as np
+
+from repro.ptx import make_case
+from repro.transform import TransformPipeline
+
+
+class TestPipelineCaching:
+    def test_sliced_is_cached(self):
+        pipeline = TransformPipeline()
+        case = make_case("vector_add", np.random.default_rng(1))
+        a = pipeline.sliced(case.kernel)
+        b = pipeline.sliced(case.kernel)
+        assert a is b
+        assert pipeline.stats.sliced == 1
+        assert pipeline.stats.cache_hits == 1
+
+    def test_preemptible_is_cached_per_mode(self):
+        pipeline = TransformPipeline()
+        case = make_case("vector_add", np.random.default_rng(2))
+        safe = pipeline.preemptible(case.kernel)
+        naive = pipeline.preemptible(case.kernel, unified_sync=False)
+        assert safe is not naive
+        assert pipeline.preemptible(case.kernel) is safe
+        assert pipeline.stats.preemptible == 2
+
+    def test_unified_sync_is_cached(self):
+        pipeline = TransformPipeline()
+        case = make_case("block_sum", np.random.default_rng(3))
+        a = pipeline.unified_sync(case.kernel)
+        assert pipeline.unified_sync(case.kernel) is a
+        assert pipeline.stats.unified_sync == 1
+
+    def test_distinct_kernels_not_conflated(self):
+        pipeline = TransformPipeline()
+        a = make_case("vector_add", np.random.default_rng(4))
+        b = make_case("saxpy", np.random.default_rng(4))
+        sa = pipeline.sliced(a.kernel)
+        sb = pipeline.sliced(b.kernel)
+        assert sa is not sb
+        assert pipeline.stats.sliced == 2

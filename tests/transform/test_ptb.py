@@ -1,0 +1,154 @@
+"""Functional tests of the preemption (PTB) transformation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SyncDivergenceError, TransformError
+from repro.ptx import Interpreter, case_names, make_case, validate_kernel
+from repro.transform import make_preemptible
+from repro.transform.ptb import COUNTER_PARAM, FLAG_PARAM
+
+ALL_CASES = case_names()
+
+
+def run_ptb(case, workers, unified_sync=True, interp=None):
+    pk = make_preemptible(case.kernel, unified_sync=unified_sync)
+    control = pk.make_control(case.memory)
+    args = pk.args_for(case.args, case.grid, control)
+    interp = interp if interp is not None else Interpreter(case.memory)
+    interp.memory = case.memory
+    interp.launch(pk.kernel, pk.worker_grid(workers), case.block, args)
+    return pk, control
+
+
+class TestPTBSemantics:
+    @pytest.mark.parametrize("name", ALL_CASES)
+    @pytest.mark.parametrize("workers", [1, 3])
+    def test_preserves_output(self, name, workers):
+        case = make_case(name, np.random.default_rng(61 + workers))
+        run_ptb(case, workers)
+        case.check()
+
+    @pytest.mark.parametrize("name", ALL_CASES)
+    def test_more_workers_than_tasks(self, name):
+        case = make_case(name, np.random.default_rng(64))
+        run_ptb(case, workers=case.grid.total + 5)
+        case.check()
+
+    @pytest.mark.parametrize("name", ALL_CASES)
+    def test_transformed_kernel_validates(self, name):
+        case = make_case(name, np.random.default_rng(65))
+        validate_kernel(make_preemptible(case.kernel).kernel)
+
+    def test_task_counter_reflects_total(self):
+        case = make_case("iota", np.random.default_rng(66))
+        _pk, control = run_ptb(case, workers=2)
+        # Workers over-fetch one task each past the end.
+        assert control.tasks_started() >= case.grid.total
+
+
+class TestPreemptionAndResume:
+    def test_flag_set_before_launch_runs_nothing(self):
+        case = make_case("iota", np.random.default_rng(67))
+        pk = make_preemptible(case.kernel)
+        control = pk.make_control(case.memory)
+        control.request_preemption()
+        args = pk.args_for(case.args, case.grid, control)
+        Interpreter(case.memory).launch(pk.kernel, pk.worker_grid(2),
+                                        case.block, args)
+        assert control.tasks_started() == 0
+
+    def test_mid_kernel_preemption_then_resume(self):
+        case = make_case("matmul_tiled", np.random.default_rng(68))
+        pk = make_preemptible(case.kernel)
+        control = pk.make_control(case.memory)
+        args = pk.args_for(case.args, case.grid, control)
+
+        interp = Interpreter(case.memory,
+                             instr_hook=lambda _i: control.request_preemption(),
+                             hook_interval=3000)
+        interp.launch(pk.kernel, pk.worker_grid(2), case.block, args)
+        started = control.tasks_started()
+        assert started < case.grid.total, "expected an early stop"
+
+        control.clear_preemption()
+        Interpreter(case.memory).launch(pk.kernel, pk.worker_grid(2),
+                                        case.block, args)
+        case.check()
+
+    def test_repeated_preempt_resume_cycles(self):
+        case = make_case("block_sum", np.random.default_rng(69))
+        pk = make_preemptible(case.kernel)
+        control = pk.make_control(case.memory)
+        args = pk.args_for(case.args, case.grid, control)
+        for _round in range(20):
+            control.clear_preemption()
+            interp = Interpreter(
+                case.memory,
+                instr_hook=lambda _i: control.request_preemption(),
+                hook_interval=700,
+            )
+            interp.launch(pk.kernel, pk.worker_grid(1), case.block, args)
+            if control.tasks_started() >= case.grid.total:
+                break
+        control.clear_preemption()
+        Interpreter(case.memory).launch(pk.kernel, pk.worker_grid(1),
+                                        case.block, args)
+        case.check()
+
+    def test_control_reset(self):
+        case = make_case("iota", np.random.default_rng(70))
+        pk = make_preemptible(case.kernel)
+        control = pk.make_control(case.memory)
+        args = pk.args_for(case.args, case.grid, control)
+        Interpreter(case.memory).launch(pk.kernel, pk.worker_grid(2),
+                                        case.block, args)
+        control.reset()
+        assert control.tasks_started() == 0
+
+
+class TestNaiveHazard:
+    def test_naive_transform_stalls_on_hazard_kernel(self):
+        """Early-return + barrier kernels deadlock without unified sync
+        — the stall the paper's prepositional pass exists to prevent."""
+        case = make_case("fold_halves", np.random.default_rng(71))
+        with pytest.raises(SyncDivergenceError):
+            run_ptb(case, workers=2, unified_sync=False)
+
+    def test_naive_transform_ok_for_barrier_free_kernels(self):
+        case = make_case("vector_add", np.random.default_rng(72))
+        run_ptb(case, workers=2, unified_sync=False)
+        case.check()
+
+    def test_unified_sync_fixes_hazard(self):
+        case = make_case("fold_halves", np.random.default_rng(73))
+        run_ptb(case, workers=2, unified_sync=True)
+        case.check()
+
+
+class TestPTBShape:
+    def test_adds_control_params(self):
+        case = make_case("iota", np.random.default_rng(74))
+        pk = make_preemptible(case.kernel)
+        names = pk.kernel.param_names()
+        assert COUNTER_PARAM in names
+        assert FLAG_PARAM in names
+
+    def test_meta_records_passes(self):
+        case = make_case("iota", np.random.default_rng(75))
+        assert make_preemptible(case.kernel).meta.passes == (
+            "unified_sync", "preemption")
+        assert make_preemptible(case.kernel, unified_sync=False).meta.passes == (
+            "preemption",)
+
+    def test_rejects_reserved_names(self):
+        case = make_case("iota", np.random.default_rng(76))
+        pk = make_preemptible(case.kernel)
+        with pytest.raises(TransformError, match="reserved"):
+            make_preemptible(pk.kernel)
+
+    def test_worker_grid_validation(self):
+        case = make_case("iota", np.random.default_rng(77))
+        pk = make_preemptible(case.kernel)
+        with pytest.raises(TransformError):
+            pk.worker_grid(0)

@@ -1,0 +1,122 @@
+"""Functional tests of the slicing transformation (paper Fig. 2a)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TransformError
+from repro.ptx import Dim3, Interpreter, case_names, make_case
+from repro.transform import make_sliced, plan_slices
+from repro.transform.slicing import GRID_PARAMS, OFFSET_PARAM
+
+ALL_CASES = case_names()
+
+
+def run_sliced(case, blocks_per_slice):
+    sliced = make_sliced(case.kernel)
+    interp = Interpreter(case.memory)
+    for launch in sliced.plan(case.grid, blocks_per_slice):
+        args = sliced.args_for(case.args, case.grid, launch.offset)
+        interp.launch(sliced.kernel, launch.grid, case.block, args)
+    case.check()
+    return sliced
+
+
+class TestPlanSlices:
+    def test_covers_every_block_exactly_once(self):
+        launches = plan_slices(Dim3(5, 3, 2), 7)
+        covered = []
+        for launch in launches:
+            covered.extend(range(launch.offset, launch.offset + launch.blocks))
+        assert covered == list(range(30))
+
+    def test_last_slice_is_remainder(self):
+        launches = plan_slices(Dim3(10), 4)
+        assert [l.blocks for l in launches] == [4, 4, 2]
+
+    def test_single_slice_when_large(self):
+        launches = plan_slices(Dim3(4), 100)
+        assert len(launches) == 1
+        assert launches[0].blocks == 4
+
+    def test_rejects_bad_slice_size(self):
+        with pytest.raises(TransformError):
+            plan_slices(Dim3(4), 0)
+
+
+class TestSlicingSemantics:
+    @pytest.mark.parametrize("name", ALL_CASES)
+    def test_preserves_output_small_slices(self, name):
+        case = make_case(name, np.random.default_rng(31))
+        run_sliced(case, blocks_per_slice=1)
+
+    @pytest.mark.parametrize("name", ALL_CASES)
+    def test_preserves_output_medium_slices(self, name):
+        case = make_case(name, np.random.default_rng(32))
+        run_sliced(case, blocks_per_slice=3)
+
+    @pytest.mark.parametrize("name", ALL_CASES)
+    def test_preserves_output_oversized_slice(self, name):
+        """One slice covering the whole grid == original execution."""
+        case = make_case(name, np.random.default_rng(33))
+        run_sliced(case, blocks_per_slice=10_000)
+
+    def test_slices_executable_in_any_order(self):
+        case = make_case("matmul_tiled", np.random.default_rng(34))
+        sliced = make_sliced(case.kernel)
+        launches = sliced.plan(case.grid, 2)
+        interp = Interpreter(case.memory)
+        for launch in reversed(launches):
+            args = sliced.args_for(case.args, case.grid, launch.offset)
+            interp.launch(sliced.kernel, launch.grid, case.block, args)
+        case.check()
+
+
+class TestSlicedKernelShape:
+    def test_adds_offset_and_grid_params(self):
+        case = make_case("vector_add", np.random.default_rng(35))
+        sliced = make_sliced(case.kernel)
+        names = sliced.kernel.param_names()
+        assert OFFSET_PARAM in names
+        for p in GRID_PARAMS:
+            assert p in names
+
+    def test_original_params_preserved(self):
+        case = make_case("saxpy", np.random.default_rng(36))
+        sliced = make_sliced(case.kernel)
+        for p in case.kernel.param_names():
+            assert sliced.kernel.has_param(p)
+
+    def test_no_raw_ctaid_reads_remain(self):
+        from repro.ptx import Special, SpecialKind
+        from repro.ptx.ir import Axis
+
+        case = make_case("grid3d_stamp", np.random.default_rng(37))
+        sliced = make_sliced(case.kernel)
+        # The logical grid dimensions come from parameters now.
+        assert not sliced.kernel.reads_special(SpecialKind.NCTAID)
+        # The only physical block-index read left is the prologue's
+        # ctaid.x (the slice-local linear index); y/z are never read.
+        ctaid_reads = [
+            src for instr in sliced.kernel.body for src in instr.srcs
+            if isinstance(src, Special) and src.kind is SpecialKind.CTAID
+        ]
+        assert ctaid_reads == [Special(SpecialKind.CTAID, Axis.X)]
+
+    def test_meta_records_pass(self):
+        case = make_case("iota", np.random.default_rng(38))
+        sliced = make_sliced(case.kernel)
+        assert sliced.meta.original_name == "iota"
+        assert "slicing" in sliced.meta.passes
+
+    def test_double_transformation_rejected(self):
+        case = make_case("iota", np.random.default_rng(39))
+        sliced = make_sliced(case.kernel)
+        with pytest.raises(TransformError, match="reserved"):
+            make_sliced(sliced.kernel)
+
+    def test_transformed_kernel_validates(self):
+        from repro.ptx import validate_kernel
+
+        for name in ALL_CASES:
+            case = make_case(name, np.random.default_rng(40))
+            validate_kernel(make_sliced(case.kernel).kernel)

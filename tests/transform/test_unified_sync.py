@@ -1,0 +1,88 @@
+"""Functional tests of the unified synchronization transformation (Fig. 2b)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TransformError
+from repro.ptx import Interpreter, Opcode, case_names, make_case, validate_kernel
+from repro.transform import make_unified_sync
+
+ALL_CASES = case_names()
+
+
+class TestUnifiedSyncSemantics:
+    @pytest.mark.parametrize("name", ALL_CASES)
+    def test_preserves_output(self, name):
+        case = make_case(name, np.random.default_rng(51))
+        usync = make_unified_sync(case.kernel)
+        Interpreter(case.memory).launch(usync.kernel, case.grid, case.block,
+                                        case.args)
+        case.check()
+
+    @pytest.mark.parametrize("name", ALL_CASES)
+    def test_transformed_kernel_validates(self, name):
+        case = make_case(name, np.random.default_rng(52))
+        validate_kernel(make_unified_sync(case.kernel).kernel)
+
+
+class TestUnifiedSyncStructure:
+    def test_single_barrier_region(self):
+        """All original barriers are funnelled to the unified point.
+
+        The transformed body keeps only the transformation's own
+        barriers: the prologue reset barrier and the two barriers of the
+        sync point (arrival + counter-snapshot).
+        """
+        case = make_case("softmax_rows", np.random.default_rng(53))
+        assert sum(1 for i in case.kernel.body if i.op is Opcode.BAR) >= 4
+        usync = make_unified_sync(case.kernel)
+        bars = sum(1 for i in usync.kernel.body if i.op is Opcode.BAR)
+        assert bars == 3
+
+    def test_single_exit_ret(self):
+        case = make_case("fold_halves", np.random.default_rng(54))
+        usync = make_unified_sync(case.kernel)
+        rets = [i for i in usync.kernel.body if i.op is Opcode.RET]
+        assert len(rets) == 1
+        assert rets[0].label == usync.exit_label
+
+    def test_counts_sites(self):
+        case = make_case("block_sum", np.random.default_rng(55))
+        original_bars = sum(1 for i in case.kernel.body
+                            if i.op is Opcode.BAR)
+        original_rets = sum(1 for i in case.kernel.body
+                            if i.op is Opcode.RET)
+        usync = make_unified_sync(case.kernel)
+        assert usync.sync_sites == original_bars
+        assert usync.return_sites == original_rets
+
+    def test_adds_counter_shared_buffer(self):
+        case = make_case("vector_add", np.random.default_rng(56))
+        usync = make_unified_sync(case.kernel)
+        assert usync.count_buffer in usync.kernel.shared_names()
+
+    def test_rejects_reserved_names(self):
+        case = make_case("iota", np.random.default_rng(57))
+        usync = make_unified_sync(case.kernel)
+        with pytest.raises(TransformError, match="reserved"):
+            make_unified_sync(usync.kernel)
+
+    def test_meta_records_pass(self):
+        case = make_case("iota", np.random.default_rng(58))
+        usync = make_unified_sync(case.kernel)
+        assert usync.meta.passes == ("unified_sync",)
+
+
+class TestUnifiedSyncStress:
+    def test_many_block_shapes(self):
+        """The exit protocol must work for any block size."""
+        for block in (1, 2, 3, 5, 8, 16):
+            case = make_case("vector_add", np.random.default_rng(59))
+            usync = make_unified_sync(case.kernel)
+            # Re-run on fresh memory with an adjusted block size: grid
+            # large enough to cover n.
+            n = case.args["n"]
+            grid = -(-max(n, 1) // block) + 1
+            Interpreter(case.memory).launch(usync.kernel, grid, block,
+                                            case.args)
+            case.check()

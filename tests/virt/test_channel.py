@@ -1,0 +1,83 @@
+"""Unit tests for channels and the wire protocol."""
+
+import numpy as np
+import pytest
+
+from repro.errors import VirtError
+from repro.ptx.interpreter import GlobalRef
+from repro.ptx.ir import Dim3
+from repro.ptx.library import vector_add
+from repro.runtime import FatBinary
+from repro.virt import (
+    Channel,
+    LaunchKernelRequest,
+    MallocRequest,
+    MemcpyH2DRequest,
+    RegisterBinaryRequest,
+    Response,
+    SHARED_MEMORY,
+    UNIX_SOCKET,
+    estimate_size,
+)
+
+
+class TestResponse:
+    def test_success(self):
+        r = Response.success(42)
+        assert r.ok and r.value == 42 and r.error is None
+
+    def test_failure(self):
+        r = Response.failure("boom")
+        assert not r.ok and r.error == "boom"
+
+
+class TestEstimateSize:
+    def test_memcpy_scales_with_payload(self):
+        small = MemcpyH2DRequest("c", GlobalRef("b"), np.zeros(10))
+        large = MemcpyH2DRequest("c", GlobalRef("b"), np.zeros(10_000))
+        assert estimate_size(large) > estimate_size(small)
+
+    def test_register_scales_with_code_size(self):
+        fb = FatBinary.of("bin", [vector_add()])
+        req = RegisterBinaryRequest("c", fb)
+        assert estimate_size(req) > estimate_size(MallocRequest("c", 1))
+
+    def test_launch_scales_with_args(self):
+        few = LaunchKernelRequest("c", "k", Dim3(1), Dim3(1), {"a": 1})
+        many = LaunchKernelRequest("c", "k", Dim3(1), Dim3(1),
+                                   {f"a{i}": i for i in range(20)})
+        assert estimate_size(many) > estimate_size(few)
+
+
+class TestChannel:
+    def test_call_returns_server_value(self):
+        channel = Channel(lambda req: Response.success("pong"))
+        assert channel.call(MallocRequest("c", 4)).value == "pong"
+
+    def test_server_failure_raises_client_side(self):
+        channel = Channel(lambda req: Response.failure("nope"))
+        with pytest.raises(VirtError, match="nope"):
+            channel.call(MallocRequest("c", 4))
+
+    def test_stats_accumulate(self):
+        channel = Channel(lambda req: Response.success())
+        for _ in range(3):
+            channel.call(MallocRequest("c", 4))
+        assert channel.stats.messages == 6  # 3 requests + 3 responses
+        assert channel.stats.bytes > 0
+        assert channel.stats.simulated_time > 0
+
+    def test_shared_memory_cheaper_than_socket(self):
+        """The paper's §4.3 optimization, quantified by the cost model."""
+        request = MemcpyH2DRequest("c", GlobalRef("b"), np.zeros(256))
+        shm = Channel(lambda r: Response.success(), SHARED_MEMORY)
+        sock = Channel(lambda r: Response.success(), UNIX_SOCKET)
+        assert sock.cost_of(request) > 5 * shm.cost_of(request)
+
+    def test_cost_of_matches_accounting(self):
+        channel = Channel(lambda r: Response.success())
+        request = MallocRequest("c", 4)
+        expected = channel.cost_of(request) + channel.cost_of(
+            Response.success())
+        channel.call(request)
+        assert channel.stats.simulated_time == pytest.approx(expected)

@@ -1,0 +1,75 @@
+"""Tests for the client-side interposition layer."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import Priority
+from repro.core import ExecMode, ExecPlan, TallyServer, connect_runtime
+from repro.errors import VirtError
+from repro.ptx.library import vector_add
+from repro.runtime import CudaRuntime, FatBinary
+from repro.virt import Channel, InterposedBackend, Response
+
+
+class TestInterposedBackend:
+    def test_requires_client_id(self):
+        channel = Channel(lambda r: Response.success())
+        with pytest.raises(VirtError):
+            InterposedBackend(channel, "")
+
+    def test_every_device_call_is_forwarded(self):
+        server = TallyServer()
+        rt = connect_runtime(server, "c1")
+        rt.register_fat_binary(FatBinary.of("bin", [vector_add()]))
+        ref = rt.malloc(8)
+        rt.memcpy_h2d(ref, np.ones(8))
+        rt.memcpy_d2h(ref, 8)
+        rt.free(ref)
+        rt.device_synchronize()
+        forwarded = rt.backend.forwarded
+        for op in ("register_binary", "malloc", "memcpy_h2d",
+                   "memcpy_d2h", "free", "synchronize"):
+            assert forwarded[op] == 1, op
+
+    def test_local_state_calls_never_forwarded(self):
+        """The §4.3 optimization: cudaGetDevice & friends stay local."""
+        server = TallyServer()
+        rt = connect_runtime(server, "c2")
+        before = rt.backend.forwarded.total()
+        for _ in range(100):
+            rt.get_device()
+            rt.get_device_count()
+        stream = rt.stream_create()
+        rt.stream_destroy(stream)
+        assert rt.backend.forwarded.total() == before
+
+    def test_server_errors_propagate_as_virt_errors(self):
+        server = TallyServer()
+        rt = connect_runtime(server, "c3")
+        with pytest.raises(VirtError):
+            rt.launch_kernel("unregistered", (1,), (1,), {})
+
+
+class TestTransparency:
+    """The same application gives identical results native vs interposed."""
+
+    @staticmethod
+    def _app(rt: CudaRuntime) -> np.ndarray:
+        rt.register_fat_binary(FatBinary.of("bin", [vector_add()]))
+        n = 40
+        x = np.linspace(0, 1, n)
+        dx, dy, dout = rt.malloc(n), rt.malloc(n), rt.malloc(n)
+        rt.memcpy_h2d(dx, x)
+        rt.memcpy_h2d(dy, 2 * x)
+        rt.launch_kernel("vector_add", (5,), (8,),
+                         {"x": dx, "y": dy, "out": dout, "n": n})
+        return rt.memcpy_d2h(dout, n)
+
+    @pytest.mark.parametrize("mode", list(ExecMode))
+    def test_native_equals_interposed(self, mode):
+        native = self._app(CudaRuntime())
+        server = TallyServer(best_effort_plan=ExecPlan(
+            mode, blocks_per_slice=2, workers=3))
+        virtualized = self._app(connect_runtime(
+            server, f"job-{mode.value}", Priority.BEST_EFFORT))
+        np.testing.assert_array_equal(native, virtualized)

@@ -1,0 +1,87 @@
+"""Tests for kernel-duration mixtures (including hypothesis properties)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import WorkloadError
+from repro.workloads import DurationMixture
+
+
+class TestMixtureBasics:
+    def test_of_builds_components(self):
+        mix = DurationMixture.of((0.9, 1e-4, 0.5), (0.1, 1e-2, 0.3))
+        assert len(mix.components) == 2
+
+    def test_empty_mixture_rejected(self):
+        with pytest.raises(WorkloadError):
+            DurationMixture(())
+
+    def test_invalid_component_rejected(self):
+        with pytest.raises(WorkloadError):
+            DurationMixture.of((0.0, 1e-4, 0.5))
+        with pytest.raises(WorkloadError):
+            DurationMixture.of((1.0, -1e-4, 0.5))
+        with pytest.raises(WorkloadError):
+            DurationMixture.of((1.0, 1e-4, -0.5))
+
+    def test_sample_count(self):
+        mix = DurationMixture.of((1.0, 1e-4, 0.5))
+        assert len(mix.sample(77, np.random.default_rng(0))) == 77
+
+    def test_sample_zero_rejected(self):
+        mix = DurationMixture.of((1.0, 1e-4, 0.5))
+        with pytest.raises(WorkloadError):
+            mix.sample(0, np.random.default_rng(0))
+
+    def test_zero_sigma_is_deterministic(self):
+        mix = DurationMixture.of((1.0, 5e-4, 0.0))
+        samples = mix.sample(10, np.random.default_rng(0))
+        np.testing.assert_allclose(samples, 5e-4)
+
+
+class TestMixtureStatistics:
+    def test_sample_mean_tracks_analytic_mean(self):
+        mix = DurationMixture.of((0.8, 1e-4, 0.4), (0.2, 2e-3, 0.6))
+        samples = mix.sample(60_000, np.random.default_rng(1))
+        assert samples.mean() == pytest.approx(mix.mean(), rel=0.05)
+
+    def test_tail_fraction_tracks_empirical(self):
+        mix = DurationMixture.of((0.9, 1e-4, 0.5), (0.1, 5e-3, 0.5))
+        threshold = 1e-3
+        samples = mix.sample(60_000, np.random.default_rng(2))
+        empirical = float((samples > threshold).mean())
+        assert mix.tail_fraction(threshold) == pytest.approx(
+            empirical, abs=0.01)
+
+    @given(
+        median=st.floats(min_value=1e-6, max_value=1e-2),
+        sigma=st.floats(min_value=0.0, max_value=1.5),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_samples_always_positive(self, median, sigma, seed):
+        mix = DurationMixture.of((1.0, median, sigma))
+        samples = mix.sample(100, np.random.default_rng(seed))
+        assert (samples > 0).all()
+
+    @given(
+        weight=st.floats(min_value=0.01, max_value=0.99),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_component_weights_respected(self, weight, seed):
+        # Components with widely separated, tight medians make class
+        # membership recoverable from the sample value.
+        mix = DurationMixture.of((weight, 1e-5, 0.01),
+                                 (1 - weight, 1e-1, 0.01))
+        samples = mix.sample(4000, np.random.default_rng(seed))
+        small = float((samples < 1e-3).mean())
+        assert small == pytest.approx(weight, abs=0.05)
+
+    def test_tail_fraction_monotone_in_threshold(self):
+        mix = DurationMixture.of((0.7, 1e-4, 0.6), (0.3, 3e-3, 0.4))
+        thresholds = [1e-5, 1e-4, 1e-3, 1e-2]
+        tails = [mix.tail_fraction(t) for t in thresholds]
+        assert tails == sorted(tails, reverse=True)

@@ -1,0 +1,88 @@
+"""Tests for the device-memory footprint model."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.harness import JobSpec, RunConfig, run_colocation
+from repro.workloads import INFERENCE_MODELS, TRAINING_MODELS
+from repro.workloads.memory import (
+    A100_MEMORY_BYTES,
+    PARAMETER_COUNTS,
+    check_memory_fit,
+    footprint_of,
+    total_footprint,
+)
+
+GIB = 1024 ** 3
+
+
+class TestFootprints:
+    def test_every_suite_model_has_a_footprint(self):
+        for name in list(TRAINING_MODELS) + list(INFERENCE_MODELS):
+            fp = footprint_of(name)
+            assert fp.total > 0
+            assert fp.weights > 0
+
+    def test_training_footprint_exceeds_inference_for_same_model(self):
+        """Optimizer state makes training far heavier per parameter."""
+        train = footprint_of("resnet50_train")
+        infer = footprint_of("resnet50_infer")
+        assert train.weights > 3 * infer.weights
+
+    def test_footprint_scales_with_parameters(self):
+        small = footprint_of("pointnet_train")
+        large = footprint_of("whisper_train")
+        ratio = PARAMETER_COUNTS["whisper_train"] / \
+            PARAMETER_COUNTS["pointnet_train"]
+        assert large.weights / small.weights == pytest.approx(ratio)
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(WorkloadError):
+            footprint_of("gpt5_train")
+
+    def test_every_single_model_fits_an_a100(self):
+        for name in PARAMETER_COUNTS:
+            assert footprint_of(name).total < A100_MEMORY_BYTES, name
+
+
+class TestColocationFit:
+    def test_every_paper_pair_fits(self):
+        """All 36 Figure 4 pairs ran on 40 GB A100s in the paper."""
+        for infer in INFERENCE_MODELS:
+            for train in TRAINING_MODELS:
+                check_memory_fit([infer, train])
+
+    def test_total_is_additive(self):
+        names = ["bert_infer", "gpt2_train"]
+        assert total_footprint(names) == sum(
+            footprint_of(n).total for n in names)
+
+    def test_overcommit_rejected_with_breakdown(self):
+        plan = ["llama2_infer", "whisper_train", "gpt2_train",
+                "gptneo_infer"]
+        with pytest.raises(WorkloadError, match="GiB"):
+            check_memory_fit(plan)
+
+    def test_custom_capacity(self):
+        with pytest.raises(WorkloadError):
+            check_memory_fit(["bert_infer"], capacity_bytes=GIB // 2)
+        check_memory_fit(["bert_infer"], capacity_bytes=4 * GIB)
+
+
+class TestHarnessIntegration:
+    def test_run_colocation_enforces_memory(self):
+        cfg = RunConfig(duration=2.0, warmup=0.5,
+                        memory_capacity_bytes=2 * GIB)
+        with pytest.raises(WorkloadError, match="GiB"):
+            run_colocation("Tally", [
+                JobSpec.inference("bert_infer", load=0.2),
+                JobSpec.training("whisper_train"),
+            ], cfg)
+
+    def test_check_can_be_disabled(self):
+        cfg = RunConfig(duration=1.5, warmup=0.5,
+                        memory_capacity_bytes=1 * GIB, check_memory=False)
+        result = run_colocation("Ideal", [
+            JobSpec.inference("resnet50_infer", load=0.2),
+        ], cfg)
+        assert result.job("resnet50_infer#0").completed > 0
