@@ -18,6 +18,7 @@ examples:
 	python examples/inference_serving.py
 	python examples/multi_tenant_packing.py
 	python examples/custom_workload.py
+	python examples/trace_colocation.py
 
 clean:
 	rm -rf results .pytest_cache

@@ -17,7 +17,9 @@ The package is layered bottom-up:
 * :mod:`repro.workloads` / :mod:`repro.traffic` — the Table 2 workload
   suite and MAF2-style traffic;
 * :mod:`repro.harness` — co-location runner and per-figure experiment
-  drivers.
+  drivers;
+* :mod:`repro.trace` — event tracing and observability (ring-buffer
+  tracer, JSONL/Chrome-trace sinks, derived counters).
 
 Quick start::
 
@@ -41,6 +43,7 @@ from . import (
     metrics,
     ptx,
     runtime,
+    trace,
     traffic,
     transform,
     virt,
@@ -61,6 +64,7 @@ __all__ = [
     "metrics",
     "ptx",
     "runtime",
+    "trace",
     "traffic",
     "transform",
     "virt",

@@ -55,6 +55,11 @@ class SharingPolicy(abc.ABC):
         self.engine = engine
         self.clients: dict[str, ClientInfo] = {}
 
+    @property
+    def tracer(self):
+        """The device's tracer — one observability channel per run."""
+        return self.device.tracer
+
     # ------------------------------------------------------------------
     def register_client(self, client_id: str,
                         priority: Priority = Priority.BEST_EFFORT) -> ClientInfo:

@@ -24,6 +24,7 @@ from ..errors import SchedulerError
 from ..gpu.device import DeviceLaunch, GPUDevice, LaunchStatus
 from ..gpu.engine import EventLoop
 from ..gpu.kernel import KernelDescriptor
+from ..trace import SchedDecision
 from .base import ClientInfo, Priority, SharingPolicy
 
 __all__ = ["REEF"]
@@ -91,6 +92,12 @@ class REEF(SharingPolicy):
         for entry in self._pending.values():
             launch = entry.launch
             if launch is not None and not launch.done:
+                if self.tracer.enabled:
+                    self.tracer.emit(SchedDecision(
+                        ts=self.engine.now, client_id=launch.client_id,
+                        kernel=entry.descriptor.name, transform="reset",
+                        reason="high-priority arrival",
+                    ))
                 self.device.kill(launch)
                 self.resets += 1
                 entry.resets += 1

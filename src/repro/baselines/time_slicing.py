@@ -20,6 +20,7 @@ from ..errors import SchedulerError
 from ..gpu.device import DeviceLaunch, GPUDevice, LaunchStatus
 from ..gpu.engine import EventLoop
 from ..gpu.kernel import KernelDescriptor
+from ..trace import SchedDecision
 from .base import ClientInfo, SharingPolicy
 
 __all__ = ["TimeSlicing"]
@@ -102,6 +103,12 @@ class TimeSlicing(SharingPolicy):
             return
         # Compute preemption: stop the active context's launches; their
         # completion callbacks park the remainders for resumption.
+        if self.tracer.enabled:
+            self.tracer.emit(SchedDecision(
+                ts=self.engine.now, client_id=active, kernel="",
+                transform="context-switch",
+                reason=f"quantum expired; switching to {nxt}",
+            ))
         for launch in list(self.device.resident_launches):
             if launch.client_id == active and not launch.done:
                 self.device.preempt(launch)

@@ -8,10 +8,13 @@ Usage::
     python -m repro fig5a | fig5b | fig6a | fig6b | fig6c
     python -m repro colocate --inference bert_infer --training whisper_train \
         --policy Tally --load 0.5 --duration 10
+    python -m repro colocate --trace out.json   # Perfetto-loadable trace
     python -m repro list
 
 Each figure command prints the paper-vs-measured report that the
-corresponding benchmark also writes to ``results/``.
+corresponding benchmark also writes to ``results/``.  ``colocate`` and
+``cluster`` accept ``--trace PATH`` to record the run through
+:mod:`repro.trace` (see ``docs/observability.md``).
 """
 
 from __future__ import annotations
@@ -21,6 +24,7 @@ import sys
 import time
 
 from .harness import JobSpec, RunConfig, run_colocation, standalone
+from .trace import JSONLSink, Tracer, summarize
 from .harness.experiments import (
     fig4,
     fig5a,
@@ -39,6 +43,27 @@ from .harness.reporting import format_seconds, format_table
 from .workloads import INFERENCE_MODELS, TRAINING_MODELS
 
 __all__ = ["main"]
+
+
+def _make_tracer(path: str) -> Tracer:
+    """An unbounded tracer; a ``.jsonl`` path streams raw events too."""
+    if path.endswith(".jsonl"):
+        return Tracer(capacity=None, sinks=[JSONLSink(path)])
+    open(path, "w", encoding="utf-8").close()  # unwritable? fail now,
+    return Tracer(capacity=None)               # not after the run
+
+
+
+def _finish_trace(tracer: Tracer, path: str, config: RunConfig) -> None:
+    """Write the trace file and print the derived counters."""
+    if not path.endswith(".jsonl"):
+        tracer.export_chrome(path)
+    tracer.close()
+    print()
+    print(summarize(tracer, config.spec).format())
+    kind = "JSONL events" if path.endswith(".jsonl") else "Perfetto trace"
+    print(f"{kind} written to {path} "
+          f"({tracer.emitted} events)")
 
 
 def _cmd_list(_args: argparse.Namespace) -> None:
@@ -129,7 +154,8 @@ def _cmd_cluster(args: argparse.Namespace) -> None:
     dedicated = dedicated_placement(jobs)
     packed = packed_placement(jobs, compute_budget=1.4)
     config = RunConfig(duration=args.duration, warmup=1.0)
-    result = evaluate_placement(packed, "Tally", config)
+    tracer = _make_tracer(args.trace) if args.trace else None
+    result = evaluate_placement(packed, "Tally", config, tracer=tracer)
     saved = 1 - packed.gpus_used / dedicated.gpus_used
     rows = [
         ("jobs", len(jobs), ""),
@@ -142,6 +168,8 @@ def _cmd_cluster(args: argparse.Namespace) -> None:
     ]
     print(format_table(("metric", "value", "note"), rows,
                        title="Cluster consolidation under Tally"))
+    if tracer is not None:
+        _finish_trace(tracer, args.trace, config)
 
 
 def _cmd_colocate(args: argparse.Namespace) -> None:
@@ -152,8 +180,10 @@ def _cmd_colocate(args: argparse.Namespace) -> None:
     train_base = standalone(training, config)
     assert base.latency is not None
 
+    tracer = _make_tracer(args.trace) if args.trace else None
     start = time.time()
-    result = run_colocation(args.policy, [inference, training], config)
+    result = run_colocation(args.policy, [inference, training], config,
+                            tracer=tracer)
     wall = time.time() - start
     inf = result.job(f"{args.inference}#0")
     train = result.job(f"{args.training}#0")
@@ -178,6 +208,8 @@ def _cmd_colocate(args: argparse.Namespace) -> None:
         title=(f"{args.policy}: {args.inference} (load {args.load:.0%}) "
                f"x {args.training}"),
     ))
+    if tracer is not None:
+        _finish_trace(tracer, args.trace, config)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -205,9 +237,15 @@ def build_parser() -> argparse.ArgumentParser:
     add("fig6b", _cmd_fig6b, "scheduling/transformation ablation")
     add("fig6c", _cmd_fig6c, "turnaround threshold sweep")
 
+    trace_help = ("record the run and write a Chrome/Perfetto "
+                  "trace_event JSON to PATH (a .jsonl suffix streams "
+                  "raw events instead); also prints derived counters")
+
     cluster = sub.add_parser(
         "cluster", help="cluster consolidation demo (GPUs saved vs SLA)")
     cluster.add_argument("--duration", type=float, default=5.0)
+    cluster.add_argument("--trace", metavar="PATH", default=None,
+                         help=trace_help)
     cluster.set_defaults(fn=_cmd_cluster)
 
     colocate = sub.add_parser("colocate",
@@ -222,6 +260,8 @@ def build_parser() -> argparse.ArgumentParser:
     colocate.add_argument("--load", type=float, default=0.5)
     colocate.add_argument("--duration", type=float, default=10.0)
     colocate.add_argument("--warmup", type=float, default=1.0)
+    colocate.add_argument("--trace", metavar="PATH", default=None,
+                          help=trace_help)
     colocate.set_defaults(fn=_cmd_colocate)
     return parser
 

@@ -64,8 +64,14 @@ def _to_jobspec(job: ClusterJob) -> JobSpec:
 
 
 def evaluate_placement(placement: Placement, policy: str,
-                       config: RunConfig | None = None) -> ClusterResult:
-    """Simulate every GPU of ``placement`` under ``policy``."""
+                       config: RunConfig | None = None, *,
+                       tracer=None) -> ClusterResult:
+    """Simulate every GPU of ``placement`` under ``policy``.
+
+    A :class:`~repro.trace.Tracer` records every GPU's run into one
+    stream; per-GPU timelines overlap in time, so filter by client id
+    when analyzing.
+    """
     if not placement.bins:
         raise HarnessError("empty placement")
     config = config if config is not None else RunConfig(duration=6.0,
@@ -76,7 +82,7 @@ def evaluate_placement(placement: Placement, policy: str,
         specs = [_to_jobspec(job) for job in gpu_jobs]
         # Offline (best-effort) duplicates of an online service need
         # distinct traffic seeds; placement already carries them.
-        result = run_colocation(policy, specs, config)
+        result = run_colocation(policy, specs, config, tracer=tracer)
         counters: dict[str, int] = {}
         for job, spec in zip(gpu_jobs, specs):
             baseline = standalone(spec, config)

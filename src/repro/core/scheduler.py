@@ -29,6 +29,13 @@ from ..errors import SchedulerError
 from ..gpu.device import DeviceLaunch, GPUDevice, LaunchStatus
 from ..gpu.engine import EventLoop
 from ..gpu.kernel import KernelDescriptor, LaunchConfig, LaunchKind
+from ..trace import (
+    PreemptRequest,
+    PtbDispatch,
+    Resume,
+    SchedDecision,
+    SliceDispatch,
+)
 from .candidates import ORIGINAL_CONFIG, SchedConfig, SchedKind
 from .config import TallyConfig
 from .profiler import TransparentProfiler
@@ -138,6 +145,16 @@ class Tally(SharingPolicy):
             if launch.config.kind is LaunchKind.PTB:
                 self.device.preempt(launch)
                 self.stats.preemptions += 1
+            elif (execution.config is not None
+                  and execution.config.kind is SchedKind.SLICED
+                  and self.tracer.enabled):
+                # Held at the next slice boundary: the slice in flight
+                # completes normally, so the device never acks this.
+                self.tracer.emit(PreemptRequest(
+                    ts=self.engine.now, client_id=launch.client_id,
+                    kernel=launch.descriptor.name, launch_seq=launch.seq,
+                    mechanism="slice-boundary",
+                ))
             # Sliced executions stop by not launching the next slice;
             # the slice in flight completes (bounded by the profiled
             # turnaround).  ORIGINAL launches cannot be stopped — that
@@ -148,6 +165,16 @@ class Tally(SharingPolicy):
             execution = self._executions.get(client_id)
             if execution is not None and execution.launch is None:
                 self.stats.resumes += 1
+                if self.tracer.enabled:
+                    self.tracer.emit(Resume(
+                        ts=self.engine.now, client_id=client_id,
+                        kernel=execution.descriptor.name,
+                        next_block=execution.next_block,
+                        tasks_remaining=execution.tasks_remaining,
+                        transform=(execution.config.describe()
+                                   if execution.config is not None
+                                   else "undecided"),
+                    ))
                 self._advance(client_id, execution)
 
     # ------------------------------------------------------------------
@@ -163,8 +190,19 @@ class Tally(SharingPolicy):
                 execution.config, execution.profiling = (
                     self.profiler.choose(execution.descriptor)
                 )
+                reason = ("profiling unmeasured candidate"
+                          if execution.profiling
+                          else "best measured config under turnaround bound")
             else:
                 execution.config, execution.profiling = ORIGINAL_CONFIG, False
+                reason = "transformations disabled"
+            if self.tracer.enabled:
+                self.tracer.emit(SchedDecision(
+                    ts=self.engine.now, client_id=client_id,
+                    kernel=execution.descriptor.name,
+                    transform=execution.config.describe(),
+                    reason=reason, profiling=execution.profiling,
+                ))
 
         kind = execution.config.kind
         if kind is SchedKind.SLICED:
@@ -205,6 +243,13 @@ class Tally(SharingPolicy):
         )
         execution.launch = launch
         self.stats.slices_launched += 1
+        if self.tracer.enabled:
+            self.tracer.emit(SliceDispatch(
+                ts=self.engine.now, client_id=client_id,
+                kernel=execution.descriptor.name, launch_seq=launch.seq,
+                slice_index=len(execution.slice_times), blocks=blocks,
+                block_offset=execution.next_block,
+            ))
         self.device.submit(launch)
 
     def _slice_done(self, client_id: str, execution: _BEExecution,
@@ -239,6 +284,14 @@ class Tally(SharingPolicy):
         execution.launch = launch
         execution.segments += 1
         self.stats.ptb_launches += 1
+        if self.tracer.enabled:
+            self.tracer.emit(PtbDispatch(
+                ts=self.engine.now, client_id=client_id,
+                kernel=execution.descriptor.name, launch_seq=launch.seq,
+                workers=execution.config.workers,
+                tasks_remaining=execution.tasks_remaining,
+                segment=execution.segments,
+            ))
         self.device.submit(launch)
 
     def _ptb_done(self, client_id: str, execution: _BEExecution,

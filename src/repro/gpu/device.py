@@ -34,6 +34,15 @@ from bisect import insort
 from typing import Callable
 
 from ..errors import GPUSimError
+from ..trace import (
+    KernelComplete,
+    KernelStart,
+    KernelSubmit,
+    NULL_TRACER,
+    PreemptAck,
+    PreemptRequest,
+    Tracer,
+)
 from .engine import EventLoop
 from .kernel import KernelDescriptor, LaunchConfig, LaunchKind
 from .specs import GPUSpec
@@ -129,12 +138,16 @@ class GPUDevice:
     """The simulated GPU."""
 
     def __init__(self, spec: GPUSpec, engine: EventLoop, *,
-                 colocation_slowdown: float = 1.15) -> None:
+                 colocation_slowdown: float = 1.15,
+                 tracer: Tracer | None = None) -> None:
         if colocation_slowdown < 1.0:
             raise GPUSimError("colocation_slowdown must be >= 1.0")
         self.spec = spec
         self.engine = engine
         self.colocation_slowdown = colocation_slowdown
+        #: shared observability channel; policies and drivers emit to
+        #: ``device.tracer`` too, so one tracer sees the whole run
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self._threads_free = spec.total_threads
         self._slots_free = spec.total_block_slots
         self._resident: list[DeviceLaunch] = []  # sorted by (priority, seq)
@@ -158,6 +171,15 @@ class GPUDevice:
         overhead = (self.spec.kernel_launch_overhead
                     if launch_overhead is None else launch_overhead)
         launch.submitted_at = self.engine.now
+        if self.tracer.enabled:
+            self.tracer.emit(KernelSubmit(
+                ts=self.engine.now, client_id=launch.client_id,
+                kernel=launch.descriptor.name, launch_seq=launch.seq,
+                kind=launch.config.kind.value, priority=launch.priority,
+                blocks=launch.total_blocks,
+                block_offset=launch.block_offset,
+                workers=launch.config.workers,
+            ))
         self.engine.schedule(overhead, lambda: self._arrive(launch))
         return launch
 
@@ -172,6 +194,12 @@ class GPUDevice:
         """
         if launch.done:
             return
+        if self.tracer.enabled and not launch.preempt_requested:
+            self.tracer.emit(PreemptRequest(
+                ts=self.engine.now, client_id=launch.client_id,
+                kernel=launch.descriptor.name, launch_seq=launch.seq,
+                mechanism="ptb-flag" if launch.is_ptb else "drain",
+            ))
         launch.preempt_requested = True
         # If nothing is in flight and the launch has already reached the
         # device (it may have been starved of slots and never started),
@@ -192,6 +220,12 @@ class GPUDevice:
         """
         if launch.done:
             return
+        if self.tracer.enabled and not launch.preempt_requested:
+            self.tracer.emit(PreemptRequest(
+                ts=self.engine.now, client_id=launch.client_id,
+                kernel=launch.descriptor.name, launch_seq=launch.seq,
+                mechanism="kill",
+            ))
         launch.preempt_requested = True
         launch.killed = True
         if launch.blocks_inflight > 0:
@@ -333,6 +367,12 @@ class GPUDevice:
         if launch.status is LaunchStatus.PENDING:
             launch.status = LaunchStatus.RUNNING
             launch.started_at = self.engine.now
+            if self.tracer.enabled:
+                self.tracer.emit(KernelStart(
+                    ts=self.engine.now, client_id=launch.client_id,
+                    kernel=launch.descriptor.name, launch_seq=launch.seq,
+                    blocks=launch.total_blocks,
+                ))
 
         if launch.is_ptb:
             duration = self._ptb_iteration_duration(launch)
@@ -400,6 +440,24 @@ class GPUDevice:
         launch.status = (LaunchStatus.COMPLETED if completed
                          else LaunchStatus.PREEMPTED)
         launch.finished_at = self.engine.now
+        if self.tracer.enabled:
+            started = (None if math.isnan(launch.started_at)
+                       else launch.started_at)
+            self.tracer.emit(KernelComplete(
+                ts=self.engine.now, client_id=launch.client_id,
+                kernel=launch.descriptor.name, launch_seq=launch.seq,
+                status=launch.status.value, blocks_done=launch.blocks_done,
+                started_at=started,
+                duration=(None if started is None
+                          else self.engine.now - started),
+            ))
+            if launch.status is LaunchStatus.PREEMPTED:
+                self.tracer.emit(PreemptAck(
+                    ts=self.engine.now, client_id=launch.client_id,
+                    kernel=launch.descriptor.name, launch_seq=launch.seq,
+                    blocks_done=launch.blocks_done,
+                    blocks_lost=launch.blocks_killed,
+                ))
         try:
             self._resident.remove(launch)
         except ValueError:

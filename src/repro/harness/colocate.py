@@ -29,6 +29,7 @@ from ..core import Tally, TallyConfig
 from ..errors import HarnessError
 from ..gpu import A100_SXM4_40GB, EventLoop, GPUDevice, GPUSpec
 from ..metrics import LatencySummary
+from ..trace import Tracer
 from ..traffic import TrafficTrace, bursty_trace, maf_trace, poisson_trace
 from ..workloads import InferenceJob, TrainingJob, get_model
 from ..workloads.models import Trace, WorkloadKind
@@ -191,8 +192,14 @@ def _traffic_for(spec_: JobSpec, trace: Trace, config: RunConfig) -> TrafficTrac
 
 
 def run_colocation(policy_name: str, jobs: list[JobSpec],
-                   config: RunConfig | None = None) -> RunResult:
-    """Run ``jobs`` together under ``policy_name`` and collect metrics."""
+                   config: RunConfig | None = None, *,
+                   tracer: Tracer | None = None) -> RunResult:
+    """Run ``jobs`` together under ``policy_name`` and collect metrics.
+
+    Pass a :class:`~repro.trace.Tracer` to record the run's scheduler
+    and device activity (see ``docs/observability.md``); tracing is
+    off — and free — when ``tracer`` is None.
+    """
     if not jobs:
         raise HarnessError("need at least one job")
     config = config if config is not None else RunConfig()
@@ -207,7 +214,8 @@ def run_colocation(policy_name: str, jobs: list[JobSpec],
 
     engine = EventLoop()
     device = GPUDevice(config.spec, engine,
-                       colocation_slowdown=config.colocation_slowdown)
+                       colocation_slowdown=config.colocation_slowdown,
+                       tracer=tracer)
     policy = make_policy(policy_name, device, engine,
                          tally_config=config.tally_config)
 

@@ -38,9 +38,13 @@ class LatencySummary:
         arr = np.asarray(samples, dtype=float)
         if arr.size == 0:
             raise HarnessError("cannot summarize zero latency samples")
+        # Pairwise summation can put the mean a few ULPs outside
+        # [min, max] on near-constant samples; clamp it back in.
+        mean = min(max(float(arr.mean()), float(arr.min())),
+                   float(arr.max()))
         return LatencySummary(
             count=int(arr.size),
-            mean=float(arr.mean()),
+            mean=mean,
             p50=float(np.percentile(arr, 50)),
             p90=float(np.percentile(arr, 90)),
             p99=float(np.percentile(arr, 99)),

@@ -1,0 +1,78 @@
+"""Tracing & observability for the timing simulator.
+
+Typed events (:mod:`repro.trace.events`) are emitted by the device,
+schedulers, and workload drivers into a :class:`Tracer` — a ring
+buffer with pluggable sinks (in-memory, JSONL, and Chrome/Perfetto
+``trace_event`` export).  :func:`summarize` derives the counters the
+harness reports.  Tracing is off by default and the disabled path
+(:data:`NULL_TRACER`) adds no measurable overhead.
+
+Quick use::
+
+    from repro.harness import JobSpec, RunConfig, run_colocation
+    from repro.trace import Tracer, summarize
+
+    tracer = Tracer(capacity=None)
+    run_colocation("Tally", [JobSpec.inference("bert_infer"),
+                             JobSpec.training("whisper_train")],
+                   RunConfig(duration=5.0), tracer=tracer)
+    tracer.export_chrome("out.json")   # load in ui.perfetto.dev
+    print(summarize(tracer).format())
+
+See ``docs/observability.md`` for the full event schema.
+"""
+
+from .chrome import to_chrome_trace, write_chrome_trace
+from .events import (
+    EVENT_CLASSES,
+    EventType,
+    KernelComplete,
+    KernelStart,
+    KernelSubmit,
+    PreemptAck,
+    PreemptRequest,
+    PtbDispatch,
+    QueueDepth,
+    Resume,
+    SchedDecision,
+    SliceDispatch,
+    TraceEvent,
+    event_from_dict,
+)
+from .summary import ClientCounters, TraceSummary, summarize
+from .tracer import (
+    JSONLSink,
+    MemorySink,
+    NULL_TRACER,
+    TraceSink,
+    Tracer,
+    load_jsonl,
+)
+
+__all__ = [
+    "EVENT_CLASSES",
+    "EventType",
+    "TraceEvent",
+    "KernelSubmit",
+    "KernelStart",
+    "KernelComplete",
+    "SliceDispatch",
+    "PtbDispatch",
+    "PreemptRequest",
+    "PreemptAck",
+    "Resume",
+    "SchedDecision",
+    "QueueDepth",
+    "event_from_dict",
+    "TraceSink",
+    "MemorySink",
+    "JSONLSink",
+    "Tracer",
+    "NULL_TRACER",
+    "load_jsonl",
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "ClientCounters",
+    "TraceSummary",
+    "summarize",
+]

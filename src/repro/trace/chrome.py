@@ -1,0 +1,120 @@
+"""Chrome ``trace_event`` / Perfetto export.
+
+Converts collected :mod:`repro.trace.events` into the JSON object
+format both ``chrome://tracing`` and https://ui.perfetto.dev load
+directly (the "JSON Array Format" of the trace_event spec):
+
+* one *complete* event (``ph: "X"``) per retired kernel launch, on a
+  per-client timeline (``pid`` 1 = the GPU, one ``tid`` per client);
+* *instant* events (``ph: "i"``) for scheduler activity — slice/PTB
+  dispatches, preemption requests/acks, resumes, decisions;
+* *counter* events (``ph: "C"``) for queue-depth samples;
+* *metadata* events (``ph: "M"``) naming the process and threads.
+
+Timestamps are microseconds, per the spec; simulation seconds are
+scaled by 1e6.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Iterable
+
+from .events import (
+    EventType,
+    KernelComplete,
+    QueueDepth,
+    TraceEvent,
+)
+
+__all__ = ["GPU_PID", "to_chrome_trace", "write_chrome_trace"]
+
+#: the single simulated-GPU "process" in the exported trace
+GPU_PID = 1
+
+_SEC_TO_US = 1e6
+
+#: instant-event phases rendered per type (name shown on the timeline)
+_INSTANT_NAMES = {
+    EventType.SLICE_DISPATCH: "slice",
+    EventType.PTB_DISPATCH: "ptb",
+    EventType.PREEMPT_REQUEST: "preempt.request",
+    EventType.PREEMPT_ACK: "preempt.ack",
+    EventType.RESUME: "resume",
+    EventType.SCHED_DECISION: "decision",
+}
+
+
+def _args_of(event: TraceEvent) -> dict[str, Any]:
+    data = event.to_dict()
+    for common in ("type", "ts", "client_id", "kernel"):
+        data.pop(common, None)
+    return data
+
+
+def to_chrome_trace(events: Iterable[TraceEvent]) -> dict[str, Any]:
+    """Build the trace_event JSON object for ``events``."""
+    trace_events: list[dict[str, Any]] = [{
+        "name": "process_name", "ph": "M", "pid": GPU_PID, "tid": 0,
+        "args": {"name": "simulated GPU"},
+    }]
+    tids: dict[str, int] = {}
+
+    def tid_of(client_id: str) -> int:
+        tid = tids.get(client_id)
+        if tid is None:
+            tid = len(tids) + 1
+            tids[client_id] = tid
+            trace_events.append({
+                "name": "thread_name", "ph": "M", "pid": GPU_PID,
+                "tid": tid, "args": {"name": client_id or "(device)"},
+            })
+        return tid
+
+    for event in events:
+        tid = tid_of(event.client_id)
+        if isinstance(event, KernelComplete):
+            if event.started_at is None or event.duration is None:
+                continue  # never dispatched; nothing to draw
+            trace_events.append({
+                "name": event.kernel,
+                "cat": "kernel",
+                "ph": "X",
+                "ts": event.started_at * _SEC_TO_US,
+                "dur": event.duration * _SEC_TO_US,
+                "pid": GPU_PID,
+                "tid": tid,
+                "args": _args_of(event),
+            })
+        elif isinstance(event, QueueDepth):
+            trace_events.append({
+                "name": f"queue depth: {event.client_id}",
+                "cat": "queue",
+                "ph": "C",
+                "ts": event.ts * _SEC_TO_US,
+                "pid": GPU_PID,
+                "args": {"depth": event.depth},
+            })
+        else:
+            name = _INSTANT_NAMES.get(event.type)
+            if name is None:
+                continue  # kernel_submit/start are covered by the X span
+            trace_events.append({
+                "name": f"{name}: {event.kernel}" if event.kernel else name,
+                "cat": "sched",
+                "ph": "i",
+                "s": "t",
+                "ts": event.ts * _SEC_TO_US,
+                "pid": GPU_PID,
+                "tid": tid,
+                "args": _args_of(event),
+            })
+
+    return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(events: Iterable[TraceEvent], path: str) -> None:
+    """Write ``events`` to ``path`` as strictly valid trace JSON."""
+    document = to_chrome_trace(events)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(document, fh, allow_nan=False)

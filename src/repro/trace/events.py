@@ -1,0 +1,275 @@
+"""Typed trace events — the simulator's observability schema.
+
+Every event is a frozen dataclass with a stable wire name
+(:class:`EventType`), a simulation timestamp ``ts`` (seconds), the
+``client_id`` it concerns, and the ``kernel`` name (empty for events
+that are not about one kernel, e.g. queue-depth samples).
+
+The authoritative schema documentation — every event type, its fields,
+and which module emits it — lives in ``docs/observability.md``; keep
+the two in sync when adding events.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, fields
+from typing import Any, ClassVar
+
+from ..errors import ReproError
+
+__all__ = [
+    "EventType",
+    "TraceEvent",
+    "KernelSubmit",
+    "KernelStart",
+    "KernelComplete",
+    "SliceDispatch",
+    "PtbDispatch",
+    "PreemptRequest",
+    "PreemptAck",
+    "Resume",
+    "SchedDecision",
+    "QueueDepth",
+    "EVENT_CLASSES",
+    "event_from_dict",
+]
+
+
+class EventType(enum.Enum):
+    """Stable wire names of the trace event types."""
+
+    KERNEL_SUBMIT = "kernel_submit"
+    KERNEL_START = "kernel_start"
+    KERNEL_COMPLETE = "kernel_complete"
+    SLICE_DISPATCH = "slice_dispatch"
+    PTB_DISPATCH = "ptb_dispatch"
+    PREEMPT_REQUEST = "preempt_request"
+    PREEMPT_ACK = "preempt_ack"
+    RESUME = "resume"
+    SCHED_DECISION = "sched_decision"
+    QUEUE_DEPTH = "queue_depth"
+
+
+@dataclass(frozen=True, slots=True)
+class TraceEvent:
+    """Common base of all trace events (never emitted directly)."""
+
+    #: simulation time of the event, seconds
+    ts: float
+    #: client the event concerns ("" for device-global events)
+    client_id: str
+    #: kernel name ("" for events not tied to one kernel)
+    kernel: str
+
+    type: ClassVar[EventType]
+
+    def to_dict(self) -> dict[str, Any]:
+        """Flat JSON-serializable form, ``type`` first."""
+        data: dict[str, Any] = {"type": self.type.value}
+        for f in fields(self):
+            data[f.name] = getattr(self, f.name)
+        return data
+
+
+@dataclass(frozen=True, slots=True)
+class KernelSubmit(TraceEvent):
+    """A launch entered the device's submission path.
+
+    Emitted by :meth:`repro.gpu.device.GPUDevice.submit`.
+    """
+
+    type: ClassVar[EventType] = EventType.KERNEL_SUBMIT
+
+    #: device-unique launch sequence number (correlates lifecycle events)
+    launch_seq: int
+    #: device launch kind: "original" or "ptb"
+    kind: str
+    #: device dispatch priority (0 = highest)
+    priority: int
+    #: grid blocks this launch covers (a slice covers a sub-range)
+    blocks: int
+    #: first logical block of the covered range
+    block_offset: int
+    #: persistent workers (PTB launches only, else 0)
+    workers: int = 0
+
+
+@dataclass(frozen=True, slots=True)
+class KernelStart(TraceEvent):
+    """The launch's first thread blocks became resident.
+
+    Emitted by :class:`repro.gpu.device.GPUDevice` when a pending
+    launch transitions to RUNNING.
+    """
+
+    type: ClassVar[EventType] = EventType.KERNEL_START
+
+    launch_seq: int
+    blocks: int
+
+
+@dataclass(frozen=True, slots=True)
+class KernelComplete(TraceEvent):
+    """The launch retired (completed or preempted).
+
+    Emitted by :class:`repro.gpu.device.GPUDevice` on finalization.
+    ``started_at``/``duration`` are ``None`` for launches that never
+    dispatched a block (e.g. preempted while queued).
+    """
+
+    type: ClassVar[EventType] = EventType.KERNEL_COMPLETE
+
+    launch_seq: int
+    #: final :class:`repro.gpu.device.LaunchStatus` value
+    status: str
+    blocks_done: int
+    started_at: float | None
+    duration: float | None
+
+
+@dataclass(frozen=True, slots=True)
+class SliceDispatch(TraceEvent):
+    """Tally dispatched one slice of a sliced best-effort kernel.
+
+    Emitted by :class:`repro.core.scheduler.Tally`.
+    """
+
+    type: ClassVar[EventType] = EventType.SLICE_DISPATCH
+
+    launch_seq: int
+    #: 0-based index of this slice within the kernel's execution
+    slice_index: int
+    blocks: int
+    block_offset: int
+
+
+@dataclass(frozen=True, slots=True)
+class PtbDispatch(TraceEvent):
+    """Tally dispatched a persistent-thread-block launch segment.
+
+    Emitted by :class:`repro.core.scheduler.Tally`; ``segment`` counts
+    launch segments of one kernel (1 + number of resumes).
+    """
+
+    type: ClassVar[EventType] = EventType.PTB_DISPATCH
+
+    launch_seq: int
+    workers: int
+    tasks_remaining: int
+    segment: int
+
+
+@dataclass(frozen=True, slots=True)
+class PreemptRequest(TraceEvent):
+    """Someone asked an in-flight launch to release the device.
+
+    ``mechanism`` is how the release happens: ``"ptb-flag"`` (PTB
+    workers exit after the iteration in flight), ``"drain"`` (no new
+    blocks start, resident blocks finish), ``"kill"`` (REEF-style
+    reset, in-flight work discarded) — all emitted by the device — or
+    ``"slice-boundary"`` (Tally holds back the next slice; emitted by
+    the scheduler, never acknowledged by the device because the
+    in-flight slice completes normally).
+    """
+
+    type: ClassVar[EventType] = EventType.PREEMPT_REQUEST
+
+    launch_seq: int
+    mechanism: str
+
+
+@dataclass(frozen=True, slots=True)
+class PreemptAck(TraceEvent):
+    """A preempted launch released the device.
+
+    Emitted by :class:`repro.gpu.device.GPUDevice` alongside the
+    PREEMPTED :class:`KernelComplete`.  ``blocks_lost`` counts blocks
+    whose partial work was discarded (kill-based preemption only).
+    """
+
+    type: ClassVar[EventType] = EventType.PREEMPT_ACK
+
+    launch_seq: int
+    blocks_done: int
+    blocks_lost: int
+
+
+@dataclass(frozen=True, slots=True)
+class Resume(TraceEvent):
+    """A preempted best-effort execution is continuing.
+
+    Emitted by :class:`repro.core.scheduler.Tally` when the
+    high-priority client goes idle; ``next_block`` is the slice offset
+    and ``tasks_remaining`` the PTB task counter the execution resumes
+    from.
+    """
+
+    type: ClassVar[EventType] = EventType.RESUME
+
+    next_block: int
+    tasks_remaining: int
+    #: the execution's SchedConfig, e.g. "ptb(432)" or "sliced(64)"
+    transform: str
+
+
+@dataclass(frozen=True, slots=True)
+class SchedDecision(TraceEvent):
+    """A scheduling policy committed to a decision.
+
+    Tally emits one per best-effort kernel with the chosen transform
+    (``SchedConfig.describe()``); baselines emit their own decision
+    points (Time-Slicing context switches as ``"context-switch"``,
+    REEF resets as ``"reset"``).
+    """
+
+    type: ClassVar[EventType] = EventType.SCHED_DECISION
+
+    #: chosen transform / action, e.g. "sliced(64)", "context-switch"
+    transform: str
+    #: human-readable why, e.g. "profiling unmeasured candidate"
+    reason: str
+    #: True when the choice exists to measure a candidate, not exploit it
+    profiling: bool = False
+
+
+@dataclass(frozen=True, slots=True)
+class QueueDepth(TraceEvent):
+    """Sample of an inference service's request backlog.
+
+    Emitted by :class:`repro.workloads.inference.InferenceJob` on every
+    arrival and completion; ``depth`` includes the request in service.
+    """
+
+    type: ClassVar[EventType] = EventType.QUEUE_DEPTH
+
+    depth: int
+
+
+#: wire name -> event class (for deserialization)
+EVENT_CLASSES: dict[str, type[TraceEvent]] = {
+    cls.type.value: cls
+    for cls in (
+        KernelSubmit, KernelStart, KernelComplete, SliceDispatch,
+        PtbDispatch, PreemptRequest, PreemptAck, Resume, SchedDecision,
+        QueueDepth,
+    )
+}
+
+
+def event_from_dict(data: dict[str, Any]) -> TraceEvent:
+    """Rebuild an event from its :meth:`TraceEvent.to_dict` form."""
+    payload = dict(data)
+    try:
+        type_name = payload.pop("type")
+    except KeyError:
+        raise ReproError(f"trace record has no 'type' field: {data!r}") from None
+    cls = EVENT_CLASSES.get(type_name)
+    if cls is None:
+        raise ReproError(f"unknown trace event type {type_name!r}")
+    try:
+        return cls(**payload)
+    except TypeError as exc:
+        raise ReproError(
+            f"malformed {type_name!r} trace record: {exc}"
+        ) from None

@@ -1,0 +1,173 @@
+"""Derived counters and gauges over a collected trace.
+
+:func:`summarize` turns raw events into the quantities the harness and
+reports care about: per-client launch/completion counts, preemption
+count and *measured* preemption latency (request -> ack, matched by
+launch sequence number), slice/PTB dispatch counts, launch-overhead
+attributable to slicing, transform usage, and peak queue depths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterable, Union
+
+from ..metrics.latency import LatencySummary
+from .events import (
+    KernelComplete,
+    KernelSubmit,
+    PreemptAck,
+    PreemptRequest,
+    PtbDispatch,
+    QueueDepth,
+    Resume,
+    SchedDecision,
+    SliceDispatch,
+    TraceEvent,
+)
+from .tracer import Tracer, load_jsonl
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..gpu.specs import GPUSpec
+
+__all__ = ["ClientCounters", "TraceSummary", "summarize"]
+
+
+@dataclass
+class ClientCounters:
+    """Per-client activity derived from the trace."""
+
+    submitted: int = 0
+    completed: int = 0
+    preempted: int = 0
+    max_queue_depth: int = 0
+
+
+@dataclass
+class TraceSummary:
+    """Counters and gauges derived from one trace."""
+
+    total_events: int = 0
+    dropped: int = 0
+    by_type: dict[str, int] = field(default_factory=dict)
+    clients: dict[str, ClientCounters] = field(default_factory=dict)
+    #: acknowledged preemptions (request -> PREEMPTED retirement)
+    preemptions: int = 0
+    #: unacknowledged requests (slice-boundary holds; in-flight at end)
+    preempt_requests: int = 0
+    #: request -> ack latency over matched pairs (None if none matched)
+    preemption_latency: LatencySummary | None = None
+    slice_dispatches: int = 0
+    ptb_dispatches: int = 0
+    resumes: int = 0
+    #: blocks whose partial work was discarded by kill-based preemption
+    blocks_lost: int = 0
+    #: SchedConfig/action -> decision count
+    transform_usage: dict[str, int] = field(default_factory=dict)
+    #: extra kernel-launch overhead spent on slice re-launches, seconds
+    #: (None when no GPUSpec was provided to :func:`summarize`)
+    slice_launch_overhead: float | None = None
+
+    def format(self) -> str:
+        """Plain-text rendering in the harness's table style."""
+        from ..harness.reporting import format_seconds, format_table
+
+        rows: list[tuple[str, str]] = [
+            ("events", str(self.total_events)),
+            ("dropped from ring buffer", str(self.dropped)),
+            ("preemptions (acked)", str(self.preemptions)),
+            ("preempt requests (unacked)", str(self.preempt_requests)),
+            ("slice dispatches", str(self.slice_dispatches)),
+            ("ptb dispatches", str(self.ptb_dispatches)),
+            ("resumes", str(self.resumes)),
+            ("blocks lost to resets", str(self.blocks_lost)),
+        ]
+        if self.preemption_latency is not None:
+            rows.append(("preempt latency mean/max",
+                         f"{format_seconds(self.preemption_latency.mean)} / "
+                         f"{format_seconds(self.preemption_latency.max)}"))
+        if self.slice_launch_overhead is not None:
+            rows.append(("slice launch overhead",
+                         format_seconds(self.slice_launch_overhead)))
+        for transform, count in sorted(self.transform_usage.items()):
+            rows.append((f"decision {transform}", str(count)))
+        for client_id, c in sorted(self.clients.items()):
+            detail = f"{c.completed}/{c.submitted} done"
+            if c.preempted:
+                detail += f", {c.preempted} preempted"
+            if c.max_queue_depth:
+                detail += f", queue<= {c.max_queue_depth}"
+            rows.append((f"client {client_id}", detail))
+        return format_table(("metric", "value"), rows, title="Trace summary")
+
+
+TraceSource = Union[Tracer, Iterable[TraceEvent], str]
+
+
+def summarize(source: TraceSource,
+              spec: "GPUSpec | None" = None) -> TraceSummary:
+    """Derive counters from ``source``.
+
+    ``source`` may be a :class:`Tracer` (its buffered events are used
+    and ring-buffer drops reported), an iterable of events, or the path
+    of a :class:`~repro.trace.tracer.JSONLSink` file.  Passing the
+    run's :class:`~repro.gpu.specs.GPUSpec` additionally prices the
+    slicing overhead in seconds.
+    """
+    summary = TraceSummary()
+    if isinstance(source, Tracer):
+        events: Iterable[TraceEvent] = source.events
+        summary.dropped = source.dropped
+    elif isinstance(source, str):
+        events = load_jsonl(source)
+    else:
+        events = source
+
+    request_ts: dict[int, float] = {}  # launch_seq -> first request time
+    latencies: list[float] = []
+
+    for event in events:
+        summary.total_events += 1
+        name = event.type.value
+        summary.by_type[name] = summary.by_type.get(name, 0) + 1
+        client = summary.clients.get(event.client_id)
+        if client is None:
+            client = summary.clients[event.client_id] = ClientCounters()
+
+        if isinstance(event, KernelSubmit):
+            client.submitted += 1
+        elif isinstance(event, KernelComplete):
+            client.completed += 1
+        elif isinstance(event, PreemptRequest):
+            request_ts.setdefault(event.launch_seq, event.ts)
+        elif isinstance(event, PreemptAck):
+            summary.preemptions += 1
+            client.preempted += 1
+            summary.blocks_lost += event.blocks_lost
+            requested = request_ts.pop(event.launch_seq, None)
+            if requested is not None:
+                latencies.append(event.ts - requested)
+        elif isinstance(event, SliceDispatch):
+            summary.slice_dispatches += 1
+        elif isinstance(event, PtbDispatch):
+            summary.ptb_dispatches += 1
+        elif isinstance(event, Resume):
+            summary.resumes += 1
+        elif isinstance(event, SchedDecision):
+            summary.transform_usage[event.transform] = (
+                summary.transform_usage.get(event.transform, 0) + 1
+            )
+        elif isinstance(event, QueueDepth):
+            if event.depth > client.max_queue_depth:
+                client.max_queue_depth = event.depth
+
+    summary.preempt_requests = len(request_ts)
+    if latencies:
+        summary.preemption_latency = LatencySummary.of(latencies)
+    if spec is not None:
+        # Every slice after a kernel's first is an extra launch.
+        kernels_sliced = sum(
+            1 for t in summary.transform_usage if t.startswith("sliced"))
+        extra = max(0, summary.slice_dispatches - kernels_sliced)
+        summary.slice_launch_overhead = extra * spec.kernel_launch_overhead
+    return summary

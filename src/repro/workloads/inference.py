@@ -17,6 +17,7 @@ from ..baselines.base import Priority, SharingPolicy
 from ..errors import WorkloadError
 from ..gpu.engine import EventLoop
 from ..metrics.latency import LatencySummary
+from ..trace import QueueDepth
 from ..traffic.maf import TrafficTrace
 from .models import Trace
 
@@ -105,8 +106,17 @@ class InferenceJob:
     def _on_arrival(self) -> None:
         self._queue.append(self.engine.now)
         self._schedule_next_arrival()
+        self._sample_queue_depth()
         if not self._busy:
             self._start_request()
+
+    def _sample_queue_depth(self) -> None:
+        tracer = self.policy.tracer
+        if tracer.enabled:
+            tracer.emit(QueueDepth(
+                ts=self.engine.now, client_id=self.client_id, kernel="",
+                depth=self.pending_requests,
+            ))
 
     def _start_request(self) -> None:
         self._busy = True
@@ -123,6 +133,7 @@ class InferenceJob:
                 completed=self.engine.now,
             ))
             self._busy = False
+            self._sample_queue_depth()
             if self._queue:
                 self._start_request()
             return

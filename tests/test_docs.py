@@ -1,0 +1,36 @@
+"""The docs must only reference module paths that actually import.
+
+Runs the same check CI's docs job runs (tools/check_doc_refs.py):
+every ``repro.*`` dotted name in ``docs/*.md`` and ``README.md`` must
+resolve to an importable module or an attribute of one.
+"""
+
+import importlib.util
+import pathlib
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+def _load_checker():
+    path = ROOT / "tools" / "check_doc_refs.py"
+    spec = importlib.util.spec_from_file_location("check_doc_refs", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_doc_references_resolve():
+    checker = _load_checker()
+    failures = checker.check(ROOT)
+    assert not failures, (
+        "docs reference module paths that do not import:\n"
+        + "\n".join(f"  {path}: {ref}" for path, ref in failures)
+    )
+
+
+def test_checker_catches_bad_refs():
+    checker = _load_checker()
+    assert checker.resolve("repro.trace.Tracer")
+    assert checker.resolve("repro.gpu.device")
+    assert not checker.resolve("repro.no_such_module")
+    assert not checker.resolve("repro.trace.NoSuchSymbol")

@@ -1,0 +1,84 @@
+"""Tests for the Chrome/Perfetto trace_event export."""
+
+import json
+
+from repro.trace import (
+    KernelComplete,
+    KernelSubmit,
+    PreemptRequest,
+    QueueDepth,
+    to_chrome_trace,
+    write_chrome_trace,
+)
+
+
+def _events():
+    return [
+        KernelSubmit(ts=0.0, client_id="train#0", kernel="gemm",
+                     launch_seq=1, kind="original", priority=1,
+                     blocks=64, block_offset=0),
+        KernelComplete(ts=0.002, client_id="train#0", kernel="gemm",
+                       launch_seq=1, status="completed", blocks_done=64,
+                       started_at=0.001, duration=0.001),
+        PreemptRequest(ts=0.0015, client_id="train#0", kernel="gemm",
+                       launch_seq=1, mechanism="ptb-flag"),
+        QueueDepth(ts=0.001, client_id="infer#0", kernel="", depth=3),
+        # Never dispatched: must not produce a complete span.
+        KernelComplete(ts=0.003, client_id="train#0", kernel="gemm",
+                       launch_seq=2, status="preempted", blocks_done=0,
+                       started_at=None, duration=None),
+    ]
+
+
+class TestChromeTrace:
+    def test_document_shape(self):
+        doc = to_chrome_trace(_events())
+        assert set(doc) == {"traceEvents", "displayTimeUnit"}
+        assert isinstance(doc["traceEvents"], list)
+        for entry in doc["traceEvents"]:
+            assert entry["ph"] in ("X", "i", "C", "M")
+            assert "pid" in entry
+            if entry["ph"] != "M":
+                assert "ts" in entry
+
+    def test_complete_event_fields(self):
+        doc = to_chrome_trace(_events())
+        spans = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert len(spans) == 1  # undispatched launch draws nothing
+        span = spans[0]
+        assert span["name"] == "gemm"
+        assert span["ts"] == 1000.0  # 0.001 s in microseconds
+        assert span["dur"] == 1000.0
+        assert isinstance(span["tid"], int)
+        assert span["args"]["status"] == "completed"
+
+    def test_instant_and_counter_events(self):
+        doc = to_chrome_trace(_events())
+        instants = [e for e in doc["traceEvents"] if e["ph"] == "i"]
+        assert len(instants) == 1
+        assert instants[0]["s"] == "t"
+        assert instants[0]["args"]["mechanism"] == "ptb-flag"
+        counters = [e for e in doc["traceEvents"] if e["ph"] == "C"]
+        assert len(counters) == 1
+        assert counters[0]["args"] == {"depth": 3}
+
+    def test_thread_metadata_per_client(self):
+        doc = to_chrome_trace(_events())
+        names = {e["args"]["name"] for e in doc["traceEvents"]
+                 if e["ph"] == "M" and e["name"] == "thread_name"}
+        assert names == {"train#0", "infer#0"}
+        # Distinct clients get distinct tids.
+        tids = {e["tid"] for e in doc["traceEvents"]
+                if e["ph"] == "M" and e["name"] == "thread_name"}
+        assert len(tids) == 2
+
+    def test_strictly_valid_json(self, tmp_path):
+        path = str(tmp_path / "trace.json")
+        write_chrome_trace(_events(), path)
+        with open(path, "r", encoding="utf-8") as fh:
+            text = fh.read()
+        assert "NaN" not in text and "Infinity" not in text
+        doc = json.loads(text)
+        assert doc["traceEvents"]
+        # json.dumps with allow_nan=False is what Perfetto requires.
+        json.dumps(doc, allow_nan=False)

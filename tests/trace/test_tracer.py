@@ -1,0 +1,131 @@
+"""Tests for the Tracer, its sinks, and event (de)serialization."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.trace import (
+    EventType,
+    JSONLSink,
+    KernelSubmit,
+    MemorySink,
+    NULL_TRACER,
+    QueueDepth,
+    Tracer,
+    event_from_dict,
+    load_jsonl,
+)
+
+
+def _submit_event(i: int) -> KernelSubmit:
+    return KernelSubmit(
+        ts=float(i), client_id="c", kernel=f"k{i}", launch_seq=i,
+        kind="original", priority=1, blocks=4, block_offset=0,
+    )
+
+
+class TestMemorySink:
+    def test_receives_events_in_order(self):
+        sink = MemorySink()
+        tracer = Tracer(sinks=[sink])
+        events = [_submit_event(i) for i in range(5)]
+        for e in events:
+            tracer.emit(e)
+        assert sink.events == events
+        assert tracer.events == events
+        assert tracer.emitted == 5
+        assert tracer.dropped == 0
+
+
+class TestRingBuffer:
+    def test_overflow_keeps_most_recent(self):
+        tracer = Tracer(capacity=4)
+        for i in range(10):
+            tracer.emit(_submit_event(i))
+        assert tracer.emitted == 10
+        assert tracer.dropped == 6
+        assert [e.launch_seq for e in tracer.events] == [6, 7, 8, 9]
+
+    def test_sinks_see_dropped_events_too(self):
+        sink = MemorySink()
+        tracer = Tracer(capacity=2, sinks=[sink])
+        for i in range(5):
+            tracer.emit(_submit_event(i))
+        assert len(sink.events) == 5
+        assert len(tracer.events) == 2
+
+    def test_unbounded_capacity(self):
+        tracer = Tracer(capacity=None)
+        for i in range(100_000):
+            tracer.emit(_submit_event(i))
+        assert tracer.dropped == 0
+        assert len(tracer.events) == 100_000
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ReproError):
+            Tracer(capacity=0)
+
+    def test_clear(self):
+        tracer = Tracer()
+        tracer.emit(_submit_event(0))
+        tracer.clear()
+        assert tracer.events == []
+        assert tracer.emitted == 0
+
+
+class TestNullTracer:
+    def test_disabled_and_inert(self):
+        assert NULL_TRACER.enabled is False
+        NULL_TRACER.emit(_submit_event(0))  # no-op even if called
+        assert NULL_TRACER.emitted == 0
+        assert NULL_TRACER.events == []
+
+    def test_real_tracer_enabled(self):
+        assert Tracer().enabled is True
+
+
+class TestSerialization:
+    def test_to_dict_carries_type(self):
+        event = _submit_event(3)
+        data = event.to_dict()
+        assert data["type"] == EventType.KERNEL_SUBMIT.value
+        assert data["kernel"] == "k3"
+        assert data["launch_seq"] == 3
+
+    def test_round_trip(self):
+        event = QueueDepth(ts=1.5, client_id="svc", kernel="", depth=7)
+        assert event_from_dict(event.to_dict()) == event
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ReproError):
+            event_from_dict({"type": "nope", "ts": 0.0})
+
+    def test_missing_type_rejected(self):
+        with pytest.raises(ReproError):
+            event_from_dict({"ts": 0.0})
+
+    def test_malformed_fields_rejected(self):
+        with pytest.raises(ReproError):
+            event_from_dict({"type": "queue_depth", "ts": 0.0})
+
+
+class TestJSONLSink:
+    def test_round_trip_through_file(self, tmp_path):
+        path = str(tmp_path / "events.jsonl")
+        events = [_submit_event(i) for i in range(3)]
+        events.append(QueueDepth(ts=9.0, client_id="svc", kernel="",
+                                 depth=2))
+        with Tracer(sinks=[JSONLSink(path)]) as tracer:
+            for e in events:
+                tracer.emit(e)
+        assert load_jsonl(path) == events
+
+    def test_close_idempotent(self, tmp_path):
+        sink = JSONLSink(str(tmp_path / "t.jsonl"))
+        sink.close()
+        sink.close()
+
+    def test_bad_line_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("not json\n")
+        with pytest.raises(ReproError):
+            load_jsonl(str(path))

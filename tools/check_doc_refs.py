@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Verify that every ``repro.*`` dotted path mentioned in the docs exists.
+
+Scans ``docs/*.md`` and ``README.md`` for references like
+``repro.trace.Tracer`` or ``repro.gpu.device.GPUDevice`` and resolves
+each one: the longest importable prefix is imported as a module and the
+remainder is looked up with ``getattr``.  Docs that name modules or
+symbols that have been renamed or removed make the run fail, so the
+prose cannot drift from the code.
+
+Usage:  PYTHONPATH=src python tools/check_doc_refs.py
+Exits non-zero and lists every unresolvable reference.
+"""
+
+from __future__ import annotations
+
+import importlib
+import pathlib
+import re
+import sys
+
+REF = re.compile(r"\brepro(?:\.[A-Za-z_][A-Za-z0-9_]*)+")
+
+
+def iter_refs(text: str):
+    """Dotted repro.* names in *text*, with duplicates collapsed."""
+    return sorted(set(REF.findall(text)))
+
+
+def resolve(ref: str) -> bool:
+    """True if *ref* names an importable module or an attribute chain
+    hanging off one."""
+    parts = ref.split(".")
+    for cut in range(len(parts), 0, -1):
+        try:
+            obj = importlib.import_module(".".join(parts[:cut]))
+        except ImportError:
+            continue
+        try:
+            for attr in parts[cut:]:
+                obj = getattr(obj, attr)
+        except AttributeError:
+            return False
+        return True
+    return False
+
+
+def check(root: pathlib.Path) -> list[tuple[str, str]]:
+    """All (file, ref) pairs that fail to resolve under *root*."""
+    files = sorted(root.glob("docs/*.md")) + [root / "README.md"]
+    failures = []
+    for path in files:
+        if not path.exists():
+            continue
+        for ref in iter_refs(path.read_text(encoding="utf-8")):
+            if not resolve(ref):
+                failures.append((str(path.relative_to(root)), ref))
+    return failures
+
+
+def main() -> int:
+    root = pathlib.Path(__file__).resolve().parent.parent
+    failures = check(root)
+    if failures:
+        print("unresolvable module references in docs:")
+        for path, ref in failures:
+            print(f"  {path}: {ref}")
+        return 1
+    print("all doc references resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
