@@ -19,7 +19,9 @@ The package is layered bottom-up:
 * :mod:`repro.harness` — co-location runner and per-figure experiment
   drivers;
 * :mod:`repro.trace` — event tracing and observability (ring-buffer
-  tracer, JSONL/Chrome-trace sinks, derived counters).
+  tracer, JSONL/Chrome-trace sinks, derived counters);
+* :mod:`repro.check` — opt-in runtime invariant checker and
+  property-based differential validation of the simulator.
 
 Quick start::
 
@@ -36,6 +38,7 @@ Quick start::
 
 from . import (
     baselines,
+    check,
     cluster,
     core,
     gpu,
@@ -57,6 +60,7 @@ __all__ = [
     "ReproError",
     "__version__",
     "baselines",
+    "check",
     "cluster",
     "core",
     "gpu",

@@ -91,7 +91,11 @@ class REEF(SharingPolicy):
     def _reset_best_effort(self) -> None:
         for entry in self._pending.values():
             launch = entry.launch
-            if launch is not None and not launch.done:
+            # A launch killed during its submission delay retires only
+            # when it reaches the device; don't count a second reset
+            # for it on the next high-priority arrival.
+            if (launch is not None and not launch.done
+                    and not launch.preempt_requested):
                 if self.tracer.enabled:
                     self.tracer.emit(SchedDecision(
                         ts=self.engine.now, client_id=launch.client_id,

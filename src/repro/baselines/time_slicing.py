@@ -110,7 +110,10 @@ class TimeSlicing(SharingPolicy):
                 reason=f"quantum expired; switching to {nxt}",
             ))
         for launch in list(self.device.resident_launches):
-            if launch.client_id == active and not launch.done:
+            # A launch preempted in an earlier quantum may still be
+            # draining its in-flight blocks; preempt each launch once.
+            if (launch.client_id == active and not launch.done
+                    and not launch.preempt_requested):
                 self.device.preempt(launch)
                 self.preemptions += 1
         self._activate(nxt)

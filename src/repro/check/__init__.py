@@ -1,0 +1,65 @@
+"""Correctness tooling: runtime invariants + differential validation.
+
+Two layers (see ``docs/validation.md``):
+
+* :mod:`repro.check.invariants` — an opt-in runtime checker
+  (:class:`InvariantChecker`) that re-audits the device's accounting
+  after every simulation event, behind a zero-overhead disabled
+  default (:data:`NULL_CHECKER`, mirroring ``NULL_TRACER``);
+* :mod:`repro.check.differential` — seeded random workload generation
+  plus differential oracles: the device versus the analytic cost
+  model, repeated runs for determinism, physical lower bounds, and
+  kernel conservation across Tally and every baseline.
+
+``differential`` is imported lazily: the device itself imports this
+package for :data:`NULL_CHECKER`, and the differential layer imports
+the policies, which import the device.
+"""
+
+from __future__ import annotations
+
+from ..errors import InvariantViolation
+from .invariants import NULL_CHECKER, InvariantChecker, NullChecker
+
+__all__ = [
+    "InvariantChecker",
+    "InvariantViolation",
+    "NULL_CHECKER",
+    "NullChecker",
+    # lazily loaded from .differential:
+    "Divergence",
+    "KernelRecord",
+    "ValidationReport",
+    "analytic_divergences",
+    "conservation_divergences",
+    "determinism_divergences",
+    "lower_bound_divergences",
+    "make_policy",
+    "random_mix",
+    "random_plan",
+    "run_mix",
+    "run_validation",
+]
+
+_DIFFERENTIAL = {
+    "Divergence",
+    "KernelRecord",
+    "ValidationReport",
+    "analytic_divergences",
+    "conservation_divergences",
+    "determinism_divergences",
+    "lower_bound_divergences",
+    "make_policy",
+    "random_mix",
+    "random_plan",
+    "run_mix",
+    "run_validation",
+}
+
+
+def __getattr__(name: str):
+    if name in _DIFFERENTIAL:
+        from . import differential
+
+        return getattr(differential, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -14,7 +14,9 @@ Usage::
 Each figure command prints the paper-vs-measured report that the
 corresponding benchmark also writes to ``results/``.  ``colocate`` and
 ``cluster`` accept ``--trace PATH`` to record the run through
-:mod:`repro.trace` (see ``docs/observability.md``).
+:mod:`repro.trace` (see ``docs/observability.md``) and ``--check`` to
+audit simulator invariants through :mod:`repro.check` (see
+``docs/validation.md``).
 """
 
 from __future__ import annotations
@@ -155,7 +157,8 @@ def _cmd_cluster(args: argparse.Namespace) -> None:
     packed = packed_placement(jobs, compute_budget=1.4)
     config = RunConfig(duration=args.duration, warmup=1.0)
     tracer = _make_tracer(args.trace) if args.trace else None
-    result = evaluate_placement(packed, "Tally", config, tracer=tracer)
+    result = evaluate_placement(packed, "Tally", config, tracer=tracer,
+                                check=args.check)
     saved = 1 - packed.gpus_used / dedicated.gpus_used
     rows = [
         ("jobs", len(jobs), ""),
@@ -168,6 +171,8 @@ def _cmd_cluster(args: argparse.Namespace) -> None:
     ]
     print(format_table(("metric", "value", "note"), rows,
                        title="Cluster consolidation under Tally"))
+    if args.check:
+        print("invariant checks: enabled on every GPU, 0 violations")
     if tracer is not None:
         _finish_trace(tracer, args.trace, config)
 
@@ -183,7 +188,7 @@ def _cmd_colocate(args: argparse.Namespace) -> None:
     tracer = _make_tracer(args.trace) if args.trace else None
     start = time.time()
     result = run_colocation(args.policy, [inference, training], config,
-                            tracer=tracer)
+                            tracer=tracer, check=args.check)
     wall = time.time() - start
     inf = result.job(f"{args.inference}#0")
     train = result.job(f"{args.training}#0")
@@ -203,6 +208,9 @@ def _cmd_colocate(args: argparse.Namespace) -> None:
          f"{config.duration:.0f}s / {wall:.1f}s",
          f"{result.events} events"),
     ]
+    if args.check:
+        rows.append(("invariant checks", str(result.invariant_checks),
+                     "0 violations"))
     print(format_table(
         ("metric", "value", "note"), rows,
         title=(f"{args.policy}: {args.inference} (load {args.load:.0%}) "
@@ -240,12 +248,15 @@ def build_parser() -> argparse.ArgumentParser:
     trace_help = ("record the run and write a Chrome/Perfetto "
                   "trace_event JSON to PATH (a .jsonl suffix streams "
                   "raw events instead); also prints derived counters")
+    check_help = ("audit simulator invariants after every event and "
+                  "fail on the first violation (docs/validation.md)")
 
     cluster = sub.add_parser(
         "cluster", help="cluster consolidation demo (GPUs saved vs SLA)")
     cluster.add_argument("--duration", type=float, default=5.0)
     cluster.add_argument("--trace", metavar="PATH", default=None,
                          help=trace_help)
+    cluster.add_argument("--check", action="store_true", help=check_help)
     cluster.set_defaults(fn=_cmd_cluster)
 
     colocate = sub.add_parser("colocate",
@@ -262,6 +273,7 @@ def build_parser() -> argparse.ArgumentParser:
     colocate.add_argument("--warmup", type=float, default=1.0)
     colocate.add_argument("--trace", metavar="PATH", default=None,
                           help=trace_help)
+    colocate.add_argument("--check", action="store_true", help=check_help)
     colocate.set_defaults(fn=_cmd_colocate)
     return parser
 

@@ -65,12 +65,13 @@ def _to_jobspec(job: ClusterJob) -> JobSpec:
 
 def evaluate_placement(placement: Placement, policy: str,
                        config: RunConfig | None = None, *,
-                       tracer=None) -> ClusterResult:
+                       tracer=None, check: bool = False) -> ClusterResult:
     """Simulate every GPU of ``placement`` under ``policy``.
 
     A :class:`~repro.trace.Tracer` records every GPU's run into one
     stream; per-GPU timelines overlap in time, so filter by client id
-    when analyzing.
+    when analyzing.  ``check=True`` runs every GPU with the invariant
+    checker enabled (see ``docs/validation.md``).
     """
     if not placement.bins:
         raise HarnessError("empty placement")
@@ -82,7 +83,8 @@ def evaluate_placement(placement: Placement, policy: str,
         specs = [_to_jobspec(job) for job in gpu_jobs]
         # Offline (best-effort) duplicates of an online service need
         # distinct traffic seeds; placement already carries them.
-        result = run_colocation(policy, specs, config, tracer=tracer)
+        result = run_colocation(policy, specs, config, tracer=tracer,
+                                check=check)
         counters: dict[str, int] = {}
         for job, spec in zip(gpu_jobs, specs):
             baseline = standalone(spec, config)

@@ -64,6 +64,9 @@ class _BEExecution:
     config: SchedConfig | None = None
     profiling: bool = False
     launch: DeviceLaunch | None = None  # in-flight device launch
+    #: sliced: the in-flight slice is already held at its boundary, so
+    #: further high-priority arrivals must not re-announce the hold
+    hold_noted: bool = False
     next_block: int = 0  # sliced: first block of the next slice
     tasks_remaining: int = 0  # ptb: logical blocks still to run
     active_time: float = 0.0  # accumulated execution time
@@ -137,24 +140,32 @@ class Tally(SharingPolicy):
         return self._hp_outstanding > 0
 
     def _preempt_best_effort(self) -> None:
-        """Stop every best-effort execution at block granularity."""
+        """Stop every best-effort execution at block granularity.
+
+        Idempotent per launch: a burst of high-priority submissions
+        while one best-effort launch is still draining preempts (and
+        counts, and traces) that launch exactly once.
+        """
         for execution in self._executions.values():
             launch = execution.launch
             if launch is None or launch.done:
                 continue
             if launch.config.kind is LaunchKind.PTB:
-                self.device.preempt(launch)
-                self.stats.preemptions += 1
+                if not launch.preempt_requested:
+                    self.device.preempt(launch)
+                    self.stats.preemptions += 1
             elif (execution.config is not None
                   and execution.config.kind is SchedKind.SLICED
-                  and self.tracer.enabled):
+                  and not execution.hold_noted):
                 # Held at the next slice boundary: the slice in flight
                 # completes normally, so the device never acks this.
-                self.tracer.emit(PreemptRequest(
-                    ts=self.engine.now, client_id=launch.client_id,
-                    kernel=launch.descriptor.name, launch_seq=launch.seq,
-                    mechanism="slice-boundary",
-                ))
+                execution.hold_noted = True
+                if self.tracer.enabled:
+                    self.tracer.emit(PreemptRequest(
+                        ts=self.engine.now, client_id=launch.client_id,
+                        kernel=launch.descriptor.name, launch_seq=launch.seq,
+                        mechanism="slice-boundary",
+                    ))
             # Sliced executions stop by not launching the next slice;
             # the slice in flight completes (bounded by the profiled
             # turnaround).  ORIGINAL launches cannot be stopped — that
@@ -231,6 +242,7 @@ class Tally(SharingPolicy):
 
     def _launch_slice(self, client_id: str, execution: _BEExecution) -> None:
         assert execution.config is not None
+        execution.hold_noted = False  # a new slice starts a new episode
         remaining = execution.descriptor.num_blocks - execution.next_block
         blocks = min(execution.config.blocks_per_slice, remaining)
         launch = DeviceLaunch(

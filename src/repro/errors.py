@@ -53,6 +53,15 @@ class GPUSimError(ReproError):
     """Base class for errors in the timing simulator."""
 
 
+class InvariantViolation(GPUSimError):
+    """Raised by :mod:`repro.check` when a simulator invariant breaks.
+
+    The message lists every violated invariant with the simulated time
+    and the device state that exposed it; a violation always indicates
+    a bug in the simulator or a policy, never in the workload.
+    """
+
+
 class RuntimeAPIError(ReproError):
     """Raised by the CUDA-like runtime API on misuse."""
 

@@ -33,6 +33,7 @@ import math
 from bisect import insort
 from typing import Callable
 
+from ..check.invariants import InvariantChecker, NULL_CHECKER
 from ..errors import GPUSimError
 from ..trace import (
     KernelComplete,
@@ -139,7 +140,8 @@ class GPUDevice:
 
     def __init__(self, spec: GPUSpec, engine: EventLoop, *,
                  colocation_slowdown: float = 1.15,
-                 tracer: Tracer | None = None) -> None:
+                 tracer: Tracer | None = None,
+                 check: InvariantChecker | None = None) -> None:
         if colocation_slowdown < 1.0:
             raise GPUSimError("colocation_slowdown must be >= 1.0")
         self.spec = spec
@@ -148,10 +150,15 @@ class GPUDevice:
         #: shared observability channel; policies and drivers emit to
         #: ``device.tracer`` too, so one tracer sees the whole run
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        #: opt-in invariant checker (``repro.check``); the disabled
+        #: default costs one attribute check per instrumentation site
+        self.check = check if check is not None else NULL_CHECKER
         self._threads_free = spec.total_threads
         self._slots_free = spec.total_block_slots
         self._resident: list[DeviceLaunch] = []  # sorted by (priority, seq)
         self._client_inflight: dict[str, int] = {}
+        #: launches submitted but still in their launch-overhead delay
+        self._submitting: dict[str, int] = {}
         self._capacity_cache: dict[int, int] = {}
         self._rr = 0  # round-robin cursor for same-priority fairness
         # Utilization accounting (thread-seconds of busy time).
@@ -180,7 +187,12 @@ class GPUDevice:
                 block_offset=launch.block_offset,
                 workers=launch.config.workers,
             ))
+        self._submitting[launch.client_id] = (
+            self._submitting.get(launch.client_id, 0) + 1
+        )
         self.engine.schedule(overhead, lambda: self._arrive(launch))
+        if self.check.enabled:
+            self.check.verify(self)
         return launch
 
     def preempt(self, launch: DeviceLaunch) -> None:
@@ -207,6 +219,8 @@ class GPUDevice:
         # is retired by _arrive instead.
         if launch.blocks_inflight == 0 and not math.isnan(launch.arrived_at):
             self._finalize(launch)
+        if self.check.enabled:
+            self.check.verify(self)
 
     def kill(self, launch: DeviceLaunch) -> None:
         """Reset-based preemption (REEF-style): discard in-flight work.
@@ -240,9 +254,19 @@ class GPUDevice:
             launch.blocks_inflight = 0
         if not math.isnan(launch.arrived_at):
             self._finalize(launch)
+        if self.check.enabled:
+            self.check.verify(self)
 
     def busy_for_client(self, client_id: str) -> bool:
-        """Whether any block of ``client_id`` is resident or queued."""
+        """Whether ``client_id`` has a launch resident **or** still in
+        its submission delay.
+
+        A launch between :meth:`submit` and its arrival on the device
+        counts as busy, so policies polling this cannot double-dispatch
+        a client during the launch-overhead window.
+        """
+        if self._submitting.get(client_id, 0) > 0:
+            return True
         return any(l.client_id == client_id for l in self._resident)
 
     @property
@@ -276,12 +300,15 @@ class GPUDevice:
 
     def _arrive(self, launch: DeviceLaunch) -> None:
         launch.arrived_at = self.engine.now
+        self._submitting[launch.client_id] -= 1
         insort(self._resident, launch, key=DeviceLaunch.sort_key)
         if launch.preempt_requested and launch.blocks_inflight == 0:
             # Preempted before it ever dispatched.
             self._finalize(launch)
-            return
-        self._dispatch()
+        else:
+            self._dispatch()
+        if self.check.enabled:
+            self.check.verify(self)
 
     def _capacity(self, threads_per_block: int) -> int:
         cached = self._capacity_cache.get(threads_per_block)
@@ -354,6 +381,8 @@ class GPUDevice:
         return duration
 
     def _start_batch(self, launch: DeviceLaunch, count: int) -> None:
+        if self.check.enabled:
+            self.check.verify_dispatch(self, launch)
         self._account()
         tpb = launch.descriptor.threads_per_block
         threads = count * tpb
@@ -405,6 +434,8 @@ class GPUDevice:
             self._finalize(launch)
         else:
             self._dispatch()
+        if self.check.enabled:
+            self.check.verify(self)
 
     def _ptb_iteration_duration(self, launch: DeviceLaunch) -> float:
         desc = launch.descriptor
@@ -434,6 +465,8 @@ class GPUDevice:
             self.engine.schedule(
                 duration, lambda: self._ptb_iteration(launch, workers, threads)
             )
+        if self.check.enabled:
+            self.check.verify(self)
 
     def _finalize(self, launch: DeviceLaunch) -> None:
         completed = launch.tasks_remaining <= 0
@@ -464,5 +497,7 @@ class GPUDevice:
             pass
         self.launches_completed += 1
         self._dispatch()
+        if self.check.enabled:
+            self.check.verify(self)
         if launch.on_complete is not None:
             launch.on_complete(launch)

@@ -20,17 +20,22 @@ __all__ = ["Event", "EventLoop"]
 class Event:
     """A scheduled callback; cancellable until it fires."""
 
-    __slots__ = ("time", "seq", "fn", "cancelled")
+    __slots__ = ("time", "seq", "fn", "cancelled", "loop")
 
-    def __init__(self, time: float, seq: int, fn: Callable[[], None]):
+    def __init__(self, time: float, seq: int, fn: Callable[[], None],
+                 loop: "EventLoop | None" = None):
         self.time = time
         self.seq = seq
         self.fn = fn
         self.cancelled = False
+        self.loop = loop
 
     def cancel(self) -> None:
         """Prevent the event from firing (O(1); removed lazily)."""
-        self.cancelled = True
+        if not self.cancelled:
+            self.cancelled = True
+            if self.loop is not None:
+                self.loop._note_cancel()
 
     def __lt__(self, other: "Event") -> bool:
         return (self.time, self.seq) < (other.time, other.seq)
@@ -46,10 +51,16 @@ class EventLoop:
     Ties are broken by scheduling order, so runs are reproducible.
     """
 
+    #: cancelled-event count past which the heap is compacted in place
+    #: (only when at least half the queue is dead), so drivers polling
+    #: :attr:`pending` never spin over an ever-growing graveyard
+    COMPACT_THRESHOLD = 64
+
     def __init__(self) -> None:
         self.now = 0.0
         self._heap: list[Event] = []
         self._seq = itertools.count()
+        self._cancelled = 0  # cancelled events still sitting in the heap
         self.events_processed = 0
 
     def schedule_at(self, time: float, fn: Callable[[], None]) -> Event:
@@ -58,7 +69,7 @@ class EventLoop:
             raise GPUSimError(
                 f"cannot schedule event at {time:.9f} before now ({self.now:.9f})"
             )
-        event = Event(time, next(self._seq), fn)
+        event = Event(time, next(self._seq), fn, self)
         heapq.heappush(self._heap, event)
         return event
 
@@ -72,15 +83,26 @@ class EventLoop:
         """Schedule ``fn`` at the current time (after pending same-time events)."""
         return self.schedule_at(self.now, fn)
 
+    def _note_cancel(self) -> None:
+        self._cancelled += 1
+        heap = self._heap
+        if (self._cancelled >= self.COMPACT_THRESHOLD
+                and self._cancelled * 2 >= len(heap)):
+            # Rebuild in place: run loops hold a reference to the list.
+            heap[:] = [e for e in heap if not e.cancelled]
+            heapq.heapify(heap)
+            self._cancelled = 0
+
     @property
     def pending(self) -> int:
-        """Number of events still queued (including cancelled ones)."""
-        return len(self._heap)
+        """Number of *live* (non-cancelled) events still queued."""
+        return len(self._heap) - self._cancelled
 
     def peek_time(self) -> float | None:
         """Time of the next live event, or None if the queue is empty."""
         while self._heap and self._heap[0].cancelled:
             heapq.heappop(self._heap)
+            self._cancelled -= 1
         return self._heap[0].time if self._heap else None
 
     def step(self) -> bool:
@@ -89,6 +111,7 @@ class EventLoop:
         while heap:
             event = heapq.heappop(heap)
             if event.cancelled:
+                self._cancelled -= 1
                 continue
             self.now = event.time
             self.events_processed += 1
@@ -110,6 +133,7 @@ class EventLoop:
                 break
             heapq.heappop(heap)
             if event.cancelled:
+                self._cancelled -= 1
                 continue
             self.now = event.time
             self.events_processed += 1

@@ -25,6 +25,7 @@ from ..baselines import (
     TGS,
     TimeSlicing,
 )
+from ..check import InvariantChecker
 from ..core import Tally, TallyConfig
 from ..errors import HarnessError
 from ..gpu import A100_SXM4_40GB, EventLoop, GPUDevice, GPUSpec
@@ -155,6 +156,9 @@ class RunResult:
     jobs: dict[str, JobResult]
     utilization: float
     events: int
+    #: invariant audits performed (0 when the run was unchecked); a
+    #: checked run that returns at all had zero violations
+    invariant_checks: int = 0
 
     def job(self, client_id: str) -> JobResult:
         try:
@@ -193,16 +197,30 @@ def _traffic_for(spec_: JobSpec, trace: Trace, config: RunConfig) -> TrafficTrac
 
 def run_colocation(policy_name: str, jobs: list[JobSpec],
                    config: RunConfig | None = None, *,
-                   tracer: Tracer | None = None) -> RunResult:
+                   tracer: Tracer | None = None,
+                   check: "bool | InvariantChecker" = False) -> RunResult:
     """Run ``jobs`` together under ``policy_name`` and collect metrics.
 
     Pass a :class:`~repro.trace.Tracer` to record the run's scheduler
     and device activity (see ``docs/observability.md``); tracing is
     off — and free — when ``tracer`` is None.
+
+    ``check=True`` (or an :class:`~repro.check.InvariantChecker`)
+    audits the device's accounting after every event and raises
+    :class:`~repro.errors.InvariantViolation` on the first breach
+    (see ``docs/validation.md``); checking is off — and free — by
+    default.
     """
     if not jobs:
         raise HarnessError("need at least one job")
     config = config if config is not None else RunConfig()
+    checker: InvariantChecker | None
+    if check is True:
+        checker = InvariantChecker()
+    elif check:
+        checker = check  # caller-supplied checker (e.g. collect mode)
+    else:
+        checker = None
 
     if config.check_memory:
         from ..workloads.memory import A100_MEMORY_BYTES, check_memory_fit
@@ -215,7 +233,7 @@ def run_colocation(policy_name: str, jobs: list[JobSpec],
     engine = EventLoop()
     device = GPUDevice(config.spec, engine,
                        colocation_slowdown=config.colocation_slowdown,
-                       tracer=tracer)
+                       tracer=tracer, check=checker)
     policy = make_policy(policy_name, device, engine,
                          tally_config=config.tally_config)
 
@@ -277,6 +295,7 @@ def run_colocation(policy_name: str, jobs: list[JobSpec],
     return RunResult(
         policy=policy_name, config=config, jobs=results,
         utilization=device.utilization(), events=engine.events_processed,
+        invariant_checks=checker.checks_run if checker is not None else 0,
     )
 
 

@@ -1,0 +1,81 @@
+"""Property-based differential validation of the simulator.
+
+Each property draws a seed; the seed fully determines the workload, so
+a failing example is a replayable bug report (the ``seed`` field of
+the returned :class:`~repro.check.Divergence` says how).  Every run
+here also executes with the invariant checker enabled, so these tests
+double as a fuzz of the runtime checker against healthy simulations.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.check import (
+    analytic_divergences,
+    conservation_divergences,
+    determinism_divergences,
+    lower_bound_divergences,
+    run_mix,
+    run_validation,
+)
+from repro.check.differential import POLICY_NAMES
+
+_settings = settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+seeds = st.integers(min_value=0, max_value=10_000)
+policies = st.sampled_from(POLICY_NAMES)
+
+
+class TestAnalyticModel:
+    """Device timing == closed-form model, for every launch shape."""
+
+    @_settings
+    @given(seed=seeds)
+    def test_solo_kernels_match_analytic_durations(self, seed):
+        assert analytic_divergences(seed) == []
+
+
+class TestDeterminism:
+    """Identical seeds produce bit-identical runs under every policy."""
+
+    @_settings
+    @given(seed=seeds, policy=policies)
+    def test_repeated_runs_are_identical(self, seed, policy):
+        assert determinism_divergences(policy, seed) == []
+
+
+class TestPhysicalBounds:
+    """Sharing only adds delay — nothing beats the idle-device bound."""
+
+    @_settings
+    @given(seed=seeds, policy=policies)
+    def test_no_kernel_beats_lower_bound(self, seed, policy):
+        assert lower_bound_divergences(policy, seed) == []
+
+
+class TestConservation:
+    """Every submitted kernel completes exactly once, in every policy."""
+
+    @_settings
+    @given(seed=seeds, policy=policies)
+    def test_all_kernels_complete(self, seed, policy):
+        assert conservation_divergences(policy, seed) == []
+
+
+class TestAggregate:
+    def test_run_validation_clean_on_fixed_seeds(self):
+        report = run_validation(seeds=(0, 1))
+        assert report.ok, report.format()
+        assert report.invariant_checks > 0
+        assert "validation OK" in report.format()
+
+    def test_run_mix_audits_every_event(self):
+        _records, device, engine = run_mix("Tally", seed=5)
+        assert device.check.enabled
+        # At least one audit per processed device event.
+        assert device.check.checks_run >= engine.events_processed // 2
+        assert device.check.violations == []

@@ -1,0 +1,31 @@
+"""Shared test configuration: named Hypothesis profiles.
+
+``HYPOTHESIS_PROFILE=ci`` (used by the CI validation job) derandomizes
+every property test — examples are derived from the test body alone,
+so a failure on one machine replays identically on any other.  The
+``dev`` profile keeps random exploration but prints the reproduction
+blob on failure.  Without the variable, Hypothesis defaults apply.
+"""
+
+import os
+
+from hypothesis import HealthCheck, settings
+
+settings.register_profile(
+    "ci",
+    derandomize=True,
+    deadline=None,
+    max_examples=25,
+    suppress_health_check=[HealthCheck.too_slow],
+    print_blob=True,
+)
+settings.register_profile(
+    "dev",
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+    print_blob=True,
+)
+
+_profile = os.environ.get("HYPOTHESIS_PROFILE")
+if _profile:
+    settings.load_profile(_profile)

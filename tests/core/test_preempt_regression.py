@@ -1,0 +1,140 @@
+"""Regression tests for the preemption overcount bug.
+
+A burst of high-priority kernels used to re-preempt (and re-count, and
+re-trace) the same in-flight best-effort launch once per arrival.  The
+fix guards on ``launch.preempt_requested`` (PTB) and a per-episode
+``hold_noted`` flag (sliced), so each launch is preempted exactly once
+per episode no matter how many high-priority kernels pile up while it
+drains.
+"""
+
+import pytest
+
+from repro.baselines.base import Priority
+from repro.core import Tally, TallyConfig
+from repro.gpu import A100_SXM4_40GB, EventLoop, GPUDevice, KernelDescriptor
+from repro.trace import Tracer
+from repro.trace.events import PreemptAck, PreemptRequest
+
+BE_KERNEL = KernelDescriptor("be_big", num_blocks=50_000,
+                             threads_per_block=256, block_duration=100e-6)
+HP_KERNEL = KernelDescriptor("hp_small", num_blocks=100,
+                             threads_per_block=256, block_duration=50e-6)
+
+
+def traced_tally(config: TallyConfig):
+    engine = EventLoop()
+    tracer = Tracer(capacity=None)
+    device = GPUDevice(A100_SXM4_40GB, engine, tracer=tracer)
+    tally = Tally(device, engine, config=config)
+    tally.register_client("be", Priority.BEST_EFFORT)
+    tally.register_client("hp", Priority.HIGH)
+    return tally, engine, tracer
+
+
+def hp_burst(tally, engine, count: int, start: float = 2e-3,
+             gap: float = 10e-6) -> None:
+    """Schedule ``count`` independent high-priority arrivals.
+
+    The gap is far shorter than the drain time of an in-flight PTB
+    wave (~105us at 100us/block), so later arrivals land while the
+    launch preempted by the first one is still draining — exactly the
+    window where the overcount happened.
+    """
+    for i in range(count):
+        engine.schedule_at(start + i * gap,
+                           lambda: tally.submit("hp", HP_KERNEL,
+                                                lambda: None))
+
+
+class TestPtbOvercount:
+    """PTB launches: one preemption per launch, not per HP arrival."""
+
+    @pytest.mark.parametrize("burst", [1, 4, 8])
+    def test_burst_preempts_once(self, burst):
+        config = TallyConfig(slice_fractions=(), worker_sm_multiples=(1,))
+        tally, engine, _tracer = traced_tally(config)
+        tally.submit("be", BE_KERNEL, lambda: None)
+        hp_burst(tally, engine, burst)
+        engine.run()
+        assert tally.stats.hp_kernels == burst
+        assert tally.stats.preemptions == 1
+        assert tally.stats.resumes == 1
+
+    @pytest.mark.parametrize("burst", [1, 4, 8])
+    def test_stats_match_trace_acks(self, burst):
+        """Acceptance criterion: TallyStats.preemptions == PreemptAck
+        trace events in a traced HP-burst run."""
+        config = TallyConfig(slice_fractions=(), worker_sm_multiples=(1,))
+        tally, engine, tracer = traced_tally(config)
+        tally.submit("be", BE_KERNEL, lambda: None)
+        hp_burst(tally, engine, burst)
+        engine.run()
+        acks = [e for e in tracer.events if isinstance(e, PreemptAck)]
+        requests = [e for e in tracer.events
+                    if isinstance(e, PreemptRequest)]
+        assert tally.stats.preemptions == len(acks) == 1
+        assert len(requests) == 1
+
+
+class TestSlicedOvercount:
+    """Sliced launches: one slice-boundary hold event per episode."""
+
+    @pytest.mark.parametrize("burst", [1, 4, 8])
+    def test_burst_emits_one_boundary_event(self, burst):
+        config = TallyConfig(slice_fractions=(0.05,),
+                             worker_sm_multiples=())
+        tally, engine, tracer = traced_tally(config)
+        tally.submit("be", BE_KERNEL, lambda: None)
+        hp_burst(tally, engine, burst)
+        engine.run()
+        boundary = [e for e in tracer.events
+                    if isinstance(e, PreemptRequest)
+                    and e.mechanism == "slice-boundary"]
+        assert len(boundary) == 1
+        # Sliced holds are not device preemptions: the in-flight slice
+        # completes normally and the device never acks anything.
+        assert tally.stats.preemptions == 0
+        assert not any(isinstance(e, PreemptAck) for e in tracer.events)
+
+    def test_two_episodes_emit_two_boundary_events(self):
+        """hold_noted resets per slice: a second, later HP episode
+        announces its own hold."""
+        config = TallyConfig(slice_fractions=(0.05,),
+                             worker_sm_multiples=())
+        tally, engine, tracer = traced_tally(config)
+        tally.submit("be", BE_KERNEL, lambda: None)
+        hp_burst(tally, engine, 3, start=2e-3)
+        hp_burst(tally, engine, 3, start=4e-3)  # well after episode 1
+        engine.run()
+        boundary = [e for e in tracer.events
+                    if isinstance(e, PreemptRequest)
+                    and e.mechanism == "slice-boundary"]
+        assert len(boundary) == 2
+
+
+class TestResumeOrdering:
+    """Synchronous HP resubmission in on_done must defer the resume."""
+
+    def test_chained_hp_kernels_resume_once(self):
+        config = TallyConfig(slice_fractions=(), worker_sm_multiples=(1,))
+        tally, engine, _tracer = traced_tally(config)
+        tally.submit("be", BE_KERNEL, lambda: None)
+
+        remaining = {"n": 3}
+
+        def on_done():
+            remaining["n"] -= 1
+            if remaining["n"] > 0:
+                # Resubmit synchronously from the completion callback —
+                # the scheduler must see hp_outstanding > 0 and NOT
+                # resume best-effort work between chain links.
+                tally.submit("hp", HP_KERNEL, on_done)
+
+        engine.schedule_at(2e-3,
+                           lambda: tally.submit("hp", HP_KERNEL, on_done))
+        engine.run()
+        assert remaining["n"] == 0
+        assert tally.stats.hp_kernels == 3
+        assert tally.stats.preemptions == 1
+        assert tally.stats.resumes == 1

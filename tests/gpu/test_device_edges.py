@@ -1,0 +1,178 @@
+"""Edge cases around the submission-delay window and partial dispatch.
+
+Every launch spends ``kernel_launch_overhead`` between :meth:`submit`
+and arriving on the device.  Preemption, kill, and busy-polling during
+that window are the corners this file pins down, along with PTB
+launches forced to dispatch their workers in several partial batches.
+All scenarios run under the invariant checker so a clean pass also
+certifies the accounting on these paths.
+"""
+
+import math
+
+from repro.check import InvariantChecker
+from repro.gpu import (
+    A100_SXM4_40GB,
+    DeviceLaunch,
+    EventLoop,
+    GPUDevice,
+    KernelDescriptor,
+    LaunchConfig,
+    LaunchKind,
+    LaunchStatus,
+)
+
+SPEC = A100_SXM4_40GB
+OVERHEAD = SPEC.kernel_launch_overhead
+
+
+def checked_device():
+    engine = EventLoop()
+    checker = InvariantChecker()
+    device = GPUDevice(SPEC, engine, check=checker)
+    return device, engine, checker
+
+
+def kernel(name="k", blocks=2000, bd=50e-6, tpb=256):
+    return KernelDescriptor(name, num_blocks=blocks, threads_per_block=tpb,
+                            block_duration=bd)
+
+
+class TestPreemptBeforeArrival:
+    def test_preempt_during_submission_delay(self):
+        """Preempting a launch that has not yet arrived retires it on
+        arrival with zero progress, leaving the device pristine."""
+        device, engine, checker = checked_device()
+        launch = DeviceLaunch(kernel(), client_id="a")
+        device.submit(launch)
+        # Half-way through the submission delay: not yet arrived.
+        engine.schedule(OVERHEAD / 2, lambda: device.preempt(launch))
+        engine.run()
+        assert launch.status is LaunchStatus.PREEMPTED
+        assert launch.blocks_done == 0
+        assert launch.blocks_inflight == 0
+        assert device.threads_free == SPEC.total_threads
+        assert device.slots_free == SPEC.total_block_slots
+        assert checker.violations == []
+
+    def test_on_complete_fires_for_preempted_arrival(self):
+        device, engine, _checker = checked_device()
+        seen = []
+        launch = DeviceLaunch(kernel(), client_id="a",
+                              on_complete=seen.append)
+        device.submit(launch)
+        engine.schedule(OVERHEAD / 2, lambda: device.preempt(launch))
+        engine.run()
+        assert seen == [launch]
+
+
+class TestKillDuringSubmissionDelay:
+    def test_kill_before_arrival(self):
+        """kill() on a launch in its submission delay must not finalize
+        twice or leak resources — _arrive retires it."""
+        device, engine, checker = checked_device()
+        launch = DeviceLaunch(kernel(), client_id="a")
+        device.submit(launch)
+        engine.schedule(OVERHEAD / 2, lambda: device.kill(launch))
+        engine.run()
+        assert launch.status is LaunchStatus.PREEMPTED
+        assert launch.killed
+        assert launch.blocks_done == 0
+        assert device.threads_free == SPEC.total_threads
+        assert checker.violations == []
+
+    def test_kill_is_idempotent_after_retirement(self):
+        device, engine, checker = checked_device()
+        launch = DeviceLaunch(kernel(), client_id="a")
+        device.submit(launch)
+        engine.schedule(OVERHEAD / 2, lambda: device.kill(launch))
+        engine.run()
+        device.kill(launch)  # already done: must be a no-op
+        assert launch.blocks_killed == 0
+        assert checker.violations == []
+
+
+class TestBusyForClient:
+    def test_busy_during_submission_window(self):
+        """The fix under test: a launch between submit() and arrival
+        counts as busy, so policies cannot double-dispatch during the
+        launch-overhead window."""
+        device, engine, _checker = checked_device()
+        device.submit(DeviceLaunch(kernel(), client_id="a"))
+        # Immediately after submit: not yet resident, but busy.
+        assert device.busy_for_client("a")
+        assert not device.busy_for_client("b")
+        observed = []
+        engine.schedule(OVERHEAD / 2,
+                        lambda: observed.append(device.busy_for_client("a")))
+        engine.run()
+        assert observed == [True]
+
+    def test_idle_after_completion(self):
+        device, engine, _checker = checked_device()
+        device.submit(DeviceLaunch(kernel(), client_id="a"))
+        engine.run()
+        assert not device.busy_for_client("a")
+
+    def test_busy_while_resident(self):
+        device, engine, _checker = checked_device()
+        device.submit(DeviceLaunch(kernel(blocks=30_000), client_id="a"))
+        observed = []
+        engine.schedule(1e-3,
+                        lambda: observed.append(device.busy_for_client("a")))
+        engine.run()
+        assert observed == [True]
+
+
+class TestPtbPartialBatches:
+    def test_workers_split_across_batches(self):
+        """A PTB launch arriving on a mostly-occupied device dispatches
+        its workers in several partial batches as slots free up, and
+        still completes every logical block exactly once."""
+        device, engine, checker = checked_device()
+        capacity = SPEC.concurrent_blocks(256)
+        # Fill the device with a long ORIGINAL kernel first.
+        hog = DeviceLaunch(kernel("hog", blocks=capacity, bd=200e-6),
+                           client_id="hog")
+        device.submit(hog)
+        # PTB launch wants more workers than will ever be free at once.
+        workers = capacity // 2
+        ptb = DeviceLaunch(
+            kernel("ptb", blocks=10_000, bd=20e-6),
+            LaunchConfig(LaunchKind.PTB, workers=workers),
+            client_id="ptb",
+        )
+        engine.schedule(OVERHEAD, lambda: device.submit(ptb))
+        engine.run()
+        assert hog.status is LaunchStatus.COMPLETED
+        assert ptb.status is LaunchStatus.COMPLETED
+        assert ptb.tasks_done == 10_000
+        assert ptb.blocks_done == 10_000
+        assert device.threads_free == SPEC.total_threads
+        assert device.slots_free == SPEC.total_block_slots
+        assert checker.violations == []
+
+    def test_partial_batch_preemption_keeps_progress(self):
+        device, engine, checker = checked_device()
+        ptb = DeviceLaunch(
+            kernel("ptb", blocks=50_000, bd=100e-6),
+            LaunchConfig(LaunchKind.PTB, workers=400),
+            client_id="ptb",
+        )
+        device.submit(ptb)
+        engine.schedule(2e-3, lambda: device.preempt(ptb))
+        engine.run()
+        assert ptb.status is LaunchStatus.PREEMPTED
+        assert 0 < ptb.tasks_done < 50_000
+        # Progress is exact: a restart from tasks_done re-runs the rest.
+        assert ptb.tasks_done == ptb.blocks_done
+        assert device.threads_free == SPEC.total_threads
+        assert checker.violations == []
+
+    def test_arrival_time_recorded(self):
+        device, engine, _checker = checked_device()
+        launch = DeviceLaunch(kernel(), client_id="a")
+        device.submit(launch)
+        assert math.isnan(launch.arrived_at)
+        engine.run()
+        assert launch.arrived_at == OVERHEAD

@@ -117,3 +117,97 @@ class TestEventLoop:
             loop.schedule(float(i + 1), lambda: None)
         loop.run()
         assert loop.events_processed == 5
+
+
+class TestPendingCount:
+    """``pending`` counts *live* events; cancelled ones are excluded
+    immediately, not only once the heap pops them."""
+
+    def test_pending_excludes_cancelled(self):
+        loop = EventLoop()
+        events = [loop.schedule(float(i + 1), lambda: None)
+                  for i in range(10)]
+        assert loop.pending == 10
+        for event in events[:4]:
+            event.cancel()
+        assert loop.pending == 6
+
+    def test_double_cancel_counts_once(self):
+        loop = EventLoop()
+        event = loop.schedule(1.0, lambda: None)
+        loop.schedule(2.0, lambda: None)
+        event.cancel()
+        event.cancel()
+        assert loop.pending == 1
+
+    def test_pending_drains_to_zero(self):
+        loop = EventLoop()
+        kept = [loop.schedule(float(i + 1), lambda: None) for i in range(6)]
+        for event in kept[::2]:
+            event.cancel()
+        loop.run()
+        assert loop.pending == 0
+
+    def test_peek_time_keeps_count_consistent(self):
+        loop = EventLoop()
+        first = loop.schedule(1.0, lambda: None)
+        loop.schedule(2.0, lambda: None)
+        first.cancel()
+        # peek_time pops the cancelled head; pending must not go stale.
+        assert loop.peek_time() == 2.0
+        assert loop.pending == 1
+
+    def test_step_skips_cancelled_and_updates_count(self):
+        loop = EventLoop()
+        first = loop.schedule(1.0, lambda: None)
+        loop.schedule(2.0, lambda: None)
+        first.cancel()
+        assert loop.step() is True
+        assert loop.now == 2.0
+        assert loop.pending == 0
+
+
+class TestHeapCompaction:
+    """Mass cancellation compacts the heap in place so long-running
+    simulations with churny timers don't accumulate dead entries."""
+
+    def test_compaction_shrinks_heap(self):
+        loop = EventLoop()
+        threshold = EventLoop.COMPACT_THRESHOLD
+        doomed = [loop.schedule(float(i + 1), lambda: None)
+                  for i in range(2 * threshold)]
+        survivors = [loop.schedule(1000.0 + i, lambda: None)
+                     for i in range(3)]
+        for event in doomed:
+            event.cancel()
+        # A sweep ran: most dead entries are gone (a sub-threshold tail
+        # of cancellations after the last sweep may linger until popped).
+        assert len(loop._heap) < 2 * threshold
+        assert loop.pending == len(survivors)
+
+    def test_compaction_preserves_order_and_fires_survivors(self):
+        loop = EventLoop()
+        threshold = EventLoop.COMPACT_THRESHOLD
+        fired = []
+        for i in range(2 * threshold):
+            loop.schedule(float(i + 1), lambda: fired.append("doomed"))
+        survivors = []
+        for i in range(5):
+            survivors.append(
+                loop.schedule(0.5 + i, lambda i=i: fired.append(i)))
+        for event in list(loop._heap):
+            if event not in survivors:
+                event.cancel()
+        loop.run()
+        assert fired == [0, 1, 2, 3, 4]
+
+    def test_no_compaction_below_threshold(self):
+        loop = EventLoop()
+        events = [loop.schedule(float(i + 1), lambda: None)
+                  for i in range(10)]
+        for event in events[:5]:
+            event.cancel()
+        # Below COMPACT_THRESHOLD the dead entries stay until popped...
+        assert len(loop._heap) == 10
+        # ...but pending already reports the live count.
+        assert loop.pending == 5
