@@ -23,6 +23,7 @@ from ..errors import SchedulerError
 from ..gpu.device import DeviceLaunch, GPUDevice
 from ..gpu.engine import EventLoop
 from ..gpu.kernel import KernelDescriptor
+from ..trace.events import ClientGC
 
 __all__ = ["Priority", "ClientInfo", "SharingPolicy", "PassthroughPolicy"]
 
@@ -90,9 +91,41 @@ class SharingPolicy(abc.ABC):
 
         self._submit(info, descriptor, counted_done)
 
+    def disconnect(self, client_id: str) -> None:
+        """Forget a crashed client and cancel its in-flight work.
+
+        Idempotent — disconnecting an unknown or already-removed client
+        is a no-op.  Surviving clients must be unaffected: their queued
+        and resident launches keep their positions.
+        """
+        info = self.clients.pop(client_id, None)
+        if info is None:
+            return
+        cancelled = self._on_disconnect(info)
+        if self.tracer.enabled:
+            self.tracer.emit(ClientGC(
+                ts=self.engine.now, client_id=client_id, kernel="",
+                scope="scheduler", launches_cancelled=cancelled,
+            ))
+
     # ------------------------------------------------------------------
     def _on_register(self, info: ClientInfo) -> None:
         """Hook for subclasses (default: nothing)."""
+
+    def _on_disconnect(self, info: ClientInfo) -> int:
+        """Cancel ``info``'s work; returns launches cancelled.
+
+        The default kills the client's resident device launches with
+        their completion callbacks neutralized (the client is gone —
+        nobody is waiting).  Policies with internal queues override
+        this to also drop their per-client state.
+        """
+        cancelled = 0
+        for launch in self.device.resident_for(info.client_id):
+            launch.on_complete = None
+            self.device.kill(launch)
+            cancelled += 1
+        return cancelled
 
     @abc.abstractmethod
     def _submit(self, info: ClientInfo, descriptor: KernelDescriptor,

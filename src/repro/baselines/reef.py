@@ -79,6 +79,33 @@ class REEF(SharingPolicy):
         if self._hp_outstanding == 0:
             self._start(info.client_id, entry)
 
+    def _on_disconnect(self, info: ClientInfo) -> int:
+        """Drop a crashed client's pending kernel and kill its launches.
+
+        A crashed high-priority client's severed launches must still
+        decrement ``_hp_outstanding``, or best-effort work would wait
+        forever for a completion that cannot come.
+        """
+        entry = self._pending.pop(info.client_id, None)
+        cancelled = 0
+        if entry is not None and entry.launch is not None \
+                and not entry.launch.done:
+            entry.launch.on_complete = None
+            self.device.kill(entry.launch)
+            cancelled += 1
+        for stray in self.device.resident_for(info.client_id):
+            stray.on_complete = None
+            self.device.kill(stray)
+            cancelled += 1
+            if info.priority is Priority.HIGH and self._hp_outstanding > 0:
+                self._hp_outstanding -= 1
+        if (info.priority is Priority.HIGH and cancelled
+                and self._hp_outstanding == 0):
+            for client_id, pending in list(self._pending.items()):
+                if pending.launch is None:
+                    self._start(client_id, pending)
+        return cancelled
+
     # ------------------------------------------------------------------
     def _hp_done(self, on_done: Callable[[], None]) -> None:
         self._hp_outstanding -= 1

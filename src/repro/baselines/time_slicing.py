@@ -66,6 +66,35 @@ class TimeSlicing(SharingPolicy):
         else:
             self._yield_if_idle()
 
+    def _on_disconnect(self, info: ClientInfo) -> int:
+        """Remove a crashed context from the rotation.
+
+        Its queued kernels are dropped, resident launches killed with
+        callbacks severed (the crashed client's ``_finished`` would
+        otherwise touch the state deleted here), and if it held the
+        device the quantum rotates to the next context with work.
+        """
+        client_id = info.client_id
+        cancelled = 0
+        for launch in self.device.resident_for(client_id):
+            launch.on_complete = None
+            self.device.kill(launch)
+            cancelled += 1
+        self._order.remove(client_id)
+        del self._queues[client_id]
+        del self._suspended[client_id]
+        del self._inflight[client_id]
+        if self._active == client_id:
+            self._active = None
+            if self._quantum_event is not None:
+                self._quantum_event.cancel()
+                self._quantum_event = None
+            for survivor in self._order:
+                if self._has_work(survivor):
+                    self._activate(survivor)
+                    break
+        return cancelled
+
     # ------------------------------------------------------------------
     def _has_work(self, client_id: str) -> bool:
         return bool(self._queues[client_id] or self._suspended[client_id]

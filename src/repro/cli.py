@@ -14,9 +14,11 @@ Usage::
 Each figure command prints the paper-vs-measured report that the
 corresponding benchmark also writes to ``results/``.  ``colocate`` and
 ``cluster`` accept ``--trace PATH`` to record the run through
-:mod:`repro.trace` (see ``docs/observability.md``) and ``--check`` to
+:mod:`repro.trace` (see ``docs/observability.md``), ``--check`` to
 audit simulator invariants through :mod:`repro.check` (see
-``docs/validation.md``).
+``docs/validation.md``), and ``--faults SPEC`` to enable seeded fault
+injection through :mod:`repro.faults` (see ``docs/fault_tolerance.md``),
+e.g. ``--faults "seed=1,drop=0.05,crash_at=3.0"``.
 """
 
 from __future__ import annotations
@@ -129,6 +131,32 @@ def _cmd_fig6c(args: argparse.Namespace) -> None:
     print(fig6c_report(fig6c(args.scale)))
 
 
+def _parse_faults(args: argparse.Namespace):
+    """``--faults SPEC`` → :class:`~repro.faults.FaultConfig` or None."""
+    if not getattr(args, "faults", None):
+        return None
+    from .faults import FaultConfig
+
+    return FaultConfig.parse(args.faults)
+
+
+def _faulted_tally_config(faults) -> "TallyConfig | None":
+    """Tally config for a faulted run: arm the preemption watchdog.
+
+    Lost-PreemptAck recovery needs a deadline; a few turnaround bounds
+    keeps the watchdog well clear of healthy preemptions (which finish
+    within one bound) while still recovering quickly.
+    """
+    if faults is None:
+        return None
+    from .core import TallyConfig
+
+    base = TallyConfig()
+    return TallyConfig(
+        preempt_deadline=4 * base.turnaround_latency_bound,
+    )
+
+
 def _cmd_cluster(args: argparse.Namespace) -> None:
     from .cluster import (
         ClusterJob,
@@ -155,10 +183,12 @@ def _cmd_cluster(args: argparse.Namespace) -> None:
 
     dedicated = dedicated_placement(jobs)
     packed = packed_placement(jobs, compute_budget=1.4)
-    config = RunConfig(duration=args.duration, warmup=1.0)
+    faults = _parse_faults(args)
+    config = RunConfig(duration=args.duration, warmup=1.0,
+                       tally_config=_faulted_tally_config(faults))
     tracer = _make_tracer(args.trace) if args.trace else None
     result = evaluate_placement(packed, "Tally", config, tracer=tracer,
-                                check=args.check)
+                                check=args.check, faults=faults)
     saved = 1 - packed.gpus_used / dedicated.gpus_used
     rows = [
         ("jobs", len(jobs), ""),
@@ -178,7 +208,11 @@ def _cmd_cluster(args: argparse.Namespace) -> None:
 
 
 def _cmd_colocate(args: argparse.Namespace) -> None:
-    config = RunConfig(duration=args.duration, warmup=args.warmup)
+    faults = _parse_faults(args)
+    tally_config = (_faulted_tally_config(faults)
+                    if args.policy == "Tally" else None)
+    config = RunConfig(duration=args.duration, warmup=args.warmup,
+                       tally_config=tally_config)
     inference = JobSpec.inference(args.inference, load=args.load)
     training = JobSpec.training(args.training)
     base = standalone(inference, config)
@@ -188,7 +222,7 @@ def _cmd_colocate(args: argparse.Namespace) -> None:
     tracer = _make_tracer(args.trace) if args.trace else None
     start = time.time()
     result = run_colocation(args.policy, [inference, training], config,
-                            tracer=tracer, check=args.check)
+                            tracer=tracer, check=args.check, faults=faults)
     wall = time.time() - start
     inf = result.job(f"{args.inference}#0")
     train = result.job(f"{args.training}#0")
@@ -211,6 +245,11 @@ def _cmd_colocate(args: argparse.Namespace) -> None:
     if args.check:
         rows.append(("invariant checks", str(result.invariant_checks),
                      "0 violations"))
+    if result.fault_counts:
+        injected = ", ".join(f"{kind}={n}" for kind, n
+                             in sorted(result.fault_counts.items()))
+        rows.append(("faults injected", str(sum(
+            result.fault_counts.values())), injected))
     print(format_table(
         ("metric", "value", "note"), rows,
         title=(f"{args.policy}: {args.inference} (load {args.load:.0%}) "
@@ -248,6 +287,9 @@ def build_parser() -> argparse.ArgumentParser:
     trace_help = ("record the run and write a Chrome/Perfetto "
                   "trace_event JSON to PATH (a .jsonl suffix streams "
                   "raw events instead); also prints derived counters")
+    faults_help = ('seeded fault injection, e.g. '
+                   '"seed=1,drop=0.05,lost_ack=0.2,crash_at=3.0" '
+                   '(see docs/fault_tolerance.md)')
     check_help = ("audit simulator invariants after every event and "
                   "fail on the first violation (docs/validation.md)")
 
@@ -257,6 +299,8 @@ def build_parser() -> argparse.ArgumentParser:
     cluster.add_argument("--trace", metavar="PATH", default=None,
                          help=trace_help)
     cluster.add_argument("--check", action="store_true", help=check_help)
+    cluster.add_argument("--faults", metavar="SPEC", default=None,
+                         help=faults_help)
     cluster.set_defaults(fn=_cmd_cluster)
 
     colocate = sub.add_parser("colocate",
@@ -274,6 +318,8 @@ def build_parser() -> argparse.ArgumentParser:
     colocate.add_argument("--trace", metavar="PATH", default=None,
                           help=trace_help)
     colocate.add_argument("--check", action="store_true", help=check_help)
+    colocate.add_argument("--faults", metavar="SPEC", default=None,
+                         help=faults_help)
     colocate.set_defaults(fn=_cmd_colocate)
     return parser
 

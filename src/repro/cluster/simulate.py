@@ -65,13 +65,18 @@ def _to_jobspec(job: ClusterJob) -> JobSpec:
 
 def evaluate_placement(placement: Placement, policy: str,
                        config: RunConfig | None = None, *,
-                       tracer=None, check: bool = False) -> ClusterResult:
+                       tracer=None, check: bool = False,
+                       faults=None) -> ClusterResult:
     """Simulate every GPU of ``placement`` under ``policy``.
 
     A :class:`~repro.trace.Tracer` records every GPU's run into one
     stream; per-GPU timelines overlap in time, so filter by client id
     when analyzing.  ``check=True`` runs every GPU with the invariant
-    checker enabled (see ``docs/validation.md``).
+    checker enabled (see ``docs/validation.md``).  ``faults`` (a
+    :class:`~repro.faults.FaultConfig`) enables the same seeded fault
+    injection on every GPU (see ``docs/fault_tolerance.md``); each GPU
+    gets its own injector so per-GPU fault streams are independent of
+    bin ordering.
     """
     if not placement.bins:
         raise HarnessError("empty placement")
@@ -84,7 +89,7 @@ def evaluate_placement(placement: Placement, policy: str,
         # Offline (best-effort) duplicates of an online service need
         # distinct traffic seeds; placement already carries them.
         result = run_colocation(policy, specs, config, tracer=tracer,
-                                check=check)
+                                check=check, faults=faults)
         counters: dict[str, int] = {}
         for job, spec in zip(gpu_jobs, specs):
             baseline = standalone(spec, config)

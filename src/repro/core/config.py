@@ -39,10 +39,20 @@ class TallyConfig:
     #: runtime measurements still refine the estimates (EWMA).  Set
     #: False for pure on-the-fly profiling from a cold cache.
     prewarm_profiles: bool = True
+    #: preemption-ack deadline (seconds) for the watchdog; None (the
+    #: default) disables it, keeping fault-free runs byte-identical to
+    #: the pre-watchdog scheduler.  Fault-injected runs should set it
+    #: to a few turnaround bounds.
+    preempt_deadline: float | None = None
+    #: when the deadline passes: True forces a REEF-style reset of the
+    #: stuck launch; False raises PreemptTimeout (strict debugging mode)
+    watchdog_escalate: bool = True
 
     def __post_init__(self) -> None:
         if self.turnaround_latency_bound <= 0:
             raise SchedulerError("turnaround_latency_bound must be > 0")
+        if self.preempt_deadline is not None and self.preempt_deadline <= 0:
+            raise SchedulerError("preempt_deadline must be > 0 (or None)")
         if not self.slice_fractions and not self.worker_sm_multiples:
             raise SchedulerError("need at least one candidate family")
         for fraction in self.slice_fractions:

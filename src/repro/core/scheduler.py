@@ -25,7 +25,7 @@ from dataclasses import dataclass, field
 from typing import Callable
 
 from ..baselines.base import ClientInfo, Priority, SharingPolicy
-from ..errors import SchedulerError
+from ..errors import PreemptTimeout, SchedulerError
 from ..gpu.device import DeviceLaunch, GPUDevice, LaunchStatus
 from ..gpu.engine import EventLoop
 from ..gpu.kernel import KernelDescriptor, LaunchConfig, LaunchKind
@@ -35,8 +35,10 @@ from ..trace import (
     Resume,
     SchedDecision,
     SliceDispatch,
+    TransformDegrade,
+    WatchdogReset,
 )
-from .candidates import ORIGINAL_CONFIG, SchedConfig, SchedKind
+from .candidates import ORIGINAL_CONFIG, SchedConfig, SchedKind, generate_candidates
 from .config import TallyConfig
 from .profiler import TransparentProfiler
 
@@ -53,6 +55,10 @@ class TallyStats:
     slices_launched: int = 0
     ptb_launches: int = 0
     resumes: int = 0
+    #: preemption-watchdog escalations to a forced reset
+    watchdog_resets: int = 0
+    #: degradation-ladder steps after failed transformations
+    transform_fallbacks: int = 0
 
 
 @dataclass
@@ -67,6 +73,9 @@ class _BEExecution:
     #: sliced: the in-flight slice is already held at its boundary, so
     #: further high-priority arrivals must not re-announce the hold
     hold_noted: bool = False
+    #: this launch has been asked to preempt (counted & watchdog armed
+    #: once, even when the flag delivery is lost and re-attempted)
+    preempt_pending: bool = False
     next_block: int = 0  # sliced: first block of the next slice
     tasks_remaining: int = 0  # ptb: logical blocks still to run
     active_time: float = 0.0  # accumulated execution time
@@ -104,15 +113,38 @@ class Tally(SharingPolicy):
         self.stats.hp_kernels += 1
         self._hp_outstanding += 1
         self._preempt_best_effort()
+        self._launch_high_priority(info, descriptor, on_done,
+                                   blocks=descriptor.num_blocks,
+                                   block_offset=0)
+
+    def _launch_high_priority(self, info: ClientInfo,
+                              descriptor: KernelDescriptor,
+                              on_done: Callable[[], None], *,
+                              blocks: int, block_offset: int) -> None:
         launch = DeviceLaunch(
             descriptor,
             client_id=info.client_id,
             priority=0,
-            on_complete=lambda _l: self._high_priority_done(on_done),
+            blocks=blocks,
+            block_offset=block_offset,
+            on_complete=lambda l: self._high_priority_done(
+                info, descriptor, on_done, l),
         )
         self.device.submit(launch)
 
-    def _high_priority_done(self, on_done: Callable[[], None]) -> None:
+    def _high_priority_done(self, info: ClientInfo,
+                            descriptor: KernelDescriptor,
+                            on_done: Callable[[], None],
+                            launch: DeviceLaunch) -> None:
+        remaining = launch.total_blocks - launch.blocks_done
+        if launch.status is LaunchStatus.PREEMPTED and remaining > 0:
+            # Only a device slot fault can stop a high-priority launch
+            # (the scheduler never preempts them); relaunch the
+            # destroyed remainder so the client still gets its result.
+            self._launch_high_priority(
+                info, descriptor, on_done, blocks=remaining,
+                block_offset=launch.block_offset + launch.blocks_done)
+            return
         self._hp_outstanding -= 1
         on_done()  # the client may submit its next kernel synchronously
         if self._hp_outstanding == 0:
@@ -146,14 +178,22 @@ class Tally(SharingPolicy):
         while one best-effort launch is still draining preempts (and
         counts, and traces) that launch exactly once.
         """
-        for execution in self._executions.values():
+        for client_id, execution in self._executions.items():
             launch = execution.launch
             if launch is None or launch.done:
                 continue
             if launch.config.kind is LaunchKind.PTB:
                 if not launch.preempt_requested:
+                    # preempt() returns False when fault injection loses
+                    # the flag write; the scheduler cannot observe that
+                    # (only the missing ack), so it counts and arms the
+                    # watchdog on the FIRST attempt either way, and a
+                    # later high-priority arrival retries the write.
                     self.device.preempt(launch)
-                    self.stats.preemptions += 1
+                    if not execution.preempt_pending:
+                        execution.preempt_pending = True
+                        self.stats.preemptions += 1
+                        self._arm_watchdog(client_id, launch)
             elif (execution.config is not None
                   and execution.config.kind is SchedKind.SLICED
                   and not execution.hold_noted):
@@ -170,6 +210,43 @@ class Tally(SharingPolicy):
             # the slice in flight completes (bounded by the profiled
             # turnaround).  ORIGINAL launches cannot be stopped — that
             # is exactly the no-transformation ablation's weakness.
+
+    def _arm_watchdog(self, client_id: str, launch: DeviceLaunch) -> None:
+        """Escalate to a forced reset if the ack misses its deadline.
+
+        Disabled unless ``preempt_deadline`` is configured, so fault-
+        free runs behave exactly as before the watchdog existed.
+        """
+        deadline = self.config.preempt_deadline
+        if deadline is None:
+            return
+        requested_at = self.engine.now
+        self.engine.schedule(
+            deadline,
+            lambda: self._watchdog_fire(client_id, launch, requested_at))
+
+    def _watchdog_fire(self, client_id: str, launch: DeviceLaunch,
+                       requested_at: float) -> None:
+        if launch.done:
+            return  # the ack arrived in time; nothing to do
+        waited = self.engine.now - requested_at
+        if not self.config.watchdog_escalate:
+            raise PreemptTimeout(
+                f"launch {launch.seq} of {launch.descriptor.name!r} "
+                f"(client {client_id!r}) missed its preemption deadline "
+                f"({waited * 1e3:.3f} ms > {self.config.preempt_deadline * 1e3:.3f} ms)"
+            )
+        self.stats.watchdog_resets += 1
+        if self.tracer.enabled:
+            self.tracer.emit(WatchdogReset(
+                ts=self.engine.now, client_id=client_id,
+                kernel=launch.descriptor.name, launch_seq=launch.seq,
+                deadline=self.config.preempt_deadline, waited=waited,
+            ))
+        # REEF-style reset: in-flight blocks are discarded; _ptb_done
+        # sees a PREEMPTED retirement and resumes from the task counter
+        # once the high-priority burst ends.
+        self.device.kill(launch)
 
     def _resume_best_effort(self) -> None:
         for client_id in list(self._executions):
@@ -207,6 +284,11 @@ class Tally(SharingPolicy):
             else:
                 execution.config, execution.profiling = ORIGINAL_CONFIG, False
                 reason = "transformations disabled"
+            if self.device.faults.enabled:
+                degraded = self._degrade(client_id, execution)
+                if degraded:
+                    reason = f"{reason}; degraded after transform fault"
+                    execution.profiling = False
             if self.tracer.enabled:
                 self.tracer.emit(SchedDecision(
                     ts=self.engine.now, client_id=client_id,
@@ -223,12 +305,63 @@ class Tally(SharingPolicy):
         else:
             self._launch_original(client_id, execution)
 
+    def _degrade(self, client_id: str, execution: _BEExecution) -> bool:
+        """Walk the degradation ladder past faulted transformations.
+
+        PTB falls to the smallest sliced candidate; sliced falls to the
+        original kernel, which needs no transformation and so always
+        works — at that rung the kernel is still *priority-aware*
+        time-sliced (best-effort launches only reach the device while
+        the high-priority client is idle), it merely loses intra-kernel
+        preemptibility.  Injected transform faults are memoized per
+        (kernel, mode), so the ladder settles to a stable rung.
+        """
+        assert execution.config is not None
+        faults = self.device.faults
+        descriptor = execution.descriptor
+        degraded = False
+        config = execution.config
+        if (config.kind is SchedKind.PTB
+                and faults.transform_fault(descriptor.name, "ptb")):
+            fallback = next(
+                (c for c in generate_candidates(descriptor, self.device.spec,
+                                                self.config)
+                 if c.kind is SchedKind.SLICED), ORIGINAL_CONFIG)
+            self._note_degrade(client_id, descriptor, config, fallback,
+                               "ptb transformation failed")
+            config, degraded = fallback, True
+        if (config.kind is SchedKind.SLICED
+                and faults.transform_fault(descriptor.name, "sliced")):
+            self._note_degrade(client_id, descriptor, config, ORIGINAL_CONFIG,
+                               "sliced transformation failed")
+            config, degraded = ORIGINAL_CONFIG, True
+        execution.config = config
+        return degraded
+
+    def _note_degrade(self, client_id: str, descriptor: KernelDescriptor,
+                      from_config: SchedConfig,
+                      to_config: SchedConfig, reason: str) -> None:
+        self.stats.transform_fallbacks += 1
+        if self.tracer.enabled:
+            self.tracer.emit(TransformDegrade(
+                ts=self.engine.now, client_id=client_id,
+                kernel=descriptor.name,
+                from_transform=from_config.describe(),
+                to_transform=to_config.describe(), reason=reason,
+            ))
+
     def _launch_original(self, client_id: str,
                          execution: _BEExecution) -> None:
+        # ``next_block`` is 0 on the first launch (the whole grid); it
+        # advances only when a device fault destroys a launch partway,
+        # in which case the relaunch covers just the remainder.
+        remaining = execution.descriptor.num_blocks - execution.next_block
         launch = DeviceLaunch(
             execution.descriptor,
             client_id=client_id,
             priority=self.config.best_effort_priority,
+            blocks=remaining,
+            block_offset=execution.next_block,
             on_complete=lambda l: self._original_done(client_id, execution, l),
         )
         execution.launch = launch
@@ -237,8 +370,18 @@ class Tally(SharingPolicy):
     def _original_done(self, client_id: str, execution: _BEExecution,
                        launch: DeviceLaunch) -> None:
         execution.launch = None
+        execution.preempt_pending = False
         execution.active_time += self._elapsed(launch)
-        self._finish(client_id, execution)
+        execution.next_block += launch.blocks_done
+        execution.tasks_remaining = (
+            execution.descriptor.num_blocks - execution.next_block
+        )
+        if execution.next_block >= execution.descriptor.num_blocks:
+            self._finish(client_id, execution)
+        elif not self.high_priority_active:
+            # A slot fault reset the launch mid-grid; re-run the rest.
+            self._launch_original(client_id, execution)
+        # else: paused; _resume_best_effort continues from next_block.
 
     def _launch_slice(self, client_id: str, execution: _BEExecution) -> None:
         assert execution.config is not None
@@ -267,10 +410,14 @@ class Tally(SharingPolicy):
     def _slice_done(self, client_id: str, execution: _BEExecution,
                     launch: DeviceLaunch) -> None:
         execution.launch = None
+        execution.preempt_pending = False
         elapsed = self._elapsed(launch)
         execution.active_time += elapsed + self.device.spec.kernel_launch_overhead
         execution.slice_times.append(elapsed)
-        execution.next_block += launch.total_blocks
+        # blocks_done, not total_blocks: a fault-killed slice completes
+        # only part of its range, and the next slice must re-cover the
+        # destroyed blocks
+        execution.next_block += launch.blocks_done
         execution.tasks_remaining = (
             execution.descriptor.num_blocks - execution.next_block
         )
@@ -309,6 +456,7 @@ class Tally(SharingPolicy):
     def _ptb_done(self, client_id: str, execution: _BEExecution,
                   launch: DeviceLaunch) -> None:
         execution.launch = None
+        execution.preempt_pending = False
         execution.active_time += self._elapsed(launch)
         execution.tasks_remaining -= launch.tasks_done
         if launch.status is LaunchStatus.COMPLETED:
@@ -318,6 +466,37 @@ class Tally(SharingPolicy):
             # Preempted, but the high-priority burst already ended.
             self._launch_ptb(client_id, execution)
         # else: resumed by _resume_best_effort from the task counter.
+
+    # ------------------------------------------------------------------
+    def _on_disconnect(self, info: ClientInfo) -> int:
+        """Drop a crashed client's execution and kill its launch.
+
+        A crashed high-priority client simply stops submitting (its
+        launches have no scheduler-side state beyond the completion
+        chain, which dies with the driver); a best-effort client may
+        have an execution in flight whose launch must be killed so the
+        device's slots return to the pool.
+        """
+        execution = self._executions.pop(info.client_id, None)
+        cancelled = 0
+        launch = execution.launch if execution is not None else None
+        if launch is not None and not launch.done:
+            # nobody is left to take the completion; sever it before the
+            # kill so _ptb_done/_slice_done don't touch dead state
+            launch.on_complete = None
+            self.device.kill(launch)
+            cancelled += 1
+        for stray in self.device.resident_for(info.client_id):
+            stray.on_complete = None
+            self.device.kill(stray)
+            cancelled += 1
+            if info.priority is Priority.HIGH and self._hp_outstanding > 0:
+                # its completion chain is severed, so account for it now
+                self._hp_outstanding -= 1
+        if (info.priority is Priority.HIGH and cancelled
+                and self._hp_outstanding == 0):
+            self._resume_best_effort()
+        return cancelled
 
     # ------------------------------------------------------------------
     def _finish(self, client_id: str, execution: _BEExecution) -> None:

@@ -13,16 +13,21 @@ half (priority-aware scheduling over the discrete-event GPU) is
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Any
 
 from ..baselines.base import Priority
-from ..errors import ReproError, VirtError
+from ..errors import ExecutionError, VirtError
+from ..faults.injector import NULL_INJECTOR
 from ..ptx.interpreter import Interpreter
 from ..runtime.memory import MemoryManager
 from ..runtime.registration import ModuleRegistry
+from ..trace.events import ClientGC
+from ..trace.tracer import NULL_TRACER
 from ..virt.channel import Channel, ChannelConfig, SHARED_MEMORY
 from ..virt.protocol import (
+    Envelope,
     FreeRequest,
     LaunchKernelRequest,
     MallocRequest,
@@ -32,10 +37,15 @@ from ..virt.protocol import (
     Request,
     Response,
     SynchronizeRequest,
+    checksum_of,
 )
 from .transformer import ExecMode, ExecPlan, KernelTransformer
 
 __all__ = ["ClientState", "TallyServer"]
+
+#: replies remembered per server for idempotent replay of retried or
+#: duplicated envelopes; old entries evict in arrival order
+REPLY_CACHE_SIZE = 256
 
 
 @dataclass
@@ -58,11 +68,18 @@ class TallyServer:
     """Handles the virtualization protocol and executes device work."""
 
     def __init__(self, *,
-                 best_effort_plan: ExecPlan = ExecPlan(ExecMode.PTB)) -> None:
+                 best_effort_plan: ExecPlan = ExecPlan(ExecMode.PTB),
+                 faults: Any = NULL_INJECTOR,
+                 tracer: Any = NULL_TRACER) -> None:
         self.best_effort_plan = best_effort_plan
         self.transformer = KernelTransformer()
+        self.faults = faults
+        self.tracer = tracer
         self._clients: dict[str, ClientState] = {}
+        self._replies: OrderedDict[tuple[str, int], Response] = OrderedDict()
         self.requests_handled = 0
+        self.replay_hits = 0
+        self.clients_collected = 0
 
     # ------------------------------------------------------------------
     # Connection management
@@ -84,7 +101,8 @@ class TallyServer:
         else:
             effective = plan if plan is not None else self.best_effort_plan
         self._clients[client_id] = ClientState(client_id, priority, effective)
-        return Channel(self.handle, channel_config)
+        return Channel(self.handle, channel_config, faults=self.faults,
+                       tracer=self.tracer, client_id=client_id)
 
     def client(self, client_id: str) -> ClientState:
         try:
@@ -92,20 +110,74 @@ class TallyServer:
         except KeyError:
             raise VirtError(f"unknown client {client_id!r}") from None
 
+    def disconnect(self, client_id: str, *, ts: float = 0.0) -> ClientState | None:
+        """Garbage-collect a dead client's server-side state.
+
+        Frees every live device allocation, drops the module registry
+        and interpreter, and forgets cached replies — surviving clients
+        are untouched.  Idempotent: disconnecting an unknown (or
+        already-collected) client is a no-op returning ``None``.
+        """
+        state = self._clients.pop(client_id, None)
+        if state is None:
+            return None
+        freed_bytes = state.memory_manager.live_bytes()
+        buffers = state.memory_manager.live_buffers()
+        state.memory_manager.release_all()
+        for key in [k for k in self._replies if k[0] == client_id]:
+            del self._replies[key]
+        self.clients_collected += 1
+        if self.tracer.enabled:
+            self.tracer.emit(ClientGC(
+                ts=ts, client_id=client_id, kernel="", scope="server",
+                freed_bytes=freed_bytes, buffers_freed=buffers,
+            ))
+        return state
+
     # ------------------------------------------------------------------
     # Protocol handling
     # ------------------------------------------------------------------
-    def handle(self, request: Request) -> Response:
+    def handle(self, request: Request | Envelope) -> Response:
         """Process one protocol request; never raises (errors go in the
-        response, exactly like a real RPC server)."""
+        response, exactly like a real RPC server).
+
+        Envelope-framed requests get the reliability extras: the payload
+        checksum is verified (a mismatch is answered with a *retryable*
+        failure, never executed) and replies are cached by (client,
+        request id) so a retried or duplicated envelope replays the
+        original reply instead of re-executing the operation.
+        """
         self.requests_handled += 1
+        if isinstance(request, Envelope):
+            key = (request.client_id, request.request_id)
+            cached = self._replies.get(key)
+            if cached is not None:
+                self.replay_hits += 1
+                return cached
+            if checksum_of(request.payload) != request.checksum:
+                return Response.transport_failure(
+                    "request checksum mismatch (corrupted in transit)")
+            response = self._execute(request.payload)
+            self._replies[key] = response
+            while len(self._replies) > REPLY_CACHE_SIZE:
+                self._replies.popitem(last=False)
+            return response
+        return self._execute(request)
+
+    def _execute(self, request: Request) -> Response:
         try:
             return Response.success(self._dispatch(request))
-        except ReproError as exc:
-            return Response.failure(str(exc))
+        except Exception as exc:  # noqa: BLE001 - the server must survive
+            # any request, malformed ones included; the error travels
+            # back in the response like a real RPC failure
+            return Response.failure(f"{type(exc).__name__}: {exc}")
 
     def _dispatch(self, request: Request) -> Any:
-        state = self.client(request.client_id)
+        client_id = getattr(request, "client_id", None)
+        if not isinstance(client_id, str):
+            raise VirtError(
+                f"malformed request {type(request).__name__}: no client_id")
+        state = self.client(client_id)
         if isinstance(request, RegisterBinaryRequest):
             state.registry.register(request.binary)
             return None
@@ -123,9 +195,13 @@ class TallyServer:
                                                    request.num_elements)
         if isinstance(request, LaunchKernelRequest):
             kernel = state.registry.lookup(request.kernel_name)
+            if self.faults.enabled and self.faults.kernel_fault():
+                raise ExecutionError(
+                    f"injected device fault while executing "
+                    f"{request.kernel_name!r}")
             self.transformer.execute(
                 state.interpreter, kernel, request.grid, request.block,
-                request.args, state.plan,
+                request.args, state.plan, faults=self.faults,
             )
             state.launches += 1
             return None

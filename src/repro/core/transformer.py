@@ -12,15 +12,25 @@ computes the same results" property testable.
 from __future__ import annotations
 
 import enum
+import warnings
 from dataclasses import dataclass
-from typing import Any, Mapping
+from typing import Any, Callable, Mapping
 
-from ..errors import TransformError
+from ..errors import TransformError, TransformFallback, ValidationError
+from ..faults.injector import NULL_INJECTOR
 from ..ptx.interpreter import Interpreter
 from ..ptx.ir import Dim3, KernelIR
 from ..transform import TransformPipeline, plan_slices
 
-__all__ = ["ExecMode", "ExecPlan", "KernelTransformer"]
+__all__ = ["ExecMode", "ExecPlan", "KernelTransformer", "FALLBACK_LADDER"]
+
+#: graceful-degradation order when a transformation fails: each mode
+#: falls to the next, ending at ORIGINAL, which always works (it is the
+#: client's own kernel, untransformed) — the paper's own fallback
+FALLBACK_LADDER = {
+    "ptb": "sliced",
+    "sliced": "original",
+}
 
 
 class ExecMode(enum.Enum):
@@ -52,36 +62,86 @@ class KernelTransformer:
     def __init__(self) -> None:
         self.pipeline = TransformPipeline()
         self.executions = 0
+        #: degradation-ladder steps taken after failed transformations
+        self.fallbacks = 0
 
     def execute(self, interpreter: Interpreter, kernel: KernelIR,
                 grid: Dim3, block: Dim3, args: Mapping[str, Any],
-                plan: ExecPlan) -> None:
-        """Run one launch under ``plan``; semantics must match original."""
+                plan: ExecPlan, *, faults: Any = NULL_INJECTOR) -> str:
+        """Run one launch under ``plan``; semantics must match original.
+
+        Returns the mode actually used (``"ptb"``/``"sliced"``/
+        ``"original"``).  When the *transformation step* fails — the
+        rewrite or its validation, never the execution itself — the
+        launch degrades down :data:`FALLBACK_LADDER` with a
+        :class:`~repro.errors.TransformFallback` warning per rung, so a
+        kernel the pipeline cannot handle still executes (original form)
+        instead of failing the client's call.  Execution errors are
+        *not* caught: by the time the kernel runs it may have side
+        effects, and re-running a lower rung could apply them twice.
+        """
         self.executions += 1
-        if plan.mode is ExecMode.ORIGINAL:
-            interpreter.launch(kernel, grid, block, args)
-            return
-        if plan.mode is ExecMode.SLICED:
+        mode = plan.mode.value
+        while True:
+            try:
+                run = self._prepare(interpreter, kernel, grid, block,
+                                    args, plan, mode, faults)
+            except (TransformError, ValidationError) as exc:
+                fallback = FALLBACK_LADDER.get(mode)
+                if fallback is None:
+                    raise
+                warnings.warn(TransformFallback(
+                    f"{mode} transformation of {kernel.name!r} failed "
+                    f"({exc}); degrading to {fallback}"
+                ), stacklevel=2)
+                self.fallbacks += 1
+                mode = fallback
+                continue
+            run()
+            return mode
+
+    def _prepare(self, interpreter: Interpreter, kernel: KernelIR,
+                 grid: Dim3, block: Dim3, args: Mapping[str, Any],
+                 plan: ExecPlan, mode: str,
+                 faults: Any) -> Callable[[], None]:
+        """Do the fallible transformation work; return the execution.
+
+        Everything that can legitimately fail for a given kernel — the
+        rewrite, validation, an injected transformation fault — happens
+        here, before any thread runs.
+        """
+        if faults.enabled and mode != "original" \
+                and faults.transform_fault(kernel.name, mode):
+            raise TransformError(
+                f"injected {mode} transformation fault for {kernel.name!r}")
+        if mode == "original":
+            return lambda: interpreter.launch(kernel, grid, block, args)
+        if mode == "sliced":
             sliced = self.pipeline.sliced(kernel)
-            for launch in plan_slices(grid, plan.blocks_per_slice):
-                slice_args = sliced.args_for(args, grid, launch.offset)
-                interpreter.launch(sliced.kernel, launch.grid, block,
-                                   slice_args)
-            return
+
+            def run_sliced() -> None:
+                for launch in plan_slices(grid, plan.blocks_per_slice):
+                    slice_args = sliced.args_for(args, grid, launch.offset)
+                    interpreter.launch(sliced.kernel, launch.grid, block,
+                                       slice_args)
+            return run_sliced
         # PTB: fresh control state per launch; workers drain the grid.
         preemptible = self.pipeline.preemptible(kernel)
-        control = preemptible.make_control(interpreter.memory)
-        try:
-            ptb_args = preemptible.args_for(args, grid, control)
-            workers = min(plan.workers, grid.total)
-            interpreter.launch(preemptible.kernel,
-                               preemptible.worker_grid(workers), block,
-                               ptb_args)
-            if control.tasks_started() < grid.total:
-                raise TransformError(
-                    f"PTB execution of {kernel.name!r} stopped early "
-                    f"({control.tasks_started()}/{grid.total} tasks)"
-                )
-        finally:
-            interpreter.memory.free(control.counter)
-            interpreter.memory.free(control.flag)
+
+        def run_ptb() -> None:
+            control = preemptible.make_control(interpreter.memory)
+            try:
+                ptb_args = preemptible.args_for(args, grid, control)
+                workers = min(plan.workers, grid.total)
+                interpreter.launch(preemptible.kernel,
+                                   preemptible.worker_grid(workers), block,
+                                   ptb_args)
+                if control.tasks_started() < grid.total:
+                    raise TransformError(
+                        f"PTB execution of {kernel.name!r} stopped early "
+                        f"({control.tasks_started()}/{grid.total} tasks)"
+                    )
+            finally:
+                interpreter.memory.free(control.counter)
+                interpreter.memory.free(control.flag)
+        return run_ptb

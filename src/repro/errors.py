@@ -70,6 +70,43 @@ class VirtError(ReproError):
     """Raised by the virtualization layer (channels, interposer)."""
 
 
+class FaultError(ReproError):
+    """Base class for failures surfaced by the fault-tolerance layer.
+
+    These model *environment* failures (a peer process dying, a message
+    never arriving), not programming errors; see
+    ``docs/fault_tolerance.md`` for which component raises which.
+    """
+
+
+class ClientCrashed(FaultError):
+    """Raised client-side when the client process dies mid-protocol.
+
+    The virtualization channel raises this at the protocol step where
+    an injected crash takes effect; whoever owns the process reports
+    the death to the server, which garbage-collects the client's
+    server-side state (:meth:`repro.core.server.TallyServer.disconnect`).
+    """
+
+
+class ChannelTimeout(FaultError):
+    """Raised when a channel request exhausts its retry budget.
+
+    Every attempt (the original send plus each exponential-backoff
+    retry) was lost, corrupted, or otherwise unanswered.
+    """
+
+
+class PreemptTimeout(FaultError):
+    """Raised when a preemption ack misses its deadline and escalation
+    is disabled.
+
+    With ``watchdog_escalate=True`` (the default) the scheduler's
+    watchdog forces a reset instead of raising; this error is the
+    strict-mode alternative for debugging lost-ack conditions.
+    """
+
+
 class SchedulerError(ReproError):
     """Raised by scheduling policies on inconsistent state."""
 
@@ -80,3 +117,14 @@ class WorkloadError(ReproError):
 
 class HarnessError(ReproError):
     """Raised by the experiment harness on bad configuration."""
+
+
+class TransformFallback(UserWarning):
+    """Warning issued when a kernel transformation cannot be applied and
+    the server degrades to the next rung of the fallback ladder
+    (PTB -> sliced -> original; see ``docs/fault_tolerance.md``).
+
+    A warning, not an error: the launch still executes correctly, just
+    with weaker preemptibility — exactly the paper's own fallback of
+    launching the original kernel when a transformation fails.
+    """

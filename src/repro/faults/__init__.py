@@ -1,0 +1,45 @@
+"""Seeded fault injection and the recovery machinery it exercises.
+
+Two halves (see ``docs/fault_tolerance.md``):
+
+* :mod:`repro.faults.config` / :mod:`repro.faults.injector` — a frozen
+  :class:`FaultConfig` describing which faults a run suffers, and a
+  :class:`FaultInjector` that makes every individual injection decision
+  from one seeded RNG, so a fault schedule replays bit-identically.
+  The disabled default :data:`NULL_INJECTOR` mirrors ``NULL_TRACER`` /
+  ``NULL_CHECKER`` — fault-free runs are unchanged.
+* :mod:`repro.faults.scenarios` — harness-side helpers that arm
+  device slot faults and client crashes against a running colocation.
+
+``scenarios`` is imported lazily: the device imports this package for
+:data:`NULL_INJECTOR`, and the scenario layer imports the harness,
+which imports the policies, which import the device.
+"""
+
+from __future__ import annotations
+
+from .config import FaultConfig
+from .injector import NULL_INJECTOR, FaultInjector, NullInjector
+
+__all__ = [
+    "FaultConfig",
+    "FaultInjector",
+    "NULL_INJECTOR",
+    "NullInjector",
+    # lazily loaded from .scenarios:
+    "arm_slot_faults",
+    "schedule_client_crash",
+]
+
+_SCENARIOS = {
+    "arm_slot_faults",
+    "schedule_client_crash",
+}
+
+
+def __getattr__(name: str):
+    if name in _SCENARIOS:
+        from . import scenarios
+
+        return getattr(scenarios, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

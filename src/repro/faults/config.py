@@ -1,0 +1,118 @@
+"""Fault-injection configuration.
+
+One :class:`FaultConfig` describes *which* faults a run is subjected to
+and *how often*; a :class:`~repro.faults.injector.FaultInjector` seeded
+from it makes every individual injection decision deterministically.
+The same config + seed therefore reproduces the same fault schedule —
+chaos runs replay bit-identically, which is what lets the chaos suite
+assert recovery instead of merely surviving.
+
+Configs are CLI-friendly: ``FaultConfig.parse("seed=7,lost_ack=1,
+slot_fault_rate=2")`` builds one from the ``--faults`` argument of
+``colocate``/``cluster``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+from ..errors import HarnessError
+
+__all__ = ["FaultConfig"]
+
+#: probability fields, validated to lie in [0, 1]
+_RATE_FIELDS = ("drop", "duplicate", "corrupt", "delay", "kernel_fault",
+                "transform_fail_rate", "lost_ack")
+
+
+@dataclass(frozen=True)
+class FaultConfig:
+    """Seeded description of the faults injected into one run.
+
+    All probabilities are per *opportunity* (per message direction, per
+    launch, per preempt request, ...); ``0.0`` disables that fault.
+    """
+
+    #: seed of the injector's RNG — the whole fault schedule follows
+    seed: int = 0
+
+    # -- channel faults (virtualization layer, per message direction) --
+    #: P(message lost in transit; the sender times out and retries)
+    drop: float = 0.0
+    #: P(request delivered twice; the server's replay cache dedupes)
+    duplicate: float = 0.0
+    #: P(payload corrupted; detected via checksum, answered retryable)
+    corrupt: float = 0.0
+    #: P(message delayed by ``delay_time`` seconds of transport time)
+    delay: float = 0.0
+    #: extra modelled latency of a delayed message (seconds)
+    delay_time: float = 200e-6
+    #: client process dies at this protocol call (0-based); None = never
+    crash_after_calls: int | None = None
+
+    # -- server / interpreter faults (functional path) --
+    #: P(an injected execution fault aborts a kernel launch)
+    kernel_fault: float = 0.0
+    #: P(a transformation kind is unusable for a kernel); sampled once
+    #: per (kernel, kind) and cached, so the ladder settles
+    transform_fail_rate: float = 0.0
+
+    # -- scheduler / device faults (timing path) --
+    #: P(a PTB preempt-flag delivery is lost; the ack never arrives)
+    lost_ack: float = 0.0
+    #: expected device slot faults (spurious resets of a resident
+    #: launch) per simulated second (Poisson arrivals)
+    slot_fault_rate: float = 0.0
+    #: simulated time at which the best-effort client crashes (CLI
+    #: convenience; harness users set JobSpec.crash_at directly)
+    crash_at: float | None = None
+
+    def __post_init__(self) -> None:
+        for name in _RATE_FIELDS:
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise HarnessError(f"fault rate {name}={value} outside [0, 1]")
+        if self.delay_time < 0:
+            raise HarnessError("delay_time must be >= 0")
+        if self.slot_fault_rate < 0:
+            raise HarnessError("slot_fault_rate must be >= 0")
+        if self.crash_after_calls is not None and self.crash_after_calls < 0:
+            raise HarnessError("crash_after_calls must be >= 0")
+        if self.crash_at is not None and self.crash_at < 0:
+            raise HarnessError("crash_at must be >= 0")
+
+    @property
+    def any_channel_faults(self) -> bool:
+        return (self.drop > 0 or self.duplicate > 0 or self.corrupt > 0
+                or self.delay > 0 or self.crash_after_calls is not None)
+
+    @staticmethod
+    def parse(spec: str) -> "FaultConfig":
+        """Build a config from a ``key=value,key=value`` CLI string.
+
+        Keys are the dataclass field names; values are parsed by the
+        field's type (``seed=7,drop=0.01,crash_at=2.5``).
+        """
+        known = {f.name: f for f in fields(FaultConfig)}
+        values: dict[str, object] = {}
+        for part in spec.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            key, sep, raw = part.partition("=")
+            key = key.strip()
+            if not sep or key not in known:
+                raise HarnessError(
+                    f"bad --faults entry {part!r}; known keys: "
+                    f"{', '.join(sorted(known))}"
+                )
+            try:
+                if key in ("seed", "crash_after_calls"):
+                    values[key] = int(raw)
+                else:
+                    values[key] = float(raw)
+            except ValueError:
+                raise HarnessError(
+                    f"bad --faults value {raw!r} for {key}"
+                ) from None
+        return FaultConfig(**values)  # type: ignore[arg-type]

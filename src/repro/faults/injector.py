@@ -1,0 +1,182 @@
+"""Deterministic fault injector.
+
+A :class:`FaultInjector` turns a :class:`~repro.faults.config.FaultConfig`
+into concrete injection decisions, one seeded RNG draw per fault
+*opportunity*.  Determinism rules:
+
+- every opportunity of a given kind consumes exactly one draw from the
+  injector's private ``random.Random(seed)``, so the decision sequence
+  depends only on (seed, order of opportunities) — and the simulator's
+  event order is itself deterministic;
+- transformation faults are memoized per ``(kernel, mode)`` so the
+  degradation ladder settles instead of flapping between rungs;
+- slot-fault arrival times are precomputed for the whole run
+  (exponential inter-arrival gaps), so they do not interleave draws
+  with per-message faults.
+
+The null object :data:`NULL_INJECTOR` mirrors ``NULL_TRACER`` /
+``NULL_CHECKER``: ``enabled`` is False and every query answers "no
+fault", so hot paths guard with ``if injector.enabled:`` and fault-free
+runs stay byte-identical to the pre-fault simulator.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+
+from .config import FaultConfig
+
+__all__ = ["FaultInjector", "NullInjector", "NULL_INJECTOR"]
+
+#: outcomes of one channel-message draw
+NO_FAULT = "none"
+DROP = "drop"
+DUPLICATE = "duplicate"
+CORRUPT = "corrupt"
+DELAY = "delay"
+
+
+class FaultInjector:
+    """Makes every injection decision for one run, deterministically."""
+
+    enabled = True
+
+    def __init__(self, config: FaultConfig) -> None:
+        self.config = config
+        self._rng = random.Random(config.seed)
+        #: injected-fault counts by kind, for reporting and assertions
+        self.injected: Counter[str] = Counter()
+        self._transform_cache: dict[tuple[str, str], bool] = {}
+        self._calls = 0
+
+    # ------------------------------------------------------------- channel
+
+    def channel_fault(self, direction: str) -> str:
+        """Draw the fate of one message (``direction`` is request/response).
+
+        Returns one of ``none/drop/duplicate/corrupt/delay``.  A single
+        uniform draw is compared against cumulative probabilities so each
+        message costs exactly one draw regardless of which rates are on.
+        """
+        cfg = self.config
+        total = cfg.drop + cfg.duplicate + cfg.corrupt + cfg.delay
+        if total == 0:
+            return NO_FAULT
+        u = self._rng.random()
+        edge = cfg.drop
+        if u < edge:
+            self.injected[f"{direction}_drop"] += 1
+            return DROP
+        edge += cfg.duplicate
+        if u < edge:
+            self.injected[f"{direction}_duplicate"] += 1
+            return DUPLICATE
+        edge += cfg.corrupt
+        if u < edge:
+            self.injected[f"{direction}_corrupt"] += 1
+            return CORRUPT
+        edge += cfg.delay
+        if u < edge:
+            self.injected[f"{direction}_delay"] += 1
+            return DELAY
+        return NO_FAULT
+
+    def crash_now(self) -> bool:
+        """True when the client's injected crash point has been reached.
+
+        Counts protocol calls; fires once ``crash_after_calls`` calls
+        have completed (0 crashes the very first call).
+        """
+        if self.config.crash_after_calls is None:
+            return False
+        crash = self._calls >= self.config.crash_after_calls
+        self._calls += 1
+        if crash:
+            self.injected["client_crash"] += 1
+        return crash
+
+    # -------------------------------------------------- server / transform
+
+    def kernel_fault(self) -> bool:
+        """True when this kernel execution should abort with a fault."""
+        if self.config.kernel_fault == 0:
+            return False
+        hit = self._rng.random() < self.config.kernel_fault
+        if hit:
+            self.injected["kernel_fault"] += 1
+        return hit
+
+    def transform_fault(self, kernel: str, mode: str) -> bool:
+        """True when transformation ``mode`` is unusable for ``kernel``.
+
+        Memoized per (kernel, mode): a transformation either works for a
+        kernel or it doesn't — retrying the same rung cannot succeed, so
+        the ladder's choice is stable across launches.
+        """
+        if self.config.transform_fail_rate == 0:
+            return False
+        key = (kernel, mode)
+        if key not in self._transform_cache:
+            hit = self._rng.random() < self.config.transform_fail_rate
+            self._transform_cache[key] = hit
+            if hit:
+                self.injected["transform_fault"] += 1
+        return self._transform_cache[key]
+
+    # ------------------------------------------------- scheduler / device
+
+    def lost_preempt_ack(self) -> bool:
+        """True when this PTB preempt-flag delivery should be lost."""
+        if self.config.lost_ack == 0:
+            return False
+        hit = self._rng.random() < self.config.lost_ack
+        if hit:
+            self.injected["lost_ack"] += 1
+        return hit
+
+    def slot_fault_times(self, duration: float) -> list[float]:
+        """Poisson arrival times of device slot faults over ``duration``.
+
+        Precomputed in one burst from a dedicated sub-RNG so the number
+        of per-message draws elsewhere cannot shift the fault schedule.
+        """
+        rate = self.config.slot_fault_rate
+        if rate <= 0 or duration <= 0:
+            return []
+        rng = random.Random(f"{self.config.seed}/slot_faults")
+        times: list[float] = []
+        t = rng.expovariate(rate)
+        while t < duration:
+            times.append(t)
+            t += rng.expovariate(rate)
+        return times
+
+
+class NullInjector:
+    """No-op injector; every query answers "no fault"."""
+
+    enabled = False
+    config = FaultConfig()
+    injected: Counter[str] = Counter()
+
+    def channel_fault(self, direction: str) -> str:
+        return NO_FAULT
+
+    def crash_now(self) -> bool:
+        return False
+
+    def kernel_fault(self) -> bool:
+        return False
+
+    def transform_fault(self, kernel: str, mode: str) -> bool:
+        return False
+
+    def lost_preempt_ack(self) -> bool:
+        return False
+
+    def slot_fault_times(self, duration: float) -> list[float]:
+        return []
+
+
+NULL_INJECTOR = NullInjector()

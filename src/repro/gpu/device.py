@@ -35,12 +35,14 @@ from typing import Callable
 
 from ..check.invariants import InvariantChecker, NULL_CHECKER
 from ..errors import GPUSimError
+from ..faults.injector import FaultInjector, NULL_INJECTOR
 from ..trace import (
     KernelComplete,
     KernelStart,
     KernelSubmit,
     NULL_TRACER,
     PreemptAck,
+    PreemptLost,
     PreemptRequest,
     Tracer,
 )
@@ -141,7 +143,8 @@ class GPUDevice:
     def __init__(self, spec: GPUSpec, engine: EventLoop, *,
                  colocation_slowdown: float = 1.15,
                  tracer: Tracer | None = None,
-                 check: InvariantChecker | None = None) -> None:
+                 check: InvariantChecker | None = None,
+                 faults: FaultInjector | None = None) -> None:
         if colocation_slowdown < 1.0:
             raise GPUSimError("colocation_slowdown must be >= 1.0")
         self.spec = spec
@@ -153,6 +156,9 @@ class GPUDevice:
         #: opt-in invariant checker (``repro.check``); the disabled
         #: default costs one attribute check per instrumentation site
         self.check = check if check is not None else NULL_CHECKER
+        #: opt-in fault injector (``repro.faults``); same disabled
+        #: default pattern, same zero-cost fault-free path
+        self.faults = faults if faults is not None else NULL_INJECTOR
         self._threads_free = spec.total_threads
         self._slots_free = spec.total_block_slots
         self._resident: list[DeviceLaunch] = []  # sorted by (priority, seq)
@@ -195,7 +201,7 @@ class GPUDevice:
             self.check.verify(self)
         return launch
 
-    def preempt(self, launch: DeviceLaunch) -> None:
+    def preempt(self, launch: DeviceLaunch) -> bool:
         """Request preemption: no new blocks start; in-flight blocks finish.
 
         For PTB launches workers exit after their current iteration, so
@@ -203,15 +209,33 @@ class GPUDevice:
         launches only not-yet-started blocks are cancelled (real GPUs
         cannot stop a running block), and progress is recorded so a
         sliced execution can continue from ``blocks_done``.
+
+        Returns True when the request took effect.  Under fault
+        injection a PTB flag write can be *lost* (the workers never see
+        it): the device emits :class:`~repro.trace.PreemptLost` and
+        returns False with the launch untouched — no ack will ever
+        arrive, which is the condition the scheduler's watchdog exists
+        to recover from.
         """
         if launch.done:
-            return
+            return True
         if self.tracer.enabled and not launch.preempt_requested:
             self.tracer.emit(PreemptRequest(
                 ts=self.engine.now, client_id=launch.client_id,
                 kernel=launch.descriptor.name, launch_seq=launch.seq,
                 mechanism="ptb-flag" if launch.is_ptb else "drain",
             ))
+        if (self.faults.enabled and launch.is_ptb
+                and launch.blocks_inflight > 0
+                and not launch.preempt_requested
+                and self.faults.lost_preempt_ack()):
+            if self.tracer.enabled:
+                self.tracer.emit(PreemptLost(
+                    ts=self.engine.now, client_id=launch.client_id,
+                    kernel=launch.descriptor.name, launch_seq=launch.seq,
+                    mechanism="ptb-flag",
+                ))
+            return False
         launch.preempt_requested = True
         # If nothing is in flight and the launch has already reached the
         # device (it may have been starved of slots and never started),
@@ -221,6 +245,7 @@ class GPUDevice:
             self._finalize(launch)
         if self.check.enabled:
             self.check.verify(self)
+        return True
 
     def kill(self, launch: DeviceLaunch) -> None:
         """Reset-based preemption (REEF-style): discard in-flight work.
@@ -268,6 +293,11 @@ class GPUDevice:
         if self._submitting.get(client_id, 0) > 0:
             return True
         return any(l.client_id == client_id for l in self._resident)
+
+    def resident_for(self, client_id: str) -> list[DeviceLaunch]:
+        """The client's resident, unfinished launches (for cleanup)."""
+        return [l for l in self._resident
+                if l.client_id == client_id and not l.done]
 
     @property
     def threads_free(self) -> int:

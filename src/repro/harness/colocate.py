@@ -12,7 +12,7 @@ configuration — they are the normalization baselines for every figure.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
 from typing import Literal
 
 from ..baselines import (
@@ -28,6 +28,7 @@ from ..baselines import (
 from ..check import InvariantChecker
 from ..core import Tally, TallyConfig
 from ..errors import HarnessError
+from ..faults import FaultConfig, FaultInjector
 from ..gpu import A100_SXM4_40GB, EventLoop, GPUDevice, GPUSpec
 from ..metrics import LatencySummary
 from ..trace import Tracer
@@ -84,6 +85,9 @@ class JobSpec:
     traffic_seed: int = 0
     #: explicit traffic overrides the generated trace (Fig. 5b)
     traffic: TrafficTrace | None = None
+    #: simulated time at which this client crashes (fault injection);
+    #: None = the process survives the whole run
+    crash_at: float | None = None
 
     @property
     def effective_priority(self) -> Priority:
@@ -159,6 +163,11 @@ class RunResult:
     #: invariant audits performed (0 when the run was unchecked); a
     #: checked run that returns at all had zero violations
     invariant_checks: int = 0
+    #: faults actually injected, by kind (empty for fault-free runs)
+    fault_counts: dict[str, int] = field(default_factory=dict)
+    #: the workload drivers, for post-hoc analysis beyond the window
+    #: summaries (e.g. slicing latencies at a crash instant)
+    drivers: dict[str, object] = field(default_factory=dict, repr=False)
 
     def job(self, client_id: str) -> JobResult:
         try:
@@ -198,7 +207,9 @@ def _traffic_for(spec_: JobSpec, trace: Trace, config: RunConfig) -> TrafficTrac
 def run_colocation(policy_name: str, jobs: list[JobSpec],
                    config: RunConfig | None = None, *,
                    tracer: Tracer | None = None,
-                   check: "bool | InvariantChecker" = False) -> RunResult:
+                   check: "bool | InvariantChecker" = False,
+                   faults: "FaultConfig | FaultInjector | None" = None,
+                   ) -> RunResult:
     """Run ``jobs`` together under ``policy_name`` and collect metrics.
 
     Pass a :class:`~repro.trace.Tracer` to record the run's scheduler
@@ -210,6 +221,14 @@ def run_colocation(policy_name: str, jobs: list[JobSpec],
     :class:`~repro.errors.InvariantViolation` on the first breach
     (see ``docs/validation.md``); checking is off — and free — by
     default.
+
+    ``faults`` (a :class:`~repro.faults.FaultConfig` or a pre-built
+    :class:`~repro.faults.FaultInjector`) enables seeded fault
+    injection — device kernel faults, slot faults, client crashes —
+    and arms the crash times on each :class:`JobSpec` (see
+    ``docs/fault_tolerance.md``).  ``FaultConfig.crash_at`` without a
+    per-job ``crash_at`` kills the first best-effort client, the
+    common chaos scenario.  Injection is off — and free — by default.
     """
     if not jobs:
         raise HarnessError("need at least one job")
@@ -221,6 +240,13 @@ def run_colocation(policy_name: str, jobs: list[JobSpec],
         checker = check  # caller-supplied checker (e.g. collect mode)
     else:
         checker = None
+    injector: FaultInjector | None
+    if faults is None:
+        injector = None
+    elif isinstance(faults, FaultConfig):
+        injector = FaultInjector(faults)
+    else:
+        injector = faults  # pre-built (possibly shared) injector
 
     if config.check_memory:
         from ..workloads.memory import A100_MEMORY_BYTES, check_memory_fit
@@ -233,7 +259,7 @@ def run_colocation(policy_name: str, jobs: list[JobSpec],
     engine = EventLoop()
     device = GPUDevice(config.spec, engine,
                        colocation_slowdown=config.colocation_slowdown,
-                       tracer=tracer, check=checker)
+                       tracer=tracer, check=checker, faults=injector)
     policy = make_policy(policy_name, device, engine,
                          tally_config=config.tally_config)
 
@@ -264,6 +290,10 @@ def run_colocation(policy_name: str, jobs: list[JobSpec],
                 priority=job_spec.effective_priority,
             )
         drivers.append((job_spec, driver))
+
+    if injector is not None:
+        _arm_faults(injector, drivers, device, engine, policy, config,
+                    tracer=tracer)
 
     for _spec, driver in drivers:
         driver.start()  # type: ignore[union-attr]
@@ -296,7 +326,46 @@ def run_colocation(policy_name: str, jobs: list[JobSpec],
         policy=policy_name, config=config, jobs=results,
         utilization=device.utilization(), events=engine.events_processed,
         invariant_checks=checker.checks_run if checker is not None else 0,
+        fault_counts=(dict(injector.injected) if injector is not None
+                      else {}),
+        drivers={driver.client_id: driver  # type: ignore[attr-defined]
+                 for _spec, driver in drivers},
     )
+
+
+def _arm_faults(injector: FaultInjector, drivers: list[tuple[JobSpec, object]],
+                device: GPUDevice, engine: EventLoop, policy: SharingPolicy,
+                config: RunConfig, *, tracer: Tracer | None) -> None:
+    """Schedule the run's slot faults and client crashes."""
+    from ..faults import arm_slot_faults, schedule_client_crash
+
+    event_tracer = tracer if tracer is not None else device.tracer
+    arm_slot_faults(device, engine, injector, config.duration,
+                    tracer=event_tracer)
+    crash_specs: list[tuple[float, object, str]] = []
+    for job_spec, driver in drivers:
+        if job_spec.crash_at is not None:
+            client_id = driver.client_id  # type: ignore[attr-defined]
+            crash_specs.append((job_spec.crash_at, driver, client_id))
+    if not crash_specs and injector.config.crash_at is not None:
+        # CLI convenience: an un-targeted crash kills the first
+        # best-effort client — the canonical chaos scenario (the
+        # high-priority service must sail on unperturbed).
+        for job_spec, driver in drivers:
+            if job_spec.effective_priority is not Priority.HIGH:
+                client_id = driver.client_id  # type: ignore[attr-defined]
+                crash_specs.append(
+                    (injector.config.crash_at, driver, client_id))
+                break
+    for when, driver, client_id in crash_specs:
+        if when >= config.duration:
+            raise HarnessError(
+                f"crash_at={when} is beyond the run duration "
+                f"({config.duration})"
+            )
+        injector.injected["client_crash"] += 1
+        schedule_client_crash(engine, when, driver, policy, client_id,
+                              tracer=event_tracer)
 
 
 # ---------------------------------------------------------------------------

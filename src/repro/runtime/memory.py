@@ -63,6 +63,18 @@ class MemoryManager:
         arr = self.memory.array(dst)
         arr[dst.offset: dst.offset + num_elements] = value
 
+    def release_all(self) -> int:
+        """Free every live buffer (client garbage collection).
+
+        Returns the number of buffers released.  Used by the server
+        when a client dies without freeing its allocations.
+        """
+        names = list(self._live)
+        for name in names:
+            del self._live[name]
+            self.memory.free(GlobalRef(name))
+        return len(names)
+
     def live_bytes(self) -> int:
         """Total elements currently allocated (proxy for memory footprint)."""
         return sum(self._live.values())

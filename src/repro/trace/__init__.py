@@ -25,18 +25,25 @@ See ``docs/observability.md`` for the full event schema.
 from .chrome import to_chrome_trace, write_chrome_trace
 from .events import (
     EVENT_CLASSES,
+    ChannelFault,
+    ClientCrash,
+    ClientGC,
     EventType,
     KernelComplete,
     KernelStart,
     KernelSubmit,
     PreemptAck,
+    PreemptLost,
     PreemptRequest,
     PtbDispatch,
     QueueDepth,
     Resume,
     SchedDecision,
     SliceDispatch,
+    SlotFault,
     TraceEvent,
+    TransformDegrade,
+    WatchdogReset,
     event_from_dict,
 )
 from .summary import ClientCounters, TraceSummary, summarize
@@ -63,6 +70,13 @@ __all__ = [
     "Resume",
     "SchedDecision",
     "QueueDepth",
+    "ChannelFault",
+    "ClientCrash",
+    "ClientGC",
+    "PreemptLost",
+    "WatchdogReset",
+    "TransformDegrade",
+    "SlotFault",
     "event_from_dict",
     "TraceSink",
     "MemorySink",

@@ -42,6 +42,13 @@ _INSTANT_NAMES = {
     EventType.PREEMPT_ACK: "preempt.ack",
     EventType.RESUME: "resume",
     EventType.SCHED_DECISION: "decision",
+    EventType.CHANNEL_FAULT: "fault.channel",
+    EventType.CLIENT_CRASH: "fault.crash",
+    EventType.CLIENT_GC: "fault.gc",
+    EventType.PREEMPT_LOST: "fault.preempt-lost",
+    EventType.WATCHDOG_RESET: "fault.watchdog-reset",
+    EventType.TRANSFORM_DEGRADE: "fault.degrade",
+    EventType.SLOT_FAULT: "fault.slot",
 }
 
 

@@ -31,6 +31,13 @@ __all__ = [
     "Resume",
     "SchedDecision",
     "QueueDepth",
+    "ChannelFault",
+    "ClientCrash",
+    "ClientGC",
+    "PreemptLost",
+    "WatchdogReset",
+    "TransformDegrade",
+    "SlotFault",
     "EVENT_CLASSES",
     "event_from_dict",
 ]
@@ -49,6 +56,13 @@ class EventType(enum.Enum):
     RESUME = "resume"
     SCHED_DECISION = "sched_decision"
     QUEUE_DEPTH = "queue_depth"
+    CHANNEL_FAULT = "channel_fault"
+    CLIENT_CRASH = "client_crash"
+    CLIENT_GC = "client_gc"
+    PREEMPT_LOST = "preempt_lost"
+    WATCHDOG_RESET = "watchdog_reset"
+    TRANSFORM_DEGRADE = "transform_degrade"
+    SLOT_FAULT = "slot_fault"
 
 
 @dataclass(frozen=True, slots=True)
@@ -246,13 +260,143 @@ class QueueDepth(TraceEvent):
     depth: int
 
 
+@dataclass(frozen=True, slots=True)
+class ChannelFault(TraceEvent):
+    """An injected fault hit one channel message.
+
+    Emitted by :class:`repro.virt.channel.Channel` when the fault
+    injector perturbs a message; ``ts`` is the channel's accumulated
+    transport time (channels have no simulation clock of their own).
+    """
+
+    type: ClassVar[EventType] = EventType.CHANNEL_FAULT
+
+    #: which fault: "drop", "duplicate", "corrupt", or "delay"
+    fault: str
+    #: which leg of the round trip: "request" or "response"
+    direction: str
+    #: envelope id of the affected call
+    request_id: int
+    #: 1-based attempt number of the affected send
+    attempt: int
+
+
+@dataclass(frozen=True, slots=True)
+class ClientCrash(TraceEvent):
+    """A client process died mid-run.
+
+    Emitted by the harness (:mod:`repro.faults.scenarios`) at the
+    simulated instant an armed crash takes effect, before the policy
+    and server garbage-collect the client's state.
+    """
+
+    type: ClassVar[EventType] = EventType.CLIENT_CRASH
+
+    #: why, e.g. "injected" or "channel"
+    reason: str
+
+
+@dataclass(frozen=True, slots=True)
+class ClientGC(TraceEvent):
+    """A dead client's state was garbage-collected.
+
+    Emitted once per cleanup site: the server
+    (:meth:`repro.core.server.TallyServer.disconnect`, ``scope
+    "server"``) reports freed memory and dropped modules; a scheduling
+    policy (``scope "scheduler"``) reports cancelled in-flight
+    launches.
+    """
+
+    type: ClassVar[EventType] = EventType.CLIENT_GC
+
+    #: which layer cleaned up: "server" or "scheduler"
+    scope: str
+    #: device bytes released (server scope; 0 otherwise)
+    freed_bytes: int = 0
+    #: live buffers released (server scope; 0 otherwise)
+    buffers_freed: int = 0
+    #: in-flight launches killed (scheduler scope; 0 otherwise)
+    launches_cancelled: int = 0
+
+
+@dataclass(frozen=True, slots=True)
+class PreemptLost(TraceEvent):
+    """A cooperative preemption request was lost in delivery.
+
+    Emitted by :class:`repro.gpu.device.GPUDevice` when the injector
+    eats a PTB preempt-flag write: the workers never see the flag, so
+    no :class:`PreemptAck` will follow the :class:`PreemptRequest`.
+    """
+
+    type: ClassVar[EventType] = EventType.PREEMPT_LOST
+
+    launch_seq: int
+    mechanism: str
+
+
+@dataclass(frozen=True, slots=True)
+class WatchdogReset(TraceEvent):
+    """The preemption watchdog escalated to a forced reset.
+
+    Emitted by :class:`repro.core.scheduler.Tally` when a preemption
+    ack misses ``preempt_deadline``: the launch is killed REEF-style
+    and the best-effort execution resumes later from its last durable
+    cursor.  ``waited`` is how long past the request the watchdog held
+    out.
+    """
+
+    type: ClassVar[EventType] = EventType.WATCHDOG_RESET
+
+    launch_seq: int
+    #: configured ack deadline, seconds
+    deadline: float
+    #: time between preempt request and the reset, seconds
+    waited: float
+
+
+@dataclass(frozen=True, slots=True)
+class TransformDegrade(TraceEvent):
+    """A transformation failed and the scheduler fell down the ladder.
+
+    Emitted by :class:`repro.core.scheduler.Tally` when the chosen
+    transform cannot be applied to this kernel and the next rung is
+    used instead (PTB -> sliced -> original; see
+    ``docs/fault_tolerance.md``).
+    """
+
+    type: ClassVar[EventType] = EventType.TRANSFORM_DEGRADE
+
+    #: transform that failed, e.g. "ptb(432)"
+    from_transform: str
+    #: transform actually used, e.g. "sliced(64)" or "original"
+    to_transform: str
+    reason: str
+
+
+@dataclass(frozen=True, slots=True)
+class SlotFault(TraceEvent):
+    """A device slot fault reset a resident launch.
+
+    Emitted by the harness (:mod:`repro.faults.scenarios`) when an
+    armed slot fault kills a launch; the owning policy sees an ordinary
+    PREEMPTED completion and re-runs the lost work.
+    """
+
+    type: ClassVar[EventType] = EventType.SLOT_FAULT
+
+    launch_seq: int
+    #: blocks whose partial work the reset discarded
+    blocks_lost: int
+
+
 #: wire name -> event class (for deserialization)
 EVENT_CLASSES: dict[str, type[TraceEvent]] = {
     cls.type.value: cls
     for cls in (
         KernelSubmit, KernelStart, KernelComplete, SliceDispatch,
         PtbDispatch, PreemptRequest, PreemptAck, Resume, SchedDecision,
-        QueueDepth,
+        QueueDepth, ChannelFault, ClientCrash, ClientGC, PreemptLost,
+        WatchdogReset, TransformDegrade, SlotFault,
     )
 }
 

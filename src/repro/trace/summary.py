@@ -14,16 +14,23 @@ from typing import TYPE_CHECKING, Iterable, Union
 
 from ..metrics.latency import LatencySummary
 from .events import (
+    ChannelFault,
+    ClientCrash,
+    ClientGC,
     KernelComplete,
     KernelSubmit,
     PreemptAck,
+    PreemptLost,
     PreemptRequest,
     PtbDispatch,
     QueueDepth,
     Resume,
     SchedDecision,
     SliceDispatch,
+    SlotFault,
     TraceEvent,
+    TransformDegrade,
+    WatchdogReset,
 )
 from .tracer import Tracer, load_jsonl
 
@@ -67,6 +74,20 @@ class TraceSummary:
     #: extra kernel-launch overhead spent on slice re-launches, seconds
     #: (None when no GPUSpec was provided to :func:`summarize`)
     slice_launch_overhead: float | None = None
+    #: injected channel faults (drops, duplicates, corruptions, delays)
+    channel_faults: int = 0
+    #: client crashes observed by the harness
+    client_crashes: int = 0
+    #: garbage-collection actions (server and scheduler scopes)
+    client_gcs: int = 0
+    #: cooperative preemptions whose flag delivery was lost
+    preempts_lost: int = 0
+    #: watchdog escalations to forced reset
+    watchdog_resets: int = 0
+    #: degradation-ladder steps taken after failed transformations
+    transform_degrades: int = 0
+    #: device slot faults that reset a resident launch
+    slot_faults: int = 0
 
     def format(self) -> str:
         """Plain-text rendering in the harness's table style."""
@@ -89,6 +110,16 @@ class TraceSummary:
         if self.slice_launch_overhead is not None:
             rows.append(("slice launch overhead",
                          format_seconds(self.slice_launch_overhead)))
+        fault_rows = [
+            ("channel faults", self.channel_faults),
+            ("client crashes", self.client_crashes),
+            ("client GCs", self.client_gcs),
+            ("preempts lost", self.preempts_lost),
+            ("watchdog resets", self.watchdog_resets),
+            ("transform degrades", self.transform_degrades),
+            ("slot faults", self.slot_faults),
+        ]
+        rows.extend((name, str(count)) for name, count in fault_rows if count)
         for transform, count in sorted(self.transform_usage.items()):
             rows.append((f"decision {transform}", str(count)))
         for client_id, c in sorted(self.clients.items()):
@@ -160,6 +191,22 @@ def summarize(source: TraceSource,
         elif isinstance(event, QueueDepth):
             if event.depth > client.max_queue_depth:
                 client.max_queue_depth = event.depth
+        elif isinstance(event, ChannelFault):
+            summary.channel_faults += 1
+        elif isinstance(event, ClientCrash):
+            summary.client_crashes += 1
+        elif isinstance(event, ClientGC):
+            summary.client_gcs += 1
+        elif isinstance(event, PreemptLost):
+            summary.preempts_lost += 1
+            # the flag never reached the workers; no ack can match
+            request_ts.pop(event.launch_seq, None)
+        elif isinstance(event, WatchdogReset):
+            summary.watchdog_resets += 1
+        elif isinstance(event, TransformDegrade):
+            summary.transform_degrades += 1
+        elif isinstance(event, SlotFault):
+            summary.slot_faults += 1
 
     summary.preempt_requests = len(request_ts)
     if latencies:

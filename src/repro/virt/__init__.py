@@ -1,8 +1,9 @@
 """Virtualization layer: interception, channels, and wire protocol (§4.3)."""
 
-from .channel import Channel, ChannelConfig, SHARED_MEMORY, UNIX_SOCKET
+from .channel import Channel, ChannelConfig, ChannelStats, SHARED_MEMORY, UNIX_SOCKET
 from .interposer import InterposedBackend
 from .protocol import (
+    Envelope,
     FreeRequest,
     LaunchKernelRequest,
     MallocRequest,
@@ -12,12 +13,16 @@ from .protocol import (
     Request,
     Response,
     SynchronizeRequest,
+    checksum_of,
     estimate_size,
 )
 
 __all__ = [
     "Channel",
     "ChannelConfig",
+    "ChannelStats",
+    "Envelope",
+    "checksum_of",
     "FreeRequest",
     "InterposedBackend",
     "LaunchKernelRequest",

@@ -6,6 +6,16 @@ channel as a synchronous request/response pipe with a configurable
 per-message cost and byte-rate; it *accounts* for the time each
 transport would spend, so tests and benchmarks can quantify the
 optimization (socket vs shared memory) without real IPC.
+
+Reliability: every call travels in an :class:`~repro.virt.protocol.
+Envelope` carrying a request id and payload checksum.  When a fault
+injector (:mod:`repro.faults`) is attached, messages can be dropped,
+duplicated, corrupted, or delayed; the channel recovers with timeout +
+exponential-backoff retries, and retries reuse the envelope's request
+id so an envelope-aware server (``TallyServer``) can replay its cached
+reply instead of re-executing a non-idempotent operation.  A call whose
+retry budget runs out raises :class:`~repro.errors.ChannelTimeout`; an
+injected client crash raises :class:`~repro.errors.ClientCrashed`.
 """
 
 from __future__ import annotations
@@ -13,8 +23,17 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable
 
-from ..errors import VirtError
-from .protocol import Request, Response, estimate_size
+from ..errors import ChannelTimeout, ClientCrashed, VirtError
+from ..faults.injector import (
+    CORRUPT,
+    DELAY,
+    DROP,
+    DUPLICATE,
+    NULL_INJECTOR,
+)
+from ..trace.events import ChannelFault
+from ..trace.tracer import NULL_TRACER
+from .protocol import Envelope, Request, Response, checksum_of, estimate_size
 
 __all__ = ["ChannelConfig", "Channel", "SHARED_MEMORY", "UNIX_SOCKET"]
 
@@ -28,6 +47,12 @@ class ChannelConfig:
     per_message_latency: float
     #: incremental cost per payload byte (seconds)
     per_byte_latency: float
+    #: how long a sender waits for a reply before retrying (seconds)
+    timeout: float = 100e-6
+    #: backoff before the first retry (seconds); doubles per retry
+    retry_backoff: float = 50e-6
+    #: total send attempts per call (1 original + retries)
+    max_attempts: int = 5
 
 
 #: Lock-free shared-memory ring (the paper's optimized transport).
@@ -47,44 +72,161 @@ UNIX_SOCKET = ChannelConfig(
 
 @dataclass
 class ChannelStats:
-    """Traffic accounting for one channel."""
+    """Traffic accounting for one channel, split by direction."""
 
     messages: int = 0
     bytes: int = 0
     simulated_time: float = 0.0
+    requests: int = 0
+    responses: int = 0
+    request_bytes: int = 0
+    response_bytes: int = 0
+    #: re-sends after a timeout or retryable failure
+    retries: int = 0
+    #: attempts that waited the full timeout for a reply that never came
+    timeouts: int = 0
+    #: injected faults that hit this channel's messages
+    faults: int = 0
 
 
 class Channel:
-    """A synchronous request/response channel to a server handler."""
+    """A synchronous request/response channel to a server handler.
 
-    def __init__(self, handler: Callable[[Request], Response],
-                 config: ChannelConfig = SHARED_MEMORY) -> None:
+    The handler receives :class:`~repro.virt.protocol.Envelope` objects;
+    handlers that only care about the payload (most tests) can ignore
+    the framing entirely because the channel itself enforces the
+    retry/timeout discipline.
+    """
+
+    def __init__(self, handler: Callable[[Envelope], Response],
+                 config: ChannelConfig = SHARED_MEMORY, *,
+                 faults: Any = NULL_INJECTOR,
+                 tracer: Any = NULL_TRACER,
+                 client_id: str = "") -> None:
         self._handler = handler
         self.config = config
         self.stats = ChannelStats()
+        self.faults = faults
+        self.tracer = tracer
+        self.client_id = client_id
+        self._request_seq = 0
 
+    # ------------------------------------------------------------------
     def call(self, request: Request) -> Response:
         """Send ``request``; return the server's response.
 
-        Raises :class:`VirtError` if the server reports failure, so
-        client code sees API errors exactly as local execution would.
+        Raises :class:`VirtError` if the server reports an API failure,
+        so client code sees errors exactly as local execution would;
+        :class:`ChannelTimeout` when every attempt is lost; and
+        :class:`ClientCrashed` at an injected crash point.
         """
-        self._account(request)
-        response = self._handler(request)
-        self._account(response)
-        if not response.ok:
-            raise VirtError(response.error or "server error")
-        return response
+        self._request_seq += 1
+        envelope = Envelope(
+            request_id=self._request_seq,
+            client_id=getattr(request, "client_id", self.client_id),
+            payload=request,
+            checksum=checksum_of(request),
+        )
+        last_error = "no attempt made"
+        backoff = self.config.retry_backoff
+        for attempt in range(1, self.config.max_attempts + 1):
+            if attempt > 1:
+                self.stats.retries += 1
+                self.stats.simulated_time += backoff
+                backoff *= 2
+            if self.faults.enabled and self.faults.crash_now():
+                raise ClientCrashed(
+                    f"client {envelope.client_id!r} crashed at request "
+                    f"{envelope.request_id} ({type(request).__name__})"
+                )
+            response = self._attempt(envelope, attempt)
+            if response is None:
+                self.stats.timeouts += 1
+                self.stats.simulated_time += self.config.timeout
+                last_error = "timed out waiting for reply"
+                continue
+            if not response.ok and response.retryable:
+                last_error = response.error or "transport failure"
+                continue
+            if not response.ok:
+                raise VirtError(response.error or "server error")
+            return response
+        raise ChannelTimeout(
+            f"request {envelope.request_id} ({type(request).__name__}) "
+            f"failed after {self.config.max_attempts} attempts: {last_error}"
+        )
 
     def cost_of(self, message: Any) -> float:
         """Modelled transport time of one message."""
         return (self.config.per_message_latency
                 + estimate_size(message) * self.config.per_byte_latency)
 
-    def _account(self, message: Any) -> None:
+    # ------------------------------------------------------------------
+    def _attempt(self, envelope: Envelope, attempt: int) -> Response | None:
+        """One send/receive attempt; None means the reply never arrived."""
+        fault = (self.faults.channel_fault("request")
+                 if self.faults.enabled else "none")
+        if fault != "none":
+            self._note_fault(fault, "request", envelope, attempt)
+        if fault == DROP:
+            # the bytes left the client but never reached the server
+            self._account(envelope, "request")
+            return None
+        if fault == DELAY:
+            self.stats.simulated_time += self.faults.config.delay_time
+        sent = envelope
+        if fault == CORRUPT:
+            sent = Envelope(envelope.request_id, envelope.client_id,
+                            envelope.payload, envelope.checksum ^ 0x1)
+        self._account(sent, "request")
+        response = self._handler(sent)
+        if fault == DUPLICATE:
+            # second copy of the same envelope: an envelope-aware server
+            # answers it from the replay cache, so both replies agree
+            self._account(envelope, "request")
+            response = self._handler(envelope)
+
+        fault = (self.faults.channel_fault("response")
+                 if self.faults.enabled else "none")
+        if fault != "none":
+            self._note_fault(fault, "response", envelope, attempt)
+        if fault == DROP:
+            self._account(response, "response")
+            return None
+        if fault == DELAY:
+            self.stats.simulated_time += self.faults.config.delay_time
+        self._account(response, "response")
+        if fault == DUPLICATE:
+            self._account(response, "response")
+        if fault == CORRUPT:
+            # the client cannot trust a corrupted reply; retry the call
+            return Response.transport_failure("response corrupted in transit")
+        return response
+
+    def _note_fault(self, fault: str, direction: str, envelope: Envelope,
+                    attempt: int) -> None:
+        self.stats.faults += 1
+        if self.tracer.enabled:
+            self.tracer.emit(ChannelFault(
+                ts=self.stats.simulated_time,
+                client_id=envelope.client_id,
+                kernel="",
+                fault=fault,
+                direction=direction,
+                request_id=envelope.request_id,
+                attempt=attempt,
+            ))
+
+    def _account(self, message: Any, direction: str) -> None:
         size = estimate_size(message)
         self.stats.messages += 1
         self.stats.bytes += size
+        if direction == "request":
+            self.stats.requests += 1
+            self.stats.request_bytes += size
+        else:
+            self.stats.responses += 1
+            self.stats.response_bytes += size
         self.stats.simulated_time += (
             self.config.per_message_latency + size * self.config.per_byte_latency
         )

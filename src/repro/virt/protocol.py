@@ -9,6 +9,7 @@ CudaRuntime` minus the calls the client answers from local state
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass
 from typing import Any, Mapping, Union
 
@@ -28,6 +29,8 @@ __all__ = [
     "SynchronizeRequest",
     "Request",
     "Response",
+    "Envelope",
+    "checksum_of",
     "estimate_size",
 ]
 
@@ -95,11 +98,18 @@ Request = Union[
 
 @dataclass(frozen=True)
 class Response:
-    """Server reply: a value on success, an error string on failure."""
+    """Server reply: a value on success, an error string on failure.
+
+    ``retryable`` separates transport-level failures (checksum mismatch,
+    unparseable envelope — resend the same request) from API failures
+    (double free, unknown kernel — retrying cannot help, so the channel
+    surfaces them to the caller as :class:`~repro.errors.VirtError`).
+    """
 
     ok: bool
     value: Any = None
     error: str | None = None
+    retryable: bool = False
 
     @staticmethod
     def success(value: Any = None) -> "Response":
@@ -109,9 +119,55 @@ class Response:
     def failure(error: str) -> "Response":
         return Response(ok=False, error=error)
 
+    @staticmethod
+    def transport_failure(error: str) -> "Response":
+        return Response(ok=False, error=error, retryable=True)
+
+
+@dataclass(frozen=True)
+class Envelope:
+    """Transport frame around a request: id + integrity checksum.
+
+    ``request_id`` is unique per (client, attempt-group): every retry of
+    the same logical call reuses the id, which is what lets the server's
+    replay cache answer a duplicate or retried request idempotently.
+    ``checksum`` covers the payload; the server rejects a mismatch with
+    a *retryable* failure instead of executing a corrupted request.
+    """
+
+    request_id: int
+    client_id: str
+    payload: Request
+    checksum: int
+
+
+def checksum_of(message: Any) -> int:
+    """Structural checksum of a message (stands in for a byte CRC).
+
+    The simulator never serializes messages, so the checksum covers a
+    stable structural token — message type, client, estimated wire size
+    — which is enough to detect the injector's corruption (a checksum
+    bit-flip) while staying cheap on the fault-free path.
+    """
+    token = (
+        f"{type(message).__name__}:"
+        f"{getattr(message, 'client_id', '')}:"
+        f"{estimate_size(message)}"
+    )
+    return zlib.crc32(token.encode())
+
 
 def estimate_size(message: Any) -> int:
-    """Rough wire size of a message in bytes (for channel accounting)."""
+    """Rough wire size of a message in bytes (for channel accounting).
+
+    Envelopes are costed as their payload: the frame's fields live in
+    the fixed per-message header every transport already charges for.
+    Request and response payloads are costed symmetrically — an array
+    travelling D2H in a response costs the same 64-byte header plus
+    payload bytes as the H2D request carrying it up.
+    """
+    if isinstance(message, Envelope):
+        return estimate_size(message.payload)
     if isinstance(message, MemcpyH2DRequest):
         return 64 + message.data.nbytes
     if isinstance(message, MemcpyD2HRequest):
@@ -123,5 +179,5 @@ def estimate_size(message: Any) -> int:
     if isinstance(message, LaunchKernelRequest):
         return 96 + 16 * len(message.args)
     if isinstance(message, Response) and isinstance(message.value, np.ndarray):
-        return 32 + message.value.nbytes
+        return 64 + message.value.nbytes
     return 64

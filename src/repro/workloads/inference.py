@@ -63,6 +63,7 @@ class InferenceJob:
         self._current_arrival = 0.0
         self._current_start = 0.0
         self._started = False
+        self.crashed = False
         policy.register_client(client_id, priority)
 
     # ------------------------------------------------------------------
@@ -72,6 +73,19 @@ class InferenceJob:
             raise WorkloadError(f"job {self.client_id!r} already started")
         self._started = True
         self._schedule_next_arrival()
+
+    def crash(self) -> None:
+        """The client process dies: stop arriving and submitting.
+
+        Queued requests are abandoned and any in-flight request never
+        completes — the policy's ``disconnect`` reclaims the device
+        side; late completion callbacks become no-ops.  Records of
+        already-completed requests stay, so before/after-crash latency
+        comparisons remain possible.
+        """
+        self.crashed = True
+        self._queue.clear()
+        self._busy = False
 
     @property
     def completed_requests(self) -> int:
@@ -104,6 +118,8 @@ class InferenceJob:
         self.engine.schedule_at(when, self._on_arrival)
 
     def _on_arrival(self) -> None:
+        if self.crashed:
+            return  # the arrival event outlived the process
         self._queue.append(self.engine.now)
         self._schedule_next_arrival()
         self._sample_queue_depth()
@@ -126,6 +142,8 @@ class InferenceJob:
         self._advance()
 
     def _advance(self) -> None:
+        if self.crashed:
+            return  # a completion racing the crash; nobody is listening
         if self._op_index >= len(self.trace.ops):
             self.records.append(RequestRecord(
                 arrival=self._current_arrival,

@@ -33,6 +33,7 @@ class TrainingJob:
         self.iteration_completions: list[float] = []
         self.kernels_completed = 0
         self.started_at: float | None = None
+        self.crashed = False
         self._op_index = 0
         self._stopped = False
         policy.register_client(client_id, priority)
@@ -48,6 +49,16 @@ class TrainingJob:
     def stop(self) -> None:
         """Stop after the current kernel/gap completes."""
         self._stopped = True
+
+    def crash(self) -> None:
+        """The client process dies: no further submissions, ever.
+
+        Unlike :meth:`stop`, a crash also leaves any in-flight kernel
+        without a consumer — the policy's ``disconnect`` must reclaim
+        it; completion callbacks that still fire become no-ops.
+        """
+        self._stopped = True
+        self.crashed = True
 
     @property
     def iterations_completed(self) -> int:
@@ -76,5 +87,7 @@ class TrainingJob:
             self.policy.submit(self.client_id, op.kernel, self._kernel_done)
 
     def _kernel_done(self) -> None:
+        if self.crashed:
+            return  # a completion racing the crash; nobody is listening
         self.kernels_completed += 1
         self._advance()

@@ -1,0 +1,112 @@
+"""TallyServer protocol error paths.
+
+The server is a daemon shared by many clients: a bad request from one
+client must come back as an error :class:`Response` — never as an
+exception that could take the server (and everyone's GPU) down.
+"""
+
+import numpy as np
+
+from repro.core import TallyServer
+from repro.ptx.interpreter import GlobalRef
+from repro.ptx.ir import Dim3
+from repro.virt import (
+    FreeRequest,
+    LaunchKernelRequest,
+    MallocRequest,
+    MemcpyD2HRequest,
+    MemcpyH2DRequest,
+)
+from repro.virt.protocol import Envelope, checksum_of
+
+
+def connected_server() -> TallyServer:
+    server = TallyServer()
+    server.connect("c")
+    return server
+
+
+class TestMalformedRequests:
+    def test_non_string_client_id(self):
+        response = connected_server().handle(MallocRequest(None, 4))
+        assert not response.ok and "malformed" in response.error
+
+    def test_unknown_request_object(self):
+        class Bogus:
+            client_id = "c"
+
+        response = connected_server().handle(Bogus())
+        assert not response.ok
+
+    def test_corrupted_envelope_is_retryable(self):
+        server = connected_server()
+        request = MallocRequest("c", 4)
+        envelope = Envelope(request_id=1, client_id="c", payload=request,
+                            checksum=checksum_of(request) ^ 0x1)
+        response = server.handle(envelope)
+        assert not response.ok and response.retryable
+        assert "checksum" in response.error
+
+    def test_server_survives_malformed_then_serves(self):
+        server = connected_server()
+        assert not server.handle(MallocRequest(42, 4)).ok
+        assert server.handle(MallocRequest("c", 4)).ok
+
+
+class TestApiMisuse:
+    def test_double_free_is_an_error_response(self):
+        server = connected_server()
+        ref = server.handle(MallocRequest("c", 4)).value
+        assert server.handle(FreeRequest("c", ref)).ok
+        response = server.handle(FreeRequest("c", ref))
+        assert not response.ok and not response.retryable
+
+    def test_free_of_never_allocated_pointer(self):
+        response = connected_server().handle(
+            FreeRequest("c", GlobalRef("ghost")))
+        assert not response.ok
+
+    def test_memcpy_from_unregistered_pointer(self):
+        response = connected_server().handle(
+            MemcpyD2HRequest("c", GlobalRef("ghost"), 4))
+        assert not response.ok
+
+    def test_memcpy_to_unregistered_pointer(self):
+        response = connected_server().handle(
+            MemcpyH2DRequest("c", GlobalRef("ghost"), np.zeros(4)))
+        assert not response.ok
+
+    def test_launch_of_unregistered_kernel(self):
+        response = connected_server().handle(LaunchKernelRequest(
+            "c", "no_such_kernel", Dim3(1), Dim3(1), {}))
+        assert not response.ok and "no_such_kernel" in response.error
+
+
+class TestDisconnect:
+    def test_disconnect_frees_everything(self):
+        server = connected_server()
+        server.handle(MallocRequest("c", 1024))
+        server.handle(MallocRequest("c", 2048))
+        state = server.disconnect("c")
+        assert state is not None
+        assert server.clients_collected == 1
+        # the client is gone: further requests fail gracefully
+        assert not server.handle(MallocRequest("c", 4)).ok
+
+    def test_disconnect_is_idempotent(self):
+        server = connected_server()
+        assert server.disconnect("c") is not None
+        assert server.disconnect("c") is None
+        assert server.clients_collected == 1
+
+    def test_disconnect_purges_replay_cache(self):
+        server = connected_server()
+        request = MallocRequest("c", 4)
+        envelope = Envelope(request_id=1, client_id="c", payload=request,
+                            checksum=checksum_of(request))
+        server.handle(envelope)
+        server.disconnect("c")
+        server.connect("c")
+        # same id from a reconnected client must re-execute, not replay
+        assert server.handle(envelope).ok
+        assert server.replay_hits == 0

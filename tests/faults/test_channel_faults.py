@@ -1,0 +1,166 @@
+"""Channel-level fault tolerance: retries, replay, checksums, crashes."""
+
+from collections import Counter
+
+import numpy as np
+import pytest
+
+from repro.core import ExecMode, ExecPlan, TallyServer, connect_runtime
+from repro.errors import ChannelTimeout, ClientCrashed
+from repro.faults import FaultConfig, FaultInjector
+from repro.ptx.library import vector_add
+from repro.runtime import FatBinary
+from repro.virt import Channel, MallocRequest, Response
+
+
+class ScriptedInjector:
+    """Injector whose channel decisions follow a fixed script.
+
+    Exhausted scripts answer "none", so a test can stage e.g. one drop
+    followed by clean retries.
+    """
+
+    enabled = True
+
+    def __init__(self, request=(), response=()):
+        self._scripts = {"request": list(request), "response": list(response)}
+        self.config = FaultConfig(delay_time=1e-3)
+        self.injected = Counter()
+
+    def channel_fault(self, direction):
+        script = self._scripts[direction]
+        fault = script.pop(0) if script else "none"
+        if fault != "none":
+            self.injected[f"{direction}_{fault}"] += 1
+        return fault
+
+    def crash_now(self):
+        return False
+
+
+def server_and_channel(injector) -> tuple[TallyServer, Channel]:
+    server = TallyServer()
+    server.connect("c")
+    return server, Channel(server.handle, faults=injector, client_id="c")
+
+
+class TestRetry:
+    def test_dropped_request_is_retried(self):
+        server, channel = server_and_channel(
+            ScriptedInjector(request=["drop"]))
+        response = channel.call(MallocRequest("c", 16))
+        assert response.ok
+        assert channel.stats.retries == 1
+        assert channel.stats.timeouts == 1
+        assert server.client("c").memory_manager.live_buffers() == 1
+
+    def test_backoff_and_timeout_cost_simulated_time(self):
+        clean = Channel(lambda env: Response.success())
+        clean.call(MallocRequest("c", 16))
+        server, lossy = server_and_channel(ScriptedInjector(
+            request=["drop", "drop"]))
+        lossy.call(MallocRequest("c", 16))
+        # two timeouts, two backoffs (50us then 100us), and the wire
+        # time of the two request copies that went nowhere
+        extra = (2 * lossy.config.timeout
+                 + lossy.config.retry_backoff * 3
+                 + 2 * lossy.cost_of(MallocRequest("c", 16)))
+        assert lossy.stats.simulated_time == pytest.approx(
+            clean.stats.simulated_time + extra)
+
+    def test_exhausted_budget_raises_channel_timeout(self):
+        server, channel = server_and_channel(
+            ScriptedInjector(request=["drop"] * 99))
+        with pytest.raises(ChannelTimeout, match="after 5 attempts"):
+            channel.call(MallocRequest("c", 16))
+        assert channel.stats.retries == channel.config.max_attempts - 1
+        # the drop happened before the server: nothing was allocated
+        assert server.client("c").memory_manager.live_buffers() == 0
+
+    def test_retries_reuse_the_request_id(self):
+        seen = []
+        injector = ScriptedInjector(response=["drop"])
+
+        def handler(envelope):
+            seen.append(envelope.request_id)
+            return Response.success()
+
+        channel = Channel(handler, faults=injector)
+        channel.call(MallocRequest("c", 16))
+        assert len(seen) == 2 and seen[0] == seen[1]
+
+
+class TestIdempotentReplay:
+    def test_duplicate_request_executes_once(self):
+        server, channel = server_and_channel(
+            ScriptedInjector(request=["duplicate"]))
+        assert channel.call(MallocRequest("c", 16)).ok
+        assert server.client("c").memory_manager.live_buffers() == 1
+        assert server.replay_hits == 1
+
+    def test_retry_after_lost_response_executes_once(self):
+        """The op ran; only the reply was lost.  Replay, don't re-run."""
+        server, channel = server_and_channel(
+            ScriptedInjector(response=["drop"]))
+        assert channel.call(MallocRequest("c", 16)).ok
+        assert server.client("c").memory_manager.live_buffers() == 1
+        assert server.replay_hits == 1
+
+
+class TestChecksums:
+    def test_corrupted_request_detected_and_retried(self):
+        server, channel = server_and_channel(
+            ScriptedInjector(request=["corrupt"]))
+        assert channel.call(MallocRequest("c", 16)).ok
+        # the corrupted copy was rejected before execution
+        assert server.client("c").memory_manager.live_buffers() == 1
+        assert server.replay_hits == 0
+        assert channel.stats.retries == 1
+
+    def test_corrupted_response_retried(self):
+        server, channel = server_and_channel(
+            ScriptedInjector(response=["corrupt"]))
+        assert channel.call(MallocRequest("c", 16)).ok
+        assert channel.stats.retries == 1
+        assert server.replay_hits == 1  # the re-sent request replays
+
+
+class TestDelayAndCrash:
+    def test_delay_adds_transport_time_only(self):
+        server, delayed = server_and_channel(
+            ScriptedInjector(request=["delay"]))
+        delayed.call(MallocRequest("c", 16))
+        server2, clean = server_and_channel(ScriptedInjector())
+        clean.call(MallocRequest("c", 16))
+        assert delayed.stats.simulated_time == pytest.approx(
+            clean.stats.simulated_time + delayed.faults.config.delay_time)
+        assert delayed.stats.retries == 0
+
+    def test_injected_crash_raises_client_crashed(self):
+        injector = FaultInjector(FaultConfig(crash_after_calls=2))
+        server = TallyServer(faults=injector)
+        channel = server.connect("c")
+        channel.call(MallocRequest("c", 16))
+        channel.call(MallocRequest("c", 16))
+        with pytest.raises(ClientCrashed, match="crashed at request"):
+            channel.call(MallocRequest("c", 16))
+
+
+class TestEndToEnd:
+    def test_correct_results_through_a_lossy_channel(self):
+        """vector_add survives a 15 %-faulty transport bit-exactly."""
+        injector = FaultInjector(FaultConfig(
+            seed=4, drop=0.05, duplicate=0.05, corrupt=0.05))
+        server = TallyServer(best_effort_plan=ExecPlan(ExecMode.ORIGINAL),
+                             faults=injector)
+        rt = connect_runtime(server, "c")
+        rt.register_fat_binary(FatBinary.of("bin", [vector_add()]))
+        n = 64
+        x, y = np.arange(n, dtype=np.float64), np.ones(n)
+        bx, by, out = rt.malloc(n * 8), rt.malloc(n * 8), rt.malloc(n * 8)
+        rt.memcpy_h2d(bx, x)
+        rt.memcpy_h2d(by, y)
+        rt.launch_kernel("vector_add", (4,), (16,),
+                         {"x": bx, "y": by, "out": out, "n": n})
+        np.testing.assert_array_equal(rt.memcpy_d2h(out, n), x + y)
+        assert sum(injector.injected.values()) > 0  # faults did fire

@@ -1,0 +1,214 @@
+"""Recovery mechanisms: watchdog, degradation ladder, client GC.
+
+Each test injects one fault kind and asserts — via trace events and
+final state — that the matching tolerance layer recovered.
+"""
+
+import pytest
+import warnings
+
+from repro.baselines import Priority, REEF, TimeSlicing
+from repro.core import Tally, TallyConfig
+from repro.errors import PreemptTimeout, TransformFallback
+from repro.faults import FaultConfig, FaultInjector
+from repro.gpu import A100_SXM4_40GB, EventLoop, GPUDevice, KernelDescriptor
+from repro.trace import (
+    ClientGC,
+    PreemptLost,
+    PreemptRequest,
+    TransformDegrade,
+    Tracer,
+    WatchdogReset,
+)
+
+SPEC = A100_SXM4_40GB
+DEADLINE = 200e-6
+
+
+def kernel(name="k", blocks=5000, bd=50e-6, tpb=256):
+    return KernelDescriptor(name, num_blocks=blocks, threads_per_block=tpb,
+                            block_duration=bd)
+
+
+def make_tally(faults=None, tracer=None, **config_kw):
+    engine = EventLoop()
+    device = GPUDevice(SPEC, engine, tracer=tracer, faults=faults)
+    tally = Tally(device, engine, TallyConfig(**config_kw))
+    return tally, device, engine
+
+
+def lost_ack_run(**config_kw):
+    """BE PTB kernel under way; HP arrives; the preempt flag is lost."""
+    tracer = Tracer(capacity=None)
+    injector = FaultInjector(FaultConfig(seed=1, lost_ack=1.0))
+    tally, device, engine = make_tally(
+        faults=injector, tracer=tracer,
+        slice_fractions=(), worker_sm_multiples=(1,), **config_kw)
+    tally.register_client("hp", Priority.HIGH)
+    tally.register_client("be", Priority.BEST_EFFORT)
+    done = {}
+    tally.submit("be", kernel("be_k", blocks=50_000, bd=100e-6),
+                 lambda: done.setdefault("be", engine.now))
+    engine.schedule(2e-3, lambda: tally.submit(
+        "hp", kernel("hp_k", blocks=100, bd=50e-6),
+        lambda: done.setdefault("hp", engine.now)))
+    return tally, engine, tracer, done
+
+
+class TestWatchdog:
+    def test_lost_ack_recovered_by_forced_reset(self):
+        tally, engine, tracer, done = lost_ack_run(
+            preempt_deadline=DEADLINE)
+        engine.run()
+        assert "hp" in done and "be" in done  # nobody wedged
+        lost = [e for e in tracer.events if isinstance(e, PreemptLost)]
+        resets = [e for e in tracer.events if isinstance(e, WatchdogReset)]
+        assert lost and resets
+        assert tally.stats.watchdog_resets == len(resets)
+
+    def test_reset_fires_at_the_deadline(self):
+        tally, engine, tracer, done = lost_ack_run(
+            preempt_deadline=DEADLINE)
+        engine.run()
+        requests = {e.launch_seq: e.ts for e in tracer.events
+                    if isinstance(e, PreemptRequest)
+                    and e.mechanism == "ptb-flag"}
+        for reset in (e for e in tracer.events
+                      if isinstance(e, WatchdogReset)):
+            assert reset.deadline == DEADLINE
+            assert reset.waited == pytest.approx(DEADLINE)
+            assert reset.ts == pytest.approx(
+                requests[reset.launch_seq] + DEADLINE)
+
+    def test_escalation_can_be_disabled(self):
+        tally, engine, tracer, done = lost_ack_run(
+            preempt_deadline=DEADLINE, watchdog_escalate=False)
+        with pytest.raises(PreemptTimeout):
+            engine.run()
+
+    def test_watchdog_silent_on_healthy_preemption(self):
+        """Cooperative preemption beats the deadline: no resets."""
+        tracer = Tracer(capacity=None)
+        tally, device, engine = make_tally(
+            tracer=tracer, preempt_deadline=50e-3,
+            slice_fractions=(), worker_sm_multiples=(1,))
+        tally.register_client("hp", Priority.HIGH)
+        tally.register_client("be", Priority.BEST_EFFORT)
+        done = {}
+        tally.submit("be", kernel("be_k", blocks=50_000, bd=100e-6),
+                     lambda: done.setdefault("be", engine.now))
+        engine.schedule(2e-3, lambda: tally.submit(
+            "hp", kernel("hp_k", blocks=100, bd=50e-6),
+            lambda: done.setdefault("hp", engine.now)))
+        engine.run()
+        assert "hp" in done and "be" in done
+        assert tally.stats.preemptions > 0
+        assert tally.stats.watchdog_resets == 0
+
+
+class TestDegradationLadder:
+    def test_ptb_failure_degrades_and_completes(self):
+        tracer = Tracer(capacity=None)
+        injector = FaultInjector(FaultConfig(seed=1,
+                                             transform_fail_rate=1.0))
+        tally, device, engine = make_tally(faults=injector, tracer=tracer)
+        tally.register_client("be", Priority.BEST_EFFORT)
+        done = []
+        tally.submit("be", kernel("be_k", blocks=20_000, bd=50e-6),
+                     lambda: done.append(engine.now))
+        engine.run()
+        assert done  # the kernel still ran to completion
+        degrades = [e for e in tracer.events
+                    if isinstance(e, TransformDegrade)]
+        assert degrades
+        # rate 1.0 fails every rung: the ladder must land on original
+        assert degrades[-1].to_transform == "original"
+        assert tally.stats.transform_fallbacks == len(degrades)
+
+    def test_fault_free_run_never_degrades(self):
+        tracer = Tracer(capacity=None)
+        tally, device, engine = make_tally(tracer=tracer)
+        tally.register_client("be", Priority.BEST_EFFORT)
+        tally.submit("be", kernel("be_k", blocks=20_000, bd=50e-6),
+                     lambda: None)
+        engine.run()
+        assert tally.stats.transform_fallbacks == 0
+        assert not [e for e in tracer.events
+                    if isinstance(e, TransformDegrade)]
+
+
+class TestSchedulerGC:
+    @pytest.mark.parametrize("policy_cls", [Tally, TimeSlicing, REEF])
+    def test_survivors_progress_after_be_disconnect(self, policy_cls):
+        engine = EventLoop()
+        tracer = Tracer(capacity=None)
+        device = GPUDevice(SPEC, engine, tracer=tracer)
+        if policy_cls is Tally:
+            policy = Tally(device, engine, TallyConfig())
+        else:
+            policy = policy_cls(device, engine)
+        policy.register_client("hp", Priority.HIGH)
+        policy.register_client("be", Priority.BEST_EFFORT)
+        policy.submit("be", kernel("be_k", blocks=50_000, bd=100e-6),
+                      lambda: None)
+        engine.schedule(1e-3, lambda: policy.disconnect("be"))
+        done = []
+        engine.schedule(2e-3, lambda: policy.submit(
+            "hp", kernel("hp_k", blocks=100, bd=50e-6),
+            lambda: done.append(engine.now)))
+        engine.run()
+        assert done  # the survivor got the device
+        gcs = [e for e in tracer.events if isinstance(e, ClientGC)]
+        assert gcs and gcs[0].client_id == "be"
+        assert gcs[0].launches_cancelled >= 1
+
+    def test_hp_disconnect_unblocks_best_effort(self):
+        """A crashed HP client must not park BE work forever."""
+        tally, device, engine = make_tally(
+            slice_fractions=(), worker_sm_multiples=(1,))
+        tally.register_client("hp", Priority.HIGH)
+        tally.register_client("be", Priority.BEST_EFFORT)
+        done = []
+        tally.submit("hp", kernel("hp_k", blocks=864 * 16, bd=1e-3),
+                     lambda: done.append("hp"))
+        engine.schedule(0.5e-3, lambda: tally.submit(
+            "be", kernel("be_k", blocks=2000, bd=50e-6),
+            lambda: done.append("be")))
+        engine.schedule(1e-3, lambda: tally.disconnect("hp"))
+        engine.run()
+        assert "be" in done
+        assert "hp" not in done  # its callback was severed
+
+    def test_disconnect_unknown_client_is_a_noop(self):
+        tally, device, engine = make_tally()
+        tally.disconnect("ghost")  # idempotent, no raise
+
+
+class TestFunctionalLadder:
+    def test_transformer_falls_back_with_warning(self):
+        from repro.core import ExecMode, ExecPlan, TallyServer, \
+            connect_runtime
+        import numpy as np
+        from repro.ptx.library import vector_add
+        from repro.runtime import FatBinary
+
+        injector = FaultInjector(FaultConfig(seed=1,
+                                             transform_fail_rate=1.0))
+        server = TallyServer(best_effort_plan=ExecPlan(ExecMode.PTB),
+                             faults=injector)
+        rt = connect_runtime(server, "be")
+        rt.register_fat_binary(FatBinary.of("bin", [vector_add()]))
+        n = 64
+        x = np.arange(n, dtype=np.float64)
+        bx, by, out = rt.malloc(n * 8), rt.malloc(n * 8), rt.malloc(n * 8)
+        rt.memcpy_h2d(bx, x)
+        rt.memcpy_h2d(by, np.ones(n))
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            rt.launch_kernel("vector_add", (4,), (16,),
+                             {"x": bx, "y": by, "out": out, "n": n})
+        fallbacks = [w for w in caught
+                     if issubclass(w.category, TransformFallback)]
+        assert fallbacks  # ptb -> sliced -> original, warning per rung
+        np.testing.assert_array_equal(rt.memcpy_d2h(out, n), x + 1)
+        assert server.transformer.fallbacks >= 2

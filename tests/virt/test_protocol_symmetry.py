@@ -1,0 +1,51 @@
+"""Regression: response payloads are costed symmetrically to requests.
+
+``estimate_size`` once charged a D2H response 32 bytes of header while
+the H2D request carrying the same array up paid 64, so round-trip
+traffic accounting under-billed downloads.  Both directions now pay
+the same header + payload.
+"""
+
+import numpy as np
+
+from repro.virt import (
+    Channel,
+    MemcpyD2HRequest,
+    MemcpyH2DRequest,
+    Response,
+    estimate_size,
+)
+from repro.virt.protocol import Envelope, checksum_of
+from repro.ptx.interpreter import GlobalRef
+
+
+class TestResponseCosting:
+    def test_array_response_matches_array_request(self):
+        data = np.zeros(1000)
+        up = MemcpyH2DRequest("c", GlobalRef("b"), data)
+        down = Response.success(data)
+        assert estimate_size(down) == estimate_size(up)
+
+    def test_array_response_pays_header_plus_payload(self):
+        empty = Response.success(np.zeros(0))
+        full = Response.success(np.zeros(100))
+        assert estimate_size(empty) == estimate_size(Response.success())
+        assert (estimate_size(full) - estimate_size(empty)
+                == np.zeros(100).nbytes)
+
+    def test_envelope_costed_as_its_payload(self):
+        request = MemcpyD2HRequest("c", GlobalRef("b"), 100)
+        envelope = Envelope(request_id=1, client_id="c", payload=request,
+                            checksum=checksum_of(request))
+        assert estimate_size(envelope) == estimate_size(request)
+
+    def test_channel_bills_both_directions_equally(self):
+        """A download's response leg costs what an upload's request does."""
+        data = np.zeros(4096)
+        channel = Channel(lambda env: Response.success(data))
+        channel.call(MemcpyD2HRequest("c", GlobalRef("b"), data.size))
+        up_cost = channel.cost_of(MemcpyH2DRequest("c", GlobalRef("b"),
+                                                   data))
+        assert channel.stats.response_bytes == estimate_size(
+            Response.success(data))
+        assert channel.cost_of(Response.success(data)) == up_cost
