@@ -1,0 +1,277 @@
+"""Benchmark timing harness and the ``BENCH_simulator.json`` schema.
+
+A benchmark is a callable that does measured work and returns a
+:class:`BenchmarkResult` — wall-clock seconds, an event count (so the
+headline metric, simulation events per second, is machine-comparable),
+and a per-phase breakdown recorded through a :class:`PhaseTimer`.
+
+The report schema (version 1)::
+
+    {
+      "schema": "repro-bench/1",
+      "created_unix": 1754400000.0,
+      "label": "after hot-path optimization",
+      "scale": "smoke",
+      "platform": {"python": "3.12.3", "machine": "x86_64", ...},
+      "peak_rss_kb": 123456,
+      "benchmarks": [
+        {
+          "name": "macro.colocation_fig4",
+          "wall_s": 1.84,
+          "events": 462247,
+          "events_per_s": 251221.2,
+          "phases": [{"name": "simulate", "wall_s": 1.7, ...}, ...],
+          "extra": {"simulated_s": 10.0, "sim_per_wall": 5.4}
+        }, ...
+      ]
+    }
+
+``BENCH_simulator.json`` at the repository root holds a *list* of these
+reports — the performance trajectory, oldest first.  ``repro-bench run
+--append`` adds a new entry; the CI ``perf`` job compares the newest
+entry against ``benchmarks/baselines/BENCH_baseline.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+from ..errors import ReproError
+
+__all__ = [
+    "BenchmarkResult",
+    "BenchReport",
+    "Phase",
+    "PhaseTimer",
+    "SCHEMA",
+    "peak_rss_kb",
+    "run_suite",
+]
+
+#: schema identifier written into every report
+SCHEMA = "repro-bench/1"
+
+
+def peak_rss_kb() -> int:
+    """Peak resident-set size of this process in KiB (0 if unavailable)."""
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX
+        return 0
+    usage = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    # Linux reports KiB; macOS reports bytes.
+    if sys.platform == "darwin":  # pragma: no cover - platform-specific
+        usage //= 1024
+    return int(usage)
+
+
+@dataclass(frozen=True)
+class Phase:
+    """One timed phase inside a benchmark."""
+
+    name: str
+    wall_s: float
+    events: int = 0
+
+    def to_dict(self) -> dict:
+        d: dict = {"name": self.name, "wall_s": self.wall_s}
+        if self.events:
+            d["events"] = self.events
+        return d
+
+
+class PhaseTimer:
+    """Accumulates named phases; benchmarks use it for the breakdown.
+
+    >>> timer = PhaseTimer()
+    >>> with timer.phase("simulate"):
+    ...     engine.run_until(10.0)
+    """
+
+    def __init__(self) -> None:
+        self.phases: list[Phase] = []
+
+    class _Ctx:
+        def __init__(self, timer: "PhaseTimer", name: str) -> None:
+            self._timer = timer
+            self._name = name
+            self._start = 0.0
+
+        def __enter__(self) -> "PhaseTimer._Ctx":
+            self._start = time.perf_counter()
+            return self
+
+        def __exit__(self, *exc: object) -> None:
+            self._timer.phases.append(Phase(
+                self._name, time.perf_counter() - self._start))
+
+    def phase(self, name: str) -> "PhaseTimer._Ctx":
+        return PhaseTimer._Ctx(self, name)
+
+    def add(self, name: str, wall_s: float, events: int = 0) -> None:
+        self.phases.append(Phase(name, wall_s, events))
+
+
+@dataclass
+class BenchmarkResult:
+    """Outcome of one benchmark."""
+
+    name: str
+    wall_s: float
+    events: int
+    phases: list[Phase] = field(default_factory=list)
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def events_per_s(self) -> float:
+        if self.wall_s <= 0:
+            return 0.0
+        return self.events / self.wall_s
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "wall_s": self.wall_s,
+            "events": self.events,
+            "events_per_s": self.events_per_s,
+            "phases": [p.to_dict() for p in self.phases],
+            "extra": self.extra,
+        }
+
+    @staticmethod
+    def from_dict(data: dict) -> "BenchmarkResult":
+        return BenchmarkResult(
+            name=data["name"],
+            wall_s=float(data["wall_s"]),
+            events=int(data["events"]),
+            phases=[Phase(p["name"], float(p["wall_s"]),
+                          int(p.get("events", 0)))
+                    for p in data.get("phases", ())],
+            extra=dict(data.get("extra", {})),
+        )
+
+
+@dataclass
+class BenchReport:
+    """One full suite run — a single entry in the trajectory file."""
+
+    benchmarks: list[BenchmarkResult]
+    label: str = ""
+    scale: str = "smoke"
+    created_unix: float = 0.0
+    peak_rss: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.created_unix:
+            self.created_unix = time.time()
+        if not self.peak_rss:
+            self.peak_rss = peak_rss_kb()
+
+    def result(self, name: str) -> BenchmarkResult:
+        for bench in self.benchmarks:
+            if bench.name == name:
+                return bench
+        raise ReproError(
+            f"no benchmark {name!r} in report "
+            f"(have {[b.name for b in self.benchmarks]})"
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": SCHEMA,
+            "created_unix": self.created_unix,
+            "label": self.label,
+            "scale": self.scale,
+            "platform": {
+                "python": platform.python_version(),
+                "implementation": platform.python_implementation(),
+                "machine": platform.machine(),
+                "system": platform.system(),
+            },
+            "peak_rss_kb": self.peak_rss,
+            "benchmarks": [b.to_dict() for b in self.benchmarks],
+        }
+
+    @staticmethod
+    def from_dict(data: dict) -> "BenchReport":
+        if data.get("schema") != SCHEMA:
+            raise ReproError(
+                f"unknown bench schema {data.get('schema')!r} "
+                f"(expected {SCHEMA!r})"
+            )
+        return BenchReport(
+            benchmarks=[BenchmarkResult.from_dict(b)
+                        for b in data.get("benchmarks", ())],
+            label=data.get("label", ""),
+            scale=data.get("scale", "smoke"),
+            created_unix=float(data.get("created_unix", 0.0)),
+            peak_rss=int(data.get("peak_rss_kb", 0)),
+        )
+
+    def format(self) -> str:
+        from ..harness.reporting import format_table
+
+        rows = []
+        for bench in self.benchmarks:
+            rows.append((
+                bench.name,
+                f"{bench.wall_s:.3f}s",
+                f"{bench.events:,}",
+                f"{bench.events_per_s:,.0f}",
+            ))
+        table = format_table(
+            ("benchmark", "wall", "events", "events/s"), rows,
+            title=f"repro-bench [{self.scale}]"
+            + (f" — {self.label}" if self.label else ""),
+        )
+        return f"{table}\npeak RSS: {self.peak_rss / 1024:.0f} MiB"
+
+
+def append_trajectory(path: str, report: BenchReport) -> list[dict]:
+    """Append ``report`` to the trajectory file at ``path``; return all."""
+    entries: list[dict] = []
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            content = fh.read().strip()
+        if content:
+            loaded = json.loads(content)
+            if not isinstance(loaded, list):
+                raise ReproError(
+                    f"{path}: trajectory file must hold a JSON list"
+                )
+            entries = loaded
+    except FileNotFoundError:
+        pass
+    entries.append(report.to_dict())
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(entries, fh, indent=2)
+        fh.write("\n")
+    return entries
+
+
+def run_suite(benchmarks: Iterable[tuple[str, Callable[[str], BenchmarkResult]]],
+              scale: str = "smoke", *, label: str = "",
+              echo: Callable[[str], None] | None = None) -> BenchReport:
+    """Run ``(name, fn)`` benchmarks in order and collect a report.
+
+    Each ``fn`` receives the scale (``smoke`` | ``quick`` | ``full``)
+    and returns a :class:`BenchmarkResult`; the suite preserves order
+    so reports are comparable line-by-line.
+    """
+    results: list[BenchmarkResult] = []
+    for name, fn in benchmarks:
+        if echo is not None:
+            echo(f"[bench] {name} ...")
+        result = fn(scale)
+        result.name = name
+        if echo is not None:
+            echo(f"[bench] {name}: {result.wall_s:.3f}s, "
+                 f"{result.events:,} events "
+                 f"({result.events_per_s:,.0f}/s)")
+        results.append(result)
+    return BenchReport(benchmarks=results, label=label, scale=scale)

@@ -1,0 +1,122 @@
+"""Macro benchmarks: the workloads the repository actually runs.
+
+Two end-to-end shapes:
+
+* **colocation (fig4-style)** — one latency-critical inference service
+  against one best-effort training job under Tally, the cell every
+  paper figure is built from.  Reported per-phase: standalone
+  baselines, the co-located simulation, and metric extraction.
+* **cluster sweep** — a packed placement evaluated GPU-by-GPU, the
+  ``repro cluster`` consolidation demo (and the shape the parallel
+  sweep runner accelerates).
+
+The headline metric is simulation events per wall-clock second; the
+``extra`` payload records the simulated-to-wall-time ratio, which is
+the number a simulator user actually feels.
+"""
+
+from __future__ import annotations
+
+import time
+
+from .harness import BenchmarkResult, PhaseTimer
+
+__all__ = ["MACRO_BENCHMARKS", "bench_colocation", "bench_cluster"]
+
+#: simulated seconds per scale
+_DURATIONS = {"smoke": 3.0, "quick": 10.0, "full": 20.0}
+
+
+def _duration(scale: str) -> float:
+    return _DURATIONS.get(scale, _DURATIONS["smoke"])
+
+
+def bench_colocation(scale: str = "smoke") -> BenchmarkResult:
+    """Fig4-style cell: bert_infer (load 0.5) x whisper_train, Tally."""
+    from ..harness import (
+        JobSpec,
+        RunConfig,
+        clear_standalone_cache,
+        run_colocation,
+        standalone,
+    )
+
+    duration = _duration(scale)
+    config = RunConfig(duration=duration, warmup=min(1.0, duration / 3))
+    inference = JobSpec.inference("bert_infer", load=0.5)
+    training = JobSpec.training("whisper_train")
+    timer = PhaseTimer()
+
+    clear_standalone_cache()
+    start = time.perf_counter()
+    standalone(inference, config)
+    standalone(training, config)
+    timer.add("standalone", time.perf_counter() - start)
+
+    start = time.perf_counter()
+    result = run_colocation("Tally", [inference, training], config)
+    sim_wall = time.perf_counter() - start
+    timer.add("simulate", sim_wall, result.events)
+
+    start = time.perf_counter()
+    for job in result.jobs.values():
+        _ = job.rate  # metric extraction already happened; touch it
+    timer.add("metrics", time.perf_counter() - start)
+
+    wall = sum(p.wall_s for p in timer.phases)
+    return BenchmarkResult(
+        name="macro.colocation_fig4", wall_s=wall, events=result.events,
+        phases=timer.phases,
+        extra={
+            "simulated_s": duration,
+            "sim_per_wall": duration / sim_wall if sim_wall > 0 else 0.0,
+            "policy": "Tally",
+            "utilization": result.utilization,
+        },
+    )
+
+
+def bench_cluster(scale: str = "smoke") -> BenchmarkResult:
+    """Cluster consolidation sweep over a packed placement."""
+    from ..cluster import ClusterJob, evaluate_placement, packed_placement
+    from ..harness import RunConfig, clear_standalone_cache
+
+    duration = max(2.0, _duration(scale) / 2)
+    jobs: list[ClusterJob] = []
+    seed = 0
+    for model, load in (("resnet50_infer", 0.10), ("bert_infer", 0.12),
+                        ("yolov6m_infer", 0.10), ("bert_infer", 0.10)):
+        jobs.append(ClusterJob(model, load=load, traffic_seed=seed))
+        seed += 1
+    for model in ("resnet50_train", "pointnet_train", "gpt2_train"):
+        jobs.append(ClusterJob(model, traffic_seed=seed))
+        seed += 1
+    placement = packed_placement(jobs, compute_budget=1.4)
+    config = RunConfig(duration=duration, warmup=1.0)
+    timer = PhaseTimer()
+
+    clear_standalone_cache()
+    start = time.perf_counter()
+    result = evaluate_placement(placement, "Tally", config)
+    timer.add("sweep", time.perf_counter() - start)
+
+    wall = sum(p.wall_s for p in timer.phases)
+    simulated = duration * placement.gpus_used
+    return BenchmarkResult(
+        name="macro.cluster_sweep", wall_s=wall,
+        events=result.events,
+        phases=timer.phases,
+        extra={
+            "gpus": placement.gpus_used,
+            "simulated_gpu_s": simulated,
+            "sim_per_wall": simulated / wall if wall > 0 else 0.0,
+            "sla_violations": result.sla_violations,
+        },
+    )
+
+
+#: suite entries in run order (name, callable)
+MACRO_BENCHMARKS = (
+    ("macro.colocation_fig4", bench_colocation),
+    ("macro.cluster_sweep", bench_cluster),
+)

@@ -1,0 +1,176 @@
+"""Micro benchmarks: the hot path in isolation.
+
+Three components dominate every run's profile, so each gets a dedicated
+throughput measurement:
+
+* **event loop** — schedule/fire churn through
+  :class:`~repro.gpu.engine.EventLoop`, in the two shapes real runs
+  produce: a deep timer chain (stream-ordered kernels) and a wide
+  concurrent fan-out (traffic arrivals);
+* **device dispatch** — back-to-back ORIGINAL launches through
+  :class:`~repro.gpu.device.GPUDevice`, plus a PTB stream, measuring
+  the dispatch/complete cycle without any policy above it;
+* **transform pipeline** — the PTX slicing/PTB transformations with a
+  cold cache, the one-off cost Tally pays per distinct kernel.
+
+Scales: ``smoke`` sizes each benchmark for a CI gate (< a few seconds
+total), ``quick``/``full`` grow the workloads for stable local numbers.
+"""
+
+from __future__ import annotations
+
+import time
+
+from ..gpu.device import DeviceLaunch, GPUDevice
+from ..gpu.engine import EventLoop
+from ..gpu.kernel import KernelDescriptor, LaunchConfig, LaunchKind
+from ..gpu.specs import A100_SXM4_40GB
+from .harness import BenchmarkResult, PhaseTimer
+
+__all__ = ["MICRO_BENCHMARKS", "bench_event_loop", "bench_device_dispatch",
+           "bench_transform_pipeline"]
+
+_SIZES = {
+    # (chained events, fan-out events, device launches, transforms)
+    "smoke": (50_000, 50_000, 2_000, 60),
+    "quick": (200_000, 200_000, 10_000, 200),
+    "full": (1_000_000, 1_000_000, 50_000, 500),
+}
+
+
+def _sizes(scale: str) -> tuple[int, int, int, int]:
+    return _SIZES.get(scale, _SIZES["smoke"])
+
+
+def bench_event_loop(scale: str = "smoke") -> BenchmarkResult:
+    """Raw engine throughput: timer chain + concurrent fan-out."""
+    chain_n, fan_n, _launches, _transforms = _sizes(scale)
+    timer = PhaseTimer()
+
+    # Phase 1: a single deep chain — each event schedules the next,
+    # the shape stream-ordered kernel completions produce.
+    loop = EventLoop()
+    remaining = [chain_n]
+
+    def tick() -> None:
+        remaining[0] -= 1
+        if remaining[0] > 0:
+            loop.schedule(1e-6, tick)
+
+    loop.schedule(1e-6, tick)
+    start = time.perf_counter()
+    loop.run()
+    timer.add("chain", time.perf_counter() - start, chain_n)
+
+    # Phase 2: wide fan-out — all events pre-scheduled (traffic
+    # arrivals), stressing heap push/pop at depth.
+    loop2 = EventLoop()
+    noop = lambda: None  # noqa: E731 - minimal callback on purpose
+    start = time.perf_counter()
+    for i in range(fan_n):
+        loop2.schedule_at(i * 1e-6, noop)
+    loop2.run()
+    timer.add("fanout", time.perf_counter() - start, fan_n)
+
+    wall = sum(p.wall_s for p in timer.phases)
+    events = loop.events_processed + loop2.events_processed
+    return BenchmarkResult(
+        name="micro.event_loop", wall_s=wall, events=events,
+        phases=timer.phases,
+    )
+
+
+def bench_device_dispatch(scale: str = "smoke") -> BenchmarkResult:
+    """Device dispatch/complete cycle with no policy above it."""
+    _chain, _fan, launches_n, _transforms = _sizes(scale)
+    spec = A100_SXM4_40GB
+    timer = PhaseTimer()
+
+    # Phase 1: stream-ordered ORIGINAL launches (multi-wave grids).
+    engine = EventLoop()
+    device = GPUDevice(spec, engine)
+    descriptor = KernelDescriptor(
+        "bench_original", num_blocks=2048, threads_per_block=256,
+        block_duration=2e-5,
+    )
+    remaining = [launches_n]
+
+    def submit_next(_launch: DeviceLaunch | None = None) -> None:
+        if remaining[0] <= 0:
+            return
+        remaining[0] -= 1
+        device.submit(DeviceLaunch(
+            descriptor, client_id="bench", on_complete=submit_next))
+
+    start = time.perf_counter()
+    submit_next()
+    engine.run()
+    timer.add("original", time.perf_counter() - start,
+              engine.events_processed)
+    events = engine.events_processed
+
+    # Phase 2: a PTB stream (persistent workers iterating a large grid).
+    engine2 = EventLoop()
+    device2 = GPUDevice(spec, engine2)
+    ptb_descriptor = KernelDescriptor(
+        "bench_ptb", num_blocks=8192, threads_per_block=256,
+        block_duration=2e-5,
+    )
+    ptb_remaining = [max(1, launches_n // 20)]
+
+    def submit_ptb(_launch: DeviceLaunch | None = None) -> None:
+        if ptb_remaining[0] <= 0:
+            return
+        ptb_remaining[0] -= 1
+        device2.submit(DeviceLaunch(
+            ptb_descriptor, LaunchConfig(LaunchKind.PTB, workers=432),
+            client_id="bench", on_complete=submit_ptb))
+
+    start = time.perf_counter()
+    submit_ptb()
+    engine2.run()
+    timer.add("ptb", time.perf_counter() - start, engine2.events_processed)
+    events += engine2.events_processed
+
+    wall = sum(p.wall_s for p in timer.phases)
+    return BenchmarkResult(
+        name="micro.device_dispatch", wall_s=wall, events=events,
+        phases=timer.phases,
+        extra={"launches": launches_n + max(1, launches_n // 20)},
+    )
+
+
+def bench_transform_pipeline(scale: str = "smoke") -> BenchmarkResult:
+    """Cold-cache PTX transformation cost (sliced + PTB + cleanup)."""
+    from ..ptx.library import dot_product, saxpy, stencil_1d, vector_add
+    from ..transform.pipeline import TransformPipeline
+
+    _chain, _fan, _launches, transforms_n = _sizes(scale)
+    factories = (vector_add, saxpy, stencil_1d, lambda: dot_product(128))
+    timer = PhaseTimer()
+    transformed = 0
+
+    start = time.perf_counter()
+    for i in range(transforms_n):
+        # Fresh kernel objects defeat the identity-keyed cache, so every
+        # iteration pays the full transformation cost.
+        kernel = factories[i % len(factories)]()
+        pipeline = TransformPipeline()
+        pipeline.sliced(kernel)
+        pipeline.preemptible(kernel)
+        transformed += 2
+    timer.add("transform", time.perf_counter() - start, transformed)
+
+    wall = sum(p.wall_s for p in timer.phases)
+    return BenchmarkResult(
+        name="micro.transform_pipeline", wall_s=wall, events=transformed,
+        phases=timer.phases, extra={"kernels": transforms_n},
+    )
+
+
+#: suite entries in run order (name, callable)
+MICRO_BENCHMARKS = (
+    ("micro.event_loop", bench_event_loop),
+    ("micro.device_dispatch", bench_device_dispatch),
+    ("micro.transform_pipeline", bench_transform_pipeline),
+)

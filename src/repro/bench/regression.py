@@ -1,0 +1,119 @@
+"""Regression gating: compare a bench report against a baseline.
+
+The CI ``perf`` job runs the smoke suite and fails when any benchmark's
+events-per-second throughput drops more than ``threshold`` (default
+25 %) below the checked-in baseline
+(``benchmarks/baselines/BENCH_baseline.json``).  The baseline is a
+recorded :class:`~repro.bench.harness.BenchReport`; refresh it with
+``repro-bench run --out benchmarks/baselines/BENCH_baseline.json``
+whenever a deliberate trade-off (or a hardware change on the reference
+machine) moves the numbers.
+
+Comparison is by benchmark *name*: benchmarks present on only one side
+are reported but never fail the gate, so adding a benchmark does not
+require touching the baseline in the same commit.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from ..errors import ReproError
+from .harness import BenchReport
+
+__all__ = ["Comparison", "RegressionReport", "compare_reports",
+           "load_report"]
+
+
+def load_report(path: str) -> BenchReport:
+    """Load one report — either a bare report or a trajectory list.
+
+    Trajectory files (``BENCH_simulator.json``) hold a list of reports;
+    the *newest* (last) entry is returned.
+    """
+    with open(path, "r", encoding="utf-8") as fh:
+        data = json.load(fh)
+    if isinstance(data, list):
+        if not data:
+            raise ReproError(f"{path}: empty trajectory file")
+        data = data[-1]
+    if not isinstance(data, dict):
+        raise ReproError(f"{path}: expected a report object or list")
+    return BenchReport.from_dict(data)
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """One benchmark's baseline-vs-current throughput comparison."""
+
+    name: str
+    baseline_eps: float
+    current_eps: float
+
+    @property
+    def ratio(self) -> float:
+        """current / baseline events-per-second (>1 means faster)."""
+        if self.baseline_eps <= 0:
+            return float("inf")
+        return self.current_eps / self.baseline_eps
+
+    def regressed(self, threshold: float) -> bool:
+        return self.ratio < 1.0 - threshold
+
+
+@dataclass
+class RegressionReport:
+    """Outcome of a baseline comparison."""
+
+    threshold: float
+    comparisons: list[Comparison]
+    only_in_baseline: list[str] = field(default_factory=list)
+    only_in_current: list[str] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> list[Comparison]:
+        return [c for c in self.comparisons if c.regressed(self.threshold)]
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+    def format(self) -> str:
+        lines = []
+        for c in self.comparisons:
+            mark = "REGRESSED" if c.regressed(self.threshold) else "ok"
+            lines.append(
+                f"  {c.name}: {c.baseline_eps:,.0f} -> "
+                f"{c.current_eps:,.0f} events/s "
+                f"({c.ratio:.2f}x) [{mark}]"
+            )
+        for name in self.only_in_baseline:
+            lines.append(f"  {name}: only in baseline (skipped)")
+        for name in self.only_in_current:
+            lines.append(f"  {name}: new benchmark (no baseline)")
+        verdict = ("OK" if self.ok
+                   else f"FAILED ({len(self.regressions)} regressions)")
+        header = (f"perf gate {verdict}: threshold "
+                  f"{self.threshold:.0%} below baseline")
+        return "\n".join([header] + lines)
+
+
+def compare_reports(baseline: BenchReport, current: BenchReport, *,
+                    threshold: float = 0.25) -> RegressionReport:
+    """Compare throughput by benchmark name."""
+    if not 0 < threshold < 1:
+        raise ReproError(f"threshold must be in (0, 1), got {threshold!r}")
+    base_by_name = {b.name: b for b in baseline.benchmarks}
+    cur_by_name = {b.name: b for b in current.benchmarks}
+    comparisons = [
+        Comparison(name, base_by_name[name].events_per_s,
+                   cur_by_name[name].events_per_s)
+        for name in base_by_name if name in cur_by_name
+    ]
+    return RegressionReport(
+        threshold=threshold,
+        comparisons=comparisons,
+        only_in_baseline=sorted(set(base_by_name) - set(cur_by_name)),
+        only_in_current=sorted(set(cur_by_name) - set(base_by_name)),
+    )

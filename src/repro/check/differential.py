@@ -416,23 +416,59 @@ class ValidationReport:
         return "\n".join(lines)
 
 
-def run_validation(seeds=(0, 1, 2), policies=POLICY_NAMES,
-                   spec: GPUSpec = A100_SXM4_40GB) -> ValidationReport:
-    """Run every oracle for every (seed, policy); collect divergences."""
+def _validate_seed(seed: int, policies, spec: GPUSpec):
+    """Every oracle for one seed: ``(divergences, invariant_checks)``.
+
+    Top-level (picklable) so :func:`run_validation` can fan seeds out
+    over worker processes; each seed's workload is independent and
+    internally deterministic, so the merged report is identical to a
+    serial run.
+    """
     divergences: list[Divergence] = []
     checks = 0
-    for seed in seeds:
-        divergences.extend(analytic_divergences(seed, spec))
-        for policy_name in policies:
-            divergences.extend(
-                determinism_divergences(policy_name, seed, spec))
-            divergences.extend(
-                lower_bound_divergences(policy_name, seed, spec))
-            divergences.extend(
-                conservation_divergences(policy_name, seed, spec))
-            _records, device, _engine = run_mix(policy_name, seed, spec)
-            checks += device.check.checks_run
+    divergences.extend(analytic_divergences(seed, spec))
+    for policy_name in policies:
+        divergences.extend(
+            determinism_divergences(policy_name, seed, spec))
+        divergences.extend(
+            lower_bound_divergences(policy_name, seed, spec))
+        divergences.extend(
+            conservation_divergences(policy_name, seed, spec))
+        _records, device, _engine = run_mix(policy_name, seed, spec)
+        checks += device.check.checks_run
+    return divergences, checks
+
+
+def run_validation(seeds=(0, 1, 2), policies=POLICY_NAMES,
+                   spec: GPUSpec = A100_SXM4_40GB, *,
+                   jobs: int = 1) -> ValidationReport:
+    """Run every oracle for every (seed, policy); collect divergences.
+
+    ``jobs`` fans the seeds out over that many worker processes; the
+    merged report is bit-identical to the serial one because each
+    seed's oracles are self-contained and results are merged in seed
+    order.
+    """
+    seeds = tuple(seeds)
+    policies = tuple(policies)
+    if jobs > 1 and len(seeds) > 1:
+        import functools
+        import os
+        from concurrent.futures import ProcessPoolExecutor
+
+        workers = min(jobs, len(seeds), os.cpu_count() or 1)
+        worker = functools.partial(_validate_seed, policies=policies,
+                                   spec=spec)
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            per_seed = list(pool.map(worker, seeds))
+    else:
+        per_seed = [_validate_seed(seed, policies, spec) for seed in seeds]
+    divergences: list[Divergence] = []
+    checks = 0
+    for seed_divergences, seed_checks in per_seed:
+        divergences.extend(seed_divergences)
+        checks += seed_checks
     return ValidationReport(
-        seeds=tuple(seeds), policies=tuple(policies),
+        seeds=seeds, policies=policies,
         divergences=divergences, invariant_checks=checks,
     )

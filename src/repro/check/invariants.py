@@ -169,8 +169,11 @@ class InvariantChecker:
             tpb = other.descriptor.threads_per_block
             fit = min(device.threads_free // tpb, device.slots_free,
                       other.blocks_to_start)
-            min_chunk = min(other.blocks_to_start,
-                            max(1, device._capacity(tpb) // 8))
+            min_chunk = min(
+                other.blocks_to_start,
+                max(1, device._capacity(
+                    tpb, other.descriptor.shared_mem_per_block) // 8),
+            )
             if fit >= min_chunk:
                 problems.append(
                     f"priority inversion: starting blocks of {launch!r} "

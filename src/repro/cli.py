@@ -187,8 +187,11 @@ def _cmd_cluster(args: argparse.Namespace) -> None:
     config = RunConfig(duration=args.duration, warmup=1.0,
                        tally_config=_faulted_tally_config(faults))
     tracer = _make_tracer(args.trace) if args.trace else None
+    start = time.time()
     result = evaluate_placement(packed, "Tally", config, tracer=tracer,
-                                check=args.check, faults=faults)
+                                check=args.check, faults=faults,
+                                jobs=args.jobs)
+    wall = time.time() - start
     saved = 1 - packed.gpus_used / dedicated.gpus_used
     rows = [
         ("jobs", len(jobs), ""),
@@ -198,6 +201,9 @@ def _cmd_cluster(args: argparse.Namespace) -> None:
          f"worst p99 {result.worst_p99_ratio:.2f}x"),
         ("aggregate norm. thpt",
          f"{result.total_normalized_throughput:.1f}", ""),
+        ("simulated / wall",
+         f"{config.duration:.0f}s x {packed.gpus_used} GPUs / {wall:.1f}s",
+         f"{result.events} events, {args.jobs} worker(s)"),
     ]
     print(format_table(("metric", "value", "note"), rows,
                        title="Cluster consolidation under Tally"))
@@ -215,6 +221,9 @@ def _cmd_colocate(args: argparse.Namespace) -> None:
                        tally_config=tally_config)
     inference = JobSpec.inference(args.inference, load=args.load)
     training = JobSpec.training(args.training)
+    if args.seeds > 1:
+        _colocate_sweep(args, config, inference, training, faults)
+        return
     base = standalone(inference, config)
     train_base = standalone(training, config)
     assert base.latency is not None
@@ -259,6 +268,44 @@ def _cmd_colocate(args: argparse.Namespace) -> None:
         _finish_trace(tracer, args.trace, config)
 
 
+def _colocate_sweep(args: argparse.Namespace, config: RunConfig,
+                    inference: JobSpec, training: JobSpec, faults) -> None:
+    """``colocate --seeds K [--jobs N]``: a seed-replicated sweep."""
+    from .errors import HarnessError
+    from .harness import seed_sweep, run_sweep
+
+    if args.trace and args.jobs > 1:
+        raise HarnessError("tracing is per-process state: use --jobs 1 "
+                           "when tracing")
+    cases = seed_sweep(args.policy, [inference, training], config,
+                       seeds=range(args.seeds), check=args.check,
+                       faults=faults)
+    start = time.time()
+    results = run_sweep(cases, jobs=args.jobs)
+    wall = time.time() - start
+    rows = []
+    p99s: list[float] = []
+    for case, result in zip(cases, results):
+        inf = result.job(f"{args.inference}#0")
+        train = result.job(f"{args.training}#0")
+        assert inf.latency is not None
+        p99s.append(inf.latency.p99)
+        rows.append((
+            case.label, format_seconds(inf.latency.p99),
+            f"{inf.rate:.1f}/s", f"{train.rate:.2f} it/s",
+            f"{result.utilization:.0%}",
+        ))
+    rows.append((
+        "mean", format_seconds(sum(p99s) / len(p99s)), "", "",
+        f"wall {wall:.1f}s, {args.jobs} worker(s)",
+    ))
+    print(format_table(
+        ("seed", "inference p99", "req rate", "training", "util"), rows,
+        title=(f"{args.policy}: {args.inference} (load {args.load:.0%}) "
+               f"x {args.training}, {args.seeds} seeds"),
+    ))
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -301,6 +348,9 @@ def build_parser() -> argparse.ArgumentParser:
     cluster.add_argument("--check", action="store_true", help=check_help)
     cluster.add_argument("--faults", metavar="SPEC", default=None,
                          help=faults_help)
+    cluster.add_argument("--jobs", type=int, default=1, metavar="N",
+                         help="simulate GPUs in N worker processes "
+                              "(results are identical to --jobs 1)")
     cluster.set_defaults(fn=_cmd_cluster)
 
     colocate = sub.add_parser("colocate",
@@ -320,6 +370,13 @@ def build_parser() -> argparse.ArgumentParser:
     colocate.add_argument("--check", action="store_true", help=check_help)
     colocate.add_argument("--faults", metavar="SPEC", default=None,
                          help=faults_help)
+    colocate.add_argument("--seeds", type=int, default=1, metavar="K",
+                          help="replicate the experiment across K "
+                               "traffic/trace seeds (prints a per-seed "
+                               "table)")
+    colocate.add_argument("--jobs", type=int, default=1, metavar="N",
+                          help="run sweep cases in N worker processes "
+                               "(results are identical to --jobs 1)")
     colocate.set_defaults(fn=_cmd_colocate)
     return parser
 

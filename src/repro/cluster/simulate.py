@@ -14,7 +14,8 @@ from dataclasses import dataclass
 
 from ..baselines import Priority
 from ..errors import HarnessError
-from ..harness import JobSpec, RunConfig, run_colocation, standalone
+from ..harness import (JobSpec, RunConfig, SweepCase, run_colocation,
+                       run_sweep, standalone)
 from .placement import ClusterJob, Placement
 
 __all__ = ["ServiceOutcome", "ClusterResult", "evaluate_placement"]
@@ -42,6 +43,8 @@ class ClusterResult:
     gpus_used: int
     services: list[ServiceOutcome]
     total_normalized_throughput: float
+    #: simulation events processed across every GPU's run
+    events: int = 0
 
     @property
     def sla_violations(self) -> int:
@@ -66,7 +69,7 @@ def _to_jobspec(job: ClusterJob) -> JobSpec:
 def evaluate_placement(placement: Placement, policy: str,
                        config: RunConfig | None = None, *,
                        tracer=None, check: bool = False,
-                       faults=None) -> ClusterResult:
+                       faults=None, jobs: int = 1) -> ClusterResult:
     """Simulate every GPU of ``placement`` under ``policy``.
 
     A :class:`~repro.trace.Tracer` records every GPU's run into one
@@ -76,20 +79,40 @@ def evaluate_placement(placement: Placement, policy: str,
     :class:`~repro.faults.FaultConfig`) enables the same seeded fault
     injection on every GPU (see ``docs/fault_tolerance.md``); each GPU
     gets its own injector so per-GPU fault streams are independent of
-    bin ordering.
+    bin ordering.  ``jobs`` fans the per-GPU simulations out over that
+    many worker processes — every GPU is an independent simulation, so
+    results are bit-identical to the serial run (``docs/performance.md``
+    covers the speedup).  A tracer cannot cross process boundaries, so
+    ``jobs > 1`` with a tracer is rejected.
     """
     if not placement.bins:
         raise HarnessError("empty placement")
+    if jobs > 1 and tracer is not None:
+        raise HarnessError(
+            "tracing is per-process state: use jobs=1 when tracing"
+        )
     config = config if config is not None else RunConfig(duration=6.0,
                                                          warmup=1.0)
+    per_gpu_specs = [[_to_jobspec(job) for job in gpu_jobs]
+                     for gpu_jobs in placement.bins]
+    if jobs > 1:
+        cases = [SweepCase(policy=policy, jobs=tuple(specs), config=config,
+                           label=f"gpu {index}", check=check, faults=faults)
+                 for index, specs in enumerate(per_gpu_specs)]
+        results = run_sweep(cases, jobs=jobs)
+    else:
+        results = [run_colocation(policy, specs, config, tracer=tracer,
+                                  check=check, faults=faults)
+                   for specs in per_gpu_specs]
     services: list[ServiceOutcome] = []
     total_throughput = 0.0
+    total_events = 0
     for gpu_index, gpu_jobs in enumerate(placement.bins):
-        specs = [_to_jobspec(job) for job in gpu_jobs]
+        specs = per_gpu_specs[gpu_index]
         # Offline (best-effort) duplicates of an online service need
         # distinct traffic seeds; placement already carries them.
-        result = run_colocation(policy, specs, config, tracer=tracer,
-                                check=check, faults=faults)
+        result = results[gpu_index]
+        total_events += result.events
         counters: dict[str, int] = {}
         for job, spec in zip(gpu_jobs, specs):
             baseline = standalone(spec, config)
@@ -114,4 +137,5 @@ def evaluate_placement(placement: Placement, policy: str,
         gpus_used=placement.gpus_used,
         services=services,
         total_normalized_throughput=total_throughput,
+        events=total_events,
     )

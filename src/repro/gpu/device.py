@@ -15,7 +15,13 @@ Two launch kinds are modelled:
 * ``PTB`` — ``workers`` persistent blocks hold their slots and consume
   one logical block per iteration; a preemption request makes workers
   exit after the iteration in flight, bounding turnaround at one
-  block's duration.
+  block's duration.  Iterations are **batched into one event per
+  uninterrupted run segment**: while nothing can change an iteration's
+  duration or stop the workers, the remaining iterations complete as a
+  single simulation event, and any preemption request or co-location
+  change *truncates* the batch at the next iteration boundary — so the
+  observable timing is identical to per-iteration events while the
+  event count collapses (see ``docs/performance.md``).
 
 Slicing is realized above the device as a chain of ORIGINAL launches
 over block sub-ranges (see :mod:`repro.core.scheduler`).
@@ -46,8 +52,13 @@ from ..trace import (
     PreemptRequest,
     Tracer,
 )
-from .engine import EventLoop
-from .kernel import KernelDescriptor, LaunchConfig, LaunchKind
+from .engine import Event, EventLoop
+from .kernel import (
+    KernelDescriptor,
+    LaunchConfig,
+    LaunchKind,
+    PTB_ITERATION_OVERHEAD,
+)
 from .specs import GPUSpec
 
 __all__ = ["LaunchStatus", "DeviceLaunch", "GPUDevice"]
@@ -62,6 +73,39 @@ class LaunchStatus(enum.Enum):
     PREEMPTED = "preempted"  # stopped early; progress recorded
 
 
+class _Batch:
+    """A run of identical work intervals settled by one simulation event.
+
+    Two flavours share this record and the truncation machinery:
+
+    * a **PTB batch** — ``count`` persistent workers executing ``iters``
+      iterations of ``iter_duration`` each;
+    * an **ORIGINAL wave chain** — ``iters`` back-to-back full waves of
+      ``count`` blocks each, only formed while the launch has the
+      device to itself (so nothing can change a wave's size or price).
+
+    The settlement event sits at ``started + iters * iter_duration``; a
+    preemption request, a kill, a new arrival, or a co-location change
+    truncates the batch at the next interval boundary (the interval in
+    flight keeps the duration it started with, exactly as per-interval
+    events would have priced it).
+    """
+
+    __slots__ = ("launch", "count", "threads", "started", "iter_duration",
+                 "iters", "event")
+
+    def __init__(self, launch: "DeviceLaunch", count: int, threads: int,
+                 started: float, iter_duration: float, iters: int,
+                 event: Event) -> None:
+        self.launch = launch
+        self.count = count
+        self.threads = threads
+        self.started = started
+        self.iter_duration = iter_duration
+        self.iters = iters
+        self.event = event
+
+
 class DeviceLaunch:
     """One kernel launch resident on (or queued for) the device."""
 
@@ -70,7 +114,7 @@ class DeviceLaunch:
         "total_blocks", "block_offset", "blocks_to_start", "blocks_inflight",
         "blocks_done", "tasks_done", "preempt_requested", "killed",
         "blocks_killed", "status", "submitted_at", "arrived_at",
-        "started_at", "finished_at", "seq",
+        "started_at", "finished_at", "seq", "batches",
     )
 
     _seq = itertools.count()
@@ -112,6 +156,9 @@ class DeviceLaunch:
         self.started_at = float("nan")
         self.finished_at = float("nan")
         self.seq = next(DeviceLaunch._seq)
+        #: in-flight :class:`_Batch` records (PTB iteration batches or
+        #: ORIGINAL wave chains)
+        self.batches: list[_Batch] = []
 
     # ------------------------------------------------------------------
     @property
@@ -159,13 +206,26 @@ class GPUDevice:
         #: opt-in fault injector (``repro.faults``); same disabled
         #: default pattern, same zero-cost fault-free path
         self.faults = faults if faults is not None else NULL_INJECTOR
+        self._total_threads = spec.total_threads
         self._threads_free = spec.total_threads
         self._slots_free = spec.total_block_slots
         self._resident: list[DeviceLaunch] = []  # sorted by (priority, seq)
         self._client_inflight: dict[str, int] = {}
+        #: number of clients with at least one block in flight — kept
+        #: incrementally so the co-location test is O(1), not a scan
+        self._active_clients = 0
         #: launches submitted but still in their launch-overhead delay
         self._submitting: dict[str, int] = {}
-        self._capacity_cache: dict[int, int] = {}
+        #: device-wide capacity per *occupancy key* — the full tuple of
+        #: per-kernel quantities occupancy depends on in this model
+        #: (threads per block, shared memory per block); keying on
+        #: threads alone would alias kernels whose shared-memory
+        #: pressure lowers their occupancy
+        self._capacity_cache: dict[tuple[int, int], int] = {}
+        #: multi-interval batches currently in flight — PTB iteration
+        #: batches and ORIGINAL wave chains — truncated on arrivals and
+        #: co-location transitions
+        self._chains: list[_Batch] = []
         self._rr = 0  # round-robin cursor for same-priority fairness
         # Utilization accounting (thread-seconds of busy time).
         self._busy_thread_seconds = 0.0
@@ -237,6 +297,10 @@ class GPUDevice:
                 ))
             return False
         launch.preempt_requested = True
+        # Batched PTB iterations settle at the next boundary: the flag
+        # write lands mid-iteration, workers exit when it completes.
+        for batch in launch.batches:
+            self._truncate_batch(batch)
         # If nothing is in flight and the launch has already reached the
         # device (it may have been starved of slots and never started),
         # retire it immediately; a launch still in its submission delay
@@ -267,6 +331,15 @@ class GPUDevice:
             ))
         launch.preempt_requested = True
         launch.killed = True
+        # Credit iterations that fully completed inside in-flight PTB
+        # batches before discarding them (the iteration in flight is
+        # lost, matching per-iteration accounting).
+        for batch in launch.batches:
+            self._settle_batch_progress(batch)
+            batch.event.cancel()
+            if batch in self._chains:
+                self._chains.remove(batch)
+        launch.batches.clear()
         if launch.blocks_inflight > 0:
             # The batch completion events still fire, but the resources
             # are returned now and the events become no-ops.
@@ -274,7 +347,7 @@ class GPUDevice:
             tpb = launch.descriptor.threads_per_block
             self._threads_free += launch.blocks_inflight * tpb
             self._slots_free += launch.blocks_inflight
-            self._client_inflight[launch.client_id] -= launch.blocks_inflight
+            self._sub_inflight(launch.client_id, launch.blocks_inflight)
             launch.blocks_killed += launch.blocks_inflight
             launch.blocks_inflight = 0
         if not math.isnan(launch.arrived_at):
@@ -317,20 +390,38 @@ class GPUDevice:
         if self.engine.now <= 0:
             return 0.0
         return self._busy_thread_seconds / (
-            self.engine.now * self.spec.total_threads
+            self.engine.now * self._total_threads
         )
 
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
     def _account(self) -> None:
-        busy = self.spec.total_threads - self._threads_free
-        self._busy_thread_seconds += busy * (self.engine.now - self._last_change)
-        self._last_change = self.engine.now
+        now = self.engine.now
+        last = self._last_change
+        if now != last:
+            busy = self._total_threads - self._threads_free
+            if busy:
+                self._busy_thread_seconds += busy * (now - last)
+            self._last_change = now
+
+    def _sub_inflight(self, client_id: str, count: int) -> None:
+        """Decrement a client's in-flight blocks; track 0-transitions."""
+        inflight = self._client_inflight
+        left = inflight[client_id] - count
+        inflight[client_id] = left
+        if left == 0 and count > 0:
+            self._active_clients -= 1
+            if self._chains:
+                self._reprice_batches(client_id)
 
     def _arrive(self, launch: DeviceLaunch) -> None:
         launch.arrived_at = self.engine.now
         self._submitting[launch.client_id] -= 1
+        if self._chains:
+            # The newcomer competes for resources from the next interval
+            # boundary on; batched schedules stop being safe now.
+            self._truncate_chains()
         insort(self._resident, launch, key=DeviceLaunch.sort_key)
         if launch.preempt_requested and launch.blocks_inflight == 0:
             # Preempted before it ever dispatched.
@@ -340,11 +431,14 @@ class GPUDevice:
         if self.check.enabled:
             self.check.verify(self)
 
-    def _capacity(self, threads_per_block: int) -> int:
-        cached = self._capacity_cache.get(threads_per_block)
+    def _capacity(self, threads_per_block: int,
+                  shared_mem_per_block: int = 0) -> int:
+        key = (threads_per_block, shared_mem_per_block)
+        cached = self._capacity_cache.get(key)
         if cached is None:
-            cached = self.spec.concurrent_blocks(threads_per_block)
-            self._capacity_cache[threads_per_block] = cached
+            cached = self.spec.concurrent_blocks(threads_per_block,
+                                                 shared_mem_per_block)
+            self._capacity_cache[key] = cached
         return cached
 
     def _dispatch(self) -> None:
@@ -352,25 +446,56 @@ class GPUDevice:
         round-robin within a level (concurrent grids on real hardware
         interleave their blocks rather than strictly serializing)."""
         resident = self._resident
+        if not resident or self._slots_free <= 0:
+            return
         i = 0
         n = len(resident)
         while i < n and self._slots_free > 0:
             priority = resident[i].priority
             j = i
-            group: list[DeviceLaunch] = []
+            first: DeviceLaunch | None = None
+            group: list[DeviceLaunch] | None = None
             while j < n and resident[j].priority == priority:
                 launch = resident[j]
                 if launch.blocks_to_start > 0 and not launch.preempt_requested:
-                    group.append(launch)
+                    if first is None:
+                        first = launch
+                    elif group is None:
+                        group = [first, launch]
+                    else:
+                        group.append(launch)
                 j += 1
-            if group:
+            if group is not None:
                 self._dispatch_group(group)
+            elif first is not None:
+                self._dispatch_single(first)
             i = j
 
+    def _dispatch_single(self, launch: DeviceLaunch) -> None:
+        """Fast path: one launch wants blocks at this priority level."""
+        descriptor = launch.descriptor
+        tpb = descriptor.threads_per_block
+        fit = self._threads_free // tpb
+        if fit > self._slots_free:
+            fit = self._slots_free
+        if fit > launch.blocks_to_start:
+            fit = launch.blocks_to_start
+        if fit <= 0:
+            return
+        # Coalesce: avoid shredding big grids into slivers (each batch
+        # is one simulation event).  Small remainders and small kernels
+        # always go through.
+        capacity = self._capacity(tpb, descriptor.shared_mem_per_block)
+        min_chunk = capacity // 8
+        if min_chunk > launch.blocks_to_start:
+            min_chunk = launch.blocks_to_start
+        if fit < min_chunk:
+            return
+        self._start_batch(launch, fit, solo=True)
+
     def _dispatch_group(self, group: list[DeviceLaunch]) -> None:
-        if len(group) > 1:
-            self._rr = (self._rr + 1) % len(group)
-            group = group[self._rr:] + group[:self._rr]
+        self._rr = (self._rr + 1) % len(group)
+        group = group[self._rr:] + group[:self._rr]
         progress = True
         while progress and self._slots_free > 0:
             progress = False
@@ -389,20 +514,23 @@ class GPUDevice:
                     fit = min(fit, share)
                 if fit <= 0:
                     continue
-                # Coalesce: avoid shredding big grids into slivers (each
-                # batch is one simulation event).  Small remainders and
-                # small kernels always go through.
-                min_chunk = min(launch.blocks_to_start,
-                                max(1, self._capacity(tpb) // 8))
+                min_chunk = min(
+                    launch.blocks_to_start,
+                    max(1, self._capacity(
+                        tpb, launch.descriptor.shared_mem_per_block) // 8),
+                )
                 if fit < min_chunk:
                     continue
                 self._start_batch(launch, fit)
                 progress = True
 
     def _colocated(self, client_id: str) -> bool:
-        others = [c for c, n in self._client_inflight.items()
-                  if n > 0 and c != client_id]
-        return bool(others)
+        active = self._active_clients
+        if active == 0:
+            return False
+        if active > 1:
+            return True
+        return self._client_inflight.get(client_id, 0) == 0
 
     def _block_duration(self, launch: DeviceLaunch) -> float:
         duration = launch.descriptor.block_duration
@@ -410,7 +538,8 @@ class GPUDevice:
             duration *= self.colocation_slowdown
         return duration
 
-    def _start_batch(self, launch: DeviceLaunch, count: int) -> None:
+    def _start_batch(self, launch: DeviceLaunch, count: int, *,
+                     solo: bool = False) -> None:
         if self.check.enabled:
             self.check.verify_dispatch(self, launch)
         self._account()
@@ -420,9 +549,13 @@ class GPUDevice:
         self._slots_free -= count
         launch.blocks_to_start -= count
         launch.blocks_inflight += count
-        self._client_inflight[launch.client_id] = (
-            self._client_inflight.get(launch.client_id, 0) + count
-        )
+        inflight = self._client_inflight
+        prev = inflight.get(launch.client_id, 0)
+        inflight[launch.client_id] = prev + count
+        if prev == 0:
+            self._active_clients += 1
+            if self._chains:
+                self._reprice_batches(launch.client_id)
         if launch.status is LaunchStatus.PENDING:
             launch.status = LaunchStatus.RUNNING
             launch.started_at = self.engine.now
@@ -434,22 +567,41 @@ class GPUDevice:
                 ))
 
         if launch.is_ptb:
-            duration = self._ptb_iteration_duration(launch)
-            self.engine.schedule(
-                duration, lambda: self._ptb_iteration(launch, count, threads)
-            )
+            self._start_ptb_batch(launch, count, threads)
         else:
             duration = self._block_duration(launch)
-            self.engine.schedule(
-                duration, lambda: self._finish_batch(launch, count, threads)
-            )
+            if (solo and launch.blocks_to_start >= count
+                    and launch.blocks_inflight == count
+                    and self._alone_on_device(launch)):
+                self._start_wave_chain(launch, count, threads, duration)
+            else:
+                self.engine.schedule(
+                    duration,
+                    lambda: self._finish_batch(launch, count, threads),
+                )
+
+    def _alone_on_device(self, launch: DeviceLaunch) -> bool:
+        """Whether ``launch`` holds every claimed resource on the device
+        and no other resident launch could start blocks before it
+        finishes (the precondition for chaining its remaining waves)."""
+        if (self._threads_free + launch.blocks_inflight
+                * launch.descriptor.threads_per_block != self._total_threads):
+            return False
+        if self._slots_free + launch.blocks_inflight \
+                != self.spec.total_block_slots:
+            return False
+        for other in self._resident:
+            if (other is not launch and other.blocks_to_start > 0
+                    and not other.preempt_requested):
+                return False
+        return True
 
     def _release(self, launch: DeviceLaunch, count: int, threads: int) -> None:
         self._account()
         self._threads_free += threads
         self._slots_free += count
         launch.blocks_inflight -= count
-        self._client_inflight[launch.client_id] -= count
+        self._sub_inflight(launch.client_id, count)
 
     def _finish_batch(self, launch: DeviceLaunch, count: int,
                       threads: int) -> None:
@@ -467,37 +619,197 @@ class GPUDevice:
         if self.check.enabled:
             self.check.verify(self)
 
+    # ------------------------------------------------------------------
+    # PTB iteration batching
+    # ------------------------------------------------------------------
     def _ptb_iteration_duration(self, launch: DeviceLaunch) -> float:
         desc = launch.descriptor
         base = self._block_duration(launch)
-        from .kernel import PTB_ITERATION_OVERHEAD
-
         return base * (1.0 + desc.ptb_overhead_fraction) + PTB_ITERATION_OVERHEAD
 
-    def _ptb_iteration(self, launch: DeviceLaunch, workers: int,
-                       threads: int) -> None:
+    def _start_ptb_batch(self, launch: DeviceLaunch, count: int,
+                         threads: int) -> None:
+        """Schedule a run segment for ``count`` freshly placed workers.
+
+        When this batch is the launch's *only* worker group (the common
+        case — all workers placed at once), every remaining iteration is
+        scheduled as one settlement event; otherwise concurrent worker
+        groups consume tasks interleaved, so the batch advances one
+        iteration at a time (exactly the pre-batching behaviour).
+        """
+        duration = self._ptb_iteration_duration(launch)
+        if (launch.blocks_to_start == 0
+                and launch.blocks_inflight == count
+                and not launch.preempt_requested):
+            remaining = launch.total_blocks - launch.tasks_done
+            iters = -(-remaining // count)  # ceil
+        else:
+            iters = 1
+        batch = _Batch(launch, count, threads, self.engine.now,
+                       duration, iters, None)  # type: ignore[arg-type]
+        batch.event = self.engine.schedule(
+            duration * iters, lambda: self._ptb_batch_done(batch))
+        launch.batches.append(batch)
+        if iters > 1:
+            self._chains.append(batch)
+
+    def _start_wave_chain(self, launch: DeviceLaunch, count: int,
+                          threads: int, duration: float) -> None:
+        """Chain the remaining full waves of a solo ORIGINAL launch.
+
+        The launch holds the whole device, so every subsequent wave
+        starts the instant the previous one completes, with the same
+        size and the same price — ``1 + blocks_to_start // count`` waves
+        collapse into one settlement event (a sub-``count`` remainder
+        wave, which occupies fewer threads, runs normally afterwards).
+        Bookkeeping for the not-yet-started waves stays in
+        ``blocks_to_start`` until settlement, so block conservation
+        holds at every observable point.
+        """
+        extra = launch.blocks_to_start // count
+        batch = _Batch(launch, count, threads, self.engine.now,
+                       duration, 1 + extra, None)  # type: ignore[arg-type]
+        batch.event = self.engine.schedule(
+            duration * (1 + extra), lambda: self._wave_chain_done(batch))
+        launch.batches.append(batch)
+        self._chains.append(batch)
+
+    def _settle(self, batch: _Batch, completed: int) -> None:
+        """Credit ``completed`` fully elapsed intervals of ``batch`` and
+        re-anchor it so repeated settlement never double-credits."""
+        if completed <= 0:
+            return
+        launch = batch.launch
+        if launch.is_ptb:
+            remaining = launch.total_blocks - launch.tasks_done
+            consumed = min(completed * batch.count, remaining)
+            launch.tasks_done += consumed
+            launch.blocks_done = launch.tasks_done
+        else:
+            # Completed waves moved blocks straight from blocks_to_start
+            # to blocks_done (the chain's in-flight wave stays the only
+            # contribution to blocks_inflight throughout).
+            launch.blocks_done += completed * batch.count
+            launch.blocks_to_start -= completed * batch.count
+        batch.started += completed * batch.iter_duration
+        batch.iters -= completed
+
+    def _settle_batch_progress(self, batch: _Batch) -> None:
+        """Credit intervals of ``batch`` that have fully completed,
+        for a batch ending early on a kill: the interval in flight is
+        lost, but intervals whose boundary has passed were real work —
+        per-interval events would have credited them as they fired.
+        """
+        elapsed = self.engine.now - batch.started
+        if elapsed <= 0 or batch.iter_duration <= 0:
+            return
+        completed = int(elapsed / batch.iter_duration + 1e-9)
+        cap = batch.iters if batch.launch.is_ptb else batch.iters - 1
+        self._settle(batch, min(completed, cap))
+
+    def _truncate_batch(self, batch: _Batch) -> None:
+        """Shrink ``batch`` to settle at the next interval boundary.
+
+        Fully elapsed intervals are credited immediately (so the
+        launch's counters are exact from this point on — the world is
+        about to change, and dispatch may consult them).  If the batch
+        sits exactly on an interval boundary, it settles *now* — the
+        per-interval event chain had an event at this very timestamp —
+        otherwise the interval in flight runs out at the duration it
+        started with.  Either way the settlement handler re-evaluates
+        the world (preemption flag, co-location pricing, free
+        resources) when it fires, exactly as per-interval events did at
+        every boundary.
+        """
+        if batch.iters <= 1:
+            return
+        q = (self.engine.now - batch.started) / batch.iter_duration
+        completed = int(q + 1e-9)
+        if completed >= batch.iters:
+            return  # the settlement event is due at this very instant
+        # Exactly on a boundary (and not at the batch's own start): the
+        # per-interval chain had an event at this very timestamp.
+        at_boundary = completed >= 1 and q - completed <= 1e-9
+        self._settle(batch, completed)
+        batch.event.cancel()
+        fn = (self._ptb_batch_done if batch.launch.is_ptb
+              else self._wave_chain_done)
+        if at_boundary:
+            batch.iters = 0
+            when = self.engine.now
+        else:
+            batch.iters = 1
+            when = batch.started + batch.iter_duration
+            if when < self.engine.now:
+                when = self.engine.now
+        batch.event = self.engine.schedule_at(when, lambda: fn(batch))
+
+    def _reprice_batches(self, changed_client: str) -> None:
+        """A client's residency flipped: other clients' batched
+        intervals may now be priced wrong — truncate them so the next
+        boundary re-evaluates the co-location factor."""
+        for batch in list(self._chains):
+            if batch.launch.client_id != changed_client:
+                self._truncate_batch(batch)
+
+    def _truncate_chains(self) -> None:
+        """A new launch reached the device: every batched schedule may
+        now face competition for resources (and re-pricing), so all of
+        them settle at their next interval boundary."""
+        for batch in list(self._chains):
+            self._truncate_batch(batch)
+
+    def _wave_chain_done(self, batch: _Batch) -> None:
+        launch = batch.launch
+        if batch in self._chains:
+            self._chains.remove(batch)
         if launch.killed:
             return  # resources already reclaimed by kill()
+        if batch in launch.batches:
+            launch.batches.remove(batch)
+        count = batch.count
+        launch.blocks_done += batch.iters * count
+        launch.blocks_to_start -= (batch.iters - 1) * count
+        self._release(launch, count, batch.threads)
+        finished = (launch.blocks_inflight == 0
+                    and (launch.blocks_to_start == 0
+                         or launch.preempt_requested))
+        if finished:
+            self._finalize(launch)
+        else:
+            self._dispatch()
+        if self.check.enabled:
+            self.check.verify(self)
+
+    def _ptb_batch_done(self, batch: _Batch) -> None:
+        launch = batch.launch
+        if batch in self._chains:
+            self._chains.remove(batch)
+        if launch.killed:
+            return  # resources already reclaimed by kill()
+        if batch in launch.batches:
+            launch.batches.remove(batch)
+        workers = batch.count
         remaining = launch.total_blocks - launch.tasks_done
-        consumed = min(workers, remaining)
+        consumed = min(batch.iters * workers, remaining)
         launch.tasks_done += consumed
         launch.blocks_done = launch.tasks_done
         stop = (launch.preempt_requested
                 or launch.tasks_done >= launch.total_blocks)
         if stop:
-            self._release(launch, workers, threads)
+            self._release(launch, workers, batch.threads)
             if launch.blocks_inflight == 0:
                 self._finalize(launch)
             else:
                 self._dispatch()
         else:
-            duration = self._ptb_iteration_duration(launch)
-            self.engine.schedule(
-                duration, lambda: self._ptb_iteration(launch, workers, threads)
-            )
+            # Workers hold their slots and start the next run segment
+            # under the current co-location pricing.
+            self._start_ptb_batch(launch, workers, batch.threads)
         if self.check.enabled:
             self.check.verify(self)
 
+    # ------------------------------------------------------------------
     def _finalize(self, launch: DeviceLaunch) -> None:
         completed = launch.tasks_remaining <= 0
         launch.status = (LaunchStatus.COMPLETED if completed

@@ -13,8 +13,12 @@ from .colocate import (
 )
 from .regression import Drift, compare_results
 from .serialize import load_result, result_to_dict, save_result
+from .sweep import SweepCase, run_sweep, seed_sweep
 
 __all__ = [
+    "SweepCase",
+    "run_sweep",
+    "seed_sweep",
     "JobResult",
     "JobSpec",
     "POLICY_NAMES",

@@ -372,7 +372,17 @@ def _arm_faults(injector: FaultInjector, drivers: list[tuple[JobSpec, object]],
 # Standalone baselines (cached)
 # ---------------------------------------------------------------------------
 
-_STANDALONE_CACHE: dict[tuple, JobResult] = {}
+# Each entry pins the explicit traffic object (when one was supplied)
+# alongside the result: the key uses id(traffic), and without a strong
+# reference a garbage-collected traffic list could recycle its id and
+# alias a different workload's baseline.  The cache is per-process —
+# sweep workers (see sweep.py) each warm their own, which only costs
+# repeated baseline runs, never stale or cross-process state.
+_STANDALONE_CACHE: dict[tuple, tuple[JobResult, object]] = {}
+
+#: entry bound; oldest entries are evicted first (dict preserves
+#: insertion order) so unbounded parameter sweeps can't grow it forever
+_STANDALONE_CACHE_MAX = 256
 
 
 def standalone(job: JobSpec, config: RunConfig | None = None) -> JobResult:
@@ -385,12 +395,14 @@ def standalone(job: JobSpec, config: RunConfig | None = None) -> JobResult:
         config.traffic_kind, config.burst_ratio, config.trace_seed,
     )
     cached = _STANDALONE_CACHE.get(key)
-    if cached is not None:
-        return cached
+    if cached is not None and cached[1] is job.traffic:
+        return cached[0]
     solo = replace(job, priority=Priority.HIGH)
     result = run_colocation("Ideal", [solo], config)
     job_result = next(iter(result.jobs.values()))
-    _STANDALONE_CACHE[key] = job_result
+    while len(_STANDALONE_CACHE) >= _STANDALONE_CACHE_MAX:
+        _STANDALONE_CACHE.pop(next(iter(_STANDALONE_CACHE)))
+    _STANDALONE_CACHE[key] = (job_result, job.traffic)
     return job_result
 
 

@@ -1,0 +1,98 @@
+"""Bench report schema, trajectory file handling, and the suite runner."""
+
+import json
+
+import pytest
+
+from repro.bench.harness import (SCHEMA, BenchmarkResult, BenchReport,
+                                 Phase, PhaseTimer, append_trajectory,
+                                 run_suite)
+from repro.errors import ReproError
+
+
+def result(name="macro.x", wall=2.0, events=100_000):
+    return BenchmarkResult(name=name, wall_s=wall, events=events,
+                           phases=[Phase("simulate", wall, events)],
+                           extra={"simulated_s": 10.0})
+
+
+class TestSchemaRoundTrip:
+    def test_report_round_trips_through_dict(self):
+        report = BenchReport(benchmarks=[result()], label="seed",
+                             scale="quick")
+        data = report.to_dict()
+        assert data["schema"] == SCHEMA
+        assert data["label"] == "seed"
+        assert "python" in data["platform"]
+        restored = BenchReport.from_dict(data)
+        assert restored.label == "seed"
+        assert restored.scale == "quick"
+        bench = restored.result("macro.x")
+        assert bench.wall_s == 2.0
+        assert bench.events == 100_000
+        assert bench.phases == [Phase("simulate", 2.0, 100_000)]
+        assert bench.extra == {"simulated_s": 10.0}
+
+    def test_unknown_schema_rejected(self):
+        with pytest.raises(ReproError, match="schema"):
+            BenchReport.from_dict({"schema": "repro-bench/99"})
+
+    def test_events_per_s(self):
+        assert result(wall=2.0, events=100_000).events_per_s == 50_000.0
+        assert BenchmarkResult("x", 0.0, 10).events_per_s == 0.0
+
+    def test_missing_benchmark_lookup_raises(self):
+        report = BenchReport(benchmarks=[result()])
+        with pytest.raises(ReproError, match="no benchmark"):
+            report.result("macro.missing")
+
+    def test_format_mentions_every_benchmark(self):
+        report = BenchReport(benchmarks=[result(), result("micro.y")],
+                             scale="smoke")
+        text = report.format()
+        assert "macro.x" in text and "micro.y" in text
+        assert "peak RSS" in text
+
+
+class TestTrajectory:
+    def test_append_creates_then_extends(self, tmp_path):
+        path = str(tmp_path / "BENCH_simulator.json")
+        first = append_trajectory(path, BenchReport(benchmarks=[result()],
+                                                    label="one"))
+        assert len(first) == 1
+        second = append_trajectory(path, BenchReport(benchmarks=[result()],
+                                                     label="two"))
+        assert len(second) == 2
+        with open(path, encoding="utf-8") as fh:
+            on_disk = json.load(fh)
+        assert [e["label"] for e in on_disk] == ["one", "two"]
+        assert all(e["schema"] == SCHEMA for e in on_disk)
+
+    def test_append_rejects_non_list_file(self, tmp_path):
+        path = tmp_path / "BENCH_simulator.json"
+        path.write_text(json.dumps({"schema": SCHEMA}))
+        with pytest.raises(ReproError, match="list"):
+            append_trajectory(str(path), BenchReport(benchmarks=[result()]))
+
+
+class TestRunSuite:
+    def test_runs_in_order_and_names_results(self):
+        seen = []
+
+        def bench(scale):
+            seen.append(scale)
+            return BenchmarkResult("placeholder", 1.0, 10)
+
+        report = run_suite([("micro.a", bench), ("micro.b", bench)],
+                           "smoke", label="test")
+        assert seen == ["smoke", "smoke"]
+        assert [b.name for b in report.benchmarks] == ["micro.a", "micro.b"]
+        assert report.label == "test"
+
+    def test_phase_timer_accumulates(self):
+        timer = PhaseTimer()
+        with timer.phase("a"):
+            pass
+        timer.add("b", 1.5, events=3)
+        assert [p.name for p in timer.phases] == ["a", "b"]
+        assert timer.phases[1] == Phase("b", 1.5, 3)

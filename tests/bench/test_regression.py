@@ -1,0 +1,70 @@
+"""The perf regression gate: baseline comparison semantics."""
+
+import json
+
+import pytest
+
+from repro.bench.harness import BenchmarkResult, BenchReport
+from repro.bench.regression import compare_reports, load_report
+from repro.errors import ReproError
+
+
+def report(**eps_by_name):
+    return BenchReport(benchmarks=[
+        BenchmarkResult(name=name, wall_s=1.0, events=int(eps))
+        for name, eps in eps_by_name.items()
+    ])
+
+
+class TestCompareReports:
+    def test_within_threshold_passes(self):
+        out = compare_reports(report(a=100_000), report(a=80_000),
+                              threshold=0.25)
+        assert out.ok
+        assert out.comparisons[0].ratio == pytest.approx(0.8)
+
+    def test_regression_beyond_threshold_fails(self):
+        out = compare_reports(report(a=100_000), report(a=70_000),
+                              threshold=0.25)
+        assert not out.ok
+        assert [c.name for c in out.regressions] == ["a"]
+        assert "REGRESSED" in out.format()
+        assert "FAILED" in out.format()
+
+    def test_speedups_always_pass(self):
+        out = compare_reports(report(a=100_000), report(a=300_000))
+        assert out.ok
+        assert out.comparisons[0].ratio == pytest.approx(3.0)
+
+    def test_unmatched_benchmarks_never_gate(self):
+        out = compare_reports(report(a=100_000, gone=50_000),
+                              report(a=90_000, new=10))
+        assert out.ok
+        assert out.only_in_baseline == ["gone"]
+        assert out.only_in_current == ["new"]
+        assert "new benchmark" in out.format()
+
+    def test_bad_threshold_rejected(self):
+        with pytest.raises(ReproError, match="threshold"):
+            compare_reports(report(a=1), report(a=1), threshold=1.5)
+
+
+class TestLoadReport:
+    def test_loads_newest_trajectory_entry(self, tmp_path):
+        path = tmp_path / "traj.json"
+        entries = [report(a=1).to_dict(), report(a=2).to_dict()]
+        entries[0]["label"] = "old"
+        entries[1]["label"] = "new"
+        path.write_text(json.dumps(entries))
+        assert load_report(str(path)).label == "new"
+
+    def test_loads_bare_report(self, tmp_path):
+        path = tmp_path / "report.json"
+        path.write_text(json.dumps(report(a=123).to_dict()))
+        assert load_report(str(path)).result("a").events == 123
+
+    def test_empty_trajectory_rejected(self, tmp_path):
+        path = tmp_path / "empty.json"
+        path.write_text("[]")
+        with pytest.raises(ReproError, match="empty"):
+            load_report(str(path))

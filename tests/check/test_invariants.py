@@ -132,15 +132,27 @@ class TestMutationsCaught:
             engine.run()
 
     def test_broken_block_conservation_is_caught(self, monkeypatch):
-        original = GPUDevice._finish_batch
+        # Corrupt both ORIGINAL completion paths (plain waves and solo
+        # wave chains) so the phantom block lands whichever one runs.
+        orig_finish = GPUDevice._finish_batch
+        orig_chain = GPUDevice._wave_chain_done
 
-        def double_count(self, launch, count, threads):
-            original(self, launch, count, threads)
+        def phantom(device, launch):
             if not launch.done:
                 launch.blocks_done += 1  # phantom block
-                self.check.verify(self)
+                device.check.verify(device)
 
-        monkeypatch.setattr(GPUDevice, "_finish_batch", double_count)
+        def finish(self, launch, count, threads):
+            orig_finish(self, launch, count, threads)
+            phantom(self, launch)
+
+        def chain_done(self, batch):
+            launch = batch.launch
+            orig_chain(self, batch)
+            phantom(self, launch)
+
+        monkeypatch.setattr(GPUDevice, "_finish_batch", finish)
+        monkeypatch.setattr(GPUDevice, "_wave_chain_done", chain_done)
         device, engine, _checker = checked_device()
         device.submit(DeviceLaunch(kernel(blocks=3000), client_id="a"))
         with pytest.raises(InvariantViolation):

@@ -1,0 +1,228 @@
+"""Interval batching on the device hot path.
+
+The device replaces per-iteration / per-wave events with one
+settlement event per identical-interval batch (``_Batch``), truncated
+whenever the world changes (arrival, preemption, kill, colocation
+transition).  These tests pin down the two guarantees the optimization
+must keep: **far fewer events** for solo launches, and **identical
+timing** to the unbatched model — verified against the closed-form
+durations and with the invariant checker auditing every event.
+
+Also here: the regression test for the occupancy-cache bug where
+``_capacity`` was keyed on ``threads_per_block`` alone, so two kernels
+with equal block width but different shared-memory footprints aliased
+to one (wrong) capacity.
+"""
+
+import math
+
+import pytest
+
+from repro.check import InvariantChecker
+from repro.gpu import (
+    A100_SXM4_40GB,
+    DeviceLaunch,
+    EventLoop,
+    GPUDevice,
+    KernelDescriptor,
+    LaunchConfig,
+    LaunchKind,
+    LaunchStatus,
+)
+
+SPEC = A100_SXM4_40GB
+
+
+def checked_device():
+    engine = EventLoop()
+    device = GPUDevice(SPEC, engine, check=InvariantChecker())
+    return device, engine
+
+
+class TestWaveChainBatching:
+    def test_solo_original_launch_matches_analytic_duration(self):
+        device, engine = checked_device()
+        descriptor = KernelDescriptor("k", num_blocks=20_000,
+                                      threads_per_block=256,
+                                      block_duration=50e-6)
+        done = []
+        device.submit(DeviceLaunch(descriptor, client_id="a",
+                                   on_complete=lambda l: done.append(engine.now)))
+        engine.run()
+        expected = SPEC.kernel_launch_overhead + descriptor.duration(SPEC)
+        assert done == [pytest.approx(expected, rel=1e-9)]
+
+    def test_solo_original_launch_uses_one_event_per_chain_not_per_wave(self):
+        device, engine = checked_device()
+        capacity = SPEC.concurrent_blocks(256)
+        waves = 40
+        descriptor = KernelDescriptor("k", num_blocks=waves * capacity,
+                                      threads_per_block=256,
+                                      block_duration=50e-6)
+        device.submit(DeviceLaunch(descriptor, client_id="a"))
+        engine.run()
+        # Unbatched, the run needs one completion event per wave (40+);
+        # the wave chain settles them in O(1) events.
+        assert engine.events_processed < waves // 2
+
+    def test_solo_ptb_launch_matches_analytic_duration(self):
+        device, engine = checked_device()
+        descriptor = KernelDescriptor("k", num_blocks=30_000,
+                                      threads_per_block=256,
+                                      block_duration=20e-6)
+        workers = 500
+        done = []
+        device.submit(DeviceLaunch(
+            descriptor, LaunchConfig(LaunchKind.PTB, workers=workers),
+            client_id="a", on_complete=lambda l: done.append(engine.now),
+        ))
+        engine.run()
+        expected = (SPEC.kernel_launch_overhead
+                    + descriptor.ptb_duration(workers))
+        assert done == [pytest.approx(expected, rel=1e-9)]
+
+    def test_solo_ptb_launch_batches_iterations(self):
+        device, engine = checked_device()
+        descriptor = KernelDescriptor("k", num_blocks=30_000,
+                                      threads_per_block=256,
+                                      block_duration=20e-6)
+        device.submit(DeviceLaunch(
+            descriptor, LaunchConfig(LaunchKind.PTB, workers=500),
+            client_id="a",
+        ))
+        engine.run()
+        iterations = math.ceil(30_000 / 500)
+        assert engine.events_processed < iterations
+
+    def test_arrival_truncates_chain_and_preserves_accounting(self):
+        # A competitor arriving mid-chain forces eager settlement; the
+        # checker audits conservation at every event thereafter.
+        device, engine = checked_device()
+        first = DeviceLaunch(
+            KernelDescriptor("be", num_blocks=40_000,
+                             threads_per_block=256, block_duration=50e-6),
+            client_id="be", priority=1,
+        )
+        device.submit(first)
+        second = DeviceLaunch(
+            KernelDescriptor("hp", num_blocks=600, threads_per_block=128,
+                             block_duration=30e-6),
+            client_id="hp", priority=0,
+        )
+        # Arrive strictly inside a wave interval, not on a boundary.
+        engine.schedule(50e-6 * 3.5, lambda: device.submit(second))
+        engine.run()
+        assert first.status is LaunchStatus.COMPLETED
+        assert second.status is LaunchStatus.COMPLETED
+        assert device.check.violations == []
+        assert device.threads_free == SPEC.total_threads
+        assert device.slots_free == SPEC.total_block_slots
+
+    def test_preempt_mid_chain_stops_at_next_boundary(self):
+        device, engine = checked_device()
+        launch = DeviceLaunch(
+            KernelDescriptor("be", num_blocks=40_000,
+                             threads_per_block=256, block_duration=50e-6),
+            LaunchConfig(LaunchKind.PTB, workers=400), client_id="be",
+        )
+        device.submit(launch)
+        preempt_at = 1.234e-3
+        engine.schedule(preempt_at, lambda: device.preempt(launch))
+        engine.run()
+        assert launch.status is LaunchStatus.PREEMPTED
+        # The in-flight iteration finishes; the ack lands within one
+        # iteration (block duration + PTB overhead) of the request.
+        iter_cost = 50e-6 + 2e-6
+        assert preempt_at <= engine.now <= preempt_at + iter_cost + 1e-9
+        assert device.check.violations == []
+
+    def test_kill_mid_chain_reclaims_resources(self):
+        device, engine = checked_device()
+        launch = DeviceLaunch(
+            KernelDescriptor("be", num_blocks=40_000,
+                             threads_per_block=256, block_duration=50e-6),
+            client_id="be",
+        )
+        device.submit(launch)
+        engine.schedule(1.111e-3, lambda: device.kill(launch))
+        engine.run()
+        assert launch.status is LaunchStatus.PREEMPTED
+        assert launch.killed
+        assert device.threads_free == SPEC.total_threads
+        assert device.slots_free == SPEC.total_block_slots
+        assert device.check.violations == []
+        total = (launch.blocks_done + launch.blocks_inflight
+                 + launch.blocks_to_start + launch.blocks_killed)
+        assert total == launch.total_blocks
+
+    def test_chain_results_match_two_competing_launches(self):
+        # Two clients colocated from t=0: chains must not form (neither
+        # is alone), and the run stays invariant-clean to completion.
+        device, engine = checked_device()
+        launches = [
+            DeviceLaunch(KernelDescriptor(f"k{i}", num_blocks=10_000,
+                                          threads_per_block=256,
+                                          block_duration=40e-6),
+                         client_id=f"c{i}")
+            for i in range(2)
+        ]
+        for launch in launches:
+            device.submit(launch)
+        engine.run()
+        assert all(l.status is LaunchStatus.COMPLETED for l in launches)
+        assert device.check.violations == []
+
+
+class TestCapacityCacheRegression:
+    """``_capacity`` must key on the full occupancy tuple.
+
+    Regression: the cache was keyed on ``threads_per_block`` alone, so
+    after a zero-shared-memory kernel warmed the cache, a kernel with
+    the same block width but a large shared-memory footprint read the
+    uncapped capacity back out.
+    """
+
+    def test_shared_memory_does_not_alias_cache(self):
+        device = GPUDevice(SPEC, EventLoop())
+        plain = device._capacity(256)
+        heavy = device._capacity(256, 65536)
+        assert plain == SPEC.concurrent_blocks(256)
+        assert heavy == SPEC.concurrent_blocks(256, 65536)
+        assert heavy < plain
+        # Both orders: warm with the heavy kernel first, then plain.
+        device2 = GPUDevice(SPEC, EventLoop())
+        assert device2._capacity(256, 65536) == heavy
+        assert device2._capacity(256) == plain
+
+    def test_cache_hits_return_consistent_values(self):
+        device = GPUDevice(SPEC, EventLoop())
+        for _ in range(3):
+            assert device._capacity(128, 32768) == \
+                SPEC.concurrent_blocks(128, 32768)
+
+    def test_mixed_footprint_kernels_keep_distinct_cache_entries(self):
+        # End to end: running a plain and a shared-memory-heavy kernel
+        # through one device leaves two cache entries with the right
+        # occupancy each (under the old key the second lookup aliased).
+        engine = EventLoop()
+        device = GPUDevice(SPEC, engine, check=InvariantChecker())
+        plain = DeviceLaunch(
+            KernelDescriptor("plain", num_blocks=4000,
+                             threads_per_block=256, block_duration=40e-6),
+            client_id="a",
+        )
+        heavy = DeviceLaunch(
+            KernelDescriptor("smem", num_blocks=800,
+                             threads_per_block=256, block_duration=40e-6,
+                             shared_mem_per_block=65536),
+            client_id="b",
+        )
+        device.submit(plain)
+        device.submit(heavy)
+        engine.run()
+        assert plain.status is LaunchStatus.COMPLETED
+        assert heavy.status is LaunchStatus.COMPLETED
+        assert device._capacity_cache[(256, 0)] == \
+            SPEC.concurrent_blocks(256)
+        assert device._capacity_cache[(256, 65536)] == \
+            SPEC.concurrent_blocks(256, 65536)

@@ -189,15 +189,16 @@ class TestHeapCompaction:
         loop = EventLoop()
         threshold = EventLoop.COMPACT_THRESHOLD
         fired = []
+        doomed = []
         for i in range(2 * threshold):
-            loop.schedule(float(i + 1), lambda: fired.append("doomed"))
+            doomed.append(
+                loop.schedule(float(i + 1), lambda: fired.append("doomed")))
         survivors = []
         for i in range(5):
             survivors.append(
                 loop.schedule(0.5 + i, lambda i=i: fired.append(i)))
-        for event in list(loop._heap):
-            if event not in survivors:
-                event.cancel()
+        for event in doomed:
+            event.cancel()
         loop.run()
         assert fired == [0, 1, 2, 3, 4]
 

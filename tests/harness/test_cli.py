@@ -29,6 +29,14 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["colocate", "--inference", "vgg"])
 
+    def test_jobs_and_seeds_flags(self):
+        parser = build_parser()
+        args = parser.parse_args(["colocate", "--seeds", "4", "--jobs", "2"])
+        assert args.seeds == 4 and args.jobs == 2
+        assert parser.parse_args(["colocate"]).jobs == 1
+        assert parser.parse_args(["cluster", "--jobs", "3"]).jobs == 3
+        assert parser.parse_args(["cluster"]).jobs == 1
+
 
 class TestExecution:
     def test_list_runs(self, capsys):
@@ -52,3 +60,15 @@ class TestExecution:
         out = capsys.readouterr().out
         assert "inference p99" in out
         assert "system throughput" in out
+
+    def test_colocate_seed_sweep_runs(self, capsys):
+        assert main([
+            "colocate", "--inference", "resnet50_infer",
+            "--training", "pointnet_train", "--policy", "Tally",
+            "--load", "0.2", "--duration", "1", "--warmup", "0.2",
+            "--seeds", "2", "--jobs", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "2 seeds" in out
+        assert "seed 0" in out and "seed 1" in out
+        assert "mean" in out

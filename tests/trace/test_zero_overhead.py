@@ -1,0 +1,79 @@
+"""The null-object hot path allocates no instrumentation objects.
+
+Tracing, invariant checking, and fault injection all follow the same
+pattern: the device/scheduler hold a disabled singleton whose
+``enabled`` flag gates every instrumentation site.  The perf contract
+(see ``docs/performance.md``) is that a default run never even
+*constructs* a trace event — not "constructs and discards".  These
+tests enforce it by making every trace-event constructor raise and
+running full simulations through the harness.
+"""
+
+import pytest
+
+from repro.check import NULL_CHECKER
+from repro.faults import NULL_INJECTOR
+from repro.gpu import A100_SXM4_40GB, DeviceLaunch, EventLoop, GPUDevice, \
+    KernelDescriptor
+from repro.harness import JobSpec, RunConfig, run_colocation
+from repro.trace import NULL_TRACER
+from repro.trace.events import EVENT_CLASSES
+
+
+@pytest.fixture
+def forbid_trace_events(monkeypatch):
+    """Make constructing *any* trace event an immediate test failure."""
+    def boom(self, *args, **kwargs):
+        raise AssertionError(
+            f"{type(self).__name__} constructed on the null-object path"
+        )
+
+    for cls in set(EVENT_CLASSES.values()):
+        monkeypatch.setattr(cls, "__init__", boom)
+
+
+class TestNullObjectAllocations:
+    def test_device_run_builds_no_trace_events(self, forbid_trace_events):
+        engine = EventLoop()
+        device = GPUDevice(A100_SXM4_40GB, engine)
+        launch = DeviceLaunch(
+            KernelDescriptor("k", num_blocks=5000, threads_per_block=256,
+                             block_duration=30e-6),
+            client_id="a",
+        )
+        device.submit(launch)
+        engine.schedule(0.5e-3, lambda: device.preempt(launch))
+        engine.run()
+        assert launch.done
+
+    def test_colocation_run_builds_no_trace_events(self, forbid_trace_events):
+        config = RunConfig(duration=0.5, warmup=0.1)
+        result = run_colocation(
+            "Tally",
+            [JobSpec.inference("bert_infer", load=0.5),
+             JobSpec.training("whisper_train")],
+            config,
+        )
+        assert result.events > 0
+        assert result.job("bert_infer#0").completed > 0
+
+    def test_default_device_holds_the_null_singletons(self):
+        device = GPUDevice(A100_SXM4_40GB, EventLoop())
+        assert device.tracer is NULL_TRACER
+        assert device.check is NULL_CHECKER
+        assert not device.tracer.enabled
+        assert not device.check.enabled
+        assert not NULL_INJECTOR.enabled
+
+    def test_sabotaged_constructors_do_fire_when_tracing(
+            self, forbid_trace_events):
+        # Sanity check on the fixture itself: with a real tracer the
+        # same workload must trip the sabotaged constructors.
+        from repro.trace import Tracer
+
+        config = RunConfig(duration=0.2, warmup=0.0)
+        with pytest.raises(AssertionError, match="constructed"):
+            run_colocation(
+                "Tally", [JobSpec.inference("bert_infer", load=0.3)],
+                config, tracer=Tracer(),
+            )
