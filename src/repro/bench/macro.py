@@ -21,7 +21,8 @@ import time
 
 from .harness import BenchmarkResult, PhaseTimer
 
-__all__ = ["MACRO_BENCHMARKS", "bench_colocation", "bench_cluster"]
+__all__ = ["MACRO_BENCHMARKS", "bench_colocation", "bench_cluster",
+           "bench_llm_serve"]
 
 #: simulated seconds per scale
 _DURATIONS = {"smoke": 3.0, "quick": 10.0, "full": 20.0}
@@ -115,8 +116,60 @@ def bench_cluster(scale: str = "smoke") -> BenchmarkResult:
     )
 
 
+def bench_llm_serve(scale: str = "smoke") -> BenchmarkResult:
+    """LLM serving colocation: llama7b_serve (load 0.5) x resnet50_train.
+
+    Continuous batching generates far more (smaller) kernels per unit
+    of simulated time than the trace models, so this macro stresses the
+    per-kernel scheduler path plus the KV-cache allocator traffic.
+    """
+    from ..harness import (
+        JobSpec,
+        RunConfig,
+        clear_standalone_cache,
+        run_colocation,
+        standalone,
+    )
+
+    duration = _duration(scale)
+    config = RunConfig(duration=duration, warmup=min(1.0, duration / 3))
+    llm = JobSpec.llm("llama7b_serve", load=0.5)
+    training = JobSpec.training("resnet50_train")
+    timer = PhaseTimer()
+
+    clear_standalone_cache()
+    start = time.perf_counter()
+    standalone(llm, config)
+    standalone(training, config)
+    timer.add("standalone", time.perf_counter() - start)
+
+    start = time.perf_counter()
+    result = run_colocation("Tally", [llm, training], config)
+    sim_wall = time.perf_counter() - start
+    timer.add("simulate", sim_wall, result.events)
+
+    start = time.perf_counter()
+    serving = result.llm_results()[0].serving
+    assert serving is not None
+    timer.add("metrics", time.perf_counter() - start)
+
+    wall = sum(p.wall_s for p in timer.phases)
+    return BenchmarkResult(
+        name="macro.llm_serve", wall_s=wall, events=result.events,
+        phases=timer.phases,
+        extra={
+            "simulated_s": duration,
+            "sim_per_wall": duration / sim_wall if sim_wall > 0 else 0.0,
+            "policy": "Tally",
+            "tokens_per_s": serving.tokens_per_s,
+            "utilization": result.utilization,
+        },
+    )
+
+
 #: suite entries in run order (name, callable)
 MACRO_BENCHMARKS = (
     ("macro.colocation_fig4", bench_colocation),
     ("macro.cluster_sweep", bench_cluster),
+    ("macro.llm_serve", bench_llm_serve),
 )

@@ -27,7 +27,13 @@ import argparse
 import sys
 import time
 
-from .harness import JobSpec, RunConfig, run_colocation, standalone
+from .harness import (
+    POLICY_NAMES,
+    JobSpec,
+    RunConfig,
+    run_colocation,
+    standalone,
+)
 from .trace import JSONLSink, Tracer, summarize
 from .harness.experiments import (
     fig4,
@@ -39,12 +45,13 @@ from .harness.experiments import (
     fig6b_report,
     fig6c,
     fig6c_report,
+    llm_colocation,
     table1,
     table2,
     table2_report,
 )
 from .harness.reporting import format_seconds, format_table
-from .workloads import INFERENCE_MODELS, TRAINING_MODELS
+from .workloads import INFERENCE_MODELS, LLM_MODELS, TRAINING_MODELS
 
 __all__ = ["main"]
 
@@ -75,8 +82,11 @@ def _cmd_list(_args: argparse.Namespace) -> None:
             for name, m in TRAINING_MODELS.items()]
     rows += [(name, "inference", format_seconds(m.paper_value))
              for name, m in INFERENCE_MODELS.items()]
+    rows += [(name, "llm serving",
+              f"{format_seconds(m.mean_request_time())} /req")
+             for name, m in LLM_MODELS.items()]
     print(format_table(("model", "kind", "paper metric"), rows,
-                       title="Workload suite (Table 2)"))
+                       title="Workload suite (Table 2 + LLM serving)"))
 
 
 def _cmd_table1(_args: argparse.Namespace) -> None:
@@ -172,6 +182,10 @@ def _cmd_cluster(args: argparse.Namespace) -> None:
                         ("bert_infer", 0.10), ("yolov6m_infer", 0.12)]:
         jobs.append(ClusterJob(model, load=load, traffic_seed=seed))
         seed += 1
+    if args.llm:
+        jobs.append(ClusterJob("llama7b_serve", load=0.3,
+                               traffic_seed=seed))
+        seed += 1
     for model in ("resnet50_infer", "bert_infer", "resnet50_infer"):
         jobs.append(ClusterJob(model, load=0.3, offline=True,
                                traffic_seed=seed))
@@ -209,6 +223,89 @@ def _cmd_cluster(args: argparse.Namespace) -> None:
                        title="Cluster consolidation under Tally"))
     if args.check:
         print("invariant checks: enabled on every GPU, 0 violations")
+    if tracer is not None:
+        _finish_trace(tracer, args.trace, config)
+
+
+def _cmd_llm(args: argparse.Namespace) -> None:
+    """LLM serving colocation: one policy in detail, or all policies."""
+    if args.policy == "all":
+        result = llm_colocation(
+            args.scale, llm_model=args.model,
+            training_model=args.training, load=args.load,
+            seed=args.seed,
+        )
+        print(result.report())
+        print(f"SLO: ttft <= {format_seconds(result.slo.ttft)}, "
+              f"inter-token <= {format_seconds(result.slo.inter_token)} "
+              f"(2x the isolated p99s)")
+        return
+
+    from .metrics import ServingSLO
+
+    faults = _parse_faults(args)
+    tally_config = (_faulted_tally_config(faults)
+                    if args.policy == "Tally" else None)
+    config = RunConfig(duration=args.duration, warmup=args.warmup,
+                       tally_config=tally_config)
+    llm = JobSpec.llm(args.model, load=args.load, traffic_seed=args.seed)
+    training = JobSpec.training(args.training)
+    base = standalone(llm, config)
+    train_base = standalone(training, config)
+    assert base.serving is not None
+    assert base.serving.ttft is not None
+    assert base.serving.inter_token is not None
+    slo = ServingSLO.scaled_to_ideal(base.serving.ttft.p99,
+                                     base.serving.inter_token.p99)
+    config = RunConfig(duration=args.duration, warmup=args.warmup,
+                       tally_config=tally_config, slo=slo)
+
+    tracer = _make_tracer(args.trace) if args.trace else None
+    start = time.time()
+    result = run_colocation(args.policy, [llm, training], config,
+                            tracer=tracer, check=args.check, faults=faults)
+    wall = time.time() - start
+    served = result.job(f"{args.model}#0")
+    train = result.job(f"{args.training}#0")
+    s = served.serving
+    assert s is not None and s.ttft is not None and s.inter_token is not None
+    train_norm = (train.rate / train_base.rate if train_base.rate else 0.0)
+    rows = [
+        ("TTFT p99", format_seconds(s.ttft.p99),
+         f"{s.ttft.p99 / base.serving.ttft.p99:.2f}x vs ideal"),
+        ("TTFT p50", format_seconds(s.ttft.p50), ""),
+        ("inter-token p99", format_seconds(s.inter_token.p99),
+         f"{s.inter_token.p99 / base.serving.inter_token.p99:.2f}x "
+         f"vs ideal"),
+        ("inter-token p50", format_seconds(s.inter_token.p50), ""),
+        ("requests served", str(s.completed),
+         f"{s.requests_per_s:.2f}/s, {s.tokens_per_s:.0f} tok/s"),
+        ("SLO attainment", f"{s.slo_attainment * 100:.0f}%",
+         f"goodput {s.goodput:.2f}/s at 1.5x isolated p99s"),
+        ("evicted (KV pressure)", str(served.evicted), ""),
+        ("admission queueing p99",
+         format_seconds(served.queueing.p99)
+         if served.queueing is not None else "-", ""),
+        ("training throughput", f"{train.rate:.2f} it/s",
+         f"{train_norm:.2f} of standalone"),
+        ("GPU utilization", f"{result.utilization:.0%}", ""),
+        ("simulated / wall",
+         f"{config.duration:.0f}s / {wall:.1f}s",
+         f"{result.events} events"),
+    ]
+    if args.check:
+        rows.append(("invariant checks", str(result.invariant_checks),
+                     "0 violations"))
+    if result.fault_counts:
+        injected = ", ".join(f"{kind}={n}" for kind, n
+                             in sorted(result.fault_counts.items()))
+        rows.append(("faults injected", str(sum(
+            result.fault_counts.values())), injected))
+    print(format_table(
+        ("metric", "value", "note"), rows,
+        title=(f"{args.policy}: {args.model} (load {args.load:.0%}) "
+               f"x {args.training}"),
+    ))
     if tracer is not None:
         _finish_trace(tracer, args.trace, config)
 
@@ -343,6 +440,9 @@ def build_parser() -> argparse.ArgumentParser:
     cluster = sub.add_parser(
         "cluster", help="cluster consolidation demo (GPUs saved vs SLA)")
     cluster.add_argument("--duration", type=float, default=5.0)
+    cluster.add_argument("--llm", action="store_true",
+                         help="include an LLM serving endpoint "
+                              "(llama7b_serve) in the job mix")
     cluster.add_argument("--trace", metavar="PATH", default=None,
                          help=trace_help)
     cluster.add_argument("--check", action="store_true", help=check_help)
@@ -360,8 +460,7 @@ def build_parser() -> argparse.ArgumentParser:
     colocate.add_argument("--training", default="whisper_train",
                           choices=sorted(TRAINING_MODELS))
     colocate.add_argument("--policy", default="Tally",
-                          choices=("Ideal", "Time-Slicing", "MPS",
-                                   "MPS-Priority", "TGS", "Tally"))
+                          choices=POLICY_NAMES)
     colocate.add_argument("--load", type=float, default=0.5)
     colocate.add_argument("--duration", type=float, default=10.0)
     colocate.add_argument("--warmup", type=float, default=1.0)
@@ -378,6 +477,30 @@ def build_parser() -> argparse.ArgumentParser:
                           help="run sweep cases in N worker processes "
                                "(results are identical to --jobs 1)")
     colocate.set_defaults(fn=_cmd_colocate)
+
+    llm = sub.add_parser(
+        "llm", help="LLM serving (continuous batching) vs best-effort "
+                    "training")
+    llm.add_argument("--model", default="llama7b_serve",
+                     choices=sorted(LLM_MODELS))
+    llm.add_argument("--training", default="resnet50_train",
+                     choices=sorted(TRAINING_MODELS))
+    llm.add_argument("--policy", default="Tally",
+                     choices=POLICY_NAMES + ("all",),
+                     help='"all" prints the per-policy comparison table')
+    llm.add_argument("--scale", choices=("quick", "full"), default="quick",
+                     help="grid size for --policy all")
+    llm.add_argument("--load", type=float, default=0.5)
+    llm.add_argument("--duration", type=float, default=10.0)
+    llm.add_argument("--warmup", type=float, default=1.0)
+    llm.add_argument("--seed", type=int, default=0,
+                     help="traffic and length-sampling seed")
+    llm.add_argument("--trace", metavar="PATH", default=None,
+                     help=trace_help)
+    llm.add_argument("--check", action="store_true", help=check_help)
+    llm.add_argument("--faults", metavar="SPEC", default=None,
+                     help=faults_help)
+    llm.set_defaults(fn=_cmd_llm)
     return parser
 
 

@@ -20,7 +20,7 @@ from dataclasses import dataclass, field
 
 from ..errors import HarnessError
 from ..gpu import A100_SXM4_40GB, GPUSpec
-from ..workloads import WorkloadKind, get_model
+from ..workloads import LLM_MODELS, WorkloadKind, get_model
 from ..workloads.memory import A100_MEMORY_BYTES, footprint_of
 
 __all__ = ["ClusterJob", "Placement", "dedicated_placement",
@@ -43,19 +43,23 @@ class ClusterJob:
 
     @property
     def role(self) -> str:
+        if self.model in LLM_MODELS:
+            return "llm"
         kind = get_model(self.model).kind
         return "inference" if kind is WorkloadKind.INFERENCE else "training"
 
     @property
     def latency_critical(self) -> bool:
-        return self.role == "inference" and not self.offline
+        return self.role in ("inference", "llm") and not self.offline
 
     def demand(self, spec: GPUSpec = A100_SXM4_40GB) -> float:
         """Estimated fraction of one GPU's time the job keeps busy."""
+        if self.role in ("inference", "llm"):
+            # Load is defined against serial (batch-of-one) service
+            # time; continuous batching only lowers the true demand.
+            return self.load
         model = get_model(self.model)
         trace = model.build_trace(spec)
-        if self.role == "inference":
-            return self.load
         return trace.gpu_time / trace.duration
 
     def memory(self) -> int:

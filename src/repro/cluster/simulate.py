@@ -58,12 +58,23 @@ class ClusterResult:
 
 
 def _to_jobspec(job: ClusterJob) -> JobSpec:
-    if job.role == "inference":
+    if job.role in ("inference", "llm"):
         priority = Priority.BEST_EFFORT if job.offline else Priority.HIGH
-        return JobSpec.inference(job.model, load=job.load,
-                                 priority=priority,
-                                 traffic_seed=job.traffic_seed)
+        factory = JobSpec.llm if job.role == "llm" else JobSpec.inference
+        return factory(job.model, load=job.load, priority=priority,
+                       traffic_seed=job.traffic_seed)
     return JobSpec.training(job.model, traffic_seed=job.traffic_seed)
+
+
+def _tail_p99(job_result) -> float:
+    """The service's tail metric: request p99, or TTFT p99 for LLMs."""
+    if job_result.latency is not None:
+        return job_result.latency.p99
+    if job_result.serving is not None and job_result.serving.ttft is not None:
+        return job_result.serving.ttft.p99
+    raise HarnessError(
+        f"service {job_result.client_id!r} reported no tail latency"
+    )
 
 
 def evaluate_placement(placement: Placement, policy: str,
@@ -123,13 +134,10 @@ def evaluate_placement(placement: Placement, policy: str,
             if baseline.rate > 0:
                 total_throughput += job_result.rate / baseline.rate
             if job.latency_critical:
-                assert job_result.latency is not None
-                assert baseline.latency is not None
                 services.append(ServiceOutcome(
                     model=job.model,
                     gpu=gpu_index,
-                    p99_ratio=(job_result.latency.p99
-                               / baseline.latency.p99),
+                    p99_ratio=_tail_p99(job_result) / _tail_p99(baseline),
                     sla_factor=job.sla_factor,
                 ))
     return ClusterResult(

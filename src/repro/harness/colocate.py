@@ -30,11 +30,17 @@ from ..core import Tally, TallyConfig
 from ..errors import HarnessError
 from ..faults import FaultConfig, FaultInjector
 from ..gpu import A100_SXM4_40GB, EventLoop, GPUDevice, GPUSpec
-from ..metrics import LatencySummary
+from ..metrics import LatencySummary, ServingSLO, ServingSummary
 from ..trace import Tracer
 from ..traffic import TrafficTrace, bursty_trace, maf_trace, poisson_trace
-from ..workloads import InferenceJob, TrainingJob, get_model
-from ..workloads.models import Trace, WorkloadKind
+from ..workloads import (
+    InferenceJob,
+    LLMServingJob,
+    TrainingJob,
+    get_llm_model,
+    get_model,
+)
+from ..workloads.models import WorkloadKind
 
 __all__ = [
     "POLICY_NAMES",
@@ -77,10 +83,10 @@ class JobSpec:
     """One workload in a co-location run."""
 
     model: str
-    role: Literal["inference", "training"]
-    #: inference only: target offered load (fraction of busy time)
+    role: Literal["inference", "training", "llm"]
+    #: inference/llm only: target offered load (fraction of busy time)
     load: float = 0.5
-    #: None = role default (inference HIGH, training BEST_EFFORT)
+    #: None = role default (inference/llm HIGH, training BEST_EFFORT)
     priority: Priority | None = None
     traffic_seed: int = 0
     #: explicit traffic overrides the generated trace (Fig. 5b)
@@ -93,8 +99,8 @@ class JobSpec:
     def effective_priority(self) -> Priority:
         if self.priority is not None:
             return self.priority
-        return (Priority.HIGH if self.role == "inference"
-                else Priority.BEST_EFFORT)
+        return (Priority.BEST_EFFORT if self.role == "training"
+                else Priority.HIGH)
 
     @staticmethod
     def inference(model: str, load: float = 0.5, **kwargs) -> "JobSpec":
@@ -103,6 +109,12 @@ class JobSpec:
     @staticmethod
     def training(model: str, **kwargs) -> "JobSpec":
         return JobSpec(model=model, role="training", **kwargs)
+
+    @staticmethod
+    def llm(model: str, load: float = 0.5, **kwargs) -> "JobSpec":
+        """An LLM serving endpoint (continuous batching; see
+        :class:`~repro.workloads.llm.LLMServingJob`)."""
+        return JobSpec(model=model, role="llm", load=load, **kwargs)
 
 
 @dataclass(frozen=True)
@@ -117,6 +129,9 @@ class RunConfig:
     traffic_kind: Literal["maf", "bursty", "poisson"] = "maf"
     burst_ratio: float = 20.0
     trace_seed: int = 0
+    #: serving SLO applied to LLM jobs' goodput accounting; None keeps
+    #: goodput == throughput (an unstated SLO rejects nothing)
+    slo: ServingSLO | None = None
     #: validate that the co-located models' memory footprints fit the
     #: GPU (GPU sharing is memory-gated before it is compute-gated)
     check_memory: bool = True
@@ -142,6 +157,12 @@ class JobResult:
     rate: float  # per second within the window
     latency: LatencySummary | None = None  # inference only
     pending: int = 0  # inference backlog at the end (overload indicator)
+    #: arrival-to-start (inference) / arrival-to-admission (llm) delays
+    queueing: LatencySummary | None = None
+    #: llm only: windowed TTFT / inter-token / goodput metrics
+    serving: ServingSummary | None = None
+    #: llm only: requests shed for KV headroom within the window
+    evicted: int = 0
 
     def normalized_rate(self, baseline: "JobResult") -> float:
         if baseline.rate <= 0:
@@ -180,16 +201,19 @@ class RunResult:
     def inference_results(self) -> list[JobResult]:
         return [j for j in self.jobs.values() if j.role == "inference"]
 
+    def llm_results(self) -> list[JobResult]:
+        return [j for j in self.jobs.values() if j.role == "llm"]
+
     def training_results(self) -> list[JobResult]:
         return [j for j in self.jobs.values() if j.role == "training"]
 
 
 # ---------------------------------------------------------------------------
 
-def _traffic_for(spec_: JobSpec, trace: Trace, config: RunConfig) -> TrafficTrace:
+def _traffic_for(spec_: JobSpec, service_time: float,
+                 config: RunConfig) -> TrafficTrace:
     if spec_.traffic is not None:
         return spec_.traffic
-    service_time = trace.duration
     if config.traffic_kind == "poisson":
         rate = spec_.load / service_time
         return poisson_trace(rate, config.duration, seed=spec_.traffic_seed)
@@ -266,6 +290,20 @@ def run_colocation(policy_name: str, jobs: list[JobSpec],
     drivers: list[tuple[JobSpec, object]] = []
     counters: dict[str, int] = {}
     for job_spec in jobs:
+        n = counters.get(job_spec.model, 0)
+        counters[job_spec.model] = n + 1
+        client_id = f"{job_spec.model}#{n}"
+        if job_spec.role == "llm":
+            llm_model = get_llm_model(job_spec.model)
+            traffic = _traffic_for(job_spec, llm_model.mean_request_time(),
+                                   config)
+            driver: object = LLMServingJob(
+                llm_model, traffic, policy, client_id,
+                priority=job_spec.effective_priority,
+                seed=job_spec.traffic_seed,
+            )
+            drivers.append((job_spec, driver))
+            continue
         model = get_model(job_spec.model)
         expected = ("inference" if model.kind is WorkloadKind.INFERENCE
                     else "training")
@@ -274,13 +312,10 @@ def run_colocation(policy_name: str, jobs: list[JobSpec],
                 f"model {job_spec.model!r} is a {expected} workload, "
                 f"not {job_spec.role}"
             )
-        n = counters.get(job_spec.model, 0)
-        counters[job_spec.model] = n + 1
-        client_id = f"{job_spec.model}#{n}"
         trace = model.build_trace(config.spec, seed=config.trace_seed)
         if job_spec.role == "inference":
-            traffic = _traffic_for(job_spec, trace, config)
-            driver: object = InferenceJob(
+            traffic = _traffic_for(job_spec, trace.duration, config)
+            driver = InferenceJob(
                 trace, traffic, policy, client_id,
                 priority=job_spec.effective_priority,
             )
@@ -303,7 +338,19 @@ def run_colocation(policy_name: str, jobs: list[JobSpec],
     span = end - start
     results: dict[str, JobResult] = {}
     for job_spec, driver in drivers:
-        if job_spec.role == "inference":
+        if job_spec.role == "llm":
+            assert isinstance(driver, LLMServingJob)
+            serving = driver.serving_summary(since=start, until=end,
+                                             slo=config.slo)
+            results[driver.client_id] = JobResult(
+                client_id=driver.client_id, model=job_spec.model,
+                role="llm", completed=serving.completed,
+                rate=serving.requests_per_s,
+                pending=driver.pending_requests,
+                queueing=driver.queueing_summary(since=start, until=end),
+                serving=serving, evicted=serving.evicted,
+            )
+        elif job_spec.role == "inference":
             assert isinstance(driver, InferenceJob)
             latencies = driver.latencies(since=start, until=end)
             summary = LatencySummary.of(latencies) if latencies else None
@@ -313,6 +360,7 @@ def run_colocation(policy_name: str, jobs: list[JobSpec],
                 role="inference", completed=completed,
                 rate=completed / span, latency=summary,
                 pending=driver.pending_requests,
+                queueing=driver.queueing_summary(since=start, until=end),
             )
         else:
             assert isinstance(driver, TrainingJob)

@@ -19,10 +19,12 @@ import numpy as np
 from ..core import TallyConfig
 from ..errors import HarnessError
 from ..gpu import A100_SXM4_40GB, GPUSpec
+from ..metrics import ServingSLO
 from ..traffic import profile_trace
 from ..workloads import INFERENCE_MODELS, TRAINING_MODELS, get_model
 from ..workloads.models import Trace
 from .colocate import (
+    POLICY_NAMES,
     JobSpec,
     RunConfig,
     run_colocation,
@@ -50,6 +52,9 @@ __all__ = [
     "fig6b",
     "Fig6cPoint",
     "fig6c",
+    "LLMColocationCell",
+    "LLMColocationResult",
+    "llm_colocation",
 ]
 
 Scale = Literal["quick", "full"]
@@ -723,4 +728,127 @@ def fig6c_report(points: Sequence[Fig6cPoint]) -> str:
     return format_table(
         ("threshold", "training", "p99 vs ideal", "train norm"),
         rows, title="Figure 6c: turnaround latency threshold sweep",
+    )
+
+
+# ---------------------------------------------------------------------------
+# LLM serving colocation — fig4-style grid with a serving-shaped tenant
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class LLMColocationCell:
+    """One (policy) measurement of the LLM serving colocation."""
+
+    policy: str
+    ttft_p99: float
+    inter_token_p99: float
+    ideal_ttft_p99: float
+    ideal_inter_token_p99: float
+    slo_attainment: float
+    goodput: float
+    evicted: int
+    training_norm: float
+
+    @property
+    def ttft_ratio(self) -> float:
+        return self.ttft_p99 / self.ideal_ttft_p99
+
+    @property
+    def inter_token_ratio(self) -> float:
+        return self.inter_token_p99 / self.ideal_inter_token_p99
+
+
+@dataclass
+class LLMColocationResult:
+    """All policies of the LLM serving colocation experiment."""
+
+    llm_model: str
+    training_model: str
+    load: float
+    slo: ServingSLO
+    cells: list[LLMColocationCell]
+
+    def for_policy(self, policy: str) -> LLMColocationCell:
+        for cell in self.cells:
+            if cell.policy == policy:
+                return cell
+        raise HarnessError(
+            f"no cell for policy {policy!r} "
+            f"(have {[c.policy for c in self.cells]})"
+        )
+
+    def report(self) -> str:
+        rows = [
+            (c.policy,
+             format_seconds(c.ttft_p99), format_ratio(c.ttft_ratio),
+             format_seconds(c.inter_token_p99),
+             format_ratio(c.inter_token_ratio),
+             f"{c.slo_attainment * 100:.0f}%",
+             f"{c.goodput:.2f}/s", str(c.evicted),
+             f"{c.training_norm:.2f}")
+            for c in self.cells
+        ]
+        return format_table(
+            ("policy", "ttft p99", "vs ideal", "itl p99", "vs ideal",
+             "slo att", "goodput", "evicted", "train norm"),
+            rows,
+            title=(f"LLM serving colocation: {self.llm_model} (HP) vs "
+                   f"{self.training_model} (BE), load={self.load:.0%}"),
+        )
+
+
+def llm_colocation(scale: Scale = "quick", *,
+                   llm_model: str = "llama7b_serve",
+                   training_model: str = "resnet50_train",
+                   load: float = 0.5,
+                   slo_slack: float = 2.0,
+                   policies: Sequence[str] = POLICY_NAMES,
+                   spec: GPUSpec = A100_SXM4_40GB,
+                   seed: int = 0) -> LLMColocationResult:
+    """LLM server as the high-priority tenant vs best-effort training.
+
+    The serving SLO is anchored to the *isolated* run
+    (:meth:`~repro.metrics.serving.ServingSLO.scaled_to_ideal` at
+    ``slo_slack`` times the isolated p99s), mirroring the paper's
+    relative isolation criterion: a policy attains the SLO exactly when
+    colocation keeps TTFT and every token gap within a small factor of
+    running alone.
+    """
+    duration = 30.0 if scale == "full" else 10.0
+    cfg = RunConfig(spec=spec, duration=duration, warmup=1.0)
+    llm = JobSpec.llm(llm_model, load=load, traffic_seed=seed)
+    train = JobSpec.training(training_model)
+
+    llm_base = standalone(llm, cfg)
+    assert llm_base.serving is not None
+    ideal = llm_base.serving
+    assert ideal.ttft is not None and ideal.inter_token is not None
+    slo = ServingSLO.scaled_to_ideal(ideal.ttft.p99, ideal.inter_token.p99,
+                                     slack=slo_slack)
+    scored = replace(cfg, slo=slo)
+    train_base = standalone(train, cfg)
+
+    cells: list[LLMColocationCell] = []
+    for policy in policies:
+        result = run_colocation(policy, [llm, train], scored)
+        j = result.job(f"{llm_model}#0")
+        t = result.job(f"{training_model}#0")
+        assert j.serving is not None
+        assert j.serving.ttft is not None
+        assert j.serving.inter_token is not None
+        cells.append(LLMColocationCell(
+            policy=policy,
+            ttft_p99=j.serving.ttft.p99,
+            inter_token_p99=j.serving.inter_token.p99,
+            ideal_ttft_p99=ideal.ttft.p99,
+            ideal_inter_token_p99=ideal.inter_token.p99,
+            slo_attainment=j.serving.slo_attainment,
+            goodput=j.serving.goodput,
+            evicted=j.evicted,
+            training_norm=(t.rate / train_base.rate
+                           if train_base.rate > 0 else 0.0),
+        ))
+    return LLMColocationResult(
+        llm_model=llm_model, training_model=training_model, load=load,
+        slo=slo, cells=cells,
     )

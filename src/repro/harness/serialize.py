@@ -14,12 +14,34 @@ import pathlib
 from typing import Any
 
 from ..errors import HarnessError
-from ..metrics import LatencySummary
+from ..metrics import LatencySummary, ServingSummary
 from .colocate import JobResult, RunConfig, RunResult
 
 __all__ = ["result_to_dict", "dict_to_result", "save_result", "load_result"]
 
 _FORMAT_VERSION = 1
+
+
+def _serving_to_dict(serving: ServingSummary) -> dict[str, Any]:
+    payload = dataclasses.asdict(serving)
+    # Nested LatencySummary fields become plain dicts via asdict; keep
+    # None as None so absence survives the roundtrip.
+    return payload
+
+
+def _serving_from_dict(payload: dict[str, Any]) -> ServingSummary:
+    ttft = payload.get("ttft")
+    inter_token = payload.get("inter_token")
+    return ServingSummary(
+        completed=payload["completed"],
+        evicted=payload["evicted"],
+        tokens=payload["tokens"],
+        span=payload["span"],
+        ttft=LatencySummary(**ttft) if ttft is not None else None,
+        inter_token=(LatencySummary(**inter_token)
+                     if inter_token is not None else None),
+        good=payload["good"],
+    )
 
 
 def result_to_dict(result: RunResult) -> dict[str, Any]:
@@ -33,9 +55,14 @@ def result_to_dict(result: RunResult) -> dict[str, Any]:
             "completed": job.completed,
             "rate": job.rate,
             "pending": job.pending,
+            "evicted": job.evicted,
         }
         if job.latency is not None:
             payload["latency"] = dataclasses.asdict(job.latency)
+        if job.queueing is not None:
+            payload["queueing"] = dataclasses.asdict(job.queueing)
+        if job.serving is not None:
+            payload["serving"] = _serving_to_dict(job.serving)
         jobs[client_id] = payload
     return {
         "format_version": _FORMAT_VERSION,
@@ -87,6 +114,12 @@ def dict_to_result(payload: dict[str, Any]) -> RunResult:
         latency = None
         if "latency" in job:
             latency = LatencySummary(**job["latency"])
+        queueing = None
+        if "queueing" in job:
+            queueing = LatencySummary(**job["queueing"])
+        serving = None
+        if "serving" in job:
+            serving = _serving_from_dict(job["serving"])
         jobs[client_id] = JobResult(
             client_id=job["client_id"],
             model=job["model"],
@@ -95,6 +128,9 @@ def dict_to_result(payload: dict[str, Any]) -> RunResult:
             rate=job["rate"],
             latency=latency,
             pending=job["pending"],
+            queueing=queueing,
+            serving=serving,
+            evicted=job.get("evicted", 0),
         )
     return RunResult(
         policy=payload["policy"],

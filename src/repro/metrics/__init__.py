@@ -1,6 +1,7 @@
-"""Evaluation metrics: tail latency and normalized/system throughput."""
+"""Evaluation metrics: tail latency, serving SLOs, and throughput."""
 
 from .latency import LatencySummary, percentile
+from .serving import ServingSLO, ServingSummary
 from .throughput import (
     ThroughputSample,
     normalized_throughput,
@@ -9,6 +10,8 @@ from .throughput import (
 
 __all__ = [
     "LatencySummary",
+    "ServingSLO",
+    "ServingSummary",
     "ThroughputSample",
     "normalized_throughput",
     "percentile",

@@ -1,0 +1,147 @@
+"""SLO-aware serving metrics for request-driven (LLM) workloads.
+
+Trace-model inference reports one number per request (end-to-end
+latency, summarized by :class:`~repro.metrics.latency.LatencySummary`).
+Autoregressive serving is judged on a finer clock — following the
+GPU-Virt-Bench framing, an isolation system is scored on the metrics a
+serving operator actually alarms on:
+
+* **TTFT** (time to first token) — arrival to the first generated
+  token, i.e. queueing + admission + prefill;
+* **inter-token latency** (a.k.a. time between tokens) — the gap
+  between consecutive tokens of one request during decode;
+* **goodput under an SLO** — the rate of completed requests that met
+  *both* bounds, which is the number capacity planning runs on
+  (throughput alone rewards systems that starve the tail).
+
+:class:`ServingSummary` aggregates a measurement window;
+:class:`ServingSLO` carries the bounds.  The builders take plain
+sample arrays so this module stays free of workload-driver imports —
+:class:`~repro.workloads.llm.LLMServingJob` extracts the windowed
+samples and calls :meth:`ServingSummary.of`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..errors import HarnessError
+from .latency import LatencySummary
+
+__all__ = ["ServingSLO", "ServingSummary"]
+
+
+@dataclass(frozen=True)
+class ServingSLO:
+    """Latency bounds a completed request must meet to count as good.
+
+    Defaults are deliberately loose multiples of the built-in serving
+    models' idle-device step times; experiments that quote goodput
+    should set bounds relative to measured isolated behaviour (the
+    harness uses ``scaled_to_ideal``).
+    """
+
+    #: time-to-first-token bound (seconds)
+    ttft: float = 0.25
+    #: per-gap inter-token latency bound (seconds); a request is good
+    #: only if *every* token gap meets it (worst-gap semantics — one
+    #: visible stall breaks the stream even if the p50 is fine)
+    inter_token: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.ttft <= 0 or self.inter_token <= 0:
+            raise HarnessError("SLO bounds must be > 0")
+
+    def met_by(self, ttft: float, worst_gap: float) -> bool:
+        """Did a request with these timings meet the SLO?"""
+        return ttft <= self.ttft and worst_gap <= self.inter_token
+
+    @staticmethod
+    def scaled_to_ideal(ideal_ttft_p99: float, ideal_gap_p99: float,
+                        slack: float = 1.5) -> "ServingSLO":
+        """Bounds at ``slack`` times the isolated p99s.
+
+        The paper's isolation criterion is relative (co-located tail
+        within a small factor of isolated), so the serving SLO is
+        anchored the same way.
+        """
+        if slack <= 1:
+            raise HarnessError("slack must be > 1")
+        return ServingSLO(ttft=ideal_ttft_p99 * slack,
+                          inter_token=ideal_gap_p99 * slack)
+
+
+@dataclass(frozen=True)
+class ServingSummary:
+    """Windowed serving metrics of one LLM service.
+
+    ``ttft`` summarizes requests whose first token landed in the
+    window; ``inter_token`` pools every token gap whose later token
+    landed in the window (in-flight and evicted requests included, so
+    a stall cannot hide by never finishing); ``completed`` / ``good``
+    count requests that *finished* in the window.
+    """
+
+    completed: int
+    evicted: int
+    tokens: int
+    span: float
+    ttft: LatencySummary | None
+    inter_token: LatencySummary | None
+    #: completed requests that met the SLO (== completed when no SLO
+    #: was supplied — an unstated SLO rejects nothing)
+    good: int
+
+    def __post_init__(self) -> None:
+        if self.span <= 0:
+            raise HarnessError("span must be > 0")
+        if self.good > self.completed:
+            raise HarnessError("good requests cannot exceed completed")
+
+    @property
+    def tokens_per_s(self) -> float:
+        return self.tokens / self.span
+
+    @property
+    def requests_per_s(self) -> float:
+        return self.completed / self.span
+
+    @property
+    def goodput(self) -> float:
+        """SLO-compliant completed requests per second."""
+        return self.good / self.span
+
+    @property
+    def slo_attainment(self) -> float:
+        """Fraction of completed requests that met the SLO (nan if none)."""
+        if self.completed == 0:
+            return float("nan")
+        return self.good / self.completed
+
+    @staticmethod
+    def of(*, ttfts: Sequence[float], gaps: Sequence[float],
+           request_timings: Sequence[tuple[float, float]],
+           evicted: int, tokens: int, span: float,
+           slo: ServingSLO | None = None) -> "ServingSummary":
+        """Build a summary from windowed sample arrays.
+
+        ``request_timings`` holds one ``(ttft, worst_gap)`` pair per
+        *completed* request — the quantities the SLO is checked
+        against.  ``ttfts`` and ``gaps`` are the pooled sample arrays
+        described on the class.
+        """
+        if span <= 0:
+            raise HarnessError("span must be > 0")
+        good = len(request_timings) if slo is None else sum(
+            1 for ttft, worst in request_timings if slo.met_by(ttft, worst)
+        )
+        return ServingSummary(
+            completed=len(request_timings),
+            evicted=evicted,
+            tokens=tokens,
+            span=span,
+            ttft=LatencySummary.of(ttfts) if len(ttfts) else None,
+            inter_token=LatencySummary.of(gaps) if len(gaps) else None,
+            good=good,
+        )

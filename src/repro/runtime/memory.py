@@ -26,6 +26,10 @@ class MemoryManager:
         self.memory = memory if memory is not None else DeviceMemory()
         self._live: dict[str, int] = {}  # buffer name -> element count
         self._counter = itertools.count()
+        #: lifetime accounting — conservation audits (e.g. the LLM
+        #: KV-cache drain check) assert allocated == freed at shutdown
+        self.allocated_elements_total = 0
+        self.freed_elements_total = 0
 
     def malloc(self, num_elements: int, dtype: Any = np.float64) -> GlobalRef:
         """Allocate a device buffer and return its handle."""
@@ -36,12 +40,14 @@ class MemoryManager:
         name = f"dev_{next(self._counter)}"
         ref = self.memory.alloc(num_elements, dtype=dtype, name=name)
         self._live[name] = num_elements
+        self.allocated_elements_total += num_elements
         return ref
 
     def free(self, ref: GlobalRef) -> None:
         """Release a buffer previously returned by :meth:`malloc`."""
         if ref.buffer not in self._live:
             raise RuntimeAPIError(f"free of unknown buffer {ref.buffer!r}")
+        self.freed_elements_total += self._live[ref.buffer]
         del self._live[ref.buffer]
         self.memory.free(ref)
 
@@ -71,6 +77,7 @@ class MemoryManager:
         """
         names = list(self._live)
         for name in names:
+            self.freed_elements_total += self._live[name]
             del self._live[name]
             self.memory.free(GlobalRef(name))
         return len(names)

@@ -2,6 +2,15 @@
 
 from .distributions import DurationComponent, DurationMixture
 from .inference import InferenceJob, RequestRecord
+from .llm import (
+    KVCache,
+    LLM_MODELS,
+    LLMRequest,
+    LLMServingJob,
+    LLMServingModel,
+    TokenLengths,
+    get_llm_model,
+)
 from .models import (
     INFERENCE_MODELS,
     TRAINING_MODELS,
@@ -18,7 +27,13 @@ __all__ = [
     "DurationMixture",
     "INFERENCE_MODELS",
     "InferenceJob",
+    "KVCache",
+    "LLM_MODELS",
+    "LLMRequest",
+    "LLMServingJob",
+    "LLMServingModel",
     "RequestRecord",
+    "TokenLengths",
     "TRAINING_MODELS",
     "Trace",
     "TraceOp",
@@ -26,4 +41,5 @@ __all__ = [
     "WorkloadKind",
     "WorkloadModel",
     "get_model",
+    "get_llm_model",
 ]

@@ -105,6 +105,26 @@ class InferenceJob:
                         until: float = float("inf")) -> LatencySummary:
         return LatencySummary.of(self.latencies(since=since, until=until))
 
+    def queueing_delays(self, *, since: float = 0.0,
+                        until: float = float("inf")) -> list[float]:
+        """Arrival-to-start delays of requests completed in the window.
+
+        End-to-end latency already *contains* this delay, but reporting
+        it separately makes submission-time queueing observable: under
+        bursty arrivals (``maf_trace`` spike seconds) a request can wait
+        behind the backlog far longer than it executes, and a latency
+        summary alone cannot say which share of the p99 is queueing.
+        """
+        return [r.queueing for r in self.records
+                if since <= r.completed < until]
+
+    def queueing_summary(self, *, since: float = 0.0,
+                         until: float = float("inf")
+                         ) -> LatencySummary | None:
+        """Summary of queueing delays, or None if nothing completed."""
+        delays = self.queueing_delays(since=since, until=until)
+        return LatencySummary.of(delays) if delays else None
+
     def completions_in(self, start: float, end: float) -> int:
         """Requests completed within [start, end)."""
         return sum(1 for r in self.records if start <= r.completed < end)

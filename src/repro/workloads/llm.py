@@ -1,0 +1,685 @@
+"""LLM inference serving: autoregressive decode under continuous batching.
+
+The Table 2 suite drives every service with a *fixed* kernel trace per
+request.  Modern serving traffic is autoregressive: each request runs a
+**prefill** phase whose cost scales with its prompt, then a **decode**
+loop that emits one token per step until the sampled output length is
+reached, while a **continuous-batching** scheduler admits, merges, and
+evicts requests mid-flight and the **KV cache** grows by one token per
+sequence per step.  Following Revati's observation that this workload
+class is faithfully simulable GPU-free, this module models it on the
+same discrete-event substrate as the rest of the suite:
+
+* an :class:`LLMServingModel` describes one served model — prompt and
+  output length distributions, per-token prefill/decode costs, KV
+  bytes per token, batching limits, and the KV pool carved out of
+  device memory;
+* a :class:`KVCache` accounts per-request cache blocks (paged, vLLM
+  style) through :class:`~repro.runtime.memory.MemoryManager`, so
+  allocation, growth, eviction, and release flow through the same
+  allocator the functional runtime uses and conservation is auditable
+  (bytes allocated == bytes freed at drain);
+* an :class:`LLMServingJob` drives requests from a
+  :class:`~repro.traffic.TrafficTrace` through a sharing policy: it
+  submits prefill-chunk and batched-decode-step kernels, admits
+  waiting requests whenever batch slots and KV headroom allow, and
+  shelves the *youngest* running request when the pool runs dry.
+
+Kernel streams are deterministic: lengths are sampled once from a
+seeded generator, and kernel descriptors are pure functions of
+``(model, phase, bucket)`` — names repeat, so Tally's transparent
+profiler cache works exactly as it does for the trace models.  Decode
+cost is quantized to the batch bucket (next power of two) so a kernel
+name always implies one duration.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..baselines.base import Priority, SharingPolicy
+from ..errors import WorkloadError
+from ..gpu.engine import EventLoop
+from ..gpu.kernel import KernelDescriptor
+from ..gpu.specs import GPUSpec
+from ..metrics.serving import ServingSLO, ServingSummary
+from ..runtime.memory import MemoryManager
+from ..trace import QueueDepth
+from ..traffic.maf import TrafficTrace
+
+__all__ = [
+    "TokenLengths",
+    "LLMServingModel",
+    "LLM_MODELS",
+    "get_llm_model",
+    "KVCache",
+    "LLMRequest",
+    "LLMServingJob",
+]
+
+
+# ---------------------------------------------------------------------------
+# Model description
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class TokenLengths:
+    """Bounded lognormal token-count distribution (prompt or output)."""
+
+    mean: float
+    sigma: float
+    minimum: int
+    maximum: int
+
+    def __post_init__(self) -> None:
+        if self.mean <= 0 or self.sigma < 0:
+            raise WorkloadError("mean must be > 0 and sigma >= 0")
+        if not 1 <= self.minimum <= self.maximum:
+            raise WorkloadError("need 1 <= minimum <= maximum")
+
+    def sample(self, count: int, rng: np.random.Generator) -> np.ndarray:
+        """``count`` integer lengths, clipped into [minimum, maximum]."""
+        mu = np.log(self.mean) - 0.5 * self.sigma ** 2
+        raw = rng.lognormal(mu, self.sigma, size=count)
+        return np.clip(np.rint(raw), self.minimum,
+                       self.maximum).astype(int)
+
+
+def _pow2_bucket(value: int, cap: int) -> int:
+    """Smallest power of two >= value, clipped to ``cap``."""
+    bucket = 1
+    while bucket < value:
+        bucket *= 2
+    return min(bucket, cap)
+
+
+@dataclass(frozen=True)
+class LLMServingModel:
+    """Statistical description of one autoregressively served model.
+
+    Per-token costs are *condensed* the same way the Table 2 traces
+    are: shorter than the real model's, same phase structure and
+    interference physics, so colocation results normalize cleanly.
+    """
+
+    name: str
+    #: parameter count (drives the weight-memory footprint)
+    params: float
+    prompt_tokens: TokenLengths
+    output_tokens: TokenLengths
+    #: idle-device prefill cost per prompt token (seconds)
+    prefill_token_time: float
+    #: idle-device base cost of one decode step (seconds)
+    decode_step_time: float
+    #: incremental decode-step cost per sequence in the batch (seconds)
+    decode_seq_time: float
+    #: host-side work between steps (sampling, detokenize, scheduling)
+    host_gap: float
+    #: KV-cache bytes per token per sequence (2 x layers x hidden x 2B)
+    kv_bytes_per_token: int
+    #: KV pool carved out for this service (bytes)
+    kv_capacity_bytes: int
+    #: max sequences decoded per step
+    max_batch: int = 16
+    #: prompt tokens processed per prefill kernel
+    prefill_chunk: int = 128
+    #: tokens per KV block (paged-attention granularity)
+    kv_block_tokens: int = 16
+
+    def __post_init__(self) -> None:
+        if min(self.prefill_token_time, self.decode_step_time,
+               self.decode_seq_time) <= 0 or self.host_gap < 0:
+            raise WorkloadError(f"{self.name}: phase times must be > 0")
+        if self.kv_bytes_per_token < 1 or self.kv_capacity_bytes < 1:
+            raise WorkloadError(f"{self.name}: KV sizes must be >= 1")
+        if min(self.max_batch, self.prefill_chunk,
+               self.kv_block_tokens) < 1:
+            raise WorkloadError(f"{self.name}: batching knobs must be >= 1")
+        if self.kv_capacity_bytes < self.kv_bytes_per_token * (
+                self.prompt_tokens.maximum + self.output_tokens.maximum):
+            raise WorkloadError(
+                f"{self.name}: KV pool cannot hold even one max-length "
+                f"request"
+            )
+
+    # ------------------------------------------------------------------
+    def mean_request_time(self) -> float:
+        """Idle-device, batch-of-one service time of an average request.
+
+        The quantity ``load`` is defined against (as for the trace
+        models): an arrival rate of ``load / mean_request_time`` keeps
+        a serial server busy ``load`` of the time.  Continuous
+        batching serves faster than serially, so the same load leaves
+        more idle headroom than it would for a trace-model service.
+        """
+        prefill = self.prefill_token_time * self.prompt_tokens.mean
+        steps = self.output_tokens.mean
+        step = self.decode_step_time + self.decode_seq_time + self.host_gap
+        return prefill + steps * step
+
+    def kv_capacity_tokens(self) -> int:
+        return self.kv_capacity_bytes // self.kv_bytes_per_token
+
+    # ------------------------------------------------------------------
+    # Deterministic kernel construction.  A name is hashed into stable
+    # pseudo-random block geometry, so every occurrence of a kernel
+    # name carries identical timing — the property both Tally's
+    # profiler cache and the differential oracles rely on.
+    # ------------------------------------------------------------------
+    def _kernel(self, phase: str, bucket: int, duration: float,
+                spec: GPUSpec) -> KernelDescriptor:
+        name = f"{self.name}_{phase}_{bucket}"
+        h = zlib.crc32(name.encode())
+        threads = 512 if h & 1 else 1024
+        capacity = spec.concurrent_blocks(threads)
+        # Per-block time in the same 4-120 us band as the trace models.
+        target = 8e-6 + (h % 997) / 997.0 * 40e-6
+        target = min(target, duration)
+        waves = max(1, min(256, round(duration / target)))
+        # Decode steps at small batch underfill the device (the classic
+        # serving-underutilization gap best-effort work soaks up);
+        # prefill and big batches mostly fill it.
+        fill = (0.25 + 0.5 * min(1.0, bucket / self.max_batch)
+                if phase == "decode" else 0.85)
+        blocks = (waves - 1) * capacity + max(1, int(capacity * fill))
+        return KernelDescriptor(
+            name=name,
+            num_blocks=blocks,
+            threads_per_block=threads,
+            block_duration=duration / waves,
+            ptb_overhead_fraction=0.02 + (h % 41) / 1000.0,
+        )
+
+    def prefill_kernel(self, chunk_tokens: int,
+                       spec: GPUSpec) -> KernelDescriptor:
+        """One prefill chunk of ``chunk_tokens`` prompt tokens."""
+        bucket = _pow2_bucket(chunk_tokens, self.prefill_chunk)
+        return self._kernel("prefill", bucket,
+                            self.prefill_token_time * bucket, spec)
+
+    def decode_kernel(self, batch: int, spec: GPUSpec) -> KernelDescriptor:
+        """One decode step over ``batch`` sequences (bucket-quantized)."""
+        bucket = _pow2_bucket(batch, self.max_batch)
+        duration = self.decode_step_time + self.decode_seq_time * bucket
+        return self._kernel("decode", bucket, duration, spec)
+
+
+#: Built-in serving models.  Per-token costs are condensed ~10x from
+#: A100 fp16 reality (llama-2-7b decodes ~25 ms/token); KV bytes per
+#: token are the real architecture numbers (2 x layers x hidden x
+#: 2 bytes x 2 tensors), and each pool is what remains of 40 GB after
+#: fp16 weights and runtime overhead when co-located with a trainer.
+LLM_MODELS: dict[str, LLMServingModel] = {
+    "llama7b_serve": LLMServingModel(
+        name="llama7b_serve", params=7e9,
+        prompt_tokens=TokenLengths(mean=256, sigma=0.8, minimum=16,
+                                   maximum=1024),
+        output_tokens=TokenLengths(mean=64, sigma=0.7, minimum=4,
+                                   maximum=256),
+        prefill_token_time=8e-6,
+        decode_step_time=1.6e-3,
+        decode_seq_time=45e-6,
+        host_gap=120e-6,
+        kv_bytes_per_token=512 * 1024,  # 32 layers x 4096 x 2 x 2B
+        kv_capacity_bytes=6 * 1024 ** 3,
+        max_batch=16,
+    ),
+    "llama13b_serve": LLMServingModel(
+        name="llama13b_serve", params=13e9,
+        prompt_tokens=TokenLengths(mean=512, sigma=0.7, minimum=32,
+                                   maximum=2048),
+        output_tokens=TokenLengths(mean=128, sigma=0.7, minimum=8,
+                                   maximum=512),
+        prefill_token_time=14e-6,
+        decode_step_time=2.6e-3,
+        decode_seq_time=70e-6,
+        host_gap=120e-6,
+        kv_bytes_per_token=800 * 1024,  # 40 layers x 5120 x 2 x 2B
+        kv_capacity_bytes=5 * 1024 ** 3,
+        max_batch=8,
+    ),
+}
+
+
+def get_llm_model(name: str) -> LLMServingModel:
+    """Look up a serving model by name."""
+    try:
+        return LLM_MODELS[name]
+    except KeyError:
+        raise WorkloadError(
+            f"unknown LLM serving model {name!r}; "
+            f"choose from {sorted(LLM_MODELS)}"
+        ) from None
+
+
+# ---------------------------------------------------------------------------
+# KV cache
+# ---------------------------------------------------------------------------
+
+class KVCache:
+    """Paged per-request KV accounting over a bounded pool.
+
+    Every block is a real :class:`~repro.runtime.memory.MemoryManager`
+    allocation (one element per token), so cache pressure is exercised
+    through the same allocator the functional runtime uses and the
+    drain invariant — every element allocated is eventually freed — is
+    checked against the manager's lifetime counters, not a shadow
+    tally.
+    """
+
+    def __init__(self, model: LLMServingModel,
+                 manager: MemoryManager | None = None) -> None:
+        self.model = model
+        self.manager = manager if manager is not None else MemoryManager()
+        self.capacity_tokens = model.kv_capacity_tokens()
+        self._blocks: dict[int, list] = {}  # request index -> block refs
+        self._block_tokens = model.kv_block_tokens
+        self.block_allocs = 0
+        self.block_frees = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def used_tokens(self) -> int:
+        return self.manager.live_bytes()  # one element per token
+
+    @property
+    def used_bytes(self) -> int:
+        return self.used_tokens * self.model.kv_bytes_per_token
+
+    @property
+    def utilization(self) -> float:
+        return self.used_tokens / self.capacity_tokens
+
+    def blocks_for(self, tokens: int) -> int:
+        return -(-tokens // self._block_tokens)
+
+    def can_hold(self, tokens: int) -> bool:
+        needed = self.blocks_for(tokens) * self._block_tokens
+        return self.used_tokens + needed <= self.capacity_tokens
+
+    # ------------------------------------------------------------------
+    def admit(self, index: int, tokens: int) -> None:
+        """Reserve blocks for a request entering with ``tokens`` tokens."""
+        if index in self._blocks:
+            raise WorkloadError(f"request {index} already holds KV blocks")
+        if not self.can_hold(tokens):
+            raise WorkloadError(
+                f"KV pool cannot hold {tokens} tokens "
+                f"({self.used_tokens}/{self.capacity_tokens} used)"
+            )
+        refs = [self.manager.malloc(self._block_tokens)
+                for _ in range(self.blocks_for(tokens))]
+        self._blocks[index] = refs
+        self.block_allocs += len(refs)
+
+    def grow(self, index: int, tokens_now: int) -> bool:
+        """Ensure ``tokens_now`` tokens fit; returns False on pressure.
+
+        Growth is block-granular: most steps are free, and a False
+        return means the pool is exhausted — the driver must evict.
+        """
+        refs = self._blocks.get(index)
+        if refs is None:
+            raise WorkloadError(f"request {index} holds no KV blocks")
+        needed = self.blocks_for(tokens_now)
+        while len(refs) < needed:
+            if self.used_tokens + self._block_tokens > self.capacity_tokens:
+                return False
+            refs.append(self.manager.malloc(self._block_tokens))
+            self.block_allocs += 1
+        return True
+
+    def release(self, index: int) -> None:
+        """Free every block of a finished or evicted request."""
+        refs = self._blocks.pop(index, None)
+        if refs is None:
+            return
+        for ref in refs:
+            self.manager.free(ref)
+        self.block_frees += len(refs)
+
+    def release_all(self) -> None:
+        for index in list(self._blocks):
+            self.release(index)
+
+
+# ---------------------------------------------------------------------------
+# Requests
+# ---------------------------------------------------------------------------
+
+@dataclass
+class LLMRequest:
+    """One serving request's timeline."""
+
+    index: int
+    arrival: float
+    prompt_tokens: int
+    output_tokens: int
+    admitted: float | None = None
+    first_token: float | None = None
+    #: generation timestamp of every emitted token (first included)
+    token_times: list[float] = field(default_factory=list)
+    finished: float | None = None
+    evicted: bool = False
+
+    @property
+    def generated(self) -> int:
+        return len(self.token_times)
+
+    @property
+    def completed(self) -> bool:
+        return self.finished is not None and not self.evicted
+
+    @property
+    def ttft(self) -> float:
+        if self.first_token is None:
+            raise WorkloadError(f"request {self.index} has no first token")
+        return self.first_token - self.arrival
+
+    @property
+    def queueing(self) -> float:
+        """Arrival-to-admission delay (the continuous-batching queue)."""
+        if self.admitted is None:
+            raise WorkloadError(f"request {self.index} was never admitted")
+        return self.admitted - self.arrival
+
+    def inter_token_latencies(self) -> list[float]:
+        times = self.token_times
+        return [times[i] - times[i - 1] for i in range(1, len(times))]
+
+
+# ---------------------------------------------------------------------------
+# The continuous-batching driver
+# ---------------------------------------------------------------------------
+
+class LLMServingJob:
+    """Drives one LLM serving endpoint through a sharing policy.
+
+    The server loop mirrors a vLLM-style engine condensed to the
+    timing-relevant decisions:
+
+    1. **admission** — before every step, waiting requests are admitted
+       FCFS while batch slots and KV headroom last;
+    2. **prefill first** — an admitted request's prompt runs as a chain
+       of prefill-chunk kernels; its completion emits the first token
+       and moves the request into the decode batch;
+    3. **batched decode** — one kernel per step advances every running
+       sequence by one token and grows its KV by one token;
+    4. **eviction** — when KV growth fails mid-decode, the *youngest*
+       running request is evicted (terminal here: the request is
+       shed and counted, the metric the SLO analysis needs) until the
+       survivors fit.
+
+    Everything is deterministic: request lengths come from one seeded
+    generator, and all scheduling follows the event loop's stable
+    order — identical seeds give bit-identical token timelines.
+    """
+
+    def __init__(self, model: LLMServingModel, traffic: TrafficTrace,
+                 policy: SharingPolicy, client_id: str, *,
+                 priority: Priority = Priority.HIGH,
+                 seed: int = 0,
+                 kv_manager: MemoryManager | None = None) -> None:
+        self.model = model
+        self.traffic = traffic
+        self.policy = policy
+        self.engine: EventLoop = policy.engine
+        self.client_id = client_id
+        self.priority = priority
+        self.spec = policy.device.spec
+        self.kv = KVCache(model, kv_manager)
+        self.requests: list[LLMRequest] = []
+        self.evictions = 0
+        self.crashed = False
+        self._waiting: list[LLMRequest] = []
+        self._prefilling: list[LLMRequest] = []
+        self._running: list[LLMRequest] = []
+        self._arrival_index = 0
+        self._busy = False
+        self._started = False
+        rng = np.random.default_rng(
+            (zlib.crc32(model.name.encode()) << 8) ^ seed)
+        count = traffic.count
+        self._prompt_lengths = model.prompt_tokens.sample(count, rng)
+        self._output_lengths = model.output_tokens.sample(count, rng)
+        policy.register_client(client_id, priority)
+
+    # ------------------------------------------------------------------
+    # Public accessors (harness contract)
+    # ------------------------------------------------------------------
+    @property
+    def completed_requests(self) -> int:
+        return sum(1 for r in self.requests if r.completed)
+
+    @property
+    def pending_requests(self) -> int:
+        """Requests admitted or queued but not yet finished/evicted."""
+        return (len(self._waiting) + len(self._prefilling)
+                + len(self._running))
+
+    def completions_in(self, start: float, end: float) -> int:
+        return sum(1 for r in self.requests
+                   if r.completed and start <= r.finished < end)
+
+    def tokens_in(self, start: float, end: float) -> int:
+        return sum(1 for r in self.requests for t in r.token_times
+                   if start <= t < end)
+
+    def token_timeline(self) -> list[tuple[int, float]]:
+        """Every ``(request index, token time)``, in generation order.
+
+        The bit-identity oracle: two runs agree iff these lists are
+        exactly equal.
+        """
+        events = [(t, r.index) for r in self.requests
+                  for t in r.token_times]
+        events.sort()
+        return [(index, t) for t, index in events]
+
+    def queueing_summary(self, *, since: float = 0.0,
+                         until: float = float("inf")):
+        """Admission-queue delays of requests admitted in the window."""
+        from ..metrics.latency import LatencySummary
+
+        samples = [r.queueing for r in self.requests
+                   if r.admitted is not None
+                   and since <= r.admitted < until]
+        return LatencySummary.of(samples) if samples else None
+
+    def serving_summary(self, *, since: float = 0.0,
+                        until: float = float("inf"),
+                        slo: ServingSLO | None = None) -> ServingSummary:
+        """Windowed :class:`~repro.metrics.serving.ServingSummary`."""
+        ttfts = [r.ttft for r in self.requests
+                 if r.first_token is not None
+                 and since <= r.first_token < until]
+        gaps = [gap for r in self.requests
+                for t, gap in zip(r.token_times[1:],
+                                  r.inter_token_latencies())
+                if since <= t < until]
+        timings = []
+        for r in self.requests:
+            if r.completed and since <= r.finished < until:
+                its = r.inter_token_latencies()
+                timings.append((r.ttft, max(its) if its else 0.0))
+        evicted = sum(1 for r in self.requests
+                      if r.evicted and since <= r.finished < until)
+        span = min(until, self.engine.now) - since
+        if span <= 0:
+            raise WorkloadError(
+                f"summary window [{since}, {until}) is empty at "
+                f"t={self.engine.now}"
+            )
+        return ServingSummary.of(
+            ttfts=ttfts, gaps=gaps, request_timings=timings,
+            evicted=evicted, tokens=self.tokens_in(since, until),
+            span=span, slo=slo,
+        )
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Arm the arrival process (call once, before running the engine)."""
+        if self._started:
+            raise WorkloadError(f"job {self.client_id!r} already started")
+        self._started = True
+        self._schedule_next_arrival()
+
+    def crash(self) -> None:
+        """The serving process dies: shed all state, free all KV."""
+        self.crashed = True
+        self._waiting.clear()
+        self._prefilling.clear()
+        self._running.clear()
+        self._busy = False
+        self.kv.release_all()
+
+    # ------------------------------------------------------------------
+    # Arrivals
+    # ------------------------------------------------------------------
+    def _schedule_next_arrival(self) -> None:
+        if self._arrival_index >= self.traffic.count:
+            return
+        when = float(self.traffic.arrivals[self._arrival_index])
+        self._arrival_index += 1
+        self.engine.schedule_at(when, self._on_arrival)
+
+    def _on_arrival(self) -> None:
+        if self.crashed:
+            return
+        index = len(self.requests)
+        request = LLMRequest(
+            index=index, arrival=self.engine.now,
+            prompt_tokens=int(self._prompt_lengths[index]),
+            output_tokens=int(self._output_lengths[index]),
+        )
+        self.requests.append(request)
+        self._waiting.append(request)
+        self._schedule_next_arrival()
+        self._sample_queue_depth()
+        if not self._busy:
+            self._busy = True
+            self._step()
+
+    def _sample_queue_depth(self) -> None:
+        tracer = self.policy.tracer
+        if tracer.enabled:
+            tracer.emit(QueueDepth(
+                ts=self.engine.now, client_id=self.client_id, kernel="",
+                depth=self.pending_requests,
+            ))
+
+    # ------------------------------------------------------------------
+    # The engine loop
+    # ------------------------------------------------------------------
+    def _admit(self) -> None:
+        """Pull waiting requests into the engine FCFS while room lasts."""
+        while (self._waiting
+               and len(self._prefilling) + len(self._running)
+               < self.model.max_batch
+               and self.kv.can_hold(self._waiting[0].prompt_tokens + 1)):
+            request = self._waiting.pop(0)
+            request.admitted = self.engine.now
+            self.kv.admit(request.index, request.prompt_tokens + 1)
+            self._prefilling.append(request)
+
+    def _step(self) -> None:
+        """Run one engine step: prefill when pending, decode otherwise."""
+        if self.crashed:
+            return
+        self._admit()
+        if self._prefilling:
+            self._start_prefill(self._prefilling[0])
+        elif self._running:
+            self._start_decode()
+        else:
+            self._busy = False
+            self._sample_queue_depth()
+
+    def _start_prefill(self, request: LLMRequest) -> None:
+        remaining = request.prompt_tokens
+        chunk = self.model.prefill_chunk
+
+        def submit_next() -> None:
+            nonlocal remaining
+            if self.crashed:
+                return
+            if remaining <= 0:
+                self._finish_prefill(request)
+                return
+            tokens = min(chunk, remaining)
+            remaining -= tokens
+            kernel = self.model.prefill_kernel(tokens, self.spec)
+            self.policy.submit(self.client_id, kernel, submit_next)
+
+        submit_next()
+
+    def _finish_prefill(self, request: LLMRequest) -> None:
+        """Prefill done: the first token exists, decode takes over."""
+        now = self.engine.now
+        request.first_token = now
+        request.token_times.append(now)
+        self._prefilling.remove(request)
+        if request.generated >= request.output_tokens:
+            self._complete(request)  # degenerate single-token output
+        else:
+            self._running.append(request)
+        self.engine.schedule(self.model.host_gap, self._step)
+
+    def _start_decode(self) -> None:
+        kernel = self.model.decode_kernel(len(self._running), self.spec)
+        self.policy.submit(self.client_id, kernel, self._finish_decode)
+
+    def _finish_decode(self) -> None:
+        if self.crashed:
+            return
+        now = self.engine.now
+        finished: list[LLMRequest] = []
+        for request in list(self._running):
+            if request.evicted:
+                continue  # shed as a victim earlier in this same step
+            if not self.kv.grow(request.index,
+                                request.prompt_tokens + request.generated
+                                + 1):
+                self._evict_for_headroom(request)
+                if request.evicted:
+                    continue
+            request.token_times.append(now)
+            if request.generated >= request.output_tokens:
+                finished.append(request)
+        for request in finished:
+            self._running.remove(request)
+            self._complete(request)
+        self.engine.schedule(self.model.host_gap, self._step)
+
+    def _evict_for_headroom(self, needy: LLMRequest) -> None:
+        """Shed the youngest running request(s) until ``needy`` fits.
+
+        The youngest sequence holds the least sunk work, so shedding it
+        wastes the fewest tokens — the standard serving heuristic.  If
+        the youngest *is* ``needy``, it evicts itself.
+        """
+        while self._running:
+            victim = max(self._running, key=lambda r: r.admitted)
+            self._evict(victim)
+            if victim is needy:
+                return
+            if self.kv.grow(needy.index,
+                            needy.prompt_tokens + needy.generated + 1):
+                return
+
+    def _evict(self, request: LLMRequest) -> None:
+        request.evicted = True
+        request.finished = self.engine.now
+        self.kv.release(request.index)
+        self._running.remove(request)
+        self.evictions += 1
+
+    def _complete(self, request: LLMRequest) -> None:
+        request.finished = self.engine.now
+        self.kv.release(request.index)
+        self._sample_queue_depth()

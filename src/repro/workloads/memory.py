@@ -82,6 +82,17 @@ class MemoryFootprint:
 
 def footprint_of(model_name: str) -> MemoryFootprint:
     """Memory footprint estimate for one workload."""
+    from .llm import LLM_MODELS
+
+    llm = LLM_MODELS.get(model_name)
+    if llm is not None:
+        # Serving: fp16 weights plus the explicitly sized KV pool (the
+        # KV cache is the activation budget of an LLM server).
+        return MemoryFootprint(
+            model=model_name,
+            weights=int(llm.params * _INFERENCE_BYTES_PER_PARAM),
+            activations=llm.kv_capacity_bytes,
+        )
     model: WorkloadModel = get_model(model_name)
     try:
         params = PARAMETER_COUNTS[model_name]

@@ -1,0 +1,88 @@
+"""SLO-aware serving metrics."""
+
+import math
+
+import pytest
+
+from repro.errors import HarnessError
+from repro.metrics import ServingSLO, ServingSummary
+
+
+def test_slo_validation():
+    with pytest.raises(HarnessError):
+        ServingSLO(ttft=0, inter_token=0.1)
+    with pytest.raises(HarnessError):
+        ServingSLO(ttft=0.1, inter_token=-1)
+
+
+def test_slo_met_by_worst_gap_semantics():
+    slo = ServingSLO(ttft=0.1, inter_token=0.02)
+    assert slo.met_by(0.05, 0.01)
+    assert not slo.met_by(0.15, 0.01)  # TTFT blown
+    assert not slo.met_by(0.05, 0.05)  # one stalled gap blows it
+
+
+def test_scaled_to_ideal():
+    slo = ServingSLO.scaled_to_ideal(0.010, 0.002, slack=2.0)
+    assert slo.ttft == pytest.approx(0.020)
+    assert slo.inter_token == pytest.approx(0.004)
+    with pytest.raises(HarnessError):
+        ServingSLO.scaled_to_ideal(0.010, 0.002, slack=1.0)
+
+
+def _summary(slo=None):
+    return ServingSummary.of(
+        ttfts=[0.01, 0.02, 0.03],
+        gaps=[0.001, 0.002, 0.004, 0.008],
+        request_timings=[(0.01, 0.002), (0.02, 0.004), (0.03, 0.05)],
+        evicted=1,
+        tokens=120,
+        span=10.0,
+        slo=slo,
+    )
+
+
+def test_summary_rates():
+    s = _summary()
+    assert s.completed == 3
+    assert s.tokens_per_s == pytest.approx(12.0)
+    assert s.requests_per_s == pytest.approx(0.3)
+    # No SLO: every completed request is good.
+    assert s.good == 3
+    assert s.goodput == pytest.approx(0.3)
+    assert s.slo_attainment == pytest.approx(1.0)
+
+
+def test_summary_goodput_under_slo():
+    slo = ServingSLO(ttft=0.025, inter_token=0.01)
+    s = _summary(slo)
+    # Request 3 blows TTFT (0.03 > 0.025) and its worst gap (0.05);
+    # requests 1-2 meet both bounds.
+    assert s.good == 2
+    assert s.goodput == pytest.approx(0.2)
+    assert s.slo_attainment == pytest.approx(2 / 3)
+
+
+def test_summary_percentiles_from_pooled_samples():
+    s = _summary()
+    assert s.ttft is not None and s.inter_token is not None
+    assert s.ttft.p50 == pytest.approx(0.02)
+    assert s.inter_token.p99 <= 0.008
+
+
+def test_empty_window():
+    s = ServingSummary.of(ttfts=[], gaps=[], request_timings=[],
+                          evicted=0, tokens=0, span=5.0)
+    assert s.ttft is None and s.inter_token is None
+    assert s.completed == 0
+    assert math.isnan(s.slo_attainment)
+    assert s.goodput == 0.0
+
+
+def test_summary_validation():
+    with pytest.raises(HarnessError):
+        ServingSummary.of(ttfts=[], gaps=[], request_timings=[],
+                          evicted=0, tokens=0, span=0.0)
+    with pytest.raises(HarnessError):
+        ServingSummary(completed=1, evicted=0, tokens=0, span=1.0,
+                       ttft=None, inter_token=None, good=2)
