@@ -57,7 +57,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
 def _cmd_compare(args: argparse.Namespace) -> int:
     baseline = load_report(args.baseline)
     current = load_report(args.current)
-    report = compare_reports(baseline, current, threshold=args.threshold)
+    report = compare_reports(baseline, current, threshold=args.threshold,
+                             hit_rate_drop=args.hit_rate_drop)
     print(report.format())
     return 0 if report.ok else 1
 
@@ -95,6 +96,10 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--threshold", type=float, default=0.25,
                          help="fail when events/s drops more than this "
                               "fraction below baseline (default 0.25)")
+    compare.add_argument("--hit-rate-drop", type=float, default=0.10,
+                         help="fail when a benchmark's transform-cache "
+                              "hit rate drops more than this many points "
+                              "below baseline (default 0.10)")
     compare.set_defaults(fn=_cmd_compare)
     return parser
 

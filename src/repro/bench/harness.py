@@ -229,7 +229,19 @@ class BenchReport:
             title=f"repro-bench [{self.scale}]"
             + (f" — {self.label}" if self.label else ""),
         )
-        return f"{table}\npeak RSS: {self.peak_rss / 1024:.0f} MiB"
+        lines = [table]
+        for bench in self.benchmarks:
+            if "cache_hit_rate" not in bench.extra:
+                continue
+            extra = bench.extra
+            line = (f"{bench.name} cache: {extra.get('cache_hits', 0)} hits"
+                    f" / {extra.get('cache_misses', 0)} misses"
+                    f" ({float(extra['cache_hit_rate']):.0%} hit rate)")
+            if extra.get("cache_evictions"):
+                line += f", {extra['cache_evictions']} evicted"
+            lines.append(line)
+        lines.append(f"peak RSS: {self.peak_rss / 1024:.0f} MiB")
+        return "\n".join(lines)
 
 
 def append_trajectory(path: str, report: BenchReport) -> list[dict]:

@@ -12,6 +12,12 @@ machine) moves the numbers.
 Comparison is by benchmark *name*: benchmarks present on only one side
 are reported but never fail the gate, so adding a benchmark does not
 require touching the baseline in the same commit.
+
+Benchmarks that record a transform-cache hit rate (``cache_hit_rate``
+in ``extra``, e.g. ``micro.transform_pipeline``) get a second gate: an
+absolute hit-rate drop beyond ``hit_rate_drop`` (default 10 points)
+fails the build even when throughput still squeaks past the threshold —
+a broken memo key shows up there first.
 """
 
 from __future__ import annotations
@@ -45,11 +51,20 @@ def load_report(path: str) -> BenchReport:
 
 @dataclass(frozen=True)
 class Comparison:
-    """One benchmark's baseline-vs-current throughput comparison."""
+    """One benchmark's baseline-vs-current throughput comparison.
+
+    Benchmarks that report a transform-cache hit rate (the
+    ``cache_hit_rate`` key in ``extra``) are additionally gated on it:
+    a memoization bug that recompiles instead of reusing shows up as a
+    hit-rate drop long before the wall-clock noise floor would catch
+    it.
+    """
 
     name: str
     baseline_eps: float
     current_eps: float
+    baseline_hit_rate: float | None = None
+    current_hit_rate: float | None = None
 
     @property
     def ratio(self) -> float:
@@ -61,6 +76,16 @@ class Comparison:
     def regressed(self, threshold: float) -> bool:
         return self.ratio < 1.0 - threshold
 
+    def hit_rate_dropped(self, max_drop: float) -> bool:
+        """Did the cache hit rate fall more than ``max_drop`` (absolute)?
+
+        Only meaningful when both sides report a hit rate; a benchmark
+        gaining or losing the counter between versions never fails.
+        """
+        if self.baseline_hit_rate is None or self.current_hit_rate is None:
+            return False
+        return self.current_hit_rate < self.baseline_hit_rate - max_drop
+
 
 @dataclass
 class RegressionReport:
@@ -70,45 +95,72 @@ class RegressionReport:
     comparisons: list[Comparison]
     only_in_baseline: list[str] = field(default_factory=list)
     only_in_current: list[str] = field(default_factory=list)
+    #: maximum tolerated absolute cache-hit-rate drop
+    hit_rate_drop: float = 0.10
 
     @property
     def regressions(self) -> list[Comparison]:
         return [c for c in self.comparisons if c.regressed(self.threshold)]
 
     @property
+    def hit_rate_regressions(self) -> list[Comparison]:
+        return [c for c in self.comparisons
+                if c.hit_rate_dropped(self.hit_rate_drop)]
+
+    @property
     def ok(self) -> bool:
-        return not self.regressions
+        return not self.regressions and not self.hit_rate_regressions
 
     def format(self) -> str:
         lines = []
         for c in self.comparisons:
             mark = "REGRESSED" if c.regressed(self.threshold) else "ok"
-            lines.append(
+            line = (
                 f"  {c.name}: {c.baseline_eps:,.0f} -> "
                 f"{c.current_eps:,.0f} events/s "
                 f"({c.ratio:.2f}x) [{mark}]"
             )
+            if c.baseline_hit_rate is not None \
+                    and c.current_hit_rate is not None:
+                hr_mark = ("HIT-RATE DROPPED"
+                           if c.hit_rate_dropped(self.hit_rate_drop)
+                           else "ok")
+                line += (f" cache {c.baseline_hit_rate:.0%} -> "
+                         f"{c.current_hit_rate:.0%} [{hr_mark}]")
+            lines.append(line)
         for name in self.only_in_baseline:
             lines.append(f"  {name}: only in baseline (skipped)")
         for name in self.only_in_current:
             lines.append(f"  {name}: new benchmark (no baseline)")
-        verdict = ("OK" if self.ok
-                   else f"FAILED ({len(self.regressions)} regressions)")
+        failures = len(self.regressions) + len(self.hit_rate_regressions)
+        verdict = "OK" if self.ok else f"FAILED ({failures} regressions)"
         header = (f"perf gate {verdict}: threshold "
-                  f"{self.threshold:.0%} below baseline")
+                  f"{self.threshold:.0%} below baseline, cache hit rate "
+                  f"within {self.hit_rate_drop:.0%}")
         return "\n".join([header] + lines)
 
 
+def _hit_rate(extra: dict) -> float | None:
+    value = extra.get("cache_hit_rate")
+    return float(value) if value is not None else None
+
+
 def compare_reports(baseline: BenchReport, current: BenchReport, *,
-                    threshold: float = 0.25) -> RegressionReport:
-    """Compare throughput by benchmark name."""
+                    threshold: float = 0.25,
+                    hit_rate_drop: float = 0.10) -> RegressionReport:
+    """Compare throughput (and cache hit rates) by benchmark name."""
     if not 0 < threshold < 1:
         raise ReproError(f"threshold must be in (0, 1), got {threshold!r}")
+    if not 0 < hit_rate_drop < 1:
+        raise ReproError(
+            f"hit_rate_drop must be in (0, 1), got {hit_rate_drop!r}")
     base_by_name = {b.name: b for b in baseline.benchmarks}
     cur_by_name = {b.name: b for b in current.benchmarks}
     comparisons = [
         Comparison(name, base_by_name[name].events_per_s,
-                   cur_by_name[name].events_per_s)
+                   cur_by_name[name].events_per_s,
+                   baseline_hit_rate=_hit_rate(base_by_name[name].extra),
+                   current_hit_rate=_hit_rate(cur_by_name[name].extra))
         for name in base_by_name if name in cur_by_name
     ]
     return RegressionReport(
@@ -116,4 +168,5 @@ def compare_reports(baseline: BenchReport, current: BenchReport, *,
         comparisons=comparisons,
         only_in_baseline=sorted(set(base_by_name) - set(cur_by_name)),
         only_in_current=sorted(set(cur_by_name) - set(base_by_name)),
+        hit_rate_drop=hit_rate_drop,
     )

@@ -56,9 +56,14 @@ class TransparentProfiler:
     def __init__(self, spec: GPUSpec, config: TallyConfig) -> None:
         self.spec = spec
         self.config = config
-        self._candidates: dict[str, list[SchedConfig]] = {}
-        self._measurements: dict[tuple[str, SchedConfig], Measurement] = {}
-        self._prewarmed: set[str] = set()
+        # Keyed on the full (frozen, hashable) descriptor, never the
+        # bare name: two kernels sharing a name with different launch
+        # geometry (blocks, threads, shared memory) have different
+        # candidate sets and must not inherit each other's profile.
+        self._candidates: dict[KernelDescriptor, list[SchedConfig]] = {}
+        self._measurements: dict[
+            tuple[KernelDescriptor, SchedConfig], Measurement] = {}
+        self._prewarmed: set[KernelDescriptor] = set()
         self.profiling_runs = 0
         self.decisions = 0
 
@@ -69,13 +74,13 @@ class TransparentProfiler:
         Models a server whose profile cache is already warm; runtime
         measurements keep refining the entries.
         """
-        if descriptor.name in self._prewarmed:
+        if descriptor in self._prewarmed:
             return
-        self._prewarmed.add(descriptor.name)
+        self._prewarmed.add(descriptor)
         from .candidates import SchedKind
 
         for candidate in self.candidates(descriptor):
-            key = (descriptor.name, candidate)
+            key = (descriptor, candidate)
             if key in self._measurements:
                 continue
             if candidate.kind is SchedKind.SLICED:
@@ -93,24 +98,24 @@ class TransparentProfiler:
 
     # ------------------------------------------------------------------
     def candidates(self, descriptor: KernelDescriptor) -> list[SchedConfig]:
-        """Candidate configurations for ``descriptor`` (cached by name)."""
-        cached = self._candidates.get(descriptor.name)
+        """Candidate configurations for ``descriptor`` (cached per descriptor)."""
+        cached = self._candidates.get(descriptor)
         if cached is None:
             cached = generate_candidates(descriptor, self.spec, self.config)
-            self._candidates[descriptor.name] = cached
+            self._candidates[descriptor] = cached
         return cached
 
     def lookup(self, descriptor: KernelDescriptor,
                config: SchedConfig) -> Measurement | None:
         """The stored measurement, or None if never profiled."""
-        return self._measurements.get((descriptor.name, config))
+        return self._measurements.get((descriptor, config))
 
     def record(self, descriptor: KernelDescriptor, config: SchedConfig,
                turnaround: float, duration: float) -> None:
         """Store one measurement sample."""
         if turnaround < 0 or duration < 0:
             raise SchedulerError("measurements must be non-negative")
-        key = (descriptor.name, config)
+        key = (descriptor, config)
         existing = self._measurements.get(key)
         if existing is None:
             self._measurements[key] = Measurement(turnaround, duration)
@@ -130,7 +135,7 @@ class TransparentProfiler:
             self.prewarm(descriptor)
         candidates = self.candidates(descriptor)
         for candidate in candidates:
-            if (descriptor.name, candidate) not in self._measurements:
+            if (descriptor, candidate) not in self._measurements:
                 self.profiling_runs += 1
                 return candidate, True
 
@@ -139,7 +144,7 @@ class TransparentProfiler:
         feasible: list[tuple[float, float, SchedConfig]] = []
         fallback: list[tuple[float, float, SchedConfig]] = []
         for candidate in candidates:
-            m = self._measurements[(descriptor.name, candidate)]
+            m = self._measurements[(descriptor, candidate)]
             fallback.append((m.turnaround, m.duration, candidate))
             if m.turnaround <= bound:
                 feasible.append((m.duration, m.turnaround, candidate))
@@ -160,30 +165,30 @@ class TransparentProfiler:
         candidates = self.candidates(descriptor)
         measured = [
             c for c in candidates
-            if (descriptor.name, c) in self._measurements
+            if (descriptor, c) in self._measurements
         ]
         if not measured:
             return candidates[0] if candidates else ORIGINAL_CONFIG
         bound = self.config.turnaround_latency_bound
         feasible = [
             c for c in measured
-            if self._measurements[(descriptor.name, c)].turnaround <= bound
+            if self._measurements[(descriptor, c)].turnaround <= bound
         ]
         if feasible:
             return min(feasible, key=lambda c: (
-                self._measurements[(descriptor.name, c)].duration,
-                self._measurements[(descriptor.name, c)].turnaround,
+                self._measurements[(descriptor, c)].duration,
+                self._measurements[(descriptor, c)].turnaround,
             ))
         best_turnaround = min(
-            self._measurements[(descriptor.name, c)].turnaround
+            self._measurements[(descriptor, c)].turnaround
             for c in measured
         )
         pool = [
             c for c in measured
-            if self._measurements[(descriptor.name, c)].turnaround
+            if self._measurements[(descriptor, c)].turnaround
             <= 2.0 * best_turnaround
         ]
         return min(pool, key=lambda c: (
-            self._measurements[(descriptor.name, c)].duration,
-            self._measurements[(descriptor.name, c)].turnaround,
+            self._measurements[(descriptor, c)].duration,
+            self._measurements[(descriptor, c)].turnaround,
         ))

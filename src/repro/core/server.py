@@ -25,6 +25,7 @@ from ..runtime.memory import MemoryManager
 from ..runtime.registration import ModuleRegistry
 from ..trace.events import ClientGC
 from ..trace.tracer import NULL_TRACER
+from ..transform.memo import transform_memo
 from ..virt.channel import Channel, ChannelConfig, SHARED_MEMORY
 from ..virt.protocol import (
     Envelope,
@@ -72,7 +73,11 @@ class TallyServer:
                  faults: Any = NULL_INJECTOR,
                  tracer: Any = NULL_TRACER) -> None:
         self.best_effort_plan = best_effort_plan
-        self.transformer = KernelTransformer()
+        # Servers share the process-wide transform memo: a kernel any
+        # server already compiled (same content hash) is reused across
+        # repeated workloads, chaos cells, and reconnecting clients.
+        self.transformer = KernelTransformer(memo=transform_memo(),
+                                             tracer=tracer)
         self.faults = faults
         self.tracer = tracer
         self._clients: dict[str, ClientState] = {}

@@ -20,7 +20,9 @@ from ..errors import TransformError, TransformFallback, ValidationError
 from ..faults.injector import NULL_INJECTOR
 from ..ptx.interpreter import Interpreter
 from ..ptx.ir import Dim3, KernelIR
+from ..trace.tracer import NULL_TRACER
 from ..transform import TransformPipeline, plan_slices
+from ..transform.memo import TransformMemo
 
 __all__ = ["ExecMode", "ExecPlan", "KernelTransformer", "FALLBACK_LADDER"]
 
@@ -57,10 +59,19 @@ class ExecPlan:
 
 
 class KernelTransformer:
-    """Transforms and executes kernels for the functional server."""
+    """Transforms and executes kernels for the functional server.
 
-    def __init__(self) -> None:
-        self.pipeline = TransformPipeline()
+    ``memo`` selects the transformed-kernel store: ``None`` (default)
+    keeps a private cache; pass
+    :func:`repro.transform.transform_memo`'s process-wide store (what
+    :class:`~repro.core.server.TallyServer` does) so every server in
+    the process shares compiled variants.  ``tracer`` receives
+    :class:`~repro.trace.events.TransformCache` hit/miss/evict events.
+    """
+
+    def __init__(self, *, memo: TransformMemo | None = None,
+                 tracer: Any = NULL_TRACER) -> None:
+        self.pipeline = TransformPipeline(memo=memo, tracer=tracer)
         self.executions = 0
         #: degradation-ladder steps taken after failed transformations
         self.fallbacks = 0

@@ -18,6 +18,11 @@ Two things make that guarantee hold:
   neither picklable nor part of the sweep contract), and the serial
   path strips them too, so the two paths return the same object graph.
 
+Worker processes additionally start with the parent's transform-memo
+warm snapshot (:func:`repro.transform.warm_snapshot`): kernels the
+parent already transformed are reused instead of recompiled.  The memo
+is content-addressed, so warm workers stay bit-identical to cold ones.
+
 Tracing is per-process mutable state and is deliberately not supported
 here: trace a single :func:`~repro.harness.colocate.run_colocation`
 instead.
@@ -31,9 +36,22 @@ from dataclasses import dataclass, replace
 from typing import Iterable, Sequence
 
 from ..faults import FaultConfig
+from ..transform.memo import load_snapshot, warm_snapshot
 from .colocate import JobSpec, RunConfig, RunResult, run_colocation
 
 __all__ = ["SweepCase", "run_sweep", "seed_sweep"]
+
+
+def _init_worker(snapshot: object | None) -> None:
+    """Pool-worker initializer: pre-load the transform memo.
+
+    Workers start with a cold process-wide memo; shipping the parent's
+    snapshot means any PTX variant the parent already compiled is reused
+    instead of re-transformed.  Purely a warm-start: memo entries are
+    content-addressed, so a warm and a cold worker produce bit-identical
+    results (the sweep's jobs=N == jobs=1 guarantee is unaffected).
+    """
+    load_snapshot(snapshot)
 
 
 @dataclass(frozen=True)
@@ -71,7 +89,9 @@ def run_sweep(cases: Iterable[SweepCase], *, jobs: int = 1) -> list[RunResult]:
     if jobs <= 1 or len(cases) <= 1:
         return [_run_case(case) for case in cases]
     workers = min(jobs, len(cases), os.cpu_count() or 1)
-    with ProcessPoolExecutor(max_workers=workers) as pool:
+    with ProcessPoolExecutor(max_workers=workers,
+                             initializer=_init_worker,
+                             initargs=(warm_snapshot(),)) as pool:
         # map() preserves input order regardless of completion order.
         return list(pool.map(_run_case, cases))
 

@@ -6,6 +6,7 @@ set and :mod:`repro.ptx.interpreter` for the execution semantics.
 """
 
 from .builder import KernelBuilder
+from .hash import canonical_form, ir_hash
 from .interpreter import (
     DeviceMemory,
     GlobalRef,
@@ -59,9 +60,11 @@ __all__ = [
     "SMemAddr",
     "Special",
     "SpecialKind",
+    "canonical_form",
     "case_names",
     "format_instr",
     "format_kernel",
+    "ir_hash",
     "launch_kernel",
     "make_case",
     "parse_kernel",

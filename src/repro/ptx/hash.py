@@ -1,0 +1,99 @@
+"""Content hashing of mini-PTX kernels.
+
+:func:`ir_hash` digests a :class:`~repro.ptx.ir.KernelIR` into a short
+hex string that depends only on the kernel's *structure* — its name,
+signature, shared-memory declarations, and instruction stream.  Two
+kernels built independently (different objects, different processes,
+different declaration order of parameters or shared buffers) hash
+identically exactly when a Tally transformation would produce the same
+output for both.
+
+This is what makes transformed-kernel caching content-addressed: the
+transform memo (:mod:`repro.transform.memo`) keys on ``(ir_hash,
+transform, params)`` instead of ``id(kernel)``, so a garbage-collected
+kernel whose ``id()`` CPython later reuses can never alias another
+kernel's cached variant, and warm caches can be pickled between
+processes.
+
+Properties the digest guarantees:
+
+* **identity-free** — depends only on content, never on ``id()``;
+* **declaration-order-free** — parameters and shared buffers are
+  referenced by name, so their declaration order is canonicalized away
+  (instruction order *is* semantic and is hashed in order);
+* **process-stable** — built on BLAKE2b over a deterministic
+  encoding, never on Python's per-process salted ``hash()``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from .ir import (
+    Imm,
+    Instr,
+    KernelIR,
+    Operand,
+    ParamRef,
+    Reg,
+    SMemAddr,
+    Special,
+)
+
+__all__ = ["canonical_form", "ir_hash"]
+
+#: BLAKE2b digest length in bytes (32 hex chars — ample for a cache key)
+_DIGEST_SIZE = 16
+
+
+def _operand_form(operand: Operand) -> tuple:
+    """A primitive, deterministic encoding of one operand."""
+    if isinstance(operand, Reg):
+        return ("reg", operand.name)
+    if isinstance(operand, Imm):
+        # repr() alone conflates 1 / 1.0 / True; tag with the type.
+        return ("imm", type(operand.value).__name__, repr(operand.value))
+    if isinstance(operand, ParamRef):
+        return ("param", operand.name)
+    if isinstance(operand, Special):
+        return ("special", operand.kind.value, operand.axis.value)
+    if isinstance(operand, SMemAddr):
+        return ("smem", operand.buffer)
+    raise TypeError(f"unhashable operand type {type(operand).__name__}")
+
+
+def _instr_form(instr: Instr) -> tuple:
+    """A primitive, deterministic encoding of one instruction."""
+    return (
+        instr.op.value,
+        instr.dst.name if instr.dst is not None else None,
+        tuple(_operand_form(src) for src in instr.srcs),
+        instr.target,
+        instr.targets,
+        instr.cmp.value if instr.cmp is not None else None,
+        instr.label,
+        instr.pred.name if instr.pred is not None else None,
+        instr.pred_negate,
+    )
+
+
+def canonical_form(kernel: KernelIR) -> tuple:
+    """The kernel reduced to nested tuples of primitives.
+
+    Parameters and shared declarations are sorted by name (they are
+    referenced by name, so declaration order is not semantic); the
+    instruction body keeps its order (it is).  Equal canonical forms
+    mean the transformations produce equal output.
+    """
+    return (
+        kernel.name,
+        tuple(sorted((p.name, p.kind.value) for p in kernel.params)),
+        tuple(sorted((s.name, s.size) for s in kernel.shared)),
+        tuple(_instr_form(instr) for instr in kernel.body),
+    )
+
+
+def ir_hash(kernel: KernelIR) -> str:
+    """Stable hex content digest of ``kernel`` (see module docstring)."""
+    payload = repr(canonical_form(kernel)).encode("utf-8")
+    return hashlib.blake2b(payload, digest_size=_DIGEST_SIZE).hexdigest()

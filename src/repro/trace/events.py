@@ -37,6 +37,7 @@ __all__ = [
     "PreemptLost",
     "WatchdogReset",
     "TransformDegrade",
+    "TransformCache",
     "SlotFault",
     "EVENT_CLASSES",
     "event_from_dict",
@@ -62,6 +63,7 @@ class EventType(enum.Enum):
     PREEMPT_LOST = "preempt_lost"
     WATCHDOG_RESET = "watchdog_reset"
     TRANSFORM_DEGRADE = "transform_degrade"
+    TRANSFORM_CACHE = "transform_cache"
     SLOT_FAULT = "slot_fault"
 
 
@@ -374,6 +376,26 @@ class TransformDegrade(TraceEvent):
 
 
 @dataclass(frozen=True, slots=True)
+class TransformCache(TraceEvent):
+    """The transform cache served (or compiled) a kernel variant.
+
+    Emitted by :class:`repro.transform.TransformPipeline` once per
+    lookup — ``action`` ``"hit"`` or ``"miss"`` — and once per
+    LRU-evicted entry (``action`` ``"evict"``).  The functional path
+    has no simulation clock, so ``ts`` is always 0.
+    """
+
+    type: ClassVar[EventType] = EventType.TRANSFORM_CACHE
+
+    #: "hit", "miss", or "evict"
+    action: str
+    #: which variant: "sliced", "ptb", or "unified_sync"
+    transform: str
+    #: content digest of the source kernel (:func:`repro.ptx.ir_hash`)
+    ir_hash: str = ""
+
+
+@dataclass(frozen=True, slots=True)
 class SlotFault(TraceEvent):
     """A device slot fault reset a resident launch.
 
@@ -396,7 +418,7 @@ EVENT_CLASSES: dict[str, type[TraceEvent]] = {
         KernelSubmit, KernelStart, KernelComplete, SliceDispatch,
         PtbDispatch, PreemptRequest, PreemptAck, Resume, SchedDecision,
         QueueDepth, ChannelFault, ClientCrash, ClientGC, PreemptLost,
-        WatchdogReset, TransformDegrade, SlotFault,
+        WatchdogReset, TransformDegrade, TransformCache, SlotFault,
     )
 }
 

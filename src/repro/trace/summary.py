@@ -29,6 +29,7 @@ from .events import (
     SliceDispatch,
     SlotFault,
     TraceEvent,
+    TransformCache,
     TransformDegrade,
     WatchdogReset,
 )
@@ -88,6 +89,18 @@ class TraceSummary:
     transform_degrades: int = 0
     #: device slot faults that reset a resident launch
     slot_faults: int = 0
+    #: transform-cache lookups served from cache
+    transform_cache_hits: int = 0
+    #: transform-cache lookups that compiled a fresh variant
+    transform_cache_misses: int = 0
+    #: transform-cache entries LRU-evicted
+    transform_cache_evictions: int = 0
+
+    @property
+    def transform_cache_hit_rate(self) -> float:
+        """Fraction of transform-cache lookups served from cache."""
+        total = self.transform_cache_hits + self.transform_cache_misses
+        return self.transform_cache_hits / total if total else 0.0
 
     def format(self) -> str:
         """Plain-text rendering in the harness's table style."""
@@ -120,6 +133,15 @@ class TraceSummary:
             ("slot faults", self.slot_faults),
         ]
         rows.extend((name, str(count)) for name, count in fault_rows if count)
+        if self.transform_cache_hits or self.transform_cache_misses:
+            rows.append((
+                "transform cache",
+                f"{self.transform_cache_hits} hits / "
+                f"{self.transform_cache_misses} misses "
+                f"({self.transform_cache_hit_rate:.0%} hit rate"
+                + (f", {self.transform_cache_evictions} evicted)"
+                   if self.transform_cache_evictions else ")"),
+            ))
         for transform, count in sorted(self.transform_usage.items()):
             rows.append((f"decision {transform}", str(count)))
         for client_id, c in sorted(self.clients.items()):
@@ -205,6 +227,13 @@ def summarize(source: TraceSource,
             summary.watchdog_resets += 1
         elif isinstance(event, TransformDegrade):
             summary.transform_degrades += 1
+        elif isinstance(event, TransformCache):
+            if event.action == "hit":
+                summary.transform_cache_hits += 1
+            elif event.action == "miss":
+                summary.transform_cache_misses += 1
+            elif event.action == "evict":
+                summary.transform_cache_evictions += 1
         elif isinstance(event, SlotFault):
             summary.slot_faults += 1
 

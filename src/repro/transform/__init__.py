@@ -11,6 +11,12 @@ Three passes over mini-PTX kernels:
 
 from .base import RESERVED_PREFIX, TransformMeta, check_transformable
 from .dce import DCEStats, eliminate_dead_code
+from .memo import (
+    TransformMemo,
+    load_snapshot,
+    transform_memo,
+    warm_snapshot,
+)
 from .peephole import PeepholeStats, peephole_optimize
 from .pipeline import TransformPipeline, TransformStats
 from .ptb import PreemptibleKernel, PTBControl, make_preemptible
@@ -24,6 +30,7 @@ __all__ = [
     "SliceLaunch",
     "SlicedKernel",
     "PeepholeStats",
+    "TransformMemo",
     "TransformMeta",
     "TransformPipeline",
     "TransformStats",
@@ -31,9 +38,12 @@ __all__ = [
     "DCEStats",
     "check_transformable",
     "eliminate_dead_code",
+    "load_snapshot",
     "make_preemptible",
     "make_sliced",
     "make_unified_sync",
     "peephole_optimize",
     "plan_slices",
+    "transform_memo",
+    "warm_snapshot",
 ]

@@ -16,6 +16,14 @@ def report(**eps_by_name):
     ])
 
 
+def cached_report(eps, hit_rate=None):
+    extra = {} if hit_rate is None else {"cache_hit_rate": hit_rate}
+    return BenchReport(benchmarks=[
+        BenchmarkResult(name="micro.transform_pipeline", wall_s=1.0,
+                        events=int(eps), extra=extra)
+    ])
+
+
 class TestCompareReports:
     def test_within_threshold_passes(self):
         out = compare_reports(report(a=100_000), report(a=80_000),
@@ -47,6 +55,41 @@ class TestCompareReports:
     def test_bad_threshold_rejected(self):
         with pytest.raises(ReproError, match="threshold"):
             compare_reports(report(a=1), report(a=1), threshold=1.5)
+
+
+class TestHitRateGate:
+    def test_hit_rate_drop_beyond_threshold_fails(self):
+        # Throughput is fine (same eps) but the memo stopped hitting —
+        # the shape of a broken cache key.
+        out = compare_reports(cached_report(100_000, hit_rate=0.98),
+                              cached_report(100_000, hit_rate=0.50))
+        assert not out.ok
+        assert [c.name for c in out.hit_rate_regressions] \
+            == ["micro.transform_pipeline"]
+        assert "HIT-RATE DROPPED" in out.format()
+        assert "FAILED" in out.format()
+
+    def test_hit_rate_within_tolerance_passes(self):
+        out = compare_reports(cached_report(100_000, hit_rate=0.98),
+                              cached_report(100_000, hit_rate=0.95))
+        assert out.ok
+        assert "cache 98% -> 95%" in out.format()
+
+    def test_hit_rate_missing_on_either_side_never_gates(self):
+        assert compare_reports(cached_report(100_000, hit_rate=0.98),
+                               cached_report(100_000)).ok
+        assert compare_reports(cached_report(100_000),
+                               cached_report(100_000, hit_rate=0.2)).ok
+
+    def test_custom_drop_threshold(self):
+        base = cached_report(100_000, hit_rate=0.90)
+        cur = cached_report(100_000, hit_rate=0.75)
+        assert not compare_reports(base, cur, hit_rate_drop=0.10).ok
+        assert compare_reports(base, cur, hit_rate_drop=0.20).ok
+
+    def test_bad_drop_threshold_rejected(self):
+        with pytest.raises(ReproError, match="hit_rate_drop"):
+            compare_reports(report(a=1), report(a=1), hit_rate_drop=0)
 
 
 class TestLoadReport:

@@ -132,3 +132,46 @@ class TestPrewarm:
         before = profiler.lookup(k, c).turnaround
         profiler.record(k, c, turnaround=before * 10, duration=1e-3)
         assert profiler.lookup(k, c).turnaround > before
+
+
+class TestDescriptorKeying:
+    """Regression: profiles are keyed on the full descriptor.
+
+    The cache used to key on ``descriptor.name`` alone, so two kernels
+    sharing a name with different launch geometry (blocks, threads,
+    shared memory) inherited each other's candidate sets and
+    measurements.
+    """
+
+    def test_same_name_different_geometry_not_aliased(self):
+        profiler = make_profiler()
+        big = desc("conv2d", blocks=5000)
+        small = desc("conv2d", blocks=64)
+        for c in profiler.candidates(big):
+            profiler.record(big, c, turnaround=1e-3, duration=1e-2)
+        _config, profiling = profiler.choose(big)
+        assert not profiling  # big is fully measured
+        # small shares only the name; it must profile from scratch with
+        # its own (different) candidate set, not inherit big's.
+        assert profiler.candidates(small) != profiler.candidates(big)
+        _config, profiling = profiler.choose(small)
+        assert profiling
+
+    def test_measurements_do_not_leak_across_geometries(self):
+        profiler = make_profiler()
+        slow = desc("k", blocks=5000, bd=50e-6)
+        fast = desc("k", blocks=5000, bd=5e-6)  # same candidate shapes
+        c = profiler.candidates(slow)[0]
+        profiler.record(slow, c, turnaround=1e-3, duration=1e-2)
+        assert profiler.lookup(fast, c) is None
+
+    def test_prewarm_covers_each_geometry_separately(self):
+        config = TallyConfig(prewarm_profiles=True)
+        profiler = TransparentProfiler(SPEC, config)
+        a = desc("k", blocks=5000)
+        b = desc("k", blocks=64)
+        profiler.prewarm(a)
+        profiler.prewarm(b)
+        for k in (a, b):
+            for c in profiler.candidates(k):
+                assert profiler.lookup(k, c) is not None

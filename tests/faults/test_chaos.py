@@ -81,6 +81,27 @@ def test_be_crash_leaves_hp_p99_within_ten_percent():
     assert chaos.fault_counts.get("client_crash") == 1
 
 
+def test_chaos_cell_identical_with_warm_transform_memo():
+    """Smoke: a warm process-wide memo never perturbs a chaos cell."""
+    import numpy as np
+
+    from repro.ptx.library import case_names, make_case
+    from repro.transform import TransformPipeline, transform_memo
+
+    transform_memo().clear()
+    try:
+        cold = run_cell("Tally", FAULT_KINDS["everything"])
+        pipeline = TransformPipeline(memo=transform_memo())
+        for name in case_names():
+            pipeline.sliced(make_case(name, np.random.default_rng(0)).kernel)
+        warm = run_cell("Tally", FAULT_KINDS["everything"])
+    finally:
+        transform_memo().clear()
+    assert cold.fault_counts == warm.fault_counts
+    assert ({c: j.completed for c, j in cold.jobs.items()}
+            == {c: j.completed for c, j in warm.jobs.items()})
+
+
 def test_fault_free_run_unchanged_by_faults_machinery():
     """faults=None and a zero-rate config produce identical runs."""
     plain = run_colocation("Tally", JOBS, CFG, check=True)

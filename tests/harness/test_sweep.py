@@ -57,6 +57,27 @@ class TestRunSweep:
         assert [r.fault_counts for r in serial] == \
             [r.fault_counts for r in parallel]
 
+    def test_parallel_matches_serial_with_warm_memo(self):
+        """Workers warmed from the parent's transform-memo snapshot
+        (the pool initializer) must stay bit-identical to serial."""
+        import numpy as np
+
+        from repro.ptx.library import case_names, make_case
+        from repro.transform import TransformPipeline, transform_memo
+
+        transform_memo().clear()
+        try:
+            pipeline = TransformPipeline(memo=transform_memo())
+            for name in case_names():
+                pipeline.sliced(
+                    make_case(name, np.random.default_rng(0)).kernel)
+            cases = seed_sweep("Tally", JOBS, CONFIG, seeds=range(2))
+            serial = run_sweep(cases, jobs=1)
+            parallel = run_sweep(cases, jobs=2)
+        finally:
+            transform_memo().clear()
+        assert dicts(serial) == dicts(parallel)
+
     def test_drivers_are_stripped_on_both_paths(self):
         cases = seed_sweep("Tally", JOBS, CONFIG, seeds=range(2))
         for result in run_sweep(cases, jobs=1) + run_sweep(cases, jobs=2):

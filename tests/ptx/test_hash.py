@@ -1,0 +1,97 @@
+"""Content hashing of kernels: the cache-key contract.
+
+The transform memo keys on :func:`repro.ptx.ir_hash`, so these tests
+pin down exactly what the digest may and may not depend on: content
+only (never object identity), declaration order canonicalized away,
+instruction order preserved, and immediates distinguished by type.
+"""
+
+import copy
+
+from repro.ptx import canonical_form, ir_hash
+from repro.ptx.ir import Imm, Instr, KernelIR, Opcode, Param, ParamKind, Reg
+from repro.ptx.library import case_names, make_case, saxpy, vector_add
+
+import numpy as np
+
+
+def imm_kernel(value):
+    """Minimal kernel whose only difference is one immediate."""
+    return KernelIR(
+        name="imm_probe",
+        params=[Param("out", ParamKind.PTR)],
+        body=[Instr(Opcode.MOV, dst=Reg("r0"), srcs=(Imm(value),))],
+    )
+
+
+class TestIdentityFreedom:
+    def test_fresh_builds_hash_identically(self):
+        assert ir_hash(vector_add()) == ir_hash(vector_add())
+
+    def test_deep_copy_hashes_identically(self):
+        kernel = saxpy()
+        assert ir_hash(copy.deepcopy(kernel)) == ir_hash(kernel)
+
+    def test_whole_corpus_is_self_stable(self):
+        # Same seed both times: some cases size the kernel (shared
+        # buffers, block shape) from the rng, which is real content.
+        for name in case_names():
+            case = make_case(name, np.random.default_rng(7))
+            again = make_case(name, np.random.default_rng(7))
+            assert ir_hash(case.kernel) == ir_hash(again.kernel)
+
+
+class TestSensitivity:
+    def test_distinct_kernels_hash_differently(self):
+        digests = {ir_hash(make_case(name, np.random.default_rng(1)).kernel)
+                   for name in case_names()}
+        assert len(digests) == len(case_names())
+
+    def test_param_declaration_order_is_canonicalized(self):
+        a = vector_add()
+        b = vector_add()
+        b.params = list(reversed(b.params))
+        assert ir_hash(a) == ir_hash(b)
+
+    def test_shared_declaration_order_is_canonicalized(self):
+        a = make_case("block_sum", np.random.default_rng(2)).kernel
+        b = copy.deepcopy(a)
+        b.shared = list(reversed(b.shared))
+        assert ir_hash(a) == ir_hash(b)
+
+    def test_instruction_order_is_semantic(self):
+        a = vector_add()
+        b = vector_add()
+        b.body = list(reversed(b.body))
+        assert ir_hash(a) != ir_hash(b)
+
+    def test_name_is_part_of_the_content(self):
+        a = vector_add()
+        b = vector_add()
+        b.name = "vector_add_v2"
+        assert ir_hash(a) != ir_hash(b)
+
+    def test_immediates_distinguish_type(self):
+        # repr() alone conflates these; the digest must not.
+        digests = {ir_hash(imm_kernel(v)) for v in (1, 1.0, True)}
+        assert len(digests) == 3
+
+    def test_digest_shape(self):
+        digest = ir_hash(vector_add())
+        assert len(digest) == 32
+        int(digest, 16)  # hex
+
+
+class TestCanonicalForm:
+    def test_is_nested_primitives(self):
+        def primitive(node):
+            if isinstance(node, tuple):
+                return all(primitive(item) for item in node)
+            return node is None or isinstance(node, (str, int, float, bool))
+
+        assert primitive(canonical_form(vector_add()))
+
+    def test_equal_forms_mean_equal_hashes(self):
+        a, b = vector_add(), vector_add()
+        assert canonical_form(a) == canonical_form(b)
+        assert ir_hash(a) == ir_hash(b)

@@ -1,0 +1,117 @@
+"""The content-addressed transform memo: LRU, stats, snapshots."""
+
+import pickle
+
+import pytest
+
+from repro.transform.memo import (
+    DEFAULT_CAPACITY,
+    TransformMemo,
+    load_snapshot,
+    transform_memo,
+    warm_snapshot,
+)
+
+
+class TestLRU:
+    def test_get_counts_hits_and_misses(self):
+        memo = TransformMemo()
+        assert memo.get("absent") is None
+        memo.put("k", "artifact")
+        assert memo.get("k") == "artifact"
+        assert (memo.hits, memo.misses) == (1, 1)
+        assert memo.hit_rate == 0.5
+        assert memo.lookups == 2
+
+    def test_capacity_evicts_least_recently_used(self):
+        memo = TransformMemo(capacity=2)
+        memo.put("a", 1)
+        memo.put("b", 2)
+        memo.get("a")  # a is now most recently used
+        memo.put("c", 3)  # evicts b
+        assert "b" not in memo
+        assert memo.get("a") == 1
+        assert memo.get("c") == 3
+        assert memo.evictions == 1
+        assert len(memo) == 2
+
+    def test_unbounded_when_capacity_none(self):
+        memo = TransformMemo(capacity=None)
+        for i in range(DEFAULT_CAPACITY + 10):
+            memo.put(i, i)
+        assert len(memo) == DEFAULT_CAPACITY + 10
+        assert memo.evictions == 0
+
+    def test_bad_capacity_rejected(self):
+        with pytest.raises(ValueError, match="capacity"):
+            TransformMemo(capacity=0)
+
+    def test_clear_resets_entries_and_counters(self):
+        memo = TransformMemo()
+        memo.put("k", 1)
+        memo.get("k")
+        memo.get("gone")
+        memo.clear()
+        assert len(memo) == 0
+        assert (memo.hits, memo.misses, memo.evictions) == (0, 0, 0)
+        assert memo.hit_rate == 0.0
+
+
+class TestSnapshot:
+    def test_roundtrips_through_pickle(self):
+        from repro.ptx.library import vector_add
+        from repro.transform import TransformPipeline
+
+        memo = TransformMemo()
+        pipeline = TransformPipeline(memo=memo)
+        sliced = pipeline.sliced(vector_add())
+
+        restored = TransformMemo()
+        restored.load(pickle.loads(pickle.dumps(memo.snapshot())))
+        key = next(iter(memo.snapshot()[1]))
+        cached = restored.get(key)
+        assert cached.kernel.name == sliced.kernel.name
+        assert [str(i) for i in cached.kernel.body] \
+            == [str(i) for i in sliced.kernel.body]
+
+    def test_load_keeps_existing_entries_by_default(self):
+        memo = TransformMemo()
+        memo.put("k", "mine")
+        donor = TransformMemo()
+        donor.put("k", "theirs")
+        donor.put("other", "new")
+        added = memo.load(donor.snapshot())
+        assert added == 1
+        assert memo.get("k") == "mine"
+        assert memo.get("other") == "new"
+
+    def test_load_replace_clobbers(self):
+        memo = TransformMemo()
+        memo.put("k", "mine")
+        donor = TransformMemo()
+        donor.put("k", "theirs")
+        memo.load(donor.snapshot(), replace=True)
+        assert memo.get("k") == "theirs"
+
+
+class TestProcessWideStore:
+    @pytest.fixture(autouse=True)
+    def fresh_global(self, monkeypatch):
+        import repro.transform.memo as memo_module
+
+        monkeypatch.setattr(memo_module, "_GLOBAL_MEMO", TransformMemo())
+
+    def test_transform_memo_is_a_singleton(self):
+        assert transform_memo() is transform_memo()
+
+    def test_warm_snapshot_none_when_cold(self):
+        assert warm_snapshot() is None
+        assert load_snapshot(None) == 0  # a no-op, e.g. cold pool parent
+
+    def test_snapshot_load_roundtrip(self):
+        transform_memo().put("k", "v")
+        snap = warm_snapshot()
+        assert snap is not None
+        transform_memo().clear()
+        assert load_snapshot(snap) == 1
+        assert transform_memo().get("k") == "v"

@@ -1,9 +1,12 @@
 """Tests for the transformation pipeline cache."""
 
+import gc
+
 import numpy as np
 
 from repro.ptx import make_case
-from repro.transform import TransformPipeline
+from repro.ptx.library import saxpy, vector_add
+from repro.transform import TransformMemo, TransformPipeline
 
 
 class TestPipelineCaching:
@@ -40,3 +43,81 @@ class TestPipelineCaching:
         sb = pipeline.sliced(b.kernel)
         assert sa is not sb
         assert pipeline.stats.sliced == 2
+
+    def test_stats_track_misses_and_hit_rate(self):
+        pipeline = TransformPipeline()
+        kernel = vector_add()
+        pipeline.sliced(kernel)
+        pipeline.sliced(kernel)
+        pipeline.preemptible(kernel)
+        assert pipeline.stats.cache_misses == 2
+        assert pipeline.stats.cache_hits == 1
+        assert pipeline.stats.lookups == 3
+        assert pipeline.stats.hit_rate == 1 / 3
+        assert TransformPipeline().stats.hit_rate == 0.0  # idle, no 0/0
+
+
+class TestContentAddressing:
+    """The cache is keyed on kernel content, never object identity."""
+
+    def test_equal_content_different_objects_share_artifact(self):
+        # Two independently built kernels with identical IR: the old
+        # id()-keyed cache compiled both; content keys compile once.
+        pipeline = TransformPipeline()
+        a = pipeline.sliced(vector_add())
+        b = pipeline.sliced(vector_add())
+        assert a is b
+        assert pipeline.stats.sliced == 1
+        assert pipeline.stats.cache_hits == 1
+
+    def test_pipelines_sharing_a_memo_share_artifacts(self):
+        memo = TransformMemo()
+        first = TransformPipeline(memo=memo).sliced(vector_add())
+        again = TransformPipeline(memo=memo)
+        assert again.sliced(vector_add()) is first
+        assert again.stats.cache_hits == 1
+        assert again.stats.sliced == 0
+
+    def test_private_memos_stay_independent(self):
+        a = TransformPipeline()
+        b = TransformPipeline()
+        a.sliced(vector_add())
+        b.sliced(vector_add())
+        assert b.stats.cache_misses == 1  # no cross-pipeline leakage
+
+    def test_optimize_flag_is_part_of_the_key(self):
+        memo = TransformMemo()
+        optimized = TransformPipeline(memo=memo, optimize=True)
+        raw = TransformPipeline(memo=memo, optimize=False)
+        assert optimized.sliced(vector_add()) \
+            is not raw.sliced(vector_add())
+
+    def test_reclaimed_id_never_serves_a_stale_hash(self):
+        """Regression: CPython reuses id() after GC.
+
+        The identity-keyed cache returned kernel A's transformed
+        variant for a *different* kernel B that happened to be
+        allocated at A's recycled address.  The identity fast path must
+        be reaped when the kernel dies, and a kernel reusing the id
+        must transform from its own content.
+        """
+        pipeline = TransformPipeline()
+        kernel = vector_add()
+        stale_id = id(kernel)
+        sliced_a = pipeline.sliced(kernel)
+        assert stale_id in pipeline._hash_by_id
+        del kernel, sliced_a
+        gc.collect()
+        # The weakref reaper fires during deallocation — before the id
+        # can be handed to any new object.
+        assert stale_id not in pipeline._hash_by_id
+        assert not pipeline._reapers
+        # Force allocation churn; if CPython hands out the same id, the
+        # new kernel must still be transformed from its own IR.
+        for _ in range(256):
+            other = saxpy()
+            if id(other) == stale_id:
+                break
+        sliced_b = pipeline.sliced(other)
+        assert sliced_b.kernel.name.endswith("saxpy__sliced") \
+            or "saxpy" in sliced_b.kernel.name
