@@ -19,6 +19,7 @@ the policies, which import the device.
 from __future__ import annotations
 
 from ..errors import InvariantViolation
+from .cluster import ServiceLedger, check_request_conservation
 from .invariants import NULL_CHECKER, InvariantChecker, NullChecker
 
 __all__ = [
@@ -26,6 +27,8 @@ __all__ = [
     "InvariantViolation",
     "NULL_CHECKER",
     "NullChecker",
+    "ServiceLedger",
+    "check_request_conservation",
     # lazily loaded from .differential:
     "Divergence",
     "KernelRecord",

@@ -1,0 +1,86 @@
+"""Cluster-level invariants: migration conservation.
+
+The control plane's correctness contract is *exactly-once-or-counted*:
+with devices crashing and tenants live-migrating mid-run, every request
+a service ever accepted must either complete exactly once, still be
+pending at the end of the run, or be explicitly counted as shed — a
+request silently lost in a migration, or replayed twice by a stale
+completion from the dead device, breaks the ledger and fails here.
+
+:func:`check_request_conservation` audits one
+:class:`ServiceLedger` per service:
+
+    ``arrivals == completed + pending + shed``
+
+The drivers maintain the terms independently (arrivals at the traffic
+source, completions at record append, shed at crash/eviction), so a
+double-execution inflates ``completed`` and a lost request strands the
+difference — either way the equation fails and the run aborts with
+:class:`~repro.errors.InvariantViolation`, never with a silently wrong
+result.  See ``docs/cluster.md`` and ``docs/validation.md``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from ..errors import InvariantViolation
+
+__all__ = ["ServiceLedger", "check_request_conservation"]
+
+
+@dataclass(frozen=True)
+class ServiceLedger:
+    """Request accounting of one service across its whole lifetime."""
+
+    client_id: str
+    #: requests that ever entered the service's queue
+    arrivals: int
+    #: requests that completed (each exactly once)
+    completed: int
+    #: requests still queued or in flight at the end of the run
+    pending: int
+    #: requests explicitly discarded by a crash or eviction
+    shed: int
+
+    @property
+    def balanced(self) -> bool:
+        return self.arrivals == self.completed + self.pending + self.shed
+
+
+def check_request_conservation(
+        ledgers: Iterable[ServiceLedger]) -> int:
+    """Audit every ledger; raise on the full list of imbalances.
+
+    Returns the number of ledgers audited, so callers can fold it into
+    their ``invariant_checks`` total.
+    """
+    audited = 0
+    problems: list[str] = []
+    for ledger in ledgers:
+        audited += 1
+        counts = (ledger.arrivals, ledger.completed, ledger.pending,
+                  ledger.shed)
+        if any(count < 0 for count in counts):
+            problems.append(
+                f"{ledger.client_id}: negative count in "
+                f"arrivals={ledger.arrivals} completed={ledger.completed} "
+                f"pending={ledger.pending} shed={ledger.shed}"
+            )
+        elif not ledger.balanced:
+            delta = (ledger.arrivals - ledger.completed - ledger.pending
+                     - ledger.shed)
+            kind = "lost" if delta > 0 else "double-counted"
+            problems.append(
+                f"{ledger.client_id}: {abs(delta)} request(s) {kind} "
+                f"(arrivals={ledger.arrivals} != completed="
+                f"{ledger.completed} + pending={ledger.pending} + "
+                f"shed={ledger.shed})"
+            )
+    if problems:
+        raise InvariantViolation(
+            "migration-conservation invariant violated:\n  "
+            + "\n  ".join(problems)
+        )
+    return audited

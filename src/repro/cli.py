@@ -167,6 +167,22 @@ def _faulted_tally_config(faults) -> "TallyConfig | None":
     )
 
 
+def _parse_fail_device(specs: list[str]) -> tuple[tuple[int, float], ...]:
+    """``--fail-device IDX@TIME`` occurrences → ``((idx, time), ...)``."""
+    from .errors import HarnessError
+
+    failures = []
+    for spec in specs:
+        try:
+            index_text, _, time_text = spec.partition("@")
+            failures.append((int(index_text), float(time_text)))
+        except ValueError:
+            raise HarnessError(
+                f"--fail-device expects IDX@TIME (e.g. 0@2.0), got "
+                f"{spec!r}") from None
+    return tuple(failures)
+
+
 def _cmd_cluster(args: argparse.Namespace) -> None:
     from .cluster import (
         ClusterJob,
@@ -201,6 +217,13 @@ def _cmd_cluster(args: argparse.Namespace) -> None:
     config = RunConfig(duration=args.duration, warmup=1.0,
                        tally_config=_faulted_tally_config(faults))
     tracer = _make_tracer(args.trace) if args.trace else None
+    fail_device = _parse_fail_device(args.fail_device or [])
+    online = (fail_device or args.arrivals is not None or args.spares
+              or (faults is not None and faults.any_device_faults))
+    if online:
+        _cluster_online(args, jobs, packed, dedicated, config, faults,
+                        fail_device, tracer)
+        return
     start = time.time()
     result = evaluate_placement(packed, "Tally", config, tracer=tracer,
                                 check=args.check, faults=faults,
@@ -223,6 +246,60 @@ def _cmd_cluster(args: argparse.Namespace) -> None:
                        title="Cluster consolidation under Tally"))
     if args.check:
         print("invariant checks: enabled on every GPU, 0 violations")
+    if tracer is not None:
+        _finish_trace(tracer, args.trace, config)
+
+
+def _cluster_online(args, jobs, packed, dedicated, config, faults,
+                    fail_device, tracer) -> None:
+    """``cluster --arrivals/--fail-device``: the online control plane."""
+    from .cluster import run_controlplane
+
+    devices = packed.gpus_used + args.spares
+    start = time.time()
+    if args.arrivals is not None:
+        result = run_controlplane(
+            jobs=jobs, devices=devices, policy="Tally", config=config,
+            arrival_rate=args.arrivals, faults=faults,
+            fail_device=fail_device, tracer=tracer, check=args.check)
+    else:
+        result = run_controlplane(
+            placement=packed, devices=devices, policy="Tally",
+            config=config, faults=faults, fail_device=fail_device,
+            tracer=tracer, check=args.check)
+    wall = time.time() - start
+    recovery = result.recovery
+    assert recovery is not None
+    mode = (f"online arrivals at {args.arrivals:g}/s"
+            if args.arrivals is not None else "packed placement")
+    rows = [
+        ("jobs", len(jobs), mode),
+        ("devices", devices,
+         f"{packed.gpus_used} packed + {args.spares} spare(s)"),
+        ("SLA violations", result.sla_violations,
+         f"worst p99 {result.worst_p99_ratio:.2f}x"),
+        ("aggregate norm. thpt",
+         f"{result.total_normalized_throughput:.1f}", ""),
+        ("simulated / wall",
+         f"{config.duration:.0f}s x {devices} GPUs / {wall:.1f}s",
+         f"{result.events} events"),
+    ]
+    if args.check:
+        rows.append(("invariant checks", str(result.invariant_checks),
+                     "0 violations"))
+    print(format_table(("metric", "value", "note"), rows,
+                       title="Cluster control plane under Tally"))
+    print()
+    print(recovery.format())
+    if args.save:
+        import json
+
+        from .harness import cluster_result_to_dict
+
+        with open(args.save, "w", encoding="utf-8") as fh:
+            json.dump(cluster_result_to_dict(result), fh, indent=2)
+            fh.write("\n")
+        print(f"result written to {args.save}")
     if tracer is not None:
         _finish_trace(tracer, args.trace, config)
 
@@ -451,6 +528,21 @@ def build_parser() -> argparse.ArgumentParser:
     cluster.add_argument("--jobs", type=int, default=1, metavar="N",
                          help="simulate GPUs in N worker processes "
                               "(results are identical to --jobs 1)")
+    cluster.add_argument("--arrivals", type=float, default=None,
+                         metavar="RATE",
+                         help="online control plane: jobs arrive at "
+                              "Poisson RATE per second and are admitted "
+                              "first-fit (docs/cluster.md)")
+    cluster.add_argument("--fail-device", action="append", default=[],
+                         metavar="IDX@TIME",
+                         help="online control plane: crash device IDX at "
+                              "simulated TIME and live-migrate its "
+                              "tenants (repeatable, e.g. 0@2.0)")
+    cluster.add_argument("--spares", type=int, default=0, metavar="N",
+                         help="provision N spare devices beyond the "
+                              "packed count (failover headroom)")
+    cluster.add_argument("--save", metavar="PATH", default=None,
+                         help="write the control-plane result as JSON")
     cluster.set_defaults(fn=_cmd_cluster)
 
     colocate = sub.add_parser("colocate",

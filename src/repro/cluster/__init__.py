@@ -1,11 +1,22 @@
-"""Cluster-level consolidation: placement and SLA-checked packing.
+"""Cluster-level consolidation: placement, SLA-checked packing, and
+the online control plane.
 
 Reproduces the paper's §1 motivation — that GPU sharing can shrink a
 cluster's GPU count substantially (the Alibaba estimate is ~50 %)
 without violating latency SLAs — using the same co-location simulator
-as the per-GPU experiments.
+as the per-GPU experiments, and extends it to cluster-scale resilience:
+online arrivals, device failures, and checkpoint/restore live migration
+of latency-critical tenants (:mod:`repro.cluster.controlplane`, see
+``docs/cluster.md``).
 """
 
+from .controlplane import (
+    ClusterCase,
+    ClusterController,
+    run_cluster_sweep,
+    run_controlplane,
+    schedule_arrivals,
+)
 from .placement import (
     ClusterJob,
     Placement,
@@ -15,6 +26,8 @@ from .placement import (
 from .simulate import ClusterResult, ServiceOutcome, evaluate_placement
 
 __all__ = [
+    "ClusterCase",
+    "ClusterController",
     "ClusterJob",
     "ClusterResult",
     "Placement",
@@ -22,4 +35,7 @@ __all__ = [
     "dedicated_placement",
     "evaluate_placement",
     "packed_placement",
+    "run_cluster_sweep",
+    "run_controlplane",
+    "schedule_arrivals",
 ]

@@ -1,0 +1,895 @@
+"""Online cluster control plane: arrivals, failures, live migration.
+
+The static evaluation (:func:`~repro.cluster.simulate.evaluate_placement`)
+answers "does this packing meet SLAs in steady state?".  This module
+answers the question a production fleet actually faces: jobs arrive and
+depart online, devices crash / throttle / flap, and the packed cluster
+must keep its latency-critical tenants alive through all of it.
+
+One :class:`ClusterController` owns a single shared
+:class:`~repro.gpu.engine.EventLoop` with one device shard per simulated
+GPU — a :class:`~repro.gpu.device.GPUDevice`, its own sharing-policy
+instance, and a :class:`~repro.core.server.TallyServer` holding the
+shard's functional client state.  On top of the shards it runs:
+
+* **admission control** — arriving jobs are first-fit placed under the
+  same compute-budget / memory / one-HP-per-GPU constraints as
+  :func:`~repro.cluster.placement.packed_placement`; jobs that fit
+  nowhere wait in a bounded queue (backpressure) and are shed beyond it;
+* **failure handling** — the seeded device-fault schedule
+  (:meth:`~repro.faults.FaultInjector.device_fault_schedule`) drives
+  three fault kinds: a *crash* triggers reactive failover, a *degrade*
+  window slows the device (:meth:`~repro.gpu.device.GPUDevice.set_speed_factor`)
+  and is ridden through, and *flapping* past ``flap_threshold``
+  transitions quarantines the device and proactively migrates its
+  latency-critical tenants;
+* **checkpoint/restore live migration** — the driver freezes
+  (:meth:`~repro.workloads.InferenceJob.checkpoint`: cancel timers,
+  requeue the in-flight request, bump the stale-completion epoch), the
+  source policy disconnects the client (killing resident launches), the
+  functional state moves via :func:`~repro.core.server.migrate_client`
+  (allocations, module registrations, reply cache — so retried requests
+  replay idempotently), and after ``migration_downtime`` simulated
+  seconds the driver resumes on the target shard.  Arrivals keep
+  queueing throughout, so no admitted request is lost — the
+  migration-conservation invariant
+  (:func:`~repro.check.check_request_conservation`) audits exactly that;
+* **re-pack on failover** — when a displaced high-priority tenant fits
+  nowhere, best-effort tenants are migrated (or, as a last resort,
+  evicted) to make room;
+* **graceful drain** — :meth:`ClusterController.drain` migrates every
+  tenant off a device for scale-down.
+
+Everything is deterministic: fault schedules come from seeded sub-RNGs,
+arrival times from a seeded draw, and all control decisions are
+functions of event-loop state — a fixed seed replays bit-identically,
+including across the process-parallel :func:`run_cluster_sweep`.
+See ``docs/cluster.md`` for the full semantics.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import Counter, deque
+from dataclasses import dataclass
+
+from ..check import (
+    InvariantChecker,
+    ServiceLedger,
+    check_request_conservation,
+)
+from ..core.server import TallyServer, migrate_client
+from ..errors import HarnessError
+from ..faults import DeviceFaultEvent, FaultConfig, FaultInjector
+from ..gpu import EventLoop, GPUDevice
+from ..harness import JobSpec, RunConfig, standalone
+from ..harness.colocate import _traffic_for, make_policy
+from ..metrics import LatencySummary
+from ..metrics.recovery import RecoveryReport, ServiceRecovery
+from ..trace import (
+    NULL_TRACER,
+    AdmissionDecision,
+    DeviceDrain,
+    DeviceFault,
+    MigrationComplete,
+    MigrationStart,
+    Tracer,
+)
+from ..workloads import (
+    InferenceJob,
+    LLMServingJob,
+    TrainingJob,
+    WorkloadKind,
+    get_llm_model,
+    get_model,
+)
+from ..workloads.memory import A100_MEMORY_BYTES
+from .placement import ClusterJob, Placement
+from .simulate import ClusterResult, ServiceOutcome, _to_jobspec
+
+__all__ = [
+    "ClusterCase",
+    "ClusterController",
+    "run_controlplane",
+    "run_cluster_sweep",
+    "schedule_arrivals",
+]
+
+
+def schedule_arrivals(count: int, rate: float, *, seed: int = 0) -> list[float]:
+    """Seeded Poisson arrival times for ``count`` online jobs.
+
+    Drawn from a dedicated sub-RNG (``{seed}/arrivals``) so the job
+    arrival process never interleaves with any other randomness source.
+    """
+    if rate <= 0:
+        raise HarnessError(f"arrival rate must be > 0, got {rate!r}")
+    rng = random.Random(f"{seed}/arrivals")
+    times: list[float] = []
+    t = 0.0
+    for _ in range(count):
+        t += rng.expovariate(rate)
+        times.append(t)
+    return times
+
+
+@dataclass
+class _Tenant:
+    """One admitted job and its live bookkeeping."""
+
+    job: ClusterJob
+    spec: JobSpec
+    driver: object
+    client_id: str
+    role: str               # "inference" | "training" | "llm"
+    demand: float
+    memory: int
+    device: int             # current (or last) device index; -1 if evicted
+    admitted_at: float
+    evicted: bool = False
+    departed: bool = False
+    migrations: int = 0
+    downtime: float = 0.0
+    restored_at: float | None = None
+    #: set while checkpointed and off-device (downtime accrues from here)
+    paused_since: float | None = None
+    #: bumped per migration leg; stale restore events check it
+    move_seq: int = 0
+
+    @property
+    def latency_critical(self) -> bool:
+        return self.job.latency_critical
+
+
+class _Shard:
+    """One simulated GPU: device + policy + functional server."""
+
+    def __init__(self, index: int, engine: EventLoop, config: RunConfig,
+                 policy_name: str, tracer, checker, injector) -> None:
+        self.index = index
+        self.checker = checker
+        self.injector = injector
+        self.device = GPUDevice(
+            config.spec, engine,
+            colocation_slowdown=config.colocation_slowdown,
+            tracer=tracer, check=checker, faults=injector,
+        )
+        self.policy = make_policy(policy_name, self.device, engine,
+                                  tally_config=config.tally_config)
+        self.server = TallyServer(tracer=tracer)
+        self.alive = True
+        #: False while draining or quarantined — no new admissions
+        self.accepting = True
+        self.demand = 0.0
+        self.memory = 0
+        self.has_high = False
+        self.tenants: dict[str, _Tenant] = {}
+        self.flap_transitions = 0
+
+    def add(self, tenant: _Tenant) -> None:
+        self.tenants[tenant.client_id] = tenant
+        self.demand += tenant.demand
+        self.memory += tenant.memory
+        if tenant.latency_critical:
+            self.has_high = True
+
+    def remove(self, tenant: _Tenant) -> None:
+        self.tenants.pop(tenant.client_id, None)
+        self.demand -= tenant.demand
+        self.memory -= tenant.memory
+        if tenant.latency_critical:
+            self.has_high = any(t.latency_critical
+                                for t in self.tenants.values())
+
+    def fits(self, tenant_demand: float, tenant_memory: int,
+             is_high: bool, *, budget: float, capacity: int) -> bool:
+        if not (self.alive and self.accepting):
+            return False
+        if is_high and self.has_high:
+            return False
+        if self.demand + tenant_demand > budget:
+            return False
+        return self.memory + tenant_memory <= capacity
+
+
+class ClusterController:
+    """Event-driven control plane over ``devices`` shards.
+
+    Build one, then :meth:`run` it; or use :func:`run_controlplane`.
+    """
+
+    def __init__(self, jobs: list[ClusterJob], devices: int, *,
+                 policy: str = "Tally",
+                 config: RunConfig | None = None,
+                 placement: Placement | None = None,
+                 arrival_rate: float | None = None,
+                 faults: FaultConfig | None = None,
+                 fail_device: tuple[tuple[int, float], ...] = (),
+                 drain: tuple[tuple[int, float], ...] = (),
+                 tracer: Tracer | None = None,
+                 check: bool = False,
+                 compute_budget: float = 1.25,
+                 capacity_bytes: int | None = None,
+                 admission_limit: int = 8,
+                 flap_threshold: int = 3,
+                 migration_downtime: float = 0.05) -> None:
+        if devices < 1:
+            raise HarnessError("need at least one device")
+        if not jobs:
+            raise HarnessError("no jobs to serve")
+        if migration_downtime < 0:
+            raise HarnessError("migration_downtime must be >= 0")
+        self.config = config if config is not None else RunConfig(
+            duration=6.0, warmup=1.0)
+        self.policy_name = policy
+        self.jobs = list(jobs)
+        self.placement = placement
+        self.faults = faults
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.check_enabled = bool(check)
+        self.compute_budget = compute_budget
+        self.capacity_bytes = (capacity_bytes if capacity_bytes is not None
+                               else A100_MEMORY_BYTES)
+        self.admission_limit = admission_limit
+        self.flap_threshold = flap_threshold
+        self.migration_downtime = migration_downtime
+        self.arrival_rate = arrival_rate
+
+        duration = self.config.duration
+        for index, when in fail_device:
+            if not 0 <= index < devices:
+                raise HarnessError(
+                    f"--fail-device index {index} outside 0..{devices - 1}")
+            if not 0 <= when < duration:
+                raise HarnessError(
+                    f"--fail-device time {when} outside the run "
+                    f"[0, {duration})")
+        self.fail_device = tuple(fail_device)
+        for index, when in drain:
+            if not 0 <= index < devices:
+                raise HarnessError(
+                    f"drain index {index} outside 0..{devices - 1}")
+        self.drain_schedule = tuple(drain)
+
+        self.engine = EventLoop()
+        self.shards = [
+            _Shard(i, self.engine, self.config, policy,
+                   self.tracer,
+                   InvariantChecker() if check else None,
+                   FaultInjector(faults) if faults is not None else None)
+            for i in range(devices)
+        ]
+        self._client_counters: Counter[str] = Counter()
+        self._tenants: list[_Tenant] = []
+        self._admission_queue: deque[tuple[ClusterJob, float]] = deque()
+        self._downtimes: list[float] = []
+        self.admitted = 0
+        self.jobs_shed = 0
+        self.jobs_evicted = 0
+        self._fault_counts: Counter[str] = Counter()
+        self._ran = False
+
+    # ------------------------------------------------------------------
+    # Run loop
+    # ------------------------------------------------------------------
+    def run(self) -> ClusterResult:
+        """Run the scenario to ``config.duration`` and collect metrics."""
+        if self._ran:
+            raise HarnessError("controller already ran; build a fresh one")
+        self._ran = True
+        self._schedule_initial_jobs()
+        self._schedule_device_faults()
+        for index, when in self.drain_schedule:
+            self.engine.schedule_at(
+                when, lambda i=index: self.drain(i))
+        self._arm_slot_faults()
+        self.engine.run_until(self.config.duration)
+        return self._collect()
+
+    def _schedule_initial_jobs(self) -> None:
+        engine = self.engine
+        if self.placement is not None and self.arrival_rate is None:
+            # Static start: every job admitted to its placement bin at
+            # t=0 (bin order), then the run continues online.
+            for gpu_index, gpu_jobs in enumerate(self.placement.bins):
+                for job in gpu_jobs:
+                    shard = self.shards[gpu_index]
+                    engine.schedule_at(
+                        0.0, lambda j=job, s=shard: self._admit(j, s))
+            return
+        if self.arrival_rate is None:
+            for job in self.jobs:
+                engine.schedule_at(
+                    0.0, lambda j=job: self._on_job_arrival(j))
+            return
+        times = schedule_arrivals(len(self.jobs), self.arrival_rate,
+                                  seed=self.config.trace_seed)
+        for job, when in zip(self.jobs, times):
+            if when >= self.config.duration:
+                continue  # arrived after the run window; never existed
+            engine.schedule_at(
+                when, lambda j=job: self._on_job_arrival(j))
+
+    def _schedule_device_faults(self) -> None:
+        duration = self.config.duration
+        for shard in self.shards:
+            if shard.injector is None:
+                continue
+            schedule = shard.injector.device_fault_schedule(
+                shard.index, duration)
+            for event in schedule:
+                self.engine.schedule_at(
+                    min(event.time, duration),
+                    lambda s=shard, e=event: self._on_device_fault(s, e))
+        for index, when in self.fail_device:
+            shard = self.shards[index]
+            crash = DeviceFaultEvent(when, "crash")
+            self.engine.schedule_at(
+                when, lambda s=shard, e=crash: self._on_device_fault(s, e))
+
+    def _arm_slot_faults(self) -> None:
+        if self.faults is None or self.faults.slot_fault_rate <= 0:
+            return
+        from ..faults import arm_slot_faults
+
+        for shard in self.shards:
+            arm_slot_faults(shard.device, self.engine, shard.injector,
+                            self.config.duration, tracer=self.tracer)
+
+    # ------------------------------------------------------------------
+    # Admission control
+    # ------------------------------------------------------------------
+    def _find_shard(self, job_demand: float, job_memory: int,
+                    is_high: bool, *,
+                    exclude: "_Shard | None" = None) -> "_Shard | None":
+        for shard in self.shards:
+            if shard is exclude:
+                continue
+            if shard.fits(job_demand, job_memory, is_high,
+                          budget=self.compute_budget,
+                          capacity=self.capacity_bytes):
+                return shard
+        return None
+
+    def _on_job_arrival(self, job: ClusterJob) -> None:
+        shard = self._find_shard(job.demand(self.config.spec), job.memory(),
+                                 job.latency_critical)
+        if shard is not None:
+            self._admit(job, shard)
+            return
+        if len(self._admission_queue) < self.admission_limit:
+            self._admission_queue.append((job, self.engine.now))
+            self._emit_admission(job.model, "queued")
+            return
+        self.jobs_shed += 1
+        self._emit_admission(job.model, "shed")
+
+    def _drain_admission_queue(self) -> None:
+        """Capacity freed: try to admit queued jobs, FIFO."""
+        admitted_any = True
+        while admitted_any and self._admission_queue:
+            admitted_any = False
+            job, _arrived = self._admission_queue[0]
+            shard = self._find_shard(job.demand(self.config.spec),
+                                     job.memory(), job.latency_critical)
+            if shard is not None:
+                self._admission_queue.popleft()
+                self._admit(job, shard)
+                admitted_any = True
+
+    def _admit(self, job: ClusterJob, shard: _Shard) -> None:
+        spec = _to_jobspec(job)
+        n = self._client_counters[job.model]
+        self._client_counters[job.model] += 1
+        client_id = f"{job.model}#{n}"
+        now = self.engine.now
+        if job.depart_at is not None and spec.role == "llm":
+            raise HarnessError(
+                f"LLM tenant {job.model!r}: depart_at is not supported "
+                "(LLM endpoints have no graceful-close surface yet)")
+        driver = self._build_driver(spec, shard.policy, client_id)
+        shard.server.connect(client_id, spec.effective_priority)
+        tenant = _Tenant(
+            job=job, spec=spec, driver=driver, client_id=client_id,
+            role=spec.role, demand=job.demand(self.config.spec),
+            memory=job.memory(), device=shard.index, admitted_at=now,
+        )
+        shard.add(tenant)
+        self._tenants.append(tenant)
+        self.admitted += 1
+        self._emit_admission(client_id, "admitted", device=shard.index)
+        if spec.role == "training":
+            driver.start()
+        else:
+            driver.start(since=now)
+        if job.depart_at is not None:
+            self.engine.schedule_at(max(now, job.depart_at),
+                                    lambda t=tenant: self._depart(t))
+
+    def _build_driver(self, spec: JobSpec, policy, client_id: str):
+        config = self.config
+        if spec.role == "llm":
+            llm_model = get_llm_model(spec.model)
+            traffic = _traffic_for(spec, llm_model.mean_request_time(),
+                                   config)
+            return LLMServingJob(llm_model, traffic, policy, client_id,
+                                 priority=spec.effective_priority,
+                                 seed=spec.traffic_seed)
+        model = get_model(spec.model)
+        expected = ("inference" if model.kind is WorkloadKind.INFERENCE
+                    else "training")
+        if expected != spec.role:
+            raise HarnessError(
+                f"model {spec.model!r} is a {expected} workload, "
+                f"not {spec.role}")
+        trace = model.build_trace(config.spec, seed=config.trace_seed)
+        if spec.role == "inference":
+            traffic = _traffic_for(spec, trace.duration, config)
+            return InferenceJob(trace, traffic, policy, client_id,
+                                priority=spec.effective_priority)
+        return TrainingJob(trace, policy, client_id,
+                           priority=spec.effective_priority)
+
+    def _emit_admission(self, client_id: str, action: str, *,
+                        device: int = -1) -> None:
+        if self.tracer.enabled:
+            self.tracer.emit(AdmissionDecision(
+                ts=self.engine.now, client_id=client_id, kernel="",
+                action=action, device=device,
+                queue_depth=len(self._admission_queue),
+            ))
+
+    def _depart(self, tenant: _Tenant) -> None:
+        """Graceful online departure: drain the tenant, free capacity."""
+        if tenant.evicted or tenant.departed:
+            return
+        tenant.departed = True
+        driver = tenant.driver
+        if tenant.role == "training":
+            driver.stop()  # type: ignore[attr-defined]
+        else:
+            driver.close()  # type: ignore[attr-defined]
+        shard = self.shards[tenant.device]
+        if tenant.client_id in shard.tenants:
+            shard.remove(tenant)
+        self._drain_admission_queue()
+
+    # ------------------------------------------------------------------
+    # Device faults
+    # ------------------------------------------------------------------
+    def _on_device_fault(self, shard: _Shard, event: DeviceFaultEvent) -> None:
+        if not shard.alive:
+            return  # the device is already dead; nothing left to break
+        self._fault_counts[f"device_{event.kind}"] += 1
+        if self.tracer.enabled:
+            self.tracer.emit(DeviceFault(
+                ts=self.engine.now, client_id="", kernel="",
+                device=shard.index, fault=event.kind,
+                factor=event.factor, flapping=event.flapping,
+            ))
+        if event.kind == "crash":
+            self._fail_device(shard)
+        elif event.kind == "degrade":
+            shard.device.set_speed_factor(event.factor)
+            if event.flapping:
+                shard.flap_transitions += 1
+                if (shard.flap_transitions >= self.flap_threshold
+                        and shard.accepting):
+                    self._quarantine(shard)
+        elif event.kind == "recover":
+            shard.device.set_speed_factor(1.0)
+
+    def _fail_device(self, shard: _Shard) -> None:
+        """Reactive failover: the device died, everyone must move."""
+        shard.alive = False
+        shard.accepting = False
+        # Latency-critical tenants recover first: they contend for the
+        # same spare capacity as the best-effort re-pack that follows.
+        tenants = sorted(shard.tenants.values(),
+                         key=lambda t: 0 if t.latency_critical else 1)
+        for tenant in tenants:
+            reason = "failover" if tenant.latency_critical else "repack"
+            self._migrate(tenant, shard, reason=reason)
+        self._drain_admission_queue()
+
+    def _quarantine(self, shard: _Shard) -> None:
+        """A flapping device is unstable: stop admissions, move HP off.
+
+        Best-effort tenants stay — they tolerate the slow windows, and
+        moving them would churn the rest of the fleet.
+        """
+        shard.accepting = False
+        for tenant in [t for t in shard.tenants.values()
+                       if t.latency_critical]:
+            self._migrate(tenant, shard, reason="flapping")
+
+    def drain(self, device_index: int) -> None:
+        """Gracefully drain a device for scale-down: migrate everyone."""
+        shard = self.shards[device_index]
+        if not shard.alive:
+            return
+        shard.accepting = False
+        tenants = sorted(shard.tenants.values(),
+                         key=lambda t: 0 if t.latency_critical else 1)
+        migrated = 0
+        for tenant in tenants:
+            self._migrate(tenant, shard, reason="drain")
+            if not tenant.evicted and tenant.device != shard.index:
+                migrated += 1
+        if self.tracer.enabled:
+            self.tracer.emit(DeviceDrain(
+                ts=self.engine.now, client_id="", kernel="",
+                device=shard.index, migrated=migrated,
+            ))
+
+    # ------------------------------------------------------------------
+    # Live migration
+    # ------------------------------------------------------------------
+    def _migrate(self, tenant: _Tenant, source: _Shard, *,
+                 reason: str) -> None:
+        now = self.engine.now
+        driver = tenant.driver
+        if tenant.role == "llm":
+            # LLM endpoints have no driver-level checkpoint surface yet
+            # (the functional KV image migrates fine — the continuous-
+            # batching driver state does not).  On a dead device the
+            # endpoint is lost; on a draining/flapping one it rides out.
+            if not source.alive:
+                self._evict(tenant, source, pending=driver.pending_requests)
+            return
+        driver.checkpoint()  # type: ignore[attr-defined]
+        if tenant.paused_since is None:
+            tenant.paused_since = now
+        tenant.move_seq += 1
+        source.policy.disconnect(tenant.client_id)
+        source.remove(tenant)
+        pending = (driver.pending_requests
+                   if tenant.role == "inference" else 0)
+        if tenant.departed and tenant.role == "training":
+            # A stopped trainer has nothing left to run; don't re-place.
+            return
+        target = self._find_shard(tenant.demand, tenant.memory,
+                                  tenant.latency_critical, exclude=source)
+        if target is None and tenant.latency_critical:
+            target = self._make_room(tenant, exclude=source)
+        if target is None:
+            if self.tracer.enabled:
+                self.tracer.emit(MigrationStart(
+                    ts=now, client_id=tenant.client_id, kernel="",
+                    source=source.index, target=-1, reason=reason,
+                    pending=pending,
+                ))
+            self._evict(tenant, source, pending=pending)
+            return
+        if self.tracer.enabled:
+            self.tracer.emit(MigrationStart(
+                ts=now, client_id=tenant.client_id, kernel="",
+                source=source.index, target=target.index, reason=reason,
+                pending=pending,
+            ))
+        migrate_client(source.server, target.server, tenant.client_id,
+                       ts=now)
+        target.add(tenant)
+        tenant.device = target.index
+        seq = tenant.move_seq
+        self.engine.schedule_at(
+            now + self.migration_downtime,
+            lambda: self._complete_restore(tenant, target, seq))
+
+    def _make_room(self, tenant: _Tenant,
+                   exclude: _Shard) -> "_Shard | None":
+        """Re-pack: displace best-effort tenants so a HP tenant fits.
+
+        Scans healthy shards for one whose best-effort tenants, moved
+        elsewhere (or evicted as a last resort — priority means
+        something), free enough compute and memory for ``tenant``.
+        """
+        for shard in self.shards:
+            if shard is exclude or not (shard.alive and shard.accepting):
+                continue
+            if shard.has_high and tenant.latency_critical:
+                continue
+            victims: list[_Tenant] = []
+            demand = shard.demand
+            memory = shard.memory
+            for candidate in sorted(
+                    (t for t in shard.tenants.values()
+                     if not t.latency_critical),
+                    key=lambda t: t.demand):
+                if (demand + tenant.demand <= self.compute_budget
+                        and memory + tenant.memory <= self.capacity_bytes):
+                    break
+                victims.append(candidate)
+                demand -= candidate.demand
+                memory -= candidate.memory
+            if (demand + tenant.demand > self.compute_budget
+                    or memory + tenant.memory > self.capacity_bytes):
+                continue  # even emptying the BE tenants wouldn't fit
+            for victim in victims:
+                self._migrate(victim, shard, reason="repack")
+            return shard
+        return None
+
+    def _complete_restore(self, tenant: _Tenant, target: _Shard,
+                          seq: int) -> None:
+        if tenant.evicted or seq != tenant.move_seq:
+            return  # superseded by a later migration leg (or eviction)
+        if not target.alive:
+            # The target died inside the downtime window; the crash
+            # handler has already re-migrated the checkpointed tenant.
+            return
+        downtime = self.engine.now - (tenant.paused_since
+                                      if tenant.paused_since is not None
+                                      else self.engine.now)
+        tenant.driver.restore(target.policy)  # type: ignore[attr-defined]
+        tenant.paused_since = None
+        tenant.restored_at = self.engine.now
+        tenant.downtime += downtime
+        tenant.migrations += 1
+        self._downtimes.append(downtime)
+        if self.tracer.enabled:
+            self.tracer.emit(MigrationComplete(
+                ts=self.engine.now, client_id=tenant.client_id, kernel="",
+                target=target.index, downtime=downtime,
+            ))
+
+    def _evict(self, tenant: _Tenant, owner: _Shard, *,
+               pending: int) -> None:
+        """No capacity anywhere: the tenant dies, its work is shed."""
+        tenant.evicted = True
+        tenant.device = -1
+        self.jobs_evicted += 1
+        tenant.driver.crash()  # type: ignore[attr-defined]
+        owner.policy.disconnect(tenant.client_id)
+        owner.remove(tenant)
+        owner.server.disconnect(tenant.client_id, ts=self.engine.now)
+
+    # ------------------------------------------------------------------
+    # Collection
+    # ------------------------------------------------------------------
+    def _ledger(self, tenant: _Tenant) -> ServiceLedger | None:
+        driver = tenant.driver
+        if tenant.role == "inference":
+            assert isinstance(driver, InferenceJob)
+            return ServiceLedger(
+                client_id=tenant.client_id,
+                arrivals=driver.arrivals_total,
+                completed=len(driver.records),
+                pending=driver.pending_requests,
+                shed=driver.shed_requests,
+            )
+        if tenant.role == "llm":
+            assert isinstance(driver, LLMServingJob)
+            arrivals = len(driver.requests)
+            completed = sum(1 for r in driver.requests if r.completed)
+            evicted = sum(1 for r in driver.requests if r.evicted)
+            pending = driver.pending_requests
+            stranded = arrivals - completed - evicted - pending
+            return ServiceLedger(
+                client_id=tenant.client_id, arrivals=arrivals,
+                completed=completed, pending=pending,
+                shed=evicted + stranded,
+            )
+        return None  # training has no request ledger
+
+    def _collect(self) -> ClusterResult:
+        config = self.config
+        start, end = config.window
+        span = end - start
+        ledgers = [ledger for tenant in self._tenants
+                   if (ledger := self._ledger(tenant)) is not None]
+        audits = check_request_conservation(ledgers)
+        services: list[ServiceOutcome] = []
+        recoveries: list[ServiceRecovery] = []
+        total_throughput = 0.0
+        requests_shed = 0
+        for tenant in self._tenants:
+            ledger = self._ledger(tenant)
+            if ledger is not None:
+                requests_shed += ledger.shed
+            baseline = standalone(tenant.spec, config)
+            completed = tenant.driver.completions_in(start, end)  # type: ignore[attr-defined]
+            if baseline.rate > 0:
+                total_throughput += (completed / span) / baseline.rate
+            if not tenant.latency_critical:
+                continue
+            baseline_tail = _baseline_tail(baseline)
+            tail = _tenant_tail(tenant, start, end)
+            threshold = tenant.job.sla_factor * baseline_tail
+            latencies = _tenant_latencies(tenant, start, end)
+            attainment = (sum(1 for lat in latencies if lat <= threshold)
+                          / len(latencies) if latencies else float("nan"))
+            if tenant.restored_at is not None:
+                post = _tenant_latencies(tenant, tenant.restored_at, end)
+                post_attainment = (
+                    sum(1 for lat in post if lat <= threshold) / len(post)
+                    if post else float("nan"))
+            else:
+                post_attainment = float("nan")
+            services.append(ServiceOutcome(
+                model=tenant.job.model,
+                gpu=tenant.device,
+                p99_ratio=tail / baseline_tail,
+                sla_factor=tenant.job.sla_factor,
+            ))
+            recoveries.append(ServiceRecovery(
+                client_id=tenant.client_id,
+                model=tenant.job.model,
+                device=tenant.device,
+                migrations=tenant.migrations,
+                downtime=tenant.downtime,
+                slo_attainment=attainment,
+                post_recovery_attainment=post_attainment,
+                evicted=tenant.evicted,
+            ))
+        for shard in self.shards:
+            if shard.injector is not None:
+                self._fault_counts.update(
+                    {kind: count for kind, count
+                     in shard.injector.injected.items()
+                     if not kind.startswith("device_")})
+        report = RecoveryReport(
+            services=tuple(recoveries),
+            migrations=len(self._downtimes),
+            jobs_shed=self.jobs_shed,
+            jobs_evicted=self.jobs_evicted,
+            requests_shed=requests_shed,
+            mttr=(sum(self._downtimes) / len(self._downtimes)
+                  if self._downtimes else float("nan")),
+            device_faults=dict(self._fault_counts),
+        )
+        checks = audits + sum(shard.checker.checks_run
+                              for shard in self.shards
+                              if shard.checker is not None)
+        return ClusterResult(
+            policy=self.policy_name,
+            gpus_used=len(self.shards),
+            services=services,
+            total_normalized_throughput=total_throughput,
+            events=self.engine.events_processed,
+            recovery=report,
+            invariant_checks=checks,
+        )
+
+
+def _baseline_tail(baseline) -> float:
+    if baseline.latency is not None:
+        return baseline.latency.p99
+    if baseline.serving is not None and baseline.serving.ttft is not None:
+        return baseline.serving.ttft.p99
+    return float("inf")
+
+
+def _tenant_latencies(tenant: _Tenant, since: float,
+                      until: float) -> list[float]:
+    driver = tenant.driver
+    if tenant.role == "inference":
+        assert isinstance(driver, InferenceJob)
+        return driver.latencies(since=since, until=until)
+    assert isinstance(driver, LLMServingJob)
+    return [r.ttft for r in driver.requests
+            if r.first_token is not None
+            and since <= r.first_token < until]
+
+
+def _tenant_tail(tenant: _Tenant, since: float, until: float) -> float:
+    latencies = _tenant_latencies(tenant, since, until)
+    if not latencies:
+        return float("inf")  # zero completions: the worst SLA outcome
+    return LatencySummary.of(latencies).p99
+
+
+# ---------------------------------------------------------------------------
+# Parallel sweep over control-plane cases
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ClusterCase:
+    """One fully described, picklable control-plane run.
+
+    Lives here rather than in :mod:`repro.harness.sweep` because the
+    cluster package already imports the harness (the reverse import
+    would be circular); the worker-pool mechanics are shared.
+    """
+
+    jobs: tuple[ClusterJob, ...]
+    devices: int
+    policy: str = "Tally"
+    config: RunConfig | None = None
+    label: str = ""
+    check: bool = False
+    faults: FaultConfig | None = None
+    arrival_rate: float | None = None
+    fail_device: tuple[tuple[int, float], ...] = ()
+    drain: tuple[tuple[int, float], ...] = ()
+    admission_limit: int = 8
+    flap_threshold: int = 3
+    migration_downtime: float = 0.05
+
+
+def _run_cluster_case(case: ClusterCase) -> ClusterResult:
+    controller = ClusterController(
+        list(case.jobs), case.devices, policy=case.policy,
+        config=case.config, arrival_rate=case.arrival_rate,
+        faults=case.faults, fail_device=case.fail_device,
+        drain=case.drain, check=case.check,
+        admission_limit=case.admission_limit,
+        flap_threshold=case.flap_threshold,
+        migration_downtime=case.migration_downtime,
+    )
+    return controller.run()
+
+
+def run_cluster_sweep(cases: list[ClusterCase], *,
+                      jobs: int = 1) -> list[ClusterResult]:
+    """Run control-plane cases, optionally over worker processes.
+
+    Every case is an independent simulation with its own event loop and
+    seeded schedules, so ``jobs=N`` is bit-identical to ``jobs=1`` —
+    workers receive configs (never live injectors or drivers) and start
+    with the parent's transform-memo warm snapshot, exactly like
+    :func:`repro.harness.run_sweep`.
+    """
+    import os
+    from concurrent.futures import ProcessPoolExecutor
+
+    from ..harness.sweep import _init_worker
+    from ..transform.memo import warm_snapshot
+
+    cases = list(cases)
+    if jobs <= 1 or len(cases) <= 1:
+        return [_run_cluster_case(case) for case in cases]
+    workers = min(jobs, len(cases), os.cpu_count() or 1)
+    with ProcessPoolExecutor(max_workers=workers,
+                             initializer=_init_worker,
+                             initargs=(warm_snapshot(),)) as pool:
+        return list(pool.map(_run_cluster_case, cases))
+
+
+def run_controlplane(jobs: list[ClusterJob] | None = None,
+                     devices: int | None = None, *,
+                     placement: Placement | None = None,
+                     policy: str = "Tally",
+                     config: RunConfig | None = None,
+                     arrival_rate: float | None = None,
+                     faults: FaultConfig | None = None,
+                     fail_device: tuple[tuple[int, float], ...] = (),
+                     drain: tuple[tuple[int, float], ...] = (),
+                     tracer: Tracer | None = None,
+                     check: bool = False,
+                     compute_budget: float = 1.25,
+                     capacity_bytes: int | None = None,
+                     admission_limit: int = 8,
+                     flap_threshold: int = 3,
+                     migration_downtime: float = 0.05) -> ClusterResult:
+    """Run one online control-plane scenario and return its result.
+
+    Two entry shapes:
+
+    * ``placement=`` — start from a validated (e.g. packed) placement:
+      every job begins on its assigned device at t=0 and the run
+      continues online from there (the failover scenario);
+    * ``jobs=`` + ``devices=`` — fully online: jobs are admitted
+      first-fit as they arrive (all at t=0, or Poisson-spaced when
+      ``arrival_rate`` is given).
+    """
+    if placement is not None:
+        job_list = placement.jobs()
+        device_count = placement.gpus_used if devices is None else devices
+    else:
+        if jobs is None or devices is None:
+            raise HarnessError(
+                "run_controlplane needs either placement= or jobs= and "
+                "devices=")
+        job_list = list(jobs)
+        device_count = devices
+    controller = ClusterController(
+        job_list, device_count, policy=policy, config=config,
+        placement=placement if arrival_rate is None else None,
+        arrival_rate=arrival_rate, faults=faults,
+        fail_device=fail_device, drain=drain, tracer=tracer, check=check,
+        compute_budget=compute_budget, capacity_bytes=capacity_bytes,
+        admission_limit=admission_limit, flap_threshold=flap_threshold,
+        migration_downtime=migration_downtime,
+    )
+    return controller.run()

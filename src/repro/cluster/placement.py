@@ -40,6 +40,9 @@ class ClusterJob:
     #: so it can share a GPU with an online service (the Fig. 6a setup)
     offline: bool = False
     traffic_seed: int = 0
+    #: online control plane only: simulated time at which the job
+    #: gracefully departs the cluster (None = stays the whole run)
+    depart_at: float | None = None
 
     @property
     def role(self) -> str:
@@ -92,9 +95,15 @@ class Placement:
                 )
             memory = sum(j.memory() for j in gpu)
             if memory > capacity_bytes:
+                footprints = ", ".join(
+                    f"{j.model}={j.memory() / 1024 ** 3:.2f} GiB"
+                    for j in gpu
+                )
                 raise HarnessError(
-                    f"GPU {i} memory over-committed "
-                    f"({memory / 1024 ** 3:.1f} GiB)"
+                    f"GPU {i} memory over-committed: "
+                    f"{memory / 1024 ** 3:.2f} GiB placed on a "
+                    f"{capacity_bytes / 1024 ** 3:.2f} GiB device "
+                    f"({footprints})"
                 )
 
 

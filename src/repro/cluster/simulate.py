@@ -16,6 +16,7 @@ from ..baselines import Priority
 from ..errors import HarnessError
 from ..harness import (JobSpec, RunConfig, SweepCase, run_colocation,
                        run_sweep, standalone)
+from ..metrics.recovery import RecoveryReport
 from .placement import ClusterJob, Placement
 
 __all__ = ["ServiceOutcome", "ClusterResult", "evaluate_placement"]
@@ -45,6 +46,12 @@ class ClusterResult:
     total_normalized_throughput: float
     #: simulation events processed across every GPU's run
     events: int = 0
+    #: recovery metrics — downtime per service, MTTR, shed/evicted
+    #: counts, SLO attainment through the fault window; populated by
+    #: the online control plane, None for static evaluations
+    recovery: RecoveryReport | None = None
+    #: invariant audits performed across the run (0 when unchecked)
+    invariant_checks: int = 0
 
     @property
     def sla_violations(self) -> int:
@@ -67,14 +74,19 @@ def _to_jobspec(job: ClusterJob) -> JobSpec:
 
 
 def _tail_p99(job_result) -> float:
-    """The service's tail metric: request p99, or TTFT p99 for LLMs."""
+    """The service's tail metric: request p99, or TTFT p99 for LLMs.
+
+    A latency-critical service that completed *zero* requests in the
+    window (crashed via ``JobSpec.crash_at``, or killed by a device
+    fault) has no tail — that is the worst possible SLA outcome, not a
+    configuration error, so it reports ``inf`` (an unconditional SLA
+    violation) instead of aborting the whole cluster evaluation.
+    """
     if job_result.latency is not None:
         return job_result.latency.p99
     if job_result.serving is not None and job_result.serving.ttft is not None:
         return job_result.serving.ttft.p99
-    raise HarnessError(
-        f"service {job_result.client_id!r} reported no tail latency"
-    )
+    return float("inf")
 
 
 def evaluate_placement(placement: Placement, policy: str,

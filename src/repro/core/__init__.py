@@ -16,11 +16,12 @@ from .client import connect_runtime
 from .config import DEFAULT_TURNAROUND_BOUND, TallyConfig
 from .profiler import Measurement, TransparentProfiler
 from .scheduler import Tally, TallyStats
-from .server import TallyServer
+from .server import ClientCheckpoint, TallyServer, migrate_client
 from .transformer import ExecMode, ExecPlan, KernelTransformer
 
 __all__ = [
     "DEFAULT_TURNAROUND_BOUND",
+    "ClientCheckpoint",
     "ExecMode",
     "ExecPlan",
     "KernelTransformer",
@@ -34,4 +35,5 @@ __all__ = [
     "TransparentProfiler",
     "connect_runtime",
     "generate_candidates",
+    "migrate_client",
 ]

@@ -18,11 +18,11 @@ from dataclasses import dataclass, field
 from typing import Any
 
 from ..baselines.base import Priority
-from ..errors import ExecutionError, VirtError
+from ..errors import ExecutionError, MigrationError, VirtError
 from ..faults.injector import NULL_INJECTOR
 from ..ptx.interpreter import Interpreter
-from ..runtime.memory import MemoryManager
-from ..runtime.registration import ModuleRegistry
+from ..runtime.memory import MemoryManager, MemorySnapshot
+from ..runtime.registration import FatBinary, ModuleRegistry
 from ..trace.events import ClientGC
 from ..trace.tracer import NULL_TRACER
 from ..transform.memo import transform_memo
@@ -42,7 +42,7 @@ from ..virt.protocol import (
 )
 from .transformer import ExecMode, ExecPlan, KernelTransformer
 
-__all__ = ["ClientState", "TallyServer"]
+__all__ = ["ClientCheckpoint", "ClientState", "TallyServer", "migrate_client"]
 
 #: replies remembered per server for idempotent replay of retried or
 #: duplicated envelopes; old entries evict in arrival order
@@ -65,6 +65,32 @@ class ClientState:
         self.interpreter = Interpreter(self.memory_manager.memory)
 
 
+@dataclass(frozen=True)
+class ClientCheckpoint:
+    """Replayable server-side state of one client, for live migration.
+
+    Everything :meth:`TallyServer.restore` needs to resume the client on
+    another server with no observable difference: execution plan,
+    registered device code, the full memory image (which *is* the LLM
+    KV-cache occupancy — KV blocks are ordinary ``MemoryManager``
+    allocations), and the client's cached replies so a request retried
+    across the migration replays idempotently instead of re-executing.
+    """
+
+    client_id: str
+    priority: Priority
+    plan: ExecPlan
+    binaries: tuple[FatBinary, ...]
+    memory: MemorySnapshot
+    replies: tuple[tuple[int, Response], ...]  # request_id -> cached reply
+    launches: int = 0
+
+    @property
+    def live_elements(self) -> int:
+        """Device-memory footprint carried by this checkpoint."""
+        return self.memory.live_elements
+
+
 class TallyServer:
     """Handles the virtualization protocol and executes device work."""
 
@@ -85,6 +111,7 @@ class TallyServer:
         self.requests_handled = 0
         self.replay_hits = 0
         self.clients_collected = 0
+        self.clients_restored = 0
 
     # ------------------------------------------------------------------
     # Connection management
@@ -138,6 +165,67 @@ class TallyServer:
                 freed_bytes=freed_bytes, buffers_freed=buffers,
             ))
         return state
+
+    # ------------------------------------------------------------------
+    # Checkpoint/restore (live migration)
+    # ------------------------------------------------------------------
+    def checkpoint(self, client_id: str) -> ClientCheckpoint:
+        """Serialize ``client_id``'s replayable state for migration.
+
+        The source server keeps serving the client until
+        :meth:`disconnect` garbage-collects it — callers migrating a
+        live client should checkpoint, restore on the target, then
+        disconnect here (:func:`migrate_client` does exactly that).
+        """
+        state = self._clients.get(client_id)
+        if state is None:
+            raise MigrationError(
+                f"cannot checkpoint unknown client {client_id!r}")
+        return ClientCheckpoint(
+            client_id=client_id,
+            priority=state.priority,
+            plan=state.plan,
+            binaries=tuple(state.registry.binaries()),
+            memory=state.memory_manager.snapshot(),
+            replies=tuple((rid, reply) for (cid, rid), reply
+                          in self._replies.items() if cid == client_id),
+            launches=state.launches,
+        )
+
+    def restore(self, ckpt: ClientCheckpoint, *,
+                channel_config: ChannelConfig = SHARED_MEMORY) -> Channel:
+        """Recreate a checkpointed client on this server.
+
+        Rebuilds the memory image (buffer names preserved, so every
+        handle the client holds stays valid), re-registers its device
+        code, and reinstalls its cached replies so retried envelopes
+        still replay.  Returns the client's new channel, with its
+        request-id sequence advanced past every migrated reply — a
+        fresh request must never collide with a cached id, or the cache
+        would answer it with another call's stale reply.
+        """
+        if ckpt.client_id in self._clients:
+            raise MigrationError(
+                f"client {ckpt.client_id!r} is already registered on the "
+                "restore target")
+        state = ClientState(
+            ckpt.client_id, ckpt.priority, ckpt.plan,
+            memory_manager=MemoryManager.from_snapshot(ckpt.memory),
+        )
+        for binary in ckpt.binaries:
+            state.registry.register(binary)
+        state.launches = ckpt.launches
+        self._clients[ckpt.client_id] = state
+        for rid, reply in ckpt.replies:
+            self._replies[(ckpt.client_id, rid)] = reply
+        while len(self._replies) > REPLY_CACHE_SIZE:
+            self._replies.popitem(last=False)
+        self.clients_restored += 1
+        channel = Channel(self.handle, channel_config, faults=self.faults,
+                          tracer=self.tracer, client_id=ckpt.client_id)
+        channel.resume_sequence(max((rid for rid, _ in ckpt.replies),
+                                    default=0))
+        return channel
 
     # ------------------------------------------------------------------
     # Protocol handling
@@ -213,3 +301,19 @@ class TallyServer:
         if isinstance(request, SynchronizeRequest):
             return None  # execution is synchronous on the functional path
         raise VirtError(f"unknown request type {type(request).__name__}")
+
+
+def migrate_client(source: TallyServer, target: TallyServer,
+                   client_id: str, *, ts: float = 0.0,
+                   channel_config: ChannelConfig = SHARED_MEMORY) -> Channel:
+    """Move ``client_id`` from ``source`` to ``target`` atomically.
+
+    Checkpoint on the source, restore on the target, then garbage-
+    collect the source copy — the order matters: if restore raises
+    (e.g. the id is taken on the target) the source copy is untouched
+    and the client keeps running where it was.
+    """
+    ckpt = source.checkpoint(client_id)
+    channel = target.restore(ckpt, channel_config=channel_config)
+    source.disconnect(client_id, ts=ts)
+    return channel

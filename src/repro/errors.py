@@ -107,6 +107,25 @@ class PreemptTimeout(FaultError):
     """
 
 
+class DeviceLost(FaultError):
+    """Raised when an operation targets a simulated device that crashed.
+
+    The cluster control plane marks a device lost when its injected
+    crash fires; submissions against it fail fast with this error and
+    latency-critical tenants are recovered by checkpoint/restore live
+    migration (:mod:`repro.cluster.controlplane`).
+    """
+
+
+class MigrationError(FaultError):
+    """Raised when checkpoint/restore live migration cannot complete.
+
+    Examples: checkpointing a client the server does not know, restoring
+    onto a device without enough free memory, or restoring a checkpoint
+    whose client id is already registered on the target.
+    """
+
+
 class SchedulerError(ReproError):
     """Raised by scheduling policies on inconsistent state."""
 

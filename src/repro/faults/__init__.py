@@ -19,9 +19,15 @@ which imports the policies, which import the device.
 from __future__ import annotations
 
 from .config import FaultConfig
-from .injector import NULL_INJECTOR, FaultInjector, NullInjector
+from .injector import (
+    NULL_INJECTOR,
+    DeviceFaultEvent,
+    FaultInjector,
+    NullInjector,
+)
 
 __all__ = [
+    "DeviceFaultEvent",
     "FaultConfig",
     "FaultInjector",
     "NULL_INJECTOR",

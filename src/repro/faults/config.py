@@ -67,6 +67,25 @@ class FaultConfig:
     #: convenience; harness users set JobSpec.crash_at directly)
     crash_at: float | None = None
 
+    # -- cluster / device faults (control plane) --
+    #: expected device crashes per simulated second (per device);
+    #: the first arrival kills the device for the rest of the run
+    device_crash_rate: float = 0.0
+    #: expected transient-degradation windows per simulated second
+    #: (per device; thermal throttling, noisy host neighbours)
+    device_degraded_rate: float = 0.0
+    #: block-duration multiplier while a device is degraded
+    degraded_factor: float = 4.0
+    #: length of one degradation window (seconds)
+    degraded_duration: float = 0.5
+    #: expected flapping bursts per simulated second (per device) — a
+    #: burst is ``flap_count`` short degrade/recover cycles in a row
+    device_flap_rate: float = 0.0
+    #: degrade/recover cycles per flapping burst
+    flap_count: int = 4
+    #: spacing of flap cycles (each degraded for half the period)
+    flap_period: float = 0.2
+
     def __post_init__(self) -> None:
         for name in _RATE_FIELDS:
             value = getattr(self, name)
@@ -80,11 +99,29 @@ class FaultConfig:
             raise HarnessError("crash_after_calls must be >= 0")
         if self.crash_at is not None and self.crash_at < 0:
             raise HarnessError("crash_at must be >= 0")
+        for name in ("device_crash_rate", "device_degraded_rate",
+                     "device_flap_rate"):
+            if getattr(self, name) < 0:
+                raise HarnessError(f"{name} must be >= 0")
+        if self.degraded_factor < 1.0:
+            raise HarnessError("degraded_factor must be >= 1.0")
+        if self.degraded_duration <= 0:
+            raise HarnessError("degraded_duration must be > 0")
+        if self.flap_count < 1:
+            raise HarnessError("flap_count must be >= 1")
+        if self.flap_period <= 0:
+            raise HarnessError("flap_period must be > 0")
 
     @property
     def any_channel_faults(self) -> bool:
         return (self.drop > 0 or self.duplicate > 0 or self.corrupt > 0
                 or self.delay > 0 or self.crash_after_calls is not None)
+
+    @property
+    def any_device_faults(self) -> bool:
+        """Whether any cluster-level device fault kind is enabled."""
+        return (self.device_crash_rate > 0 or self.device_degraded_rate > 0
+                or self.device_flap_rate > 0)
 
     @staticmethod
     def parse(spec: str) -> "FaultConfig":
@@ -107,7 +144,7 @@ class FaultConfig:
                     f"{', '.join(sorted(known))}"
                 )
             try:
-                if key in ("seed", "crash_after_calls"):
+                if key in ("seed", "crash_after_calls", "flap_count"):
                     values[key] = int(raw)
                 else:
                     values[key] = float(raw)

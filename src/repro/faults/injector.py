@@ -24,10 +24,12 @@ from __future__ import annotations
 
 import random
 from collections import Counter
+from dataclasses import dataclass
 
 from .config import FaultConfig
 
-__all__ = ["FaultInjector", "NullInjector", "NULL_INJECTOR"]
+__all__ = ["DeviceFaultEvent", "FaultInjector", "NullInjector",
+           "NULL_INJECTOR"]
 
 #: outcomes of one channel-message draw
 NO_FAULT = "none"
@@ -35,6 +37,23 @@ DROP = "drop"
 DUPLICATE = "duplicate"
 CORRUPT = "corrupt"
 DELAY = "delay"
+
+
+@dataclass(frozen=True)
+class DeviceFaultEvent:
+    """One scheduled device-level fault transition.
+
+    ``kind`` is ``"crash"`` (the device dies for good), ``"degrade"``
+    (block durations multiply by ``factor`` until the matching
+    ``"recover"``), or ``"recover"``.  ``flapping`` marks transitions
+    belonging to a flap burst so the control plane can distinguish an
+    unstable device from one long throttling window.
+    """
+
+    time: float
+    kind: str          # "crash" | "degrade" | "recover"
+    factor: float = 1.0
+    flapping: bool = False
 
 
 class FaultInjector:
@@ -152,6 +171,69 @@ class FaultInjector:
             t += rng.expovariate(rate)
         return times
 
+    # --------------------------------------------------- cluster / device
+    def device_fault_schedule(self, device_index: int,
+                              duration: float) -> list[DeviceFaultEvent]:
+        """Precompute every device-level fault for one device.
+
+        Drawn from a sub-RNG keyed ``{seed}/device/{index}``, so the
+        schedule depends only on (seed, device index, duration) — never
+        on how many per-message draws other fault kinds consumed.  Three
+        independent processes are merged and time-sorted:
+
+        - **crash** — Poisson first-arrival at ``device_crash_rate``;
+          the device stays dead, so later events are pruned;
+        - **degrade** — Poisson windows at ``device_degraded_rate``,
+          each ``degraded_duration`` long at ``degraded_factor``;
+        - **flapping** — Poisson bursts at ``device_flap_rate``, each a
+          train of ``flap_count`` degrade/recover cycles spaced
+          ``flap_period`` apart (degraded for half of each period).
+        """
+        cfg = self.config
+        if duration <= 0 or not cfg.any_device_faults:
+            return []
+        rng = random.Random(f"{cfg.seed}/device/{device_index}")
+        events: list[DeviceFaultEvent] = []
+        # One process at a time, in a fixed order, so enabling one fault
+        # kind never shifts another kind's arrival times.
+        if cfg.device_crash_rate > 0:
+            t = rng.expovariate(cfg.device_crash_rate)
+            if t < duration:
+                events.append(DeviceFaultEvent(t, "crash"))
+        if cfg.device_degraded_rate > 0:
+            t = rng.expovariate(cfg.device_degraded_rate)
+            while t < duration:
+                events.append(DeviceFaultEvent(
+                    t, "degrade", factor=cfg.degraded_factor))
+                events.append(DeviceFaultEvent(
+                    min(t + cfg.degraded_duration, duration), "recover"))
+                t += cfg.degraded_duration + rng.expovariate(
+                    cfg.device_degraded_rate)
+        if cfg.device_flap_rate > 0:
+            t = rng.expovariate(cfg.device_flap_rate)
+            while t < duration:
+                for i in range(cfg.flap_count):
+                    start = t + i * cfg.flap_period
+                    if start >= duration:
+                        break
+                    events.append(DeviceFaultEvent(
+                        start, "degrade", factor=cfg.degraded_factor,
+                        flapping=True))
+                    events.append(DeviceFaultEvent(
+                        min(start + cfg.flap_period / 2, duration),
+                        "recover", flapping=True))
+                t += (cfg.flap_count * cfg.flap_period
+                      + rng.expovariate(cfg.device_flap_rate))
+        events.sort(key=lambda e: e.time)
+        crash_at = next((e.time for e in events if e.kind == "crash"),
+                        None)
+        if crash_at is not None:
+            events = [e for e in events
+                      if e.time < crash_at or e.kind == "crash"]
+        for event in events:
+            self.injected[f"device_{event.kind}"] += 1
+        return events
+
 
 class NullInjector:
     """No-op injector; every query answers "no fault"."""
@@ -176,6 +258,10 @@ class NullInjector:
         return False
 
     def slot_fault_times(self, duration: float) -> list[float]:
+        return []
+
+    def device_fault_schedule(self, device_index: int,
+                              duration: float) -> list[DeviceFaultEvent]:
         return []
 
 

@@ -197,6 +197,9 @@ class GPUDevice:
         self.spec = spec
         self.engine = engine
         self.colocation_slowdown = colocation_slowdown
+        #: transient health multiplier on block durations (1.0 = healthy);
+        #: set by cluster-level fault injection via :meth:`set_speed_factor`
+        self._speed_factor = 1.0
         #: shared observability channel; policies and drivers emit to
         #: ``device.tracer`` too, so one tracer sees the whole run
         self.tracer = tracer if tracer is not None else NULL_TRACER
@@ -235,6 +238,31 @@ class GPUDevice:
     # ------------------------------------------------------------------
     # Public API
     # ------------------------------------------------------------------
+    @property
+    def speed_factor(self) -> float:
+        """Current health multiplier on block durations (1.0 = healthy)."""
+        return self._speed_factor
+
+    def set_speed_factor(self, factor: float) -> None:
+        """Degrade (or restore) the device: blocks take ``factor``× longer.
+
+        Models a transiently slow device — thermal throttling, ECC
+        retirement storms, a noisy host neighbour — for cluster-level
+        fault injection (:mod:`repro.faults`).  The factor follows the
+        co-location pricing rule: intervals already in flight keep the
+        price they started with, and batched schedules are truncated so
+        their next interval boundary re-evaluates the new price.  Passing
+        ``1.0`` restores full speed; runs that never call this method pay
+        nothing on the hot path (a single ``!= 1.0`` test).
+        """
+        if factor <= 0.0:
+            raise GPUSimError(f"speed factor must be > 0, got {factor!r}")
+        if factor == self._speed_factor:
+            return
+        self._speed_factor = factor
+        if self._chains:
+            self._truncate_chains()
+
     def submit(self, launch: DeviceLaunch, *,
                launch_overhead: float | None = None) -> DeviceLaunch:
         """Queue a launch; it reaches the device after the launch overhead."""
@@ -536,6 +564,8 @@ class GPUDevice:
         duration = launch.descriptor.block_duration
         if self._colocated(launch.client_id):
             duration *= self.colocation_slowdown
+        if self._speed_factor != 1.0:
+            duration *= self._speed_factor
         return duration
 
     def _start_batch(self, launch: DeviceLaunch, count: int, *,

@@ -12,7 +12,12 @@ from .colocate import (
     standalone,
 )
 from .regression import Drift, compare_results
-from .serialize import load_result, result_to_dict, save_result
+from .serialize import (
+    cluster_result_to_dict,
+    load_result,
+    result_to_dict,
+    save_result,
+)
 from .sweep import SweepCase, run_sweep, seed_sweep
 
 __all__ = [
@@ -29,6 +34,7 @@ __all__ = [
     "run_colocation",
     "standalone",
     "Drift",
+    "cluster_result_to_dict",
     "compare_results",
     "load_result",
     "result_to_dict",

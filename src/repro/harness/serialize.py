@@ -17,7 +17,8 @@ from ..errors import HarnessError
 from ..metrics import LatencySummary, ServingSummary
 from .colocate import JobResult, RunConfig, RunResult
 
-__all__ = ["result_to_dict", "dict_to_result", "save_result", "load_result"]
+__all__ = ["cluster_result_to_dict", "result_to_dict", "dict_to_result",
+           "save_result", "load_result"]
 
 _FORMAT_VERSION = 1
 
@@ -139,6 +140,66 @@ def dict_to_result(payload: dict[str, Any]) -> RunResult:
         utilization=payload["utilization"],
         events=payload["events"],
     )
+
+
+def cluster_result_to_dict(result: "Any") -> dict[str, Any]:
+    """Convert a :class:`~repro.cluster.ClusterResult` to JSON form.
+
+    Annotated loosely because the cluster package imports the harness —
+    the reverse import would be circular.  Recovery metrics (when the
+    result came from the online control plane) serialize with it;
+    non-finite floats become strings so the payload stays valid JSON.
+    """
+    def _num(value: float) -> Any:
+        if isinstance(value, float) and not (value == value
+                                             and abs(value) != float("inf")):
+            return str(value)  # "nan", "inf"
+        return value
+
+    payload: dict[str, Any] = {
+        "format_version": _FORMAT_VERSION,
+        "policy": result.policy,
+        "gpus_used": result.gpus_used,
+        "total_normalized_throughput": result.total_normalized_throughput,
+        "events": result.events,
+        "invariant_checks": result.invariant_checks,
+        "services": [
+            {
+                "model": s.model,
+                "gpu": s.gpu,
+                "p99_ratio": _num(s.p99_ratio),
+                "sla_factor": s.sla_factor,
+                "meets_sla": s.meets_sla,
+            }
+            for s in result.services
+        ],
+    }
+    recovery = result.recovery
+    if recovery is not None:
+        payload["recovery"] = {
+            "migrations": recovery.migrations,
+            "jobs_shed": recovery.jobs_shed,
+            "jobs_evicted": recovery.jobs_evicted,
+            "requests_shed": recovery.requests_shed,
+            "mttr": _num(recovery.mttr),
+            "total_downtime": _num(recovery.total_downtime),
+            "device_faults": dict(recovery.device_faults),
+            "services": [
+                {
+                    "client_id": s.client_id,
+                    "model": s.model,
+                    "device": s.device,
+                    "migrations": s.migrations,
+                    "downtime": _num(s.downtime),
+                    "slo_attainment": _num(s.slo_attainment),
+                    "post_recovery_attainment": _num(
+                        s.post_recovery_attainment),
+                    "evicted": s.evicted,
+                }
+                for s in recovery.services
+            ],
+        }
+    return payload
 
 
 def save_result(result: RunResult, path: str | pathlib.Path) -> None:

@@ -1,6 +1,7 @@
 """Evaluation metrics: tail latency, serving SLOs, and throughput."""
 
 from .latency import LatencySummary, percentile
+from .recovery import RecoveryReport, ServiceRecovery
 from .serving import ServingSLO, ServingSummary
 from .throughput import (
     ThroughputSample,
@@ -10,6 +11,8 @@ from .throughput import (
 
 __all__ = [
     "LatencySummary",
+    "RecoveryReport",
+    "ServiceRecovery",
     "ServingSLO",
     "ServingSummary",
     "ThroughputSample",

@@ -1,0 +1,115 @@
+"""Recovery-centric cluster metrics.
+
+When the online control plane (:mod:`repro.cluster.controlplane`)
+injects device failures, steady-state metrics stop telling the story:
+what matters is how long each latency-critical service was down, how
+fast the cluster healed, how much work was shed, and whether the SLO
+held *through* the fault window.  :class:`RecoveryReport` collects
+those numbers; it rides on :class:`~repro.cluster.simulate.ClusterResult`
+as the ``recovery`` field.
+
+Definitions:
+
+- **downtime** — summed wall-clock (simulated) seconds a service spent
+  checkpointed between leaving a failed device and being restored on a
+  healthy one; arrivals keep queueing through it, so downtime shows up
+  in the service's tail latency as well.
+- **MTTR** — mean time-to-recovery: average downtime per completed
+  migration (``nan`` when nothing migrated).
+- **shed vs evicted** — *shed* jobs were rejected at admission
+  (load-shedding/backpressure); *evicted* jobs were admitted but killed
+  by a failure with no capacity left to re-place them.  Shed *requests*
+  are individual requests discarded by crashes or evictions — the
+  explicit ledger the migration-conservation invariant balances
+  against (see ``docs/cluster.md``).
+- **SLO attainment** — fraction of a service's completed requests whose
+  latency stayed within ``sla_factor`` times its standalone p99,
+  measured over the whole post-warmup window (fault window included);
+  ``post_recovery_attainment`` restricts that to requests completed
+  after the service's last restore (``nan`` when it never migrated).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+__all__ = ["ServiceRecovery", "RecoveryReport"]
+
+
+@dataclass(frozen=True)
+class ServiceRecovery:
+    """Fault-window outcome of one latency-critical service."""
+
+    client_id: str
+    model: str
+    #: device the service ended the run on (-1 if evicted)
+    device: int
+    migrations: int
+    downtime: float
+    #: fraction of windowed requests within the SLA (nan if none completed)
+    slo_attainment: float
+    #: attainment over requests completed after the last restore
+    #: (nan when the service never migrated or completed nothing after)
+    post_recovery_attainment: float
+    evicted: bool = False
+
+
+@dataclass(frozen=True)
+class RecoveryReport:
+    """Cluster-wide recovery outcome of one control-plane run."""
+
+    services: tuple[ServiceRecovery, ...]
+    #: completed checkpoint/restore migrations (failover + proactive + drain)
+    migrations: int
+    #: jobs rejected at admission (load-shedding)
+    jobs_shed: int
+    #: admitted jobs killed by a failure with nowhere to re-place them
+    jobs_evicted: int
+    #: individual requests discarded by crashes/evictions
+    requests_shed: int
+    #: mean time-to-recovery per migration (nan when none happened)
+    mttr: float
+    #: device-level fault transitions that fired, by kind
+    device_faults: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def total_downtime(self) -> float:
+        return sum(s.downtime for s in self.services)
+
+    def service(self, client_id: str) -> ServiceRecovery:
+        for entry in self.services:
+            if entry.client_id == client_id:
+                return entry
+        raise KeyError(f"no recovery entry for service {client_id!r}")
+
+    def format(self) -> str:
+        """Human-readable recovery table."""
+        lines = [
+            f"migrations={self.migrations}  "
+            f"mttr={_fmt_s(self.mttr)}  "
+            f"jobs shed={self.jobs_shed} evicted={self.jobs_evicted}  "
+            f"requests shed={self.requests_shed}"
+        ]
+        if self.device_faults:
+            faults = ", ".join(f"{kind}={count}" for kind, count
+                               in sorted(self.device_faults.items()))
+            lines.append(f"device faults: {faults}")
+        for entry in self.services:
+            state = "evicted" if entry.evicted else f"gpu {entry.device}"
+            lines.append(
+                f"  {entry.client_id:<20} {state:>8}  "
+                f"migrations={entry.migrations}  "
+                f"downtime={_fmt_s(entry.downtime)}  "
+                f"slo={_fmt_pct(entry.slo_attainment)}  "
+                f"post-recovery={_fmt_pct(entry.post_recovery_attainment)}"
+            )
+        return "\n".join(lines)
+
+
+def _fmt_s(value: float) -> str:
+    return "n/a" if math.isnan(value) else f"{value * 1e3:.1f}ms"
+
+
+def _fmt_pct(value: float) -> str:
+    return "n/a" if math.isnan(value) else f"{value * 100:.1f}%"

@@ -2,7 +2,7 @@
 
 from .api import CudaRuntime
 from .context import Backend, LocalBackend
-from .memory import MemoryManager
+from .memory import MemoryManager, MemorySnapshot
 from .registration import FatBinary, ModuleRegistry
 
 __all__ = [
@@ -11,5 +11,6 @@ __all__ = [
     "FatBinary",
     "LocalBackend",
     "MemoryManager",
+    "MemorySnapshot",
     "ModuleRegistry",
 ]

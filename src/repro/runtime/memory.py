@@ -4,11 +4,17 @@ Wraps :class:`~repro.ptx.interpreter.DeviceMemory` with handle-based
 alloc/free/memcpy semantics mirroring ``cudaMalloc`` / ``cudaMemcpy``.
 Allocations are element-granular (the mini-PTX memory model is typed
 per-buffer, not byte-addressed).
+
+:class:`MemorySnapshot` captures a manager's full state — buffer
+contents, handle table, allocator position, lifetime counters — so the
+cluster control plane can checkpoint a client's memory image on one
+simulated device and restore it bit-identically on another (see
+``docs/cluster.md``).
 """
 
 from __future__ import annotations
 
-import itertools
+from dataclasses import dataclass
 from typing import Any
 
 import numpy as np
@@ -16,7 +22,29 @@ import numpy as np
 from ..errors import RuntimeAPIError
 from ..ptx.interpreter import DeviceMemory, GlobalRef
 
-__all__ = ["MemoryManager"]
+__all__ = ["MemoryManager", "MemorySnapshot"]
+
+
+@dataclass(frozen=True)
+class MemorySnapshot:
+    """Deep-copied image of a :class:`MemoryManager` at checkpoint time.
+
+    Buffer *names* are preserved so every :class:`GlobalRef` the client
+    holds stays valid after restore, and the allocator position travels
+    along so post-restore ``malloc`` never reuses a name an old handle
+    still points at.  Picklable (names, ints, numpy arrays only).
+    """
+
+    buffers: tuple[tuple[str, np.ndarray], ...]
+    live: tuple[tuple[str, int], ...]  # buffer name -> element count
+    next_index: int
+    allocated_elements_total: int
+    freed_elements_total: int
+
+    @property
+    def live_elements(self) -> int:
+        """Total elements held live at checkpoint time."""
+        return sum(count for _, count in self.live)
 
 
 class MemoryManager:
@@ -25,7 +53,7 @@ class MemoryManager:
     def __init__(self, memory: DeviceMemory | None = None) -> None:
         self.memory = memory if memory is not None else DeviceMemory()
         self._live: dict[str, int] = {}  # buffer name -> element count
-        self._counter = itertools.count()
+        self._next_index = 0
         #: lifetime accounting — conservation audits (e.g. the LLM
         #: KV-cache drain check) assert allocated == freed at shutdown
         self.allocated_elements_total = 0
@@ -37,11 +65,40 @@ class MemoryManager:
             raise RuntimeAPIError(
                 f"cudaMalloc of {num_elements} elements is invalid"
             )
-        name = f"dev_{next(self._counter)}"
+        name = f"dev_{self._next_index}"
+        self._next_index += 1
         ref = self.memory.alloc(num_elements, dtype=dtype, name=name)
         self._live[name] = num_elements
         self.allocated_elements_total += num_elements
         return ref
+
+    # -- checkpoint/restore (live migration) ---------------------------
+    def snapshot(self) -> MemorySnapshot:
+        """Capture every live buffer and the allocator state."""
+        return MemorySnapshot(
+            buffers=tuple((name, self.memory.array(GlobalRef(name)).copy())
+                          for name in self._live),
+            live=tuple(self._live.items()),
+            next_index=self._next_index,
+            allocated_elements_total=self.allocated_elements_total,
+            freed_elements_total=self.freed_elements_total,
+        )
+
+    @classmethod
+    def from_snapshot(cls, snap: MemorySnapshot) -> "MemoryManager":
+        """Rebuild a manager (over a fresh device image) from ``snap``.
+
+        Lifetime counters carry over, so the alloc==freed drain audit
+        spans the migration instead of resetting at it.
+        """
+        manager = cls()
+        for name, data in snap.buffers:
+            manager.memory.bind(name, data.copy())
+        manager._live = dict(snap.live)
+        manager._next_index = snap.next_index
+        manager.allocated_elements_total = snap.allocated_elements_total
+        manager.freed_elements_total = snap.freed_elements_total
+        return manager
 
     def free(self, ref: GlobalRef) -> None:
         """Release a buffer previously returned by :meth:`malloc`."""

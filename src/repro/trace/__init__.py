@@ -25,13 +25,18 @@ See ``docs/observability.md`` for the full event schema.
 from .chrome import to_chrome_trace, write_chrome_trace
 from .events import (
     EVENT_CLASSES,
+    AdmissionDecision,
     ChannelFault,
     ClientCrash,
     ClientGC,
+    DeviceDrain,
+    DeviceFault,
     EventType,
     KernelComplete,
     KernelStart,
     KernelSubmit,
+    MigrationComplete,
+    MigrationStart,
     PreemptAck,
     PreemptLost,
     PreemptRequest,
@@ -77,6 +82,11 @@ __all__ = [
     "WatchdogReset",
     "TransformDegrade",
     "SlotFault",
+    "DeviceFault",
+    "MigrationStart",
+    "MigrationComplete",
+    "AdmissionDecision",
+    "DeviceDrain",
     "event_from_dict",
     "TraceSink",
     "MemorySink",

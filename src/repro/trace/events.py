@@ -39,6 +39,11 @@ __all__ = [
     "TransformDegrade",
     "TransformCache",
     "SlotFault",
+    "DeviceFault",
+    "MigrationStart",
+    "MigrationComplete",
+    "AdmissionDecision",
+    "DeviceDrain",
     "EVENT_CLASSES",
     "event_from_dict",
 ]
@@ -65,6 +70,11 @@ class EventType(enum.Enum):
     TRANSFORM_DEGRADE = "transform_degrade"
     TRANSFORM_CACHE = "transform_cache"
     SLOT_FAULT = "slot_fault"
+    DEVICE_FAULT = "device_fault"
+    MIGRATION_START = "migration_start"
+    MIGRATION_COMPLETE = "migration_complete"
+    ADMISSION_DECISION = "admission_decision"
+    DEVICE_DRAIN = "device_drain"
 
 
 @dataclass(frozen=True, slots=True)
@@ -411,6 +421,101 @@ class SlotFault(TraceEvent):
     blocks_lost: int
 
 
+@dataclass(frozen=True, slots=True)
+class DeviceFault(TraceEvent):
+    """A cluster-level device fault fired (or cleared).
+
+    Emitted by :class:`repro.cluster.controlplane.ClusterController`
+    when a device-level fault from the injector's schedule takes
+    effect.  ``fault`` is ``"crash"`` (the device is permanently
+    lost), ``"degrade"`` (block durations scale by ``factor`` until
+    the matching ``"recover"``), or ``"recover"``.  ``flapping`` marks
+    degrade windows that belong to a flap burst.
+    """
+
+    type: ClassVar[EventType] = EventType.DEVICE_FAULT
+
+    #: cluster device index the fault hit
+    device: int
+    #: "crash", "degrade", or "recover"
+    fault: str
+    #: slowdown multiplier of a degrade window (1.0 otherwise)
+    factor: float = 1.0
+    #: True when this degrade window is part of a flap burst
+    flapping: bool = False
+
+
+@dataclass(frozen=True, slots=True)
+class MigrationStart(TraceEvent):
+    """A tenant's checkpoint left its source device.
+
+    Emitted by :class:`repro.cluster.controlplane.ClusterController`
+    when a service is checkpointed for live migration.  ``reason`` is
+    ``"failover"`` (source crashed), ``"flapping"`` (proactive move off
+    an unhealthy device), or ``"repack"`` (fragmentation healing /
+    scale-down drain).  ``pending`` counts requests carried in the
+    checkpoint (queued plus the replayed in-flight request).
+    """
+
+    type: ClassVar[EventType] = EventType.MIGRATION_START
+
+    source: int
+    target: int
+    reason: str
+    pending: int = 0
+
+
+@dataclass(frozen=True, slots=True)
+class MigrationComplete(TraceEvent):
+    """A migrated tenant resumed on its target device.
+
+    Emitted by :class:`repro.cluster.controlplane.ClusterController`
+    when the restored service starts serving again; ``downtime`` is the
+    wall of simulated time between checkpoint and restore (0 for live
+    migrations whose source kept serving until the switch).
+    """
+
+    type: ClassVar[EventType] = EventType.MIGRATION_COMPLETE
+
+    target: int
+    downtime: float
+
+
+@dataclass(frozen=True, slots=True)
+class AdmissionDecision(TraceEvent):
+    """The admission controller ruled on an arriving job.
+
+    Emitted by :class:`repro.cluster.controlplane.ClusterController`
+    per arrival: ``action`` is ``"admitted"`` (placed on ``device``),
+    ``"queued"`` (no placement fits; waiting for capacity), or
+    ``"shed"`` (queue full — load shedding).
+    """
+
+    type: ClassVar[EventType] = EventType.ADMISSION_DECISION
+
+    action: str
+    #: device admitted to (-1 when queued or shed)
+    device: int = -1
+    #: admission-queue depth after the decision
+    queue_depth: int = 0
+
+
+@dataclass(frozen=True, slots=True)
+class DeviceDrain(TraceEvent):
+    """A device was gracefully drained and decommissioned.
+
+    Emitted by :class:`repro.cluster.controlplane.ClusterController`
+    when the re-pack policy empties a device (its jobs migrated
+    elsewhere) and removes it from the fleet.
+    """
+
+    type: ClassVar[EventType] = EventType.DEVICE_DRAIN
+
+    device: int
+    #: services migrated off the device during the drain
+    migrated: int
+
+
 #: wire name -> event class (for deserialization)
 EVENT_CLASSES: dict[str, type[TraceEvent]] = {
     cls.type.value: cls
@@ -419,6 +524,8 @@ EVENT_CLASSES: dict[str, type[TraceEvent]] = {
         PtbDispatch, PreemptRequest, PreemptAck, Resume, SchedDecision,
         QueueDepth, ChannelFault, ClientCrash, ClientGC, PreemptLost,
         WatchdogReset, TransformDegrade, TransformCache, SlotFault,
+        DeviceFault, MigrationStart, MigrationComplete,
+        AdmissionDecision, DeviceDrain,
     )
 }
 

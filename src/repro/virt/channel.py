@@ -111,6 +111,15 @@ class Channel:
         self.client_id = client_id
         self._request_seq = 0
 
+    def resume_sequence(self, last_request_id: int) -> None:
+        """Continue numbering after ``last_request_id``.
+
+        A channel rebuilt for a migrated client must not reuse request
+        ids the server's reply cache already remembers — the cache would
+        answer a fresh request with another call's reply.
+        """
+        self._request_seq = max(self._request_seq, last_request_id)
+
     # ------------------------------------------------------------------
     def call(self, request: Request) -> Response:
         """Send ``request``; return the server's response.

@@ -14,8 +14,8 @@ from collections import deque
 from dataclasses import dataclass
 
 from ..baselines.base import Priority, SharingPolicy
-from ..errors import WorkloadError
-from ..gpu.engine import EventLoop
+from ..errors import MigrationError, WorkloadError
+from ..gpu.engine import Event, EventLoop
 from ..metrics.latency import LatencySummary
 from ..trace import QueueDepth
 from ..traffic.maf import TrafficTrace
@@ -64,15 +64,42 @@ class InferenceJob:
         self._current_start = 0.0
         self._started = False
         self.crashed = False
+        #: requests that ever entered the queue (conservation:
+        #: ``arrivals_total == completed + pending + shed``)
+        self.arrivals_total = 0
+        #: requests discarded by a crash, never to complete
+        self.shed_requests = 0
+        self._paused = False
+        self._closed = False
+        self._epoch = 0          # bumped by checkpoint(); stale-callback guard
+        self._gap_event: Event | None = None
         policy.register_client(client_id, priority)
 
     # ------------------------------------------------------------------
-    def start(self) -> None:
-        """Arm the arrival process (call once, before running the engine)."""
+    def start(self, *, since: float = 0.0) -> None:
+        """Arm the arrival process (call once, before running the engine).
+
+        ``since`` skips arrivals scheduled before that time — the online
+        control plane admits jobs mid-run, and requests "sent" before
+        the service existed never happened.
+        """
         if self._started:
             raise WorkloadError(f"job {self.client_id!r} already started")
         self._started = True
+        if since > 0.0:
+            arrivals = self.traffic.arrivals
+            while (self._arrival_index < self.traffic.count
+                   and float(arrivals[self._arrival_index]) < since):
+                self._arrival_index += 1
         self._schedule_next_arrival()
+
+    def close(self) -> None:
+        """Graceful departure: stop accepting new arrivals.
+
+        Unlike :meth:`crash`, queued and in-flight requests still
+        complete — the service drains before it leaves the cluster.
+        """
+        self._closed = True
 
     def crash(self) -> None:
         """The client process dies: stop arriving and submitting.
@@ -84,8 +111,51 @@ class InferenceJob:
         comparisons remain possible.
         """
         self.crashed = True
+        self.shed_requests += len(self._queue) + (1 if self._busy else 0)
         self._queue.clear()
         self._busy = False
+
+    # -- checkpoint/restore (live migration) ---------------------------
+    def checkpoint(self) -> None:
+        """Freeze the driver so it can be restored on another device.
+
+        Cancels the pending gap timer, bumps the submit epoch so kernel
+        completions from the old device are ignored, and requeues any
+        in-flight request at the queue front — it will replay from its
+        first kernel after :meth:`restore`, keeping its original arrival
+        time so the latency it reports includes the migration downtime.
+        Arrivals keep queueing while paused (the traffic source outlives
+        the device), so no admitted request is lost.
+        """
+        self._paused = True
+        self._epoch += 1
+        if self._gap_event is not None:
+            self._gap_event.cancel()
+            self._gap_event = None
+        if self._busy:
+            self._queue.appendleft(self._current_arrival)
+            self._busy = False
+
+    def restore(self, policy: SharingPolicy) -> None:
+        """Resume on ``policy`` (after :meth:`checkpoint`).
+
+        The new policy must share the driver's event loop — arrival
+        events are already scheduled on it.  Registers the client with
+        the new policy and restarts the head-of-queue request.
+        """
+        if policy.engine is not self.engine:
+            raise MigrationError(
+                f"cannot restore {self.client_id!r}: target policy runs on a "
+                "different event loop than the one its arrivals are scheduled on"
+            )
+        if not self._paused:
+            raise MigrationError(
+                f"restore of {self.client_id!r} without a checkpoint")
+        self.policy = policy
+        policy.register_client(self.client_id, self.priority)
+        self._paused = False
+        if self._queue and not self._busy:
+            self._start_request()
 
     @property
     def completed_requests(self) -> int:
@@ -131,7 +201,7 @@ class InferenceJob:
 
     # ------------------------------------------------------------------
     def _schedule_next_arrival(self) -> None:
-        if self._arrival_index >= self.traffic.count:
+        if self._closed or self._arrival_index >= self.traffic.count:
             return
         when = float(self.traffic.arrivals[self._arrival_index])
         self._arrival_index += 1
@@ -140,10 +210,11 @@ class InferenceJob:
     def _on_arrival(self) -> None:
         if self.crashed:
             return  # the arrival event outlived the process
+        self.arrivals_total += 1
         self._queue.append(self.engine.now)
         self._schedule_next_arrival()
         self._sample_queue_depth()
-        if not self._busy:
+        if not self._busy and not self._paused:
             self._start_request()
 
     def _sample_queue_depth(self) -> None:
@@ -162,8 +233,9 @@ class InferenceJob:
         self._advance()
 
     def _advance(self) -> None:
-        if self.crashed:
-            return  # a completion racing the crash; nobody is listening
+        if self.crashed or self._paused:
+            return  # a completion racing a crash or checkpoint
+        self._gap_event = None
         if self._op_index >= len(self.trace.ops):
             self.records.append(RequestRecord(
                 arrival=self._current_arrival,
@@ -178,7 +250,13 @@ class InferenceJob:
         op = self.trace.ops[self._op_index]
         self._op_index += 1
         if op.kind == "gap":
-            self.engine.schedule(op.gap, self._advance)
+            self._gap_event = self.engine.schedule(op.gap, self._advance)
         else:
+            epoch = self._epoch
             self.policy.submit(self.client_id, op.kernel,
-                               self._advance)
+                               lambda: self._kernel_done(epoch))
+
+    def _kernel_done(self, epoch: int) -> None:
+        if epoch != self._epoch:
+            return  # completion from a device this client migrated off
+        self._advance()

@@ -522,11 +522,21 @@ class LLMServingJob:
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
-    def start(self) -> None:
-        """Arm the arrival process (call once, before running the engine)."""
+    def start(self, *, since: float = 0.0) -> None:
+        """Arm the arrival process (call once, before running the engine).
+
+        ``since`` skips arrivals scheduled before that time — the online
+        control plane admits jobs mid-run, and requests "sent" before
+        the endpoint existed never happened.
+        """
         if self._started:
             raise WorkloadError(f"job {self.client_id!r} already started")
         self._started = True
+        if since > 0.0:
+            arrivals = self.traffic.arrivals
+            while (self._arrival_index < self.traffic.count
+                   and float(arrivals[self._arrival_index]) < since):
+                self._arrival_index += 1
         self._schedule_next_arrival()
 
     def crash(self) -> None:

@@ -11,8 +11,8 @@ from __future__ import annotations
 
 
 from ..baselines.base import Priority, SharingPolicy
-from ..errors import WorkloadError
-from ..gpu.engine import EventLoop
+from ..errors import MigrationError, WorkloadError
+from ..gpu.engine import Event, EventLoop
 from .models import Trace
 
 __all__ = ["TrainingJob"]
@@ -36,6 +36,9 @@ class TrainingJob:
         self.crashed = False
         self._op_index = 0
         self._stopped = False
+        self._paused = False
+        self._epoch = 0          # bumped by checkpoint(); stale-callback guard
+        self._gap_event: Event | None = None
         policy.register_client(client_id, priority)
 
     # ------------------------------------------------------------------
@@ -60,6 +63,38 @@ class TrainingJob:
         self._stopped = True
         self.crashed = True
 
+    # -- checkpoint/restore (live migration) ---------------------------
+    def checkpoint(self) -> None:
+        """Freeze the job for migration to another device.
+
+        Training iterations have no externally visible request boundary,
+        so the interrupted iteration simply restarts from its first
+        kernel after :meth:`restore` — partial progress on the dead
+        device is discarded, as a real trainer redoes the step from its
+        last optimizer checkpoint.
+        """
+        self._paused = True
+        self._epoch += 1
+        if self._gap_event is not None:
+            self._gap_event.cancel()
+            self._gap_event = None
+        self._op_index = 0
+
+    def restore(self, policy: SharingPolicy) -> None:
+        """Resume iterating on ``policy`` (after :meth:`checkpoint`)."""
+        if policy.engine is not self.engine:
+            raise MigrationError(
+                f"cannot restore {self.client_id!r}: target policy runs on a "
+                "different event loop")
+        if not self._paused:
+            raise MigrationError(
+                f"restore of {self.client_id!r} without a checkpoint")
+        self.policy = policy
+        policy.register_client(self.client_id, self.priority)
+        self._paused = False
+        if not self._stopped:
+            self._advance()
+
     @property
     def iterations_completed(self) -> int:
         return len(self.iteration_completions)
@@ -74,20 +109,23 @@ class TrainingJob:
 
     # ------------------------------------------------------------------
     def _advance(self) -> None:
-        if self._stopped:
+        if self._stopped or self._paused:
             return
+        self._gap_event = None
         if self._op_index >= len(self.trace.ops):
             self._op_index = 0
             self.iteration_completions.append(self.engine.now)
         op = self.trace.ops[self._op_index]
         self._op_index += 1
         if op.kind == "gap":
-            self.engine.schedule(op.gap, self._advance)
+            self._gap_event = self.engine.schedule(op.gap, self._advance)
         else:
-            self.policy.submit(self.client_id, op.kernel, self._kernel_done)
+            epoch = self._epoch
+            self.policy.submit(self.client_id, op.kernel,
+                               lambda: self._kernel_done(epoch))
 
-    def _kernel_done(self) -> None:
-        if self.crashed:
-            return  # a completion racing the crash; nobody is listening
+    def _kernel_done(self, epoch: int) -> None:
+        if self.crashed or epoch != self._epoch:
+            return  # racing a crash, or a device this client migrated off
         self.kernels_completed += 1
         self._advance()

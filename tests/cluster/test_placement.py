@@ -109,3 +109,16 @@ class TestPlacementValidation:
     def test_empty_gpu_rejected(self):
         with pytest.raises(HarnessError, match="no jobs"):
             Placement(bins=[[]]).validate()
+
+    def test_overcommit_error_names_footprints_and_capacity(self):
+        """The error must say which jobs overflow and what would fit."""
+        placement = Placement(bins=[[ClusterJob("whisper_train"),
+                                     ClusterJob("whisper_train"),
+                                     ClusterJob("llama2_infer",
+                                                offline=True)]])
+        with pytest.raises(HarnessError) as err:
+            placement.validate()
+        message = str(err.value)
+        assert "40.00 GiB device" in message
+        assert "whisper_train=" in message
+        assert "llama2_infer=" in message

@@ -83,3 +83,26 @@ class TestEvaluatePlacement:
         mps = evaluate_placement(placement, "MPS", CFG)
         assert tally.sla_violations == 0
         assert mps.sla_violations >= 1
+
+
+class TestTailP99:
+    def test_zero_completion_service_reports_inf_not_error(self):
+        """A service killed before completing anything is an SLA
+        violation (p99_ratio = inf), not a harness crash."""
+        from repro.cluster.simulate import _tail_p99
+        from repro.faults import FaultConfig
+        from repro.harness import JobSpec, run_colocation
+
+        spec = JobSpec.inference("bert_infer", load=0.2, crash_at=0.2)
+        result = run_colocation("Tally", [spec], CFG,
+                                faults=FaultConfig(seed=0))
+        job = result.job("bert_infer#0")
+        assert job.latency is None  # crashed before the window opened
+        assert _tail_p99(job) == float("inf")
+
+    def test_inf_ratio_is_an_unconditional_sla_violation(self):
+        from repro.cluster import ServiceOutcome
+
+        outcome = ServiceOutcome(model="bert_infer", gpu=0,
+                                 p99_ratio=float("inf"), sla_factor=1.25)
+        assert not outcome.meets_sla
