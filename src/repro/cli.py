@@ -219,6 +219,7 @@ def _cmd_cluster(args: argparse.Namespace) -> None:
     tracer = _make_tracer(args.trace) if args.trace else None
     fail_device = _parse_fail_device(args.fail_device or [])
     online = (fail_device or args.arrivals is not None or args.spares
+              or args.autoscale is not None
               or (faults is not None and faults.any_device_faults))
     if online:
         _cluster_online(args, jobs, packed, dedicated, config, faults,
@@ -253,20 +254,27 @@ def _cmd_cluster(args: argparse.Namespace) -> None:
 def _cluster_online(args, jobs, packed, dedicated, config, faults,
                     fail_device, tracer) -> None:
     """``cluster --arrivals/--fail-device``: the online control plane."""
-    from .cluster import run_controlplane
+    from .cluster import AutoscalerConfig, run_controlplane
 
+    autoscale = (AutoscalerConfig.parse(args.autoscale)
+                 if args.autoscale is not None else None)
+    # with the autoscaler, spares start standby and are activated by
+    # load; without it they are plain extra first-fit capacity
+    standby = args.spares if autoscale is not None else 0
     devices = packed.gpus_used + args.spares
     start = time.time()
     if args.arrivals is not None:
         result = run_controlplane(
             jobs=jobs, devices=devices, policy="Tally", config=config,
             arrival_rate=args.arrivals, faults=faults,
-            fail_device=fail_device, tracer=tracer, check=args.check)
+            fail_device=fail_device, tracer=tracer, check=args.check,
+            autoscale=autoscale, standby=standby)
     else:
         result = run_controlplane(
             placement=packed, devices=devices, policy="Tally",
             config=config, faults=faults, fail_device=fail_device,
-            tracer=tracer, check=args.check)
+            tracer=tracer, check=args.check,
+            autoscale=autoscale, standby=standby)
     wall = time.time() - start
     recovery = result.recovery
     assert recovery is not None
@@ -275,7 +283,8 @@ def _cluster_online(args, jobs, packed, dedicated, config, faults,
     rows = [
         ("jobs", len(jobs), mode),
         ("devices", devices,
-         f"{packed.gpus_used} packed + {args.spares} spare(s)"),
+         f"{packed.gpus_used} packed + {args.spares} spare(s)"
+         + (" [standby]" if standby else "")),
         ("SLA violations", result.sla_violations,
          f"worst p99 {result.worst_p99_ratio:.2f}x"),
         ("aggregate norm. thpt",
@@ -302,6 +311,40 @@ def _cluster_online(args, jobs, packed, dedicated, config, faults,
         print(f"result written to {args.save}")
     if tracer is not None:
         _finish_trace(tracer, args.trace, config)
+
+
+def _cmd_storm(args: argparse.Namespace) -> None:
+    """``storm``: retry-storm A/B — unbounded vs resilience layer."""
+    from .faults.storm import StormConfig, run_storm_sweep, storm_pair
+
+    base = StormConfig(clients=args.clients, duration=args.duration,
+                       seed=args.seed, check=args.check)
+    start = time.time()
+    results = run_storm_sweep(list(storm_pair(base)), jobs=args.jobs)
+    wall = time.time() - start
+    rows = [
+        (result.label,
+         f"{result.amplification:.2f}x",
+         f"{result.attainment_before:.0%}",
+         f"{result.attainment_after:.0%}",
+         f"{result.peak_backlog * 1e3:.0f}ms",
+         str(result.overload.total_sheds))
+        for result in results
+    ]
+    print(format_table(
+        ("variant", "amplification", "slo before", "slo after",
+         "peak backlog", "sheds"), rows,
+        title=(f"Retry storm: {args.clients} clients, degrade window "
+               f"[{base.degrade_start:g}, {base.degrade_end:g})s"),
+    ))
+    print()
+    for result in results:
+        print(result.format())
+        print()
+    if args.check:
+        checks = sum(r.invariant_checks for r in results)
+        print(f"invariant checks: {checks} ledgers audited, 0 violations")
+    print(f"wall time {wall:.1f}s")
 
 
 def _cmd_llm(args: argparse.Namespace) -> None:
@@ -540,10 +583,29 @@ def build_parser() -> argparse.ArgumentParser:
                               "tenants (repeatable, e.g. 0@2.0)")
     cluster.add_argument("--spares", type=int, default=0, metavar="N",
                          help="provision N spare devices beyond the "
-                              "packed count (failover headroom)")
+                              "packed count (failover headroom; with "
+                              "--autoscale they start standby)")
+    cluster.add_argument("--autoscale", metavar="SPEC", nargs="?",
+                         const="", default=None,
+                         help="enable the load-signal autoscaler; SPEC "
+                              "overrides AutoscalerConfig fields, e.g. "
+                              '"interval=0.25,queue_high=2" '
+                              "(docs/cluster.md)")
     cluster.add_argument("--save", metavar="PATH", default=None,
                          help="write the control-plane result as JSON")
     cluster.set_defaults(fn=_cmd_cluster)
+
+    storm = sub.add_parser(
+        "storm", help="retry-storm chaos scenario: unbounded vs "
+                      "retry-budget + circuit-breaker resilience")
+    storm.add_argument("--clients", type=int, default=8)
+    storm.add_argument("--duration", type=float, default=6.0)
+    storm.add_argument("--seed", type=int, default=0)
+    storm.add_argument("--check", action="store_true", help=check_help)
+    storm.add_argument("--jobs", type=int, default=1, metavar="N",
+                       help="run the two variants in N worker processes "
+                            "(results are identical to --jobs 1)")
+    storm.set_defaults(fn=_cmd_storm)
 
     colocate = sub.add_parser("colocate",
                               help="run one custom co-location experiment")

@@ -11,6 +11,7 @@ of latency-critical tenants (:mod:`repro.cluster.controlplane`, see
 """
 
 from .controlplane import (
+    AutoscalerConfig,
     ClusterCase,
     ClusterController,
     run_cluster_sweep,
@@ -26,6 +27,7 @@ from .placement import (
 from .simulate import ClusterResult, ServiceOutcome, evaluate_placement
 
 __all__ = [
+    "AutoscalerConfig",
     "ClusterCase",
     "ClusterController",
     "ClusterJob",

@@ -38,7 +38,15 @@ shard's functional client state.  On top of the shards it runs:
   nowhere, best-effort tenants are migrated (or, as a last resort,
   evicted) to make room;
 * **graceful drain** — :meth:`ClusterController.drain` migrates every
-  tenant off a device for scale-down.
+  tenant off a device for scale-down;
+* **load-driven autoscaling** — with ``autoscale=`` an
+  :class:`AutoscalerConfig` and ``standby=`` spare devices, a periodic
+  tick reads two load signals (admission-queue depth and the worst
+  windowed p99-vs-SLO ratio across latency-critical tenants) through
+  consecutive-tick hysteresis: sustained overload activates a standby
+  shard after a seeded warm-up delay; sustained calm gracefully drains
+  the least-loaded elastic shard back to standby.  Every committed
+  decision emits a :class:`~repro.trace.ScaleDecision` event.
 
 Everything is deterministic: fault schedules come from seeded sub-RNGs,
 arrival times from a seeded draw, and all control decisions are
@@ -51,7 +59,7 @@ from __future__ import annotations
 
 import random
 from collections import Counter, deque
-from dataclasses import dataclass
+from dataclasses import dataclass, fields
 
 from ..check import (
     InvariantChecker,
@@ -73,6 +81,7 @@ from ..trace import (
     DeviceFault,
     MigrationComplete,
     MigrationStart,
+    ScaleDecision,
     Tracer,
 )
 from ..workloads import (
@@ -88,12 +97,91 @@ from .placement import ClusterJob, Placement
 from .simulate import ClusterResult, ServiceOutcome, _to_jobspec
 
 __all__ = [
+    "AutoscalerConfig",
     "ClusterCase",
     "ClusterController",
     "run_controlplane",
     "run_cluster_sweep",
     "schedule_arrivals",
 ]
+
+
+@dataclass(frozen=True)
+class AutoscalerConfig:
+    """Hysteresis parameters for the load-signal autoscaler.
+
+    The controller samples two signals every ``interval`` simulated
+    seconds: the admission-queue depth and the worst ratio of windowed
+    p99 latency to the SLO threshold (``sla_factor`` × standalone p99)
+    across live latency-critical tenants.  A tick is *overloaded* when
+    either signal is at or above its high-water mark, *calm* when both
+    are at or below the low-water marks; anything in between resets the
+    hysteresis counters.  ``up_ticks`` consecutive overloaded ticks
+    activate a standby device (after a seeded warm-up delay drawn
+    uniformly from ``[warmup_min, warmup_max]``); ``down_ticks``
+    consecutive calm ticks gracefully drain the least-loaded elastic
+    device back to standby.  ``cooldown`` simulated seconds must pass
+    between committed decisions.
+    """
+
+    interval: float = 0.25
+    queue_high: int = 2
+    queue_low: int = 0
+    p99_high: float = 1.0
+    p99_low: float = 0.5
+    #: latency-sample lookback for the p99 signal, seconds
+    signal_window: float = 0.5
+    up_ticks: int = 2
+    down_ticks: int = 4
+    cooldown: float = 0.5
+    warmup_min: float = 0.1
+    warmup_max: float = 0.3
+    #: never drain below this many accepting (or warming) devices
+    min_active: int = 1
+
+    def __post_init__(self) -> None:
+        if self.interval <= 0:
+            raise HarnessError("autoscaler interval must be > 0")
+        if self.queue_low > self.queue_high:
+            raise HarnessError("queue_low must be <= queue_high")
+        if self.p99_low > self.p99_high:
+            raise HarnessError("p99_low must be <= p99_high")
+        if self.signal_window <= 0:
+            raise HarnessError("signal_window must be > 0")
+        if self.up_ticks < 1 or self.down_ticks < 1:
+            raise HarnessError("hysteresis tick counts must be >= 1")
+        if not 0 <= self.warmup_min <= self.warmup_max:
+            raise HarnessError(
+                "need 0 <= warmup_min <= warmup_max")
+        if self.cooldown < 0:
+            raise HarnessError("cooldown must be >= 0")
+        if self.min_active < 1:
+            raise HarnessError("min_active must be >= 1")
+
+    @staticmethod
+    def parse(spec: str) -> "AutoscalerConfig":
+        """Build a config from a ``key=value,key=value`` CLI string."""
+        known = {f.name: f for f in fields(AutoscalerConfig)}
+        int_keys = {"queue_high", "queue_low", "up_ticks", "down_ticks",
+                    "min_active"}
+        values: dict[str, object] = {}
+        for part in spec.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            key, sep, raw = part.partition("=")
+            key = key.strip()
+            if not sep or key not in known:
+                raise HarnessError(
+                    f"bad --autoscale entry {part!r}; known keys: "
+                    f"{', '.join(sorted(known))}")
+            try:
+                values[key] = (int(raw) if key in int_keys
+                               else float(raw))
+            except ValueError:
+                raise HarnessError(
+                    f"bad --autoscale value {raw!r} for {key}") from None
+        return AutoscalerConfig(**values)  # type: ignore[arg-type]
 
 
 def schedule_arrivals(count: int, rate: float, *, seed: int = 0) -> list[float]:
@@ -160,6 +248,10 @@ class _Shard:
         self.alive = True
         #: False while draining or quarantined — no new admissions
         self.accepting = True
+        #: part of the autoscaler's elastic pool (starts not accepting)
+        self.standby = False
+        #: scale-up committed, warm-up delay still running
+        self.warming = False
         self.demand = 0.0
         self.memory = 0
         self.has_high = False
@@ -212,13 +304,22 @@ class ClusterController:
                  capacity_bytes: int | None = None,
                  admission_limit: int = 8,
                  flap_threshold: int = 3,
-                 migration_downtime: float = 0.05) -> None:
+                 migration_downtime: float = 0.05,
+                 autoscale: AutoscalerConfig | None = None,
+                 standby: int = 0) -> None:
         if devices < 1:
             raise HarnessError("need at least one device")
         if not jobs:
             raise HarnessError("no jobs to serve")
         if migration_downtime < 0:
             raise HarnessError("migration_downtime must be >= 0")
+        if standby < 0 or standby >= devices:
+            raise HarnessError(
+                f"standby count {standby} must leave at least one of "
+                f"{devices} device(s) active")
+        if standby > 0 and autoscale is None:
+            raise HarnessError(
+                "standby devices need autoscale= to ever activate")
         self.config = config if config is not None else RunConfig(
             duration=6.0, warmup=1.0)
         self.policy_name = policy
@@ -259,6 +360,20 @@ class ClusterController:
                    FaultInjector(faults) if faults is not None else None)
             for i in range(devices)
         ]
+        self.autoscale = autoscale
+        # the LAST `standby` shards form the elastic pool: they accept
+        # nothing until a scale-up decision finishes their warm-up
+        for shard in self.shards[devices - standby:]:
+            shard.standby = True
+            shard.accepting = False
+        self._scaler_rng = random.Random(
+            f"{self.config.trace_seed}/autoscaler")
+        self._breach_ticks = 0
+        self._calm_ticks = 0
+        self._last_scale = float("-inf")
+        self.scale_ups = 0
+        self.scale_downs = 0
+
         self._client_counters: Counter[str] = Counter()
         self._tenants: list[_Tenant] = []
         self._admission_queue: deque[tuple[ClusterJob, float]] = deque()
@@ -283,6 +398,9 @@ class ClusterController:
             self.engine.schedule_at(
                 when, lambda i=index: self.drain(i))
         self._arm_slot_faults()
+        if self.autoscale is not None:
+            self.engine.schedule_at(self.autoscale.interval,
+                                    self._autoscale_tick)
         self.engine.run_until(self.config.duration)
         return self._collect()
 
@@ -499,6 +617,9 @@ class ClusterController:
         moving them would churn the rest of the fleet.
         """
         shard.accepting = False
+        # a flapping device leaves the elastic pool for good: the
+        # autoscaler must never re-activate what quarantine fenced off
+        shard.standby = False
         for tenant in [t for t in shard.tenants.values()
                        if t.latency_critical]:
             self._migrate(tenant, shard, reason="flapping")
@@ -521,6 +642,120 @@ class ClusterController:
                 ts=self.engine.now, client_id="", kernel="",
                 device=shard.index, migrated=migrated,
             ))
+
+    # ------------------------------------------------------------------
+    # Load-signal autoscaling
+    # ------------------------------------------------------------------
+    def _active_count(self) -> int:
+        """Devices serving or committed to serve (warm-up counts)."""
+        return sum(1 for s in self.shards
+                   if s.alive and (s.accepting or s.warming))
+
+    def _p99_pressure(self, now: float) -> float:
+        """Worst windowed p99-vs-SLO ratio across live HP tenants.
+
+        1.0 means the worst tenant's recent p99 sits exactly at its SLO
+        threshold (``sla_factor`` × standalone p99); tenants with no
+        completions inside the window contribute nothing — an empty
+        window is silence, not breach (queue depth covers total stall).
+        """
+        since = max(0.0, now - self.autoscale.signal_window)
+        worst = 0.0
+        for tenant in self._tenants:
+            if (tenant.evicted or tenant.departed
+                    or not tenant.latency_critical):
+                continue
+            latencies = _tenant_latencies(tenant, since, now)
+            if not latencies:
+                continue
+            baseline_tail = _baseline_tail(
+                standalone(tenant.spec, self.config))
+            threshold = tenant.job.sla_factor * baseline_tail
+            if not 0 < threshold < float("inf"):
+                continue
+            tail = LatencySummary.of(latencies).p99
+            worst = max(worst, tail / threshold)
+        return worst
+
+    def _autoscale_tick(self) -> None:
+        cfg = self.autoscale
+        now = self.engine.now
+        if now + cfg.interval < self.config.duration:
+            self.engine.schedule_at(now + cfg.interval,
+                                    self._autoscale_tick)
+        queue_depth = len(self._admission_queue)
+        pressure = self._p99_pressure(now)
+        if queue_depth >= cfg.queue_high or pressure >= cfg.p99_high:
+            self._breach_ticks += 1
+            self._calm_ticks = 0
+        elif queue_depth <= cfg.queue_low and pressure <= cfg.p99_low:
+            self._calm_ticks += 1
+            self._breach_ticks = 0
+        else:
+            self._breach_ticks = 0
+            self._calm_ticks = 0
+        if now - self._last_scale < cfg.cooldown:
+            return
+        if self._breach_ticks >= cfg.up_ticks:
+            reason = ("queue-depth" if queue_depth >= cfg.queue_high
+                      else "p99-over-slo")
+            self._scale_up(reason, queue_depth)
+        elif self._calm_ticks >= cfg.down_ticks:
+            self._scale_down(queue_depth)
+
+    def _scale_up(self, reason: str, queue_depth: int) -> None:
+        spare = next((s for s in self.shards
+                      if s.standby and s.alive
+                      and not s.accepting and not s.warming), None)
+        if spare is None:
+            return  # elastic pool exhausted; keep riding the breach
+        cfg = self.autoscale
+        now = self.engine.now
+        spare.warming = True
+        self.scale_ups += 1
+        self._breach_ticks = 0
+        self._last_scale = now
+        if self.tracer.enabled:
+            self.tracer.emit(ScaleDecision(
+                ts=now, client_id="", kernel="",
+                action="scale_up", device=spare.index,
+                active=self._active_count(), reason=reason,
+                queue_depth=queue_depth,
+            ))
+        delay = cfg.warmup_min + self._scaler_rng.uniform(
+            0.0, cfg.warmup_max - cfg.warmup_min)
+        self.engine.schedule_at(
+            now + delay, lambda s=spare: self._finish_warmup(s))
+
+    def _finish_warmup(self, shard: _Shard) -> None:
+        shard.warming = False
+        if not shard.alive:
+            return  # crashed mid-warm-up; the pool lost a spare
+        shard.accepting = True
+        self._drain_admission_queue()
+
+    def _scale_down(self, queue_depth: int) -> None:
+        cfg = self.autoscale
+        if self._active_count() <= cfg.min_active:
+            return
+        # only elastic-pool shards drain back; the base fleet is fixed
+        candidates = [s for s in self.shards
+                      if s.standby and s.alive and s.accepting]
+        if not candidates:
+            return
+        victim = min(candidates, key=lambda s: (s.demand, s.index))
+        now = self.engine.now
+        self.scale_downs += 1
+        self._calm_ticks = 0
+        self._last_scale = now
+        if self.tracer.enabled:
+            self.tracer.emit(ScaleDecision(
+                ts=now, client_id="", kernel="",
+                action="scale_down", device=victim.index,
+                active=self._active_count() - 1, reason="idle",
+                queue_depth=queue_depth,
+            ))
+        self.drain(victim.index)
 
     # ------------------------------------------------------------------
     # Live migration
@@ -662,13 +897,16 @@ class ClusterController:
             assert isinstance(driver, LLMServingJob)
             arrivals = len(driver.requests)
             completed = sum(1 for r in driver.requests if r.completed)
-            evicted = sum(1 for r in driver.requests if r.evicted)
+            # evictions, TTFT-deadline sheds, and work stranded by a
+            # device crash are all "shed" for conservation purposes
+            dropped = sum(1 for r in driver.requests
+                          if r.evicted or r.deadline_shed)
             pending = driver.pending_requests
-            stranded = arrivals - completed - evicted - pending
+            stranded = arrivals - completed - dropped - pending
             return ServiceLedger(
                 client_id=tenant.client_id, arrivals=arrivals,
                 completed=completed, pending=pending,
-                shed=evicted + stranded,
+                shed=dropped + stranded,
             )
         return None  # training has no request ledger
 
@@ -737,6 +975,8 @@ class ClusterController:
             mttr=(sum(self._downtimes) / len(self._downtimes)
                   if self._downtimes else float("nan")),
             device_faults=dict(self._fault_counts),
+            scale_ups=self.scale_ups,
+            scale_downs=self.scale_downs,
         )
         checks = audits + sum(shard.checker.checks_run
                               for shard in self.shards
@@ -805,6 +1045,8 @@ class ClusterCase:
     admission_limit: int = 8
     flap_threshold: int = 3
     migration_downtime: float = 0.05
+    autoscale: AutoscalerConfig | None = None
+    standby: int = 0
 
 
 def _run_cluster_case(case: ClusterCase) -> ClusterResult:
@@ -816,6 +1058,7 @@ def _run_cluster_case(case: ClusterCase) -> ClusterResult:
         admission_limit=case.admission_limit,
         flap_threshold=case.flap_threshold,
         migration_downtime=case.migration_downtime,
+        autoscale=case.autoscale, standby=case.standby,
     )
     return controller.run()
 
@@ -861,7 +1104,9 @@ def run_controlplane(jobs: list[ClusterJob] | None = None,
                      capacity_bytes: int | None = None,
                      admission_limit: int = 8,
                      flap_threshold: int = 3,
-                     migration_downtime: float = 0.05) -> ClusterResult:
+                     migration_downtime: float = 0.05,
+                     autoscale: AutoscalerConfig | None = None,
+                     standby: int = 0) -> ClusterResult:
     """Run one online control-plane scenario and return its result.
 
     Two entry shapes:
@@ -891,5 +1136,6 @@ def run_controlplane(jobs: list[ClusterJob] | None = None,
         compute_budget=compute_budget, capacity_bytes=capacity_bytes,
         admission_limit=admission_limit, flap_threshold=flap_threshold,
         migration_downtime=migration_downtime,
+        autoscale=autoscale, standby=standby,
     )
     return controller.run()

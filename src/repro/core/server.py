@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Callable
 
 from ..baselines.base import Priority
 from ..errors import ExecutionError, MigrationError, VirtError
@@ -23,7 +23,7 @@ from ..faults.injector import NULL_INJECTOR
 from ..ptx.interpreter import Interpreter
 from ..runtime.memory import MemoryManager, MemorySnapshot
 from ..runtime.registration import FatBinary, ModuleRegistry
-from ..trace.events import ClientGC
+from ..trace.events import ClientGC, DeadlineShed
 from ..trace.tracer import NULL_TRACER
 from ..transform.memo import transform_memo
 from ..virt.channel import Channel, ChannelConfig, SHARED_MEMORY
@@ -97,7 +97,8 @@ class TallyServer:
     def __init__(self, *,
                  best_effort_plan: ExecPlan = ExecPlan(ExecMode.PTB),
                  faults: Any = NULL_INJECTOR,
-                 tracer: Any = NULL_TRACER) -> None:
+                 tracer: Any = NULL_TRACER,
+                 clock: Callable[[], float] | None = None) -> None:
         self.best_effort_plan = best_effort_plan
         # Servers share the process-wide transform memo: a kernel any
         # server already compiled (same content hash) is reused across
@@ -106,12 +107,18 @@ class TallyServer:
                                              tracer=tracer)
         self.faults = faults
         self.tracer = tracer
+        # Deadline propagation needs a notion of "now"; without an
+        # injected clock (e.g. an EventLoop's ``now``) the server cannot
+        # tell whether an envelope's deadline has passed and never sheds.
+        self.clock = clock
         self._clients: dict[str, ClientState] = {}
         self._replies: OrderedDict[tuple[str, int], Response] = OrderedDict()
         self.requests_handled = 0
         self.replay_hits = 0
         self.clients_collected = 0
         self.clients_restored = 0
+        #: envelopes refused because their propagated deadline had passed
+        self.deadline_sheds = 0
 
     # ------------------------------------------------------------------
     # Connection management
@@ -134,7 +141,8 @@ class TallyServer:
             effective = plan if plan is not None else self.best_effort_plan
         self._clients[client_id] = ClientState(client_id, priority, effective)
         return Channel(self.handle, channel_config, faults=self.faults,
-                       tracer=self.tracer, client_id=client_id)
+                       tracer=self.tracer, client_id=client_id,
+                       clock=self.clock)
 
     def client(self, client_id: str) -> ClientState:
         try:
@@ -222,7 +230,8 @@ class TallyServer:
             self._replies.popitem(last=False)
         self.clients_restored += 1
         channel = Channel(self.handle, channel_config, faults=self.faults,
-                          tracer=self.tracer, client_id=ckpt.client_id)
+                          tracer=self.tracer, client_id=ckpt.client_id,
+                          clock=self.clock)
         channel.resume_sequence(max((rid for rid, _ in ckpt.replies),
                                     default=0))
         return channel
@@ -238,7 +247,11 @@ class TallyServer:
         checksum is verified (a mismatch is answered with a *retryable*
         failure, never executed) and replies are cached by (client,
         request id) so a retried or duplicated envelope replays the
-        original reply instead of re-executing the operation.
+        original reply instead of re-executing the operation.  An
+        envelope whose propagated deadline has already passed (by the
+        server's injected clock) is *shed* — answered with a
+        non-retryable failure without executing, sparing capacity the
+        caller can no longer benefit from.
         """
         self.requests_handled += 1
         if isinstance(request, Envelope):
@@ -250,12 +263,31 @@ class TallyServer:
             if checksum_of(request.payload) != request.checksum:
                 return Response.transport_failure(
                     "request checksum mismatch (corrupted in transit)")
+            if (request.deadline is not None and self.clock is not None
+                    and self.clock() >= request.deadline):
+                return self._shed_past_deadline(request)
             response = self._execute(request.payload)
             self._replies[key] = response
             while len(self._replies) > REPLY_CACHE_SIZE:
                 self._replies.popitem(last=False)
             return response
         return self._execute(request)
+
+    def _shed_past_deadline(self, envelope: Envelope) -> Response:
+        now = self.clock() if self.clock is not None else 0.0
+        self.deadline_sheds += 1
+        if self.tracer.enabled:
+            self.tracer.emit(DeadlineShed(
+                ts=now,
+                client_id=envelope.client_id,
+                kernel="",
+                scope="server",
+                deadline=envelope.deadline or 0.0,
+                lateness=now - (envelope.deadline or 0.0),
+            ))
+        return Response.failure(
+            f"deadline {envelope.deadline:.6f} already passed at "
+            f"{now:.6f}; request shed")
 
     def _execute(self, request: Request) -> Response:
         try:

@@ -90,10 +90,43 @@ class ClientCrashed(FaultError):
 
 
 class ChannelTimeout(FaultError):
-    """Raised when a channel request exhausts its retry budget.
+    """Raised when a channel request exhausts its retry attempts.
 
     Every attempt (the original send plus each exponential-backoff
     retry) was lost, corrupted, or otherwise unanswered.
+    """
+
+
+class RetryBudgetExhausted(ChannelTimeout):
+    """Raised when a channel call needs a retry but the per-client
+    token-bucket retry budget is empty.
+
+    Failing fast here is the point: budgets cap the fleet-wide retry
+    load at a fixed fraction of fresh traffic, so a degraded server is
+    never held underwater by synchronized retry storms (the metastable-
+    failure mode; see ``docs/fault_tolerance.md``).  Subclasses
+    :class:`ChannelTimeout` so existing retry-exhaustion handling
+    treats it as the same terminal outcome.
+    """
+
+
+class CircuitOpen(FaultError):
+    """Raised when a channel call is refused by an open circuit breaker.
+
+    The breaker observed enough consecutive failures against its target
+    to presume it unhealthy; calls fail fast (no send, no retries)
+    until the seeded probe timer moves the breaker to half-open and a
+    probe call is allowed through.
+    """
+
+
+class DeadlineExceeded(FaultError):
+    """Raised client-side when a call's absolute deadline has already
+    passed before the request is sent.
+
+    With deadline propagation the work would be shed at the server
+    anyway (the envelope carries the deadline); giving up locally
+    spares the channel and the server the doomed round trip.
     """
 
 

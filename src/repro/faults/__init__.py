@@ -10,10 +10,14 @@ Two halves (see ``docs/fault_tolerance.md``):
   ``NULL_CHECKER`` — fault-free runs are unchanged.
 * :mod:`repro.faults.scenarios` — harness-side helpers that arm
   device slot faults and client crashes against a running colocation.
+* :mod:`repro.faults.storm` — the retry-storm chaos scenario: a
+  degrade window against a capacity-limited server, run with and
+  without the overload-resilience layer (:mod:`repro.virt.resilience`).
 
-``scenarios`` is imported lazily: the device imports this package for
-:data:`NULL_INJECTOR`, and the scenario layer imports the harness,
-which imports the policies, which import the device.
+``scenarios`` and ``storm`` are imported lazily: the device imports
+this package for :data:`NULL_INJECTOR`, and those layers import the
+harness/virt stack, which imports the policies, which import the
+device.
 """
 
 from __future__ import annotations
@@ -35,11 +39,25 @@ __all__ = [
     # lazily loaded from .scenarios:
     "arm_slot_faults",
     "schedule_client_crash",
+    # lazily loaded from .storm:
+    "StormConfig",
+    "StormResult",
+    "run_storm",
+    "run_storm_sweep",
+    "storm_pair",
 ]
 
 _SCENARIOS = {
     "arm_slot_faults",
     "schedule_client_crash",
+}
+
+_STORM = {
+    "StormConfig",
+    "StormResult",
+    "run_storm",
+    "run_storm_sweep",
+    "storm_pair",
 }
 
 
@@ -48,4 +66,8 @@ def __getattr__(name: str):
         from . import scenarios
 
         return getattr(scenarios, name)
+    if name in _STORM:
+        from . import storm
+
+        return getattr(storm, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

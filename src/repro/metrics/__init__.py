@@ -1,7 +1,12 @@
 """Evaluation metrics: tail latency, serving SLOs, and throughput."""
 
 from .latency import LatencySummary, percentile
-from .recovery import RecoveryReport, ServiceRecovery
+from .overload import BreakerEvent, OverloadReport
+from .recovery import (
+    RecoveryReport,
+    ServiceRecovery,
+    attainment_through_window,
+)
 from .serving import ServingSLO, ServingSummary
 from .throughput import (
     ThroughputSample,
@@ -10,12 +15,15 @@ from .throughput import (
 )
 
 __all__ = [
+    "BreakerEvent",
     "LatencySummary",
+    "OverloadReport",
     "RecoveryReport",
     "ServiceRecovery",
     "ServingSLO",
     "ServingSummary",
     "ThroughputSample",
+    "attainment_through_window",
     "normalized_throughput",
     "percentile",
     "system_throughput",

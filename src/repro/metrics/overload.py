@@ -1,0 +1,159 @@
+"""Overload-behaviour metrics: retry amplification, breaker timelines,
+sheds by cause, and time-to-recover.
+
+Steady-state latency percentiles say nothing about how a system behaves
+*past* its knee.  The failure mode that matters there is metastability:
+a transient fault triggers retries, the retries consume the capacity
+that real work needed, and the overload outlives the fault that started
+it.  :class:`OverloadReport` condenses the signals that distinguish a
+bounded, self-limiting response (retry budgets + circuit breakers, see
+:mod:`repro.virt.resilience`) from an unbounded retry storm:
+
+- **amplification** — sends per fresh call, ``(fresh + retries) /
+  fresh`` summed over all clients.  1.0 is no retries; a sustained
+  value well above 1 during a fault window is the storm signature.
+- **sheds by cause** — work refused *cheaply* instead of failing
+  expensively: client-side deadline give-ups, empty retry budgets,
+  breaker fast-fails, and server-side deadline sheds.
+- **breaker timeline** — every circuit-breaker transition, merged
+  across clients and time-ordered, so a run can be audited for the
+  closed → open → half-open → closed recovery shape.
+- **time to recover** — from the first breaker opening to the last
+  breaker re-close (``0.0`` when no breaker ever opened; ``inf`` when
+  one never recovered inside the run).
+
+Build one with :meth:`OverloadReport.of` from the channels (and
+optionally the server) of a finished run; see ``docs/fault_tolerance.md``.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass, field
+
+__all__ = ["BreakerEvent", "OverloadReport"]
+
+
+@dataclass(frozen=True)
+class BreakerEvent:
+    """One circuit-breaker state transition, attributed to its client."""
+
+    ts: float
+    client_id: str
+    from_state: str
+    to_state: str
+    reason: str
+
+
+@dataclass(frozen=True)
+class OverloadReport:
+    """How a run behaved under (or without) overload."""
+
+    #: first-attempt calls across all clients
+    fresh_calls: int
+    #: re-sends across all clients
+    retries: int
+    #: sends per fresh call (1.0 when nothing retried)
+    amplification: float
+    #: work refused cheaply, keyed by cause ("deadline-client",
+    #: "deadline-server", "retry-budget", "breaker")
+    sheds: dict[str, int] = field(default_factory=dict)
+    #: time-ordered breaker transitions across every client
+    breaker_timeline: tuple[BreakerEvent, ...] = ()
+    #: first breaker open -> last breaker close (0.0 = never opened,
+    #: inf = opened and never closed again)
+    time_to_recover: float = 0.0
+
+    @staticmethod
+    def of(channels: Iterable, *,
+           server_deadline_sheds: int = 0) -> "OverloadReport":
+        """Condense the channels (and server counters) of one run.
+
+        ``channels`` are :class:`~repro.virt.channel.Channel` objects;
+        their stats provide the amplification numerator/denominator and
+        the client-side shed counters, and their breakers (when
+        resilience was enabled) provide the transition timeline.
+        """
+        fresh = retries = 0
+        give_ups = budget = fast_fails = 0
+        timeline: list[BreakerEvent] = []
+        for channel in channels:
+            stats = channel.stats
+            fresh += stats.fresh_calls
+            retries += stats.retries
+            give_ups += stats.deadline_give_ups
+            budget += stats.budget_exhausted
+            fast_fails += stats.breaker_fast_fails
+            if channel.breaker is not None:
+                timeline.extend(
+                    BreakerEvent(ts, channel.client_id, src, dst, why)
+                    for ts, src, dst, why in channel.breaker.transitions)
+        timeline.sort(key=lambda e: (e.ts, e.client_id))
+        sheds = {cause: count for cause, count in (
+            ("deadline-client", give_ups),
+            ("deadline-server", server_deadline_sheds),
+            ("retry-budget", budget),
+            ("breaker", fast_fails),
+        ) if count}
+        amplification = ((fresh + retries) / fresh) if fresh else 1.0
+        return OverloadReport(
+            fresh_calls=fresh, retries=retries,
+            amplification=amplification, sheds=sheds,
+            breaker_timeline=tuple(timeline),
+            time_to_recover=_time_to_recover(timeline),
+        )
+
+    @property
+    def total_sheds(self) -> int:
+        return sum(self.sheds.values())
+
+    def format(self, *, max_transitions: int = 8) -> str:
+        """Human-readable overload summary.
+
+        The timeline is elided past ``max_transitions`` entries (a real
+        storm produces hundreds); pass ``None`` to print all of them.
+        """
+        lines = [
+            f"amplification={self.amplification:.2f}x  "
+            f"(fresh={self.fresh_calls} retries={self.retries})"
+        ]
+        if self.sheds:
+            causes = ", ".join(f"{cause}={count}" for cause, count
+                               in sorted(self.sheds.items()))
+            lines.append(f"sheds: {causes}")
+        if self.breaker_timeline:
+            recover = ("never" if math.isinf(self.time_to_recover)
+                       else f"{self.time_to_recover * 1e3:.1f}ms")
+            lines.append(
+                f"breaker: {len(self.breaker_timeline)} transition(s), "
+                f"recovered in {recover}")
+            shown = (self.breaker_timeline if max_transitions is None
+                     else self.breaker_timeline[:max_transitions])
+            for event in shown:
+                lines.append(
+                    f"  {event.ts * 1e3:9.3f}ms  {event.client_id:<12} "
+                    f"{event.from_state} -> {event.to_state}  "
+                    f"({event.reason})")
+            elided = len(self.breaker_timeline) - len(shown)
+            if elided:
+                lines.append(f"  ... {elided} more")
+        return "\n".join(lines)
+
+
+def _time_to_recover(timeline: Sequence[BreakerEvent]) -> float:
+    """First open -> last close; 0.0 if never opened, inf if stuck."""
+    opened_at = next((e.ts for e in timeline if e.to_state == "open"),
+                     None)
+    if opened_at is None:
+        return 0.0
+    # every breaker that transitioned must have ended back at closed
+    last_state: dict[str, str] = {}
+    last_close: dict[str, float] = {}
+    for event in timeline:
+        last_state[event.client_id] = event.to_state
+        if event.to_state == "closed":
+            last_close[event.client_id] = event.ts
+    if any(state != "closed" for state in last_state.values()):
+        return float("inf")
+    return max(last_close.values()) - opened_at

@@ -32,9 +32,36 @@ Definitions:
 from __future__ import annotations
 
 import math
+from collections.abc import Sequence
 from dataclasses import dataclass, field
 
-__all__ = ["ServiceRecovery", "RecoveryReport"]
+__all__ = [
+    "ServiceRecovery",
+    "RecoveryReport",
+    "attainment_through_window",
+]
+
+
+def attainment_through_window(
+        samples: Sequence[tuple[float, float]], threshold: float,
+        window: tuple[float, float]) -> float:
+    """SLO attainment restricted to a ``(start, end)`` time window.
+
+    ``samples`` are ``(completion_ts, latency)`` pairs; the result is
+    the fraction of samples completing in ``[start, end)`` whose
+    latency is at or under ``threshold``.  A zero-length (or inverted)
+    window contains no completions, and an SLO with nothing due inside
+    it is vacuously met — the result is ``1.0``, never ``nan``, so
+    windowed comparisons (pre-fault vs through-fault vs post-recovery)
+    stay total-ordered even when a window is empty.
+    """
+    start, end = window
+    if end <= start:
+        return 1.0
+    inside = [lat for ts, lat in samples if start <= ts < end]
+    if not inside:
+        return 1.0
+    return sum(1 for lat in inside if lat <= threshold) / len(inside)
 
 
 @dataclass(frozen=True)
@@ -72,6 +99,9 @@ class RecoveryReport:
     mttr: float
     #: device-level fault transitions that fired, by kind
     device_faults: dict[str, int] = field(default_factory=dict)
+    #: autoscaler decisions committed (0 when no autoscaler ran)
+    scale_ups: int = 0
+    scale_downs: int = 0
 
     @property
     def total_downtime(self) -> float:
@@ -95,6 +125,9 @@ class RecoveryReport:
             faults = ", ".join(f"{kind}={count}" for kind, count
                                in sorted(self.device_faults.items()))
             lines.append(f"device faults: {faults}")
+        if self.scale_ups or self.scale_downs:
+            lines.append(f"autoscaler: scale-ups={self.scale_ups}  "
+                         f"scale-downs={self.scale_downs}")
         for entry in self.services:
             state = "evicted" if entry.evicted else f"gpu {entry.device}"
             lines.append(

@@ -26,9 +26,12 @@ from .chrome import to_chrome_trace, write_chrome_trace
 from .events import (
     EVENT_CLASSES,
     AdmissionDecision,
+    BreakerTransition,
+    BrownoutShift,
     ChannelFault,
     ClientCrash,
     ClientGC,
+    DeadlineShed,
     DeviceDrain,
     DeviceFault,
     EventType,
@@ -43,6 +46,8 @@ from .events import (
     PtbDispatch,
     QueueDepth,
     Resume,
+    RetryBudgetExhausted,
+    ScaleDecision,
     SchedDecision,
     SliceDispatch,
     SlotFault,
@@ -87,6 +92,11 @@ __all__ = [
     "MigrationComplete",
     "AdmissionDecision",
     "DeviceDrain",
+    "RetryBudgetExhausted",
+    "BreakerTransition",
+    "DeadlineShed",
+    "BrownoutShift",
+    "ScaleDecision",
     "event_from_dict",
     "TraceSink",
     "MemorySink",

@@ -49,6 +49,11 @@ _INSTANT_NAMES = {
     EventType.WATCHDOG_RESET: "fault.watchdog-reset",
     EventType.TRANSFORM_DEGRADE: "fault.degrade",
     EventType.SLOT_FAULT: "fault.slot",
+    EventType.RETRY_BUDGET_EXHAUSTED: "overload.budget",
+    EventType.BREAKER_TRANSITION: "overload.breaker",
+    EventType.DEADLINE_SHED: "overload.deadline-shed",
+    EventType.BROWNOUT_SHIFT: "overload.brownout",
+    EventType.SCALE_DECISION: "overload.scale",
 }
 
 

@@ -44,6 +44,11 @@ __all__ = [
     "MigrationComplete",
     "AdmissionDecision",
     "DeviceDrain",
+    "RetryBudgetExhausted",
+    "BreakerTransition",
+    "DeadlineShed",
+    "BrownoutShift",
+    "ScaleDecision",
     "EVENT_CLASSES",
     "event_from_dict",
 ]
@@ -75,6 +80,11 @@ class EventType(enum.Enum):
     MIGRATION_COMPLETE = "migration_complete"
     ADMISSION_DECISION = "admission_decision"
     DEVICE_DRAIN = "device_drain"
+    RETRY_BUDGET_EXHAUSTED = "retry_budget_exhausted"
+    BREAKER_TRANSITION = "breaker_transition"
+    DEADLINE_SHED = "deadline_shed"
+    BROWNOUT_SHIFT = "brownout_shift"
+    SCALE_DECISION = "scale_decision"
 
 
 @dataclass(frozen=True, slots=True)
@@ -516,6 +526,119 @@ class DeviceDrain(TraceEvent):
     migrated: int
 
 
+@dataclass(frozen=True, slots=True)
+class RetryBudgetExhausted(TraceEvent):
+    """A call needed a retry but the client's retry budget was empty.
+
+    Emitted by :class:`repro.virt.channel.Channel` when the token-
+    bucket retry budget refuses a retry and the call fails fast with
+    :class:`repro.errors.RetryBudgetExhausted`; ``ts`` is the channel's
+    resilience clock (engine time when wired, accumulated transport
+    time otherwise).
+    """
+
+    type: ClassVar[EventType] = EventType.RETRY_BUDGET_EXHAUSTED
+
+    #: envelope id of the call that was refused its retry
+    request_id: int
+    #: retries this call had already spent before the refusal
+    attempt: int
+    #: tokens left in the bucket (fractional; < 1 means refusal)
+    tokens: float
+
+
+@dataclass(frozen=True, slots=True)
+class BreakerTransition(TraceEvent):
+    """A circuit breaker changed state.
+
+    Emitted by :class:`repro.virt.resilience.CircuitBreaker` on every
+    state change: ``closed -> open`` (failure threshold reached),
+    ``open -> half_open`` (seeded probe timer expired), ``half_open ->
+    closed`` (probe succeeded), or ``half_open -> open`` (probe
+    failed).
+    """
+
+    type: ClassVar[EventType] = EventType.BREAKER_TRANSITION
+
+    #: breaker's target label, e.g. the server or shard name
+    target: str
+    from_state: str
+    to_state: str
+    #: why, e.g. "failure threshold", "probe timer", "probe ok"
+    reason: str
+    #: consecutive failures observed at the transition
+    failures: int = 0
+
+
+@dataclass(frozen=True, slots=True)
+class DeadlineShed(TraceEvent):
+    """Work past its propagated deadline was shed instead of executed.
+
+    Emitted by :class:`repro.core.server.TallyServer` (``scope
+    "server"``) when an envelope arrives after its deadline, by
+    :class:`repro.virt.channel.Channel` (``scope "client"``) when a
+    call gives up before sending, and by
+    :class:`repro.workloads.llm.LLMServingJob` (``scope "llm"``) when a
+    queued request's TTFT deadline is already unmeetable at admission.
+    """
+
+    type: ClassVar[EventType] = EventType.DEADLINE_SHED
+
+    #: which layer shed the work: "server", "client", or "llm"
+    scope: str
+    #: the absolute deadline that was missed, seconds
+    deadline: float
+    #: how far past the deadline the shed happened, seconds
+    lateness: float
+
+
+@dataclass(frozen=True, slots=True)
+class BrownoutShift(TraceEvent):
+    """The LLM serving brownout ladder changed level.
+
+    Emitted by :class:`repro.workloads.llm.LLMServingJob` when KV-cache
+    or queue-depth pressure moves the ladder (0 = full service, higher
+    = more degraded; see ``docs/llm_serving.md``).
+    """
+
+    type: ClassVar[EventType] = EventType.BROWNOUT_SHIFT
+
+    #: new brownout level (0 = normal service)
+    level: int
+    #: level before the shift
+    previous: int
+    #: triggering signal, e.g. "kv-pressure", "queue-depth", "relief"
+    reason: str
+    #: KV pool utilization in [0, 1] at the shift
+    kv_utilization: float
+    #: waiting (unadmitted) requests at the shift
+    queue_depth: int
+
+
+@dataclass(frozen=True, slots=True)
+class ScaleDecision(TraceEvent):
+    """The autoscaler added or removed serving capacity.
+
+    Emitted by :class:`repro.cluster.controlplane.ClusterController`
+    when the load-signal autoscaler commits a decision: ``action`` is
+    ``"scale_up"`` (a standby device begins its warm-up) or
+    ``"scale_down"`` (an active device starts a graceful drain).
+    """
+
+    type: ClassVar[EventType] = EventType.SCALE_DECISION
+
+    #: "scale_up" or "scale_down"
+    action: str
+    #: device index the decision concerns
+    device: int
+    #: active (accepting) devices after the decision takes effect
+    active: int
+    #: triggering signal, e.g. "queue-depth", "p99-over-slo", "idle"
+    reason: str
+    #: admission-queue depth at the decision
+    queue_depth: int = 0
+
+
 #: wire name -> event class (for deserialization)
 EVENT_CLASSES: dict[str, type[TraceEvent]] = {
     cls.type.value: cls
@@ -525,7 +648,8 @@ EVENT_CLASSES: dict[str, type[TraceEvent]] = {
         QueueDepth, ChannelFault, ClientCrash, ClientGC, PreemptLost,
         WatchdogReset, TransformDegrade, TransformCache, SlotFault,
         DeviceFault, MigrationStart, MigrationComplete,
-        AdmissionDecision, DeviceDrain,
+        AdmissionDecision, DeviceDrain, RetryBudgetExhausted,
+        BreakerTransition, DeadlineShed, BrownoutShift, ScaleDecision,
     )
 }
 

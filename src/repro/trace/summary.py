@@ -14,9 +14,12 @@ from typing import TYPE_CHECKING, Iterable, Union
 
 from ..metrics.latency import LatencySummary
 from .events import (
+    BreakerTransition,
+    BrownoutShift,
     ChannelFault,
     ClientCrash,
     ClientGC,
+    DeadlineShed,
     KernelComplete,
     KernelSubmit,
     PreemptAck,
@@ -25,6 +28,8 @@ from .events import (
     PtbDispatch,
     QueueDepth,
     Resume,
+    RetryBudgetExhausted,
+    ScaleDecision,
     SchedDecision,
     SliceDispatch,
     SlotFault,
@@ -95,6 +100,16 @@ class TraceSummary:
     transform_cache_misses: int = 0
     #: transform-cache entries LRU-evicted
     transform_cache_evictions: int = 0
+    #: retries refused by an empty token-bucket retry budget
+    retry_budget_exhaustions: int = 0
+    #: circuit-breaker state changes (open/half-open/close)
+    breaker_transitions: int = 0
+    #: work shed past its propagated deadline, by scope
+    deadline_sheds: dict[str, int] = field(default_factory=dict)
+    #: brownout-ladder level changes
+    brownout_shifts: int = 0
+    #: autoscaler decisions, by action ("scale_up"/"scale_down")
+    scale_decisions: dict[str, int] = field(default_factory=dict)
 
     @property
     def transform_cache_hit_rate(self) -> float:
@@ -131,6 +146,11 @@ class TraceSummary:
             ("watchdog resets", self.watchdog_resets),
             ("transform degrades", self.transform_degrades),
             ("slot faults", self.slot_faults),
+            ("retry budget exhaustions", self.retry_budget_exhaustions),
+            ("breaker transitions", self.breaker_transitions),
+            ("deadline sheds", sum(self.deadline_sheds.values())),
+            ("brownout shifts", self.brownout_shifts),
+            ("scale decisions", sum(self.scale_decisions.values())),
         ]
         rows.extend((name, str(count)) for name, count in fault_rows if count)
         if self.transform_cache_hits or self.transform_cache_misses:
@@ -236,6 +256,18 @@ def summarize(source: TraceSource,
                 summary.transform_cache_evictions += 1
         elif isinstance(event, SlotFault):
             summary.slot_faults += 1
+        elif isinstance(event, RetryBudgetExhausted):
+            summary.retry_budget_exhaustions += 1
+        elif isinstance(event, BreakerTransition):
+            summary.breaker_transitions += 1
+        elif isinstance(event, DeadlineShed):
+            summary.deadline_sheds[event.scope] = (
+                summary.deadline_sheds.get(event.scope, 0) + 1)
+        elif isinstance(event, BrownoutShift):
+            summary.brownout_shifts += 1
+        elif isinstance(event, ScaleDecision):
+            summary.scale_decisions[event.action] = (
+                summary.scale_decisions.get(event.action, 0) + 1)
 
     summary.preempt_requests = len(request_ts)
     if latencies:

@@ -2,6 +2,12 @@
 
 from .channel import Channel, ChannelConfig, ChannelStats, SHARED_MEMORY, UNIX_SOCKET
 from .interposer import InterposedBackend
+from .resilience import (
+    CircuitBreaker,
+    ResilienceConfig,
+    RetryBudget,
+    decorrelated_jitter,
+)
 from .protocol import (
     Envelope,
     FreeRequest,
@@ -21,7 +27,11 @@ __all__ = [
     "Channel",
     "ChannelConfig",
     "ChannelStats",
+    "CircuitBreaker",
     "Envelope",
+    "ResilienceConfig",
+    "RetryBudget",
+    "decorrelated_jitter",
     "checksum_of",
     "FreeRequest",
     "InterposedBackend",

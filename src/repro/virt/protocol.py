@@ -133,12 +133,16 @@ class Envelope:
     replay cache answer a duplicate or retried request idempotently.
     ``checksum`` covers the payload; the server rejects a mismatch with
     a *retryable* failure instead of executing a corrupted request.
+    ``deadline`` (absolute simulated time, ``None`` = none) propagates
+    the caller's latency bound so the server can shed work that can no
+    longer meet it instead of burning capacity on a doomed reply.
     """
 
     request_id: int
     client_id: str
     payload: Request
     checksum: int
+    deadline: float | None = None
 
 
 def checksum_of(message: Any) -> int:

@@ -3,6 +3,7 @@
 from .distributions import DurationComponent, DurationMixture
 from .inference import InferenceJob, RequestRecord
 from .llm import (
+    BrownoutConfig,
     KVCache,
     LLM_MODELS,
     LLMRequest,
@@ -23,6 +24,7 @@ from .models import (
 from .training import TrainingJob
 
 __all__ = [
+    "BrownoutConfig",
     "DurationComponent",
     "DurationMixture",
     "INFERENCE_MODELS",

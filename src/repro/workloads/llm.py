@@ -47,7 +47,7 @@ from ..gpu.kernel import KernelDescriptor
 from ..gpu.specs import GPUSpec
 from ..metrics.serving import ServingSLO, ServingSummary
 from ..runtime.memory import MemoryManager
-from ..trace import QueueDepth
+from ..trace import BrownoutShift, DeadlineShed, QueueDepth
 from ..traffic.maf import TrafficTrace
 
 __all__ = [
@@ -58,6 +58,7 @@ __all__ = [
     "KVCache",
     "LLMRequest",
     "LLMServingJob",
+    "BrownoutConfig",
 ]
 
 
@@ -347,6 +348,63 @@ class KVCache:
 
 
 # ---------------------------------------------------------------------------
+# Brownout
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class BrownoutConfig:
+    """Hysteresis-gated degradation ladder for overloaded serving.
+
+    Brownout trades service *quality* for service *survival*: under
+    sustained pressure the driver climbs one rung at a time —
+
+    * **level 1**: shrink the effective decode batch to
+      ``batch_shrink`` of the model's ``max_batch`` (each admitted
+      request finishes sooner, freeing KV earlier);
+    * **level 2**: additionally chunk prefill harder
+      (``chunk_shrink`` of the model's ``prefill_chunk``), so decode
+      steps — the latency-critical work — interleave more often;
+    * **level 3**: additionally early-evict the youngest running
+      sequences until KV pressure subsides (they hold the least sunk
+      work; the standard best-effort-first shedding order).
+
+    Pressure is read from KV-pool utilization and the unadmitted
+    queue depth.  Escalation and relief use separate thresholds
+    (``*_high`` / ``*_low``) with a ``min_dwell`` residence time per
+    rung, so the ladder cannot flap on per-step noise.
+    """
+
+    #: KV utilization at or above which the ladder escalates
+    kv_high: float = 0.85
+    #: KV utilization at or below which the ladder may relax
+    kv_low: float = 0.60
+    #: waiting-queue depth at or above which the ladder escalates
+    queue_high: int = 12
+    #: waiting-queue depth at or below which the ladder may relax
+    queue_low: int = 4
+    #: minimum simulated time between level shifts (seconds)
+    min_dwell: float = 0.05
+    #: level >= 1 multiplier on ``max_batch``
+    batch_shrink: float = 0.5
+    #: level >= 2 multiplier on ``prefill_chunk``
+    chunk_shrink: float = 0.5
+    #: deepest rung of the ladder
+    max_level: int = 3
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.kv_low <= self.kv_high <= 1.0:
+            raise WorkloadError("need 0 <= kv_low <= kv_high <= 1")
+        if not 0 <= self.queue_low <= self.queue_high:
+            raise WorkloadError("need 0 <= queue_low <= queue_high")
+        if not 0.0 < self.batch_shrink <= 1.0:
+            raise WorkloadError("batch_shrink must be in (0, 1]")
+        if not 0.0 < self.chunk_shrink <= 1.0:
+            raise WorkloadError("chunk_shrink must be in (0, 1]")
+        if self.min_dwell < 0 or self.max_level < 1:
+            raise WorkloadError("need min_dwell >= 0 and max_level >= 1")
+
+
+# ---------------------------------------------------------------------------
 # Requests
 # ---------------------------------------------------------------------------
 
@@ -364,6 +422,8 @@ class LLMRequest:
     token_times: list[float] = field(default_factory=list)
     finished: float | None = None
     evicted: bool = False
+    #: shed from the admission queue because its TTFT deadline passed
+    deadline_shed: bool = False
 
     @property
     def generated(self) -> int:
@@ -371,7 +431,8 @@ class LLMRequest:
 
     @property
     def completed(self) -> bool:
-        return self.finished is not None and not self.evicted
+        return (self.finished is not None and not self.evicted
+                and not self.deadline_shed)
 
     @property
     def ttft(self) -> float:
@@ -422,7 +483,9 @@ class LLMServingJob:
                  policy: SharingPolicy, client_id: str, *,
                  priority: Priority = Priority.HIGH,
                  seed: int = 0,
-                 kv_manager: MemoryManager | None = None) -> None:
+                 kv_manager: MemoryManager | None = None,
+                 brownout: BrownoutConfig | None = None,
+                 ttft_deadline: float | None = None) -> None:
         self.model = model
         self.traffic = traffic
         self.policy = policy
@@ -434,6 +497,17 @@ class LLMServingJob:
         self.requests: list[LLMRequest] = []
         self.evictions = 0
         self.crashed = False
+        #: degradation ladder (None = never degrade)
+        self.brownout = brownout
+        self.brownout_level = 0
+        self.brownout_shifts = 0
+        #: level-3 early evictions (a subset of ``evictions``)
+        self.brownout_evictions = 0
+        #: relative TTFT bound; a request still queued past
+        #: ``arrival + ttft_deadline`` is shed instead of admitted
+        self.ttft_deadline = ttft_deadline
+        self.deadline_sheds = 0
+        self._last_brownout_shift = float("-inf")
         self._waiting: list[LLMRequest] = []
         self._prefilling: list[LLMRequest] = []
         self._running: list[LLMRequest] = []
@@ -584,13 +658,101 @@ class LLMServingJob:
             ))
 
     # ------------------------------------------------------------------
+    # Brownout & deadlines
+    # ------------------------------------------------------------------
+    @property
+    def effective_max_batch(self) -> int:
+        """Decode-batch ceiling at the current brownout level."""
+        if self.brownout is None or self.brownout_level < 1:
+            return self.model.max_batch
+        return max(1, int(self.model.max_batch * self.brownout.batch_shrink))
+
+    @property
+    def effective_prefill_chunk(self) -> int:
+        """Prefill-chunk size at the current brownout level."""
+        if self.brownout is None or self.brownout_level < 2:
+            return self.model.prefill_chunk
+        return max(1, int(self.model.prefill_chunk
+                          * self.brownout.chunk_shrink))
+
+    def _update_brownout(self) -> None:
+        cfg = self.brownout
+        if cfg is None:
+            return
+        if self.engine.now - self._last_brownout_shift < cfg.min_dwell:
+            return
+        kv = self.kv.utilization
+        queue = len(self._waiting)
+        level = self.brownout_level
+        if ((kv >= cfg.kv_high or queue >= cfg.queue_high)
+                and level < cfg.max_level):
+            reason = "kv-pressure" if kv >= cfg.kv_high else "queue-depth"
+            self._shift_brownout(level + 1, reason)
+        elif kv <= cfg.kv_low and queue <= cfg.queue_low and level > 0:
+            self._shift_brownout(level - 1, "relief")
+        if self.brownout_level >= cfg.max_level:
+            self._brownout_evict()
+
+    def _shift_brownout(self, level: int, reason: str) -> None:
+        previous = self.brownout_level
+        self.brownout_level = level
+        self.brownout_shifts += 1
+        self._last_brownout_shift = self.engine.now
+        tracer = self.policy.tracer
+        if tracer.enabled:
+            tracer.emit(BrownoutShift(
+                ts=self.engine.now, client_id=self.client_id, kernel="",
+                level=level, previous=previous, reason=reason,
+                kv_utilization=self.kv.utilization,
+                queue_depth=len(self._waiting),
+            ))
+
+    def _brownout_evict(self) -> None:
+        """Level 3: early-evict the youngest sequences under pressure."""
+        cfg = self.brownout
+        while (len(self._running) > 1
+               and self.kv.utilization >= cfg.kv_high):
+            victim = max(self._running, key=lambda r: r.admitted)
+            self._evict(victim)
+            self.brownout_evictions += 1
+
+    def _shed_past_deadline(self) -> None:
+        """Drop queued requests whose TTFT deadline already passed.
+
+        They have no KV and no sunk device work — shedding them here is
+        free, and admitting them would only burn prefill capacity on
+        replies their callers have stopped waiting for.
+        """
+        if self.ttft_deadline is None or not self._waiting:
+            return
+        now = self.engine.now
+        kept: list[LLMRequest] = []
+        tracer = self.policy.tracer
+        for request in self._waiting:
+            deadline = request.arrival + self.ttft_deadline
+            if now >= deadline:
+                request.deadline_shed = True
+                request.finished = now
+                self.deadline_sheds += 1
+                if tracer.enabled:
+                    tracer.emit(DeadlineShed(
+                        ts=now, client_id=self.client_id, kernel="",
+                        scope="llm", deadline=deadline,
+                        lateness=now - deadline,
+                    ))
+            else:
+                kept.append(request)
+        self._waiting[:] = kept
+
+    # ------------------------------------------------------------------
     # The engine loop
     # ------------------------------------------------------------------
     def _admit(self) -> None:
         """Pull waiting requests into the engine FCFS while room lasts."""
+        self._shed_past_deadline()
         while (self._waiting
                and len(self._prefilling) + len(self._running)
-               < self.model.max_batch
+               < self.effective_max_batch
                and self.kv.can_hold(self._waiting[0].prompt_tokens + 1)):
             request = self._waiting.pop(0)
             request.admitted = self.engine.now
@@ -601,6 +763,7 @@ class LLMServingJob:
         """Run one engine step: prefill when pending, decode otherwise."""
         if self.crashed:
             return
+        self._update_brownout()
         self._admit()
         if self._prefilling:
             self._start_prefill(self._prefilling[0])
@@ -608,11 +771,15 @@ class LLMServingJob:
             self._start_decode()
         else:
             self._busy = False
+            # going idle: nothing queued, nothing running — pressure is
+            # definitionally gone, so the ladder need not walk down one
+            # dwell window at a time
+            if self.brownout is not None and self.brownout_level > 0:
+                self._shift_brownout(0, "idle")
             self._sample_queue_depth()
 
     def _start_prefill(self, request: LLMRequest) -> None:
         remaining = request.prompt_tokens
-        chunk = self.model.prefill_chunk
 
         def submit_next() -> None:
             nonlocal remaining
@@ -621,7 +788,9 @@ class LLMServingJob:
             if remaining <= 0:
                 self._finish_prefill(request)
                 return
-            tokens = min(chunk, remaining)
+            # chunk size is re-read per kernel so a brownout shift takes
+            # effect mid-prefill, not just at the next admission
+            tokens = min(self.effective_prefill_chunk, remaining)
             remaining -= tokens
             kernel = self.model.prefill_kernel(tokens, self.spec)
             self.policy.submit(self.client_id, kernel, submit_next)

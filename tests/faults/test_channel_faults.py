@@ -1,6 +1,8 @@
 """Channel-level fault tolerance: retries, replay, checksums, crashes."""
 
+import random
 from collections import Counter
+from dataclasses import replace
 
 import numpy as np
 import pytest
@@ -10,7 +12,7 @@ from repro.errors import ChannelTimeout, ClientCrashed
 from repro.faults import FaultConfig, FaultInjector
 from repro.ptx.library import vector_add
 from repro.runtime import FatBinary
-from repro.virt import Channel, MallocRequest, Response
+from repro.virt import Channel, MallocRequest, Response, SHARED_MEMORY
 
 
 class ScriptedInjector:
@@ -60,8 +62,32 @@ class TestRetry:
         server, lossy = server_and_channel(ScriptedInjector(
             request=["drop", "drop"]))
         lossy.call(MallocRequest("c", 16))
-        # two timeouts, two backoffs (50us then 100us), and the wire
-        # time of the two request copies that went nowhere
+        # two timeouts, two jittered backoffs (mirror the channel's
+        # seeded decorrelated-jitter stream: seed 0, client "c"), and
+        # the wire time of the two request copies that went nowhere
+        rng = random.Random("0/c/backoff")
+        base, cap = lossy.config.retry_backoff, lossy.config.backoff_cap
+        prev = base
+        backoffs = 0.0
+        for _ in range(2):
+            prev = min(cap, rng.uniform(base, max(base, prev * 3)))
+            backoffs += prev
+        extra = (2 * lossy.config.timeout + backoffs
+                 + 2 * lossy.cost_of(MallocRequest("c", 16)))
+        assert lossy.stats.simulated_time == pytest.approx(
+            clean.stats.simulated_time + extra)
+
+    def test_jitter_off_restores_deterministic_doubling(self):
+        config = replace(SHARED_MEMORY, backoff_jitter=False)
+        clean = Channel(lambda env: Response.success(), config)
+        clean.call(MallocRequest("c", 16))
+        server = TallyServer()
+        server.connect("c")
+        lossy = Channel(server.handle, config,
+                        faults=ScriptedInjector(request=["drop", "drop"]),
+                        client_id="c")
+        lossy.call(MallocRequest("c", 16))
+        # 50us then 100us: the legacy exponential-doubling schedule
         extra = (2 * lossy.config.timeout
                  + lossy.config.retry_backoff * 3
                  + 2 * lossy.cost_of(MallocRequest("c", 16)))

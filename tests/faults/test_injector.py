@@ -97,3 +97,48 @@ class TestNullInjector:
         assert NULL_INJECTOR.lost_preempt_ack() is False
         assert NULL_INJECTOR.slot_fault_times(10.0) == []
         assert not NULL_INJECTOR.injected
+
+
+class TestExtremeFlapping:
+    """Flap cycles far faster than any control-plane reaction time."""
+
+    EXTREME = FaultConfig(seed=7, device_flap_rate=2.0, flap_count=25,
+                          flap_period=0.01)
+
+    def test_schedule_is_bounded_ordered_and_alternating(self):
+        schedule = FaultInjector(self.EXTREME).device_fault_schedule(
+            0, 3.0)
+        assert schedule  # an extreme rate must actually produce bursts
+        times = [e.time for e in schedule]
+        assert times == sorted(times)
+        assert all(0 <= t <= 3.0 for t in times)
+        assert all(e.flapping for e in schedule)
+        # each burst alternates degrade/recover, never two of a kind
+        kinds = [e.kind for e in schedule]
+        for a, b in zip(kinds, kinds[1:]):
+            assert (a, b) in (("degrade", "recover"),
+                              ("recover", "degrade"))
+        assert FaultInjector(self.EXTREME).device_fault_schedule(
+            0, 3.0) == schedule
+
+    def test_quarantine_converges_and_conservation_holds(self):
+        """A device flapping every 10ms must be quarantined exactly
+        once (not re-quarantined per cycle), and no request may be
+        lost in the proactive migrations it triggers."""
+        from repro.cluster import ClusterController, ClusterJob
+        from repro.harness import RunConfig
+
+        jobs = [ClusterJob("bert_infer", load=0.3, traffic_seed=0),
+                ClusterJob("resnet50_train", traffic_seed=1)]
+        controller = ClusterController(
+            jobs, 2, config=RunConfig(duration=3.0, warmup=0.5),
+            faults=self.EXTREME, check=True)
+        result = controller.run()  # check=True audits conservation
+        flapped = [s for s in controller.shards
+                   if s.flap_transitions >= controller.flap_threshold]
+        assert flapped  # the storm of cycles tripped the threshold
+        for shard in flapped:
+            assert not shard.accepting   # fenced off, and it stays off
+            assert shard.alive           # quarantined, not crashed
+        assert result.recovery.device_faults["device_degrade"] > 10
+        assert result.invariant_checks > 0

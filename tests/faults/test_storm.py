@@ -1,0 +1,109 @@
+"""Retry-storm chaos scenario: the resilience layer must bound what an
+unbounded retry loop turns into a metastable collapse."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.errors import HarnessError
+from repro.faults import StormConfig, run_storm, run_storm_sweep, \
+    storm_pair
+from repro.virt import ResilienceConfig
+
+
+def _pair(**overrides):
+    raw, safe = storm_pair(StormConfig(check=True, **overrides))
+    return raw, safe
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(HarnessError):
+            StormConfig(clients=0)
+        with pytest.raises(HarnessError):
+            StormConfig(capacity=0.0)
+        with pytest.raises(HarnessError):
+            StormConfig(degrade_start=3.0, degrade_end=2.0)
+        with pytest.raises(HarnessError):
+            StormConfig(degrade_end=99.0)
+        with pytest.raises(HarnessError):
+            StormConfig(slo=0.0)
+
+    def test_pair_shares_everything_but_the_layer(self):
+        raw, safe = _pair()
+        assert raw.resilience is None
+        assert safe.resilience == ResilienceConfig()
+        assert replace(raw, resilience=None, label="") == \
+            replace(safe, resilience=None, label="")
+
+
+class TestUnboundedStorm:
+    def test_amplification_exceeds_two(self):
+        raw, _ = _pair()
+        result = run_storm(raw)
+        assert result.amplification > 2.0
+        assert result.overload.sheds == {}  # nothing refused cheaply
+
+    def test_collapse_outlives_the_fault(self):
+        """The metastability signature: the SLO stays broken after the
+        degrade window ends, because amplified load built a backlog
+        far larger than the window itself."""
+        raw, _ = _pair()
+        result = run_storm(raw)
+        assert result.attainment_before == 1.0
+        assert result.attainment_after < 0.5
+        assert result.peak_backlog > \
+            (raw.degrade_end - raw.degrade_start)
+
+
+class TestResilientStorm:
+    def test_amplification_bounded(self):
+        _, safe = _pair()
+        result = run_storm(safe)
+        assert result.amplification <= 1.5
+
+    def test_post_fault_attainment_recovers(self):
+        raw, safe = _pair()
+        bounded = run_storm(safe)
+        unbounded = run_storm(raw)
+        assert bounded.attainment_after >= \
+            0.95 * bounded.attainment_before
+        assert bounded.attainment_after > unbounded.attainment_after
+        assert bounded.peak_backlog < unbounded.peak_backlog / 10
+
+    def test_breakers_open_and_recover(self):
+        _, safe = _pair()
+        result = run_storm(safe)
+        overload = result.overload
+        assert overload.sheds.get("breaker", 0) > 0
+        assert overload.sheds.get("retry-budget", 0) > 0
+        timeline = overload.breaker_timeline
+        assert timeline[0].from_state == "closed"
+        assert timeline[0].to_state == "open"
+        # every breaker that opened closed again inside the run
+        assert 0 < overload.time_to_recover < float("inf")
+
+    def test_conservation_audited(self):
+        _, safe = _pair()
+        result = run_storm(safe)
+        assert result.invariant_checks == safe.clients
+        # every issued call ended as exactly one success or failure
+        assert result.successes + result.failures > 0
+
+
+class TestDeterminism:
+    def test_repeat_runs_bit_identical(self):
+        raw, safe = _pair()
+        for config in (raw, safe):
+            assert repr(run_storm(config)) == repr(run_storm(config))
+
+    def test_parallel_sweep_matches_serial(self):
+        configs = list(_pair())
+        serial = run_storm_sweep(configs, jobs=1)
+        parallel = run_storm_sweep(configs, jobs=2)
+        assert [repr(r) for r in serial] == [repr(r) for r in parallel]
+
+    def test_seed_changes_the_run(self):
+        raw0, _ = _pair(seed=0)
+        raw1, _ = _pair(seed=1)
+        assert repr(run_storm(raw0)) != repr(run_storm(raw1))

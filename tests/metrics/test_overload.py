@@ -1,0 +1,123 @@
+"""Overload metrics: amplification, shed causes, breaker timelines,
+time-to-recover, and windowed attainment edges."""
+
+import math
+from types import SimpleNamespace
+
+from repro.metrics import (
+    BreakerEvent,
+    OverloadReport,
+    attainment_through_window,
+)
+from repro.virt.channel import ChannelStats
+
+
+def channel(client_id="c", breaker=None, **stats):
+    return SimpleNamespace(client_id=client_id,
+                           stats=ChannelStats(**stats), breaker=breaker)
+
+
+def breaker_with(*transitions):
+    return SimpleNamespace(transitions=list(transitions))
+
+
+class TestOverloadReport:
+    def test_empty_run_is_quiet(self):
+        report = OverloadReport.of([channel()])
+        assert report.amplification == 1.0
+        assert report.sheds == {}
+        assert report.breaker_timeline == ()
+        assert report.time_to_recover == 0.0
+
+    def test_amplification_aggregates_across_clients(self):
+        report = OverloadReport.of([
+            channel("a", fresh_calls=10, retries=10),
+            channel("b", fresh_calls=10, retries=0),
+        ])
+        assert report.fresh_calls == 20
+        assert report.retries == 10
+        assert report.amplification == 1.5
+
+    def test_sheds_keyed_by_cause_and_zero_suppressed(self):
+        report = OverloadReport.of(
+            [channel(deadline_give_ups=2, budget_exhausted=3,
+                     breaker_fast_fails=4)],
+            server_deadline_sheds=5)
+        assert report.sheds == {"deadline-client": 2, "retry-budget": 3,
+                                "breaker": 4, "deadline-server": 5}
+        assert report.total_sheds == 14
+
+    def test_timeline_merged_and_time_ordered(self):
+        report = OverloadReport.of([
+            channel("b", breaker=breaker_with(
+                (2.0, "closed", "open", "failures"),
+                (3.0, "open", "half_open", "window"),
+                (3.0, "half_open", "closed", "probe ok"))),
+            channel("a", breaker=breaker_with(
+                (2.5, "closed", "open", "failures"),
+                (4.0, "open", "half_open", "window"),
+                (4.0, "half_open", "closed", "probe ok"))),
+        ])
+        assert [e.ts for e in report.breaker_timeline] == \
+            [2.0, 2.5, 3.0, 3.0, 4.0, 4.0]
+        assert report.breaker_timeline[0] == BreakerEvent(
+            2.0, "b", "closed", "open", "failures")
+        # first open at 2.0, last close at 4.0
+        assert report.time_to_recover == 2.0
+
+    def test_stuck_breaker_never_recovers(self):
+        report = OverloadReport.of([
+            channel("a", breaker=breaker_with(
+                (2.0, "closed", "open", "failures"))),
+        ])
+        assert math.isinf(report.time_to_recover)
+
+    def test_reclosed_then_reopened_breaker_is_stuck(self):
+        report = OverloadReport.of([
+            channel("a", breaker=breaker_with(
+                (1.0, "closed", "open", "failures"),
+                (2.0, "open", "half_open", "window"),
+                (2.0, "half_open", "closed", "probe ok"),
+                (3.0, "closed", "open", "failures"))),
+        ])
+        assert math.isinf(report.time_to_recover)
+
+    def test_format_elides_long_timelines(self):
+        events = [(float(i), "closed", "open", "x") for i in range(20)]
+        report = OverloadReport.of(
+            [channel("a", breaker=breaker_with(*events))])
+        text = report.format(max_transitions=4)
+        assert "... 16 more" in text
+        assert "... " not in report.format(max_transitions=None)
+
+
+class TestAttainmentThroughWindow:
+    SAMPLES = [(1.0, 0.01), (2.0, 0.50), (3.0, 0.01)]
+
+    def test_counts_only_samples_inside_the_window(self):
+        value = attainment_through_window(self.SAMPLES, 0.02, (0.0, 4.0))
+        assert value == 2 / 3
+        assert attainment_through_window(
+            self.SAMPLES, 0.02, (1.5, 2.5)) == 0.0
+        assert attainment_through_window(
+            self.SAMPLES, 0.02, (2.5, 4.0)) == 1.0
+
+    def test_zero_length_window_is_vacuously_met(self):
+        assert attainment_through_window(self.SAMPLES, 0.02,
+                                         (2.0, 2.0)) == 1.0
+
+    def test_inverted_window_is_vacuously_met(self):
+        assert attainment_through_window(self.SAMPLES, 0.02,
+                                         (3.0, 1.0)) == 1.0
+
+    def test_empty_window_is_vacuously_met_not_nan(self):
+        value = attainment_through_window(self.SAMPLES, 0.02, (10.0, 11.0))
+        assert value == 1.0
+        assert not math.isnan(value)
+
+    def test_boundaries_are_half_open(self):
+        # start inclusive, end exclusive
+        assert attainment_through_window(
+            self.SAMPLES, 1.0, (1.0, 2.0)) == 1.0
+        assert attainment_through_window(
+            [(2.0, 9.9)], 1.0, (1.0, 2.0)) == 1.0

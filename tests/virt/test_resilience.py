@@ -1,0 +1,336 @@
+"""Overload-resilience primitives: budgets, breakers, jittered backoff."""
+
+import pytest
+
+from repro.core import TallyServer
+from repro.errors import (
+    ChannelTimeout,
+    CircuitOpen,
+    DeadlineExceeded,
+    RetryBudgetExhausted,
+    VirtError,
+)
+from repro.trace import Tracer, summarize
+from repro.virt import (
+    Channel,
+    CircuitBreaker,
+    MallocRequest,
+    ResilienceConfig,
+    Response,
+    RetryBudget,
+)
+from repro.virt.resilience import (
+    BREAKER_CLOSED,
+    BREAKER_HALF_OPEN,
+    BREAKER_OPEN,
+)
+
+
+class AlwaysDrop:
+    """Injector that drops every request: the server never answers."""
+
+    enabled = True
+
+    def channel_fault(self, direction):
+        return "drop" if direction == "request" else "none"
+
+    def crash_now(self):
+        return False
+
+
+class TestRetryBudget:
+    def test_fresh_calls_earn_fractional_tokens(self):
+        budget = RetryBudget(ResilienceConfig(retry_budget_ratio=0.1,
+                                              retry_budget_min=0.0))
+        assert budget.exhausted
+        for _ in range(11):
+            budget.on_fresh()
+        assert budget.tokens == pytest.approx(1.1)
+        assert budget.try_spend()
+        assert budget.exhausted
+
+    def test_bucket_caps_the_idle_burst(self):
+        config = ResilienceConfig(retry_budget_ratio=0.5,
+                                  retry_budget_min=0.0,
+                                  retry_budget_cap=3.0)
+        budget = RetryBudget(config)
+        for _ in range(1000):
+            budget.on_fresh()
+        assert budget.tokens == pytest.approx(3.0)
+
+    def test_refusals_are_counted(self):
+        budget = RetryBudget(ResilienceConfig(retry_budget_min=1.0))
+        assert budget.try_spend()
+        assert not budget.try_spend()
+        assert budget.refused == 1
+
+    def test_spend_rate_bounded_by_ratio(self):
+        """However the fault behaves, retries <= min + ratio * fresh."""
+        config = ResilienceConfig(retry_budget_ratio=0.1,
+                                  retry_budget_min=5.0,
+                                  retry_budget_cap=50.0)
+        budget = RetryBudget(config)
+        granted = 0
+        for _ in range(1000):
+            budget.on_fresh()
+            while budget.try_spend():  # a storm: retry as hard as allowed
+                granted += 1
+        assert granted <= config.retry_budget_min + 0.1 * 1000 + 1
+
+
+class TestChannelBudget:
+    def test_empty_budget_fails_fast(self):
+        config = ResilienceConfig(retry_budget_ratio=0.0,
+                                  retry_budget_min=0.0,
+                                  breaker_failure_threshold=10_000)
+        channel = Channel(lambda env: Response.success(),
+                          faults=AlwaysDrop(), client_id="c",
+                          resilience=config)
+        with pytest.raises(RetryBudgetExhausted):
+            channel.call(MallocRequest("c", 16))
+        # the first attempt was made; no retry was paid for
+        assert channel.stats.retries == 0
+        assert channel.stats.budget_exhausted == 1
+
+    def test_budget_exhaustion_is_a_channel_timeout(self):
+        """Existing retry-exhaustion handling keeps working."""
+        assert issubclass(RetryBudgetExhausted, ChannelTimeout)
+
+    def test_funded_budget_allows_the_recovery_retry(self):
+        class DropOnce(AlwaysDrop):
+            def __init__(self):
+                self.dropped = False
+
+            def channel_fault(self, direction):
+                if direction == "request" and not self.dropped:
+                    self.dropped = True
+                    return "drop"
+                return "none"
+
+        server = TallyServer()
+        server.connect("c")
+        channel = Channel(server.handle, faults=DropOnce(), client_id="c",
+                          resilience=ResilienceConfig())
+        assert channel.call(MallocRequest("c", 16)).ok
+        assert channel.stats.retries == 1
+
+    def test_exhaustion_emits_trace_event(self):
+        tracer = Tracer()
+        config = ResilienceConfig(retry_budget_ratio=0.0,
+                                  retry_budget_min=0.0,
+                                  breaker_failure_threshold=10_000)
+        channel = Channel(lambda env: Response.success(),
+                          faults=AlwaysDrop(), client_id="c",
+                          tracer=tracer, resilience=config)
+        with pytest.raises(RetryBudgetExhausted):
+            channel.call(MallocRequest("c", 16))
+        assert summarize(tracer).retry_budget_exhaustions == 1
+
+
+class TestCircuitBreaker:
+    def config(self, **kw):
+        kw.setdefault("breaker_failure_threshold", 3)
+        kw.setdefault("retry_budget_min", 50.0)
+        return ResilienceConfig(**kw)
+
+    def test_opens_after_consecutive_failures(self):
+        breaker = CircuitBreaker(self.config(), clock=lambda: 0.0)
+        for _ in range(3):
+            assert breaker.allow()
+            breaker.record_failure()
+        assert breaker.state == BREAKER_OPEN
+        assert not breaker.allow()
+        assert breaker.fast_fails == 1
+
+    def test_success_resets_the_failure_streak(self):
+        breaker = CircuitBreaker(self.config(), clock=lambda: 0.0)
+        for _ in range(100):
+            breaker.record_failure()
+            breaker.record_failure()
+            breaker.record_success()
+        assert breaker.state == BREAKER_CLOSED
+
+    def test_half_open_probe_closes_on_success(self):
+        now = [0.0]
+        breaker = CircuitBreaker(self.config(), clock=lambda: now[0])
+        for _ in range(3):
+            breaker.record_failure()
+        now[0] = 10.0  # any open window has long elapsed
+        assert breaker.allow()  # the probe
+        assert breaker.state == BREAKER_HALF_OPEN
+        assert not breaker.allow()  # only one probe slot
+        breaker.record_success()
+        assert breaker.state == BREAKER_CLOSED
+        assert breaker.allow()
+
+    def test_failed_probe_reopens(self):
+        now = [0.0]
+        breaker = CircuitBreaker(self.config(), clock=lambda: now[0])
+        for _ in range(3):
+            breaker.record_failure()
+        first_window = breaker._open_until - now[0]
+        now[0] = 10.0
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == BREAKER_OPEN
+        cfg = breaker.config
+        for window in (first_window, breaker._open_until - now[0]):
+            assert cfg.breaker_open_base <= window <= cfg.breaker_open_cap
+
+    def test_open_windows_are_seed_deterministic(self):
+        def windows(seed):
+            now = [0.0]
+            breaker = CircuitBreaker(self.config(), seed=seed,
+                                     clock=lambda: now[0])
+            out = []
+            for _ in range(5):
+                for _ in range(3):
+                    breaker.record_failure()
+                out.append(breaker._open_until - now[0])
+                now[0] += 10.0
+                assert breaker.allow()
+                breaker.record_success()
+            return out
+
+        assert windows(7) == windows(7)
+        assert windows(7) != windows(8)
+
+    def test_abandon_releases_the_probe_slot(self):
+        now = [0.0]
+        breaker = CircuitBreaker(self.config(), clock=lambda: now[0])
+        for _ in range(3):
+            breaker.record_failure()
+        now[0] = 10.0
+        assert breaker.allow()
+        breaker.abandon()  # e.g. the probing client crashed
+        assert breaker.allow()  # slot is free again
+
+    def test_channel_fails_fast_while_open(self):
+        tracer = Tracer()
+        channel = Channel(lambda env: Response.success(),
+                          faults=AlwaysDrop(), client_id="c",
+                          tracer=tracer, resilience=self.config())
+        for _ in range(3):
+            with pytest.raises(ChannelTimeout):
+                channel.call(MallocRequest("c", 16))
+        sends_before = channel.stats.messages
+        with pytest.raises(CircuitOpen):
+            channel.call(MallocRequest("c", 16))
+        assert channel.stats.messages == sends_before  # nothing sent
+        assert channel.stats.breaker_fast_fails == 1
+        assert summarize(tracer).breaker_transitions == 1
+
+    def test_api_failures_do_not_trip_the_breaker(self):
+        """A server that answers (even with errors) is not down."""
+        channel = Channel(lambda env: Response.failure("no such kernel"),
+                          client_id="c", resilience=self.config())
+        for _ in range(50):
+            with pytest.raises(VirtError):
+                channel.call(MallocRequest("c", 16))
+        assert channel.breaker.state == BREAKER_CLOSED
+
+
+class TestJitterDesynchronization:
+    def _retry_instants(self, client_id, seed=0):
+        """Simulated times at which each send attempt starts."""
+        channel = Channel(lambda env: Response.success(),
+                          faults=AlwaysDrop(), client_id=client_id,
+                          seed=seed)
+        stamps = []
+        original = channel._attempt
+
+        def spy(envelope, attempt):
+            stamps.append(channel.stats.simulated_time)
+            return original(envelope, attempt)
+
+        channel._attempt = spy
+        with pytest.raises(ChannelTimeout):
+            channel.call(MallocRequest(client_id, 16))
+        return tuple(stamps)
+
+    def test_retry_instants_desynchronize_across_clients(self):
+        """Regression: with deterministic doubling every client retried
+        at identical offsets (50us, 100us, ...), re-colliding on the
+        server in lockstep.  Seeded jitter must spread clients apart
+        while staying replayable."""
+        schedules = [self._retry_instants(f"client-{i}") for i in range(4)]
+        # bit-identical replay per client ...
+        assert schedules[0] == self._retry_instants("client-0")
+        # ... but no two clients share a retry schedule,
+        assert len(set(schedules)) == len(schedules)
+        # and after the (identical) first send, no retry instants collide
+        for i in range(len(schedules)):
+            for j in range(i + 1, len(schedules)):
+                assert not set(schedules[i][1:]) & set(schedules[j][1:])
+
+    def test_seed_changes_the_schedule(self):
+        assert self._retry_instants("c", seed=1) != \
+            self._retry_instants("c", seed=2)
+
+    def test_backoff_stays_within_configured_cap(self):
+        stamps = self._retry_instants("c")
+        channel_config = Channel(lambda env: Response.success()).config
+        gap_budget = channel_config.timeout + channel_config.backoff_cap
+        wire = 100e-6  # generous bound on one request's transport cost
+        for earlier, later in zip(stamps, stamps[1:]):
+            assert later - earlier <= gap_budget + wire
+
+
+class TestDeadlinePropagation:
+    def test_client_gives_up_past_deadline(self):
+        channel = Channel(lambda env: Response.success(), client_id="c",
+                          clock=lambda: 5.0)
+        with pytest.raises(DeadlineExceeded):
+            channel.call(MallocRequest("c", 16), deadline=4.0)
+        assert channel.stats.deadline_give_ups == 1
+        assert channel.stats.messages == 0  # never sent
+
+    def test_server_sheds_past_deadline(self):
+        now = [0.0]
+        server = TallyServer(clock=lambda: now[0])
+        channel = server.connect("c")
+        # the client's view of time lags the server's: it still believes
+        # the deadline is meetable, so the request goes out on the wire
+        channel._clock = lambda: 0.0
+        assert channel.call(MallocRequest("c", 16), deadline=1.0).ok
+        now[0] = 2.0
+        with pytest.raises(VirtError, match="shed"):
+            channel.call(MallocRequest("c", 16), deadline=1.0)
+        assert server.deadline_sheds == 1
+        # shed before execution: only the first malloc exists
+        assert server.client("c").memory_manager.live_buffers() == 1
+
+    def test_deadline_sheds_traced_by_scope(self):
+        tracer = Tracer()
+        now = [2.0]
+        server = TallyServer(clock=lambda: now[0], tracer=tracer)
+        channel = server.connect("c")
+        channel._clock = lambda: 0.0
+        with pytest.raises(VirtError, match="shed"):
+            channel.call(MallocRequest("c", 16), deadline=1.0)
+        channel._clock = lambda: 9.0
+        with pytest.raises(DeadlineExceeded):
+            channel.call(MallocRequest("c", 16), deadline=1.0)
+        assert summarize(tracer).deadline_sheds == {"server": 1, "client": 1}
+
+    def test_no_clock_means_no_server_shedding(self):
+        server = TallyServer()  # no clock injected: deadlines are inert
+        channel = server.connect("c")
+        channel._clock = lambda: 0.0  # client still thinks it's in time
+        assert channel.call(MallocRequest("c", 16), deadline=1e-9).ok
+
+
+class TestAmplification:
+    def test_clean_channel_reports_one(self):
+        channel = Channel(lambda env: Response.success(), client_id="c")
+        for _ in range(10):
+            channel.call(MallocRequest("c", 16))
+        assert channel.stats.amplification == pytest.approx(1.0)
+
+    def test_storm_without_budget_reports_full_fanout(self):
+        channel = Channel(lambda env: Response.success(),
+                          faults=AlwaysDrop(), client_id="c")
+        with pytest.raises(ChannelTimeout):
+            channel.call(MallocRequest("c", 16))
+        # 1 fresh + (max_attempts - 1) retries
+        assert channel.stats.amplification == channel.config.max_attempts

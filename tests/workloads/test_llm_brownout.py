@@ -1,0 +1,162 @@
+"""Brownout ladder and TTFT-deadline shedding for LLM serving."""
+
+import pytest
+
+from repro.baselines import Ideal
+from repro.errors import WorkloadError
+from repro.gpu import A100_SXM4_40GB, EventLoop, GPUDevice
+from repro.trace import Tracer, summarize
+from repro.traffic import poisson_trace
+from repro.workloads import (
+    BrownoutConfig,
+    LLMServingJob,
+    LLMServingModel,
+    TokenLengths,
+)
+
+
+def _tiny_model(**overrides) -> LLMServingModel:
+    params = dict(
+        name="tiny_serve",
+        params=1e9,
+        prompt_tokens=TokenLengths(mean=32, sigma=0.5, minimum=8,
+                                   maximum=64),
+        output_tokens=TokenLengths(mean=16, sigma=0.5, minimum=4,
+                                   maximum=32),
+        prefill_token_time=10e-6,
+        decode_step_time=0.5e-3,
+        decode_seq_time=30e-6,
+        host_gap=50e-6,
+        kv_bytes_per_token=1024,
+        kv_capacity_bytes=1024 * (64 + 32) * 4,  # four max-size requests
+        max_batch=4,
+        prefill_chunk=32,
+        kv_block_tokens=8,
+    )
+    params.update(overrides)
+    return LLMServingModel(**params)
+
+
+def _run(duration, *, rate=1000.0, horizon=0.3, seed=0, tracer=None,
+         model=None, **job_kwargs):
+    engine = EventLoop()
+    device = GPUDevice(A100_SXM4_40GB, engine, tracer=tracer)
+    policy = Ideal(device, engine)
+    job = LLMServingJob(model or _tiny_model(),
+                        poisson_trace(rate, horizon, seed=seed),
+                        policy, "llm#0", seed=seed, **job_kwargs)
+    job.start()
+    engine.run_until(duration)
+    return job
+
+
+OVERLOAD_BROWNOUT = BrownoutConfig(queue_high=6, queue_low=1,
+                                   min_dwell=0.01)
+
+
+class TestBrownoutConfig:
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            BrownoutConfig(kv_low=0.9, kv_high=0.5)
+        with pytest.raises(WorkloadError):
+            BrownoutConfig(queue_low=5, queue_high=2)
+        with pytest.raises(WorkloadError):
+            BrownoutConfig(batch_shrink=0.0)
+        with pytest.raises(WorkloadError):
+            BrownoutConfig(max_level=0)
+
+    def test_effective_knobs_shrink_by_level(self):
+        job = _run(0.0, brownout=BrownoutConfig())
+        assert job.effective_max_batch == job.model.max_batch
+        assert job.effective_prefill_chunk == job.model.prefill_chunk
+        job.brownout_level = 1
+        assert job.effective_max_batch == 2
+        assert job.effective_prefill_chunk == job.model.prefill_chunk
+        job.brownout_level = 2
+        assert job.effective_max_batch == 2
+        assert job.effective_prefill_chunk == 16
+
+    def test_disabled_ladder_never_shifts(self):
+        job = _run(2.0)  # overload, but no brownout config
+        assert job.brownout_level == 0
+        assert job.brownout_shifts == 0
+        assert job.effective_max_batch == job.model.max_batch
+
+
+class TestLadder:
+    def test_escalates_under_pressure_and_relaxes_after(self):
+        job = _run(3.0, brownout=OVERLOAD_BROWNOUT)
+        assert job.brownout_shifts > 0
+        # pressure is long gone once the backlog drains: full service
+        assert not job._waiting
+        assert job.brownout_level == 0
+
+    def test_min_dwell_bounds_the_shift_rate(self):
+        job = _run(3.0, brownout=OVERLOAD_BROWNOUT)
+        # at most one shift per dwell window over the whole run
+        assert job.brownout_shifts <= 3.0 / OVERLOAD_BROWNOUT.min_dwell
+
+    def test_level3_early_evicts_under_kv_pressure(self):
+        config = BrownoutConfig(kv_high=0.05, kv_low=0.01,
+                                queue_high=10_000, min_dwell=0.0)
+        job = _run(1.0, brownout=config)
+        assert job.brownout_evictions > 0
+        assert job.brownout_evictions <= job.evictions
+
+    def test_shift_events_traced(self):
+        tracer = Tracer(capacity=None)
+        job = _run(3.0, tracer=tracer, brownout=OVERLOAD_BROWNOUT)
+        assert summarize(tracer).brownout_shifts == job.brownout_shifts > 0
+
+    def test_deterministic_under_brownout(self):
+        def outcome():
+            job = _run(2.0, brownout=OVERLOAD_BROWNOUT,
+                       ttft_deadline=0.05)
+            return (job.token_timeline(), job.brownout_shifts,
+                    job.deadline_sheds, job.evictions)
+
+        assert outcome() == outcome()
+
+    def test_inert_ladder_matches_no_ladder(self):
+        """Thresholds that never trip must not perturb the timeline."""
+        inert = BrownoutConfig(kv_high=1.0, queue_high=10 ** 9)
+        with_ladder = _run(1.0, brownout=inert)
+        without = _run(1.0)
+        assert with_ladder.token_timeline() == without.token_timeline()
+        assert with_ladder.brownout_shifts == 0
+
+
+class TestTTFTDeadline:
+    def test_queued_requests_past_deadline_are_shed(self):
+        job = _run(2.0, ttft_deadline=0.05)
+        assert job.deadline_sheds > 0
+        shed = [r for r in job.requests if r.deadline_shed]
+        assert len(shed) == job.deadline_sheds
+        for request in shed:
+            assert request.finished is not None
+            assert not request.completed
+            assert request.admitted is None  # shed from the queue only
+
+    def test_conservation_with_sheds_and_evictions(self):
+        job = _run(3.0, ttft_deadline=0.05, brownout=OVERLOAD_BROWNOUT)
+        arrivals = len(job.requests)
+        completed = sum(1 for r in job.requests if r.completed)
+        evicted = sum(1 for r in job.requests if r.evicted)
+        shed = sum(1 for r in job.requests if r.deadline_shed)
+        assert arrivals == completed + evicted + shed + job.pending_requests
+
+    def test_kv_blocks_conserved_after_drain(self):
+        job = _run(3.0, ttft_deadline=0.05, brownout=OVERLOAD_BROWNOUT)
+        assert job.pending_requests == 0
+        assert job.kv.block_allocs == job.kv.block_frees
+
+    def test_shed_events_traced_with_llm_scope(self):
+        tracer = Tracer(capacity=None)
+        job = _run(2.0, tracer=tracer, ttft_deadline=0.05)
+        sheds = summarize(tracer).deadline_sheds
+        assert sheds.get("llm") == job.deadline_sheds > 0
+
+    def test_no_deadline_means_no_sheds(self):
+        job = _run(2.0)
+        assert job.deadline_sheds == 0
+        assert not any(r.deadline_shed for r in job.requests)
