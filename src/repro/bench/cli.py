@@ -58,7 +58,8 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     baseline = load_report(args.baseline)
     current = load_report(args.current)
     report = compare_reports(baseline, current, threshold=args.threshold,
-                             hit_rate_drop=args.hit_rate_drop)
+                             hit_rate_drop=args.hit_rate_drop,
+                             speedup_floor=args.speedup_floor)
     print(report.format())
     return 0 if report.ok else 1
 
@@ -100,6 +101,11 @@ def build_parser() -> argparse.ArgumentParser:
                          help="fail when a benchmark's transform-cache "
                               "hit rate drops more than this many points "
                               "below baseline (default 0.10)")
+    compare.add_argument("--speedup-floor", type=float, default=4.0,
+                         help="fail when a speedup-gated benchmark "
+                              "(macro.cluster_1k on a host with enough "
+                              "cores) reports less than this parallel-"
+                              "over-serial speedup (default 4.0)")
     compare.set_defaults(fn=_cmd_compare)
     return parser
 

@@ -18,6 +18,13 @@ in ``extra``, e.g. ``micro.transform_pipeline``) get a second gate: an
 absolute hit-rate drop beyond ``hit_rate_drop`` (default 10 points)
 fails the build even when throughput still squeaks past the threshold —
 a broken memo key shows up there first.
+
+Benchmarks that record a parallel-over-serial ``speedup`` with
+``gate: true`` in ``extra`` (``macro.cluster_1k`` — the flag is set by
+the benchmark only on hosts with enough real cores for the worker
+count) get a third gate: the speedup must clear ``speedup_floor``
+(default 4x).  This one reads the *current* report alone — a baseline
+is not needed to know the parallel engine stopped pulling its weight.
 """
 
 from __future__ import annotations
@@ -97,6 +104,10 @@ class RegressionReport:
     only_in_current: list[str] = field(default_factory=list)
     #: maximum tolerated absolute cache-hit-rate drop
     hit_rate_drop: float = 0.10
+    #: minimum parallel-over-serial speedup for gated benchmarks
+    speedup_floor: float = 4.0
+    #: ``(name, speedup)`` of gated benchmarks under the floor
+    speedup_failures: list[tuple[str, float]] = field(default_factory=list)
 
     @property
     def regressions(self) -> list[Comparison]:
@@ -109,7 +120,8 @@ class RegressionReport:
 
     @property
     def ok(self) -> bool:
-        return not self.regressions and not self.hit_rate_regressions
+        return (not self.regressions and not self.hit_rate_regressions
+                and not self.speedup_failures)
 
     def format(self) -> str:
         lines = []
@@ -132,7 +144,12 @@ class RegressionReport:
             lines.append(f"  {name}: only in baseline (skipped)")
         for name in self.only_in_current:
             lines.append(f"  {name}: new benchmark (no baseline)")
-        failures = len(self.regressions) + len(self.hit_rate_regressions)
+        for name, speedup in self.speedup_failures:
+            lines.append(
+                f"  {name}: parallel speedup {speedup:.2f}x under the "
+                f"{self.speedup_floor:.1f}x floor [SPEEDUP FAILED]")
+        failures = (len(self.regressions) + len(self.hit_rate_regressions)
+                    + len(self.speedup_failures))
         verdict = "OK" if self.ok else f"FAILED ({failures} regressions)"
         header = (f"perf gate {verdict}: threshold "
                   f"{self.threshold:.0%} below baseline, cache hit rate "
@@ -147,13 +164,23 @@ def _hit_rate(extra: dict) -> float | None:
 
 def compare_reports(baseline: BenchReport, current: BenchReport, *,
                     threshold: float = 0.25,
-                    hit_rate_drop: float = 0.10) -> RegressionReport:
+                    hit_rate_drop: float = 0.10,
+                    speedup_floor: float = 4.0) -> RegressionReport:
     """Compare throughput (and cache hit rates) by benchmark name."""
     if not 0 < threshold < 1:
         raise ReproError(f"threshold must be in (0, 1), got {threshold!r}")
     if not 0 < hit_rate_drop < 1:
         raise ReproError(
             f"hit_rate_drop must be in (0, 1), got {hit_rate_drop!r}")
+    if speedup_floor <= 0:
+        raise ReproError(
+            f"speedup_floor must be > 0, got {speedup_floor!r}")
+    speedup_failures = [
+        (b.name, float(b.extra.get("speedup", 0.0)))
+        for b in current.benchmarks
+        if b.extra.get("gate")
+        and float(b.extra.get("speedup", 0.0)) < speedup_floor
+    ]
     base_by_name = {b.name: b for b in baseline.benchmarks}
     cur_by_name = {b.name: b for b in current.benchmarks}
     comparisons = [
@@ -169,4 +196,6 @@ def compare_reports(baseline: BenchReport, current: BenchReport, *,
         only_in_baseline=sorted(set(base_by_name) - set(cur_by_name)),
         only_in_current=sorted(set(cur_by_name) - set(base_by_name)),
         hit_rate_drop=hit_rate_drop,
+        speedup_floor=speedup_floor,
+        speedup_failures=speedup_failures,
     )

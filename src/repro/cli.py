@@ -220,6 +220,7 @@ def _cmd_cluster(args: argparse.Namespace) -> None:
     fail_device = _parse_fail_device(args.fail_device or [])
     online = (fail_device or args.arrivals is not None or args.spares
               or args.autoscale is not None
+              or args.parallel_shards is not None
               or (faults is not None and faults.any_device_faults))
     if online:
         _cluster_online(args, jobs, packed, dedicated, config, faults,
@@ -262,19 +263,23 @@ def _cluster_online(args, jobs, packed, dedicated, config, faults,
     # load; without it they are plain extra first-fit capacity
     standby = args.spares if autoscale is not None else 0
     devices = packed.gpus_used + args.spares
+    engine = "serial" if args.parallel_shards is None else "parallel"
+    workers = args.parallel_shards or 0
     start = time.time()
     if args.arrivals is not None:
         result = run_controlplane(
             jobs=jobs, devices=devices, policy="Tally", config=config,
             arrival_rate=args.arrivals, faults=faults,
             fail_device=fail_device, tracer=tracer, check=args.check,
-            autoscale=autoscale, standby=standby)
+            autoscale=autoscale, standby=standby,
+            engine=engine, workers=workers)
     else:
         result = run_controlplane(
             placement=packed, devices=devices, policy="Tally",
             config=config, faults=faults, fail_device=fail_device,
             tracer=tracer, check=args.check,
-            autoscale=autoscale, standby=standby)
+            autoscale=autoscale, standby=standby,
+            engine=engine, workers=workers)
     wall = time.time() - start
     recovery = result.recovery
     assert recovery is not None
@@ -291,7 +296,9 @@ def _cluster_online(args, jobs, packed, dedicated, config, faults,
          f"{result.total_normalized_throughput:.1f}", ""),
         ("simulated / wall",
          f"{config.duration:.0f}s x {devices} GPUs / {wall:.1f}s",
-         f"{result.events} events"),
+         f"{result.events} events"
+         + (f", parallel engine x{workers}" if engine == "parallel"
+            else "")),
     ]
     if args.check:
         rows.append(("invariant checks", str(result.invariant_checks),
@@ -317,10 +324,17 @@ def _cmd_storm(args: argparse.Namespace) -> None:
     """``storm``: retry-storm A/B — unbounded vs resilience layer."""
     from .faults.storm import StormConfig, run_storm_sweep, storm_pair
 
+    shards = args.parallel_shards or 1
     base = StormConfig(clients=args.clients, duration=args.duration,
-                       seed=args.seed, check=args.check)
+                       seed=args.seed, check=args.check, shards=shards)
     start = time.time()
-    results = run_storm_sweep(list(storm_pair(base)), jobs=args.jobs)
+    if shards > 1:
+        # intra-run parallelism: each variant's shard cells fan out
+        from .faults.storm import run_storm
+        results = [run_storm(cfg, jobs=shards)
+                   for cfg in storm_pair(base)]
+    else:
+        results = run_storm_sweep(list(storm_pair(base)), jobs=args.jobs)
     wall = time.time() - start
     rows = [
         (result.label,
@@ -335,7 +349,8 @@ def _cmd_storm(args: argparse.Namespace) -> None:
         ("variant", "amplification", "slo before", "slo after",
          "peak backlog", "sheds"), rows,
         title=(f"Retry storm: {args.clients} clients, degrade window "
-               f"[{base.degrade_start:g}, {base.degrade_end:g})s"),
+               f"[{base.degrade_start:g}, {base.degrade_end:g})s"
+               + (f", {shards} service shards" if shards > 1 else "")),
     ))
     print()
     for result in results:
@@ -591,6 +606,12 @@ def build_parser() -> argparse.ArgumentParser:
                               "overrides AutoscalerConfig fields, e.g. "
                               '"interval=0.25,queue_high=2" '
                               "(docs/cluster.md)")
+    cluster.add_argument("--parallel-shards", type=int, default=None,
+                         metavar="N",
+                         help="run the online control plane on the "
+                              "time-warp parallel engine with N worker "
+                              "processes (bit-identical to serial; "
+                              "docs/performance.md)")
     cluster.add_argument("--save", metavar="PATH", default=None,
                          help="write the control-plane result as JSON")
     cluster.set_defaults(fn=_cmd_cluster)
@@ -602,6 +623,12 @@ def build_parser() -> argparse.ArgumentParser:
     storm.add_argument("--duration", type=float, default=6.0)
     storm.add_argument("--seed", type=int, default=0)
     storm.add_argument("--check", action="store_true", help=check_help)
+    storm.add_argument("--parallel-shards", type=int, default=None,
+                       metavar="N",
+                       help="split the service into N independent "
+                            "shard replicas (capacity divided evenly) "
+                            "and run the cells over N worker processes "
+                            "with a deterministic merge")
     storm.add_argument("--jobs", type=int, default=1, metavar="N",
                        help="run the two variants in N worker processes "
                             "(results are identical to --jobs 1)")

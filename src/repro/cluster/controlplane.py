@@ -229,22 +229,19 @@ class _Tenant:
         return self.job.latency_critical
 
 
-class _Shard:
-    """One simulated GPU: device + policy + functional server."""
+class _ShardState:
+    """The accounting half of a shard: placement truth, no simulation.
 
-    def __init__(self, index: int, engine: EventLoop, config: RunConfig,
-                 policy_name: str, tracer, checker, injector) -> None:
+    This is everything admission control, migration targeting and the
+    autoscaler read or write — it lives wherever the *decisions* are
+    made.  The serial controller extends it with the live simulation
+    objects (:class:`_Shard`); the parallel controller keeps bare
+    instances as coordinator-side proxies while the live objects run
+    inside workers.
+    """
+
+    def __init__(self, index: int) -> None:
         self.index = index
-        self.checker = checker
-        self.injector = injector
-        self.device = GPUDevice(
-            config.spec, engine,
-            colocation_slowdown=config.colocation_slowdown,
-            tracer=tracer, check=checker, faults=injector,
-        )
-        self.policy = make_policy(policy_name, self.device, engine,
-                                  tally_config=config.tally_config)
-        self.server = TallyServer(tracer=tracer)
         self.alive = True
         #: False while draining or quarantined — no new admissions
         self.accepting = True
@@ -257,6 +254,10 @@ class _Shard:
         self.has_high = False
         self.tenants: dict[str, _Tenant] = {}
         self.flap_transitions = 0
+
+    # populated by the serial shard; proxies leave them None
+    checker = None
+    injector = None
 
     def add(self, tenant: _Tenant) -> None:
         self.tenants[tenant.client_id] = tenant
@@ -284,13 +285,78 @@ class _Shard:
         return self.memory + tenant_memory <= capacity
 
 
+class _Shard(_ShardState):
+    """One simulated GPU: device + policy + functional server."""
+
+    def __init__(self, index: int, engine: EventLoop, config: RunConfig,
+                 policy_name: str, tracer, checker, injector) -> None:
+        super().__init__(index)
+        self.checker = checker
+        self.injector = injector
+        self.device = GPUDevice(
+            config.spec, engine,
+            colocation_slowdown=config.colocation_slowdown,
+            tracer=tracer, check=checker, faults=injector,
+        )
+        self.policy = make_policy(policy_name, self.device, engine,
+                                  tally_config=config.tally_config)
+        self.server = TallyServer(tracer=tracer)
+
+
+def _build_driver(config: RunConfig, spec: JobSpec, policy,
+                  client_id: str):
+    """Construct the driver for one admitted job on ``policy``.
+
+    Module-level because it runs in two places: on the serial
+    controller's shared loop, and inside a parallel worker's shard
+    domain — both must build byte-identical drivers from the same
+    (config, spec) inputs.
+    """
+    if spec.role == "llm":
+        llm_model = get_llm_model(spec.model)
+        traffic = _traffic_for(spec, llm_model.mean_request_time(),
+                               config)
+        return LLMServingJob(llm_model, traffic, policy, client_id,
+                             priority=spec.effective_priority,
+                             seed=spec.traffic_seed)
+    model = get_model(spec.model)
+    expected = ("inference" if model.kind is WorkloadKind.INFERENCE
+                else "training")
+    if expected != spec.role:
+        raise HarnessError(
+            f"model {spec.model!r} is a {expected} workload, "
+            f"not {spec.role}")
+    trace = model.build_trace(config.spec, seed=config.trace_seed)
+    if spec.role == "inference":
+        traffic = _traffic_for(spec, trace.duration, config)
+        return InferenceJob(trace, traffic, policy, client_id,
+                            priority=spec.effective_priority)
+    return TrainingJob(trace, policy, client_id,
+                       priority=spec.effective_priority)
+
+
 class ClusterController:
     """Event-driven control plane over ``devices`` shards.
 
     Build one, then :meth:`run` it; or use :func:`run_controlplane`.
+    ``engine="parallel"`` returns the time-warp sharded implementation
+    (:class:`repro.cluster.parallel.ParallelClusterController`) — same
+    arguments, bit-identical committed metrics, ``workers`` processes.
     """
 
+    def __new__(cls, *args, engine: str = "serial", workers: int = 0,
+                **kwargs):
+        if engine not in ("serial", "parallel"):
+            raise HarnessError(
+                f"engine must be 'serial' or 'parallel', got {engine!r}")
+        if cls is ClusterController and engine == "parallel":
+            from .parallel import ParallelClusterController
+            return super().__new__(ParallelClusterController)
+        return super().__new__(cls)
+
     def __init__(self, jobs: list[ClusterJob], devices: int, *,
+                 engine: str = "serial",
+                 workers: int = 0,
                  policy: str = "Tally",
                  config: RunConfig | None = None,
                  placement: Placement | None = None,
@@ -352,14 +418,10 @@ class ClusterController:
                     f"drain index {index} outside 0..{devices - 1}")
         self.drain_schedule = tuple(drain)
 
+        self.engine_mode = engine
+        self.workers = workers
         self.engine = EventLoop()
-        self.shards = [
-            _Shard(i, self.engine, self.config, policy,
-                   self.tracer,
-                   InvariantChecker() if check else None,
-                   FaultInjector(faults) if faults is not None else None)
-            for i in range(devices)
-        ]
+        self.shards = [self._make_shard(i) for i in range(devices)]
         self.autoscale = autoscale
         # the LAST `standby` shards form the elastic pool: they accept
         # nothing until a scale-up decision finishes their warm-up
@@ -385,6 +447,128 @@ class ClusterController:
         self._ran = False
 
     # ------------------------------------------------------------------
+    # Shard-op hooks
+    #
+    # Every touch of live simulation state (devices, policies, servers,
+    # drivers) goes through one of these.  The serial controller calls
+    # the objects directly on its shared loop; the parallel controller
+    # overrides each hook to issue the equivalent cross-shard operation
+    # to a worker.  Decision logic above this surface is shared verbatim
+    # — that sharing is what makes the bit-identity guarantee credible.
+    # ------------------------------------------------------------------
+    def _make_shard(self, index: int) -> _ShardState:
+        return _Shard(
+            index, self.engine, self.config, self.policy_name,
+            self.tracer,
+            InvariantChecker() if self.check_enabled else None,
+            FaultInjector(self.faults) if self.faults is not None else None)
+
+    def _note_control(self, time: float, hint) -> None:
+        """Register a scheduled control event's shard-touch hint.
+
+        ``hint`` is an iterable of shard indices the event may operate
+        on, ``None`` for "could touch anything", or a zero-arg callable
+        returning either (evaluated lazily at the barrier).  The serial
+        engine has no barriers, so this is a no-op; the parallel
+        coordinator uses hints to decide which shards may speculate
+        past the event.  Hints are best-effort: a wrong hint costs a
+        rollback, never correctness.
+        """
+
+    def _device_fault_schedule(self, index: int):
+        shard = self.shards[index]
+        if shard.injector is None:
+            return ()
+        return shard.injector.device_fault_schedule(
+            index, self.config.duration)
+
+    def _op_admit(self, shard: _ShardState, spec: JobSpec,
+                  client_id: str):
+        """Build the driver and connect the client; returns the driver."""
+        driver = _build_driver(self.config, spec, shard.policy, client_id)
+        shard.server.connect(client_id, spec.effective_priority)
+        return driver
+
+    def _op_start(self, tenant: _Tenant, shard: _ShardState) -> None:
+        if tenant.role == "training":
+            tenant.driver.start()
+        else:
+            tenant.driver.start(since=self.engine.now)
+
+    def _op_depart(self, tenant: _Tenant) -> None:
+        if tenant.role == "training":
+            tenant.driver.stop()
+        else:
+            tenant.driver.close()
+
+    def _op_set_speed(self, shard: _ShardState, factor: float) -> None:
+        shard.device.set_speed_factor(factor)
+
+    def _op_checkpoint(self, tenant: _Tenant, source: _ShardState) -> None:
+        tenant.driver.checkpoint()
+
+    def _op_detach(self, tenant: _Tenant, source: _ShardState) -> int:
+        """Disconnect from the source policy; report pending requests."""
+        source.policy.disconnect(tenant.client_id)
+        if tenant.role == "inference":
+            return tenant.driver.pending_requests
+        return 0
+
+    def _op_transfer(self, tenant: _Tenant, source: _ShardState,
+                     target: _ShardState) -> None:
+        migrate_client(source.server, target.server, tenant.client_id,
+                       ts=self.engine.now)
+
+    def _op_restore(self, tenant: _Tenant, target: _ShardState) -> None:
+        tenant.driver.restore(target.policy)
+
+    def _op_evict(self, tenant: _Tenant, owner: _ShardState) -> None:
+        tenant.driver.crash()
+        owner.policy.disconnect(tenant.client_id)
+        owner.server.disconnect(tenant.client_id, ts=self.engine.now)
+
+    def _pending_of(self, tenant: _Tenant) -> int:
+        return tenant.driver.pending_requests
+
+    def _hp_window_tails(self, tenants: "list[_Tenant]", since: float,
+                         until: float) -> dict[str, float]:
+        """Windowed p99 per latency-critical tenant (absent = no data)."""
+        tails: dict[str, float] = {}
+        for tenant in tenants:
+            latencies = _tenant_latencies(tenant, since, until)
+            if latencies:
+                tails[tenant.client_id] = LatencySummary.of(latencies).p99
+        return tails
+
+    def _tenant_report(self, tenant: _Tenant) -> dict:
+        """Final per-tenant read-out used by :meth:`_collect`."""
+        start, end = self.config.window
+        report: dict = {
+            "ledger": self._ledger(tenant),
+            "completed": tenant.driver.completions_in(start, end),  # type: ignore[attr-defined]
+        }
+        if tenant.latency_critical:
+            report["latencies"] = _tenant_latencies(tenant, start, end)
+            report["post_latencies"] = (
+                _tenant_latencies(tenant, tenant.restored_at, end)
+                if tenant.restored_at is not None else None)
+        return report
+
+    def _gather_shard_stats(self) -> tuple[Counter, int, int]:
+        """(non-device fault counts, invariant checks, events processed)."""
+        injected: Counter[str] = Counter()
+        checks = 0
+        for shard in self.shards:
+            if shard.injector is not None:
+                injected.update(
+                    {kind: count for kind, count
+                     in shard.injector.injected.items()
+                     if not kind.startswith("device_")})
+            if shard.checker is not None:
+                checks += shard.checker.checks_run
+        return injected, checks, self.engine.events_processed
+
+    # ------------------------------------------------------------------
     # Run loop
     # ------------------------------------------------------------------
     def run(self) -> ClusterResult:
@@ -395,10 +579,12 @@ class ClusterController:
         self._schedule_initial_jobs()
         self._schedule_device_faults()
         for index, when in self.drain_schedule:
+            self._note_control(when, None)
             self.engine.schedule_at(
                 when, lambda i=index: self.drain(i))
         self._arm_slot_faults()
         if self.autoscale is not None:
+            self._note_control(self.autoscale.interval, self._tick_hint)
             self.engine.schedule_at(self.autoscale.interval,
                                     self._autoscale_tick)
         self.engine.run_until(self.config.duration)
@@ -412,11 +598,13 @@ class ClusterController:
             for gpu_index, gpu_jobs in enumerate(self.placement.bins):
                 for job in gpu_jobs:
                     shard = self.shards[gpu_index]
+                    self._note_control(0.0, (gpu_index,))
                     engine.schedule_at(
                         0.0, lambda j=job, s=shard: self._admit(j, s))
             return
         if self.arrival_rate is None:
             for job in self.jobs:
+                self._note_control(0.0, None)
                 engine.schedule_at(
                     0.0, lambda j=job: self._on_job_arrival(j))
             return
@@ -425,23 +613,26 @@ class ClusterController:
         for job, when in zip(self.jobs, times):
             if when >= self.config.duration:
                 continue  # arrived after the run window; never existed
+            self._note_control(when, None)
             engine.schedule_at(
                 when, lambda j=job: self._on_job_arrival(j))
 
     def _schedule_device_faults(self) -> None:
         duration = self.config.duration
         for shard in self.shards:
-            if shard.injector is None:
-                continue
-            schedule = shard.injector.device_fault_schedule(
-                shard.index, duration)
-            for event in schedule:
+            for event in self._device_fault_schedule(shard.index):
+                # a crash migrates tenants to unpredictable targets; a
+                # plain degrade/recover only touches its own device
+                hint = (None if event.kind == "crash" or event.flapping
+                        else (shard.index,))
+                self._note_control(min(event.time, duration), hint)
                 self.engine.schedule_at(
                     min(event.time, duration),
                     lambda s=shard, e=event: self._on_device_fault(s, e))
         for index, when in self.fail_device:
             shard = self.shards[index]
             crash = DeviceFaultEvent(when, "crash")
+            self._note_control(when, None)
             self.engine.schedule_at(
                 when, lambda s=shard, e=crash: self._on_device_fault(s, e))
 
@@ -505,8 +696,7 @@ class ClusterController:
             raise HarnessError(
                 f"LLM tenant {job.model!r}: depart_at is not supported "
                 "(LLM endpoints have no graceful-close surface yet)")
-        driver = self._build_driver(spec, shard.policy, client_id)
-        shard.server.connect(client_id, spec.effective_priority)
+        driver = self._op_admit(shard, spec, client_id)
         tenant = _Tenant(
             job=job, spec=spec, driver=driver, client_id=client_id,
             role=spec.role, demand=job.demand(self.config.spec),
@@ -516,37 +706,13 @@ class ClusterController:
         self._tenants.append(tenant)
         self.admitted += 1
         self._emit_admission(client_id, "admitted", device=shard.index)
-        if spec.role == "training":
-            driver.start()
-        else:
-            driver.start(since=now)
+        self._op_start(tenant, shard)
         if job.depart_at is not None:
+            # a departure frees capacity: the queue drain may admit
+            # anywhere, so no shard hint
+            self._note_control(max(now, job.depart_at), None)
             self.engine.schedule_at(max(now, job.depart_at),
                                     lambda t=tenant: self._depart(t))
-
-    def _build_driver(self, spec: JobSpec, policy, client_id: str):
-        config = self.config
-        if spec.role == "llm":
-            llm_model = get_llm_model(spec.model)
-            traffic = _traffic_for(spec, llm_model.mean_request_time(),
-                                   config)
-            return LLMServingJob(llm_model, traffic, policy, client_id,
-                                 priority=spec.effective_priority,
-                                 seed=spec.traffic_seed)
-        model = get_model(spec.model)
-        expected = ("inference" if model.kind is WorkloadKind.INFERENCE
-                    else "training")
-        if expected != spec.role:
-            raise HarnessError(
-                f"model {spec.model!r} is a {expected} workload, "
-                f"not {spec.role}")
-        trace = model.build_trace(config.spec, seed=config.trace_seed)
-        if spec.role == "inference":
-            traffic = _traffic_for(spec, trace.duration, config)
-            return InferenceJob(trace, traffic, policy, client_id,
-                                priority=spec.effective_priority)
-        return TrainingJob(trace, policy, client_id,
-                           priority=spec.effective_priority)
 
     def _emit_admission(self, client_id: str, action: str, *,
                         device: int = -1) -> None:
@@ -562,11 +728,7 @@ class ClusterController:
         if tenant.evicted or tenant.departed:
             return
         tenant.departed = True
-        driver = tenant.driver
-        if tenant.role == "training":
-            driver.stop()  # type: ignore[attr-defined]
-        else:
-            driver.close()  # type: ignore[attr-defined]
+        self._op_depart(tenant)
         shard = self.shards[tenant.device]
         if tenant.client_id in shard.tenants:
             shard.remove(tenant)
@@ -588,14 +750,14 @@ class ClusterController:
         if event.kind == "crash":
             self._fail_device(shard)
         elif event.kind == "degrade":
-            shard.device.set_speed_factor(event.factor)
+            self._op_set_speed(shard, event.factor)
             if event.flapping:
                 shard.flap_transitions += 1
                 if (shard.flap_transitions >= self.flap_threshold
                         and shard.accepting):
                     self._quarantine(shard)
         elif event.kind == "recover":
-            shard.device.set_speed_factor(1.0)
+            self._op_set_speed(shard, 1.0)
 
     def _fail_device(self, shard: _Shard) -> None:
         """Reactive failover: the device died, everyone must move."""
@@ -660,27 +822,39 @@ class ClusterController:
         window is silence, not breach (queue depth covers total stall).
         """
         since = max(0.0, now - self.autoscale.signal_window)
+        live = [t for t in self._tenants
+                if not (t.evicted or t.departed) and t.latency_critical]
+        tails = self._hp_window_tails(live, since, now)
         worst = 0.0
-        for tenant in self._tenants:
-            if (tenant.evicted or tenant.departed
-                    or not tenant.latency_critical):
-                continue
-            latencies = _tenant_latencies(tenant, since, now)
-            if not latencies:
+        for tenant in live:
+            tail = tails.get(tenant.client_id)
+            if tail is None:
                 continue
             baseline_tail = _baseline_tail(
                 standalone(tenant.spec, self.config))
             threshold = tenant.job.sla_factor * baseline_tail
             if not 0 < threshold < float("inf"):
                 continue
-            tail = LatencySummary.of(latencies).p99
             worst = max(worst, tail / threshold)
         return worst
+
+    def _tick_hint(self):
+        """Shards the next autoscale tick could touch (lazy hint).
+
+        A tick can only act when a hysteresis counter is one step from
+        its trigger; otherwise it merely samples signals — touching
+        nothing.  (Cooldown is ignored: an over-broad hint is safe.)
+        """
+        cfg = self.autoscale
+        armed = (self._breach_ticks + 1 >= cfg.up_ticks
+                 or self._calm_ticks + 1 >= cfg.down_ticks)
+        return None if armed else ()
 
     def _autoscale_tick(self) -> None:
         cfg = self.autoscale
         now = self.engine.now
         if now + cfg.interval < self.config.duration:
+            self._note_control(now + cfg.interval, self._tick_hint)
             self.engine.schedule_at(now + cfg.interval,
                                     self._autoscale_tick)
         queue_depth = len(self._admission_queue)
@@ -724,6 +898,11 @@ class ClusterController:
             ))
         delay = cfg.warmup_min + self._scaler_rng.uniform(
             0.0, cfg.warmup_max - cfg.warmup_min)
+        # warm-up completion touches no shard directly, but its queue
+        # drain can admit anywhere — hint lazily on queue depth
+        self._note_control(
+            now + delay,
+            lambda: None if self._admission_queue else ())
         self.engine.schedule_at(
             now + delay, lambda s=spare: self._finish_warmup(s))
 
@@ -763,23 +942,21 @@ class ClusterController:
     def _migrate(self, tenant: _Tenant, source: _Shard, *,
                  reason: str) -> None:
         now = self.engine.now
-        driver = tenant.driver
         if tenant.role == "llm":
             # LLM endpoints have no driver-level checkpoint surface yet
             # (the functional KV image migrates fine — the continuous-
             # batching driver state does not).  On a dead device the
             # endpoint is lost; on a draining/flapping one it rides out.
             if not source.alive:
-                self._evict(tenant, source, pending=driver.pending_requests)
+                self._evict(tenant, source,
+                            pending=self._pending_of(tenant))
             return
-        driver.checkpoint()  # type: ignore[attr-defined]
+        self._op_checkpoint(tenant, source)
         if tenant.paused_since is None:
             tenant.paused_since = now
         tenant.move_seq += 1
-        source.policy.disconnect(tenant.client_id)
+        pending = self._op_detach(tenant, source)
         source.remove(tenant)
-        pending = (driver.pending_requests
-                   if tenant.role == "inference" else 0)
         if tenant.departed and tenant.role == "training":
             # A stopped trainer has nothing left to run; don't re-place.
             return
@@ -802,11 +979,11 @@ class ClusterController:
                 source=source.index, target=target.index, reason=reason,
                 pending=pending,
             ))
-        migrate_client(source.server, target.server, tenant.client_id,
-                       ts=now)
+        self._op_transfer(tenant, source, target)
         target.add(tenant)
         tenant.device = target.index
         seq = tenant.move_seq
+        self._note_control(now + self.migration_downtime, (target.index,))
         self.engine.schedule_at(
             now + self.migration_downtime,
             lambda: self._complete_restore(tenant, target, seq))
@@ -856,7 +1033,7 @@ class ClusterController:
         downtime = self.engine.now - (tenant.paused_since
                                       if tenant.paused_since is not None
                                       else self.engine.now)
-        tenant.driver.restore(target.policy)  # type: ignore[attr-defined]
+        self._op_restore(tenant, target)
         tenant.paused_since = None
         tenant.restored_at = self.engine.now
         tenant.downtime += downtime
@@ -874,10 +1051,8 @@ class ClusterController:
         tenant.evicted = True
         tenant.device = -1
         self.jobs_evicted += 1
-        tenant.driver.crash()  # type: ignore[attr-defined]
-        owner.policy.disconnect(tenant.client_id)
+        self._op_evict(tenant, owner)
         owner.remove(tenant)
-        owner.server.disconnect(tenant.client_id, ts=self.engine.now)
 
     # ------------------------------------------------------------------
     # Collection
@@ -914,31 +1089,35 @@ class ClusterController:
         config = self.config
         start, end = config.window
         span = end - start
-        ledgers = [ledger for tenant in self._tenants
-                   if (ledger := self._ledger(tenant)) is not None]
+        reports = {tenant.client_id: self._tenant_report(tenant)
+                   for tenant in self._tenants}
+        ledgers = [report["ledger"] for report in reports.values()
+                   if report["ledger"] is not None]
         audits = check_request_conservation(ledgers)
         services: list[ServiceOutcome] = []
         recoveries: list[ServiceRecovery] = []
         total_throughput = 0.0
         requests_shed = 0
         for tenant in self._tenants:
-            ledger = self._ledger(tenant)
+            report = reports[tenant.client_id]
+            ledger = report["ledger"]
             if ledger is not None:
                 requests_shed += ledger.shed
             baseline = standalone(tenant.spec, config)
-            completed = tenant.driver.completions_in(start, end)  # type: ignore[attr-defined]
+            completed = report["completed"]
             if baseline.rate > 0:
                 total_throughput += (completed / span) / baseline.rate
             if not tenant.latency_critical:
                 continue
             baseline_tail = _baseline_tail(baseline)
-            tail = _tenant_tail(tenant, start, end)
+            latencies = report["latencies"]
+            tail = (LatencySummary.of(latencies).p99 if latencies
+                    else float("inf"))  # zero completions: worst outcome
             threshold = tenant.job.sla_factor * baseline_tail
-            latencies = _tenant_latencies(tenant, start, end)
             attainment = (sum(1 for lat in latencies if lat <= threshold)
                           / len(latencies) if latencies else float("nan"))
-            if tenant.restored_at is not None:
-                post = _tenant_latencies(tenant, tenant.restored_at, end)
+            post = report["post_latencies"]
+            if post is not None:
                 post_attainment = (
                     sum(1 for lat in post if lat <= threshold) / len(post)
                     if post else float("nan"))
@@ -960,12 +1139,8 @@ class ClusterController:
                 post_recovery_attainment=post_attainment,
                 evicted=tenant.evicted,
             ))
-        for shard in self.shards:
-            if shard.injector is not None:
-                self._fault_counts.update(
-                    {kind: count for kind, count
-                     in shard.injector.injected.items()
-                     if not kind.startswith("device_")})
+        injected, shard_checks, events = self._gather_shard_stats()
+        self._fault_counts.update(injected)
         report = RecoveryReport(
             services=tuple(recoveries),
             migrations=len(self._downtimes),
@@ -978,15 +1153,13 @@ class ClusterController:
             scale_ups=self.scale_ups,
             scale_downs=self.scale_downs,
         )
-        checks = audits + sum(shard.checker.checks_run
-                              for shard in self.shards
-                              if shard.checker is not None)
+        checks = audits + shard_checks
         return ClusterResult(
             policy=self.policy_name,
             gpus_used=len(self.shards),
             services=services,
             total_normalized_throughput=total_throughput,
-            events=self.engine.events_processed,
+            events=events,
             recovery=report,
             invariant_checks=checks,
         )
@@ -1047,6 +1220,8 @@ class ClusterCase:
     migration_downtime: float = 0.05
     autoscale: AutoscalerConfig | None = None
     standby: int = 0
+    engine: str = "serial"
+    workers: int = 0
 
 
 def _run_cluster_case(case: ClusterCase) -> ClusterResult:
@@ -1059,6 +1234,7 @@ def _run_cluster_case(case: ClusterCase) -> ClusterResult:
         flap_threshold=case.flap_threshold,
         migration_downtime=case.migration_downtime,
         autoscale=case.autoscale, standby=case.standby,
+        engine=case.engine, workers=case.workers,
     )
     return controller.run()
 
@@ -1106,7 +1282,9 @@ def run_controlplane(jobs: list[ClusterJob] | None = None,
                      flap_threshold: int = 3,
                      migration_downtime: float = 0.05,
                      autoscale: AutoscalerConfig | None = None,
-                     standby: int = 0) -> ClusterResult:
+                     standby: int = 0,
+                     engine: str = "serial",
+                     workers: int = 0) -> ClusterResult:
     """Run one online control-plane scenario and return its result.
 
     Two entry shapes:
@@ -1117,6 +1295,11 @@ def run_controlplane(jobs: list[ClusterJob] | None = None,
     * ``jobs=`` + ``devices=`` — fully online: jobs are admitted
       first-fit as they arrive (all at t=0, or Poisson-spaced when
       ``arrival_rate`` is given).
+
+    ``engine="parallel"`` runs device shards on the time-warp engine
+    (:mod:`repro.engine`) with ``workers`` processes (``workers<=1``
+    uses the in-process backend); committed results are bit-identical
+    to the serial engine.
     """
     if placement is not None:
         job_list = placement.jobs()
@@ -1137,5 +1320,6 @@ def run_controlplane(jobs: list[ClusterJob] | None = None,
         admission_limit=admission_limit, flap_threshold=flap_threshold,
         migration_downtime=migration_downtime,
         autoscale=autoscale, standby=standby,
+        engine=engine, workers=workers,
     )
     return controller.run()

@@ -33,7 +33,19 @@ run (and the process-parallel :func:`run_storm_sweep`) replays
 bit-identically.  With ``check=True`` the per-client call ledgers are
 audited by :func:`~repro.check.check_request_conservation` — every
 fresh call must end as exactly one success or one counted shed/failure.
-See ``docs/fault_tolerance.md``.
+
+``StormConfig.shards`` models a *sharded* service: total capacity is
+split evenly across that many independent server replicas, clients are
+dealt round-robin (keeping their global ids and seed streams), and the
+degrade window hits every replica — the correlated-fault shape of a bad
+deploy.  Each shard is a self-contained seeded simulation, so shards
+run serially or across worker processes (``run_storm(..., jobs=N)``)
+with a deterministic merge: counters sum,
+:meth:`~repro.metrics.OverloadReport.merged` recomputes amplification
+and the breaker timeline, and trace events commit through the
+engine's :class:`~repro.engine.CommitTracer` in ``(ts, shard,
+arrival)`` order.  ``shards=1`` is exactly the legacy single-server
+storm.  See ``docs/fault_tolerance.md``.
 """
 
 from __future__ import annotations
@@ -85,10 +97,15 @@ class StormConfig:
     channel: ChannelConfig = field(default=SHARED_MEMORY)
     check: bool = False
     label: str = ""
+    #: independent server replicas; capacity splits evenly, clients are
+    #: dealt round-robin, 1 = the legacy single-server storm
+    shards: int = 1
 
     def __post_init__(self) -> None:
         if self.clients < 1:
             raise HarnessError("need at least one client")
+        if self.shards < 1:
+            raise HarnessError("need at least one shard")
         if self.call_rate <= 0 or self.capacity <= 0:
             raise HarnessError("call_rate and capacity must be > 0")
         if not 0 <= self.degrade_start < self.degrade_end <= self.duration:
@@ -138,10 +155,12 @@ class StormResult:
 class _SaturableServer:
     """A fixed-capacity server that still burns cycles while degraded."""
 
-    def __init__(self, engine: EventLoop, config: StormConfig) -> None:
+    def __init__(self, engine: EventLoop, config: StormConfig, *,
+                 capacity: float | None = None) -> None:
         self.engine = engine
         self.config = config
-        self.service_time = 1.0 / config.capacity
+        self.service_time = 1.0 / (capacity if capacity is not None
+                                   else config.capacity)
         self.busy_until = 0.0
         self.attempts = 0
         self.peak_backlog = 0.0
@@ -161,70 +180,157 @@ class _SaturableServer:
         return Response.success()
 
 
-def run_storm(config: StormConfig, *, tracer=None) -> StormResult:
-    """Run one retry-storm scenario and measure the damage."""
-    tracer = tracer if tracer is not None else NULL_TRACER
+@dataclass(frozen=True)
+class _StormCell:
+    """Picklable outcome of one service shard (merged by run_storm)."""
+
+    overload: OverloadReport
+    successes: int
+    failures: int
+    samples: tuple[tuple[float, float], ...]
+    peak_backlog: float
+    checks: int
+    events: int
+    trace_events: tuple = ()
+
+
+class _CellBuffer:
+    """Tracer-shaped buffer: shard events queue for the GVT merge."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self.events: list = []
+
+    def emit(self, event) -> None:
+        self.events.append(event)
+
+
+def _storm_cell(config: StormConfig, shard: int,
+                collect_events: bool = False) -> _StormCell:
+    """Run one service shard: a self-contained seeded simulation.
+
+    Shard ``shard`` of ``config.shards`` owns the clients with global
+    index ``i % shards == shard`` (ids and seed streams keep the global
+    index, so a client's arrival process is the same under any shard
+    count) and a server replica with ``capacity / shards``.
+    """
+    tracer = _CellBuffer() if collect_events else NULL_TRACER
     engine = EventLoop()
-    server = _SaturableServer(engine, config)
+    server = _SaturableServer(
+        engine, config, capacity=config.capacity / config.shards)
+    indices = [i for i in range(config.clients)
+               if i % config.shards == shard]
     channels = [
         Channel(server.handle, config.channel,
                 client_id=f"storm#{i}", seed=config.seed,
                 clock=lambda: engine.now, tracer=tracer,
                 resilience=config.resilience)
-        for i in range(config.clients)
+        for i in indices
     ]
     # arrivals counts every issued call — including breaker fast-fails,
     # which never become a "fresh call" because they are refused before
     # an envelope exists; the conservation audit balances against it
-    arrivals = [0] * config.clients
-    successes = [0] * config.clients
-    failures = [0] * config.clients
+    arrivals = [0] * len(channels)
+    successes = [0] * len(channels)
+    failures = [0] * len(channels)
     #: (completion ts, latency) per *served* call — the storm signature
     #: is served work blowing the SLO long after the fault cleared
     samples: list[tuple[float, float]] = []
 
-    def call(index: int) -> None:
-        channel = channels[index]
-        arrivals[index] += 1
+    def call(pos: int) -> None:
+        channel = channels[pos]
+        arrivals[pos] += 1
         before = channel.stats.simulated_time
         now = engine.now
         try:
             channel.call(SynchronizeRequest(client_id=channel.client_id))
         except (ChannelTimeout, CircuitOpen, DeadlineExceeded, VirtError):
-            failures[index] += 1
+            failures[pos] += 1
         else:
-            successes[index] += 1
+            successes[pos] += 1
             latency = ((channel.stats.simulated_time - before)
                        + server.last_wait)
             samples.append((now, latency))
 
-    for index in range(config.clients):
+    for pos, index in enumerate(indices):
         rng = random.Random(f"{config.seed}/storm/{index}")
         t = 0.0
         while True:
             t += rng.expovariate(config.call_rate)
             if t >= config.duration:
                 break
-            engine.schedule_at(t, lambda i=index: call(i))
+            engine.schedule_at(t, lambda p=pos: call(p))
     engine.run_until(config.duration)
 
     checks = 0
     if config.check:
         ledgers = [
             ServiceLedger(
-                client_id=channels[i].client_id,
-                arrivals=arrivals[i],
-                completed=successes[i], pending=0, shed=failures[i],
+                client_id=channels[pos].client_id,
+                arrivals=arrivals[pos],
+                completed=successes[pos], pending=0, shed=failures[pos],
             )
-            for i in range(config.clients)
+            for pos in range(len(channels))
         ]
         checks = check_request_conservation(ledgers)
 
-    return StormResult(
-        label=config.label,
+    return _StormCell(
         overload=OverloadReport.of(channels),
         successes=sum(successes),
         failures=sum(failures),
+        samples=tuple(samples),
+        peak_backlog=server.peak_backlog,
+        checks=checks,
+        events=engine.events_processed,
+        trace_events=tuple(tracer.events) if collect_events else (),
+    )
+
+
+def run_storm(config: StormConfig, *, tracer=None,
+              jobs: int = 1) -> StormResult:
+    """Run one retry-storm scenario and measure the damage.
+
+    With ``config.shards > 1`` the shard cells are independent seeded
+    simulations; ``jobs=N`` runs them over worker processes and is
+    bit-identical to ``jobs=1`` because the merge is deterministic
+    (counters sum, trace events commit in ``(ts, shard, arrival)``
+    order).
+    """
+    tracer = tracer if tracer is not None else NULL_TRACER
+    shards = config.shards
+    want_events = bool(getattr(tracer, "enabled", False))
+    if jobs <= 1 or shards <= 1:
+        cells = [_storm_cell(config, shard, want_events)
+                 for shard in range(shards)]
+    else:
+        import os
+        from concurrent.futures import ProcessPoolExecutor
+
+        from ..harness.sweep import _init_worker
+        from ..transform.memo import warm_snapshot
+
+        workers = min(jobs, shards, os.cpu_count() or 1)
+        with ProcessPoolExecutor(max_workers=workers,
+                                 initializer=_init_worker,
+                                 initargs=(warm_snapshot(),)) as pool:
+            cells = list(pool.map(_storm_cell, [config] * shards,
+                                  range(shards),
+                                  [want_events] * shards))
+
+    if want_events:
+        from ..engine import CommitTracer
+        commit = CommitTracer(tracer)
+        for shard, cell in enumerate(cells):
+            commit.add_shard_events(shard, list(cell.trace_events))
+        commit.close()
+
+    samples = [s for cell in cells for s in cell.samples]
+    return StormResult(
+        label=config.label,
+        overload=OverloadReport.merged([cell.overload for cell in cells]),
+        successes=sum(cell.successes for cell in cells),
+        failures=sum(cell.failures for cell in cells),
         attainment_before=attainment_through_window(
             samples, config.slo, (0.0, config.degrade_start)),
         attainment_during=attainment_through_window(
@@ -232,9 +338,9 @@ def run_storm(config: StormConfig, *, tracer=None) -> StormResult:
                                   config.degrade_end)),
         attainment_after=attainment_through_window(
             samples, config.slo, (config.degrade_end, config.duration)),
-        peak_backlog=server.peak_backlog,
-        invariant_checks=checks,
-        events=engine.events_processed,
+        peak_backlog=max(cell.peak_backlog for cell in cells),
+        invariant_checks=sum(cell.checks for cell in cells),
+        events=sum(cell.events for cell in cells),
     )
 
 

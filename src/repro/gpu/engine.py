@@ -14,7 +14,16 @@ Hot-path design (see ``docs/performance.md``):
   unique);
 * cancellation is O(1) and lazy, with an in-place compaction sweep once
   dead entries dominate, so drivers polling :attr:`EventLoop.pending`
-  never spin over a graveyard.
+  never spin over a graveyard;
+* a **sorted-run fast path**: while every ``schedule_at`` so far has
+  been non-decreasing in time, the backing array *is* the sorted event
+  order (a monotone ``heappush`` never sifts), which is exactly
+  ``heappop``'s worst case — each pop moves the array's largest entry
+  to the root and sifts it all the way back down.  The loop tracks that
+  monotone run and drains it by index instead, so fanout-shaped phases
+  (many pre-scheduled timers) cost the same per event as a
+  self-rescheduling chain.  The first out-of-order push compacts and
+  re-heapifies, falling back to classic heap behaviour.
 """
 
 from __future__ import annotations
@@ -65,15 +74,26 @@ class EventLoop:
     #: (only when at least half the queue is dead), so drivers polling
     #: :attr:`pending` never spin over an ever-growing graveyard
     COMPACT_THRESHOLD = 64
+    #: live sorted-run length below which draining falls back to the
+    #: classic heap loop — index iteration only pays for itself once
+    #: heappop's sift depth (log n) dominates the per-event bookkeeping
+    SORTED_DRAIN_MIN = 64
 
     def __init__(self) -> None:
         self.now = 0.0
-        #: heap of ``(time, seq, Event)`` — C-speed tuple comparisons
+        #: heap of ``(time, seq, Event)`` — C-speed tuple comparisons.
+        #: While ``_sorted`` is True the array is fully sorted and
+        #: ``_head`` entries at the front have already been consumed.
         self._heap: list[tuple[float, int, Event]] = []
         self._seq = 0
         self._cancelled = 0  # cancelled events still sitting in the heap
+        self._sorted = True  # every push so far non-decreasing in time
+        self._head = 0       # consumed prefix length (sorted mode only)
         self.events_processed = 0
 
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
     def schedule_at(self, time: float, fn: Callable[[], None]) -> Event:
         """Schedule ``fn`` to run at absolute simulation time ``time``."""
         if time < self.now:
@@ -83,7 +103,17 @@ class EventLoop:
         seq = self._seq
         self._seq = seq + 1
         event = Event(time, seq, fn, self)
-        heappush(self._heap, (time, seq, event))
+        heap = self._heap
+        if self._sorted:
+            # Monotone run: a push at/after the current tail keeps the
+            # array sorted, so it is a plain append (no sift at all).
+            if not heap or len(heap) == self._head or time >= heap[-1][0]:
+                heap.append((time, seq, event))
+            else:
+                self._exit_sorted_mode()
+                heappush(heap, (time, seq, event))
+        else:
+            heappush(heap, (time, seq, event))
         return event
 
     def schedule(self, delay: float, fn: Callable[[], None]) -> Event:
@@ -96,42 +126,206 @@ class EventLoop:
         """Schedule ``fn`` at the current time (after pending same-time events)."""
         return self.schedule_at(self.now, fn)
 
+    # ------------------------------------------------------------------
+    # Internal bookkeeping
+    # ------------------------------------------------------------------
+    def _exit_sorted_mode(self) -> None:
+        """An out-of-order push: drop the consumed prefix and re-heapify.
+
+        A sorted array already satisfies the heap invariant, so the
+        surviving suffix needs no sifting — but the consumed ``_head``
+        prefix must go first or dead entries would resurface.
+        """
+        if self._head:
+            del self._heap[:self._head]
+            self._head = 0
+        self._sorted = False
+
     def _note_cancel(self) -> None:
         self._cancelled += 1
         heap = self._heap
         if (self._cancelled >= self.COMPACT_THRESHOLD
-                and self._cancelled * 2 >= len(heap)):
+                and self._cancelled * 2 >= len(heap) - self._head):
             # Rebuild in place: run loops hold a reference to the list.
-            heap[:] = [entry for entry in heap if not entry[2].cancelled]
-            heapify(heap)
+            # A filtered sorted array stays sorted, so sorted mode (and
+            # its no-sift pushes) survives the sweep.
+            heap[:] = [entry for entry in heap[self._head:]
+                       if not entry[2].cancelled]
+            self._head = 0
+            if not self._sorted:
+                heapify(heap)
             self._cancelled = 0
 
     @property
     def pending(self) -> int:
         """Number of *live* (non-cancelled) events still queued."""
-        return len(self._heap) - self._cancelled
+        return len(self._heap) - self._head - self._cancelled
 
+    # ------------------------------------------------------------------
+    # Inspection / draining
+    # ------------------------------------------------------------------
     def peek_time(self) -> float | None:
         """Time of the next live event, or None if the queue is empty."""
         heap = self._heap
+        if self._sorted:
+            head = self._head
+            while head < len(heap) and heap[head][2].cancelled:
+                head += 1
+                self._cancelled -= 1
+            self._head = head
+            if head == len(heap):
+                del heap[:]
+                self._head = 0
+                self._cancelled = 0
+                return None
+            return heap[head][0]
         while heap and heap[0][2].cancelled:
             heappop(heap)
             self._cancelled -= 1
-        return heap[0][0] if heap else None
+        if not heap:
+            self._sorted = True
+            self._cancelled = 0
+            return None
+        return heap[0][0]
 
-    def step(self) -> bool:
-        """Run the next event; return False if none remain."""
+    def _pop_next(self) -> tuple[float, Event] | None:
+        """Remove and return the next live event, or None."""
         heap = self._heap
+        if self._sorted:
+            head = self._head
+            n = len(heap)
+            while head < n:
+                time, _seq, event = heap[head]
+                head += 1
+                if event.cancelled:
+                    self._cancelled -= 1
+                    continue
+                self._head = head
+                return time, event
+            del heap[:]
+            self._head = 0
+            self._cancelled = 0
+            return None
         while heap:
             time, _seq, event = heappop(heap)
             if event.cancelled:
                 self._cancelled -= 1
                 continue
+            return time, event
+        self._sorted = True
+        self._cancelled = 0
+        return None
+
+    def step(self) -> bool:
+        """Run the next event; return False if none remain."""
+        nxt = self._pop_next()
+        if nxt is None:
+            return False
+        time, event = nxt
+        self.now = time
+        self.events_processed += 1
+        event.fn()
+        return True
+
+    def _drain(self, limit: float | None, inclusive: bool,
+               max_events: int | None) -> int:
+        """Run events until ``limit`` (or forever when None).
+
+        The single inner loop behind :meth:`advance_to`,
+        :meth:`run_until`, and :meth:`run`, with both storage modes
+        inlined — per-event overhead is what macro benchmarks measure.
+        """
+        heap = self._heap
+        pop = heappop
+        processed = 0
+        bound = float("inf") if max_events is None else max_events
+        while True:
+            if self._sorted and len(heap) - self._head < self.SORTED_DRAIN_MIN:
+                # Shallow queues drain faster through the classic heap
+                # loop (heappop on a near-empty heap is pure C); convert
+                # once and stay there until the queue fully drains.
+                self._exit_sorted_mode()
+            if self._sorted:
+                head = self._head
+                n = len(heap)
+                while head < n:
+                    when, _seq, event = heap[head]
+                    if event.cancelled:
+                        head += 1
+                        self._cancelled -= 1
+                        continue
+                    if limit is not None and (
+                            when > limit
+                            or (when == limit and not inclusive)):
+                        self._head = head
+                        return processed
+                    head += 1
+                    self._head = head
+                    self.now = when
+                    self.events_processed += 1
+                    event.fn()
+                    processed += 1
+                    if processed >= bound:
+                        raise GPUSimError(
+                            f"exceeded {max_events} events"
+                            + (f" before reaching t={limit}"
+                               if limit is not None else ""))
+                    if not self._sorted:
+                        break  # out-of-order push re-heapified the array
+                    # callbacks may append events or trigger a
+                    # compaction sweep; re-read both cursors
+                    head = self._head
+                    n = len(heap)
+                else:
+                    # drained the whole sorted run
+                    del heap[:]
+                    self._head = 0
+                    self._cancelled = 0
+                    return processed
+                continue  # fell out via mode flip: enter the heap loop
+            while heap:
+                when = heap[0][0]
+                if limit is not None and (
+                        when > limit or (when == limit and not inclusive)):
+                    return processed
+                _w, _s, event = pop(heap)
+                if event.cancelled:
+                    self._cancelled -= 1
+                    continue
+                self.now = when
+                self.events_processed += 1
+                event.fn()
+                processed += 1
+                if processed >= bound:
+                    raise GPUSimError(
+                        f"exceeded {max_events} events"
+                        + (f" before reaching t={limit}"
+                           if limit is not None else ""))
+            # fully drained: a fresh queue is a sorted run again
+            self._sorted = True
+            self._head = 0
+            self._cancelled = 0
+            return processed
+
+    def advance_to(self, time: float, *, inclusive: bool = False,
+                   max_events: int | None = None) -> int:
+        """Run events below ``time`` and advance the clock to ``time``.
+
+        The exclusive form (the default) leaves events at exactly
+        ``time`` pending: the parallel engine's horizon grants advance a
+        shard *to* a barrier without consuming barrier-time events, so
+        cross-shard operations issued at the barrier always apply before
+        same-time local events.  With ``inclusive=True`` events at
+        ``time`` run too (:meth:`run_until` semantics).  Returns the
+        number of events executed.
+        """
+        if time < self.now:
+            raise GPUSimError(
+                f"cannot advance to {time:.9f} before now ({self.now:.9f})")
+        processed = self._drain(time, inclusive, max_events)
+        if time > self.now:
             self.now = time
-            self.events_processed += 1
-            event.fn()
-            return True
-        return False
+        return processed
 
     def run_until(self, time: float, *, max_events: int | None = None) -> None:
         """Run all events up to and including ``time``.
@@ -139,42 +333,8 @@ class EventLoop:
         The clock is advanced to ``time`` afterwards even if the queue
         drained earlier.
         """
-        heap = self._heap
-        pop = heappop
-        processed = 0
-        unbounded = max_events is None
-        while heap:
-            when = heap[0][0]
-            if when > time:
-                break
-            _when, _seq, event = pop(heap)
-            if event.cancelled:
-                self._cancelled -= 1
-                continue
-            self.now = when
-            self.events_processed += 1
-            event.fn()
-            processed += 1
-            if not unbounded and processed >= max_events:
-                raise GPUSimError(
-                    f"exceeded {max_events} events before reaching t={time}"
-                )
-        if time > self.now:
-            self.now = time
+        self.advance_to(time, inclusive=True, max_events=max_events)
 
     def run(self, *, max_events: int = 50_000_000) -> None:
         """Run until the event queue drains."""
-        heap = self._heap
-        pop = heappop
-        processed = 0
-        while heap:
-            when, _seq, event = pop(heap)
-            if event.cancelled:
-                self._cancelled -= 1
-                continue
-            self.now = when
-            self.events_processed += 1
-            event.fn()
-            processed += 1
-            if processed >= max_events:
-                raise GPUSimError(f"exceeded {max_events} events")
+        self._drain(None, True, max_events)

@@ -108,6 +108,38 @@ class OverloadReport:
     def total_sheds(self) -> int:
         return sum(self.sheds.values())
 
+    @staticmethod
+    def merged(reports: Sequence["OverloadReport"]) -> "OverloadReport":
+        """Deterministically merge per-shard reports into a fleet view.
+
+        Counters sum, sheds sum per cause (in the canonical cause
+        order, so the result is independent of shard order),
+        amplification and time-to-recover are recomputed from the
+        merged totals/timeline.  Used by sharded retry-storm runs
+        (:mod:`repro.faults.storm`) where each service shard produces
+        its own report.
+        """
+        fresh = sum(r.fresh_calls for r in reports)
+        retries = sum(r.retries for r in reports)
+        causes: dict[str, int] = {}
+        timeline: list[BreakerEvent] = []
+        for report in reports:
+            for cause, count in report.sheds.items():
+                causes[cause] = causes.get(cause, 0) + count
+            timeline.extend(report.breaker_timeline)
+        timeline.sort(key=lambda e: (e.ts, e.client_id))
+        sheds = {cause: causes[cause] for cause in (
+            "deadline-client", "deadline-server", "retry-budget",
+            "breaker") if causes.get(cause)}
+        sheds.update(kv for kv in sorted(causes.items())
+                     if kv[0] not in sheds and kv[1])
+        return OverloadReport(
+            fresh_calls=fresh, retries=retries,
+            amplification=((fresh + retries) / fresh) if fresh else 1.0,
+            sheds=sheds, breaker_timeline=tuple(timeline),
+            time_to_recover=_time_to_recover(timeline),
+        )
+
     def format(self, *, max_transitions: int = 8) -> str:
         """Human-readable overload summary.
 

@@ -73,6 +73,7 @@ class InferenceJob:
         self._closed = False
         self._epoch = 0          # bumped by checkpoint(); stale-callback guard
         self._gap_event: Event | None = None
+        self._arrival_event: Event | None = None
         policy.register_client(client_id, priority)
 
     # ------------------------------------------------------------------
@@ -157,6 +158,79 @@ class InferenceJob:
         if self._queue and not self._busy:
             self._start_request()
 
+    # -- freeze/thaw (cross-loop migration) ----------------------------
+    def freeze_state(self) -> dict:
+        """Serialize the mutable driver state of a checkpointed job.
+
+        Unlike :meth:`checkpoint`/:meth:`restore` — which keep the same
+        object on the same event loop — freeze/thaw moves a driver to a
+        *different* event loop (a parallel-engine shard on another
+        worker).  The pending arrival event cannot cross loops, so it is
+        cancelled here and re-armed by :meth:`thaw` from the (identical,
+        deterministically rebuilt) traffic trace.  The old object is
+        left inert: stale kernel completions are epoch-guarded no-ops,
+        exactly as they are after an in-loop migration.
+        """
+        if not self._paused:
+            raise MigrationError(
+                f"freeze of {self.client_id!r} without a checkpoint")
+        resume_index = self._arrival_index
+        if self._arrival_event is not None:
+            self._arrival_event.cancel()
+            self._arrival_event = None
+            resume_index -= 1  # the cancelled arrival re-arms on thaw
+        return {
+            "client_id": self.client_id,
+            "priority": self.priority,
+            "records": list(self.records),
+            "queue": list(self._queue),
+            "arrival_index": resume_index,
+            "started": self._started,
+            "crashed": self.crashed,
+            "arrivals_total": self.arrivals_total,
+            "shed_requests": self.shed_requests,
+            "closed": self._closed,
+            "epoch": self._epoch,
+        }
+
+    @classmethod
+    def thaw(cls, trace: Trace, traffic: TrafficTrace,
+             policy: SharingPolicy, state: dict) -> "InferenceJob":
+        """Rebuild a frozen driver on ``policy``'s event loop.
+
+        ``trace``/``traffic`` must be the deterministic rebuilds of the
+        originals (same model, seed, and config).  The thawed driver is
+        paused and *not* registered with the policy — exactly the state
+        an in-loop driver is in between ``checkpoint()`` and
+        ``restore()`` — but its arrival chain is live, so requests keep
+        queueing through the migration downtime.
+        """
+        job = cls.__new__(cls)
+        job.trace = trace
+        job.traffic = traffic
+        job.policy = policy
+        job.engine = policy.engine
+        job.client_id = state["client_id"]
+        job.priority = state["priority"]
+        job.records = list(state["records"])
+        job._queue = deque(state["queue"])
+        job._busy = False
+        job._arrival_index = state["arrival_index"]
+        job._op_index = 0
+        job._current_arrival = 0.0
+        job._current_start = 0.0
+        job._started = state["started"]
+        job.crashed = state["crashed"]
+        job.arrivals_total = state["arrivals_total"]
+        job.shed_requests = state["shed_requests"]
+        job._paused = True
+        job._closed = state["closed"]
+        job._epoch = state["epoch"]
+        job._gap_event = None
+        job._arrival_event = None
+        job._schedule_next_arrival()
+        return job
+
     @property
     def completed_requests(self) -> int:
         return len(self.records)
@@ -205,9 +279,10 @@ class InferenceJob:
             return
         when = float(self.traffic.arrivals[self._arrival_index])
         self._arrival_index += 1
-        self.engine.schedule_at(when, self._on_arrival)
+        self._arrival_event = self.engine.schedule_at(when, self._on_arrival)
 
     def _on_arrival(self) -> None:
+        self._arrival_event = None
         if self.crashed:
             return  # the arrival event outlived the process
         self.arrivals_total += 1

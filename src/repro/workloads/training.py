@@ -95,6 +95,54 @@ class TrainingJob:
         if not self._stopped:
             self._advance()
 
+    # -- freeze/thaw (cross-loop migration) ----------------------------
+    def freeze_state(self) -> dict:
+        """Serialize the mutable state of a checkpointed trainer.
+
+        A checkpointed trainer has no live events (the gap timer is
+        cancelled, kernel completions are epoch-guarded), so the state
+        is pure data; :meth:`thaw` rebuilds the driver on another event
+        loop from the deterministically regenerated trace.
+        """
+        if not self._paused:
+            raise MigrationError(
+                f"freeze of {self.client_id!r} without a checkpoint")
+        return {
+            "client_id": self.client_id,
+            "priority": self.priority,
+            "iteration_completions": list(self.iteration_completions),
+            "kernels_completed": self.kernels_completed,
+            "started_at": self.started_at,
+            "crashed": self.crashed,
+            "stopped": self._stopped,
+            "epoch": self._epoch,
+        }
+
+    @classmethod
+    def thaw(cls, trace: Trace, policy: SharingPolicy,
+             state: dict) -> "TrainingJob":
+        """Rebuild a frozen trainer on ``policy``'s event loop.
+
+        The thawed driver is paused and unregistered — the state an
+        in-loop driver holds between ``checkpoint()`` and ``restore()``.
+        """
+        job = cls.__new__(cls)
+        job.trace = trace
+        job.policy = policy
+        job.engine = policy.engine
+        job.client_id = state["client_id"]
+        job.priority = state["priority"]
+        job.iteration_completions = list(state["iteration_completions"])
+        job.kernels_completed = state["kernels_completed"]
+        job.started_at = state["started_at"]
+        job.crashed = state["crashed"]
+        job._op_index = 0
+        job._stopped = state["stopped"]
+        job._paused = True
+        job._epoch = state["epoch"]
+        job._gap_event = None
+        return job
+
     @property
     def iterations_completed(self) -> int:
         return len(self.iteration_completions)

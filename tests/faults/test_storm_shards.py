@@ -1,0 +1,79 @@
+"""Sharded retry-storm: deterministic merge, process parity, tracing."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.errors import HarnessError
+from repro.faults.storm import StormConfig, run_storm, storm_pair
+from repro.metrics import OverloadReport
+from repro.trace import Tracer
+
+_BASE = StormConfig(clients=8, duration=4.0, degrade_start=1.0,
+                    degrade_end=2.0, check=True)
+
+
+def test_shards_must_be_positive():
+    with pytest.raises(HarnessError):
+        StormConfig(shards=0)
+
+
+@pytest.mark.parametrize("resilient", [False, True])
+def test_sharded_cells_are_process_parallel_bit_identical(resilient):
+    unbounded, bounded = storm_pair(_BASE)
+    config = replace(bounded if resilient else unbounded, shards=4)
+    serial = run_storm(config)
+    parallel = run_storm(config, jobs=4)
+    assert repr(serial) == repr(parallel)
+
+
+def test_single_shard_merge_is_identity():
+    """shards=1 goes through the same merge and must look like a plain
+    single-server run: one cell, counters passed through."""
+    result = run_storm(replace(_BASE, shards=1))
+    assert result.successes + result.failures > 0
+    assert result.invariant_checks > 0
+    merged = OverloadReport.merged([result.overload])
+    assert merged == result.overload
+
+
+def test_merged_overload_report_sums_and_reorders():
+    a = OverloadReport(fresh_calls=10, retries=10, amplification=2.0,
+                       sheds={"breaker": 3})
+    b = OverloadReport(fresh_calls=30, retries=10, amplification=4 / 3,
+                       sheds={"retry-budget": 2, "breaker": 1})
+    merged = OverloadReport.merged([a, b])
+    assert merged.fresh_calls == 40
+    assert merged.retries == 20
+    assert merged.amplification == pytest.approx(1.5)
+    # canonical cause order, independent of input order
+    assert list(merged.sheds) == ["retry-budget", "breaker"]
+    assert merged.sheds == {"retry-budget": 2, "breaker": 4}
+    assert OverloadReport.merged([b, a]).sheds == merged.sheds
+
+
+def test_sharded_trace_commits_in_timestamp_order():
+    # the resilience layer is what emits trace events (sheds, budget
+    # exhaustion); the unbounded storm is silent
+    _, resilient = storm_pair(_BASE)
+    config = replace(resilient, shards=3, check=False)
+    serial_tracer = Tracer()
+    run_storm(config, tracer=serial_tracer)
+    parallel_tracer = Tracer()
+    run_storm(config, jobs=3, tracer=parallel_tracer)
+    assert len(serial_tracer.events) > 0
+    stamps = [e.ts for e in serial_tracer.events]
+    assert stamps == sorted(stamps)
+    assert [repr(e) for e in serial_tracer.events] == \
+        [repr(e) for e in parallel_tracer.events]
+
+
+def test_shard_count_changes_physics_but_conserves_requests():
+    """Splitting capacity is a different scenario (same aggregate
+    capacity, partitioned queues) — but every fresh call still ends as
+    exactly one success or counted failure (the audit runs per cell)."""
+    whole = run_storm(_BASE)
+    split = run_storm(replace(_BASE, shards=2))
+    assert split.invariant_checks > 0
+    assert whole.successes + whole.failures > 0
+    assert split.successes + split.failures > 0

@@ -1,0 +1,138 @@
+"""EventLoop behavior at shard boundaries (parallel-engine contract).
+
+The time-warp engine leans on three loop properties the colocation
+harness never stressed: exclusive :meth:`EventLoop.advance_to` grants
+that leave boundary-time events pending, cancel-then-reschedule at
+*identical* timestamps (migration freeze/thaw does exactly this), and
+in-place heap compaction staying correct while a boundary is held.
+Sequence numbers break every tie, so two loops fed the same schedule
+calls replay in the same order — the cross-shard determinism the
+bit-identity suite depends on.
+"""
+
+import pytest
+
+from repro.errors import GPUSimError
+from repro.gpu import EventLoop
+
+
+def test_advance_to_is_exclusive_at_the_boundary():
+    loop = EventLoop()
+    ran = []
+    loop.schedule_at(1.0, lambda: ran.append("a"))
+    loop.schedule_at(2.0, lambda: ran.append("b"))
+    assert loop.advance_to(2.0) == 1
+    assert ran == ["a"]
+    assert loop.now == 2.0
+    assert loop.peek_time() == 2.0  # boundary event still pending
+    assert loop.advance_to(2.0, inclusive=True) == 1
+    assert ran == ["a", "b"]
+
+
+def test_advance_to_moves_clock_past_drained_queue():
+    loop = EventLoop()
+    loop.schedule_at(0.5, lambda: None)
+    loop.advance_to(3.0)
+    assert loop.now == 3.0
+    assert loop.peek_time() is None
+    with pytest.raises(GPUSimError):
+        loop.advance_to(2.0)  # the clock never goes backwards
+
+
+def test_cancel_then_reschedule_at_identical_timestamp():
+    loop = EventLoop()
+    ran = []
+    first = loop.schedule_at(1.0, lambda: ran.append("first"))
+    loop.schedule_at(1.0, lambda: ran.append("second"))
+    first.cancel()
+    # freeze/thaw shape: re-arm at exactly the cancelled time
+    loop.schedule_at(1.0, lambda: ran.append("rearmed"))
+    loop.run_until(1.0)
+    # scheduling order, not cancellation order, decides ties
+    assert ran == ["second", "rearmed"]
+    assert loop.events_processed == 2  # cancelled events never count
+
+
+def test_seq_tiebreak_replays_identically_across_loops():
+    def drive(loop: EventLoop) -> list[str]:
+        ran: list[str] = []
+        events = {}
+        for name in ("a", "b", "c", "d"):
+            events[name] = loop.schedule_at(
+                2.0, lambda n=name: ran.append(n))
+        events["b"].cancel()
+        loop.schedule_at(2.0, lambda: ran.append("e"))
+        loop.schedule_at(1.0, lambda: ran.append("early"))
+        loop.run_until(2.0)
+        return ran
+
+    # two "shards" given the same schedule sequence: identical replay
+    assert drive(EventLoop()) == drive(EventLoop())
+    assert drive(EventLoop()) == ["early", "a", "c", "d", "e"]
+
+
+def test_compaction_preserves_pending_boundary_events():
+    loop = EventLoop()
+    ran = []
+    keep = []
+    cancelled = []
+    for i in range(3 * loop.COMPACT_THRESHOLD):
+        t = 1.0 + i * 0.001
+        if i % 3 == 0:
+            keep.append(t)
+            loop.schedule_at(t, lambda t=t: ran.append(t))
+        else:
+            cancelled.append(loop.schedule_at(t, lambda: ran.append(-1.0)))
+    boundary = loop.schedule_at(5.0, lambda: ran.append(5.0))
+    for event in cancelled:
+        event.cancel()  # bulk cancel crosses the compaction threshold
+    assert loop.pending == len(keep) + 1
+    loop.advance_to(5.0)  # exclusive: the boundary event survives
+    assert ran == keep
+    assert loop.peek_time() == 5.0
+    assert not boundary.cancelled
+    loop.advance_to(5.0, inclusive=True)
+    assert ran[-1] == 5.0
+
+
+def test_compaction_in_heap_mode_keeps_order():
+    loop = EventLoop()
+    ran = []
+    # out-of-order pushes force heap mode
+    events = [loop.schedule_at(10.0 - i * 0.01, lambda i=i: ran.append(i))
+              for i in range(3 * loop.COMPACT_THRESHOLD)]
+    for event in events[::2]:
+        event.cancel()
+    expected = [i for i in range(len(events)) if i % 2 == 1]
+    loop.run_until(10.0)
+    # later-scheduled events had earlier times: reverse order runs
+    assert ran == expected[::-1]
+    assert loop.events_processed == len(expected)
+
+
+def test_peek_time_skips_cancelled_heads_in_both_modes():
+    sorted_loop = EventLoop()
+    a = sorted_loop.schedule_at(1.0, lambda: None)
+    sorted_loop.schedule_at(2.0, lambda: None)
+    a.cancel()
+    assert sorted_loop.peek_time() == 2.0
+
+    heap_loop = EventLoop()
+    heap_loop.schedule_at(3.0, lambda: None)
+    b = heap_loop.schedule_at(1.0, lambda: None)  # out of order
+    b.cancel()
+    assert heap_loop.peek_time() == 3.0
+
+
+def test_boundary_grant_then_same_time_schedule():
+    # the coordinator advances a shard to a grant, then an op applied
+    # AT the grant schedules more work at that exact time: it must run
+    # before later events, after the already-pending boundary event
+    loop = EventLoop()
+    ran = []
+    loop.schedule_at(2.0, lambda: ran.append("local"))
+    loop.schedule_at(3.0, lambda: ran.append("later"))
+    loop.advance_to(2.0)
+    loop.schedule_at(2.0, lambda: ran.append("op"))
+    loop.run_until(3.0)
+    assert ran == ["local", "op", "later"]
